@@ -1,0 +1,26 @@
+//! End-to-end simulator benchmarks: cost of a full testbed run (Fig. 6
+//! scenario) and of the many-busy-node fleet scenario — the wall-clock
+//! price of one simulated minute of DUST.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust::prelude::*;
+use dust::sim::scenarios;
+
+fn bench_testbed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for &duration in &[30_000u64, 60_000] {
+        group.bench_with_input(
+            BenchmarkId::new("fig6-pair", duration / 1000),
+            &duration,
+            |b, &d| b.iter(|| std::hint::black_box(fig6(d, 7))),
+        );
+    }
+    group.bench_function("fleet-4k-60s", |b| {
+        b.iter(|| std::hint::black_box(scenarios::fleet(4, 60_000, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_testbed);
+criterion_main!(benches);

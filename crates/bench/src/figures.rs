@@ -1,0 +1,451 @@
+//! One regeneration routine per table/figure of the paper's evaluation
+//! (§V). Each returns the rendered table plus a short shape-comparison
+//! note; the `experiments` binary prints them and EXPERIMENTS.md records
+//! the outcomes.
+
+use crate::{experiment_config, experiment_params, mean_secs, timed, Table};
+use dust::prelude::*;
+
+/// Effort level for the sweeps: `quick` trims iteration counts so the full
+/// suite finishes in a couple of minutes; `full` runs paper-scale sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Trimmed iteration counts.
+    Quick,
+    /// Paper-scale sweeps (minutes).
+    Full,
+}
+
+/// Fig. 1 — monitoring-module CPU vs VxLAN traffic on the testbed DUT.
+pub fn fig1(seed: u64, effort: Effort) -> String {
+    let per_level = match effort {
+        Effort::Quick => 61_000,
+        Effort::Full => 181_000,
+    };
+    let levels = [0.0, 0.05, 0.10, 0.15, 0.20];
+    let rows = dust::sim::scenarios::fig1(&levels, per_level, seed);
+    let mut t = Table::new(&["traffic (% line rate)", "mean CPU (% of core)", "peak CPU (%)"]);
+    for r in rows {
+        t.row(&[
+            format!("{:.0}", r.traffic_fraction * 100.0),
+            format!("{:.1}", r.mean_cpu_percent),
+            format!("{:.1}", r.peak_cpu_percent),
+        ]);
+    }
+    format!(
+        "Fig. 1 — monitoring module CPU vs traffic (10 agents, 8-core DUT)\n{}\n\
+         paper: ≈100 % average at 20 % line rate, spikes to ≈600 %.\n",
+        t.render()
+    )
+}
+
+/// Fig. 6 — DUT CPU/memory, local monitoring vs DUST offloading.
+pub fn fig6(seed: u64, effort: Effort) -> String {
+    let duration = match effort {
+        Effort::Quick => 120_000,
+        Effort::Full => 300_000,
+    };
+    let r = dust::sim::scenarios::fig6(duration, seed);
+    let mut t = Table::new(&["metric", "local", "DUST", "reduction (%)"]);
+    t.row(&[
+        "CPU (%)".into(),
+        format!("{:.1}", r.local_cpu),
+        format!("{:.1}", r.dust_cpu),
+        format!("{:.1}", r.cpu_reduction_percent()),
+    ]);
+    t.row(&[
+        "memory (%)".into(),
+        format!("{:.1}", r.local_mem),
+        format!("{:.1}", r.dust_mem),
+        format!("{:.1}", r.mem_reduction_percent()),
+    ]);
+    format!(
+        "Fig. 6 — testbed resource utilization, local vs DUST ({} transfers)\n{}\n\
+         paper: CPU 31→15 % (≈52 % cut), memory 70→62 % (≈12 % cut).\n",
+        r.transfers,
+        t.render()
+    )
+}
+
+/// Fig. 7 — infeasible-optimization rate vs `Δ_io` on the 4-k fat-tree.
+pub fn fig7(seed: u64, effort: Effort) -> String {
+    let iterations = match effort {
+        Effort::Quick => 300,
+        Effort::Full => 1000, // the paper's count
+    };
+    let ft = FatTree::with_default_links(4);
+    // Fixed C_max = 85, sweep CO_max so Δ_io spans the paper's 0.8..3.5
+    // (Δ = (CO_max − 5) / 15; CO_max stays below C_max for the whole sweep).
+    let base = DustConfig::paper_defaults()
+        .with_engine(PathEngine::HopBoundedDp)
+        .with_thresholds(85.0, 20.0, 5.0);
+    let co_sweep: Vec<(f64, f64)> = [0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+        .iter()
+        .map(|d| (85.0, 5.0 + d * 15.0))
+        .collect();
+    let pts = io_rate_sweep(&ft.graph, &base, &co_sweep, &experiment_params(), seed, iterations);
+    let mut t = Table::new(&["C_max", "CO_max", "delta_io", "io rate (%)", "iterations"]);
+    for p in &pts {
+        t.row(&[
+            format!("{:.0}", p.c_max),
+            format!("{:.1}", p.co_max),
+            format!("{:.2}", p.delta_io),
+            format!("{:.1}", p.io_rate_percent),
+            p.iterations.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 7 — infeasible-optimization rate vs delta_io (4-k, {iterations} iterations)\n{}\n\
+         paper: io rate 69 % at delta 0.8 falling to 0.2 % at delta 3.5; recommend K_io >= 2.\n",
+        t.render()
+    )
+}
+
+/// Fig. 8 — ILP computation time vs max-hop on the 4-k fat-tree, with the
+/// paper-faithful exhaustive path enumeration.
+pub fn fig8(seed: u64, effort: Effort) -> String {
+    let iterations = match effort {
+        Effort::Quick => 20,
+        Effort::Full => 100, // the paper's count
+    };
+    let ft = FatTree::with_default_links(4);
+    let base = experiment_config().with_engine(PathEngine::Enumerate);
+    let mut t = Table::new(&["max-hop", "mean time (ms)", "normalized", "feasible/runs"]);
+    let mut first: Option<f64> = None;
+    let hops: Vec<Option<usize>> =
+        (1..=12).map(Some).chain(std::iter::once(None)).collect();
+    for h in hops {
+        let cfg = base.with_max_hop(h);
+        let mut times = Vec::new();
+        let mut feasible = 0;
+        for i in 0..iterations {
+            let nmdb = random_nmdb(&ft.graph, &cfg, &experiment_params(), seed + i as u64);
+            let (p, d) = timed(|| optimize(&nmdb, &cfg, SolverBackend::Transportation));
+            times.push(d);
+            if p.status == PlacementStatus::Optimal {
+                feasible += 1;
+            }
+        }
+        let mean = mean_secs(&times) * 1e3;
+        let norm = *first.get_or_insert(mean.max(1e-9));
+        t.row(&[
+            h.map_or("unlimited".into(), |x| x.to_string()),
+            format!("{mean:.3}"),
+            format!("{:.1}x", mean / norm),
+            format!("{feasible}/{iterations}"),
+        ]);
+    }
+    format!(
+        "Fig. 8 — ILP computation time vs max-hop (4-k, exhaustive path enumeration)\n{}\n\
+         paper: < 3.5 s unlimited; 0.5 s threshold => recommended max-hop 10.\n\
+         note: absolute times are far lower than the paper's Python+Gurobi; compare the growth shape.\n",
+        t.render()
+    )
+}
+
+/// Fig. 9 — heuristic-vs-ILP success split on the 4-k fat-tree.
+pub fn fig9(seed: u64, effort: Effort) -> String {
+    let iterations = match effort {
+        Effort::Quick => 200,
+        Effort::Full => 1000,
+    };
+    let ft = FatTree::with_default_links(4);
+    let cfg = experiment_config().with_engine(PathEngine::HopBoundedDp);
+    let mut tally = SuccessTally::default();
+    for nmdb in scenario_stream(&ft.graph, &cfg, &experiment_params(), seed, iterations) {
+        tally.record(classify_iteration(&nmdb, &cfg));
+    }
+    let (full, partial, none) = tally.percentages();
+    let mut t = Table::new(&["outcome", "share (%)", "count"]);
+    t.row(&["heuristic fully offloads".into(), format!("{full:.2}"), tally.full.to_string()]);
+    t.row(&["heuristic partial, ILP completes".into(), format!("{partial:.2}"), tally.partial.to_string()]);
+    t.row(&["heuristic none, ILP succeeds".into(), format!("{none:.2}"), tally.none.to_string()]);
+    format!(
+        "Fig. 9 — success split over {} comparable iterations (4-k; {} infeasible, {} trivial excluded)\n{}\n\
+         paper: 18.37 % full / 75.5 % partial / 6.13 % none.\n",
+        tally.comparable(),
+        tally.infeasible,
+        tally.trivial,
+        t.render()
+    )
+}
+
+/// Figs. 10a/10b — ILP computation time vs max-hop on 8-k and 16-k.
+pub fn fig10(seed: u64, effort: Effort) -> String {
+    let mut out = String::new();
+    let plans: &[(usize, Vec<usize>, usize)] = match effort {
+        // (k, hop sweep, iterations)
+        Effort::Quick => &[(8, vec![1, 2, 3, 4, 5, 6, 7], 3), (16, vec![1, 2, 3, 4], 2)],
+        Effort::Full => &[(8, vec![1, 2, 3, 4, 5, 6, 7], 5), (16, vec![1, 2, 3, 4, 5], 3)],
+    };
+    for (k, hops, iterations) in plans {
+        let ft = FatTree::with_default_links(*k);
+        let base = experiment_config().with_engine(PathEngine::Enumerate);
+        let mut t = Table::new(&["max-hop", "mean time (s)", "normalized"]);
+        let mut first: Option<f64> = None;
+        for &h in hops {
+            let cfg = base.with_max_hop(Some(h));
+            let mut times = Vec::new();
+            for i in 0..*iterations {
+                let nmdb = random_nmdb(&ft.graph, &cfg, &experiment_params(), seed + i as u64);
+                let (_, d) = timed(|| optimize(&nmdb, &cfg, SolverBackend::Transportation));
+                times.push(d);
+            }
+            let mean = mean_secs(&times);
+            let norm = *first.get_or_insert(mean.max(1e-12));
+            t.row(&[h.to_string(), format!("{mean:.4}"), format!("{:.1}x", mean / norm)]);
+        }
+        out.push_str(&format!(
+            "Fig. 10{} — ILP time vs max-hop ({k}-k fat-tree, {} nodes, exhaustive enumeration)\n{}\n",
+            if *k == 8 { 'a' } else { 'b' },
+            ft.node_count(),
+            t.render()
+        ));
+    }
+    out.push_str(
+        "paper: 300 s threshold => recommended max-hop 7 (8-k) and 4 (16-k);\n\
+         raising 16-k from hop 4 to 5 costs ~10x. Compare the per-hop growth factors.\n",
+    );
+    out
+}
+
+/// Figs. 11a/11b — HFR and mean ILP time vs network scale.
+pub fn fig11(seed: u64, effort: Effort) -> String {
+    // (k, heuristic iterations, ILP iterations, recommended max-hop)
+    let plans: &[(usize, usize, usize, Option<usize>)] = match effort {
+        Effort::Quick => &[(4, 100, 10, Some(10)), (8, 40, 5, Some(7)), (16, 15, 2, Some(4)), (64, 3, 0, None)],
+        Effort::Full => &[(4, 300, 20, Some(10)), (8, 100, 10, Some(7)), (16, 30, 3, Some(4)), (64, 5, 0, None)],
+    };
+    let mut t = Table::new(&[
+        "k", "nodes", "HFR (%)", "ILP mean (s)", "ILP max-hop", "heur iters", "ILP iters",
+    ]);
+    let mut hfr_points: Vec<(f64, f64)> = Vec::new();
+    for &(k, h_iters, ilp_iters, max_hop) in plans {
+        let ft = FatTree::with_default_links(k);
+        let cfg_h = experiment_config().with_engine(PathEngine::HopBoundedDp);
+        let mut hfr = 0.0;
+        for nmdb in scenario_stream(&ft.graph, &cfg_h, &experiment_params(), seed, h_iters) {
+            hfr += heuristic(&nmdb, &cfg_h).hfr_percent();
+        }
+        hfr /= h_iters as f64;
+        hfr_points.push((ft.node_count() as f64, hfr));
+
+        let ilp_mean = if ilp_iters > 0 {
+            let cfg_i = experiment_config().with_engine(PathEngine::Enumerate).with_max_hop(max_hop);
+            let mut times = Vec::new();
+            for i in 0..ilp_iters {
+                let nmdb = random_nmdb(&ft.graph, &cfg_i, &experiment_params(), seed + 1000 + i as u64);
+                let (_, d) = timed(|| optimize(&nmdb, &cfg_i, SolverBackend::Transportation));
+                times.push(d);
+            }
+            format!("{:.4}", mean_secs(&times))
+        } else {
+            "— (heuristic regime)".into()
+        };
+        t.row(&[
+            k.to_string(),
+            ft.node_count().to_string(),
+            format!("{hfr:.2}"),
+            ilp_mean,
+            max_hop.map_or("—".into(), |h| h.to_string()),
+            h_iters.to_string(),
+            ilp_iters.to_string(),
+        ]);
+    }
+    let fit = crate::stats::power_law_fit(&hfr_points)
+        .map(|(_, b)| format!("{b:.2}"))
+        .unwrap_or_else(|| "n/a".into());
+    format!(
+        "Fig. 11 — scalability: HFR of the heuristic (a) and mean ILP time (b) vs network size\n{}\n\
+         fitted HFR power-law exponent vs node count: {fit} (paper: ~ -0.5)\n\
+         paper: HFR falls 47.92 % -> 11.04 %; ILP time rises 0.2 s -> 153+ s.\n\
+         The ILP column stops at 320 nodes, as in the paper (beyond that, zone into <=80-node pods).\n",
+        t.render()
+    )
+}
+
+/// Fig. 12 — heuristic runtime vs network scale (up to 5120 nodes).
+pub fn fig12(seed: u64, effort: Effort) -> String {
+    let plans: &[(usize, usize)] = match effort {
+        Effort::Quick => &[(4, 20), (8, 10), (16, 5), (64, 2)],
+        Effort::Full => &[(4, 50), (8, 20), (16, 10), (64, 3)],
+    };
+    let cfg = experiment_config().with_engine(PathEngine::HopBoundedDp);
+    let mut t = Table::new(&["k", "nodes", "edges", "mean heuristic time (s)", "normalized"]);
+    let mut first: Option<f64> = None;
+    for &(k, iters) in plans {
+        let ft = FatTree::with_default_links(k);
+        let mut times = Vec::new();
+        for i in 0..iters {
+            let nmdb = random_nmdb(&ft.graph, &cfg, &experiment_params(), seed + i as u64);
+            let (_, d) = timed(|| heuristic(&nmdb, &cfg));
+            times.push(d);
+        }
+        let mean = mean_secs(&times);
+        let norm = *first.get_or_insert(mean.max(1e-12));
+        t.row(&[
+            k.to_string(),
+            ft.node_count().to_string(),
+            ft.edge_count().to_string(),
+            format!("{mean:.5}"),
+            format!("{:.0}x", mean / norm),
+        ]);
+    }
+    format!(
+        "Fig. 12 — heuristic runtime vs scale\n{}\n\
+         paper: 124 s at 5120 nodes (Python); ours is faster in absolute terms —\n\
+         compare the growth across scales, which tracks |V|+|E| as in the paper.\n",
+        t.render()
+    )
+}
+
+/// Extension experiment — zoned placement (the paper's §V-B scaling
+/// recommendation, implemented): global ILP vs per-pod zoned ILP (with and
+/// without the cross-zone residual sweep) vs the one-hop heuristic.
+pub fn zoned(seed: u64, effort: Effort) -> String {
+    use dust::core::{optimize_zoned, zone_fat_tree};
+    let plans: &[(usize, usize)] = match effort {
+        Effort::Quick => &[(8, 5), (16, 3)],
+        Effort::Full => &[(8, 15), (16, 8)],
+    };
+    let cfg = experiment_config().with_engine(PathEngine::HopBoundedDp);
+    let mut t = Table::new(&[
+        "k", "method", "mean time (s)", "latency bound (s)", "unplaced (% of Cs)", "beta vs global",
+    ]);
+    for &(k, iters) in plans {
+        let ft = FatTree::with_default_links(k);
+        let zoning = zone_fat_tree(&ft);
+        let mut acc: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+            ("global ILP".into(), vec![], vec![], vec![], vec![]),
+            ("zoned ILP".into(), vec![], vec![], vec![], vec![]),
+            ("zoned + sweep".into(), vec![], vec![], vec![], vec![]),
+            ("heuristic (1-hop)".into(), vec![], vec![], vec![], vec![]),
+        ];
+        for i in 0..iters {
+            let nmdb = random_nmdb(&ft.graph, &cfg, &experiment_params(), seed + i as u64);
+            let total_cs = nmdb.total_cs(&cfg);
+            if total_cs <= 0.0 {
+                continue;
+            }
+            let (g, dg) = timed(|| optimize(&nmdb, &cfg, SolverBackend::Transportation));
+            let g_ok = g.status == PlacementStatus::Optimal;
+            let g_beta = if g_ok { g.beta } else { f64::NAN };
+            acc[0].1.push(dg.as_secs_f64());
+            acc[0].2.push(dg.as_secs_f64());
+            acc[0].3.push(if g_ok { 0.0 } else { 100.0 });
+            acc[0].4.push(1.0);
+
+            for (idx, sweep) in [(1usize, false), (2, true)] {
+                let (z, _) = timed(|| {
+                    optimize_zoned(&nmdb, &cfg, &zoning, SolverBackend::Transportation, sweep)
+                });
+                acc[idx].1.push(z.total_time.as_secs_f64());
+                acc[idx].2.push(z.max_zone_time.as_secs_f64());
+                acc[idx].3.push(z.residual_rate_percent(total_cs));
+                if g_ok && z.final_residual.is_empty() && g_beta > 0.0 {
+                    acc[idx].4.push(z.beta / g_beta);
+                }
+            }
+            let (h, dh) = timed(|| heuristic(&nmdb, &cfg));
+            acc[3].1.push(dh.as_secs_f64());
+            acc[3].2.push(dh.as_secs_f64());
+            acc[3].3.push(h.hfr_percent());
+            if g_ok && h.fully_offloaded() && g_beta > 0.0 {
+                acc[3].4.push(h.beta / g_beta);
+            }
+        }
+        for (name, times, lat, unplaced, ratio) in &acc {
+            let mean = |v: &Vec<f64>| {
+                if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            };
+            t.row(&[
+                k.to_string(),
+                name.clone(),
+                format!("{:.4}", mean(times)),
+                format!("{:.4}", mean(lat)),
+                format!("{:.1}", mean(unplaced).max(0.0)),
+                if ratio.is_empty() { "n/a".into() } else { format!("{:.3}x", mean(ratio)) },
+            ]);
+        }
+    }
+    format!(
+        "Extension — zoned placement (paper recommendation: zones of <= 80 nodes)\n{}\n\
+         'latency bound' = slowest single zone solve (zones parallelize on the Manager);\n\
+         'beta vs global' = optimality gap when everything placed (1.0x = matches global optimum).\n",
+        t.render()
+    )
+}
+
+/// Extension experiment — fleet scale-out: every edge switch of a fat-tree
+/// runs the ten-agent deployment and DUST drains them simultaneously.
+pub fn fleet(seed: u64, effort: Effort) -> String {
+    let plans: &[(usize, u64)] = match effort {
+        Effort::Quick => &[(4, 90_000), (8, 90_000)],
+        Effort::Full => &[(4, 180_000), (8, 180_000), (16, 120_000)],
+    };
+    let mut t = Table::new(&[
+        "k", "monitored", "transfers", "early mean CPU (%)", "settled mean CPU (%)", "still busy",
+    ]);
+    for &(k, duration) in plans {
+        let r = dust::sim::scenarios::fleet(k, duration, seed);
+        t.row(&[
+            k.to_string(),
+            r.monitored.to_string(),
+            r.transfers.to_string(),
+            format!("{:.1}", r.early_mean_cpu),
+            format!("{:.1}", r.late_mean_cpu),
+            r.still_busy.to_string(),
+        ]);
+    }
+    format!(
+        "Extension — fleet offload at scale (all edge switches monitored)
+{}
+         the abstract's 'savings in computing at scale': settled CPU sits well below the
+         pre-offload mean across the whole monitored fleet.
+",
+        t.render()
+    )
+}
+
+/// Extension experiment — QoS under congestion (§III-C): offloaded
+/// telemetry is squeezed out as the fabric saturates, data plane first.
+pub fn congestion(seed: u64, effort: Effort) -> String {
+    let duration = match effort {
+        Effort::Quick => 120_000,
+        Effort::Full => 300_000,
+    };
+    let r = dust::sim::scenarios::congestion(duration, seed);
+    let mut t = Table::new(&["phase", "telemetry dropped (fraction)", "admitted (Mbps)"]);
+    t.row(&["20 % load".into(), format!("{:.3}", r.dropped_before), "—".into()]);
+    t.row(&[
+        "99.9 % squeeze".into(),
+        format!("{:.3}", r.dropped_during_congestion),
+        format!("{:.1}", r.admitted_during),
+    ]);
+    format!(
+        "Extension — QoS guarantee under congestion (offloaded telemetry is lowest class)
+{}
+         §III-C: monitoring data 'can be safely discarded in the event of network congestion';
+         the data plane is never displaced by telemetry (see dust-proto::qos).
+",
+        t.render()
+    )
+}
+
+/// Run every figure in order.
+pub fn all(seed: u64, effort: Effort) -> String {
+    [
+        fig1(seed, effort),
+        fig6(seed, effort),
+        fig7(seed, effort),
+        fig8(seed, effort),
+        fig9(seed, effort),
+        fig10(seed, effort),
+        fig11(seed, effort),
+        fig12(seed, effort),
+        zoned(seed, effort),
+        fleet(seed, effort),
+        congestion(seed, effort),
+    ]
+    .join("\n")
+}

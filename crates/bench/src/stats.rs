@@ -1,0 +1,142 @@
+//! Small statistics helpers for the experiment harness: percentiles,
+//! log-log least-squares (power-law) fits — used to check the paper's
+//! quantitative shape claims (e.g. Fig. 11a's "negative power function of
+//! ~(−0.5)" for HFR vs scale).
+
+/// Least-squares fit of `y = a·x^b` via regression on `ln y = ln a + b·ln x`.
+///
+/// Returns `(a, b)`. Points with non-positive coordinates are skipped
+/// (they have no logarithm); `None` when fewer than two usable points
+/// remain or the x-values are all equal.
+pub fn power_law_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let ln_a = (sy - b * sx) / n;
+    Some((ln_a.exp(), b))
+}
+
+/// Coefficient of determination (R²) of a power-law fit on the log-log
+/// points. `None` under the same conditions as [`power_law_fit`].
+pub fn power_law_r2(points: &[(f64, f64)]) -> Option<f64> {
+    let (a, b) = power_law_fit(points)?;
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / logs.len() as f64;
+    let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|(x, y)| {
+            let pred = a.ln() + b * x;
+            (y - pred).powi(2)
+        })
+        .sum();
+    if ss_tot < 1e-15 {
+        return Some(1.0);
+    }
+    Some(1.0 - ss_res / ss_tot)
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of an unsorted slice.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Sample geometric mean of positive values (useful for averaging
+/// normalized timing ratios). Non-positive values are skipped.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        // y = 3 x^-0.5
+        let pts: Vec<(f64, f64)> =
+            [1.0f64, 4.0, 16.0, 64.0].iter().map(|&x| (x, 3.0 * x.powf(-0.5))).collect();
+        let (a, b) = power_law_fit(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b + 0.5).abs() < 1e-9);
+        assert!((power_law_r2(&pts).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        let pts = [(10.0, 9.5), (100.0, 3.1), (1000.0, 1.05), (10000.0, 0.29)];
+        let (_, b) = power_law_fit(&pts).unwrap();
+        assert!((b + 0.5).abs() < 0.05, "exponent {b}");
+        assert!(power_law_r2(&pts).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(power_law_fit(&[]).is_none());
+        assert!(power_law_fit(&[(1.0, 2.0)]).is_none());
+        assert!(power_law_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // same x
+        assert!(power_law_fit(&[(0.0, 2.0), (-1.0, 3.0)]).is_none()); // no logs
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0, -1.0]).unwrap() - 4.0).abs() < 1e-12); // skips <= 0
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[-1.0]).is_none());
+    }
+}

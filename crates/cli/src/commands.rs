@@ -1,0 +1,325 @@
+//! `dustctl` subcommand implementations, testable independently of the
+//! process entry point: each takes a parsed [`Nmdb`] plus options and
+//! returns the text to print.
+
+use dust::core::{optimize_zoned, zone_by_bfs};
+use dust::prelude::*;
+
+/// Threshold/routing options shared by all commands.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Busy threshold `C_max`.
+    pub c_max: f64,
+    /// Candidate threshold `CO_max`.
+    pub co_max: f64,
+    /// Minimum utilization `x_min`.
+    pub x_min: f64,
+    /// Hop bound for controllable routes.
+    pub max_hop: Option<usize>,
+    /// Use the paper-faithful path enumeration instead of the fast DP.
+    pub enumerate_paths: bool,
+    /// Use the general simplex instead of the transportation solver.
+    pub simplex: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let d = DustConfig::paper_defaults();
+        Options {
+            c_max: d.c_max,
+            co_max: d.co_max,
+            x_min: d.x_min,
+            max_hop: None,
+            enumerate_paths: false,
+            simplex: false,
+        }
+    }
+}
+
+impl Options {
+    /// Materialize the [`DustConfig`], validating thresholds.
+    pub fn config(&self) -> Result<DustConfig, String> {
+        let cfg = DustConfig::paper_defaults()
+            .with_thresholds(self.c_max, self.co_max, self.x_min)
+            .with_max_hop(self.max_hop)
+            .with_engine(if self.enumerate_paths {
+                PathEngine::Enumerate
+            } else {
+                PathEngine::HopBoundedDp
+            });
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn backend(&self) -> SolverBackend {
+        if self.simplex {
+            SolverBackend::Simplex
+        } else {
+            SolverBackend::Transportation
+        }
+    }
+}
+
+fn route_string(a: &Assignment) -> String {
+    match &a.route {
+        Some(r) => r.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join("→"),
+        None => "?".into(),
+    }
+}
+
+/// `dustctl roles`: classify every node.
+pub fn roles(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
+    let cfg = opts.config()?;
+    let mut out = format!(
+        "thresholds: C_max {} / CO_max {} / x_min {} (delta_io {:.2})\n",
+        cfg.c_max,
+        cfg.co_max,
+        cfg.x_min,
+        cfg.delta_io()
+    );
+    for n in nmdb.graph.nodes() {
+        let s = nmdb.state(n);
+        let role = nmdb.role(n, &cfg);
+        let extra = match role {
+            Role::Busy => format!("  Cs = {:.1}", nmdb.cs(n, &cfg)),
+            Role::OffloadCandidate => format!("  Cd = {:.1}", nmdb.cd(n, &cfg)),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "node {:>4}  util {:6.1}%  D {:8.1} Mb  {:?}{}\n",
+            n.0, s.utilization, s.data_mb, role, extra
+        ));
+    }
+    out.push_str(&format!(
+        "totals: Cs = {:.1}, Cd = {:.1}{}\n",
+        nmdb.total_cs(&cfg),
+        nmdb.total_cd(&cfg),
+        if nmdb.total_cs(&cfg) > nmdb.total_cd(&cfg) { "  (capacity precheck FAILS)" } else { "" }
+    ));
+    Ok(out)
+}
+
+/// `dustctl optimize`: the exact placement, with routes.
+pub fn cmd_optimize(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
+    let cfg = opts.config()?;
+    let p = optimize(nmdb, &cfg, opts.backend());
+    let mut out = format!("status: {:?}\n", p.status);
+    match p.status {
+        PlacementStatus::Optimal => {
+            out.push_str(&format!(
+                "beta = {:.6} s·%, total offloaded = {:.1}%, mean hops = {}\n",
+                p.beta,
+                p.total_offloaded(),
+                p.mean_hops().map_or("n/a".into(), |h| format!("{h:.2}")),
+            ));
+            for a in &p.assignments {
+                out.push_str(&format!(
+                    "  move {:6.2}% from {} to {}  (T_rmin {:.6}s, route {})\n",
+                    a.amount,
+                    a.from.0,
+                    a.to.0,
+                    a.t_rmin,
+                    route_string(a)
+                ));
+            }
+            // capacity worth buying: most negative shadow prices first
+            let mut prices = p.shadow_prices.clone();
+            prices.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let binding: Vec<String> = prices
+                .iter()
+                .take_while(|(_, v)| *v < -1e-12)
+                .take(3)
+                .map(|(n, v)| format!("node {} ({:+.5})", n.0, v))
+                .collect();
+            if !binding.is_empty() {
+                out.push_str(&format!(
+                    "  capacity worth upgrading (shadow prices): {}\n",
+                    binding.join(", ")
+                ));
+            }
+        }
+        PlacementStatus::Infeasible => {
+            out.push_str("no feasible placement: raise CO_max / max-hop, or add capacity\n");
+        }
+        PlacementStatus::NoBusyNodes => {
+            out.push_str("no node exceeds C_max; nothing to offload\n");
+        }
+    }
+    Ok(out)
+}
+
+/// `dustctl heuristic`: Algorithm 1 (optionally with extended reach).
+pub fn cmd_heuristic(nmdb: &Nmdb, opts: &Options, hops: usize) -> Result<String, String> {
+    let cfg = opts.config()?;
+    if hops == 0 {
+        return Err("--hops must be at least 1".into());
+    }
+    let h = heuristic_with_hops(nmdb, &cfg, hops);
+    let mut out = format!(
+        "placed {:.1} of {:.1} capacity-% within {} hop(s); HFR = {:.2}%\n",
+        h.total_cs - h.total_cse,
+        h.total_cs,
+        hops,
+        h.hfr_percent()
+    );
+    for a in &h.assignments {
+        out.push_str(&format!(
+            "  move {:6.2}% from {} to {}  (Tr {:.6}s, route {})\n",
+            a.amount,
+            a.from.0,
+            a.to.0,
+            a.t_rmin,
+            route_string(a)
+        ));
+    }
+    for (n, r) in &h.residual {
+        out.push_str(&format!("  UNPLACED {:.2}% on node {}\n", r, n.0));
+    }
+    Ok(out)
+}
+
+/// `dustctl zoned`: per-zone placement with optional cross-zone sweep.
+pub fn cmd_zoned(
+    nmdb: &Nmdb,
+    opts: &Options,
+    zone_size: usize,
+    sweep: bool,
+) -> Result<String, String> {
+    let cfg = opts.config()?;
+    if zone_size == 0 {
+        return Err("--zone-size must be at least 1".into());
+    }
+    let zoning = zone_by_bfs(&nmdb.graph, zone_size);
+    let z = optimize_zoned(nmdb, &cfg, &zoning, opts.backend(), sweep);
+    let total_cs = nmdb.total_cs(&cfg);
+    let mut out = format!(
+        "{} zones (max size {}), {} active; beta = {:.6}; unplaced = {:.1}% of Cs\n\
+         latency bound (slowest zone) = {:.2?}, sequential total = {:.2?}\n",
+        zoning.zone_count(),
+        zoning.max_zone_size(),
+        z.active_zones,
+        z.beta,
+        z.residual_rate_percent(total_cs),
+        z.max_zone_time,
+        z.total_time,
+    );
+    for a in &z.assignments {
+        out.push_str(&format!(
+            "  move {:6.2}% from {} to {}  (zone {} → {})\n",
+            a.amount,
+            a.from.0,
+            a.to.0,
+            zoning.zone_of[a.from.index()],
+            zoning.zone_of[a.to.index()],
+        ));
+    }
+    for (n, r) in &z.final_residual {
+        out.push_str(&format!("  UNPLACED {:.2}% on node {}\n", r, n.0));
+    }
+    Ok(out)
+}
+
+/// `dustctl dot`: render the network (roles colored, busy nodes red,
+/// candidates green) and the optimizer's chosen routes as Graphviz.
+pub fn cmd_dot(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
+    use dust::topology::{placement_to_dot, NodeStyle};
+    let cfg = opts.config()?;
+    let styles: Vec<NodeStyle> = nmdb
+        .graph
+        .nodes()
+        .map(|n| {
+            let s = nmdb.state(n);
+            let fill = match nmdb.role(n, &cfg) {
+                Role::Busy => Some("tomato".to_string()),
+                Role::OffloadCandidate => Some("palegreen".to_string()),
+                Role::Neutral => Some("lightyellow".to_string()),
+                Role::NonOffloading => Some("lightgray".to_string()),
+            };
+            NodeStyle { label: Some(format!("{:.0}%", s.utilization)), fill }
+        })
+        .collect();
+    let p = optimize(nmdb, &cfg, opts.backend());
+    let routes: Vec<_> = p.assignments.iter().filter_map(|a| a.route.clone()).collect();
+    Ok(placement_to_dot(&nmdb.graph, "dust", &styles, &routes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{example_file, parse_nmdb};
+
+    fn fig4() -> Nmdb {
+        parse_nmdb(&example_file()).unwrap()
+    }
+
+    #[test]
+    fn roles_lists_everything() {
+        let out = roles(&fig4(), &Options::default()).unwrap();
+        assert!(out.contains("Busy"));
+        assert!(out.contains("OffloadCandidate"));
+        assert!(out.contains("Cs = 12.0"));
+        assert!(out.contains("totals:"));
+    }
+
+    #[test]
+    fn optimize_prints_route() {
+        let out = cmd_optimize(&fig4(), &Options::default()).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("move  12.00% from 0"), "{out}");
+        assert!(out.contains("route 0→2→"), "{out}");
+    }
+
+    #[test]
+    fn heuristic_reports_failure_on_fig4() {
+        // S1's only neighbor is the relay S3 (65 %) — one hop finds nothing
+        let out = cmd_heuristic(&fig4(), &Options::default(), 1).unwrap();
+        assert!(out.contains("HFR = 100.00%"), "{out}");
+        assert!(out.contains("UNPLACED"), "{out}");
+        // two hops reach S2/S6
+        let out2 = cmd_heuristic(&fig4(), &Options::default(), 2).unwrap();
+        assert!(out2.contains("HFR = 0.00%"), "{out2}");
+    }
+
+    #[test]
+    fn zoned_single_zone_matches_optimize() {
+        // S7 has no links, so BFS zoning yields the main zone plus S7 alone
+        let out = cmd_zoned(&fig4(), &Options::default(), 100, false).unwrap();
+        assert!(out.contains("2 zones"), "{out}");
+        assert!(out.contains("unplaced = 0.0%"), "{out}");
+    }
+
+    #[test]
+    fn zoned_small_zones_need_sweep() {
+        // zones of 2: S1's zone likely has no candidate → sweep rescues
+        let no_sweep = cmd_zoned(&fig4(), &Options::default(), 2, false).unwrap();
+        let sweep = cmd_zoned(&fig4(), &Options::default(), 2, true).unwrap();
+        assert!(sweep.contains("unplaced = 0.0%"), "{sweep}");
+        let _ = no_sweep;
+    }
+
+    #[test]
+    fn dot_renders_roles_and_routes() {
+        let out = cmd_dot(&fig4(), &Options::default()).unwrap();
+        assert!(out.starts_with("graph dust {"), "{out}");
+        assert!(out.contains("tomato"), "busy node colored");
+        assert!(out.contains("palegreen"), "candidates colored");
+        assert!(out.contains("color=red"), "route overlay present");
+    }
+
+    #[test]
+    fn invalid_options_surface_errors() {
+        let mut o = Options::default();
+        o.co_max = 95.0; // above c_max
+        assert!(roles(&fig4(), &o).is_err());
+        assert!(cmd_heuristic(&fig4(), &Options::default(), 0).is_err());
+        assert!(cmd_zoned(&fig4(), &Options::default(), 0, false).is_err());
+    }
+
+    #[test]
+    fn simplex_and_enumerate_flags_work() {
+        let o = Options { simplex: true, enumerate_paths: true, ..Default::default() };
+        let out = cmd_optimize(&fig4(), &o).unwrap();
+        assert!(out.contains("status: Optimal"));
+    }
+}
+

@@ -1,0 +1,7 @@
+//! `dustctl` internals: the network-state file format and the subcommand
+//! implementations, exposed as a library so they are unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod format;

@@ -1,0 +1,94 @@
+//! `dustctl` — run DUST placement decisions from a network-state file.
+//!
+//! ```sh
+//! dustctl example > net.dust
+//! dustctl roles net.dust
+//! dustctl optimize net.dust --max-hop 6
+//! dustctl heuristic net.dust --hops 2
+//! dustctl zoned net.dust --zone-size 80 --sweep
+//! ```
+
+use dust_cli::commands::{cmd_dot, cmd_heuristic, cmd_optimize, cmd_zoned, roles, Options};
+use dust_cli::format::{example_file, parse_nmdb};
+
+const USAGE: &str = "usage: dustctl <command> [file] [options]
+
+commands:
+  example                      print a sample network-state file
+  roles     <file>             classify nodes (Busy / candidate / neutral)
+  optimize  <file>             exact min-cost placement with routes
+  heuristic <file> [--hops N]  Algorithm 1 (default one-hop reach)
+  zoned     <file> --zone-size N [--sweep]
+                               per-zone placement, optional cross-zone sweep
+  dot       <file>             Graphviz view: roles colored + chosen routes
+
+options (all commands taking a file):
+  --c-max X     Busy threshold (default 80)
+  --co-max X    candidate threshold (default 50)
+  --x-min X     minimum utilization (default 5)
+  --max-hop N   hop bound on routes (default unlimited)
+  --enumerate   paper-faithful exhaustive path enumeration
+  --simplex     use the general simplex instead of the transportation solver";
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("dustctl: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { fail("missing command") };
+    if cmd == "example" {
+        print!("{}", example_file());
+        return;
+    }
+    if cmd == "-h" || cmd == "--help" {
+        println!("{USAGE}");
+        return;
+    }
+    let Some(path) = args.get(1).cloned() else { fail(format!("{cmd}: missing <file>")) };
+
+    let mut opts = Options::default();
+    let mut hops = 1usize;
+    let mut zone_size: Option<usize> = None;
+    let mut sweep = false;
+    let mut it = args.iter().skip(2);
+    let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
+        let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
+        v.parse().unwrap_or_else(|_| fail(format!("{flag}: invalid number {v:?}")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--c-max" => opts.c_max = numeric(&mut it, "--c-max"),
+            "--co-max" => opts.co_max = numeric(&mut it, "--co-max"),
+            "--x-min" => opts.x_min = numeric(&mut it, "--x-min"),
+            "--max-hop" => opts.max_hop = Some(numeric(&mut it, "--max-hop") as usize),
+            "--enumerate" => opts.enumerate_paths = true,
+            "--simplex" => opts.simplex = true,
+            "--hops" => hops = numeric(&mut it, "--hops") as usize,
+            "--zone-size" => zone_size = Some(numeric(&mut it, "--zone-size") as usize),
+            "--sweep" => sweep = true,
+            other => fail(format!("unknown option {other:?}")),
+        }
+    }
+
+    let input = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(format!("cannot read {path:?}: {e}")));
+    let nmdb = parse_nmdb(&input).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+
+    let result = match cmd.as_str() {
+        "roles" => roles(&nmdb, &opts),
+        "optimize" => cmd_optimize(&nmdb, &opts),
+        "heuristic" => cmd_heuristic(&nmdb, &opts, hops),
+        "zoned" => {
+            let size = zone_size.unwrap_or_else(|| fail("zoned requires --zone-size N"));
+            cmd_zoned(&nmdb, &opts, size, sweep)
+        }
+        "dot" => cmd_dot(&nmdb, &opts),
+        other => fail(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => fail(e),
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the dustctl network-state format: render → parse is
+//! the identity, and the parser never panics on arbitrary input.
+
+use dust::prelude::*;
+use dust_cli::format::{parse_nmdb, render_nmdb};
+use proptest::prelude::*;
+
+fn arb_nmdb() -> impl Strategy<Value = Nmdb> {
+    (2usize..10, proptest::collection::vec((0usize..10, 0usize..10, 1u32..100_000, 0u32..=100), 0..16))
+        .prop_flat_map(|(n, raw_edges)| {
+            proptest::collection::vec(
+                (0.0f64..=100.0, 0.0f64..5_000.0, any::<bool>()),
+                n..=n,
+            )
+            .prop_map(move |states| {
+                let mut g = Graph::with_nodes(states.len());
+                for (a, b, cap, util) in &raw_edges {
+                    let (a, b) = (a % states.len(), b % states.len());
+                    if a != b {
+                        g.add_edge(
+                            NodeId(a as u32),
+                            NodeId(b as u32),
+                            Link::new(f64::from(*cap), f64::from(*util) / 100.0),
+                        );
+                    }
+                }
+                let states = states
+                    .into_iter()
+                    .map(|(u, d, cap)| {
+                        let s = NodeState::new(u, d);
+                        if cap {
+                            s
+                        } else {
+                            s.non_offloading()
+                        }
+                    })
+                    .collect();
+                Nmdb::new(g, states)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// render → parse round-trips node states and edges exactly.
+    #[test]
+    fn roundtrip(nmdb in arb_nmdb()) {
+        let text = render_nmdb(&nmdb);
+        let back = parse_nmdb(&text).expect("rendered file must parse");
+        prop_assert_eq!(back.graph.node_count(), nmdb.graph.node_count());
+        prop_assert_eq!(back.graph.edge_count(), nmdb.graph.edge_count());
+        for (a, b) in back.states.iter().zip(&nmdb.states) {
+            prop_assert!((a.utilization - b.utilization).abs() < 1e-12);
+            prop_assert!((a.data_mb - b.data_mb).abs() < 1e-12);
+            prop_assert_eq!(a.offload_capable, b.offload_capable);
+        }
+        for (x, y) in back.graph.edges().iter().zip(nmdb.graph.edges()) {
+            prop_assert_eq!((x.a, x.b), (y.a, y.b));
+            prop_assert!((x.link.capacity_mbps - y.link.capacity_mbps).abs() < 1e-9);
+            prop_assert!((x.link.utilization - y.link.utilization).abs() < 1e-12);
+        }
+    }
+
+    /// The parser is total: garbage lines yield errors, never panics.
+    #[test]
+    fn parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = parse_nmdb(&text);
+    }
+}

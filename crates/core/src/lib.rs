@@ -1,0 +1,61 @@
+//! DUST placement engine — the paper's primary contribution (§IV).
+//!
+//! Implements the network-monitoring placement problem end to end:
+//!
+//! * [`config`] — user-defined thresholds `C_max`, `CO_max`, `x_min`, hop
+//!   bounds, and the `Δ_io` feasibility parameter (Eq. 5);
+//! * [`state`] — per-node state, role classification (Busy /
+//!   Offload-candidate / Neutral / None-offloading, §III-B), and the NMDB
+//!   snapshot with `Cs`/`Cd` aggregates (Eq. 3c/3d);
+//! * [`optimizer`] — the min-cost "ILP" of Eq. 3 solved exactly over
+//!   controllable routes, with route extraction;
+//! * [`heuristic`](mod@heuristic) — Algorithm 1 (one-hop candidates) plus HFR (Eq. 4) and
+//!   a generalized h-hop variant;
+//! * [`feasibility`] — `Δ_io` sweeps and the infeasible-optimization rate
+//!   estimator behind Fig. 7;
+//! * [`success`] — the heuristic-vs-optimization outcome split of Fig. 9;
+//! * [`scenario`] — seeded random network states for all Monte-Carlo
+//!   experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use dust_core::{DustConfig, NodeState, Nmdb, optimize, SolverBackend, PlacementStatus};
+//! use dust_topology::{topologies, Link};
+//!
+//! // 0 (busy) — 1 (neutral) — 2 (candidate)
+//! let g = topologies::line(3, Link::default());
+//! let nmdb = Nmdb::new(g, vec![
+//!     NodeState::new(92.0, 150.0),
+//!     NodeState::new(60.0, 10.0),
+//!     NodeState::new(25.0, 10.0),
+//! ]);
+//! let cfg = DustConfig::paper_defaults();
+//! let placement = optimize(&nmdb, &cfg, SolverBackend::Transportation);
+//! assert_eq!(placement.status, PlacementStatus::Optimal);
+//! assert!((placement.total_offloaded() - 12.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diff;
+pub mod feasibility;
+pub mod heuristic;
+pub mod integral;
+pub mod optimizer;
+pub mod scenario;
+pub mod state;
+pub mod success;
+pub mod zoning;
+
+pub use config::DustConfig;
+pub use diff::{apply_actions, placement_diff, TransferAction};
+pub use feasibility::{capacity_precheck, estimate_io_rate, io_rate_sweep, IoRatePoint};
+pub use heuristic::{heuristic, heuristic_with_hops, HeuristicOutcome};
+pub use integral::{optimize_integral, IntegralPlacement, UnitAssignment, WorkUnit};
+pub use optimizer::{optimize, Assignment, Placement, PlacementStatus, SolverBackend};
+pub use scenario::{random_nmdb, scenario_stream, ScenarioParams};
+pub use state::{classify, NodeState, Nmdb, Role};
+pub use success::{classify_iteration, SuccessClass, SuccessTally};
+pub use zoning::{optimize_zoned, zone_by_bfs, zone_fat_tree, ZonedPlacement, Zoning};

@@ -1,0 +1,436 @@
+//! The DUST optimization engine: the min-cost placement of Eq. 3.
+//!
+//! Given an NMDB snapshot and thresholds, the engine
+//!
+//! 1. classifies Busy nodes `V_b` and Offload-candidates `V_o`,
+//! 2. builds the `T_rmin` matrix over all controllable routes within the
+//!    hop bound (Eq. 1–2),
+//! 3. solves `min β = Σ x_ij · T_rmin(i,j)` subject to capacity (3a) and
+//!    full-offload equality (3b) constraints, and
+//! 4. extracts the chosen routes so the Manager can program them.
+//!
+//! Two interchangeable LP backends are offered (ablation 2 in DESIGN.md):
+//! the specialized transportation solver and the general two-phase simplex.
+
+use crate::config::DustConfig;
+use crate::state::Nmdb;
+use dust_lp::{Cmp, Problem, TransportProblem, TransportStatus};
+use dust_topology::{min_inv_lu_dp_path, min_inv_lu_enumerated, CostMatrix, NodeId, Path, PathEngine};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Which LP machinery solves the placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverBackend {
+    /// Vogel + MODI transportation solver (fast, structure-aware).
+    #[default]
+    Transportation,
+    /// General two-phase simplex over the explicit LP.
+    Simplex,
+}
+
+/// One accepted offload decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Busy node shedding load.
+    pub from: NodeId,
+    /// Offload-destination node absorbing it.
+    pub to: NodeId,
+    /// Capacity-percent moved (`x_ij`).
+    pub amount: f64,
+    /// Minimum response time for this pair (seconds).
+    pub t_rmin: f64,
+    /// The controllable route realizing `t_rmin`.
+    pub route: Option<Path>,
+}
+
+/// Outcome of a placement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStatus {
+    /// Every Busy node's excess was placed at minimum cost.
+    Optimal,
+    /// Constraint 3a/3b cannot all hold — the "Infeasible Optimization"
+    /// outcome counted by Fig. 7.
+    Infeasible,
+    /// No node exceeded `C_max`; nothing to do.
+    NoBusyNodes,
+}
+
+/// Result of running the optimization engine once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    /// Outcome.
+    pub status: PlacementStatus,
+    /// Offload decisions (empty unless optimal).
+    pub assignments: Vec<Assignment>,
+    /// Objective `β = Σ x_ij · T_rmin(i,j)` in second-percent units.
+    pub beta: f64,
+    /// The Busy set this round.
+    pub busy: Vec<NodeId>,
+    /// The Offload-candidate set this round.
+    pub candidates: Vec<NodeId>,
+    /// Wall time spent building the `T_rmin` matrix (dominates with the
+    /// enumeration engine — this is what Figs. 8/10 measure growing).
+    pub cost_time: Duration,
+    /// Wall time spent in the LP solve proper.
+    pub solve_time: Duration,
+    /// Shadow price per Offload-candidate (transportation backend only):
+    /// the marginal β saved by one more unit of spare capacity at that
+    /// node — the most negative entries are the candidates most worth
+    /// upgrading. Empty for the simplex backend or non-optimal outcomes.
+    pub shadow_prices: Vec<(NodeId, f64)>,
+}
+
+impl Placement {
+    /// Total optimization time: routing + LP.
+    pub fn total_time(&self) -> Duration {
+        self.cost_time + self.solve_time
+    }
+
+    /// Total capacity-percent moved.
+    pub fn total_offloaded(&self) -> f64 {
+        self.assignments.iter().map(|a| a.amount).sum()
+    }
+
+    /// Mean hop count over chosen routes (the paper's "number of hops
+    /// required to reach the destination" metric), `None` when no
+    /// assignment carries a route.
+    pub fn mean_hops(&self) -> Option<f64> {
+        let hops: Vec<usize> =
+            self.assignments.iter().filter_map(|a| a.route.as_ref().map(Path::hops)).collect();
+        if hops.is_empty() {
+            None
+        } else {
+            Some(hops.iter().sum::<usize>() as f64 / hops.len() as f64)
+        }
+    }
+}
+
+/// Run the optimization engine on a snapshot.
+///
+/// This is the paper's "ILP" (continuous `x_ij`, Eq. 3) solved exactly.
+/// Routes for chosen assignments are reconstructed with the same engine
+/// that produced the costs.
+pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placement {
+    cfg.validate().expect("invalid DustConfig");
+    let busy = nmdb.busy_nodes(cfg);
+    let candidates = nmdb.candidate_nodes(cfg);
+    if busy.is_empty() {
+        return Placement {
+            status: PlacementStatus::NoBusyNodes,
+            assignments: Vec::new(),
+            beta: 0.0,
+            busy,
+            candidates,
+            cost_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            shadow_prices: Vec::new(),
+        };
+    }
+
+    // ---- T_rmin matrix over controllable routes ---------------------------
+    let t0 = Instant::now();
+    let data: Vec<f64> = busy.iter().map(|&b| nmdb.state(b).data_mb).collect();
+    let costs = CostMatrix::build(&nmdb.graph, &busy, &candidates, &data, cfg.max_hop, cfg.path_engine);
+    let cost_time = t0.elapsed();
+
+    let supply: Vec<f64> = busy.iter().map(|&b| nmdb.cs(b, cfg)).collect();
+    let capacity: Vec<f64> = candidates.iter().map(|&c| nmdb.cd(c, cfg)).collect();
+
+    // ---- LP solve ----------------------------------------------------------
+    let t1 = Instant::now();
+    let mut shadow_prices: Vec<(NodeId, f64)> = Vec::new();
+    let flows: Option<(Vec<f64>, f64)> = match backend {
+        SolverBackend::Transportation => {
+            let tp = TransportProblem::new(supply.clone(), capacity.clone(), costs.t_rmin.clone());
+            let sol = tp.solve();
+            if sol.status == TransportStatus::Optimal {
+                shadow_prices = candidates
+                    .iter()
+                    .copied()
+                    .zip(sol.col_potentials.iter().copied())
+                    .collect();
+            }
+            (sol.status == TransportStatus::Optimal).then(|| (sol.flow, sol.objective))
+        }
+        SolverBackend::Simplex => {
+            let n = candidates.len();
+            let mut p = Problem::new();
+            let mut vars = Vec::with_capacity(busy.len() * n);
+            for r in 0..busy.len() {
+                for c in 0..n {
+                    let t = costs.at(r, c);
+                    // Unreachable pairs are simply not modeled (equivalent
+                    // to a forbidden cell).
+                    vars.push(t.is_finite().then(|| p.add_nonneg(t)));
+                }
+            }
+            for (r, &s) in supply.iter().enumerate() {
+                let terms: Vec<_> =
+                    (0..n).filter_map(|c| vars[r * n + c].map(|v| (v, 1.0))).collect();
+                p.add_constraint(&terms, Cmp::Eq, s);
+            }
+            for (c, &cap) in capacity.iter().enumerate() {
+                let terms: Vec<_> = (0..busy.len())
+                    .filter_map(|r| vars[r * n + c].map(|v| (v, 1.0)))
+                    .collect();
+                p.add_constraint(&terms, Cmp::Le, cap);
+            }
+            let sol = dust_lp::solve(&p);
+            sol.is_optimal().then(|| {
+                let mut flow = vec![0.0; busy.len() * n];
+                for (idx, v) in vars.iter().enumerate() {
+                    if let Some(v) = v {
+                        flow[idx] = sol.x[v.index()];
+                    }
+                }
+                (flow, sol.objective)
+            })
+        }
+    };
+    let solve_time = t1.elapsed();
+
+    let Some((flow, beta)) = flows else {
+        return Placement {
+            status: PlacementStatus::Infeasible,
+            assignments: Vec::new(),
+            beta: f64::NAN,
+            busy,
+            candidates,
+            cost_time,
+            solve_time,
+            shadow_prices: Vec::new(),
+        };
+    };
+
+    // ---- Route extraction for the chosen pairs -----------------------------
+    const FLOW_TOL: f64 = 1e-7;
+    let mut assignments = Vec::new();
+    for (r, &b) in busy.iter().enumerate() {
+        for (c, &o) in candidates.iter().enumerate() {
+            let x = flow[r * candidates.len() + c];
+            if x > FLOW_TOL {
+                let route = match cfg.path_engine {
+                    PathEngine::Enumerate => {
+                        min_inv_lu_enumerated(&nmdb.graph, b, o, cfg.max_hop).map(|(_, p)| p)
+                    }
+                    PathEngine::HopBoundedDp => {
+                        min_inv_lu_dp_path(&nmdb.graph, b, o, cfg.max_hop).map(|(_, p)| p)
+                    }
+                };
+                assignments.push(Assignment {
+                    from: b,
+                    to: o,
+                    amount: x,
+                    t_rmin: costs.at(r, c),
+                    route,
+                });
+            }
+        }
+    }
+
+    Placement {
+        status: PlacementStatus::Optimal,
+        assignments,
+        beta,
+        busy,
+        candidates,
+        cost_time,
+        solve_time,
+        shadow_prices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NodeState;
+    use dust_topology::{topologies, Graph, Link};
+
+    fn cfg() -> DustConfig {
+        DustConfig::paper_defaults()
+    }
+
+    /// Line 0-1-2 where node 0 is busy and node 2 is a candidate.
+    fn simple_nmdb() -> Nmdb {
+        let g = topologies::line(3, Link::default());
+        Nmdb::new(
+            g,
+            vec![
+                NodeState::new(90.0, 100.0),
+                NodeState::new(60.0, 10.0),
+                NodeState::new(20.0, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_offload_places_all_excess() {
+        let db = simple_nmdb();
+        for backend in [SolverBackend::Transportation, SolverBackend::Simplex] {
+            let p = optimize(&db, &cfg(), backend);
+            assert_eq!(p.status, PlacementStatus::Optimal, "{backend:?}");
+            assert!((p.total_offloaded() - 10.0).abs() < 1e-6);
+            assert_eq!(p.assignments.len(), 1);
+            let a = &p.assignments[0];
+            assert_eq!((a.from, a.to), (NodeId(0), NodeId(2)));
+            let route = a.route.as_ref().unwrap();
+            assert_eq!(route.hops(), 2);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_objective() {
+        let db = simple_nmdb();
+        let a = optimize(&db, &cfg(), SolverBackend::Transportation);
+        let b = optimize(&db, &cfg(), SolverBackend::Simplex);
+        assert!((a.beta - b.beta).abs() < 1e-6 * (1.0 + a.beta.abs()));
+    }
+
+    #[test]
+    fn no_busy_nodes_short_circuits() {
+        let g = topologies::line(2, Link::default());
+        let db = Nmdb::new(g, vec![NodeState::new(50.0, 1.0), NodeState::new(50.0, 1.0)]);
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::NoBusyNodes);
+    }
+
+    #[test]
+    fn infeasible_when_candidates_lack_capacity() {
+        // busy node has 19 points of excess, single candidate only 1 spare
+        let g = topologies::line(2, Link::default());
+        let db = Nmdb::new(g, vec![NodeState::new(99.0, 10.0), NodeState::new(49.0, 1.0)]);
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_when_out_of_hop_range() {
+        // candidate exists but is 2 hops away with max_hop = 1
+        let db = simple_nmdb();
+        let c = cfg().with_max_hop(Some(1));
+        let p = optimize(&db, &c, SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::Infeasible);
+        // …and feasible again at 2 hops
+        let p2 = optimize(&db, &cfg().with_max_hop(Some(2)), SolverBackend::Transportation);
+        assert_eq!(p2.status, PlacementStatus::Optimal);
+    }
+
+    #[test]
+    fn splits_across_candidates_when_one_lacks_capacity() {
+        // star: busy hub with two leaf candidates of 6 + 6 spare, excess 10
+        let g = topologies::star(3, Link::default());
+        let db = Nmdb::new(
+            g,
+            vec![
+                NodeState::new(90.0, 50.0),
+                NodeState::new(44.0, 1.0),
+                NodeState::new(44.0, 1.0),
+            ],
+        );
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        assert_eq!(p.assignments.len(), 2, "flexible offloading must split");
+        assert!((p.total_offloaded() - 10.0).abs() < 1e-6);
+        for a in &p.assignments {
+            assert!(a.amount <= 6.0 + 1e-9, "no candidate may exceed its Cd");
+        }
+    }
+
+    #[test]
+    fn multiple_busy_share_one_destination() {
+        // two busy leaves, hub is the only candidate
+        let g = topologies::star(3, Link::default());
+        let db = Nmdb::new(
+            g,
+            vec![
+                NodeState::new(20.0, 1.0),
+                NodeState::new(85.0, 10.0),
+                NodeState::new(88.0, 10.0),
+            ],
+        );
+        let p = optimize(&db, &cfg(), SolverBackend::Simplex);
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        assert!((p.total_offloaded() - (5.0 + 8.0)).abs() < 1e-6);
+        assert!(p.assignments.iter().all(|a| a.to == NodeId(0)));
+    }
+
+    #[test]
+    fn prefers_cheaper_route_destination() {
+        // busy node 0; candidate 1 via fast link, candidate 2 via slow link
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), Link::new(10_000.0, 0.9)); // Lu = 9000
+        g.add_edge(NodeId(0), NodeId(2), Link::new(100.0, 0.5)); // Lu = 50
+        let db = Nmdb::new(
+            g,
+            vec![
+                NodeState::new(85.0, 100.0),
+                NodeState::new(10.0, 1.0),
+                NodeState::new(10.0, 1.0),
+            ],
+        );
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        assert_eq!(p.assignments.len(), 1);
+        assert_eq!(p.assignments[0].to, NodeId(1), "faster route must win");
+    }
+
+    #[test]
+    fn beta_equals_sum_of_amount_times_trmin() {
+        let db = simple_nmdb();
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        let recomputed: f64 = p.assignments.iter().map(|a| a.amount * a.t_rmin).sum();
+        assert!((p.beta - recomputed).abs() < 1e-9 * (1.0 + p.beta.abs()));
+    }
+
+    #[test]
+    fn engines_produce_same_placement() {
+        let db = simple_nmdb();
+        let e = optimize(&db, &cfg().with_engine(PathEngine::Enumerate), SolverBackend::Transportation);
+        let d = optimize(&db, &cfg().with_engine(PathEngine::HopBoundedDp), SolverBackend::Transportation);
+        assert_eq!(e.status, d.status);
+        assert!((e.beta - d.beta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadow_prices_identify_binding_candidate() {
+        // busy hub (excess 10); cheap candidate with tiny capacity (binds)
+        // and an expensive roomy one: the binding candidate's shadow price
+        // must be strictly more negative.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), Link::new(10_000.0, 0.9)); // fast
+        g.add_edge(NodeId(0), NodeId(2), Link::new(100.0, 0.5)); // slow
+        let db = Nmdb::new(
+            g,
+            vec![
+                NodeState::new(90.0, 100.0),
+                NodeState::new(46.0, 1.0), // spare 4 on the fast route — binds
+                NodeState::new(10.0, 1.0), // spare 40 on the slow route
+            ],
+        );
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        let price = |n: u32| {
+            p.shadow_prices
+                .iter()
+                .find(|(id, _)| *id == NodeId(n))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            price(1) < price(2) - 1e-9,
+            "binding fast candidate must be worth upgrading: {:?}",
+            p.shadow_prices
+        );
+        // simplex backend leaves the field empty
+        let ps = optimize(&db, &cfg(), SolverBackend::Simplex);
+        assert!(ps.shadow_prices.is_empty());
+    }
+
+    #[test]
+    fn mean_hops_reported() {
+        let db = simple_nmdb();
+        let p = optimize(&db, &cfg(), SolverBackend::Transportation);
+        assert_eq!(p.mean_hops(), Some(2.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded random scenario generation for the evaluation harness.
+//!
+//! The paper's simulator draws repeated random network states ("iterations",
+//! §V-B) over a fixed topology: node utilizations in `[x_min, 100]`
+//! (constraint 3e), dynamic link utilizations from the data plane, and
+//! per-node monitoring data volumes. Everything is driven by an explicit
+//! seed so every figure regenerates bit-for-bit.
+
+use crate::config::DustConfig;
+use crate::state::{NodeState, Nmdb};
+use dust_topology::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution parameters for one random network state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Monitoring data volume `D_i` range in Mb.
+    pub data_mb: (f64, f64),
+    /// Dynamic link-utilization range (fraction of line rate in transit).
+    pub link_utilization: (f64, f64),
+    /// Probability a node answers `Offload-capable = 1`.
+    pub offload_capable_prob: f64,
+}
+
+impl Default for ScenarioParams {
+    /// Defaults modeled on the testbed: 10–500 Mb of telemetry per node,
+    /// links 10–90 % utilized, every node willing to participate.
+    fn default() -> Self {
+        ScenarioParams {
+            data_mb: (10.0, 500.0),
+            link_utilization: (0.1, 0.9),
+            offload_capable_prob: 1.0,
+        }
+    }
+}
+
+/// Draw a random network state over `graph` under `cfg` thresholds.
+///
+/// Node utilization is uniform in `[x_min, 100]` per constraint 3e, so the
+/// fraction of Busy vs candidate nodes — and therefore the infeasibility
+/// rate of Fig. 7 — is controlled entirely by the thresholds.
+pub fn random_nmdb(
+    graph: &Graph,
+    cfg: &DustConfig,
+    params: &ScenarioParams,
+    seed: u64,
+) -> Nmdb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = graph.clone();
+    let (lo, hi) = params.link_utilization;
+    assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "bad link utilization range");
+    g.retarget_utilization(|_, _| rng.gen_range(lo..=hi));
+    let states = (0..g.node_count())
+        .map(|_| {
+            let u = rng.gen_range(cfg.x_min..=100.0);
+            let d = rng.gen_range(params.data_mb.0..=params.data_mb.1);
+            let s = NodeState::new(u, d);
+            if rng.gen_bool(params.offload_capable_prob) {
+                s
+            } else {
+                s.non_offloading()
+            }
+        })
+        .collect();
+    Nmdb::new(g, states)
+}
+
+/// Iterator producing `count` independent random states with derived seeds
+/// (`seed`, `seed+1`, …) — the paper's "1000 iterations" loop.
+pub fn scenario_stream<'a>(
+    graph: &'a Graph,
+    cfg: &'a DustConfig,
+    params: &'a ScenarioParams,
+    seed: u64,
+    count: usize,
+) -> impl Iterator<Item = Nmdb> + 'a {
+    (0..count as u64).map(move |i| random_nmdb(graph, cfg, params, seed.wrapping_add(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_topology::{FatTree, Link, topologies};
+
+    fn cfg() -> DustConfig {
+        DustConfig::paper_defaults()
+    }
+
+    #[test]
+    fn utilizations_respect_constraint_3e() {
+        let ft = FatTree::with_default_links(4);
+        let db = random_nmdb(&ft.graph, &cfg(), &ScenarioParams::default(), 7);
+        for s in &db.states {
+            assert!(s.utilization >= cfg().x_min && s.utilization <= 100.0);
+            assert!(s.data_mb >= 10.0 && s.data_mb <= 500.0);
+        }
+        for e in db.graph.edges() {
+            assert!(e.link.utilization >= 0.1 && e.link.utilization <= 0.9);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = topologies::ring(8, Link::default());
+        let a = random_nmdb(&g, &cfg(), &ScenarioParams::default(), 42);
+        let b = random_nmdb(&g, &cfg(), &ScenarioParams::default(), 42);
+        assert_eq!(a.states, b.states);
+        let c = random_nmdb(&g, &cfg(), &ScenarioParams::default(), 43);
+        assert_ne!(a.states, c.states);
+    }
+
+    #[test]
+    fn stream_yields_distinct_states() {
+        let g = topologies::ring(8, Link::default());
+        let params = ScenarioParams::default();
+        let cfg = cfg();
+        let states: Vec<_> = scenario_stream(&g, &cfg, &params, 0, 5).collect();
+        assert_eq!(states.len(), 5);
+        assert_ne!(states[0].states, states[1].states);
+    }
+
+    #[test]
+    fn non_offloading_probability_zero_marks_all() {
+        let g = topologies::ring(8, Link::default());
+        let params = ScenarioParams { offload_capable_prob: 0.0, ..Default::default() };
+        let db = random_nmdb(&g, &cfg(), &params, 1);
+        assert!(db.states.iter().all(|s| !s.offload_capable));
+        assert!(db.busy_nodes(&cfg()).is_empty());
+    }
+
+    #[test]
+    fn busy_fraction_tracks_threshold() {
+        // With C ~ U(5, 100): P(busy) = (100-c_max)/95. Check the empirical
+        // fraction lands in a generous window on a big sample.
+        let ft = FatTree::with_default_links(8); // 80 nodes
+        let mut busy = 0usize;
+        let mut total = 0usize;
+        let cfg = cfg();
+        for db in scenario_stream(&ft.graph, &cfg, &ScenarioParams::default(), 9, 50) {
+            busy += db.busy_nodes(&cfg).len();
+            total += db.graph.node_count();
+        }
+        let frac = busy as f64 / total as f64;
+        let expect = (100.0 - cfg.c_max) / (100.0 - cfg.x_min);
+        assert!((frac - expect).abs() < 0.05, "empirical {frac} vs expected {expect}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the placement engine: LP-backend agreement,
+//! optimality dominance over the heuristic, and conservation invariants on
+//! random fat-tree scenarios.
+
+use dust_core::{
+    heuristic, heuristic_with_hops, optimize, random_nmdb, DustConfig, PlacementStatus,
+    ScenarioParams, SolverBackend,
+};
+use dust_topology::{FatTree, PathEngine};
+use proptest::prelude::*;
+
+fn cfg() -> DustConfig {
+    DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both LP backends agree on status and objective for random states.
+    #[test]
+    fn backends_agree(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let a = optimize(&db, &c, SolverBackend::Transportation);
+        let b = optimize(&db, &c, SolverBackend::Simplex);
+        prop_assert_eq!(a.status, b.status, "status must agree");
+        if a.status == PlacementStatus::Optimal {
+            prop_assert!((a.beta - b.beta).abs() <= 1e-5 * (1.0 + a.beta.abs()),
+                "beta {} vs {}", a.beta, b.beta);
+        }
+    }
+
+    /// Optimal placements satisfy Eq. 3a (capacity) and Eq. 3b (equality).
+    #[test]
+    fn placement_respects_constraints(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let p = optimize(&db, &c, SolverBackend::Transportation);
+        if p.status != PlacementStatus::Optimal {
+            return Ok(());
+        }
+        // Eq. 3b: every busy node sheds exactly Cs_i
+        for &b in &p.busy {
+            let shed: f64 = p.assignments.iter().filter(|a| a.from == b).map(|a| a.amount).sum();
+            prop_assert!((shed - db.cs(b, &c)).abs() < 1e-6,
+                "busy {b:?} shed {shed} != Cs {}", db.cs(b, &c));
+        }
+        // Eq. 3a: no candidate absorbs beyond Cd_j
+        for &o in &p.candidates {
+            let got: f64 = p.assignments.iter().filter(|a| a.to == o).map(|a| a.amount).sum();
+            prop_assert!(got <= db.cd(o, &c) + 1e-6,
+                "candidate {o:?} got {got} > Cd {}", db.cd(o, &c));
+        }
+        // routes stay within the hop bound and connect the right endpoints
+        for a in &p.assignments {
+            let r = a.route.as_ref().expect("optimal assignments carry routes");
+            prop_assert_eq!(*r.nodes.first().unwrap(), a.from);
+            prop_assert_eq!(*r.nodes.last().unwrap(), a.to);
+            if let Some(h) = c.max_hop {
+                prop_assert!(r.hops() <= h);
+            }
+        }
+    }
+
+    /// When the heuristic fully offloads, its β is never below the
+    /// optimizer's (the ILP is optimal).
+    #[test]
+    fn heuristic_never_beats_optimum(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let p = optimize(&db, &c, SolverBackend::Transportation);
+        let h = heuristic(&db, &c);
+        if p.status == PlacementStatus::Optimal && h.fully_offloaded() && h.total_cs > 0.0 {
+            prop_assert!(h.beta >= p.beta - 1e-6 * (1.0 + p.beta.abs()),
+                "heuristic beta {} beat optimal {}", h.beta, p.beta);
+        }
+    }
+
+    /// HFR is within [0, 100] and monotone non-increasing in the hop reach.
+    #[test]
+    fn hfr_bounds_and_monotonicity(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let mut prev = f64::INFINITY;
+        for hops in [1usize, 2, 4, 6] {
+            let h = heuristic_with_hops(&db, &c, hops);
+            let rate = h.hfr_percent();
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&rate), "HFR {rate} out of range");
+            prop_assert!(rate <= prev + 1e-9, "HFR must not grow with reach: {rate} > {prev}");
+            prev = rate;
+        }
+    }
+
+    /// Heuristic assignments never overdraw a candidate even with several
+    /// busy nodes competing, and residual + placed = total excess.
+    #[test]
+    fn heuristic_conservation(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let h = heuristic(&db, &c);
+        let placed: f64 = h.assignments.iter().map(|a| a.amount).sum();
+        prop_assert!((placed + h.total_cse - h.total_cs).abs() < 1e-6,
+            "placed {placed} + residual {} != total {}", h.total_cse, h.total_cs);
+        for n in db.graph.nodes() {
+            let got: f64 = h.assignments.iter().filter(|a| a.to == n).map(|a| a.amount).sum();
+            prop_assert!(got <= db.cd(n, &c) + 1e-6, "{n:?} overdrawn");
+        }
+        // one-hop routes only
+        for a in &h.assignments {
+            prop_assert_eq!(a.route.as_ref().unwrap().hops(), 1);
+        }
+    }
+
+    /// The whole pipeline is deterministic in the seed.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let c = cfg();
+        let db1 = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let db2 = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let p1 = optimize(&db1, &c, SolverBackend::Transportation);
+        let p2 = optimize(&db2, &c, SolverBackend::Transportation);
+        prop_assert_eq!(p1.status, p2.status);
+        prop_assert_eq!(p1.assignments.len(), p2.assignments.len());
+        let h1 = heuristic(&db1, &c);
+        let h2 = heuristic(&db2, &c);
+        prop_assert!((h1.beta - h2.beta).abs() < 1e-12);
+    }
+
+    /// Hop-bounded optimization cost is monotone: loosening max_hop never
+    /// worsens β (more routes can only help).
+    #[test]
+    fn beta_monotone_in_max_hop(seed in any::<u64>()) {
+        let ft = FatTree::with_default_links(4);
+        let base = cfg();
+        let db = random_nmdb(&ft.graph, &base, &ScenarioParams::default(), seed);
+        let mut prev = f64::INFINITY;
+        for h in [2usize, 4, 8] {
+            let c = base.with_max_hop(Some(h));
+            let p = optimize(&db, &c, SolverBackend::Transportation);
+            if p.status == PlacementStatus::Optimal {
+                prop_assert!(p.beta <= prev + 1e-6 * (1.0 + prev.abs()),
+                    "beta grew from {prev} to {} at hop {h}", p.beta);
+                prev = p.beta;
+            }
+        }
+    }
+}
+
+use dust_core::{apply_actions, placement_diff, Assignment, TransferAction};
+use dust_topology::NodeId;
+
+fn arb_assignments() -> impl Strategy<Value = Vec<Assignment>> {
+    proptest::collection::vec((0u32..6, 6u32..12, 0.1f64..20.0), 0..10).prop_map(|v| {
+        v.into_iter()
+            .map(|(f, t, a)| Assignment {
+                from: NodeId(f),
+                to: NodeId(t),
+                amount: a,
+                t_rmin: 0.1,
+                route: None,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Applying a diff always reproduces the target placement, and a diff
+    /// against self is empty.
+    #[test]
+    fn diff_is_sound(prev in arb_assignments(), next in arb_assignments()) {
+        let actions = placement_diff(&prev, &next);
+        let applied = apply_actions(&prev, &actions);
+        let mut want = std::collections::BTreeMap::new();
+        for a in &next {
+            *want.entry((a.from, a.to)).or_insert(0.0) += a.amount;
+        }
+        prop_assert_eq!(applied.len(), want.len());
+        for (k, v) in &want {
+            prop_assert!((applied[k] - v).abs() < 1e-9);
+        }
+        prop_assert!(placement_diff(&next, &next).is_empty());
+        // ordering invariant: no Start before the last Stop
+        let last_stop = actions.iter().rposition(|a| matches!(a, TransferAction::Stop { .. }));
+        let first_start = actions.iter().position(|a| matches!(a, TransferAction::Start { .. }));
+        if let (Some(stop), Some(start)) = (last_stop, first_start) {
+            prop_assert!(stop < start, "stops must precede starts");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # DUST — Resource-Aware Telemetry Offloading
+//!
+//! A from-scratch Rust implementation of the DUST system (Sharifian et
+//! al., IPDPS-W 2024): dynamic, distributed, hardware-agnostic offloading
+//! of in-device network-telemetry workloads from overloaded nodes to
+//! under-utilized ones, over controllable minimum-response-time routes.
+//!
+//! This facade re-exports the whole workspace under stable module names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`topology`] | `dust-topology` | graphs, fat-trees, bounded path enumeration, `T_rmin` costs |
+//! | [`lp`] | `dust-lp` | simplex, transportation solver, branch-and-bound |
+//! | [`core`] | `dust-core` | thresholds, roles, NMDB, the placement ILP, Algorithm 1, HFR, `Δ_io` |
+//! | [`proto`] | `dust-proto` | Manager/Client state machines and every §III message |
+//! | [`telemetry`] | `dust-telemetry` | monitor agents, TSDB, Gorilla compression, federation |
+//! | [`sim`] | `dust-sim` | the discrete-event testbed with Fig. 1 / Fig. 6 scenarios |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dust::prelude::*;
+//!
+//! // a 4-port fat-tree: the paper's small-scale network (20 switches)
+//! let ft = FatTree::with_default_links(4);
+//! let cfg = DustConfig::paper_defaults();
+//! let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), 42);
+//!
+//! // exact placement (the paper's ILP) …
+//! let placement = optimize(&nmdb, &cfg, SolverBackend::Transportation);
+//!
+//! // … and Algorithm 1, with its failure rate
+//! let h = heuristic(&nmdb, &cfg);
+//! assert!(h.hfr_percent() >= 0.0);
+//! # let _ = placement;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dust_core as core;
+pub use dust_lp as lp;
+pub use dust_proto as proto;
+pub use dust_sim as sim;
+pub use dust_telemetry as telemetry;
+pub use dust_topology as topology;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use dust_core::{
+        classify, classify_iteration, estimate_io_rate, heuristic, heuristic_with_hops,
+        io_rate_sweep, optimize, optimize_integral, optimize_zoned, random_nmdb,
+        scenario_stream, zone_by_bfs, zone_fat_tree, Assignment, DustConfig,
+        HeuristicOutcome, IntegralPlacement, IoRatePoint, NodeState, Nmdb, Placement,
+        PlacementStatus, Role, ScenarioParams, SolverBackend, SuccessClass, SuccessTally,
+        WorkUnit, ZonedPlacement, Zoning,
+    };
+    pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
+    pub use dust_sim::{
+        evaluate_flows, fig1, fig6, fleet, testbed_topology, FlowOutcome, NodeSpec, SimConfig,
+        SimNode, SimReport, Simulation, TelemetryFlow, TrafficModel,
+    };
+    pub use dust_telemetry::{
+        aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,
+        MonitorAgent, Rule, RuleEngine, Series, Tsdb,
+    };
+    pub use dust_topology::{
+        paper_sizes, CostMatrix, FatTree, Graph, Link, NodeId, Path, PathEngine, Tier,
+    };
+}

@@ -1,0 +1,322 @@
+//! Branch-and-bound mixed-integer layer over the simplex solver.
+//!
+//! The paper labels its placement model an ILP even though the published
+//! decision variables `x_ij` are continuous; this layer completes the ILP
+//! story so integer-restricted variants (e.g. whole monitoring agents as
+//! indivisible units, §VI future work) solve with the same toolkit.
+//!
+//! Standard LP-relaxation branch-and-bound: solve the relaxation, pick the
+//! most fractional integer variable, branch on `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`,
+//! explore best-bound-first, prune by incumbent.
+
+use crate::problem::{Problem, Sense, Var};
+use crate::simplex::{solve_with, Options, Status};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a mixed-integer solve.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Solve outcome; [`Status::IterationLimit`] doubles as the node-limit
+    /// signal.
+    pub status: Status,
+    /// Optimal point with integer variables at integral values.
+    pub x: Vec<f64>,
+    /// Objective at `x` (NaN unless optimal).
+    pub objective: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Branch-and-bound controls.
+#[derive(Debug, Clone, Copy)]
+pub struct MipOptions {
+    /// LP sub-solver options.
+    pub lp: Options,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Maximum nodes to explore before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions { lp: Options::default(), int_tol: 1e-6, max_nodes: 100_000 }
+    }
+}
+
+/// One open node: extra bounds layered on the base problem.
+struct Node {
+    /// `(var, new_lower, new_upper)` tightenings relative to the base.
+    bounds: Vec<(Var, f64, f64)>,
+    /// Relaxation bound of the parent (for best-first ordering).
+    bound: f64,
+}
+
+/// Wrapper ordering nodes by bound (best-first for the problem's sense).
+struct Ranked(Node, bool /* minimize */);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; for minimization we want the smallest
+        // bound on top.
+        let ord = self.0.bound.partial_cmp(&other.0.bound).unwrap_or(Ordering::Equal);
+        if self.1 {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+}
+
+/// Solve a mixed-integer program with default options.
+pub fn solve_mip(p: &Problem) -> MipSolution {
+    solve_mip_with(p, MipOptions::default())
+}
+
+/// Solve a mixed-integer program.
+pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
+    let ints = p.integer_vars();
+    if ints.is_empty() {
+        let s = solve_with(p, opts.lp);
+        return MipSolution { status: s.status, x: s.x, objective: s.objective, nodes: 1 };
+    }
+    let minimize = p.sense() == Sense::Minimize;
+    let better = |a: f64, b: f64| if minimize { a < b } else { a > b };
+
+    let mut heap: BinaryHeap<Ranked> = BinaryHeap::new();
+    heap.push(Ranked(
+        Node { bounds: Vec::new(), bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY } },
+        minimize,
+    ));
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes = 0usize;
+    let mut any_feasible_relaxation = false;
+
+    while let Some(Ranked(node, _)) = heap.pop() {
+        if nodes >= opts.max_nodes {
+            return MipSolution {
+                status: Status::IterationLimit,
+                x: incumbent.as_ref().map(|(_, x)| x.clone()).unwrap_or_default(),
+                objective: incumbent.as_ref().map_or(f64::NAN, |(o, _)| *o),
+                nodes,
+            };
+        }
+        nodes += 1;
+
+        // prune by bound before solving (parent bound is valid here)
+        if let Some((inc, _)) = &incumbent {
+            if !better(node.bound, *inc) && node.bound.is_finite() {
+                continue;
+            }
+        }
+
+        // materialize the subproblem
+        let mut sub = p.clone();
+        let mut ok = true;
+        for &(v, lo, hi) in &node.bounds {
+            let d = &mut sub.vars[v.0];
+            d.lower = d.lower.max(lo);
+            d.upper = d.upper.min(hi);
+            if d.lower > d.upper {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let relax = solve_with(&sub, opts.lp);
+        match relax.status {
+            Status::Optimal => {}
+            Status::Infeasible => continue,
+            Status::Unbounded => {
+                // Unbounded relaxation at the root means the MIP is
+                // unbounded or infeasible; report unbounded.
+                if node.bounds.is_empty() {
+                    return MipSolution {
+                        status: Status::Unbounded,
+                        x: Vec::new(),
+                        objective: f64::NAN,
+                        nodes,
+                    };
+                }
+                continue;
+            }
+            Status::IterationLimit => continue,
+        }
+        any_feasible_relaxation = true;
+
+        // prune by the (now exact) relaxation bound
+        if let Some((inc, _)) = &incumbent {
+            if !better(relax.objective, *inc) {
+                continue;
+            }
+        }
+
+        // most fractional integer variable
+        let mut branch: Option<(Var, f64)> = None;
+        let mut best_frac = opts.int_tol;
+        for &v in &ints {
+            let val = relax.x[v.0];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((v, val));
+            }
+        }
+        match branch {
+            None => {
+                // integral: candidate incumbent (round off tolerance noise)
+                let mut x = relax.x.clone();
+                for &v in &ints {
+                    x[v.0] = x[v.0].round();
+                }
+                let obj = p.objective_value(&x);
+                let accept = incumbent.as_ref().map_or(true, |(inc, _)| better(obj, *inc));
+                if accept && p.is_feasible(&x, 1e-6) {
+                    incumbent = Some((obj, x));
+                }
+            }
+            Some((v, val)) => {
+                let mut lo_bounds = node.bounds.clone();
+                lo_bounds.push((v, f64::NEG_INFINITY, val.floor()));
+                heap.push(Ranked(Node { bounds: lo_bounds, bound: relax.objective }, minimize));
+                let mut hi_bounds = node.bounds;
+                hi_bounds.push((v, val.ceil(), f64::INFINITY));
+                heap.push(Ranked(Node { bounds: hi_bounds, bound: relax.objective }, minimize));
+            }
+        }
+    }
+
+    match incumbent {
+        Some((obj, x)) => MipSolution { status: Status::Optimal, x, objective: obj, nodes },
+        // No incumbent: either every relaxation was infeasible, or all
+        // integral candidates were pruned — the MIP itself is infeasible.
+        None => {
+            let _ = any_feasible_relaxation;
+            MipSolution { status: Status::Infeasible, x: Vec::new(), objective: f64::NAN, nodes }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 8a + 11b + 6c + 4d, weights 5,7,4,3 <= 14 → a,c,d? values:
+        // optimal is b+c+d? 11+6+4=21 (w=14) vs a+b (w=12, 19) vs a+c+d (w=12, 18)
+        let mut p = Problem::new();
+        p.set_sense(Sense::Maximize);
+        let a = p.add_bool(8.0);
+        let b = p.add_bool(11.0);
+        let c = p.add_bool(6.0);
+        let d = p.add_bool(4.0);
+        p.add_constraint(&[(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], Cmp::Le, 14.0);
+        let s = solve_mip(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 21.0);
+        assert_close(s.x[1], 1.0);
+        assert_close(s.x[2], 1.0);
+        assert_close(s.x[3], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + y <= 4.5, x + 2y <= 4.5, integer
+        // LP optimum (1.5, 1.5) obj 3; IP optimum obj 2 at... (1,1)=2, (2,0): 2*2=4<=4.5 ok, obj 2.
+        // (0,2): ok, obj 2. So IP obj 2.
+        let mut p = Problem::new();
+        p.set_sense(Sense::Maximize);
+        let x = p.add_int(0.0, 10.0, 1.0);
+        let y = p.add_int(0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 2.0), (y, 1.0)], Cmp::Le, 4.5);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Cmp::Le, 4.5);
+        let s = solve_mip(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg(1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.5);
+        let s = solve_mip(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 2.5);
+        assert_eq!(s.nodes, 1);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3i + c  s.t. i + c >= 2.5, i integer >= 0, c >= 0
+        // i=0 → c=2.5 cost 2.5; i=1 → c=1.5 cost 4.5 → optimum 2.5
+        let mut p = Problem::new();
+        let i = p.add_int(0.0, 10.0, 3.0);
+        let c = p.add_nonneg(1.0);
+        p.add_constraint(&[(i, 1.0), (c, 1.0)], Cmp::Ge, 2.5);
+        let s = solve_mip(&p);
+        assert_close(s.objective, 2.5);
+        assert_close(s.x[0], 0.0);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, x integer → infeasible
+        let mut p = Problem::new();
+        let x = p.add_int(0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 0.4);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 0.6);
+        assert_eq!(solve_mip(&p).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // 3x + 5y = 14, x,y >= 0 integer, min x + y → x=3,y=1
+        let mut p = Problem::new();
+        let x = p.add_int(0.0, 100.0, 1.0);
+        let y = p.add_int(0.0, 100.0, 1.0);
+        p.add_constraint(&[(x, 3.0), (y, 5.0)], Cmp::Eq, 14.0);
+        let s = solve_mip(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn binary_assignment_problem() {
+        // 2 tasks to 2 machines, costs [[1, 9], [9, 2]], each task exactly
+        // one machine, each machine at most one task → diagonal, cost 3
+        let mut p = Problem::new();
+        let x: Vec<Vec<Var>> = (0..2)
+            .map(|i| (0..2).map(|j| p.add_bool([[1.0, 9.0], [9.0, 2.0]][i][j])).collect())
+            .collect();
+        for row in &x {
+            p.add_constraint(&[(row[0], 1.0), (row[1], 1.0)], Cmp::Eq, 1.0);
+        }
+        for j in 0..2 {
+            p.add_constraint(&[(x[0][j], 1.0), (x[1][j], 1.0)], Cmp::Le, 1.0);
+        }
+        let s = solve_mip(&p);
+        assert_close(s.objective, 3.0);
+    }
+}

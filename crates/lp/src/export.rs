@@ -1,0 +1,177 @@
+//! CPLEX LP-format export.
+//!
+//! Writes a [`Problem`] in the ubiquitous LP file format so any external
+//! solver (Gurobi, CPLEX, HiGHS, glpsol, …) can cross-check our simplex —
+//! the reproduction's answer to "did you really match what Gurobi would
+//! say?". The format emitted is the conservative common subset all of
+//! them parse.
+
+use crate::problem::{Cmp, Problem, Sense};
+use std::fmt::Write as _;
+
+/// Render `p` as an LP-format document. Variables are named `x0, x1, …`
+/// in declaration order; constraints `c0, c1, …`.
+pub fn to_lp_format(p: &Problem) -> String {
+    let mut out = String::new();
+    out.push_str(match p.sense() {
+        Sense::Minimize => "Minimize\n",
+        Sense::Maximize => "Maximize\n",
+    });
+    out.push_str(" obj:");
+    let mut wrote_term = false;
+    for i in 0..p.num_vars() {
+        let c = p.var_def(crate::problem::Var(i)).cost;
+        if c != 0.0 {
+            let _ = write!(out, "{}", term(c, i, wrote_term));
+            wrote_term = true;
+        }
+    }
+    if !wrote_term {
+        out.push_str(" 0 x0");
+    }
+    out.push('\n');
+
+    out.push_str("Subject To\n");
+    for (ci, c) in p.constraints.iter().enumerate() {
+        let _ = write!(out, " c{ci}:");
+        let mut first = true;
+        for &(v, coef) in &c.terms {
+            let _ = write!(out, "{}", term(coef, v.0, !first));
+            first = false;
+        }
+        if first {
+            out.push_str(" 0 x0");
+        }
+        let op = match c.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", num(c.rhs));
+    }
+
+    out.push_str("Bounds\n");
+    for i in 0..p.num_vars() {
+        let d = p.var_def(crate::problem::Var(i));
+        match (d.lower.is_finite(), d.upper.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= x{i} <= {}", num(d.lower), num(d.upper));
+            }
+            (true, false) => {
+                // LP format defaults to lower bound 0; only non-zero needs
+                // writing, but being explicit is harmless and clearer.
+                let _ = writeln!(out, " x{i} >= {}", num(d.lower));
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= x{i} <= {}", num(d.upper));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " x{i} free");
+            }
+        }
+    }
+
+    let ints = p.integer_vars();
+    if !ints.is_empty() {
+        out.push_str("General\n");
+        for v in ints {
+            let _ = writeln!(out, " x{}", v.0);
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+/// Format one linear term with sign handling: ` + 2.5 x3` / ` - x0`.
+fn term(coef: f64, var: usize, follow: bool) -> String {
+    let sign = if coef < 0.0 { "-" } else if follow { "+" } else { "" };
+    let mag = coef.abs();
+    if (mag - 1.0).abs() < 1e-15 {
+        format!(" {sign} x{var}").replace("  ", " ")
+    } else {
+        format!(" {sign} {} x{var}", num(mag)).replace("  ", " ")
+    }
+}
+
+/// Minimal-clutter numeric formatting (no trailing zeros, full precision
+/// when needed).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn textbook_lp_renders() {
+        let mut p = Problem::new();
+        p.set_sense(Sense::Maximize);
+        let x = p.add_nonneg(3.0);
+        let y = p.add_nonneg(5.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.starts_with("Maximize\n obj: 3 x0 + 5 x1\n"));
+        assert!(lp.contains(" c0: x0 <= 4\n"));
+        assert!(lp.contains(" c1: 2 x1 <= 12\n"));
+        assert!(lp.contains(" c2: 3 x0 + 2 x1 <= 18\n"));
+        assert!(lp.contains(" x0 >= 0\n"));
+        assert!(lp.ends_with("End\n"));
+        assert!(!lp.contains("General"), "no integer section for pure LPs");
+    }
+
+    #[test]
+    fn negative_coefficients_and_equalities() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg(1.0);
+        let y = p.add_nonneg(-2.5);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.5);
+        p.add_constraint(&[(x, -4.0)], Cmp::Ge, -8.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.starts_with("Minimize\n obj: x0 - 2.5 x1\n"), "{lp}");
+        assert!(lp.contains(" c0: x0 - x1 = 1.5\n"), "{lp}");
+        assert!(lp.contains(" c1: - 4 x0 >= -8\n"), "{lp}");
+    }
+
+    #[test]
+    fn bounds_variants() {
+        let mut p = Problem::new();
+        let _a = p.add_var(0.0, 7.0, 1.0);
+        let _b = p.add_var(2.0, f64::INFINITY, 1.0);
+        let _c = p.add_var(f64::NEG_INFINITY, 3.0, 1.0);
+        let _d = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains(" 0 <= x0 <= 7\n"));
+        assert!(lp.contains(" x1 >= 2\n"));
+        assert!(lp.contains(" -inf <= x2 <= 3\n"));
+        assert!(lp.contains(" x3 free\n"));
+    }
+
+    #[test]
+    fn integer_section_lists_int_vars() {
+        let mut p = Problem::new();
+        let _x = p.add_nonneg(1.0);
+        let _b = p.add_bool(2.0);
+        let _i = p.add_int(0.0, 9.0, 3.0);
+        let lp = to_lp_format(&p);
+        let general = lp.split("General\n").nth(1).expect("has General section");
+        assert!(general.contains(" x1\n") && general.contains(" x2\n"));
+        assert!(!general.contains(" x0\n"));
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut p = Problem::new();
+        let x = p.add_nonneg(0.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 5.0);
+        let lp = to_lp_format(&p);
+        assert!(lp.contains("obj: 0 x0"), "placeholder objective required: {lp}");
+    }
+}

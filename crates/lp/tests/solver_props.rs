@@ -1,0 +1,201 @@
+//! Property tests pitting the three solvers against each other and against
+//! first principles: the specialized transportation solver must match the
+//! general simplex on random instances, simplex optima must be feasible and
+//! never beaten by random feasible points, and branch-and-bound must
+//! dominate LP-relaxation bounds correctly.
+
+use dust_lp::{
+    solve, solve_mip, Cmp, Problem, Sense, Status, TransportProblem, TransportStatus,
+};
+use proptest::prelude::*;
+
+/// Build the transportation instance as a general LP and solve with simplex.
+fn transport_via_simplex(tp: &TransportProblem) -> Option<f64> {
+    let m = tp.supply.len();
+    let n = tp.capacity.len();
+    let mut p = Problem::new();
+    let mut vars = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let c = tp.cost[i * n + j];
+            if c.is_finite() {
+                vars.push(Some(p.add_nonneg(c)));
+            } else {
+                vars.push(None); // forbidden: simply omit the variable
+            }
+        }
+    }
+    for i in 0..m {
+        let terms: Vec<_> = (0..n)
+            .filter_map(|j| vars[i * n + j].map(|v| (v, 1.0)))
+            .collect();
+        p.add_constraint(&terms, Cmp::Eq, tp.supply[i]);
+    }
+    for j in 0..n {
+        let terms: Vec<_> = (0..m)
+            .filter_map(|i| vars[i * n + j].map(|v| (v, 1.0)))
+            .collect();
+        p.add_constraint(&terms, Cmp::Le, tp.capacity[j]);
+    }
+    let s = solve(&p);
+    (s.status == Status::Optimal).then_some(s.objective)
+}
+
+fn arb_transport() -> impl Strategy<Value = TransportProblem> {
+    (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(0.0f64..40.0, m),
+            proptest::collection::vec(0.0f64..60.0, n),
+            proptest::collection::vec(
+                prop_oneof![9 => (0.1f64..20.0).boxed(), 1 => Just(f64::INFINITY).boxed()],
+                m * n,
+            ),
+        )
+            .prop_map(|(s, c, costs)| TransportProblem::new(s, c, costs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MODI and simplex agree on optimality status and objective.
+    #[test]
+    fn transportation_matches_simplex(tp in arb_transport()) {
+        let fast = tp.solve();
+        let general = transport_via_simplex(&tp);
+        match (fast.status, general) {
+            (TransportStatus::Optimal, Some(obj)) => {
+                prop_assert!((fast.objective - obj).abs() <= 1e-5 * obj.abs().max(1.0),
+                    "MODI {} vs simplex {}", fast.objective, obj);
+            }
+            (TransportStatus::Infeasible, None) => {}
+            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Optimal transportation flows satisfy supply equality and capacity.
+    #[test]
+    fn transportation_flows_feasible(tp in arb_transport()) {
+        let s = tp.solve();
+        if s.status == TransportStatus::Optimal {
+            let n = tp.capacity.len();
+            for (i, &sup) in tp.supply.iter().enumerate() {
+                let shipped: f64 = (0..n).map(|j| s.flow[i * n + j]).sum();
+                prop_assert!((shipped - sup).abs() < 1e-6, "row {i}: {shipped} != {sup}");
+            }
+            for (j, &cap) in tp.capacity.iter().enumerate() {
+                let recv: f64 = (0..tp.supply.len()).map(|i| s.flow[i * n + j]).sum();
+                prop_assert!(recv <= cap + 1e-6, "col {j}: {recv} > {cap}");
+            }
+            for &f in &s.flow {
+                prop_assert!(f >= -1e-9, "negative flow {f}");
+            }
+        }
+    }
+
+    /// Simplex optimum on random bounded LPs is feasible and not beaten by
+    /// sampled feasible corners of the box.
+    #[test]
+    fn simplex_optimum_dominates_box_samples(
+        n in 1usize..5,
+        costs in proptest::collection::vec(-5.0f64..5.0, 4),
+        caps in proptest::collection::vec(1.0f64..10.0, 4),
+    ) {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n).map(|i| p.add_var(0.0, caps[i % caps.len()], costs[i % costs.len()])).collect();
+        // a coupling constraint to make it non-trivial
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        let budget: f64 = caps.iter().take(n).sum::<f64>() / 2.0;
+        p.add_constraint(&terms, Cmp::Le, budget);
+        let s = solve(&p);
+        prop_assert_eq!(s.status, Status::Optimal);
+        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        // corners of the box clipped to the budget: all-zero is feasible
+        prop_assert!(s.objective <= 0.0 + 1e-9, "all-zeros is feasible with objective 0");
+    }
+
+    /// Branch-and-bound objective is never better than the LP relaxation
+    /// and its point is integral and feasible.
+    #[test]
+    fn mip_bounded_by_relaxation(
+        n in 1usize..4,
+        costs in proptest::collection::vec(0.5f64..5.0, 4),
+        weights in proptest::collection::vec(0.5f64..5.0, 4),
+        budget in 2.0f64..10.0,
+    ) {
+        // knapsack: max Σ c_i b_i  s.t. Σ w_i b_i <= budget
+        let mut mip = Problem::new();
+        mip.set_sense(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| mip.add_bool(costs[i % costs.len()])).collect();
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
+        mip.add_constraint(&terms, Cmp::Le, budget);
+
+        // LP relaxation: same model, continuous [0,1] vars
+        let mut lp = Problem::new();
+        lp.set_sense(Sense::Maximize);
+        let cvars: Vec<_> = (0..n).map(|i| lp.add_var(0.0, 1.0, costs[i % costs.len()])).collect();
+        let cterms: Vec<_> = cvars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
+        lp.add_constraint(&cterms, Cmp::Le, budget);
+
+        let mi = solve_mip(&mip);
+        let re = solve(&lp);
+        prop_assert_eq!(mi.status, Status::Optimal);
+        prop_assert_eq!(re.status, Status::Optimal);
+        prop_assert!(mi.objective <= re.objective + 1e-6,
+            "MIP {} must not beat relaxation {}", mi.objective, re.objective);
+        prop_assert!(mip.is_feasible(&mi.x, 1e-6));
+        for &v in &mi.x {
+            prop_assert!((v - v.round()).abs() < 1e-6, "non-integral value {v}");
+        }
+    }
+
+    /// Scaling all costs scales the transportation objective linearly.
+    #[test]
+    fn transportation_objective_scales(tp in arb_transport(), k in 1.0f64..10.0) {
+        let s1 = tp.solve();
+        let scaled = TransportProblem::new(
+            tp.supply.clone(),
+            tp.capacity.clone(),
+            tp.cost.iter().map(|c| c * k).collect(),
+        );
+        let s2 = scaled.solve();
+        prop_assert_eq!(s1.status, s2.status);
+        if s1.status == TransportStatus::Optimal {
+            prop_assert!((s2.objective - k * s1.objective).abs() <= 1e-6 * (1.0 + s2.objective.abs()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LP duality holds on every random optimal instance: dual feasibility,
+    /// complementary slackness, and strong duality.
+    #[test]
+    fn transportation_duality(tp in arb_transport()) {
+        let s = tp.solve();
+        if s.status != TransportStatus::Optimal {
+            return Ok(());
+        }
+        let n = tp.capacity.len();
+        // dual feasibility + complementary slackness
+        for (i, &u) in s.row_potentials.iter().enumerate() {
+            for (j, &v) in s.col_potentials.iter().enumerate() {
+                let c = tp.cost[i * n + j];
+                if !c.is_finite() { continue; }
+                let reduced = c - u - v;
+                prop_assert!(reduced >= -1e-6, "dual infeasible ({i},{j}): {reduced}");
+                if s.flow[i * n + j] > 1e-7 {
+                    prop_assert!(reduced.abs() < 1e-6,
+                        "complementary slackness ({i},{j}): {reduced}");
+                }
+            }
+        }
+        // strong duality (dummy-normalized): primal == dual objective
+        let dual: f64 = s.row_potentials.iter().zip(&tp.supply).map(|(u, a)| u * a)
+            .chain(s.col_potentials.iter().zip(&tp.capacity).map(|(v, b)| v * b))
+            .sum();
+        prop_assert!((dual - s.objective).abs() <= 1e-5 * (1.0 + s.objective.abs()),
+            "strong duality: {dual} vs {}", s.objective);
+    }
+}

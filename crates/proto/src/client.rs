@@ -1,0 +1,327 @@
+//! DUST-Client state machine.
+//!
+//! A client is a pure, clock-driven state machine: the caller feeds it the
+//! current time, its local resource readings, and any Manager messages; it
+//! emits the `ClientMsg`s the protocol requires. No real clocks or sockets
+//! — the discrete-event simulator and unit tests drive it deterministically.
+
+use crate::messages::{ClientMsg, ManagerMsg, RequestId};
+use dust_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Registration lifecycle of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientPhase {
+    /// Nothing sent yet.
+    Idle,
+    /// `Offload-capable` sent, waiting for the Manager's `ACK`.
+    Registering,
+    /// Registered; STAT cadence known.
+    Active,
+}
+
+/// One workload this client hosts on behalf of a Busy node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostedWorkload {
+    /// Originating Busy node.
+    pub from: NodeId,
+    /// Capacity-percent being hosted.
+    pub amount: f64,
+    /// Monitoring data volume flowing in, Mb.
+    pub data_mb: f64,
+}
+
+/// The DUST-Client state machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Client {
+    /// This node's identity.
+    pub node: NodeId,
+    /// Whether the node volunteers for offloading.
+    pub capable: bool,
+    phase: ClientPhase,
+    /// STAT period from the Manager's ACK, ms.
+    update_interval_ms: Option<u64>,
+    last_stat_ms: Option<u64>,
+    last_keepalive_ms: Option<u64>,
+    /// Workloads hosted for Busy nodes, by request id.
+    hosted: BTreeMap<RequestId, HostedWorkload>,
+    /// Maximum utilization this client will accept before refusing an
+    /// `Offload-Request` (its own protection threshold).
+    accept_ceiling: f64,
+    /// Latest locally measured utilization, percent.
+    utilization: f64,
+    /// Latest locally measured monitoring data volume, Mb.
+    data_mb: f64,
+}
+
+/// Keepalive cadence relative to the STAT interval: destinations heartbeat
+/// 4× as often as they report STATs so failures are caught quickly.
+const KEEPALIVE_DIVISOR: u64 = 4;
+
+impl Client {
+    /// A new, unregistered client.
+    pub fn new(node: NodeId, capable: bool, accept_ceiling: f64) -> Self {
+        assert!((0.0..=100.0).contains(&accept_ceiling), "ceiling must be a percentage");
+        Client {
+            node,
+            capable,
+            phase: ClientPhase::Idle,
+            update_interval_ms: None,
+            last_stat_ms: None,
+            last_keepalive_ms: None,
+            hosted: BTreeMap::new(),
+            accept_ceiling,
+            utilization: 0.0,
+            data_mb: 0.0,
+        }
+    }
+
+    /// Registration lifecycle phase.
+    pub fn phase(&self) -> ClientPhase {
+        self.phase
+    }
+
+    /// Workloads currently hosted (the node is an Offload-destination iff
+    /// this is non-empty).
+    pub fn hosted(&self) -> impl Iterator<Item = (&RequestId, &HostedWorkload)> {
+        self.hosted.iter()
+    }
+
+    /// Total capacity-percent hosted for others.
+    pub fn hosted_amount(&self) -> f64 {
+        self.hosted.values().map(|w| w.amount).sum()
+    }
+
+    /// Update local readings (from the node's own monitor agents).
+    pub fn observe(&mut self, utilization: f64, data_mb: f64) {
+        assert!((0.0..=100.0).contains(&utilization), "utilization out of range");
+        self.utilization = utilization;
+        self.data_mb = data_mb;
+    }
+
+    /// Begin registration: emits the `Offload-capable` message (§III-B).
+    pub fn register(&mut self) -> ClientMsg {
+        self.phase = ClientPhase::Registering;
+        ClientMsg::OffloadCapable { node: self.node, capable: self.capable }
+    }
+
+    /// Process one Manager message, possibly emitting a reply.
+    pub fn handle(&mut self, now_ms: u64, msg: &ManagerMsg) -> Option<ClientMsg> {
+        match msg {
+            ManagerMsg::Ack { update_interval_ms } => {
+                self.phase = ClientPhase::Active;
+                self.update_interval_ms = Some(*update_interval_ms);
+                // first STAT goes out on the next tick
+                self.last_stat_ms = Some(now_ms);
+                None
+            }
+            ManagerMsg::OffloadRequest { request, from, amount, data_mb, route: _ } => {
+                // Accept only while the added load keeps us under our own
+                // ceiling (the QoS guarantee of §III-C: remote nodes must
+                // not be degraded).
+                let accept = self.capable
+                    && self.utilization + self.hosted_amount() + amount <= self.accept_ceiling;
+                if accept {
+                    self.hosted.insert(
+                        *request,
+                        HostedWorkload { from: *from, amount: *amount, data_mb: *data_mb },
+                    );
+                }
+                Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept })
+            }
+            ManagerMsg::Rep { request, failed: _, from, amount } => {
+                // Replica substitution: unconditional hosting order from the
+                // Manager, which already verified capacity from STATs.
+                self.hosted.insert(
+                    *request,
+                    HostedWorkload { from: *from, amount: *amount, data_mb: 0.0 },
+                );
+                Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept: true })
+            }
+            ManagerMsg::Release { request } => {
+                self.hosted.remove(request);
+                None
+            }
+        }
+    }
+
+    /// Advance the clock; emits due periodic messages (`STAT`, and
+    /// `Keepalive` while hosting).
+    pub fn tick(&mut self, now_ms: u64) -> Vec<ClientMsg> {
+        let mut out = Vec::new();
+        if self.phase != ClientPhase::Active {
+            return out;
+        }
+        let interval = self.update_interval_ms.expect("active client has an interval");
+        if interval == 0 {
+            return out;
+        }
+        let due = |last: Option<u64>, period: u64| match last {
+            None => true,
+            Some(t) => now_ms.saturating_sub(t) >= period,
+        };
+        if due(self.last_stat_ms, interval) {
+            self.last_stat_ms = Some(now_ms);
+            out.push(ClientMsg::Stat {
+                node: self.node,
+                utilization: self.utilization + self.hosted_amount(),
+                data_mb: self.data_mb,
+            });
+        }
+        if !self.hosted.is_empty() {
+            let ka = (interval / KEEPALIVE_DIVISOR).max(1);
+            if due(self.last_keepalive_ms, ka) {
+                self.last_keepalive_ms = Some(now_ms);
+                out.push(ClientMsg::Keepalive { node: self.node });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_client() -> Client {
+        let mut c = Client::new(NodeId(1), true, 80.0);
+        let _ = c.register();
+        c.handle(0, &ManagerMsg::Ack { update_interval_ms: 1000 });
+        c
+    }
+
+    fn request(id: u64, amount: f64) -> ManagerMsg {
+        ManagerMsg::OffloadRequest {
+            request: RequestId(id),
+            from: NodeId(0),
+            amount,
+            data_mb: 50.0,
+            route: None,
+        }
+    }
+
+    #[test]
+    fn registration_flow() {
+        let mut c = Client::new(NodeId(2), true, 80.0);
+        assert_eq!(c.phase(), ClientPhase::Idle);
+        let m = c.register();
+        assert_eq!(m, ClientMsg::OffloadCapable { node: NodeId(2), capable: true });
+        assert_eq!(c.phase(), ClientPhase::Registering);
+        c.handle(0, &ManagerMsg::Ack { update_interval_ms: 500 });
+        assert_eq!(c.phase(), ClientPhase::Active);
+    }
+
+    #[test]
+    fn stat_cadence_follows_interval() {
+        let mut c = active_client();
+        c.observe(42.0, 10.0);
+        // ACK at t=0 set last_stat; next STAT due at t=1000
+        assert!(c.tick(500).is_empty());
+        let msgs = c.tick(1000);
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            ClientMsg::Stat { utilization, .. } => assert_eq!(*utilization, 42.0),
+            other => panic!("expected STAT, got {other:?}"),
+        }
+        // not due again immediately
+        assert!(c.tick(1100).is_empty());
+        assert_eq!(c.tick(2000).len(), 1);
+    }
+
+    #[test]
+    fn accepts_request_within_ceiling() {
+        let mut c = active_client();
+        c.observe(40.0, 10.0);
+        let reply = c.handle(0, &request(1, 20.0)).unwrap();
+        assert_eq!(reply, ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(1), accept: true });
+        assert_eq!(c.hosted_amount(), 20.0);
+    }
+
+    #[test]
+    fn refuses_request_beyond_ceiling() {
+        let mut c = active_client();
+        c.observe(70.0, 10.0);
+        let reply = c.handle(0, &request(2, 20.0)).unwrap();
+        match reply {
+            ClientMsg::OffloadAck { accept, .. } => assert!(!accept),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.hosted_amount(), 0.0);
+    }
+
+    #[test]
+    fn hosting_raises_reported_utilization() {
+        let mut c = active_client();
+        c.observe(30.0, 5.0);
+        c.handle(0, &request(3, 15.0));
+        let msgs = c.tick(1000);
+        match &msgs[0] {
+            ClientMsg::Stat { utilization, .. } => assert_eq!(*utilization, 45.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keepalives_only_while_hosting() {
+        let mut c = active_client();
+        c.observe(30.0, 5.0);
+        assert!(!c.tick(1000).iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })));
+        c.handle(1000, &request(4, 10.0));
+        let msgs = c.tick(2000);
+        assert!(msgs.iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })));
+        // keepalive cadence is interval/4 = 250ms
+        assert!(c.tick(2100).is_empty());
+        assert!(c.tick(2250).iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })));
+    }
+
+    #[test]
+    fn release_stops_hosting() {
+        let mut c = active_client();
+        c.observe(30.0, 5.0);
+        c.handle(0, &request(5, 10.0));
+        assert_eq!(c.hosted_amount(), 10.0);
+        c.handle(10, &ManagerMsg::Release { request: RequestId(5) });
+        assert_eq!(c.hosted_amount(), 0.0);
+    }
+
+    #[test]
+    fn rep_order_is_unconditional() {
+        let mut c = active_client();
+        c.observe(79.0, 5.0); // near ceiling — a REQUEST would be refused
+        let reply = c
+            .handle(0, &ManagerMsg::Rep {
+                request: RequestId(6),
+                failed: NodeId(9),
+                from: NodeId(0),
+                amount: 10.0,
+            })
+            .unwrap();
+        match reply {
+            ClientMsg::OffloadAck { accept, .. } => assert!(accept),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.hosted_amount(), 10.0);
+    }
+
+    #[test]
+    fn inactive_client_stays_silent() {
+        let mut c = Client::new(NodeId(7), true, 80.0);
+        assert!(c.tick(10_000).is_empty());
+        let _ = c.register();
+        assert!(c.tick(20_000).is_empty(), "no STATs before the ACK");
+    }
+
+    #[test]
+    fn incapable_node_refuses_requests() {
+        let mut c = Client::new(NodeId(8), false, 80.0);
+        let _ = c.register();
+        c.handle(0, &ManagerMsg::Ack { update_interval_ms: 1000 });
+        c.observe(10.0, 1.0);
+        let reply = c.handle(0, &request(7, 5.0)).unwrap();
+        match reply {
+            ClientMsg::OffloadAck { accept, .. } => assert!(!accept),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! DUST-Manager state machine.
+//!
+//! The Manager is "a decision node \[that\] defines the most optimized
+//! destination monitoring node by evaluating network resource utilization,
+//! monitoring capabilities, and the number of monitoring agents" (§III-B).
+//! Like the client it is a pure, clock-driven state machine: it ingests
+//! `ClientMsg`s, assembles the NMDB from the latest `STAT`s, invokes the
+//! optimization engine, and emits addressed `ManagerMsg`s — registration
+//! ACKs, `Offload-Request`s, `Release`s when Busy nodes can reclaim local
+//! resources, and `REP` replica substitutions when a destination stops
+//! sending keepalives (§III-C).
+
+use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
+use dust_core::{optimize, DustConfig, NodeState, Nmdb, Placement, PlacementStatus, SolverBackend};
+use dust_topology::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What the Manager knows about one registered client.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClientRecord {
+    /// `Offload-capable` flag from registration.
+    pub capable: bool,
+    /// Latest STAT: `(time_ms, utilization, data_mb)`.
+    pub last_stat: Option<(u64, f64, f64)>,
+    /// Latest keepalive time (destinations only).
+    pub last_keepalive: Option<u64>,
+}
+
+/// One hosting arrangement brokered by the Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hosting {
+    /// Busy node that shed the load.
+    pub from: NodeId,
+    /// Destination currently hosting it.
+    pub to: NodeId,
+    /// Capacity-percent hosted.
+    pub amount: f64,
+    /// Whether the destination's `Offload-ACK` arrived.
+    pub confirmed: bool,
+}
+
+/// The DUST-Manager.
+#[derive(Debug, Clone)]
+pub struct Manager {
+    cfg: DustConfig,
+    backend: SolverBackend,
+    graph: Graph,
+    update_interval_ms: u64,
+    /// A destination is declared failed after this long without keepalive.
+    keepalive_timeout_ms: u64,
+    registry: BTreeMap<NodeId, ClientRecord>,
+    hostings: BTreeMap<RequestId, Hosting>,
+    /// Hostings whose destination failed with no replacement available.
+    orphaned: Vec<Hosting>,
+    next_request: u64,
+}
+
+impl Manager {
+    /// A Manager over `graph` with protocol timing.
+    ///
+    /// `update_interval_ms` is the Update-Interval Time sent in every ACK
+    /// ("typically in minutes", §III-B — the simulator compresses time);
+    /// `keepalive_timeout_ms` is how long a hosting destination may stay
+    /// silent before replica substitution kicks in.
+    pub fn new(
+        graph: Graph,
+        cfg: DustConfig,
+        backend: SolverBackend,
+        update_interval_ms: u64,
+        keepalive_timeout_ms: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid DustConfig");
+        assert!(update_interval_ms > 0, "update interval must be positive");
+        Manager {
+            cfg,
+            backend,
+            graph,
+            update_interval_ms,
+            keepalive_timeout_ms,
+            registry: BTreeMap::new(),
+            hostings: BTreeMap::new(),
+            orphaned: Vec::new(),
+            next_request: 0,
+        }
+    }
+
+    /// Registered clients and their records.
+    pub fn registry(&self) -> &BTreeMap<NodeId, ClientRecord> {
+        &self.registry
+    }
+
+    /// Active hosting arrangements.
+    pub fn hostings(&self) -> &BTreeMap<RequestId, Hosting> {
+        &self.hostings
+    }
+
+    /// Hostings that lost their destination and found no replacement.
+    pub fn orphaned(&self) -> &[Hosting] {
+        &self.orphaned
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        self.next_request += 1;
+        RequestId(self.next_request)
+    }
+
+    /// Process one client message.
+    pub fn handle(&mut self, now_ms: u64, msg: &ClientMsg) -> Vec<Envelope<ManagerMsg>> {
+        match msg {
+            ClientMsg::OffloadCapable { node, capable } => {
+                self.registry.insert(
+                    *node,
+                    ClientRecord { capable: *capable, last_stat: None, last_keepalive: None },
+                );
+                // "DUST-Manager responds with an ACK message to each client
+                // engaged in the offloading process" (§III-B).
+                vec![Envelope {
+                    to: *node,
+                    msg: ManagerMsg::Ack { update_interval_ms: self.update_interval_ms },
+                }]
+            }
+            ClientMsg::Stat { node, utilization, data_mb } => {
+                if let Some(rec) = self.registry.get_mut(node) {
+                    rec.last_stat = Some((now_ms, *utilization, *data_mb));
+                }
+                Vec::new()
+            }
+            ClientMsg::Keepalive { node } => {
+                if let Some(rec) = self.registry.get_mut(node) {
+                    rec.last_keepalive = Some(now_ms);
+                }
+                Vec::new()
+            }
+            ClientMsg::OffloadAck { node, request, accept } => {
+                if *accept {
+                    if let Some(h) = self.hostings.get_mut(request) {
+                        debug_assert_eq!(h.to, *node, "ACK from unexpected destination");
+                        h.confirmed = true;
+                        // hosting starts: destination owes keepalives from now
+                        if let Some(rec) = self.registry.get_mut(node) {
+                            rec.last_keepalive.get_or_insert(now_ms);
+                        }
+                    }
+                } else {
+                    // refusal: drop the arrangement; the next placement
+                    // round will retry with fresher state
+                    self.hostings.remove(request);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Assemble the NMDB from the latest STATs. Nodes that never reported
+    /// are treated as fully idle non-participants (capable = false) so they
+    /// never become placement targets on stale ignorance.
+    pub fn snapshot(&self) -> Nmdb {
+        let states = self
+            .graph
+            .nodes()
+            .map(|n| match self.registry.get(&n) {
+                Some(rec) if rec.capable => match rec.last_stat {
+                    Some((_, u, d)) => NodeState::new(u.clamp(0.0, 100.0), d.max(0.0)),
+                    None => NodeState::new(0.0, 0.0).non_offloading(),
+                },
+                _ => NodeState::new(0.0, 0.0).non_offloading(),
+            })
+            .collect();
+        Nmdb::new(self.graph.clone(), states)
+    }
+
+    /// True when the latest STATs show at least one Busy node.
+    pub fn busy_detected(&self) -> bool {
+        !self.snapshot().busy_nodes(&self.cfg).is_empty()
+    }
+
+    /// Run one optimization round ("DUST Monitoring Placement Workflow",
+    /// §III-B): deploy the optimization engine and notify the chosen
+    /// Offload-destination nodes with `Offload-Request`s.
+    ///
+    /// Returns the placement (for inspection) and the outgoing messages.
+    pub fn run_placement(&mut self, _now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
+        let nmdb = self.snapshot();
+        let placement = optimize(&nmdb, &self.cfg, self.backend);
+        let mut out = Vec::new();
+        if placement.status == PlacementStatus::Optimal {
+            for a in &placement.assignments {
+                let request = self.fresh_request();
+                self.hostings.insert(
+                    request,
+                    Hosting { from: a.from, to: a.to, amount: a.amount, confirmed: false },
+                );
+                let data_mb = nmdb.state(a.from).data_mb;
+                out.push(Envelope {
+                    to: a.to,
+                    msg: ManagerMsg::OffloadRequest {
+                        request,
+                        from: a.from,
+                        amount: a.amount,
+                        data_mb,
+                        route: a.route.clone(),
+                    },
+                });
+            }
+        }
+        (placement, out)
+    }
+
+    /// Periodic maintenance: replica substitution for silent destinations
+    /// (§III-C) and `Release` for Busy nodes whose demand dropped enough to
+    /// reclaim local resources (§III-B).
+    pub fn tick(&mut self, now_ms: u64) -> Vec<Envelope<ManagerMsg>> {
+        let mut out = Vec::new();
+
+        // --- keepalive timeouts → REP -------------------------------------
+        let failed_dests: Vec<NodeId> = self
+            .hostings
+            .values()
+            .filter(|h| h.confirmed)
+            .map(|h| h.to)
+            .filter(|to| {
+                let rec = self.registry.get(to);
+                match rec.and_then(|r| r.last_keepalive) {
+                    Some(t) => now_ms.saturating_sub(t) > self.keepalive_timeout_ms,
+                    None => true,
+                }
+            })
+            .collect();
+        for failed in failed_dests {
+            // re-home every hosting on the failed destination
+            let affected: Vec<RequestId> = self
+                .hostings
+                .iter()
+                .filter(|(_, h)| h.to == failed && h.confirmed)
+                .map(|(r, _)| *r)
+                .collect();
+            for req in affected {
+                let hosting = self.hostings.remove(&req).expect("listed above");
+                match self.pick_replacement(now_ms, failed, hosting.amount) {
+                    Some(replacement) => {
+                        let new_req = self.fresh_request();
+                        self.hostings.insert(
+                            new_req,
+                            Hosting {
+                                from: hosting.from,
+                                to: replacement,
+                                amount: hosting.amount,
+                                confirmed: false,
+                            },
+                        );
+                        // "the malfunctioning destination-node is diagnosed
+                        // and substituted with a replica node. Manager
+                        // notifies this node by sending it a REP message."
+                        out.push(Envelope {
+                            to: replacement,
+                            msg: ManagerMsg::Rep {
+                                request: new_req,
+                                failed,
+                                from: hosting.from,
+                                amount: hosting.amount,
+                            },
+                        });
+                    }
+                    None => {
+                        // No replica fits: hand the workload back to its
+                        // owner so monitoring resumes locally rather than
+                        // silently stalling on a dead destination.
+                        out.push(Envelope {
+                            to: hosting.from,
+                            msg: ManagerMsg::Release { request: req },
+                        });
+                        self.orphaned.push(hosting);
+                    }
+                }
+            }
+            // forget the stale keepalive so we don't re-trigger forever
+            if let Some(rec) = self.registry.get_mut(&failed) {
+                rec.last_keepalive = None;
+            }
+        }
+
+        // --- reclaim: Busy node could run everything locally again --------
+        let reclaimable: Vec<RequestId> = self
+            .hostings
+            .iter()
+            .filter(|(_, h)| h.confirmed)
+            .filter(|(_, h)| {
+                let total_hosted_for: f64 = self
+                    .hostings
+                    .values()
+                    .filter(|x| x.from == h.from && x.confirmed)
+                    .map(|x| x.amount)
+                    .sum();
+                match self.registry.get(&h.from).and_then(|r| r.last_stat) {
+                    Some((_, util, _)) => util + total_hosted_for <= self.cfg.c_max,
+                    None => false,
+                }
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for req in reclaimable {
+            let h = self.hostings.remove(&req).expect("listed above");
+            out.push(Envelope { to: h.to, msg: ManagerMsg::Release { request: req } });
+        }
+
+        out
+    }
+
+    /// Choose a replica destination: the capable node with the most recent
+    /// STAT headroom below `CO_max`, excluding the failed node. Nodes whose
+    /// last STAT is older than the keepalive timeout are presumed dead and
+    /// skipped — a stale record must not become the replica.
+    fn pick_replacement(&self, now_ms: u64, failed: NodeId, amount: f64) -> Option<NodeId> {
+        let committed = |n: NodeId| -> f64 {
+            self.hostings.values().filter(|h| h.to == n).map(|h| h.amount).sum()
+        };
+        self.registry
+            .iter()
+            .filter(|(n, rec)| **n != failed && rec.capable)
+            .filter_map(|(n, rec)| rec.last_stat.map(|(t, u, _)| (*n, t, u)))
+            .filter(|(_, t, _)| now_ms.saturating_sub(*t) <= self.keepalive_timeout_ms)
+            .map(|(n, _, u)| (n, u))
+            .map(|(n, u)| (n, u + committed(n)))
+            .filter(|(_, load)| load + amount <= self.cfg.co_max)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(n, _)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_topology::{topologies, Link};
+
+    fn manager_on_line(n: usize) -> Manager {
+        Manager::new(
+            topologies::line(n, Link::default()),
+            DustConfig::paper_defaults(),
+            SolverBackend::Transportation,
+            1000,
+            3000,
+        )
+    }
+
+    fn register_and_stat(m: &mut Manager, node: NodeId, util: f64) {
+        let acks = m.handle(0, &ClientMsg::OffloadCapable { node, capable: true });
+        assert_eq!(acks.len(), 1);
+        m.handle(0, &ClientMsg::Stat { node, utilization: util, data_mb: 50.0 });
+    }
+
+    #[test]
+    fn registration_gets_ack_with_interval() {
+        let mut m = manager_on_line(2);
+        let out = m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(0), capable: true });
+        assert_eq!(out[0].to, NodeId(0));
+        assert_eq!(out[0].msg, ManagerMsg::Ack { update_interval_ms: 1000 });
+    }
+
+    #[test]
+    fn snapshot_reflects_stats_and_ignorance() {
+        let mut m = manager_on_line(3);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        // node 1 registered but silent; node 2 never registered
+        m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(1), capable: true });
+        let db = m.snapshot();
+        assert_eq!(db.state(NodeId(0)).utilization, 90.0);
+        assert!(!db.state(NodeId(1)).offload_capable, "silent node must not be placed on");
+        assert!(!db.state(NodeId(2)).offload_capable);
+    }
+
+    #[test]
+    fn placement_emits_offload_requests() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        assert!(m.busy_detected());
+        let (placement, msgs) = m.run_placement(100);
+        assert_eq!(placement.status, PlacementStatus::Optimal);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].to, NodeId(1));
+        match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { from, amount, .. } => {
+                assert_eq!(*from, NodeId(0));
+                assert!((amount - 10.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.hostings().len(), 1);
+        assert!(!m.hostings().values().next().unwrap().confirmed);
+    }
+
+    #[test]
+    fn ack_confirms_hosting_and_refusal_drops_it() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(100);
+        let req = match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(150, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        assert!(m.hostings()[&req].confirmed);
+
+        // a refusal on a fresh round drops the arrangement
+        register_and_stat(&mut m, NodeId(0), 95.0);
+        let (_, msgs2) = m.run_placement(200);
+        let req2 = match &msgs2[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(250, &ClientMsg::OffloadAck { node: NodeId(1), request: req2, accept: false });
+        assert!(!m.hostings().contains_key(&req2));
+    }
+
+    #[test]
+    fn keepalive_timeout_triggers_rep() {
+        let mut m = manager_on_line(3);
+        register_and_stat(&mut m, NodeId(0), 90.0); // busy
+        register_and_stat(&mut m, NodeId(1), 20.0); // destination
+        register_and_stat(&mut m, NodeId(2), 10.0); // future replica
+        let (_, msgs) = m.run_placement(0);
+        let req = match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        m.handle(500, &ClientMsg::Keepalive { node: NodeId(1) });
+        // within timeout: nothing
+        assert!(m.tick(2000).is_empty());
+        // keep node 2's STAT fresh so it qualifies as the replica
+        m.handle(3500, &ClientMsg::Stat { node: NodeId(2), utilization: 10.0, data_mb: 50.0 });
+        // silent past the 3000ms timeout → REP to node 2
+        let out = m.tick(4000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(2));
+        match &out[0].msg {
+            ManagerMsg::Rep { failed, from, amount, .. } => {
+                assert_eq!(*failed, NodeId(1));
+                assert_eq!(*from, NodeId(0));
+                assert!((amount - 10.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+        // hosting re-homed to node 2
+        assert!(m.hostings().values().any(|h| h.to == NodeId(2)));
+        assert!(!m.hostings().values().any(|h| h.to == NodeId(1)));
+    }
+
+    #[test]
+    fn orphaned_when_no_replacement_fits() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        // only possible replacement is the busy node itself at 90% — no fit:
+        // the hosting is orphaned and the owner is told to reclaim locally
+        let out = m.tick(10_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(0));
+        assert_eq!(out[0].msg, ManagerMsg::Release { request: req });
+        assert_eq!(m.orphaned().len(), 1);
+        assert!(m.hostings().is_empty());
+    }
+
+    #[test]
+    fn release_when_busy_node_recovers() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        m.handle(20, &ClientMsg::Keepalive { node: NodeId(1) });
+        // busy node now reports 60%: 60 + 10 hosted = 70 <= c_max (80) → release
+        m.handle(1000, &ClientMsg::Stat { node: NodeId(0), utilization: 60.0, data_mb: 50.0 });
+        let out = m.tick(1100);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(1));
+        assert_eq!(out[0].msg, ManagerMsg::Release { request: req });
+        assert!(m.hostings().is_empty());
+    }
+
+    #[test]
+    fn no_release_while_demand_still_high() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        };
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        m.handle(20, &ClientMsg::Keepalive { node: NodeId(1) });
+        // post-offload STAT shows 80 (= c_max): 80 + 10 > 80 → keep hosting
+        m.handle(1000, &ClientMsg::Stat { node: NodeId(0), utilization: 80.0, data_mb: 50.0 });
+        assert!(m.tick(1100).is_empty());
+        assert_eq!(m.hostings().len(), 1);
+    }
+
+    #[test]
+    fn non_capable_registration_excluded_from_placement() {
+        let mut m = manager_on_line(2);
+        m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(0), capable: true });
+        m.handle(0, &ClientMsg::Stat { node: NodeId(0), utilization: 90.0, data_mb: 10.0 });
+        m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(1), capable: false });
+        m.handle(0, &ClientMsg::Stat { node: NodeId(1), utilization: 10.0, data_mb: 10.0 });
+        let (placement, msgs) = m.run_placement(10);
+        assert_eq!(placement.status, PlacementStatus::Infeasible, "no willing destination");
+        assert!(msgs.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! The DUST wire protocol: every message named in §III-B/§III-C.
+//!
+//! Client → Manager: `Offload-capable`, periodic `STAT`, `Offload-ACK`,
+//! destination `Keepalive`. Manager → Client: `ACK` (carrying the
+//! Update-Interval Time), `Offload-Request`, and `REP` (replica
+//! substitution after a destination failure).
+//!
+//! All messages are plain serde-serializable data so any transport (gRPC,
+//! REST, in-process channels in the simulator) can carry them.
+
+use dust_topology::{NodeId, Path};
+use serde::{Deserialize, Serialize};
+
+/// Identifier correlating an `Offload-Request` with its `Offload-ACK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// Messages a DUST-Client sends to the Manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Initial registration: `1` (true) volunteers the node for the
+    /// offloading process, `0` marks it None-offloading (§III-B).
+    OffloadCapable {
+        /// Sender.
+        node: NodeId,
+        /// Willingness to participate.
+        capable: bool,
+    },
+    /// Periodic resource report. "Client nodes send periodic STAT messages
+    /// … regardless of their current status" (§III-B).
+    Stat {
+        /// Sender.
+        node: NodeId,
+        /// Utilized capacity `C_i`, percent.
+        utilization: f64,
+        /// Monitoring data volume `D_i`, Mb.
+        data_mb: f64,
+    },
+    /// Acceptance (or refusal) of an `Offload-Request`.
+    OffloadAck {
+        /// Sender (the prospective destination).
+        node: NodeId,
+        /// Correlates with [`ManagerMsg::OffloadRequest`].
+        request: RequestId,
+        /// Whether the destination accepts the workload.
+        accept: bool,
+    },
+    /// Destination-health heartbeat: an Offload-destination "needs to send
+    /// Keepalive … and verify its offloading operational state" (§III-C).
+    Keepalive {
+        /// Sender.
+        node: NodeId,
+    },
+}
+
+/// Messages the DUST-Manager sends to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ManagerMsg {
+    /// Registration acknowledgment carrying the Update-Interval Time that
+    /// paces subsequent `STAT` messages (§III-B).
+    Ack {
+        /// STAT period in milliseconds.
+        update_interval_ms: u64,
+    },
+    /// Instruction to host `amount` capacity-percent of monitoring workload
+    /// from a Busy node, over the controllable route the optimizer chose.
+    OffloadRequest {
+        /// Correlation id.
+        request: RequestId,
+        /// The Busy node shedding load.
+        from: NodeId,
+        /// Capacity-percent to host.
+        amount: f64,
+        /// Monitoring data volume that will flow, Mb.
+        data_mb: f64,
+        /// Controllable route from the Busy node to this destination.
+        route: Option<Path>,
+    },
+    /// Replica substitution after a destination failure: the recipient
+    /// takes over hosting `from`'s workload from the failed node (§III-C).
+    Rep {
+        /// Correlation id of the replacement hosting arrangement.
+        request: RequestId,
+        /// The destination that stopped sending keepalives.
+        failed: NodeId,
+        /// The Busy node whose workload must be re-homed.
+        from: NodeId,
+        /// Capacity-percent to host.
+        amount: f64,
+    },
+    /// Release: the Busy node reclaimed local resources, hosting ends
+    /// ("a Busy node \[can\] reclaim its local resources when they become
+    /// available", §III-B).
+    Release {
+        /// Correlation id of the hosting arrangement being ended.
+        request: RequestId,
+    },
+}
+
+/// An addressed message in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<M> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_order() {
+        assert!(RequestId(1) < RequestId(2));
+    }
+
+    #[test]
+    fn envelopes_carry_payloads() {
+        let e = Envelope {
+            to: NodeId(4),
+            msg: ClientMsg::Stat { node: NodeId(1), utilization: 82.5, data_mb: 120.0 },
+        };
+        assert_eq!(e.to, NodeId(4));
+        match &e.msg {
+            ClientMsg::Stat { utilization, .. } => assert_eq!(*utilization, 82.5),
+            other => panic!("wrong payload {other:?}"),
+        }
+        // Clone + PartialEq hold for all message kinds.
+        let m = ManagerMsg::Rep {
+            request: RequestId(7),
+            failed: NodeId(2),
+            from: NodeId(0),
+            amount: 5.0,
+        };
+        assert_eq!(m.clone(), m);
+    }
+}

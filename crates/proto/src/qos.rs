@@ -1,0 +1,147 @@
+//! QoS guarantees for offloaded telemetry traffic (§III-C).
+//!
+//! "Monitoring data offloaded to a remote node is assigned the lowest
+//! priority value … This prioritization allows for the monitoring data to
+//! be safely discarded in the event of network congestion or overload."
+//! This module provides the priority lattice and a drop policy a queueing
+//! layer (the simulator's links) consults under congestion.
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic priority classes, highest first.
+///
+/// Ordering: `NetworkControl > DataPlane > LocalTelemetry >
+/// OffloadedTelemetry`. Offloaded telemetry is always the first casualty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Offloaded monitoring data — lowest priority, discard first.
+    OffloadedTelemetry,
+    /// Telemetry the node produces and consumes locally.
+    LocalTelemetry,
+    /// User data-plane traffic (the switch's reason for existing).
+    DataPlane,
+    /// Routing protocol and control traffic.
+    NetworkControl,
+}
+
+impl Priority {
+    /// All classes, lowest priority first (the discard order).
+    pub const DISCARD_ORDER: [Priority; 4] = [
+        Priority::OffloadedTelemetry,
+        Priority::LocalTelemetry,
+        Priority::DataPlane,
+        Priority::NetworkControl,
+    ];
+}
+
+/// A classified unit of traffic contending for link capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedLoad {
+    /// Traffic class.
+    pub priority: Priority,
+    /// Offered load in Mbps.
+    pub mbps: f64,
+}
+
+/// Resolve congestion on a link of `capacity_mbps`: admit classes from the
+/// highest priority down, dropping (possibly partially) from the lowest.
+///
+/// Returns the admitted Mbps per input entry, preserving order. The DUST
+/// guarantee falls out: offloaded telemetry never displaces anything above
+/// it, so "remote nodes participating in the offloading process are not
+/// expected to experience any traffic loss" on their own classes.
+pub fn admit(loads: &[ClassifiedLoad], capacity_mbps: f64) -> Vec<f64> {
+    assert!(capacity_mbps >= 0.0, "capacity must be >= 0");
+    let mut admitted = vec![0.0; loads.len()];
+    let mut remaining = capacity_mbps;
+    // highest priority first
+    for class in Priority::DISCARD_ORDER.iter().rev() {
+        let offered: f64 =
+            loads.iter().filter(|l| l.priority == *class).map(|l| l.mbps).sum();
+        if offered <= 0.0 {
+            continue;
+        }
+        let granted = offered.min(remaining);
+        let share = granted / offered; // proportional within a class
+        for (i, l) in loads.iter().enumerate() {
+            if l.priority == *class {
+                admitted[i] = l.mbps * share;
+            }
+        }
+        remaining -= granted;
+    }
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::OffloadedTelemetry < Priority::LocalTelemetry);
+        assert!(Priority::LocalTelemetry < Priority::DataPlane);
+        assert!(Priority::DataPlane < Priority::NetworkControl);
+    }
+
+    #[test]
+    fn no_congestion_admits_everything() {
+        let loads = [
+            ClassifiedLoad { priority: Priority::DataPlane, mbps: 400.0 },
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 100.0 },
+        ];
+        assert_eq!(admit(&loads, 1000.0), vec![400.0, 100.0]);
+    }
+
+    #[test]
+    fn offloaded_telemetry_dropped_first() {
+        let loads = [
+            ClassifiedLoad { priority: Priority::DataPlane, mbps: 900.0 },
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 300.0 },
+        ];
+        let a = admit(&loads, 1000.0);
+        assert_eq!(a[0], 900.0, "data plane untouched");
+        assert!((a[1] - 100.0).abs() < 1e-12, "telemetry squeezed to the leftovers");
+    }
+
+    #[test]
+    fn telemetry_fully_discarded_under_overload() {
+        let loads = [
+            ClassifiedLoad { priority: Priority::NetworkControl, mbps: 50.0 },
+            ClassifiedLoad { priority: Priority::DataPlane, mbps: 1000.0 },
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 200.0 },
+        ];
+        let a = admit(&loads, 1000.0);
+        assert_eq!(a[0], 50.0);
+        assert_eq!(a[1], 950.0);
+        assert_eq!(a[2], 0.0);
+    }
+
+    #[test]
+    fn proportional_within_class() {
+        let loads = [
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 60.0 },
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 40.0 },
+        ];
+        let a = admit(&loads, 50.0);
+        assert!((a[0] - 30.0).abs() < 1e-12);
+        assert!((a[1] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_telemetry_outranks_offloaded() {
+        let loads = [
+            ClassifiedLoad { priority: Priority::LocalTelemetry, mbps: 80.0 },
+            ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 80.0 },
+        ];
+        let a = admit(&loads, 100.0);
+        assert_eq!(a[0], 80.0);
+        assert!((a[1] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let loads = [ClassifiedLoad { priority: Priority::NetworkControl, mbps: 10.0 }];
+        assert_eq!(admit(&loads, 0.0), vec![0.0]);
+    }
+}

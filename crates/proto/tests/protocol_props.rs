@@ -1,0 +1,304 @@
+//! Property tests for the protocol state machines: random message
+//! interleavings must never violate the bookkeeping invariants the rest of
+//! the system relies on.
+
+use dust_core::{DustConfig, SolverBackend};
+use dust_proto::{Client, ClientMsg, Manager, ManagerMsg, RequestId};
+use dust_topology::{topologies, Link, NodeId};
+use proptest::prelude::*;
+
+/// Random actions to throw at a client.
+#[derive(Debug, Clone)]
+enum ClientAction {
+    Observe(f64, f64),
+    Request { id: u64, amount: f64 },
+    Release { id: u64 },
+    Rep { id: u64, amount: f64 },
+    Tick(u64),
+}
+
+fn arb_client_action() -> impl Strategy<Value = ClientAction> {
+    prop_oneof![
+        (0.0f64..100.0, 0.0f64..500.0).prop_map(|(u, d)| ClientAction::Observe(u, d)),
+        (0u64..20, 0.1f64..30.0).prop_map(|(id, amount)| ClientAction::Request { id, amount }),
+        (0u64..20).prop_map(|id| ClientAction::Release { id }),
+        (0u64..20, 0.1f64..10.0).prop_map(|(id, amount)| ClientAction::Rep { id, amount }),
+        (1u64..5_000).prop_map(ClientAction::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the Manager sends in whatever order, the client's hosted
+    /// ledger stays consistent: non-negative, only accepted requests are
+    /// hosted, releases remove exactly their request, and STAT always
+    /// reports local + hosted load.
+    #[test]
+    fn client_ledger_consistent(actions in proptest::collection::vec(arb_client_action(), 1..60)) {
+        let mut c = Client::new(NodeId(0), true, 80.0);
+        let _ = c.register();
+        c.handle(0, &ManagerMsg::Ack { update_interval_ms: 100 });
+        let mut now = 0u64;
+        let mut expected: std::collections::BTreeMap<u64, f64> = Default::default();
+        let mut last_observed = 0.0f64;
+        for a in actions {
+            match a {
+                ClientAction::Observe(u, d) => {
+                    c.observe(u, d);
+                    last_observed = u;
+                }
+                ClientAction::Request { id, amount } => {
+                    let reply = c.handle(now, &ManagerMsg::OffloadRequest {
+                        request: RequestId(id),
+                        from: NodeId(9),
+                        amount,
+                        data_mb: 1.0,
+                        route: None,
+                    });
+                    match reply {
+                        Some(ClientMsg::OffloadAck { accept, request, .. }) => {
+                            prop_assert_eq!(request, RequestId(id));
+                            if accept {
+                                // acceptance implies the ceiling held
+                                prop_assert!(last_observed + expected.values().sum::<f64>() + amount <= 80.0 + 1e-9);
+                                expected.insert(id, amount);
+                            }
+                        }
+                        other => prop_assert!(false, "request must be answered, got {other:?}"),
+                    }
+                }
+                ClientAction::Release { id } => {
+                    c.handle(now, &ManagerMsg::Release { request: RequestId(id) });
+                    expected.remove(&id);
+                }
+                ClientAction::Rep { id, amount } => {
+                    let reply = c.handle(now, &ManagerMsg::Rep {
+                        request: RequestId(id),
+                        failed: NodeId(7),
+                        from: NodeId(9),
+                        amount,
+                    });
+                    let accepted =
+                        matches!(reply, Some(ClientMsg::OffloadAck { accept: true, .. }));
+                    prop_assert!(accepted, "REP must be accepted unconditionally");
+                    expected.insert(id, amount);
+                }
+                ClientAction::Tick(dt) => {
+                    now += dt;
+                    for m in c.tick(now) {
+                        if let ClientMsg::Stat { utilization, .. } = m {
+                            let want = last_observed + expected.values().sum::<f64>();
+                            prop_assert!((utilization - want).abs() < 1e-9,
+                                "STAT {utilization} != observed {last_observed} + hosted");
+                        }
+                    }
+                }
+            }
+            let hosted: f64 = expected.values().sum();
+            prop_assert!((c.hosted_amount() - hosted).abs() < 1e-9,
+                "ledger mismatch: {} vs {}", c.hosted_amount(), hosted);
+            prop_assert!(c.hosted_amount() >= 0.0);
+        }
+    }
+
+    /// Manager invariants under random STAT streams and placement rounds:
+    /// request ids never repeat, confirmed hostings always reference
+    /// registered nodes, and snapshots clamp dirty inputs.
+    #[test]
+    fn manager_bookkeeping_sound(
+        utils in proptest::collection::vec((0u32..5, 0.0f64..150.0), 1..40),
+        rounds in 1usize..4,
+    ) {
+        let g = topologies::star(5, Link::default());
+        let mut m = Manager::new(
+            g,
+            DustConfig::paper_defaults(),
+            SolverBackend::Transportation,
+            100,
+            400,
+        );
+        for n in 0..5u32 {
+            m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
+        }
+        let mut now = 1u64;
+        let mut seen_requests: std::collections::BTreeSet<RequestId> = Default::default();
+        for (n, u) in utils {
+            // deliberately dirty utilizations above 100 — snapshot must clamp
+            m.handle(now, &ClientMsg::Stat { node: NodeId(n), utilization: u.min(100.0), data_mb: 10.0 });
+            now += 1;
+        }
+        for _ in 0..rounds {
+            let (placement, outs) = m.run_placement(now);
+            let _ = placement;
+            for env in &outs {
+                if let ManagerMsg::OffloadRequest { request, from, amount, .. } = &env.msg {
+                    prop_assert!(seen_requests.insert(*request), "request id reuse");
+                    prop_assert!(*amount > 0.0);
+                    prop_assert!(from.0 < 5 && env.to.0 < 5);
+                    prop_assert_ne!(*from, env.to, "never offload to yourself");
+                    // accept every request so hostings confirm
+                    m.handle(now, &ClientMsg::OffloadAck {
+                        node: env.to,
+                        request: *request,
+                        accept: true,
+                    });
+                }
+            }
+            now += 10;
+        }
+        for h in m.hostings().values() {
+            prop_assert!(m.registry().contains_key(&h.to));
+            prop_assert!(m.registry().contains_key(&h.from));
+            prop_assert!(h.amount > 0.0);
+        }
+        // snapshot is always a valid NMDB
+        let db = m.snapshot();
+        for s in &db.states {
+            prop_assert!((0.0..=100.0).contains(&s.utilization));
+            prop_assert!(s.data_mb >= 0.0);
+        }
+    }
+
+    /// Keepalive timeouts never lose workloads: every confirmed hosting is
+    /// either still hosted, re-homed by a REP, or recorded as orphaned.
+    #[test]
+    fn failures_conserve_hostings(fail_first in any::<bool>(), silence_ms in 500u64..5_000) {
+        let g = topologies::line(3, Link::default());
+        let mut m = Manager::new(
+            g,
+            DustConfig::paper_defaults(),
+            SolverBackend::Transportation,
+            100,
+            400,
+        );
+        for n in 0..3u32 {
+            m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
+        }
+        m.handle(1, &ClientMsg::Stat { node: NodeId(0), utilization: 90.0, data_mb: 10.0 });
+        m.handle(1, &ClientMsg::Stat { node: NodeId(1), utilization: 20.0, data_mb: 10.0 });
+        m.handle(1, &ClientMsg::Stat { node: NodeId(2), utilization: 10.0, data_mb: 10.0 });
+        let (_, outs) = m.run_placement(2);
+        let before: usize = outs.len();
+        for env in &outs {
+            if let ManagerMsg::OffloadRequest { request, .. } = &env.msg {
+                m.handle(3, &ClientMsg::OffloadAck { node: env.to, request: *request, accept: true });
+            }
+        }
+        let confirmed = m.hostings().len();
+        prop_assert_eq!(confirmed, before);
+
+        // one destination goes silent; keep the other's records fresh
+        let silent = if fail_first { NodeId(1) } else { NodeId(2) };
+        let alive = if fail_first { NodeId(2) } else { NodeId(1) };
+        let t = 3 + silence_ms;
+        m.handle(t, &ClientMsg::Stat { node: alive, utilization: 10.0, data_mb: 10.0 });
+        m.handle(t, &ClientMsg::Keepalive { node: alive });
+        let _ = silent;
+        let outs = m.tick(t + 1);
+        // conservation: hostings + orphans == confirmed arrangements
+        let after = m.hostings().len() + m.orphaned().len();
+        prop_assert_eq!(after, confirmed, "arrangements lost or duplicated");
+        // REPs (if any) went to the alive node
+        for env in outs {
+            if let ManagerMsg::Rep { .. } = env.msg {
+                prop_assert_eq!(env.to, alive);
+            }
+        }
+    }
+}
+
+use dust_proto::{decode_client, decode_manager, encode_client, encode_manager};
+use dust_topology::{EdgeId, Path};
+
+fn arb_route() -> impl Strategy<Value = Option<Path>> {
+    prop_oneof![
+        1 => Just(None),
+        3 => proptest::collection::vec(0u32..10_000, 2..12).prop_map(|nodes| {
+            let edges = (0..nodes.len() - 1).map(|i| EdgeId(i as u32)).collect();
+            Some(Path { nodes: nodes.into_iter().map(NodeId).collect(), edges })
+        }),
+    ]
+}
+
+fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
+    prop_oneof![
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(n, c)| ClientMsg::OffloadCapable { node: NodeId(n), capable: c }),
+        (any::<u32>(), any::<f64>(), any::<f64>()).prop_map(|(n, u, d)| ClientMsg::Stat {
+            node: NodeId(n),
+            utilization: u,
+            data_mb: d
+        }),
+        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(n, r, a)| ClientMsg::OffloadAck {
+            node: NodeId(n),
+            request: RequestId(r),
+            accept: a
+        }),
+        any::<u32>().prop_map(|n| ClientMsg::Keepalive { node: NodeId(n) }),
+    ]
+}
+
+fn arb_manager_msg() -> impl Strategy<Value = ManagerMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|i| ManagerMsg::Ack { update_interval_ms: i }),
+        (any::<u64>(), any::<u32>(), any::<f64>(), any::<f64>(), arb_route()).prop_map(
+            |(r, f, a, d, route)| ManagerMsg::OffloadRequest {
+                request: RequestId(r),
+                from: NodeId(f),
+                amount: a,
+                data_mb: d,
+                route,
+            }
+        ),
+        (any::<u64>(), any::<u32>(), any::<u32>(), any::<f64>()).prop_map(|(r, x, f, a)| {
+            ManagerMsg::Rep { request: RequestId(r), failed: NodeId(x), from: NodeId(f), amount: a }
+        }),
+        any::<u64>().prop_map(|r| ManagerMsg::Release { request: RequestId(r) }),
+    ]
+}
+
+/// Bit-exact float comparison for message equality (NaN-safe).
+fn msgs_bit_equal_c(a: &ClientMsg, b: &ClientMsg) -> bool {
+    format!("{a:?}").replace("NaN", "nan") == format!("{b:?}").replace("NaN", "nan")
+        || encode_client(a) == encode_client(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every client message round-trips byte-exactly through the codec.
+    #[test]
+    fn codec_client_roundtrip(m in arb_client_msg()) {
+        let bytes = encode_client(&m);
+        let back = decode_client(&bytes).expect("decode");
+        prop_assert!(msgs_bit_equal_c(&m, &back), "{m:?} vs {back:?}");
+        // re-encoding is stable
+        prop_assert_eq!(encode_client(&back), bytes);
+    }
+
+    /// Every manager message round-trips through the codec.
+    #[test]
+    fn codec_manager_roundtrip(m in arb_manager_msg()) {
+        let bytes = encode_manager(&m);
+        let back = decode_manager(&bytes).expect("decode");
+        prop_assert_eq!(encode_manager(&back), bytes, "re-encode mismatch for {:?}", m);
+    }
+
+    /// Arbitrary byte soup never panics the decoders — they return errors.
+    #[test]
+    fn codec_decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_client(&bytes);
+        let _ = decode_manager(&bytes);
+    }
+
+    /// Truncating a valid frame anywhere is always detected.
+    #[test]
+    fn codec_detects_truncation(m in arb_manager_msg(), frac in 0.0f64..1.0) {
+        let bytes = encode_manager(&m);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_manager(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic discrete-event scheduling core.
+//!
+//! A minimal event queue with total ordering: events fire in `(time, seq)`
+//! order, where `seq` is the insertion sequence number — two events at the
+//! same timestamp fire in the order they were scheduled, so simulation
+//! runs are bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event of type `E` at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Fire time, ms since simulation epoch.
+    pub at_ms: u64,
+    /// Insertion order tiebreaker.
+    pub seq: u64,
+    /// Payload.
+    pub event: E,
+}
+
+/// Deterministic priority queue of events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    // payloads stored separately so E needs no Ord
+    payloads: std::collections::HashMap<(u64, u64), E>,
+    next_seq: u64,
+    now_ms: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            next_seq: 0,
+            now_ms: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time: the fire time of the last popped event.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at_ms`.
+    ///
+    /// # Panics
+    /// Panics when scheduling into the past.
+    pub fn schedule(&mut self, at_ms: u64, event: E) {
+        assert!(
+            at_ms >= self.now_ms,
+            "cannot schedule into the past: {at_ms} < now {}",
+            self.now_ms
+        );
+        let key = (at_ms, self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Reverse(key));
+        self.payloads.insert(key, event);
+    }
+
+    /// Schedule `event` `delay_ms` after now.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: E) {
+        self.schedule(self.now_ms + delay_ms, event);
+    }
+
+    /// Pop the next event, advancing simulated time to its fire time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let Reverse(key) = self.heap.pop()?;
+        let event = self.payloads.remove(&key).expect("payload tracked with key");
+        self.now_ms = key.0;
+        Some(Scheduled { at_ms: key.0, seq: key.1, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        assert_eq!(q.now_ms(), 0);
+        q.pop();
+        assert_eq!(q.now_ms(), 100);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(50, "first");
+        q.pop();
+        q.schedule_in(25, "second");
+        let s = q.pop().unwrap();
+        assert_eq!(s.at_ms, 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn past_scheduling_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule(50, ());
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

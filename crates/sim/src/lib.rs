@@ -1,0 +1,41 @@
+//! Discrete-event testbed simulator for DUST (§V-A).
+//!
+//! Substitutes the paper's physical prototype — a VxLAN data-center
+//! topology of commercial switches — with a deterministic simulation:
+//!
+//! * [`engine`] — a deterministic event queue;
+//! * [`node`] — the device resource model (Aruba-8325-class DUT, servers,
+//!   DPUs) where CPU/memory derive from which monitor agents run where;
+//! * [`traffic`] — VxLAN overlay traffic profiles projected onto links;
+//! * [`runner`] — the full wiring: protocol state machines, placement
+//!   rounds, physical agent movement, metric recording, failure injection;
+//! * [`scenarios`] — canned reproductions of Fig. 1 (monitoring CPU vs
+//!   traffic) and Fig. 6 (local vs DUST resource usage) on the Fig. 5
+//!   testbed topology.
+//!
+//! # Example
+//!
+//! ```
+//! use dust_sim::scenarios;
+//!
+//! // the Fig. 6 experiment, 60 simulated seconds
+//! let r = scenarios::fig6(60_000, 42);
+//! assert!(r.transfers > 0);
+//! assert!(r.dust_cpu < r.local_cpu);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod flows;
+pub mod node;
+pub mod runner;
+pub mod scenarios;
+pub mod traffic;
+
+pub use engine::{EventQueue, Scheduled};
+pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
+pub use node::{NodeSpec, SimNode};
+pub use runner::{SimConfig, SimReport, Simulation};
+pub use scenarios::{congestion, fig1, fig6, fleet, testbed_topology, CongestionResult, Fig1Row, Fig6Result, FleetResult};
+pub use traffic::TrafficModel;

@@ -1,0 +1,539 @@
+//! End-to-end DUST simulation: protocol, placement, and resource model
+//! wired onto the discrete-event engine.
+//!
+//! One [`Simulation`] owns the topology, a [`SimNode`] resource model and a
+//! [`dust_proto::Client`] state machine per device, and a
+//! [`dust_proto::Manager`]. Traffic evolves per the [`TrafficModel`],
+//! clients report STATs, the Manager runs placement rounds, and accepted
+//! offloads *physically move monitor agents* between nodes — so measured
+//! CPU/memory series (recorded into a [`Federation`]) reproduce the Fig. 6
+//! deltas mechanistically. Node failures can be injected to exercise the
+//! keepalive → REP replica-substitution path (§III-C).
+
+use crate::engine::EventQueue;
+use crate::flows::{evaluate_flows, TelemetryFlow};
+use crate::node::SimNode;
+use crate::traffic::TrafficModel;
+use dust_core::{DustConfig, SolverBackend};
+use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
+use dust_telemetry::Federation;
+use dust_topology::{Graph, NodeId, Path};
+use std::collections::{HashMap, HashSet};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Placement thresholds and routing options.
+    pub dust: DustConfig,
+    /// LP backend for the Manager's optimization engine.
+    pub backend: SolverBackend,
+    /// STAT cadence handed out in ACKs, ms.
+    pub update_interval_ms: u64,
+    /// Keepalive silence tolerated before replica substitution, ms.
+    pub keepalive_timeout_ms: u64,
+    /// How often the Manager runs a placement round, ms.
+    pub placement_period_ms: u64,
+    /// Metric sampling cadence, ms.
+    pub sample_period_ms: u64,
+    /// Total simulated time, ms.
+    pub duration_ms: u64,
+    /// `false` runs the "local monitoring" baseline: the DUST control plane
+    /// still gossips, but no placement rounds fire (Fig. 6's comparison).
+    pub dust_enabled: bool,
+    /// Per-link utilization jitter around the traffic model's base.
+    pub link_jitter: f64,
+    /// When `true`, an accepted Offload-Request moves the Busy node's
+    /// *entire* local monitoring deployment instead of just the granted
+    /// capacity budget — the semantics of the paper's testbed experiment
+    /// (§V-A offloaded all ten agents; Fig. 6).
+    pub full_monitoring_offload: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dust: DustConfig::paper_defaults(),
+            backend: SolverBackend::Transportation,
+            update_interval_ms: 1_000,
+            keepalive_timeout_ms: 4_000,
+            placement_period_ms: 5_000,
+            sample_period_ms: 1_000,
+            duration_ms: 120_000,
+            dust_enabled: true,
+            link_jitter: 0.05,
+            full_monitoring_offload: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    /// All clients observe resources and tick their protocol machines.
+    ClientTick,
+    /// Manager maintenance (keepalive timeouts, releases).
+    ManagerTick,
+    /// Manager placement round.
+    PlacementRound,
+    /// Record metric samples.
+    Sample,
+    /// Stop a node (crash): it stops sending anything.
+    Kill(NodeId),
+    /// Restart a dead node.
+    Revive(NodeId),
+}
+
+/// Summary of a finished run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Per-node metric series: `device-cpu`, `device-mem`, `monitor-cpu`
+    /// (percent of one core), recorded per [`SimConfig::sample_period_ms`].
+    pub federation: Federation,
+    /// Placement rounds that produced at least one Offload-Request.
+    pub placements_with_assignments: usize,
+    /// Offload transfers physically applied (accepted requests).
+    pub transfers_applied: usize,
+    /// REP replica substitutions applied.
+    pub replicas_applied: usize,
+    /// Hostings orphaned (destination died, no replacement fit).
+    pub orphaned: usize,
+    /// Final simulated time, ms.
+    pub end_ms: u64,
+}
+
+impl SimReport {
+    /// Mean of a node's recorded series over `[start, end)`.
+    pub fn mean(&self, node: NodeId, series: &str, start_ms: u64, end_ms: u64) -> Option<f64> {
+        self.federation.store(node)?.series(series)?.mean(start_ms, end_ms)
+    }
+
+    /// Maximum of a node's recorded series over `[start, end)`.
+    pub fn max(&self, node: NodeId, series: &str, start_ms: u64, end_ms: u64) -> Option<f64> {
+        self.federation.store(node)?.series(series)?.max(start_ms, end_ms)
+    }
+}
+
+/// One accepted transfer tracked by the simulation.
+#[derive(Debug, Clone)]
+struct Transfer {
+    owner: NodeId,
+    host: NodeId,
+    /// Route from the Offload-Request (REP re-homes arrive without one).
+    route: Option<Path>,
+    /// Telemetry volume shipped per update interval, Mb.
+    data_mb: f64,
+}
+
+/// The wired-up simulation.
+pub struct Simulation {
+    graph: Graph,
+    nodes: Vec<SimNode>,
+    clients: Vec<Client>,
+    manager: Manager,
+    traffic: TrafficModel,
+    cfg: SimConfig,
+    dead: HashSet<NodeId>,
+    /// Accepted transfers by request id.
+    active: HashMap<RequestId, Transfer>,
+    /// Failure injections: `(when_ms, node)`.
+    kills: Vec<(u64, NodeId)>,
+    /// Revival injections.
+    revives: Vec<(u64, NodeId)>,
+}
+
+impl Simulation {
+    /// Build a simulation over `graph` with one [`SimNode`] per vertex.
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn new(graph: Graph, nodes: Vec<SimNode>, traffic: TrafficModel, cfg: SimConfig) -> Self {
+        assert_eq!(nodes.len(), graph.node_count(), "one SimNode per vertex");
+        let manager = Manager::new(
+            graph.clone(),
+            cfg.dust,
+            cfg.backend,
+            cfg.update_interval_ms,
+            cfg.keepalive_timeout_ms,
+        );
+        let clients = nodes
+            .iter()
+            .map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0))
+            .collect();
+        Simulation {
+            graph,
+            nodes,
+            clients,
+            manager,
+            traffic,
+            cfg,
+            dead: HashSet::new(),
+            active: HashMap::new(),
+            kills: Vec::new(),
+            revives: Vec::new(),
+        }
+    }
+
+    /// Schedule a crash of `node` at `at_ms`.
+    pub fn inject_failure(&mut self, at_ms: u64, node: NodeId) {
+        self.kills.push((at_ms, node));
+    }
+
+    /// Schedule a revival of `node` at `at_ms`.
+    pub fn inject_revival(&mut self, at_ms: u64, node: NodeId) {
+        self.revives.push((at_ms, node));
+    }
+
+    fn alive(&self, n: NodeId) -> bool {
+        !self.dead.contains(&n)
+    }
+
+    /// Apply a Manager → client envelope: route to the client state machine
+    /// and mirror accepted decisions onto the resource model.
+    fn deliver_manager_msg(&mut self, now: u64, env: Envelope<ManagerMsg>, report: &mut SimReport) {
+        let to = env.to;
+        if !self.alive(to) {
+            return; // lost on the wire; keepalive timeout will catch it
+        }
+        let traffic = self.traffic.fraction(now);
+        let reply = self.clients[to.index()].handle(now, &env.msg);
+        // Mirror protocol decisions onto the physical model.
+        match (&env.msg, &reply) {
+            (
+                ManagerMsg::OffloadRequest { request, from, amount, .. },
+                Some(ClientMsg::OffloadAck { accept: true, .. }),
+            ) => {
+                if self.cfg.full_monitoring_offload {
+                    // The Busy node sheds its own agents…
+                    let moved = self.nodes[from.index()].offload_all_to(to);
+                    self.nodes[to.index()].host_agents(*from, &moved);
+                    // …and redirects any workload it was hosting for others
+                    // ("an Offload-destination node can redirect the
+                    // workload to another node if it becomes busy", §III-B).
+                    let redirected: Vec<(NodeId, _)> =
+                        self.nodes[from.index()].hosted_agents.drain(..).collect();
+                    for (owner, agent) in redirected {
+                        for (h, _) in self.nodes[owner.index()].offloaded_agents.iter_mut() {
+                            if *h == *from {
+                                *h = to;
+                            }
+                        }
+                        self.nodes[to.index()].host_agents(owner, &[agent]);
+                    }
+                    // keep the transfer ledger pointing at the new host
+                    // (redirected flows lose their planned route)
+                    for t in self.active.values_mut() {
+                        if t.host == *from {
+                            t.host = to;
+                            t.route = None;
+                        }
+                    }
+                } else {
+                    let moved =
+                        self.nodes[from.index()].offload_agents_to(to, *amount, traffic);
+                    self.nodes[to.index()].host_agents(*from, &moved);
+                }
+                let (route, data_mb) = match &env.msg {
+                    ManagerMsg::OffloadRequest { route, data_mb, .. } => {
+                        (route.clone(), *data_mb)
+                    }
+                    _ => (None, 0.0),
+                };
+                self.active.insert(
+                    *request,
+                    Transfer { owner: *from, host: to, route, data_mb },
+                );
+                report.transfers_applied += 1;
+            }
+            (ManagerMsg::Rep { request, failed, from, .. }, Some(_)) => {
+                // re-home: retarget the owner's offloaded agents and move
+                // the hosted copies from the failed node to the new host
+                let owner = &mut self.nodes[from.index()];
+                let mut rehomed = Vec::new();
+                for (h, a) in owner.offloaded_agents.iter_mut() {
+                    if *h == *failed {
+                        *h = to;
+                        rehomed.push(*a);
+                    }
+                }
+                self.nodes[failed.index()].drop_hosted_for(*from);
+                self.nodes[to.index()].host_agents(*from, &rehomed);
+                self.active.insert(
+                    *request,
+                    Transfer { owner: *from, host: to, route: None, data_mb: 0.0 },
+                );
+                report.replicas_applied += 1;
+            }
+            (ManagerMsg::Release { request }, _) => {
+                if let Some(t) = self.active.remove(request) {
+                    self.nodes[t.owner.index()].reclaim_from(t.host);
+                    self.nodes[t.host.index()].drop_hosted_for(t.owner);
+                }
+            }
+            _ => {}
+        }
+        if let Some(r) = reply {
+            for out in self.manager.handle(now, &r) {
+                self.deliver_manager_msg(now, out, report);
+            }
+        }
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self) -> SimReport {
+        let mut report = SimReport {
+            federation: Federation::new(),
+            placements_with_assignments: 0,
+            transfers_applied: 0,
+            replicas_applied: 0,
+            orphaned: 0,
+            end_ms: 0,
+        };
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+
+        // Registration at t = 0: every client announces itself.
+        for i in 0..self.clients.len() {
+            let reg = self.clients[i].register();
+            for env in self.manager.handle(0, &reg) {
+                self.deliver_manager_msg(0, env, &mut report);
+            }
+        }
+
+        // Periodic events.
+        q.schedule(self.cfg.update_interval_ms, SimEvent::ClientTick);
+        q.schedule(self.cfg.update_interval_ms, SimEvent::ManagerTick);
+        if self.cfg.dust_enabled {
+            q.schedule(self.cfg.placement_period_ms, SimEvent::PlacementRound);
+        }
+        q.schedule(0, SimEvent::Sample);
+        for &(t, n) in &self.kills {
+            q.schedule(t, SimEvent::Kill(n));
+        }
+        for &(t, n) in &self.revives {
+            q.schedule(t, SimEvent::Revive(n));
+        }
+
+        while let Some(ev) = q.pop() {
+            let now = ev.at_ms;
+            if now > self.cfg.duration_ms {
+                break;
+            }
+            match ev.event {
+                SimEvent::ClientTick => {
+                    let traffic = self.traffic.fraction(now);
+                    self.traffic.apply_to_links(
+                        &mut self.graph,
+                        now,
+                        self.cfg.link_jitter,
+                        self.cfg.seed,
+                    );
+                    for i in 0..self.nodes.len() {
+                        let id = self.nodes[i].id;
+                        if !self.alive(id) {
+                            continue;
+                        }
+                        let cpu = self.nodes[i].device_cpu_percent(now, traffic);
+                        let data = self.nodes[i].data_mb(traffic);
+                        self.clients[i].observe(cpu, data);
+                        for msg in self.clients[i].tick(now) {
+                            for env in self.manager.handle(now, &msg) {
+                                self.deliver_manager_msg(now, env, &mut report);
+                            }
+                        }
+                    }
+                    q.schedule_in(self.cfg.update_interval_ms, SimEvent::ClientTick);
+                }
+                SimEvent::ManagerTick => {
+                    let outs = self.manager.tick(now);
+                    for env in outs {
+                        self.deliver_manager_msg(now, env, &mut report);
+                    }
+                    q.schedule_in(self.cfg.update_interval_ms, SimEvent::ManagerTick);
+                }
+                SimEvent::PlacementRound => {
+                    let (placement, outs) = self.manager.run_placement(now);
+                    if !outs.is_empty() {
+                        report.placements_with_assignments += 1;
+                    }
+                    let _ = placement;
+                    for env in outs {
+                        self.deliver_manager_msg(now, env, &mut report);
+                    }
+                    q.schedule_in(self.cfg.placement_period_ms, SimEvent::PlacementRound);
+                }
+                SimEvent::Sample => {
+                    let traffic = self.traffic.fraction(now);
+                    for n in &self.nodes {
+                        let db = report.federation.store_mut(n.id);
+                        db.append("device-cpu", now, n.device_cpu_percent(now, traffic));
+                        db.append("device-mem", now, n.device_mem_percent());
+                        db.append(
+                            "monitor-cpu",
+                            now,
+                            n.monitoring_cpu_core_percent(now, traffic),
+                        );
+                    }
+                    // Telemetry transport: every routed transfer streams its
+                    // owner's data over the chosen path at the lowest QoS
+                    // class (§III-C); record delivered rate and loss.
+                    let flows: Vec<TelemetryFlow> = self
+                        .active
+                        .values()
+                        .filter(|t| t.data_mb > 0.0)
+                        .filter_map(|t| {
+                            t.route.as_ref().map(|r| TelemetryFlow {
+                                owner: t.owner,
+                                host: t.host,
+                                route: r.clone(),
+                                data_mb: t.data_mb,
+                            })
+                        })
+                        .collect();
+                    if !flows.is_empty() {
+                        let outs = evaluate_flows(
+                            &self.graph,
+                            &flows,
+                            self.cfg.update_interval_ms,
+                        );
+                        for (f, o) in flows.iter().zip(&outs) {
+                            let db = report.federation.store_mut(f.owner);
+                            db.append("telemetry-admitted-mbps", now, o.admitted_mbps);
+                            db.append("telemetry-dropped", now, o.dropped_fraction);
+                        }
+                    }
+                    q.schedule_in(self.cfg.sample_period_ms, SimEvent::Sample);
+                }
+                SimEvent::Kill(n) => {
+                    self.dead.insert(n);
+                }
+                SimEvent::Revive(n) => {
+                    self.dead.remove(&n);
+                }
+            }
+            report.end_ms = now;
+        }
+        report.orphaned = self.manager.orphaned().len();
+        report
+    }
+
+    /// Immutable view of the resource model (for assertions).
+    pub fn nodes(&self) -> &[SimNode] {
+        &self.nodes
+    }
+
+    /// The Manager (for assertions on protocol state).
+    pub fn manager(&self) -> &Manager {
+        &self.manager
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use dust_topology::{topologies, Link};
+
+    /// DUT (node 0) + idle server (node 1) on one link.
+    fn two_node_sim(dust_enabled: bool) -> Simulation {
+        let g = topologies::line(2, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+        ];
+        // make the DUT Busy under paper thresholds: lower c_max so ~31 %
+        // qualifies (thresholds are per-deployment, §IV-A)
+        let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
+        let cfg = SimConfig {
+            dust,
+            dust_enabled,
+            duration_ms: 60_000,
+            ..Default::default()
+        };
+        Simulation::new(g, nodes, TrafficModel::testbed(), cfg)
+    }
+
+    #[test]
+    fn baseline_never_offloads() {
+        let mut sim = two_node_sim(false);
+        let report = sim.run();
+        assert_eq!(report.transfers_applied, 0);
+        assert_eq!(sim.nodes()[0].local_agents.len(), 10);
+    }
+
+    #[test]
+    fn dust_offloads_and_cpu_drops() {
+        let mut sim = two_node_sim(true);
+        let report = sim.run();
+        assert!(report.transfers_applied > 0, "placement must fire");
+        assert!(
+            !sim.nodes()[0].offloaded_agents.is_empty(),
+            "agents must physically move"
+        );
+        // CPU in the steady tail must sit below the pre-offload window
+        let before = report.mean(NodeId(0), "device-cpu", 0, 5_000).unwrap();
+        let after = report.mean(NodeId(0), "device-cpu", 40_000, 60_000).unwrap();
+        assert!(
+            after < before - 5.0,
+            "offload must reduce DUT CPU: before {before:.1} after {after:.1}"
+        );
+    }
+
+    #[test]
+    fn failure_triggers_replica_substitution() {
+        // three nodes: DUT busy, two possible hosts
+        let g = topologies::line(3, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+            SimNode::bare(NodeId(2), NodeSpec::server()),
+        ];
+        let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
+        let cfg = SimConfig {
+            dust,
+            duration_ms: 60_000,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
+        // kill whichever host got the agents once hosting is underway
+        sim.inject_failure(20_000, NodeId(1));
+        let report = sim.run();
+        if sim.nodes()[1].hosted_agents.is_empty() && report.replicas_applied > 0 {
+            // re-homed to node 2
+            assert!(!sim.nodes()[2].hosted_agents.is_empty());
+        }
+        // invariant: the DUT's agents are somewhere — local, on 1, or on 2
+        let total = sim.nodes()[0].local_agents.len()
+            + sim
+                .nodes()
+                .iter()
+                .map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == NodeId(0)).count())
+                .sum::<usize>();
+        assert_eq!(total, 10, "no agents may be lost");
+    }
+
+    #[test]
+    fn sampling_produces_all_series() {
+        let mut sim = two_node_sim(false);
+        let report = sim.run();
+        for n in [NodeId(0), NodeId(1)] {
+            let db = report.federation.store(n).unwrap();
+            for s in ["device-cpu", "device-mem", "monitor-cpu"] {
+                assert!(db.series(s).is_some(), "{n:?} missing {s}");
+                assert!(db.series(s).unwrap().len() >= 50);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let r1 = two_node_sim(true).run();
+        let r2 = two_node_sim(true).run();
+        assert_eq!(r1.transfers_applied, r2.transfers_applied);
+        assert_eq!(
+            r1.mean(NodeId(0), "device-cpu", 0, 60_000),
+            r2.mean(NodeId(0), "device-cpu", 0, 60_000)
+        );
+    }
+}

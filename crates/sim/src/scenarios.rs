@@ -1,0 +1,386 @@
+//! Canned testbed scenarios reproducing the paper's Figs. 1, 5, and 6.
+//!
+//! [`testbed_topology`] mirrors Fig. 5's small VxLAN data-center prototype:
+//! a spine/leaf fabric where the DUT (an Aruba 8325-class leaf) runs the
+//! ten-agent monitoring deployment and neighboring servers offer spare
+//! compute. [`fig1`] sweeps traffic and reports the monitoring module's CPU
+//! (average and spikes); [`fig6`] runs local-vs-DUST and reports the
+//! device-level CPU/memory pairs.
+
+use crate::node::{NodeSpec, SimNode};
+use crate::runner::{SimConfig, SimReport, Simulation};
+use crate::traffic::TrafficModel;
+use dust_core::DustConfig;
+use dust_topology::{Graph, Link, NodeId};
+
+/// The Fig. 5 testbed: 2 spines, 2 leaves, 2 servers. Returns the graph
+/// and the DUT's node id (leaf 0).
+///
+/// ```text
+///   spine0 ─┬─ leaf0 (DUT) ─ server0
+///           │      ╳
+///   spine1 ─┴─ leaf1        ─ server1
+/// ```
+pub fn testbed_topology() -> (Graph, NodeId) {
+    let mut g = Graph::with_nodes(6);
+    let link = Link::new(25_000.0, 0.2); // 25G fabric at testbed load
+    let (s0, s1, l0, l1, srv0, srv1) =
+        (NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5));
+    for spine in [s0, s1] {
+        for leaf in [l0, l1] {
+            g.add_edge(spine, leaf, link);
+        }
+    }
+    g.add_edge(l0, srv0, Link::new(10_000.0, 0.2));
+    g.add_edge(l1, srv1, Link::new(10_000.0, 0.2));
+    (g, l0)
+}
+
+/// SimNodes matching [`testbed_topology`]: switches run monitoring (the
+/// DUT with the full ten agents), servers are bare offload targets.
+pub fn testbed_nodes(dut: NodeId) -> Vec<SimNode> {
+    (0..6u32)
+        .map(|i| {
+            let id = NodeId(i);
+            if id == dut {
+                SimNode::with_standard_agents(id, NodeSpec::aruba_8325())
+            } else if i >= 4 {
+                SimNode::bare(id, NodeSpec::server())
+            } else {
+                SimNode::bare(id, NodeSpec::aruba_8325())
+            }
+        })
+        .collect()
+}
+
+/// Thresholds used for the testbed runs: the DUT's ≈ 31 % local reading
+/// must classify as Busy while the idle servers qualify as candidates.
+pub fn testbed_dust_config() -> DustConfig {
+    // The hop-bounded DP engine returns the same optimum as the paper's
+    // exhaustive enumeration (property-tested) at a fraction of the cost;
+    // a deployed Manager would run this engine, so the simulator does too.
+    DustConfig::paper_defaults()
+        .with_thresholds(20.0, 15.0, 1.0)
+        .with_engine(dust_topology::PathEngine::HopBoundedDp)
+}
+
+/// One Fig. 1 measurement row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Row {
+    /// Offered VxLAN traffic, fraction of line rate.
+    pub traffic_fraction: f64,
+    /// Mean monitoring-module CPU, percent of one core.
+    pub mean_cpu_percent: f64,
+    /// Peak (burst) monitoring CPU observed.
+    pub peak_cpu_percent: f64,
+}
+
+/// Reproduce Fig. 1: monitoring-module CPU versus VxLAN traffic level on
+/// the DUT with all ten agents local. Each level runs `per_level_ms` of
+/// simulated time.
+pub fn fig1(levels: &[f64], per_level_ms: u64, seed: u64) -> Vec<Fig1Row> {
+    let (graph, dut) = testbed_topology();
+    levels
+        .iter()
+        .map(|&traffic| {
+            let cfg = SimConfig {
+                dust: testbed_dust_config(),
+                dust_enabled: false, // Fig. 1 measures the unoffloaded module
+                duration_ms: per_level_ms,
+                seed,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(
+                graph.clone(),
+                testbed_nodes(dut),
+                TrafficModel::Constant(traffic),
+                cfg,
+            );
+            let report = sim.run();
+            let mean = report.mean(dut, "monitor-cpu", 0, per_level_ms).unwrap_or(0.0);
+            let peak = report.max(dut, "monitor-cpu", 0, per_level_ms).unwrap_or(0.0);
+            Fig1Row { traffic_fraction: traffic, mean_cpu_percent: mean, peak_cpu_percent: peak }
+        })
+        .collect()
+}
+
+/// Fig. 6 result: device-level CPU/memory with local monitoring vs DUST.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Result {
+    /// Mean DUT CPU %, monitoring local.
+    pub local_cpu: f64,
+    /// Mean DUT CPU %, monitoring offloaded by DUST.
+    pub dust_cpu: f64,
+    /// Mean DUT memory %, monitoring local.
+    pub local_mem: f64,
+    /// Mean DUT memory %, monitoring offloaded.
+    pub dust_mem: f64,
+    /// Offload transfers the DUST run applied.
+    pub transfers: usize,
+}
+
+impl Fig6Result {
+    /// Relative CPU reduction, percent (paper: ≈ 52 %).
+    pub fn cpu_reduction_percent(&self) -> f64 {
+        100.0 * (self.local_cpu - self.dust_cpu) / self.local_cpu
+    }
+
+    /// Relative memory reduction, percent (paper: ≈ 12 %).
+    pub fn mem_reduction_percent(&self) -> f64 {
+        100.0 * (self.local_mem - self.dust_mem) / self.local_mem
+    }
+}
+
+/// Reproduce Fig. 6: run the testbed twice — monitoring local vs DUST
+/// offloading — and compare the DUT's steady-state resource utilization.
+///
+/// The DUST run's mean is taken over the post-offload tail (second half of
+/// the run) to measure the settled state, mirroring how the testbed
+/// numbers were read.
+pub fn fig6(duration_ms: u64, seed: u64) -> Fig6Result {
+    let (graph, dut) = testbed_topology();
+    let run = |dust_enabled: bool| -> (SimReport, usize) {
+        let cfg = SimConfig {
+            dust: testbed_dust_config(),
+            dust_enabled,
+            duration_ms,
+            seed,
+            full_monitoring_offload: true,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(
+            graph.clone(),
+            testbed_nodes(dut),
+            TrafficModel::testbed(),
+            cfg,
+        );
+        let r = sim.run();
+        let transfers = r.transfers_applied;
+        (r, transfers)
+    };
+    let (local, _) = run(false);
+    let (dust, transfers) = run(true);
+    let tail = duration_ms / 2;
+    Fig6Result {
+        local_cpu: local.mean(dut, "device-cpu", tail, duration_ms).unwrap_or(f64::NAN),
+        dust_cpu: dust.mean(dut, "device-cpu", tail, duration_ms).unwrap_or(f64::NAN),
+        local_mem: local.mean(dut, "device-mem", tail, duration_ms).unwrap_or(f64::NAN),
+        dust_mem: dust.mean(dut, "device-mem", tail, duration_ms).unwrap_or(f64::NAN),
+        transfers,
+    }
+}
+
+/// Outcome of the fleet scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetResult {
+    /// Switches that ran monitoring at the start.
+    pub monitored: usize,
+    /// Offload transfers applied across the run.
+    pub transfers: usize,
+    /// Mean device CPU over monitored switches, first 10 % of the run.
+    pub early_mean_cpu: f64,
+    /// Mean device CPU over monitored switches, settled tail (last half).
+    pub late_mean_cpu: f64,
+    /// Monitored switches still above the Busy threshold at the end.
+    pub still_busy: usize,
+}
+
+/// Fleet scenario: DUST on a `k`-port fat-tree where every *edge* switch
+/// runs the full ten-agent deployment (DUT-class hardware) while
+/// aggregation/core switches are lightly loaded candidates. Exercises
+/// many simultaneous Busy nodes, shared destinations, and repeated
+/// placement rounds — the "at scale" claim of the abstract.
+pub fn fleet(k: usize, duration_ms: u64, seed: u64) -> FleetResult {
+    use dust_topology::{FatTree, Tier};
+    let ft = FatTree::new(k, Link::new(25_000.0, 0.2));
+    let edges = ft.tier_nodes(Tier::Edge);
+    let nodes: Vec<SimNode> = ft
+        .graph
+        .nodes()
+        .map(|n| {
+            if edges.contains(&n) {
+                SimNode::with_standard_agents(n, NodeSpec::aruba_8325())
+            } else {
+                SimNode::bare(n, NodeSpec::dpu())
+            }
+        })
+        .collect();
+    let cfg = SimConfig {
+        dust: testbed_dust_config(),
+        duration_ms,
+        seed,
+        full_monitoring_offload: true,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(ft.graph.clone(), nodes, TrafficModel::testbed(), cfg);
+    let report = sim.run();
+
+    let window = |start: u64, end: u64| -> f64 {
+        let vals: Vec<f64> = edges
+            .iter()
+            .filter_map(|&e| report.mean(e, "device-cpu", start, end))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let dust_cfg = testbed_dust_config();
+    let still_busy = edges
+        .iter()
+        .filter(|&&e| {
+            let n = &sim.nodes()[e.index()];
+            n.device_cpu_percent(duration_ms, 0.2) >= dust_cfg.c_max
+        })
+        .count();
+    FleetResult {
+        monitored: edges.len(),
+        transfers: report.transfers_applied,
+        early_mean_cpu: window(0, duration_ms / 10),
+        late_mean_cpu: window(duration_ms / 2, duration_ms),
+        still_busy,
+    }
+}
+
+/// Outcome of the congestion scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionResult {
+    /// Mean fraction of offloaded telemetry discarded during the squeeze.
+    pub dropped_during_congestion: f64,
+    /// Mean fraction discarded before the squeeze.
+    pub dropped_before: f64,
+    /// Mean admitted telemetry rate during the squeeze, Mbps.
+    pub admitted_during: f64,
+}
+
+/// Congestion scenario: offload normally, then drive the fabric to
+/// near-saturation mid-run. The §III-C QoS guarantee requires offloaded
+/// telemetry to be "safely discarded in the event of network congestion"
+/// while the data plane is untouched — measured via the flow-transport
+/// series the runner records.
+pub fn congestion(duration_ms: u64, seed: u64) -> CongestionResult {
+    let (graph, dut) = testbed_topology();
+    let cfg = SimConfig {
+        dust: testbed_dust_config(),
+        duration_ms,
+        seed,
+        full_monitoring_offload: true,
+        link_jitter: 0.0,
+        ..Default::default()
+    };
+    let squeeze_from = duration_ms / 2;
+    // traffic ramps from the normal 20 % to a 99.9 % squeeze by mid-run,
+    // then holds saturated for the whole second half
+    let traffic = TrafficModel::Ramp {
+        from: 0.2,
+        to: 0.999,
+        duration_ms: squeeze_from.max(1),
+    };
+    let mut sim = Simulation::new(graph, testbed_nodes(dut), traffic, cfg);
+    let report = sim.run();
+    let dropped = |a: u64, b: u64| {
+        report
+            .federation
+            .store(dut)
+            .and_then(|db| db.series("telemetry-dropped"))
+            .and_then(|s| s.mean(a, b))
+            .unwrap_or(0.0)
+    };
+    let admitted = report
+        .federation
+        .store(dut)
+        .and_then(|db| db.series("telemetry-admitted-mbps"))
+        .and_then(|s| s.mean(squeeze_from + duration_ms / 4, duration_ms))
+        .unwrap_or(0.0);
+    CongestionResult {
+        dropped_during_congestion: dropped(squeeze_from + duration_ms / 4, duration_ms),
+        dropped_before: dropped(0, squeeze_from / 2),
+        admitted_during: admitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let (g, dut) = testbed_topology();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.is_connected());
+        assert_eq!(dut, NodeId(2));
+        // DUT touches both spines and its server
+        assert_eq!(g.degree(dut), 3);
+    }
+
+    #[test]
+    fn fig1_cpu_grows_with_traffic_and_spikes() {
+        let rows = fig1(&[0.0, 0.1, 0.2], 61_000, 7);
+        assert_eq!(rows.len(), 3);
+        // monotone growth in traffic
+        assert!(rows[1].mean_cpu_percent > rows[0].mean_cpu_percent);
+        assert!(rows[2].mean_cpu_percent > rows[1].mean_cpu_percent);
+        // paper: ~100 % average (steady) at 20 % line rate, spikes toward 600 %
+        let r20 = rows[2];
+        assert!(
+            r20.mean_cpu_percent > 90.0 && r20.mean_cpu_percent < 180.0,
+            "mean {}",
+            r20.mean_cpu_percent
+        );
+        assert!(r20.peak_cpu_percent > 500.0, "peak {}", r20.peak_cpu_percent);
+    }
+
+    #[test]
+    fn congestion_discards_offloaded_telemetry_first() {
+        let r = congestion(120_000, 3);
+        assert!(
+            r.dropped_before < 0.05,
+            "telemetry must flow freely at 20 % load, dropped {}",
+            r.dropped_before
+        );
+        assert!(
+            r.dropped_during_congestion > 0.5,
+            "near-saturation must squeeze telemetry hard, dropped {}",
+            r.dropped_during_congestion
+        );
+        assert!(
+            r.admitted_during < 50.0,
+            "admitted telemetry must collapse under the squeeze: {} Mbps",
+            r.admitted_during
+        );
+    }
+
+    #[test]
+    fn fleet_offloads_many_switches() {
+        let r = fleet(4, 90_000, 13);
+        assert_eq!(r.monitored, 8, "4-k fat-tree has 8 edge switches");
+        assert!(r.transfers >= 4, "most edge switches must offload, got {}", r.transfers);
+        assert!(
+            r.late_mean_cpu < r.early_mean_cpu - 5.0,
+            "fleet CPU must settle lower: early {:.1} late {:.1}",
+            r.early_mean_cpu,
+            r.late_mean_cpu
+        );
+        assert!(r.still_busy <= 2, "{} switches never de-busied", r.still_busy);
+    }
+
+    #[test]
+    fn fig6_reductions_match_paper_shape() {
+        let r = fig6(120_000, 11);
+        assert!(r.transfers > 0, "DUST run must offload");
+        // paper: CPU 31 → 15 (≈ 52 % reduction)
+        assert!((r.local_cpu - 31.0).abs() < 3.0, "local cpu {}", r.local_cpu);
+        assert!((r.dust_cpu - 15.5).abs() < 3.0, "dust cpu {}", r.dust_cpu);
+        assert!(
+            (r.cpu_reduction_percent() - 52.0).abs() < 10.0,
+            "cpu reduction {}",
+            r.cpu_reduction_percent()
+        );
+        // paper: memory 70 → 62 (≈ 12 % reduction)
+        assert!((r.local_mem - 70.0).abs() < 3.0, "local mem {}", r.local_mem);
+        assert!((r.dust_mem - 62.0).abs() < 3.0, "dust mem {}", r.dust_mem);
+        assert!(
+            (r.mem_reduction_percent() - 12.0).abs() < 5.0,
+            "mem reduction {}",
+            r.mem_reduction_percent()
+        );
+    }
+}

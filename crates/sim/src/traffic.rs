@@ -1,0 +1,156 @@
+//! VxLAN overlay traffic generation.
+//!
+//! The testbed subjected the DUT to "20 % line-rate VxLAN overlay traffic
+//! in a data-center topology" (§I, Fig. 1). The traffic model produces a
+//! deterministic line-rate fraction over time — constant, ramp, or a noisy
+//! diurnal wave — and projects it onto per-link utilizations.
+
+use dust_topology::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic traffic intensity profile over time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Fixed fraction of line rate.
+    Constant(f64),
+    /// Linear ramp from `from` to `to` over `duration_ms`, then held.
+    Ramp {
+        /// Starting fraction.
+        from: f64,
+        /// Final fraction.
+        to: f64,
+        /// Ramp duration, ms.
+        duration_ms: u64,
+    },
+    /// Sinusoidal wave plus seeded noise, clamped to `[0, 1]`:
+    /// `mean + amplitude·sin(2πt/period) + noise`.
+    Diurnal {
+        /// Mean fraction.
+        mean: f64,
+        /// Wave amplitude.
+        amplitude: f64,
+        /// Wave period, ms.
+        period_ms: u64,
+        /// Uniform noise half-width.
+        noise: f64,
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+impl TrafficModel {
+    /// The testbed profile: constant 20 % line rate.
+    pub fn testbed() -> Self {
+        TrafficModel::Constant(0.2)
+    }
+
+    /// Line-rate fraction at `now_ms`, guaranteed in `[0, 1]`.
+    pub fn fraction(&self, now_ms: u64) -> f64 {
+        match self {
+            TrafficModel::Constant(f) => f.clamp(0.0, 1.0),
+            TrafficModel::Ramp { from, to, duration_ms } => {
+                if *duration_ms == 0 || now_ms >= *duration_ms {
+                    to.clamp(0.0, 1.0)
+                } else {
+                    let a = now_ms as f64 / *duration_ms as f64;
+                    (from + (to - from) * a).clamp(0.0, 1.0)
+                }
+            }
+            TrafficModel::Diurnal { mean, amplitude, period_ms, noise, seed } => {
+                let phase = if *period_ms == 0 {
+                    0.0
+                } else {
+                    2.0 * std::f64::consts::PI * (now_ms % period_ms) as f64 / *period_ms as f64
+                };
+                // noise keyed by (seed, time bucket) so it is reproducible
+                // without carrying mutable state
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(now_ms / 1000));
+                let n = if *noise > 0.0 { rng.gen_range(-noise..=*noise) } else { 0.0 };
+                (mean + amplitude * phase.sin() + n).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Project the current intensity onto every link of `g`, with a seeded
+    /// per-link jitter so links are not uniformly loaded.
+    pub fn apply_to_links(&self, g: &mut Graph, now_ms: u64, jitter: f64, seed: u64) {
+        let base = self.fraction(now_ms);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(now_ms / 1000));
+        g.retarget_utilization(|_, _| {
+            let j = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
+            (base + j).clamp(0.0, 1.0)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_topology::{topologies, Link};
+
+    #[test]
+    fn constant_holds() {
+        let m = TrafficModel::testbed();
+        assert_eq!(m.fraction(0), 0.2);
+        assert_eq!(m.fraction(1_000_000), 0.2);
+    }
+
+    #[test]
+    fn ramp_interpolates_then_holds() {
+        let m = TrafficModel::Ramp { from: 0.0, to: 0.2, duration_ms: 1000 };
+        assert_eq!(m.fraction(0), 0.0);
+        assert!((m.fraction(500) - 0.1).abs() < 1e-12);
+        assert_eq!(m.fraction(1000), 0.2);
+        assert_eq!(m.fraction(5000), 0.2);
+    }
+
+    #[test]
+    fn diurnal_is_bounded_and_deterministic() {
+        let m = TrafficModel::Diurnal {
+            mean: 0.5,
+            amplitude: 0.4,
+            period_ms: 10_000,
+            noise: 0.2,
+            seed: 7,
+        };
+        for t in (0..50_000).step_by(777) {
+            let f = m.fraction(t);
+            assert!((0.0..=1.0).contains(&f));
+            assert_eq!(f, m.fraction(t), "same time, same value");
+        }
+    }
+
+    #[test]
+    fn diurnal_wave_moves() {
+        let m = TrafficModel::Diurnal {
+            mean: 0.5,
+            amplitude: 0.4,
+            period_ms: 40_000,
+            noise: 0.0,
+            seed: 0,
+        };
+        // quarter period = peak, three quarters = trough
+        assert!(m.fraction(10_000) > 0.85);
+        assert!(m.fraction(30_000) < 0.15);
+    }
+
+    #[test]
+    fn apply_to_links_sets_utilization_near_base() {
+        let mut g = topologies::ring(6, Link::default());
+        TrafficModel::testbed().apply_to_links(&mut g, 0, 0.05, 3);
+        for e in g.edges() {
+            assert!((e.link.utilization - 0.2).abs() <= 0.05 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_uniform() {
+        let mut g = topologies::ring(6, Link::default());
+        TrafficModel::Constant(0.4).apply_to_links(&mut g, 0, 0.0, 3);
+        for e in g.edges() {
+            assert_eq!(e.link.utilization, 0.4);
+        }
+    }
+}

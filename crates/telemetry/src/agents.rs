@@ -1,0 +1,259 @@
+//! User-defined modular in-device monitoring agents.
+//!
+//! The testbed deployed "10 user-defined monitoring agents … for monitoring
+//! critical features" (§V-A, footnote 1: routing protocols, software and
+//! network health, software functions and system resource utilization e.g.
+//! CPU/Memory, Rx/Tx packet rates on interfaces, link states, system
+//! temperature and hardware health, fault finder). Each agent watches DB
+//! tables on the network OS and appends to its time series (§III-A).
+//!
+//! Agents carry a *resource cost model* — the CPU and memory the analytic
+//! engine burns running them — which is what DUST offloads. The model is
+//! calibrated against Fig. 1: ten agents under 20 % line-rate VxLAN traffic
+//! average ≈ 100 % CPU (one core) and spike to ≈ 600 % on an 8-core switch.
+
+use serde::{Deserialize, Serialize};
+
+/// The ten user-defined agent kinds of the testbed (§V-A footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Routing-protocol health (BGP/OSPF adjacency churn).
+    RoutingProtocolHealth,
+    /// Network OS software health.
+    SoftwareHealth,
+    /// Data-plane network health.
+    NetworkHealth,
+    /// Software function call-rate monitoring.
+    SoftwareFunctions,
+    /// Device CPU utilization.
+    CpuUtilization,
+    /// Device memory utilization.
+    MemoryUtilization,
+    /// Rx/Tx packet rates on interfaces.
+    RxTxPacketRates,
+    /// Interface/link operational states.
+    LinkStates,
+    /// System temperature and hardware health.
+    SystemTemperature,
+    /// Fault finder (log scraping and anomaly matching).
+    FaultFinder,
+}
+
+impl AgentKind {
+    /// The standard ten-agent deployment of the testbed.
+    pub const ALL: [AgentKind; 10] = [
+        AgentKind::RoutingProtocolHealth,
+        AgentKind::SoftwareHealth,
+        AgentKind::NetworkHealth,
+        AgentKind::SoftwareFunctions,
+        AgentKind::CpuUtilization,
+        AgentKind::MemoryUtilization,
+        AgentKind::RxTxPacketRates,
+        AgentKind::LinkStates,
+        AgentKind::SystemTemperature,
+        AgentKind::FaultFinder,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AgentKind::RoutingProtocolHealth => "routing-protocol-health",
+            AgentKind::SoftwareHealth => "software-health",
+            AgentKind::NetworkHealth => "network-health",
+            AgentKind::SoftwareFunctions => "software-functions",
+            AgentKind::CpuUtilization => "cpu-utilization",
+            AgentKind::MemoryUtilization => "memory-utilization",
+            AgentKind::RxTxPacketRates => "rx-tx-packet-rates",
+            AgentKind::LinkStates => "link-states",
+            AgentKind::SystemTemperature => "system-temperature",
+            AgentKind::FaultFinder => "fault-finder",
+        }
+    }
+
+    /// Baseline CPU cost in percent-of-one-core at zero traffic.
+    ///
+    /// Traffic-insensitive agents (temperature, link states) are cheap;
+    /// packet-rate and fault-finder agents dominate.
+    pub fn cpu_base_percent(self) -> f64 {
+        match self {
+            AgentKind::RoutingProtocolHealth => 4.0,
+            AgentKind::SoftwareHealth => 3.0,
+            AgentKind::NetworkHealth => 4.0,
+            AgentKind::SoftwareFunctions => 5.0,
+            AgentKind::CpuUtilization => 2.0,
+            AgentKind::MemoryUtilization => 2.0,
+            AgentKind::RxTxPacketRates => 6.0,
+            AgentKind::LinkStates => 1.5,
+            AgentKind::SystemTemperature => 1.0,
+            AgentKind::FaultFinder => 6.5,
+        }
+    }
+
+    /// Traffic sensitivity: extra percent-of-one-core per unit of line-rate
+    /// fraction. Calibrated so the ten agents at 20 % line rate average
+    /// ≈ 100 % (Fig. 1): Σ base = 35, Σ slope · 0.2 ≈ 65 → Σ slope = 325.
+    pub fn cpu_traffic_slope(self) -> f64 {
+        match self {
+            AgentKind::RoutingProtocolHealth => 15.0,
+            AgentKind::SoftwareHealth => 5.0,
+            AgentKind::NetworkHealth => 40.0,
+            AgentKind::SoftwareFunctions => 20.0,
+            AgentKind::CpuUtilization => 10.0,
+            AgentKind::MemoryUtilization => 5.0,
+            AgentKind::RxTxPacketRates => 120.0,
+            AgentKind::LinkStates => 10.0,
+            AgentKind::SystemTemperature => 0.0,
+            AgentKind::FaultFinder => 100.0,
+        }
+    }
+
+    /// Steady memory footprint in MiB (the testbed retained ≈ 1.2 GiB for
+    /// the full monitoring deployment, §V-A).
+    pub fn mem_mib(self) -> f64 {
+        match self {
+            AgentKind::RoutingProtocolHealth => 110.0,
+            AgentKind::SoftwareHealth => 90.0,
+            AgentKind::NetworkHealth => 120.0,
+            AgentKind::SoftwareFunctions => 100.0,
+            AgentKind::CpuUtilization => 80.0,
+            AgentKind::MemoryUtilization => 80.0,
+            AgentKind::RxTxPacketRates => 200.0,
+            AgentKind::LinkStates => 90.0,
+            AgentKind::SystemTemperature => 60.0,
+            AgentKind::FaultFinder => 270.0,
+        }
+    }
+
+    /// Telemetry produced per STAT interval, in megabits, at the given
+    /// traffic level (feeds `D_i` when the agent is offloaded).
+    pub fn data_mb_per_interval(self, traffic_fraction: f64) -> f64 {
+        // metadata-heavy agents emit more under load
+        let base = self.mem_mib() / 20.0;
+        base + self.cpu_traffic_slope() * traffic_fraction * 0.1
+    }
+
+    /// Instantaneous CPU cost at a traffic level, percent of one core.
+    ///
+    /// # Panics
+    /// Panics if `traffic_fraction` is outside `[0, 1]`.
+    pub fn cpu_percent(self, traffic_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&traffic_fraction),
+            "traffic fraction must be in [0,1], got {traffic_fraction}"
+        );
+        self.cpu_base_percent() + self.cpu_traffic_slope() * traffic_fraction
+    }
+}
+
+/// A deployed monitor agent: a kind plus its sampling cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorAgent {
+    /// What it monitors.
+    pub kind: AgentKind,
+    /// How often it samples its DB tables, ms.
+    pub sample_interval_ms: u64,
+}
+
+impl MonitorAgent {
+    /// An agent with the default 1-second cadence.
+    pub fn new(kind: AgentKind) -> Self {
+        MonitorAgent { kind, sample_interval_ms: 1000 }
+    }
+
+    /// The full ten-agent testbed deployment.
+    pub fn standard_deployment() -> Vec<MonitorAgent> {
+        AgentKind::ALL.iter().copied().map(MonitorAgent::new).collect()
+    }
+}
+
+/// Aggregate cost of a set of agents at a traffic level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentLoad {
+    /// Total CPU, percent of one core (may exceed 100 on multi-core).
+    pub cpu_percent: f64,
+    /// Total resident memory, MiB.
+    pub mem_mib: f64,
+    /// Telemetry volume per interval, Mb.
+    pub data_mb: f64,
+}
+
+/// Sum the cost model over `agents` at `traffic_fraction` of line rate.
+pub fn aggregate_load(agents: &[MonitorAgent], traffic_fraction: f64) -> AgentLoad {
+    let mut cpu = 0.0;
+    let mut mem = 0.0;
+    let mut data = 0.0;
+    for a in agents {
+        cpu += a.kind.cpu_percent(traffic_fraction);
+        mem += a.kind.mem_mib();
+        data += a.kind.data_mb_per_interval(traffic_fraction);
+    }
+    AgentLoad { cpu_percent: cpu, mem_mib: mem, data_mb: data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_agents() {
+        let mut names: Vec<_> = AgentKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn fig1_calibration_average_near_100_percent() {
+        // ten agents at 20 % line rate must average ≈ 100 % of one core
+        let agents = MonitorAgent::standard_deployment();
+        let load = aggregate_load(&agents, 0.2);
+        assert!(
+            (load.cpu_percent - 100.0).abs() < 5.0,
+            "Fig. 1 calibration broken: {} %",
+            load.cpu_percent
+        );
+    }
+
+    #[test]
+    fn idle_cost_is_much_lower() {
+        let agents = MonitorAgent::standard_deployment();
+        let idle = aggregate_load(&agents, 0.0);
+        let busy = aggregate_load(&agents, 0.2);
+        assert!(idle.cpu_percent < busy.cpu_percent / 2.0);
+        assert!((idle.cpu_percent - 35.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_near_testbed_1_2_gib() {
+        let load = aggregate_load(&MonitorAgent::standard_deployment(), 0.2);
+        let gib = load.mem_mib / 1024.0;
+        assert!((gib - 1.17).abs() < 0.15, "testbed retained ~1.2 GiB, got {gib}");
+    }
+
+    #[test]
+    fn cpu_monotone_in_traffic() {
+        for k in AgentKind::ALL {
+            assert!(k.cpu_percent(0.8) >= k.cpu_percent(0.1), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn temperature_agent_is_traffic_insensitive() {
+        let k = AgentKind::SystemTemperature;
+        assert_eq!(k.cpu_percent(0.0), k.cpu_percent(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic fraction")]
+    fn out_of_range_traffic_rejected() {
+        AgentKind::FaultFinder.cpu_percent(1.5);
+    }
+
+    #[test]
+    fn data_volume_positive_and_loaded() {
+        for k in AgentKind::ALL {
+            assert!(k.data_mb_per_interval(0.0) > 0.0);
+            assert!(k.data_mb_per_interval(0.5) >= k.data_mb_per_interval(0.0));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Time-Series Federation: network-wide aggregation over node-local TSDBs.
+//!
+//! "The 'Time-Series Federation' component performs the essential task of
+//! aggregating data throughout the underlying network" (§III-A). The
+//! federation owns no data; it queries the per-node [`Tsdb`] stores the
+//! Monitor Agents feed and merges matching series across nodes.
+
+use crate::tsdb::{Point, Series, Tsdb};
+use dust_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How matching points from different nodes combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Sum across nodes (e.g. total packet rate).
+    Sum,
+    /// Mean across nodes (e.g. average CPU).
+    Mean,
+    /// Maximum across nodes (e.g. hottest switch).
+    Max,
+    /// Minimum across nodes.
+    Min,
+}
+
+impl Aggregation {
+    fn combine(self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty());
+        match self {
+            Aggregation::Sum => values.iter().sum(),
+            Aggregation::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregation::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// A federation over per-node TSDBs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Federation {
+    stores: BTreeMap<NodeId, Tsdb>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach (or replace) a node's TSDB.
+    pub fn attach(&mut self, node: NodeId, tsdb: Tsdb) {
+        self.stores.insert(node, tsdb);
+    }
+
+    /// Mutable handle to a node's store, creating it if absent (Monitor
+    /// Agents write through this).
+    pub fn store_mut(&mut self, node: NodeId) -> &mut Tsdb {
+        self.stores.entry(node).or_default()
+    }
+
+    /// Read handle to a node's store.
+    pub fn store(&self, node: NodeId) -> Option<&Tsdb> {
+        self.stores.get(&node)
+    }
+
+    /// Participating nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.stores.keys().copied().collect()
+    }
+
+    /// Nodes holding a series with this name.
+    pub fn holders(&self, series: &str) -> Vec<NodeId> {
+        self.stores
+            .iter()
+            .filter(|(_, db)| db.series(series).is_some())
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Federated query: bucket every node's `series` into `bucket_ms`
+    /// windows over `[start, end)`, then combine matching buckets across
+    /// nodes with `agg`. Buckets covered by no node are skipped.
+    pub fn query(
+        &self,
+        series: &str,
+        start_ms: u64,
+        end_ms: u64,
+        bucket_ms: u64,
+        agg: Aggregation,
+    ) -> Series {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        // bucket start → per-node bucket means
+        let mut buckets: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for db in self.stores.values() {
+            let Some(s) = db.series(series) else { continue };
+            // per-node downsample restricted to the window
+            let mut window = Series::default();
+            for p in s.range(start_ms, end_ms) {
+                window.push(p.ts_ms, p.value);
+            }
+            for Point { ts_ms, value } in window.downsample(bucket_ms).points() {
+                buckets.entry(*ts_ms).or_default().push(*value);
+            }
+        }
+        let mut out = Series::default();
+        for (ts, values) in buckets {
+            out.push(ts, agg.combine(&values));
+        }
+        out
+    }
+
+    /// Network-wide mean of the latest point of `series` on each node.
+    pub fn latest_mean(&self, series: &str) -> Option<f64> {
+        let latest: Vec<f64> = self
+            .stores
+            .values()
+            .filter_map(|db| db.series(series))
+            .filter_map(|s| s.points().last().map(|p| p.value))
+            .collect();
+        if latest.is_empty() {
+            None
+        } else {
+            Some(latest.iter().sum::<f64>() / latest.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fed_with_two_nodes() -> Federation {
+        let mut f = Federation::new();
+        for (node, base) in [(NodeId(0), 10.0), (NodeId(1), 30.0)] {
+            let db = f.store_mut(node);
+            for t in 0..10u64 {
+                db.append("cpu", t * 100, base + t as f64);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn attach_and_holders() {
+        let mut f = fed_with_two_nodes();
+        f.store_mut(NodeId(2)).append("mem", 0, 1.0);
+        assert_eq!(f.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(f.holders("cpu"), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(f.holders("mem"), vec![NodeId(2)]);
+        assert!(f.holders("disk").is_empty());
+    }
+
+    #[test]
+    fn federated_mean() {
+        let f = fed_with_two_nodes();
+        // bucket [0,500): node0 mean = 12, node1 mean = 32 → mean 22
+        let s = f.query("cpu", 0, 1000, 500, Aggregation::Mean);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0].value, 22.0);
+        assert_eq!(s.points()[1].value, 27.0);
+    }
+
+    #[test]
+    fn federated_sum_and_extremes() {
+        let f = fed_with_two_nodes();
+        let sum = f.query("cpu", 0, 500, 500, Aggregation::Sum);
+        assert_eq!(sum.points()[0].value, 44.0);
+        let max = f.query("cpu", 0, 500, 500, Aggregation::Max);
+        assert_eq!(max.points()[0].value, 32.0);
+        let min = f.query("cpu", 0, 500, 500, Aggregation::Min);
+        assert_eq!(min.points()[0].value, 12.0);
+    }
+
+    #[test]
+    fn query_window_respected() {
+        let f = fed_with_two_nodes();
+        let s = f.query("cpu", 300, 600, 100, Aggregation::Mean);
+        assert_eq!(s.len(), 3); // buckets 300, 400, 500
+        assert_eq!(s.points()[0].ts_ms, 300);
+    }
+
+    #[test]
+    fn missing_series_yields_empty() {
+        let f = fed_with_two_nodes();
+        assert!(f.query("nope", 0, 1000, 100, Aggregation::Sum).is_empty());
+    }
+
+    #[test]
+    fn partial_coverage_skips_empty_buckets() {
+        let mut f = Federation::new();
+        f.store_mut(NodeId(0)).append("x", 50, 5.0);
+        f.store_mut(NodeId(1)).append("x", 950, 9.0);
+        let s = f.query("x", 0, 1000, 100, Aggregation::Mean);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0].ts_ms, 0);
+        assert_eq!(s.points()[1].ts_ms, 900);
+    }
+
+    #[test]
+    fn latest_mean_across_nodes() {
+        let f = fed_with_two_nodes();
+        // latest points: 19 and 39
+        assert_eq!(f.latest_mean("cpu"), Some(29.0));
+        assert_eq!(f.latest_mean("nothing"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! `T_rmin` cost matrices between Busy nodes and Offload-candidates (Eq. 2).
+//!
+//! The placement LP needs, for every pair `(i ∈ V_b, j ∈ V_o)`, the minimum
+//! response time over all paths within the hop bound. This module builds
+//! that matrix with either the paper-faithful enumerator or the fast DP
+//! (see [`crate::paths`]), parameterized per source by the monitoring data
+//! volume `D_i` in megabits.
+
+use crate::graph::{Graph, NodeId};
+use crate::paths::{min_inv_lu_dp_from, min_inv_lu_enumerated};
+use serde::{Deserialize, Serialize};
+
+/// Which routing engine computes `T_rmin` (ablation 1 in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PathEngine {
+    /// Exhaustive simple-path enumeration — the paper's approach, whose cost
+    /// grows combinatorially with the hop bound (reproduces Figs. 8/10).
+    #[default]
+    Enumerate,
+    /// Hop-bounded Bellman–Ford — same optimum in `O(max_hop · |E|)`.
+    HopBoundedDp,
+}
+
+/// Dense `|V_b| × |V_o|` matrix of minimum response times (seconds).
+///
+/// `f64::INFINITY` marks a pair with no path inside the hop bound — the
+/// placement layer must not route between such a pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostMatrix {
+    /// Busy (source) nodes, row order.
+    pub sources: Vec<NodeId>,
+    /// Offload-candidate (destination) nodes, column order.
+    pub destinations: Vec<NodeId>,
+    /// Row-major `T_rmin` values in seconds.
+    pub t_rmin: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Build the matrix. `data_mb[r]` is `D_i` (Mb) for `sources[r]`.
+    ///
+    /// # Panics
+    /// Panics if `data_mb.len() != sources.len()`.
+    pub fn build(
+        g: &Graph,
+        sources: &[NodeId],
+        destinations: &[NodeId],
+        data_mb: &[f64],
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> Self {
+        assert_eq!(sources.len(), data_mb.len(), "one D_i per source required");
+        let mut t_rmin = Vec::with_capacity(sources.len() * destinations.len());
+        for (r, &src) in sources.iter().enumerate() {
+            let d = data_mb[r];
+            assert!(d.is_finite() && d >= 0.0, "monitoring data volume must be >= 0, got {d}");
+            match engine {
+                PathEngine::Enumerate => {
+                    for &dst in destinations {
+                        let c = if src == dst {
+                            // Offloading to yourself is free but the role
+                            // model never produces this pair.
+                            0.0
+                        } else {
+                            min_inv_lu_enumerated(g, src, dst, max_hop)
+                                .map_or(f64::INFINITY, |(inv, _)| d * inv)
+                        };
+                        t_rmin.push(c);
+                    }
+                }
+                PathEngine::HopBoundedDp => {
+                    let dist = min_inv_lu_dp_from(g, src, max_hop);
+                    for &dst in destinations {
+                        let c = if src == dst { 0.0 } else { d * dist[dst.index()] };
+                        t_rmin.push(c);
+                    }
+                }
+            }
+        }
+        CostMatrix { sources: sources.to_vec(), destinations: destinations.to_vec(), t_rmin }
+    }
+
+    /// Number of rows (Busy nodes).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of columns (Offload-candidates).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// `T_rmin` for row `r`, column `c`, in seconds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.t_rmin[r * self.cols() + c]
+    }
+
+    /// True if any (source, destination) pair is connected within the bound.
+    pub fn any_reachable(&self) -> bool {
+        self.t_rmin.iter().any(|c| c.is_finite())
+    }
+
+    /// Row slice for one source.
+    pub fn row(&self, r: usize) -> &[f64] {
+        let w = self.cols();
+        &self.t_rmin[r * w..(r + 1) * w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Link;
+    use crate::topologies::{example7, example7_roles, line};
+
+    #[test]
+    fn engines_agree_on_example7() {
+        let mut g = example7(Link::default());
+        let utils = [0.9, 0.1, 0.8, 0.7, 0.3, 0.6, 0.2];
+        g.retarget_utilization(|e, _| utils[e.index()]);
+        let (busy, cands) = example7_roles();
+        let d = [120.0];
+        for max_hop in [Some(2), Some(4), None] {
+            let a = CostMatrix::build(&g, &[busy], &cands, &d, max_hop, PathEngine::Enumerate);
+            let b = CostMatrix::build(&g, &[busy], &cands, &d, max_hop, PathEngine::HopBoundedDp);
+            for i in 0..a.t_rmin.len() {
+                let (x, y) = (a.t_rmin[i], b.t_rmin[i]);
+                if x.is_infinite() {
+                    assert!(y.is_infinite());
+                } else {
+                    assert!((x - y).abs() < 1e-9, "entry {i}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = line(4, Link::default());
+        let m = CostMatrix::build(
+            &g,
+            &[NodeId(0)],
+            &[NodeId(3)],
+            &[10.0],
+            Some(2),
+            PathEngine::Enumerate,
+        );
+        assert!(m.at(0, 0).is_infinite());
+        assert!(!m.any_reachable());
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_data_volume() {
+        let g = line(3, Link::default());
+        let m1 = CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[10.0], None, PathEngine::Enumerate);
+        let m2 = CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[20.0], None, PathEngine::Enumerate);
+        assert!((m2.at(0, 0) / m1.at(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_pair_is_zero() {
+        let g = line(3, Link::default());
+        let m = CostMatrix::build(&g, &[NodeId(1)], &[NodeId(1)], &[5.0], None, PathEngine::HopBoundedDp);
+        assert_eq!(m.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_access_matches_at() {
+        let g = example7(Link::default());
+        let (busy, cands) = example7_roles();
+        let m = CostMatrix::build(&g, &[busy], &cands, &[50.0], None, PathEngine::HopBoundedDp);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(0)[1], m.at(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one D_i per source")]
+    fn mismatched_data_len_rejected() {
+        let g = line(3, Link::default());
+        CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[], None, PathEngine::Enumerate);
+    }
+}

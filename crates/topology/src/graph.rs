@@ -1,0 +1,382 @@
+//! Undirected network graph with per-link bandwidth and utilization.
+//!
+//! This is the substrate the DUST paper's placement problem is defined on
+//! (§IV-B): an undirected graph `G = (V, E)` where every edge carries a
+//! physical bandwidth and a dynamic utilization rate whose product is the
+//! paper's `Lu_{i,j}` (utilized bandwidth, Mbps) used in the response-time
+//! cost `Tr = D / Lu` (Eq. 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`Graph`]. Stable for the lifetime of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of an undirected edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Physical link state: capacity and dynamic utilization.
+///
+/// The paper defines `Lu_{i,j}` (Mbps) as "the physical link bandwidth
+/// [multiplied by] the dynamic utilization rate resulting from the data in
+/// transit" (§IV-B). [`Link::lu`] follows that definition verbatim so that
+/// the reproduced cost model matches Eq. 1 exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Physical line rate of the link, in Mbps.
+    pub capacity_mbps: f64,
+    /// Dynamic utilization rate in `[0, 1]` from data-plane traffic in transit.
+    pub utilization: f64,
+}
+
+impl Link {
+    /// A link with the given capacity and utilization.
+    ///
+    /// # Panics
+    /// Panics if `capacity_mbps` is not finite and positive, or `utilization`
+    /// is outside `[0, 1]`.
+    pub fn new(capacity_mbps: f64, utilization: f64) -> Self {
+        assert!(
+            capacity_mbps.is_finite() && capacity_mbps > 0.0,
+            "link capacity must be finite and positive, got {capacity_mbps}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "link utilization must be in [0,1], got {utilization}"
+        );
+        Link { capacity_mbps, utilization }
+    }
+
+    /// Utilized bandwidth `Lu` in Mbps (paper §IV-B): capacity × utilization.
+    #[inline]
+    pub fn lu(&self) -> f64 {
+        self.capacity_mbps * self.utilization
+    }
+
+    /// Headroom left on the link in Mbps.
+    #[inline]
+    pub fn available_mbps(&self) -> f64 {
+        self.capacity_mbps * (1.0 - self.utilization)
+    }
+}
+
+impl Default for Link {
+    /// A 10 Gbps link at 50 % utilization — the generator default.
+    fn default() -> Self {
+        Link { capacity_mbps: 10_000.0, utilization: 0.5 }
+    }
+}
+
+/// An undirected edge between two nodes carrying a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link state on this edge.
+    pub link: Link,
+}
+
+impl Edge {
+    /// Given one endpoint of this edge, return the other.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(n, self.b, "node {n} is not an endpoint of this edge");
+            self.a
+        }
+    }
+}
+
+/// An undirected multigraph with adjacency lists.
+///
+/// Nodes are dense indices `0..node_count()`. Parallel edges and self-loop
+/// rejection are handled at insertion time ([`Graph::add_edge`] forbids
+/// self-loops, allows parallel edges since fat-tree pods never produce them
+/// but ad-hoc topologies may).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// `adj[v]` lists `(neighbor, edge)` pairs for node `v`.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph { edges: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Add a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.adj.len()).expect("more than u32::MAX nodes"));
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add `k` nodes, returning their ids in order.
+    pub fn add_nodes(&mut self, k: usize) -> Vec<NodeId> {
+        (0..k).map(|_| self.add_node()).collect()
+    }
+
+    /// Add an undirected edge between `a` and `b` with the given link state.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range node ids.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, link: Link) -> EdgeId {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(a.index() < self.adj.len(), "node {a} out of range");
+        assert!(b.index() < self.adj.len(), "node {b} out of range");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("more than u32::MAX edges"));
+        self.edges.push(Edge { a, b, link });
+        self.adj[a.index()].push((b, id));
+        self.adj[b.index()].push((a, id));
+        id
+    }
+
+    /// Add an edge with the default 10 Gbps / 50 % link.
+    pub fn add_default_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
+        self.add_edge(a, b, Link::default())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// All edges, indexable by [`EdgeId`].
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// `(neighbor, edge)` pairs adjacent to `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Mutable access to the link state of an edge (dynamic utilization
+    /// updates during simulation).
+    pub fn link_mut(&mut self, e: EdgeId) -> &mut Link {
+        &mut self.edges[e.index()].link
+    }
+
+    /// Set every edge's utilization with a callback (used by traffic models).
+    pub fn retarget_utilization(&mut self, mut f: impl FnMut(EdgeId, &Edge) -> f64) {
+        for i in 0..self.edges.len() {
+            let u = f(EdgeId(i as u32), &self.edges[i]);
+            assert!((0.0..=1.0).contains(&u), "utilization callback returned {u}");
+            self.edges[i].link.utilization = u;
+        }
+    }
+
+    /// Hop distances from `src` to every node (BFS). Unreachable nodes get
+    /// `usize::MAX`.
+    pub fn hop_distances(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            for &(w, _) in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let dist = self.hop_distances(NodeId(0));
+        dist.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Nodes within exactly one hop of `v` (the heuristic's candidate pool,
+    /// Algorithm 1 line 4: "within shortest path of max-hop = 1").
+    pub fn one_hop_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.neighbors(v).iter().map(|&(w, _)| w).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_default_edge(NodeId(0), NodeId(1));
+        g.add_default_edge(NodeId(1), NodeId(2));
+        g.add_default_edge(NodeId(2), NodeId(0));
+        g
+    }
+
+    #[test]
+    fn build_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::with_nodes(1);
+        g.add_default_edge(NodeId(0), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = Graph::with_nodes(1);
+        g.add_default_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn lu_is_capacity_times_utilization() {
+        let l = Link::new(10_000.0, 0.25);
+        assert_eq!(l.lu(), 2_500.0);
+        assert_eq!(l.available_mbps(), 7_500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn link_rejects_bad_utilization() {
+        Link::new(1000.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn link_rejects_bad_capacity() {
+        Link::new(0.0, 0.5);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        // path graph 0-1-2-3
+        let mut g = Graph::with_nodes(4);
+        g.add_default_edge(NodeId(0), NodeId(1));
+        g.add_default_edge(NodeId(1), NodeId(2));
+        g.add_default_edge(NodeId(2), NodeId(3));
+        let d = g.hop_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut g = Graph::with_nodes(3);
+        g.add_default_edge(NodeId(0), NodeId(1));
+        assert!(!g.is_connected());
+        let d = g.hop_distances(NodeId(0));
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn one_hop_neighbors_sorted_dedup() {
+        let mut g = Graph::with_nodes(4);
+        g.add_default_edge(NodeId(0), NodeId(2));
+        g.add_default_edge(NodeId(0), NodeId(1));
+        // parallel edge
+        g.add_default_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.one_hop_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn retarget_utilization_applies() {
+        let mut g = triangle();
+        g.retarget_utilization(|_, _| 0.9);
+        for e in g.edges() {
+            assert_eq!(e.link.utilization, 0.9);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::new().is_connected());
+    }
+}

