@@ -1,0 +1,65 @@
+//! Parallel `CostEngine` scaling: building the full busy×candidate
+//! `T_rmin` matrix of an 8-k fat-tree with exhaustive path enumeration,
+//! single-threaded vs multi-threaded.
+//!
+//! Prints the measured speedup per thread count and asserts that every
+//! thread count produces a bit-identical matrix. On hosts with ≥4 cores
+//! the ≥4-thread run must be at least 2× faster than one thread; on
+//! smaller hosts (CI containers are often pinned to one core) the ratio
+//! is reported but not enforced — there is no parallelism to win.
+
+use dust::prelude::*;
+use dust_bench::harness::{fmt_duration, time};
+
+fn main() {
+    let ft = FatTree::with_default_links(8);
+    let edges = ft.tier_nodes(Tier::Edge);
+    // Half the edge tier busy, the other half candidates: the widest
+    // realistic matrix shape for this topology.
+    let sources: Vec<NodeId> = edges.iter().copied().take(edges.len() / 2).collect();
+    let dests: Vec<NodeId> = edges.iter().copied().skip(edges.len() / 2).collect();
+    let data = vec![100.0; sources.len()];
+    let max_hop = Some(6);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "## cost-engine (8-k fat-tree, enumerate, {} x {} matrix, {cores} core(s))",
+        sources.len(),
+        dests.len()
+    );
+
+    let build = |threads: usize| {
+        // a fresh engine per call: timing must not hit the row cache
+        let engine = CostEngine::with_threads(threads);
+        engine.build_matrix(&ft.graph, &sources, &dests, &data, max_hop, PathEngine::Enumerate)
+    };
+
+    let reference = build(1);
+    let base = time(|| build(1));
+    println!("{:<52} {:>12}", "cost-engine/threads-1", fmt_duration(base));
+
+    let mut counts = vec![2usize, 4];
+    if cores > 4 {
+        counts.push(cores);
+    }
+    for &threads in &counts {
+        let m = build(threads);
+        assert_eq!(m.t_rmin.len(), reference.t_rmin.len());
+        for (a, b) in m.t_rmin.iter().zip(&reference.t_rmin) {
+            assert_eq!(a.to_bits(), b.to_bits(), "parallel matrix must be bit-identical");
+        }
+        let t = time(|| build(threads));
+        let speedup = base.as_secs_f64() / t.as_secs_f64();
+        println!(
+            "{:<52} {:>12}   speedup {speedup:.2}x",
+            format!("cost-engine/threads-{threads}"),
+            fmt_duration(t)
+        );
+        if threads >= 4 && cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "expected >=2x speedup at {threads} threads on {cores} cores, got {speedup:.2}x"
+            );
+        }
+    }
+}

@@ -2,27 +2,18 @@
 //! generalized h-hop heuristic — runtime cost of extra reach (its HFR
 //! benefit is reported by `experiments fig11`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust::prelude::*;
+use dust_bench::harness::Runner;
 use dust_bench::{experiment_config, experiment_params};
 
-fn bench_heuristic_reach(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic-reach");
-    group.sample_size(10);
+fn main() {
+    let group = Runner::group("heuristic-reach");
     for &k in &[8usize, 16] {
         let ft = FatTree::with_default_links(k);
         let cfg = experiment_config().with_engine(PathEngine::HopBoundedDp);
         let nmdb = random_nmdb(&ft.graph, &cfg, &experiment_params(), 3);
         for hops in [1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("hops-{hops}"), k),
-                &nmdb,
-                |b, db| b.iter(|| std::hint::black_box(heuristic_with_hops(db, &cfg, hops))),
-            );
+            group.bench(&format!("hops-{hops}/{k}"), || heuristic_with_hops(&nmdb, &cfg, hops));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_heuristic_reach);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! Ablation 1 (DESIGN.md): paper-faithful exhaustive path enumeration vs
 //! the hop-bounded Bellman–Ford DP for building `T_rmin` cost matrices.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust::prelude::*;
+use dust_bench::harness::Runner;
 
-fn bench_cost_matrix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t_rmin-matrix");
-    group.sample_size(10);
+fn main() {
+    let group = Runner::group("t_rmin-matrix");
     for &(k, max_hop) in &[(4usize, 6usize), (4, 8), (8, 4), (8, 6)] {
         let ft = FatTree::with_default_links(k);
         let edges = ft.tier_nodes(Tier::Edge);
@@ -15,33 +14,25 @@ fn bench_cost_matrix(c: &mut Criterion) {
         let dests: Vec<NodeId> = edges.iter().copied().rev().take(8).collect();
         let data = vec![100.0; sources.len()];
         let label = format!("k{k}-hop{max_hop}");
-        group.bench_with_input(BenchmarkId::new("enumerate", &label), &ft, |b, ft| {
-            b.iter(|| {
-                std::hint::black_box(CostMatrix::build(
-                    &ft.graph,
-                    &sources,
-                    &dests,
-                    &data,
-                    Some(max_hop),
-                    PathEngine::Enumerate,
-                ))
-            })
+        group.bench(&format!("enumerate/{label}"), || {
+            CostMatrix::build(
+                &ft.graph,
+                &sources,
+                &dests,
+                &data,
+                Some(max_hop),
+                PathEngine::Enumerate,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("dp", &label), &ft, |b, ft| {
-            b.iter(|| {
-                std::hint::black_box(CostMatrix::build(
-                    &ft.graph,
-                    &sources,
-                    &dests,
-                    &data,
-                    Some(max_hop),
-                    PathEngine::HopBoundedDp,
-                ))
-            })
+        group.bench(&format!("dp/{label}"), || {
+            CostMatrix::build(
+                &ft.graph,
+                &sources,
+                &dests,
+                &data,
+                Some(max_hop),
+                PathEngine::HopBoundedDp,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cost_matrix);
-criterion_main!(benches);

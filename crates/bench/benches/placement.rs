@@ -2,30 +2,25 @@
 //! (role classification → `T_rmin` matrix → LP → route extraction) on
 //! random fat-tree states, per LP backend and per routing engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust::prelude::*;
+use dust_bench::harness::Runner;
 use dust_bench::{experiment_config, experiment_params};
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement-round");
-    group.sample_size(10);
+fn main() {
+    let group = Runner::group("placement-round");
     for &k in &[4usize, 8] {
         let ft = FatTree::with_default_links(k);
-        let cfg_dp = experiment_config().with_engine(PathEngine::HopBoundedDp).with_max_hop(Some(6));
+        let cfg_dp =
+            experiment_config().with_engine(PathEngine::HopBoundedDp).with_max_hop(Some(6));
         let nmdb = random_nmdb(&ft.graph, &cfg_dp, &experiment_params(), 7);
-        group.bench_with_input(BenchmarkId::new("transportation-dp", k), &nmdb, |b, db| {
-            b.iter(|| std::hint::black_box(optimize(db, &cfg_dp, SolverBackend::Transportation)))
+        group.bench(&format!("transportation-dp/{k}"), || {
+            optimize(&nmdb, &cfg_dp, SolverBackend::Transportation)
         });
-        group.bench_with_input(BenchmarkId::new("simplex-dp", k), &nmdb, |b, db| {
-            b.iter(|| std::hint::black_box(optimize(db, &cfg_dp, SolverBackend::Simplex)))
-        });
+        group
+            .bench(&format!("simplex-dp/{k}"), || optimize(&nmdb, &cfg_dp, SolverBackend::Simplex));
         let cfg_enum = cfg_dp.with_engine(PathEngine::Enumerate);
-        group.bench_with_input(BenchmarkId::new("transportation-enum", k), &nmdb, |b, db| {
-            b.iter(|| std::hint::black_box(optimize(db, &cfg_enum, SolverBackend::Transportation)))
+        group.bench(&format!("transportation-enum/{k}"), || {
+            optimize(&nmdb, &cfg_enum, SolverBackend::Transportation)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_placement);
-criterion_main!(benches);

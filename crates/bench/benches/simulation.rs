@@ -2,25 +2,14 @@
 //! scenario) and of the many-busy-node fleet scenario — the wall-clock
 //! price of one simulated minute of DUST.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust::prelude::*;
 use dust::sim::scenarios;
+use dust_bench::harness::Runner;
 
-fn bench_testbed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
+fn main() {
+    let group = Runner::group("simulation");
     for &duration in &[30_000u64, 60_000] {
-        group.bench_with_input(
-            BenchmarkId::new("fig6-pair", duration / 1000),
-            &duration,
-            |b, &d| b.iter(|| std::hint::black_box(fig6(d, 7))),
-        );
+        group.bench(&format!("fig6-pair/{}", duration / 1000), || fig6(duration, 7));
     }
-    group.bench_function("fleet-4k-60s", |b| {
-        b.iter(|| std::hint::black_box(scenarios::fleet(4, 60_000, 7)))
-    });
-    group.finish();
+    group.bench("fleet-4k-60s", || scenarios::fleet(4, 60_000, 7));
 }
-
-criterion_group!(benches, bench_testbed);
-criterion_main!(benches);

@@ -1,19 +1,19 @@
 //! Ablation 2 (DESIGN.md): the specialized transportation solver vs the
 //! general two-phase simplex on identical placement-shaped instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust::lp::{solve, Cmp, Problem, TransportProblem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dust::prelude::SplitMix64;
+use dust_bench::harness::Runner;
 
 /// A random placement-shaped transportation instance: m sources with
 /// supplies, n sinks with generous capacity, uniform random costs.
 fn random_instance(m: usize, n: usize, seed: u64) -> TransportProblem {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let supply: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0)).collect();
+    let mut rng = SplitMix64::new(seed);
+    let supply: Vec<f64> = (0..m).map(|_| rng.range_f64(1.0, 20.0)).collect();
     let total: f64 = supply.iter().sum();
-    let capacity: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..2.0) * total / n as f64 * 1.5).collect();
-    let cost: Vec<f64> = (0..m * n).map(|_| rng.gen_range(0.01..10.0)).collect();
+    let capacity: Vec<f64> =
+        (0..n).map(|_| rng.range_f64(0.5, 2.0) * total / n as f64 * 1.5).collect();
+    let cost: Vec<f64> = (0..m * n).map(|_| rng.range_f64(0.01, 10.0)).collect();
     TransportProblem::new(supply, capacity, cost)
 }
 
@@ -32,24 +32,12 @@ fn simplex_equivalent(tp: &TransportProblem) -> Problem {
     p
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp-backends");
+fn main() {
+    let group = Runner::group("lp-backends");
     for &(m, n) in &[(4usize, 8usize), (10, 20), (25, 50)] {
         let tp = random_instance(m, n, 42);
         let lp = simplex_equivalent(&tp);
-        group.bench_with_input(
-            BenchmarkId::new("transportation", format!("{m}x{n}")),
-            &tp,
-            |b, tp| b.iter(|| std::hint::black_box(tp.solve())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("simplex", format!("{m}x{n}")),
-            &lp,
-            |b, lp| b.iter(|| std::hint::black_box(solve(lp))),
-        );
+        group.bench(&format!("transportation/{m}x{n}"), || tp.solve());
+        group.bench(&format!("simplex/{m}x{n}"), || solve(&lp));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

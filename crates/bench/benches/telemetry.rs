@@ -2,10 +2,8 @@
 //! (the SmartNIC in-situ compression of §III-A), TSDB ingest/query, and
 //! federated aggregation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dust::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dust_bench::harness::Runner;
 
 fn steady_series(n: usize) -> Series {
     let mut s = Series::default();
@@ -16,61 +14,46 @@ fn steady_series(n: usize) -> Series {
 }
 
 fn noisy_series(n: usize, seed: u64) -> Series {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut s = Series::default();
     let mut t = 0u64;
     for _ in 0..n {
-        t += rng.gen_range(800..1200);
-        s.push(t, rng.gen_range(0.0..100.0));
+        t += rng.range_u64(800, 1200);
+        s.push(t, rng.range_f64(0.0, 100.0));
     }
     s
 }
 
-fn bench_compression(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gorilla");
+fn bench_compression() {
+    let group = Runner::group("gorilla");
     for &n in &[1_000usize, 10_000] {
-        group.throughput(Throughput::Elements(n as u64));
         let steady = steady_series(n);
         let noisy = noisy_series(n, 9);
-        group.bench_with_input(BenchmarkId::new("compress-steady", n), &steady, |b, s| {
-            b.iter(|| std::hint::black_box(compress(s)))
-        });
-        group.bench_with_input(BenchmarkId::new("compress-noisy", n), &noisy, |b, s| {
-            b.iter(|| std::hint::black_box(compress(s)))
-        });
+        group.bench(&format!("compress-steady/{n}"), || compress(&steady));
+        group.bench(&format!("compress-noisy/{n}"), || compress(&noisy));
         let block = compress(&noisy);
-        group.bench_with_input(BenchmarkId::new("decompress-noisy", n), &block, |b, blk| {
-            b.iter(|| std::hint::black_box(decompress(blk)))
-        });
+        group.bench(&format!("decompress-noisy/{n}"), || decompress(&block));
     }
-    group.finish();
 }
 
-fn bench_tsdb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tsdb");
-    group.bench_function("append-10k", |b| {
-        b.iter(|| {
-            let mut db = Tsdb::new();
-            for t in 0..10_000u64 {
-                db.append("cpu", t, t as f64);
-            }
-            std::hint::black_box(db)
-        })
+fn bench_tsdb() {
+    let group = Runner::group("tsdb");
+    group.bench("append-10k", || {
+        let mut db = Tsdb::new();
+        for t in 0..10_000u64 {
+            db.append("cpu", t, t as f64);
+        }
+        db
     });
     let mut db = Tsdb::new();
     for t in 0..100_000u64 {
         db.append("cpu", t, t as f64);
     }
-    group.bench_function("range-query-100k", |b| {
-        b.iter(|| std::hint::black_box(db.series("cpu").unwrap().range(25_000, 75_000).len()))
-    });
-    group.bench_function("downsample-100k", |b| {
-        b.iter(|| std::hint::black_box(db.series("cpu").unwrap().downsample(1000)))
-    });
-    group.finish();
+    group.bench("range-query-100k", || db.series("cpu").unwrap().range(25_000, 75_000).len());
+    group.bench("downsample-100k", || db.series("cpu").unwrap().downsample(1000));
 }
 
-fn bench_federation(c: &mut Criterion) {
+fn bench_federation() {
     let mut fed = Federation::new();
     for n in 0..32u32 {
         let db = fed.store_mut(NodeId(n));
@@ -78,18 +61,14 @@ fn bench_federation(c: &mut Criterion) {
             db.append("device-cpu", t * 1000, (t % 97) as f64);
         }
     }
-    c.bench_function("federated-mean-32nodes", |b| {
-        b.iter(|| {
-            std::hint::black_box(fed.query(
-                "device-cpu",
-                0,
-                2_000_000,
-                60_000,
-                dust::telemetry::Aggregation::Mean,
-            ))
-        })
+    let group = Runner::group("federation");
+    group.bench("federated-mean-32nodes", || {
+        fed.query("device-cpu", 0, 2_000_000, 60_000, dust::telemetry::Aggregation::Mean)
     });
 }
 
-criterion_group!(benches, bench_compression, bench_tsdb, bench_federation);
-criterion_main!(benches);
+fn main() {
+    bench_compression();
+    bench_tsdb();
+    bench_federation();
+}

@@ -79,10 +79,8 @@ pub fn fig7(seed: u64, effort: Effort) -> String {
     let base = DustConfig::paper_defaults()
         .with_engine(PathEngine::HopBoundedDp)
         .with_thresholds(85.0, 20.0, 5.0);
-    let co_sweep: Vec<(f64, f64)> = [0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
-        .iter()
-        .map(|d| (85.0, 5.0 + d * 15.0))
-        .collect();
+    let co_sweep: Vec<(f64, f64)> =
+        [0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5].iter().map(|d| (85.0, 5.0 + d * 15.0)).collect();
     let pts = io_rate_sweep(&ft.graph, &base, &co_sweep, &experiment_params(), seed, iterations);
     let mut t = Table::new(&["C_max", "CO_max", "delta_io", "io rate (%)", "iterations"]);
     for p in &pts {
@@ -112,8 +110,7 @@ pub fn fig8(seed: u64, effort: Effort) -> String {
     let base = experiment_config().with_engine(PathEngine::Enumerate);
     let mut t = Table::new(&["max-hop", "mean time (ms)", "normalized", "feasible/runs"]);
     let mut first: Option<f64> = None;
-    let hops: Vec<Option<usize>> =
-        (1..=12).map(Some).chain(std::iter::once(None)).collect();
+    let hops: Vec<Option<usize>> = (1..=12).map(Some).chain(std::iter::once(None)).collect();
     for h in hops {
         let cfg = base.with_max_hop(h);
         let mut times = Vec::new();
@@ -158,7 +155,11 @@ pub fn fig9(seed: u64, effort: Effort) -> String {
     let (full, partial, none) = tally.percentages();
     let mut t = Table::new(&["outcome", "share (%)", "count"]);
     t.row(&["heuristic fully offloads".into(), format!("{full:.2}"), tally.full.to_string()]);
-    t.row(&["heuristic partial, ILP completes".into(), format!("{partial:.2}"), tally.partial.to_string()]);
+    t.row(&[
+        "heuristic partial, ILP completes".into(),
+        format!("{partial:.2}"),
+        tally.partial.to_string(),
+    ]);
     t.row(&["heuristic none, ILP succeeds".into(), format!("{none:.2}"), tally.none.to_string()]);
     format!(
         "Fig. 9 — success split over {} comparable iterations (4-k; {} infeasible, {} trivial excluded)\n{}\n\
@@ -213,11 +214,21 @@ pub fn fig10(seed: u64, effort: Effort) -> String {
 pub fn fig11(seed: u64, effort: Effort) -> String {
     // (k, heuristic iterations, ILP iterations, recommended max-hop)
     let plans: &[(usize, usize, usize, Option<usize>)] = match effort {
-        Effort::Quick => &[(4, 100, 10, Some(10)), (8, 40, 5, Some(7)), (16, 15, 2, Some(4)), (64, 3, 0, None)],
-        Effort::Full => &[(4, 300, 20, Some(10)), (8, 100, 10, Some(7)), (16, 30, 3, Some(4)), (64, 5, 0, None)],
+        Effort::Quick => {
+            &[(4, 100, 10, Some(10)), (8, 40, 5, Some(7)), (16, 15, 2, Some(4)), (64, 3, 0, None)]
+        }
+        Effort::Full => {
+            &[(4, 300, 20, Some(10)), (8, 100, 10, Some(7)), (16, 30, 3, Some(4)), (64, 5, 0, None)]
+        }
     };
     let mut t = Table::new(&[
-        "k", "nodes", "HFR (%)", "ILP mean (s)", "ILP max-hop", "heur iters", "ILP iters",
+        "k",
+        "nodes",
+        "HFR (%)",
+        "ILP mean (s)",
+        "ILP max-hop",
+        "heur iters",
+        "ILP iters",
     ]);
     let mut hfr_points: Vec<(f64, f64)> = Vec::new();
     for &(k, h_iters, ilp_iters, max_hop) in plans {
@@ -231,10 +242,12 @@ pub fn fig11(seed: u64, effort: Effort) -> String {
         hfr_points.push((ft.node_count() as f64, hfr));
 
         let ilp_mean = if ilp_iters > 0 {
-            let cfg_i = experiment_config().with_engine(PathEngine::Enumerate).with_max_hop(max_hop);
+            let cfg_i =
+                experiment_config().with_engine(PathEngine::Enumerate).with_max_hop(max_hop);
             let mut times = Vec::new();
             for i in 0..ilp_iters {
-                let nmdb = random_nmdb(&ft.graph, &cfg_i, &experiment_params(), seed + 1000 + i as u64);
+                let nmdb =
+                    random_nmdb(&ft.graph, &cfg_i, &experiment_params(), seed + 1000 + i as u64);
                 let (_, d) = timed(|| optimize(&nmdb, &cfg_i, SolverBackend::Transportation));
                 times.push(d);
             }
@@ -310,12 +323,18 @@ pub fn zoned(seed: u64, effort: Effort) -> String {
     };
     let cfg = experiment_config().with_engine(PathEngine::HopBoundedDp);
     let mut t = Table::new(&[
-        "k", "method", "mean time (s)", "latency bound (s)", "unplaced (% of Cs)", "beta vs global",
+        "k",
+        "method",
+        "mean time (s)",
+        "latency bound (s)",
+        "unplaced (% of Cs)",
+        "beta vs global",
     ]);
     for &(k, iters) in plans {
         let ft = FatTree::with_default_links(k);
         let zoning = zone_fat_tree(&ft);
-        let mut acc: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+        type MethodAcc = (String, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+        let mut acc: Vec<MethodAcc> = vec![
             ("global ILP".into(), vec![], vec![], vec![], vec![]),
             ("zoned ILP".into(), vec![], vec![], vec![], vec![]),
             ("zoned + sweep".into(), vec![], vec![], vec![], vec![]),
@@ -356,7 +375,11 @@ pub fn zoned(seed: u64, effort: Effort) -> String {
         }
         for (name, times, lat, unplaced, ratio) in &acc {
             let mean = |v: &Vec<f64>| {
-                if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
             };
             t.row(&[
                 k.to_string(),
@@ -384,7 +407,12 @@ pub fn fleet(seed: u64, effort: Effort) -> String {
         Effort::Full => &[(4, 180_000), (8, 180_000), (16, 120_000)],
     };
     let mut t = Table::new(&[
-        "k", "monitored", "transfers", "early mean CPU (%)", "settled mean CPU (%)", "still busy",
+        "k",
+        "monitored",
+        "transfers",
+        "early mean CPU (%)",
+        "settled mean CPU (%)",
+        "still busy",
     ]);
     for &(k, duration) in plans {
         let r = dust::sim::scenarios::fleet(k, duration, seed);

@@ -1,0 +1,94 @@
+//! A minimal, dependency-free micro-benchmark runner.
+//!
+//! Every `benches/*.rs` target sets `harness = false` and drives this
+//! runner from a plain `main`. Each measurement calibrates an iteration
+//! batch from a single warm-up run, takes several samples, and reports
+//! the fastest per-iteration time (the most repeatable statistic on a
+//! shared machine: external noise only ever slows a sample down).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one measurement (all samples together).
+const TARGET: Duration = Duration::from_millis(400);
+
+/// Samples per measurement.
+const SAMPLES: u32 = 5;
+
+/// Measure the fastest per-iteration time of `f`.
+///
+/// One warm-up call sizes the batch so the whole measurement stays near
+/// [`TARGET`]; slow closures (> the per-sample budget) run once per
+/// sample.
+pub fn time<T>(mut f: impl FnMut() -> T) -> Duration {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let per_sample = TARGET / SAMPLES;
+    let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed() / iters);
+    }
+    best
+}
+
+/// Render a duration with a unit fitting its magnitude.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of measurements printed as aligned `group/label  time`
+/// lines, mirroring the layout of the previous Criterion output.
+pub struct Runner {
+    group: String,
+}
+
+impl Runner {
+    /// Start a benchmark group.
+    pub fn group(name: &str) -> Self {
+        println!("## {name}");
+        Runner { group: name.to_string() }
+    }
+
+    /// Measure `f` and print one result line; returns the fastest
+    /// per-iteration time so callers can compute ratios.
+    pub fn bench<T>(&self, label: &str, f: impl FnMut() -> T) -> Duration {
+        let best = time(f);
+        println!("{:<52} {:>12}", format!("{}/{label}", self.group), fmt_duration(best));
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_positive_and_sane() {
+        let d = time(|| (0..100u64).sum::<u64>());
+        assert!(d > Duration::ZERO);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn durations_format_with_fitting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_500)), "1.50 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00 s");
+    }
+}

@@ -2,7 +2,7 @@
 //! process entry point: each takes a parsed [`Nmdb`] plus options and
 //! returns the text to print.
 
-use dust::core::{optimize_zoned, zone_by_bfs};
+use dust::core::zone_by_bfs;
 use dust::prelude::*;
 
 /// Threshold/routing options shared by all commands.
@@ -20,6 +20,8 @@ pub struct Options {
     pub enumerate_paths: bool,
     /// Use the general simplex instead of the transportation solver.
     pub simplex: bool,
+    /// Worker threads pricing `T_rmin` rows (0 = one per core).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -32,6 +34,7 @@ impl Default for Options {
             max_hop: None,
             enumerate_paths: false,
             simplex: false,
+            threads: 0,
         }
     }
 }
@@ -57,6 +60,11 @@ impl Options {
         } else {
             SolverBackend::Transportation
         }
+    }
+
+    /// Assemble a [`PlacementRequest`] carrying these options.
+    fn request<'a>(&self, nmdb: &'a Nmdb, cfg: &DustConfig) -> PlacementRequest<'a> {
+        PlacementRequest::new(nmdb, cfg).backend(self.backend()).threads(self.threads)
     }
 }
 
@@ -100,9 +108,20 @@ pub fn roles(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
 }
 
 /// `dustctl optimize`: the exact placement, with routes.
+///
+/// Infeasible placements surface as `Err` (typed by [`DustError`]'s
+/// message) so the process exits nonzero, letting scripts branch on the
+/// outcome.
 pub fn cmd_optimize(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
     let cfg = opts.config()?;
-    let p = optimize(nmdb, &cfg, opts.backend());
+    let report = opts.request(nmdb, &cfg).solve().map_err(|e| match e {
+        DustError::Infeasible => {
+            format!("{e}; raise CO_max / max-hop, or add capacity")
+        }
+        DustError::NoPathWithinHops => format!("{e}; raise --max-hop"),
+        other => other.to_string(),
+    })?;
+    let p = report.as_lp().expect("default strategy is the exact LP");
     let mut out = format!("status: {:?}\n", p.status);
     match p.status {
         PlacementStatus::Optimal => {
@@ -154,7 +173,9 @@ pub fn cmd_heuristic(nmdb: &Nmdb, opts: &Options, hops: usize) -> Result<String,
     if hops == 0 {
         return Err("--hops must be at least 1".into());
     }
-    let h = heuristic_with_hops(nmdb, &cfg, hops);
+    let report =
+        opts.request(nmdb, &cfg).heuristic_hops(hops).solve().map_err(|e| e.to_string())?;
+    let h = report.as_heuristic().expect("heuristic strategy was configured");
     let mut out = format!(
         "placed {:.1} of {:.1} capacity-% within {} hop(s); HFR = {:.2}%\n",
         h.total_cs - h.total_cse,
@@ -190,7 +211,9 @@ pub fn cmd_zoned(
         return Err("--zone-size must be at least 1".into());
     }
     let zoning = zone_by_bfs(&nmdb.graph, zone_size);
-    let z = optimize_zoned(nmdb, &cfg, &zoning, opts.backend(), sweep);
+    let report =
+        opts.request(nmdb, &cfg).zoned(&zoning, sweep).solve().map_err(|e| e.to_string())?;
+    let z = report.as_zoned().expect("zoned strategy was configured");
     let total_cs = nmdb.total_cs(&cfg);
     let mut out = format!(
         "{} zones (max size {}), {} active; beta = {:.6}; unplaced = {:.1}% of Cs\n\
@@ -238,7 +261,9 @@ pub fn cmd_dot(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
             NodeStyle { label: Some(format!("{:.0}%", s.utilization)), fill }
         })
         .collect();
-    let p = optimize(nmdb, &cfg, opts.backend());
+    // run_lp keeps the infeasible outcome as data: the graph still renders,
+    // just without a route overlay.
+    let p = opts.request(nmdb, &cfg).run_lp().map_err(|e| e.to_string())?;
     let routes: Vec<_> = p.assignments.iter().filter_map(|a| a.route.clone()).collect();
     Ok(placement_to_dot(&nmdb.graph, "dust", &styles, &routes))
 }
@@ -308,8 +333,7 @@ mod tests {
 
     #[test]
     fn invalid_options_surface_errors() {
-        let mut o = Options::default();
-        o.co_max = 95.0; // above c_max
+        let o = Options { co_max: 95.0, ..Default::default() }; // co_max above c_max
         assert!(roles(&fig4(), &o).is_err());
         assert!(cmd_heuristic(&fig4(), &Options::default(), 0).is_err());
         assert!(cmd_zoned(&fig4(), &Options::default(), 0, false).is_err());
@@ -322,4 +346,3 @@ mod tests {
         assert!(out.contains("status: Optimal"));
     }
 }
-

@@ -79,9 +79,7 @@ pub fn parse_nmdb(input: &str) -> Result<Nmdb, ParseError> {
                 let capable = match fields.get(3) {
                     None => true,
                     Some(&"nooffload") => false,
-                    Some(other) => {
-                        return Err(err(lineno, format!("unknown node flag {other:?}")))
-                    }
+                    Some(other) => return Err(err(lineno, format!("unknown node flag {other:?}"))),
                 };
                 if nodes.len() <= id {
                     nodes.resize_with(id + 1, || None);
@@ -114,9 +112,9 @@ pub fn parse_nmdb(input: &str) -> Result<Nmdb, ParseError> {
                 if !(cap.is_finite() && cap > 0.0) {
                     return Err(err(lineno, format!("capacity {cap} must be positive")));
                 }
-                let util: f64 = fields[3]
-                    .parse()
-                    .map_err(|_| err(lineno, format!("invalid link utilization {:?}", fields[3])))?;
+                let util: f64 = fields[3].parse().map_err(|_| {
+                    err(lineno, format!("invalid link utilization {:?}", fields[3]))
+                })?;
                 if !(0.0..=1.0).contains(&util) {
                     return Err(err(lineno, format!("link utilization {util} outside [0,1]")));
                 }
@@ -137,9 +135,7 @@ pub fn parse_nmdb(input: &str) -> Result<Nmdb, ParseError> {
                 let s = NodeState::new(d.utilization, d.data_mb);
                 states.push(if d.capable { s } else { s.non_offloading() });
             }
-            None => {
-                return Err(err(0, format!("node ids must be dense: node {id} is missing")))
-            }
+            None => return Err(err(0, format!("node ids must be dense: node {id} is missing"))),
         }
     }
     if states.is_empty() {
@@ -218,7 +214,10 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let nmdb = parse_nmdb("\n# hi\nnode 0 10 1\n  # indented comment\nnode 1 20 1\nedge 0 1 100 0.5\n").unwrap();
+        let nmdb = parse_nmdb(
+            "\n# hi\nnode 0 10 1\n  # indented comment\nnode 1 20 1\nedge 0 1 100 0.5\n",
+        )
+        .unwrap();
         assert_eq!(nmdb.graph.node_count(), 2);
     }
 
@@ -243,7 +242,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_unknowns() {
-        assert!(parse_nmdb("node 0 10 1\nnode 0 20 1\n").unwrap_err().message.contains("duplicate"));
+        assert!(parse_nmdb("node 0 10 1\nnode 0 20 1\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
         assert!(parse_nmdb("nde 0 10 1\n").unwrap_err().message.contains("unknown directive"));
         assert!(parse_nmdb("node 0 10 1 wat\n").unwrap_err().message.contains("unknown node flag"));
     }
@@ -251,11 +253,26 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let base = "node 0 10 1\nnode 1 10 1\n";
-        assert!(parse_nmdb(&format!("{base}edge 0 0 100 0.5\n")).unwrap_err().message.contains("self-loop"));
-        assert!(parse_nmdb(&format!("{base}edge 0 5 100 0.5\n")).unwrap_err().message.contains("undeclared"));
-        assert!(parse_nmdb(&format!("{base}edge 0 1 -3 0.5\n")).unwrap_err().message.contains("positive"));
-        assert!(parse_nmdb(&format!("{base}edge 0 1 100 1.5\n")).unwrap_err().message.contains("outside [0,1]"));
-        assert!(parse_nmdb(&format!("{base}edge 0 1 100\n")).unwrap_err().message.contains("expected: edge"));
+        assert!(parse_nmdb(&format!("{base}edge 0 0 100 0.5\n"))
+            .unwrap_err()
+            .message
+            .contains("self-loop"));
+        assert!(parse_nmdb(&format!("{base}edge 0 5 100 0.5\n"))
+            .unwrap_err()
+            .message
+            .contains("undeclared"));
+        assert!(parse_nmdb(&format!("{base}edge 0 1 -3 0.5\n"))
+            .unwrap_err()
+            .message
+            .contains("positive"));
+        assert!(parse_nmdb(&format!("{base}edge 0 1 100 1.5\n"))
+            .unwrap_err()
+            .message
+            .contains("outside [0,1]"));
+        assert!(parse_nmdb(&format!("{base}edge 0 1 100\n"))
+            .unwrap_err()
+            .message
+            .contains("expected: edge"));
     }
 
     #[test]

@@ -28,7 +28,10 @@ options (all commands taking a file):
   --x-min X     minimum utilization (default 5)
   --max-hop N   hop bound on routes (default unlimited)
   --enumerate   paper-faithful exhaustive path enumeration
-  --simplex     use the general simplex instead of the transportation solver";
+  --simplex     use the general simplex instead of the transportation solver
+  --threads N   T_rmin pricing threads (default: one per core)
+
+exit status: 0 on success, 1 when no feasible placement exists, 2 on usage errors";
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("dustctl: {msg}\n\n{USAGE}");
@@ -65,6 +68,7 @@ fn main() {
             "--max-hop" => opts.max_hop = Some(numeric(&mut it, "--max-hop") as usize),
             "--enumerate" => opts.enumerate_paths = true,
             "--simplex" => opts.simplex = true,
+            "--threads" => opts.threads = numeric(&mut it, "--threads") as usize,
             "--hops" => hops = numeric(&mut it, "--hops") as usize,
             "--zone-size" => zone_size = Some(numeric(&mut it, "--zone-size") as usize),
             "--sweep" => sweep = true,
@@ -89,6 +93,11 @@ fn main() {
     };
     match result {
         Ok(out) => print!("{out}"),
-        Err(e) => fail(e),
+        // Solve-time failures (infeasible, hop starvation, bad thresholds)
+        // exit 1 without the usage banner; usage errors exit 2 via fail().
+        Err(e) => {
+            eprintln!("dustctl: {e}");
+            std::process::exit(1)
+        }
     }
 }

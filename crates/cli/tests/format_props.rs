@@ -1,70 +1,78 @@
-//! Property tests for the dustctl network-state format: render → parse is
-//! the identity, and the parser never panics on arbitrary input.
+//! Seeded random-instance tests for the dustctl network-state format:
+//! render → parse is the identity, and the parser never panics on
+//! arbitrary input.
 
 use dust::prelude::*;
 use dust_cli::format::{parse_nmdb, render_nmdb};
-use proptest::prelude::*;
 
-fn arb_nmdb() -> impl Strategy<Value = Nmdb> {
-    (2usize..10, proptest::collection::vec((0usize..10, 0usize..10, 1u32..100_000, 0u32..=100), 0..16))
-        .prop_flat_map(|(n, raw_edges)| {
-            proptest::collection::vec(
-                (0.0f64..=100.0, 0.0f64..5_000.0, any::<bool>()),
-                n..=n,
-            )
-            .prop_map(move |states| {
-                let mut g = Graph::with_nodes(states.len());
-                for (a, b, cap, util) in &raw_edges {
-                    let (a, b) = (a % states.len(), b % states.len());
-                    if a != b {
-                        g.add_edge(
-                            NodeId(a as u32),
-                            NodeId(b as u32),
-                            Link::new(f64::from(*cap), f64::from(*util) / 100.0),
-                        );
-                    }
-                }
-                let states = states
-                    .into_iter()
-                    .map(|(u, d, cap)| {
-                        let s = NodeState::new(u, d);
-                        if cap {
-                            s
-                        } else {
-                            s.non_offloading()
-                        }
-                    })
-                    .collect();
-                Nmdb::new(g, states)
-            })
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// render → parse round-trips node states and edges exactly.
-    #[test]
-    fn roundtrip(nmdb in arb_nmdb()) {
-        let text = render_nmdb(&nmdb);
-        let back = parse_nmdb(&text).expect("rendered file must parse");
-        prop_assert_eq!(back.graph.node_count(), nmdb.graph.node_count());
-        prop_assert_eq!(back.graph.edge_count(), nmdb.graph.edge_count());
-        for (a, b) in back.states.iter().zip(&nmdb.states) {
-            prop_assert!((a.utilization - b.utilization).abs() < 1e-12);
-            prop_assert!((a.data_mb - b.data_mb).abs() < 1e-12);
-            prop_assert_eq!(a.offload_capable, b.offload_capable);
-        }
-        for (x, y) in back.graph.edges().iter().zip(nmdb.graph.edges()) {
-            prop_assert_eq!((x.a, x.b), (y.a, y.b));
-            prop_assert!((x.link.capacity_mbps - y.link.capacity_mbps).abs() < 1e-9);
-            prop_assert!((x.link.utilization - y.link.utilization).abs() < 1e-12);
+/// A random NMDB with 2–9 nodes, up to 15 random edges (self-loops
+//  skipped), and randomized node states. Deterministic in `seed`.
+fn arb_nmdb(seed: u64) -> Nmdb {
+    let mut rng = SplitMix64::new(seed);
+    let n = 2 + rng.below(8) as usize;
+    let mut g = Graph::with_nodes(n);
+    let edges = rng.below(16) as usize;
+    for _ in 0..edges {
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        if a != b {
+            let cap = 1.0 + rng.below(100_000) as f64;
+            let util = rng.below(101) as f64 / 100.0;
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), Link::new(cap, util));
         }
     }
+    let states = (0..n)
+        .map(|_| {
+            let s = NodeState::new(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 5_000.0));
+            if rng.gen_bool(0.5) {
+                s
+            } else {
+                s.non_offloading()
+            }
+        })
+        .collect();
+    Nmdb::new(g, states)
+}
 
-    /// The parser is total: garbage lines yield errors, never panics.
-    #[test]
-    fn parser_never_panics(text in "[ -~\n]{0,400}") {
+/// render → parse round-trips node states and edges exactly.
+#[test]
+fn roundtrip() {
+    for seed in 0..128u64 {
+        let nmdb = arb_nmdb(seed);
+        let text = render_nmdb(&nmdb);
+        let back = parse_nmdb(&text).expect("rendered file must parse");
+        assert_eq!(back.graph.node_count(), nmdb.graph.node_count(), "seed {seed}");
+        assert_eq!(back.graph.edge_count(), nmdb.graph.edge_count(), "seed {seed}");
+        for (a, b) in back.states.iter().zip(&nmdb.states) {
+            assert!((a.utilization - b.utilization).abs() < 1e-12, "seed {seed}");
+            assert!((a.data_mb - b.data_mb).abs() < 1e-12, "seed {seed}");
+            assert_eq!(a.offload_capable, b.offload_capable, "seed {seed}");
+        }
+        for (x, y) in back.graph.edges().iter().zip(nmdb.graph.edges()) {
+            assert_eq!((x.a, x.b), (y.a, y.b), "seed {seed}");
+            assert!((x.link.capacity_mbps - y.link.capacity_mbps).abs() < 1e-9, "seed {seed}");
+            assert!((x.link.utilization - y.link.utilization).abs() < 1e-12, "seed {seed}");
+        }
+    }
+}
+
+/// The parser is total: garbage lines yield errors, never panics.
+#[test]
+fn parser_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.below(400) as usize;
+        let text: String = (0..len)
+            .map(|_| {
+                // printable ASCII plus newlines, same alphabet as "[ -~\n]"
+                let c = rng.below(96) as u8;
+                if c == 95 {
+                    '\n'
+                } else {
+                    (b' ' + c) as char
+                }
+            })
+            .collect();
         let _ = parse_nmdb(&text);
     }
 }

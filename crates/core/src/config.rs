@@ -1,7 +1,6 @@
 //! DUST configuration: the user-defined thresholds of §III-B / §IV-A.
 
 use dust_topology::PathEngine;
-use serde::{Deserialize, Serialize};
 
 /// Threshold and routing configuration for a DUST deployment.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// * `max_hop` — hop bound on controllable routes (`None` = unlimited).
 /// * `path_engine` — exhaustive enumeration (paper-faithful) or the
 ///   hop-bounded DP (fast equivalent).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DustConfig {
     /// Busy-node threshold capacity, percent.
     pub c_max: f64,

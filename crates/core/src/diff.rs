@@ -10,11 +10,10 @@
 
 use crate::optimizer::Assignment;
 use dust_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One reconciliation action between consecutive placement rounds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TransferAction {
     /// Begin a new hosting arrangement.
     Start {
@@ -118,13 +117,7 @@ mod tests {
     use super::*;
 
     fn asg(from: u32, to: u32, amount: f64) -> Assignment {
-        Assignment {
-            from: NodeId(from),
-            to: NodeId(to),
-            amount,
-            t_rmin: 0.1,
-            route: None,
-        }
+        Assignment { from: NodeId(from), to: NodeId(to), amount, t_rmin: 0.1, route: None }
     }
 
     #[test]

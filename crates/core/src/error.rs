@@ -1,0 +1,66 @@
+//! Typed errors for the placement engine.
+//!
+//! The original entry points signalled failure three different ways:
+//! panics on bad configuration, status enums on infeasible solves, and
+//! bare `Option`s on missing routes. [`DustError`] unifies them so
+//! callers — `dustctl` in particular — can branch on the cause and exit
+//! with a meaningful code instead of unwinding.
+
+use std::fmt;
+
+/// Why a placement request could not produce a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DustError {
+    /// Constraints 3a/3b cannot all hold: busy excess exceeds what
+    /// reachable candidates can absorb (the "Infeasible Optimization"
+    /// outcome counted by Fig. 7).
+    Infeasible,
+    /// The LP relaxation was unbounded — impossible for well-formed
+    /// placement instances (costs are non-negative and supplies finite),
+    /// so this indicates a malformed custom problem.
+    Unbounded,
+    /// Busy nodes and candidates both exist, but no (busy, candidate)
+    /// pair is connected within the configured hop bound.
+    NoPathWithinHops,
+    /// The [`DustConfig`](crate::DustConfig) violates its invariants; the
+    /// message says which one.
+    BadConfig(String),
+}
+
+impl fmt::Display for DustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DustError::Infeasible => {
+                write!(f, "infeasible: busy excess exceeds reachable candidate capacity")
+            }
+            DustError::Unbounded => write!(f, "the placement LP is unbounded"),
+            DustError::NoPathWithinHops => {
+                write!(f, "no route between any busy node and any candidate within the hop bound")
+            }
+            DustError::BadConfig(msg) => write!(f, "invalid DustConfig: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DustError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DustError::Infeasible.to_string().contains("infeasible"));
+        assert!(DustError::NoPathWithinHops.to_string().contains("hop bound"));
+        assert!(DustError::BadConfig("x_min out of range".into())
+            .to_string()
+            .contains("x_min out of range"));
+        assert!(DustError::Unbounded.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(DustError::Infeasible);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -9,11 +9,10 @@
 //! io-rate estimator behind Fig. 7.
 
 use crate::config::DustConfig;
-use crate::optimizer::{optimize, PlacementStatus, SolverBackend};
+use crate::optimizer::{optimize_with, PlacementStatus, SolverBackend};
 use crate::scenario::{scenario_stream, ScenarioParams};
 use crate::state::Nmdb;
-use dust_topology::Graph;
-use serde::{Deserialize, Serialize};
+use dust_topology::{CostEngine, Graph};
 
 /// Aggregate-capacity precheck: `Σ Cs ≤ Σ Cd` is necessary (not
 /// sufficient — routing/hop limits can still make Eq. 3 infeasible).
@@ -23,7 +22,7 @@ pub fn capacity_precheck(nmdb: &Nmdb, cfg: &DustConfig) -> bool {
 
 /// One Fig. 7 measurement: thresholds, their `Δ_io`, and the observed
 /// infeasible-optimization rate.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IoRatePoint {
     /// Busy threshold used.
     pub c_max: f64,
@@ -50,9 +49,15 @@ pub fn estimate_io_rate(
     seed: u64,
     iterations: usize,
 ) -> IoRatePoint {
+    // One shared engine for the whole loop. Each iteration re-rolls link
+    // utilizations (a fresh graph epoch), so rows never carry over between
+    // iterations — retain only the current epoch to bound cache memory.
+    let engine = CostEngine::new();
     let mut infeasible = 0usize;
     for nmdb in scenario_stream(graph, cfg, params, seed, iterations) {
-        let p = optimize(&nmdb, cfg, SolverBackend::Transportation);
+        engine.retain_epoch(&nmdb.graph);
+        let p = optimize_with(&nmdb, cfg, SolverBackend::Transportation, &engine)
+            .expect("threshold configs are validated by the sweep caller");
         if p.status == PlacementStatus::Infeasible {
             infeasible += 1;
         }
@@ -96,15 +101,9 @@ mod tests {
     fn precheck_matches_totals() {
         let g = topologies::line(2, Link::default());
         let cfg = DustConfig::paper_defaults();
-        let ok = Nmdb::new(
-            g.clone(),
-            vec![NodeState::new(85.0, 1.0), NodeState::new(20.0, 1.0)],
-        );
+        let ok = Nmdb::new(g.clone(), vec![NodeState::new(85.0, 1.0), NodeState::new(20.0, 1.0)]);
         assert!(capacity_precheck(&ok, &cfg));
-        let bad = Nmdb::new(
-            g,
-            vec![NodeState::new(99.0, 1.0), NodeState::new(49.5, 1.0)],
-        );
+        let bad = Nmdb::new(g, vec![NodeState::new(99.0, 1.0), NodeState::new(49.5, 1.0)]);
         assert!(!capacity_precheck(&bad, &cfg));
     }
 

@@ -12,14 +12,14 @@
 //! procedure is deterministic.
 
 use crate::config::DustConfig;
+use crate::error::DustError;
 use crate::optimizer::Assignment;
 use crate::state::Nmdb;
-use dust_topology::{min_inv_lu_dp_path, NodeId};
-use serde::{Deserialize, Serialize};
+use dust_topology::{min_inv_lu_dp_path, CostEngine, NodeId, PathEngine};
 use std::time::{Duration, Instant};
 
 /// Result of one heuristic round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HeuristicOutcome {
     /// Accepted offload decisions (may cover only part of the excess).
     pub assignments: Vec<Assignment>,
@@ -58,6 +58,10 @@ impl HeuristicOutcome {
 }
 
 /// Run Algorithm 1 with the paper's one-hop candidate restriction.
+///
+/// Thin wrapper over [`crate::PlacementRequest`] — prefer
+/// `PlacementRequest::new(nmdb, cfg).heuristic().solve()`, which shares
+/// one [`CostEngine`] across entry points.
 pub fn heuristic(nmdb: &Nmdb, cfg: &DustConfig) -> HeuristicOutcome {
     heuristic_with_hops(nmdb, cfg, 1)
 }
@@ -65,19 +69,42 @@ pub fn heuristic(nmdb: &Nmdb, cfg: &DustConfig) -> HeuristicOutcome {
 /// Generalized Algorithm 1: candidates within `hops` of each Busy node.
 ///
 /// `hops = 1` is the published algorithm. Larger values trade runtime for a
-/// lower HFR (ablation 3 in DESIGN.md).
+/// lower HFR (ablation 3 in DESIGN.md). Thin wrapper over
+/// [`crate::PlacementRequest`] kept for source compatibility.
 ///
 /// # Panics
 /// Panics if `hops == 0` or `cfg` is invalid.
 pub fn heuristic_with_hops(nmdb: &Nmdb, cfg: &DustConfig, hops: usize) -> HeuristicOutcome {
     assert!(hops >= 1, "heuristic needs at least one hop of reach");
     cfg.validate().expect("invalid DustConfig");
+    crate::PlacementRequest::new(nmdb, cfg)
+        .heuristic_hops(hops)
+        .run_heuristic()
+        .expect("config and hop count validated above")
+}
+
+/// Generalized Algorithm 1 with an explicit shared [`CostEngine`].
+///
+/// Candidate pricing reads one hop-bounded Bellman–Ford row per Busy node
+/// from `engine` — prefetched in parallel and memoized per graph epoch, so
+/// repeated rounds on an unchanged graph price nothing twice.
+pub fn heuristic_with(
+    nmdb: &Nmdb,
+    cfg: &DustConfig,
+    hops: usize,
+    engine: &CostEngine,
+) -> Result<HeuristicOutcome, DustError> {
+    if hops == 0 {
+        return Err(DustError::BadConfig("heuristic needs at least one hop of reach".to_string()));
+    }
+    cfg.validate().map_err(DustError::BadConfig)?;
     let t0 = Instant::now();
 
     let busy = nmdb.busy_nodes(cfg);
+    // Warm every Busy row concurrently before the sequential greedy pass.
+    engine.prefetch(&nmdb.graph, &busy, Some(hops), PathEngine::HopBoundedDp);
     // Remaining spare capacity per node, consumed as assignments land.
-    let mut remaining_cd: Vec<f64> =
-        nmdb.graph.nodes().map(|n| nmdb.cd(n, cfg)).collect();
+    let mut remaining_cd: Vec<f64> = nmdb.graph.nodes().map(|n| nmdb.cd(n, cfg)).collect();
 
     let mut assignments = Vec::new();
     let mut residual = Vec::new();
@@ -90,39 +117,20 @@ pub fn heuristic_with_hops(nmdb: &Nmdb, cfg: &DustConfig, hops: usize) -> Heuris
         total_cs += cs;
         let d_mb = nmdb.state(b).data_mb;
 
-        // Price every in-reach candidate with spare capacity. For the
-        // published hops = 1 case the cost to a neighbor is just
-        // `D / Lu` of the best direct link, read straight off the
-        // adjacency list; for larger reaches one hop-bounded Bellman–Ford
-        // per Busy node prices all candidates at once. Sorting
-        // cheapest-first then greedy-filling is optimal for a single
-        // source (the per-node transportation LP of Algorithm 1 line 8).
-        let mut priced: Vec<(f64, NodeId)> = if hops == 1 {
-            // cheapest parallel edge per direct neighbor
-            let mut best: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
-            for &(w, e) in nmdb.graph.neighbors(b) {
-                if remaining_cd[w.index()] <= 1e-12 {
-                    continue;
-                }
-                let inv = dust_topology::paths::inv_lu_edge(&nmdb.graph, e);
-                let entry = best.entry(w).or_insert(f64::INFINITY);
-                if inv < *entry {
-                    *entry = inv;
-                }
-            }
-            best.into_iter()
-                .filter(|(_, inv)| inv.is_finite())
-                .map(|(w, inv)| (d_mb * inv, w))
-                .collect()
-        } else {
-            let dist = dust_topology::min_inv_lu_dp_from(&nmdb.graph, b, Some(hops));
-            nmdb.graph
-                .nodes()
-                .filter(|&c| c != b && remaining_cd[c.index()] > 1e-12)
-                .filter(|&c| dist[c.index()].is_finite())
-                .map(|c| (d_mb * dist[c.index()], c))
-                .collect()
-        };
+        // Price every in-reach candidate with spare capacity off the
+        // engine's hop-bounded row (for `hops = 1` the row degenerates to
+        // the cheapest direct link per neighbor — the published
+        // algorithm). Sorting cheapest-first then greedy-filling is
+        // optimal for a single source (the per-node transportation LP of
+        // Algorithm 1 line 8).
+        let dist = engine.row(&nmdb.graph, b, Some(hops), PathEngine::HopBoundedDp);
+        let mut priced: Vec<(f64, NodeId)> = nmdb
+            .graph
+            .nodes()
+            .filter(|&c| c != b && remaining_cd[c.index()] > 1e-12)
+            .filter(|&c| dist[c.index()].is_finite())
+            .map(|c| (d_mb * dist[c.index()], c))
+            .collect();
         priced.sort_by(|a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
         });
@@ -150,14 +158,7 @@ pub fn heuristic_with_hops(nmdb: &Nmdb, cfg: &DustConfig, hops: usize) -> Heuris
         }
     }
 
-    HeuristicOutcome {
-        assignments,
-        residual,
-        total_cs,
-        total_cse,
-        beta,
-        elapsed: t0.elapsed(),
-    }
+    Ok(HeuristicOutcome { assignments, residual, total_cs, total_cse, beta, elapsed: t0.elapsed() })
 }
 
 #[cfg(test)]
@@ -189,11 +190,7 @@ mod tests {
         let g = topologies::line(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(90.0, 10.0),
-                NodeState::new(60.0, 1.0),
-                NodeState::new(20.0, 1.0),
-            ],
+            vec![NodeState::new(90.0, 10.0), NodeState::new(60.0, 1.0), NodeState::new(20.0, 1.0)],
         );
         let h = heuristic(&db, &cfg());
         assert!(h.nothing_offloaded());
@@ -222,11 +219,7 @@ mod tests {
         let g = topologies::star(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(44.0, 1.0),
-                NodeState::new(85.0, 10.0),
-                NodeState::new(85.0, 10.0),
-            ],
+            vec![NodeState::new(44.0, 1.0), NodeState::new(85.0, 10.0), NodeState::new(85.0, 10.0)],
         );
         let h = heuristic(&db, &cfg());
         let absorbed: f64 = h.assignments.iter().map(|a| a.amount).sum();

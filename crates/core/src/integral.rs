@@ -16,13 +16,13 @@
 //! tests pin that dominance.
 
 use crate::config::DustConfig;
+use crate::error::DustError;
 use crate::state::Nmdb;
 use dust_lp::{solve_mip_with, Cmp, MipOptions, Problem, Status, Var};
-use dust_topology::{CostMatrix, NodeId};
-use serde::{Deserialize, Serialize};
+use dust_topology::{CostEngine, NodeId};
 
 /// One indivisible unit of monitoring workload (e.g. a monitor agent).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkUnit {
     /// The Busy node this unit currently runs on.
     pub owner: NodeId,
@@ -31,7 +31,7 @@ pub struct WorkUnit {
 }
 
 /// One accepted integral move.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnitAssignment {
     /// Index into the input `units` slice.
     pub unit: usize,
@@ -40,7 +40,7 @@ pub struct UnitAssignment {
 }
 
 /// Result of an integral placement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntegralPlacement {
     /// Whether a feasible integral placement exists.
     pub feasible: bool,
@@ -58,17 +58,8 @@ pub struct IntegralPlacement {
 /// non-busy nodes are ignored. Returns infeasible when no subset of unit
 /// moves can bring every Busy node to or below `C_max` within candidate
 /// capacities.
-pub fn optimize_integral(
-    nmdb: &Nmdb,
-    cfg: &DustConfig,
-    units: &[WorkUnit],
-) -> IntegralPlacement {
+pub fn optimize_integral(nmdb: &Nmdb, cfg: &DustConfig, units: &[WorkUnit]) -> IntegralPlacement {
     cfg.validate().expect("invalid DustConfig");
-    let busy = nmdb.busy_nodes(cfg);
-    let candidates = nmdb.candidate_nodes(cfg);
-    if busy.is_empty() {
-        return IntegralPlacement { feasible: true, moves: Vec::new(), beta: 0.0, nodes: 0 };
-    }
     for u in units {
         assert!(
             u.weight.is_finite() && u.weight >= 0.0,
@@ -76,9 +67,40 @@ pub fn optimize_integral(
             u.weight
         );
     }
+    crate::PlacementRequest::new(nmdb, cfg)
+        .integral(units)
+        .run_integral()
+        .expect("config and unit weights validated above")
+}
+
+/// Agent-level integral placement with an explicit shared [`CostEngine`].
+///
+/// Identical model to [`optimize_integral`], but the `T_rmin` matrix is
+/// priced through `engine` and invalid inputs surface as
+/// [`DustError::BadConfig`] instead of panics.
+pub fn optimize_integral_with(
+    nmdb: &Nmdb,
+    cfg: &DustConfig,
+    units: &[WorkUnit],
+    engine: &CostEngine,
+) -> Result<IntegralPlacement, DustError> {
+    cfg.validate().map_err(DustError::BadConfig)?;
+    let busy = nmdb.busy_nodes(cfg);
+    let candidates = nmdb.candidate_nodes(cfg);
+    if busy.is_empty() {
+        return Ok(IntegralPlacement { feasible: true, moves: Vec::new(), beta: 0.0, nodes: 0 });
+    }
+    for u in units {
+        if !(u.weight.is_finite() && u.weight >= 0.0) {
+            return Err(DustError::BadConfig(format!(
+                "unit weight must be finite and >= 0, got {}",
+                u.weight
+            )));
+        }
+    }
     let data: Vec<f64> = busy.iter().map(|&b| nmdb.state(b).data_mb).collect();
     let costs =
-        CostMatrix::build(&nmdb.graph, &busy, &candidates, &data, cfg.max_hop, cfg.path_engine);
+        engine.build_matrix(&nmdb.graph, &busy, &candidates, &data, cfg.max_hop, cfg.path_engine);
     let busy_row = |n: NodeId| busy.iter().position(|&b| b == n);
 
     // units that belong to busy nodes, in input order
@@ -120,12 +142,12 @@ pub fn optimize_integral(
             .flat_map(|((_, u, _), row)| row.iter().flatten().map(move |&v| (v, u.weight)))
             .collect();
         if terms.is_empty() && cs > 1e-9 {
-            return IntegralPlacement {
+            return Ok(IntegralPlacement {
                 feasible: false,
                 moves: Vec::new(),
                 beta: f64::NAN,
                 nodes: 0,
-            };
+            });
         }
         p.add_constraint(&terms, Cmp::Ge, cs);
     }
@@ -143,12 +165,12 @@ pub fn optimize_integral(
 
     let sol = solve_mip_with(&p, MipOptions::default());
     if sol.status != Status::Optimal {
-        return IntegralPlacement {
+        return Ok(IntegralPlacement {
             feasible: false,
             moves: Vec::new(),
             beta: f64::NAN,
             nodes: sol.nodes,
-        };
+        });
     }
     let mut moves = Vec::new();
     for (m, ((i, _, _), row)) in movable.iter().zip(&y).enumerate() {
@@ -161,7 +183,7 @@ pub fn optimize_integral(
             }
         }
     }
-    IntegralPlacement { feasible: true, moves, beta: sol.objective, nodes: sol.nodes }
+    Ok(IntegralPlacement { feasible: true, moves, beta: sol.objective, nodes: sol.nodes })
 }
 
 #[cfg(test)]
@@ -245,11 +267,7 @@ mod tests {
         let g = topologies::star(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(90.0, 50.0),
-                NodeState::new(44.0, 1.0),
-                NodeState::new(44.0, 1.0),
-            ],
+            vec![NodeState::new(90.0, 50.0), NodeState::new(44.0, 1.0), NodeState::new(44.0, 1.0)],
         );
         let r = optimize_integral(&db, &cfg(), &units_of(0, &[5.0, 5.0]));
         assert!(r.feasible);
@@ -274,11 +292,7 @@ mod tests {
         let g = topologies::line(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(85.0, 10.0),
-                NodeState::new(40.0, 1.0),
-                NodeState::new(85.0, 10.0),
-            ],
+            vec![NodeState::new(85.0, 10.0), NodeState::new(40.0, 1.0), NodeState::new(85.0, 10.0)],
         );
         let mut units = units_of(0, &[5.0]);
         units.extend(units_of(2, &[5.0]));

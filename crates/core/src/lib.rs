@@ -7,6 +7,11 @@
 //! * [`state`] — per-node state, role classification (Busy /
 //!   Offload-candidate / Neutral / None-offloading, §III-B), and the NMDB
 //!   snapshot with `Cs`/`Cd` aggregates (Eq. 3c/3d);
+//! * [`error`] — the typed [`DustError`] every fallible entry point
+//!   returns;
+//! * [`request`] — the unified [`PlacementRequest`] builder that fronts
+//!   all four placement strategies over one shared, parallel
+//!   [`CostEngine`](dust_topology::CostEngine);
 //! * [`optimizer`] — the min-cost "ILP" of Eq. 3 solved exactly over
 //!   controllable routes, with route extraction;
 //! * [`heuristic`](mod@heuristic) — Algorithm 1 (one-hop candidates) plus HFR (Eq. 4) and
@@ -20,7 +25,7 @@
 //! # Example
 //!
 //! ```
-//! use dust_core::{DustConfig, NodeState, Nmdb, optimize, SolverBackend, PlacementStatus};
+//! use dust_core::{DustConfig, NodeState, Nmdb, PlacementRequest, SolverBackend};
 //! use dust_topology::{topologies, Link};
 //!
 //! // 0 (busy) — 1 (neutral) — 2 (candidate)
@@ -31,19 +36,23 @@
 //!     NodeState::new(25.0, 10.0),
 //! ]);
 //! let cfg = DustConfig::paper_defaults();
-//! let placement = optimize(&nmdb, &cfg, SolverBackend::Transportation);
-//! assert_eq!(placement.status, PlacementStatus::Optimal);
-//! assert!((placement.total_offloaded() - 12.0).abs() < 1e-6);
+//! let report = PlacementRequest::new(&nmdb, &cfg)
+//!     .backend(SolverBackend::Transportation)
+//!     .solve()
+//!     .expect("feasible placement");
+//! assert!((report.total_offloaded() - 12.0).abs() < 1e-6);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod diff;
+pub mod error;
 pub mod feasibility;
 pub mod heuristic;
 pub mod integral;
 pub mod optimizer;
+pub mod request;
 pub mod scenario;
 pub mod state;
 pub mod success;
@@ -51,11 +60,19 @@ pub mod zoning;
 
 pub use config::DustConfig;
 pub use diff::{apply_actions, placement_diff, TransferAction};
+pub use error::DustError;
 pub use feasibility::{capacity_precheck, estimate_io_rate, io_rate_sweep, IoRatePoint};
-pub use heuristic::{heuristic, heuristic_with_hops, HeuristicOutcome};
-pub use integral::{optimize_integral, IntegralPlacement, UnitAssignment, WorkUnit};
-pub use optimizer::{optimize, Assignment, Placement, PlacementStatus, SolverBackend};
+pub use heuristic::{heuristic, heuristic_with, heuristic_with_hops, HeuristicOutcome};
+pub use integral::{
+    optimize_integral, optimize_integral_with, IntegralPlacement, UnitAssignment, WorkUnit,
+};
+pub use optimizer::{
+    optimize, optimize_with, Assignment, Placement, PlacementStatus, SolverBackend,
+};
+pub use request::{PlacementReport, PlacementRequest, ReportOutcome};
 pub use scenario::{random_nmdb, scenario_stream, ScenarioParams};
-pub use state::{classify, NodeState, Nmdb, Role};
+pub use state::{classify, Nmdb, NodeState, Role};
 pub use success::{classify_iteration, SuccessClass, SuccessTally};
-pub use zoning::{optimize_zoned, zone_by_bfs, zone_fat_tree, ZonedPlacement, Zoning};
+pub use zoning::{
+    optimize_zoned, optimize_zoned_with, zone_by_bfs, zone_fat_tree, ZonedPlacement, Zoning,
+};

@@ -13,14 +13,16 @@
 //! the specialized transportation solver and the general two-phase simplex.
 
 use crate::config::DustConfig;
+use crate::error::DustError;
 use crate::state::Nmdb;
-use dust_lp::{Cmp, Problem, TransportProblem, TransportStatus};
-use dust_topology::{min_inv_lu_dp_path, min_inv_lu_enumerated, CostMatrix, NodeId, Path, PathEngine};
-use serde::{Deserialize, Serialize};
+use dust_lp::{Cmp, Problem, Status, TransportProblem, TransportStatus};
+use dust_topology::{
+    min_inv_lu_dp_path, min_inv_lu_enumerated, CostEngine, NodeId, Path, PathEngine,
+};
 use std::time::{Duration, Instant};
 
 /// Which LP machinery solves the placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverBackend {
     /// Vogel + MODI transportation solver (fast, structure-aware).
     #[default]
@@ -30,7 +32,7 @@ pub enum SolverBackend {
 }
 
 /// One accepted offload decision.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Assignment {
     /// Busy node shedding load.
     pub from: NodeId,
@@ -45,7 +47,7 @@ pub struct Assignment {
 }
 
 /// Outcome of a placement round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementStatus {
     /// Every Busy node's excess was placed at minimum cost.
     Optimal,
@@ -57,7 +59,7 @@ pub enum PlacementStatus {
 }
 
 /// Result of running the optimization engine once.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Placement {
     /// Outcome.
     pub status: PlacementStatus,
@@ -108,15 +110,51 @@ impl Placement {
 
 /// Run the optimization engine on a snapshot.
 ///
-/// This is the paper's "ILP" (continuous `x_ij`, Eq. 3) solved exactly.
-/// Routes for chosen assignments are reconstructed with the same engine
-/// that produced the costs.
+/// Thin wrapper over [`crate::PlacementRequest`] kept for source
+/// compatibility — prefer the builder, which shares one [`CostEngine`]
+/// across entry points and returns typed [`DustError`]s instead of
+/// panicking.
+///
+/// # Panics
+/// Panics when `cfg` is invalid.
 pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placement {
     cfg.validate().expect("invalid DustConfig");
+    match crate::PlacementRequest::new(nmdb, cfg).backend(backend).run_lp() {
+        Ok(p) => p,
+        // Unbounded cannot occur for well-formed placement instances
+        // (non-negative costs, finite supplies); fold it into the
+        // infeasible outcome the legacy status enum can express.
+        Err(_) => Placement {
+            status: PlacementStatus::Infeasible,
+            assignments: Vec::new(),
+            beta: f64::NAN,
+            busy: nmdb.busy_nodes(cfg),
+            candidates: nmdb.candidate_nodes(cfg),
+            cost_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            shadow_prices: Vec::new(),
+        },
+    }
+}
+
+/// Run the optimization engine with an explicit shared [`CostEngine`].
+///
+/// This is the paper's "ILP" (continuous `x_ij`, Eq. 3) solved exactly.
+/// The `T_rmin` matrix comes from `engine` — parallel across its worker
+/// threads and memoized across calls on an unchanged graph. Routes for
+/// chosen assignments are reconstructed with the same path engine that
+/// produced the costs.
+pub fn optimize_with(
+    nmdb: &Nmdb,
+    cfg: &DustConfig,
+    backend: SolverBackend,
+    engine: &CostEngine,
+) -> Result<Placement, DustError> {
+    cfg.validate().map_err(DustError::BadConfig)?;
     let busy = nmdb.busy_nodes(cfg);
     let candidates = nmdb.candidate_nodes(cfg);
     if busy.is_empty() {
-        return Placement {
+        return Ok(Placement {
             status: PlacementStatus::NoBusyNodes,
             assignments: Vec::new(),
             beta: 0.0,
@@ -125,13 +163,14 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
             cost_time: Duration::ZERO,
             solve_time: Duration::ZERO,
             shadow_prices: Vec::new(),
-        };
+        });
     }
 
     // ---- T_rmin matrix over controllable routes ---------------------------
     let t0 = Instant::now();
     let data: Vec<f64> = busy.iter().map(|&b| nmdb.state(b).data_mb).collect();
-    let costs = CostMatrix::build(&nmdb.graph, &busy, &candidates, &data, cfg.max_hop, cfg.path_engine);
+    let costs =
+        engine.build_matrix(&nmdb.graph, &busy, &candidates, &data, cfg.max_hop, cfg.path_engine);
     let cost_time = t0.elapsed();
 
     let supply: Vec<f64> = busy.iter().map(|&b| nmdb.cs(b, cfg)).collect();
@@ -145,13 +184,10 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
             let tp = TransportProblem::new(supply.clone(), capacity.clone(), costs.t_rmin.clone());
             let sol = tp.solve();
             if sol.status == TransportStatus::Optimal {
-                shadow_prices = candidates
-                    .iter()
-                    .copied()
-                    .zip(sol.col_potentials.iter().copied())
-                    .collect();
+                shadow_prices =
+                    candidates.iter().copied().zip(sol.col_potentials.iter().copied()).collect();
             }
-            (sol.status == TransportStatus::Optimal).then(|| (sol.flow, sol.objective))
+            (sol.status == TransportStatus::Optimal).then_some((sol.flow, sol.objective))
         }
         SolverBackend::Simplex => {
             let n = candidates.len();
@@ -171,12 +207,14 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
                 p.add_constraint(&terms, Cmp::Eq, s);
             }
             for (c, &cap) in capacity.iter().enumerate() {
-                let terms: Vec<_> = (0..busy.len())
-                    .filter_map(|r| vars[r * n + c].map(|v| (v, 1.0)))
-                    .collect();
+                let terms: Vec<_> =
+                    (0..busy.len()).filter_map(|r| vars[r * n + c].map(|v| (v, 1.0))).collect();
                 p.add_constraint(&terms, Cmp::Le, cap);
             }
             let sol = dust_lp::solve(&p);
+            if sol.status == Status::Unbounded {
+                return Err(DustError::Unbounded);
+            }
             sol.is_optimal().then(|| {
                 let mut flow = vec![0.0; busy.len() * n];
                 for (idx, v) in vars.iter().enumerate() {
@@ -191,7 +229,7 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
     let solve_time = t1.elapsed();
 
     let Some((flow, beta)) = flows else {
-        return Placement {
+        return Ok(Placement {
             status: PlacementStatus::Infeasible,
             assignments: Vec::new(),
             beta: f64::NAN,
@@ -200,7 +238,7 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
             cost_time,
             solve_time,
             shadow_prices: Vec::new(),
-        };
+        });
     };
 
     // ---- Route extraction for the chosen pairs -----------------------------
@@ -229,7 +267,7 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
         }
     }
 
-    Placement {
+    Ok(Placement {
         status: PlacementStatus::Optimal,
         assignments,
         beta,
@@ -238,7 +276,7 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
         cost_time,
         solve_time,
         shadow_prices,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -322,11 +360,7 @@ mod tests {
         let g = topologies::star(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(90.0, 50.0),
-                NodeState::new(44.0, 1.0),
-                NodeState::new(44.0, 1.0),
-            ],
+            vec![NodeState::new(90.0, 50.0), NodeState::new(44.0, 1.0), NodeState::new(44.0, 1.0)],
         );
         let p = optimize(&db, &cfg(), SolverBackend::Transportation);
         assert_eq!(p.status, PlacementStatus::Optimal);
@@ -343,11 +377,7 @@ mod tests {
         let g = topologies::star(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(20.0, 1.0),
-                NodeState::new(85.0, 10.0),
-                NodeState::new(88.0, 10.0),
-            ],
+            vec![NodeState::new(20.0, 1.0), NodeState::new(85.0, 10.0), NodeState::new(88.0, 10.0)],
         );
         let p = optimize(&db, &cfg(), SolverBackend::Simplex);
         assert_eq!(p.status, PlacementStatus::Optimal);
@@ -363,11 +393,7 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(2), Link::new(100.0, 0.5)); // Lu = 50
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(85.0, 100.0),
-                NodeState::new(10.0, 1.0),
-                NodeState::new(10.0, 1.0),
-            ],
+            vec![NodeState::new(85.0, 100.0), NodeState::new(10.0, 1.0), NodeState::new(10.0, 1.0)],
         );
         let p = optimize(&db, &cfg(), SolverBackend::Transportation);
         assert_eq!(p.status, PlacementStatus::Optimal);
@@ -386,8 +412,13 @@ mod tests {
     #[test]
     fn engines_produce_same_placement() {
         let db = simple_nmdb();
-        let e = optimize(&db, &cfg().with_engine(PathEngine::Enumerate), SolverBackend::Transportation);
-        let d = optimize(&db, &cfg().with_engine(PathEngine::HopBoundedDp), SolverBackend::Transportation);
+        let e =
+            optimize(&db, &cfg().with_engine(PathEngine::Enumerate), SolverBackend::Transportation);
+        let d = optimize(
+            &db,
+            &cfg().with_engine(PathEngine::HopBoundedDp),
+            SolverBackend::Transportation,
+        );
         assert_eq!(e.status, d.status);
         assert!((e.beta - d.beta).abs() < 1e-9);
     }
@@ -411,11 +442,7 @@ mod tests {
         let p = optimize(&db, &cfg(), SolverBackend::Transportation);
         assert_eq!(p.status, PlacementStatus::Optimal);
         let price = |n: u32| {
-            p.shadow_prices
-                .iter()
-                .find(|(id, _)| *id == NodeId(n))
-                .map(|(_, v)| *v)
-                .unwrap()
+            p.shadow_prices.iter().find(|(id, _)| *id == NodeId(n)).map(|(_, v)| *v).unwrap()
         };
         assert!(
             price(1) < price(2) - 1e-9,

@@ -7,14 +7,11 @@
 //! seed so every figure regenerates bit-for-bit.
 
 use crate::config::DustConfig;
-use crate::state::{NodeState, Nmdb};
-use dust_topology::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::state::{Nmdb, NodeState};
+use dust_topology::{Graph, SplitMix64};
 
 /// Distribution parameters for one random network state.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ScenarioParams {
     /// Monitoring data volume `D_i` range in Mb.
     pub data_mb: (f64, f64),
@@ -41,21 +38,16 @@ impl Default for ScenarioParams {
 /// Node utilization is uniform in `[x_min, 100]` per constraint 3e, so the
 /// fraction of Busy vs candidate nodes — and therefore the infeasibility
 /// rate of Fig. 7 — is controlled entirely by the thresholds.
-pub fn random_nmdb(
-    graph: &Graph,
-    cfg: &DustConfig,
-    params: &ScenarioParams,
-    seed: u64,
-) -> Nmdb {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn random_nmdb(graph: &Graph, cfg: &DustConfig, params: &ScenarioParams, seed: u64) -> Nmdb {
+    let mut rng = SplitMix64::new(seed);
     let mut g = graph.clone();
     let (lo, hi) = params.link_utilization;
     assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "bad link utilization range");
-    g.retarget_utilization(|_, _| rng.gen_range(lo..=hi));
+    g.retarget_utilization(|_, _| rng.range_f64(lo, hi));
     let states = (0..g.node_count())
         .map(|_| {
-            let u = rng.gen_range(cfg.x_min..=100.0);
-            let d = rng.gen_range(params.data_mb.0..=params.data_mb.1);
+            let u = rng.range_f64(cfg.x_min, 100.0);
+            let d = rng.range_f64(params.data_mb.0, params.data_mb.1);
             let s = NodeState::new(u, d);
             if rng.gen_bool(params.offload_capable_prob) {
                 s
@@ -82,7 +74,7 @@ pub fn scenario_stream<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dust_topology::{FatTree, Link, topologies};
+    use dust_topology::{topologies, FatTree, Link};
 
     fn cfg() -> DustConfig {
         DustConfig::paper_defaults()

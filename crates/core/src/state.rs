@@ -8,10 +8,9 @@
 
 use crate::config::DustConfig;
 use dust_topology::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Dynamic per-node state reported via `STAT` messages.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeState {
     /// Utilized capacity `C_i` in percent `[0, 100]`.
     pub utilization: f64,
@@ -63,7 +62,7 @@ impl NodeState {
 }
 
 /// Role a node holds in one optimization round (§III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Role {
     /// `C_i ≥ C_max`: must offload `Cs_i = C_i − C_max`.
     Busy,
@@ -91,7 +90,7 @@ pub fn classify(state: &NodeState, cfg: &DustConfig) -> Role {
 }
 
 /// Snapshot of the network the optimization engine consumes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Nmdb {
     /// Topology with live link utilizations.
     pub graph: Graph,
@@ -105,11 +104,7 @@ impl Nmdb {
     /// # Panics
     /// Panics if `states.len() != graph.node_count()`.
     pub fn new(graph: Graph, states: Vec<NodeState>) -> Self {
-        assert_eq!(
-            states.len(),
-            graph.node_count(),
-            "one NodeState per graph node required"
-        );
+        assert_eq!(states.len(), graph.node_count(), "one NodeState per graph node required");
         Nmdb { graph, states }
     }
 
@@ -131,18 +126,12 @@ impl Nmdb {
     /// The Busy set `V_b` (ascending node order, so results are
     /// deterministic).
     pub fn busy_nodes(&self, cfg: &DustConfig) -> Vec<NodeId> {
-        self.graph
-            .nodes()
-            .filter(|&n| self.role(n, cfg) == Role::Busy)
-            .collect()
+        self.graph.nodes().filter(|&n| self.role(n, cfg) == Role::Busy).collect()
     }
 
     /// The Offload-candidate set `V_o`.
     pub fn candidate_nodes(&self, cfg: &DustConfig) -> Vec<NodeId> {
-        self.graph
-            .nodes()
-            .filter(|&n| self.role(n, cfg) == Role::OffloadCandidate)
-            .collect()
+        self.graph.nodes().filter(|&n| self.role(n, cfg) == Role::OffloadCandidate).collect()
     }
 
     /// Excess load `Cs_i = C_i − C_max` of a Busy node (Eq. 3c).
@@ -230,10 +219,7 @@ mod tests {
         assert_eq!(classify(&NodeState::new(50.0, 1.0), &c), Role::OffloadCandidate); // boundary
         assert_eq!(classify(&NodeState::new(30.0, 1.0), &c), Role::OffloadCandidate);
         assert_eq!(classify(&NodeState::new(65.0, 1.0), &c), Role::Neutral);
-        assert_eq!(
-            classify(&NodeState::new(85.0, 1.0).non_offloading(), &c),
-            Role::NonOffloading
-        );
+        assert_eq!(classify(&NodeState::new(85.0, 1.0).non_offloading(), &c), Role::NonOffloading);
     }
 
     #[test]
@@ -286,10 +272,7 @@ mod tests {
         // a 2x-beefier host (κ = 0.5) absorbs twice the source units
         let db = Nmdb::new(
             g.clone(),
-            vec![
-                NodeState::new(90.0, 1.0),
-                NodeState::new(20.0, 1.0).with_capacity_factor(0.5),
-            ],
+            vec![NodeState::new(90.0, 1.0), NodeState::new(20.0, 1.0).with_capacity_factor(0.5)],
         );
         assert!((db.cd(NodeId(1), &c) - 60.0).abs() < 1e-12, "30 headroom / 0.5");
         let mut db2 = db.clone();
@@ -299,10 +282,7 @@ mod tests {
         // a weaker host (κ = 2) absorbs half and fills twice as fast
         let db3 = Nmdb::new(
             g,
-            vec![
-                NodeState::new(90.0, 1.0),
-                NodeState::new(20.0, 1.0).with_capacity_factor(2.0),
-            ],
+            vec![NodeState::new(90.0, 1.0), NodeState::new(20.0, 1.0).with_capacity_factor(2.0)],
         );
         assert!((db3.cd(NodeId(1), &c) - 15.0).abs() < 1e-12);
     }

@@ -10,10 +10,9 @@ use crate::config::DustConfig;
 use crate::heuristic::heuristic;
 use crate::optimizer::{optimize, PlacementStatus, SolverBackend};
 use crate::state::Nmdb;
-use serde::{Deserialize, Serialize};
 
 /// Bucket for one iteration's heuristic-vs-optimization comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuccessClass {
     /// Heuristic fully offloaded every Busy node (one-hop sufficed).
     HeuristicFull,
@@ -29,7 +28,7 @@ pub enum SuccessClass {
 }
 
 /// Tallies over many iterations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SuccessTally {
     /// Iterations where the heuristic fully offloaded.
     pub full: usize,
@@ -113,11 +112,7 @@ mod tests {
         let g = topologies::line(3, Link::default());
         let db = Nmdb::new(
             g,
-            vec![
-                NodeState::new(90.0, 1.0),
-                NodeState::new(60.0, 1.0),
-                NodeState::new(20.0, 1.0),
-            ],
+            vec![NodeState::new(90.0, 1.0), NodeState::new(60.0, 1.0), NodeState::new(20.0, 1.0)],
         );
         assert_eq!(classify_iteration(&db, &cfg()), SuccessClass::HeuristicNone);
     }
@@ -140,14 +135,9 @@ mod tests {
     #[test]
     fn infeasible_and_trivial_classes() {
         let g = topologies::line(2, Link::default());
-        let infeasible = Nmdb::new(
-            g.clone(),
-            vec![NodeState::new(99.0, 1.0), NodeState::new(49.5, 1.0)],
-        );
-        assert_eq!(
-            classify_iteration(&infeasible, &cfg()),
-            SuccessClass::OptimizationInfeasible
-        );
+        let infeasible =
+            Nmdb::new(g.clone(), vec![NodeState::new(99.0, 1.0), NodeState::new(49.5, 1.0)]);
+        assert_eq!(classify_iteration(&infeasible, &cfg()), SuccessClass::OptimizationInfeasible);
         let trivial = Nmdb::new(g, vec![NodeState::new(10.0, 1.0), NodeState::new(10.0, 1.0)]);
         assert_eq!(classify_iteration(&trivial, &cfg()), SuccessClass::NoBusyNodes);
     }

@@ -12,14 +12,14 @@
 //! core layer) and a topology-agnostic BFS grower for arbitrary graphs.
 
 use crate::config::DustConfig;
-use crate::optimizer::{optimize, Assignment, PlacementStatus, SolverBackend};
+use crate::error::DustError;
+use crate::optimizer::{optimize_with, Assignment, PlacementStatus, SolverBackend};
 use crate::state::{Nmdb, NodeState};
-use dust_topology::{FatTree, Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use dust_topology::{CostEngine, FatTree, Graph, NodeId};
 use std::time::{Duration, Instant};
 
 /// A partition of the node set into zones.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Zoning {
     /// `zone_of[v]` = zone index of node `v`.
     pub zone_of: Vec<usize>,
@@ -64,11 +64,11 @@ pub fn zone_fat_tree(ft: &FatTree) -> Zoning {
     let n = ft.graph.node_count();
     let mut zone_of = vec![0usize; n];
     let mut core_cursor = 0usize;
-    for v in 0..n {
+    for (v, z) in zone_of.iter_mut().enumerate() {
         match ft.pods[v] {
-            Some(p) => zone_of[v] = p,
+            Some(p) => *z = p,
             None => {
-                zone_of[v] = core_cursor % ft.k;
+                *z = core_cursor % ft.k;
                 core_cursor += 1;
             }
         }
@@ -116,7 +116,7 @@ pub fn zone_by_bfs(g: &Graph, max_zone_size: usize) -> Zoning {
 }
 
 /// Result of a zoned placement round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ZonedPlacement {
     /// Accepted intra-zone assignments.
     pub assignments: Vec<Assignment>,
@@ -167,6 +167,27 @@ pub fn optimize_zoned(
     cross_zone_sweep: bool,
 ) -> ZonedPlacement {
     cfg.validate().expect("invalid DustConfig");
+    crate::PlacementRequest::new(nmdb, cfg)
+        .backend(backend)
+        .zoned(zoning, cross_zone_sweep)
+        .run_zoned()
+        .expect("config validated above; placement LPs are never unbounded")
+}
+
+/// Zoned placement with an explicit shared [`CostEngine`].
+///
+/// All zone solves (and the sweep) price rows through `engine`; masked
+/// per-zone snapshots clone the graph, which shares the epoch stamp, so a
+/// Busy row priced in one zone solve is a cache hit in the sweep.
+pub fn optimize_zoned_with(
+    nmdb: &Nmdb,
+    cfg: &DustConfig,
+    zoning: &Zoning,
+    backend: SolverBackend,
+    cross_zone_sweep: bool,
+    engine: &CostEngine,
+) -> Result<ZonedPlacement, DustError> {
+    cfg.validate().map_err(DustError::BadConfig)?;
     let mut assignments: Vec<Assignment> = Vec::new();
     let mut beta = 0.0;
     let mut intra_residual: Vec<(NodeId, f64)> = Vec::new();
@@ -199,7 +220,7 @@ pub fn optimize_zoned(
         active_zones += 1;
 
         let t = Instant::now();
-        let p = optimize(&masked, cfg, backend);
+        let p = optimize_with(&masked, cfg, backend, engine)?;
         let dt = t.elapsed();
         max_zone_time = max_zone_time.max(dt);
         total_time += dt;
@@ -238,10 +259,7 @@ pub fn optimize_zoned(
                     NodeState::new((cfg.c_max + r).min(100.0), s.data_mb)
                 } else if s.offload_capable && s.utilization <= cfg.co_max {
                     // shrink candidate capacity by what zones consumed
-                    NodeState::new(
-                        (s.utilization + consumed[i]).min(100.0),
-                        s.data_mb,
-                    )
+                    NodeState::new((s.utilization + consumed[i]).min(100.0), s.data_mb)
                 } else {
                     s.non_offloading()
                 }
@@ -249,7 +267,7 @@ pub fn optimize_zoned(
             .collect();
         let sweep_db = Nmdb::new(nmdb.graph.clone(), sweep_states);
         let t = Instant::now();
-        let p = optimize(&sweep_db, cfg, backend);
+        let p = optimize_with(&sweep_db, cfg, backend, engine)?;
         let dt = t.elapsed();
         max_zone_time = max_zone_time.max(dt);
         total_time += dt;
@@ -264,7 +282,7 @@ pub fn optimize_zoned(
         intra_residual.clone()
     };
 
-    ZonedPlacement {
+    Ok(ZonedPlacement {
         assignments,
         beta,
         intra_residual,
@@ -272,12 +290,13 @@ pub fn optimize_zoned(
         max_zone_time,
         total_time,
         active_zones,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optimizer::optimize;
     use crate::scenario::{random_nmdb, ScenarioParams};
     use dust_topology::{topologies, Link, PathEngine};
 
@@ -381,10 +400,7 @@ mod tests {
             .collect();
         let nmdb = Nmdb::new(ft.graph.clone(), states);
         let without = optimize_zoned(&nmdb, &c, &zoning, SolverBackend::Transportation, false);
-        assert!(
-            !without.final_residual.is_empty(),
-            "pod 0 must be unable to place internally"
-        );
+        assert!(!without.final_residual.is_empty(), "pod 0 must be unable to place internally");
         let with = optimize_zoned(&nmdb, &c, &zoning, SolverBackend::Transportation, true);
         assert!(with.final_residual.is_empty(), "sweep must place the leftovers");
         let total_cs = nmdb.total_cs(&c);
@@ -410,12 +426,7 @@ mod tests {
         // every busy node's placed + residual == its Cs
         for b in nmdb.busy_nodes(&c) {
             let placed: f64 = z.assignments.iter().filter(|a| a.from == b).map(|a| a.amount).sum();
-            let resid: f64 = z
-                .final_residual
-                .iter()
-                .filter(|(n, _)| *n == b)
-                .map(|(_, r)| r)
-                .sum();
+            let resid: f64 = z.final_residual.iter().filter(|(n, _)| *n == b).map(|(_, r)| r).sum();
             assert!(
                 (placed + resid - nmdb.cs(b, &c)).abs() < 1e-6,
                 "{b:?}: placed {placed} + residual {resid} != Cs {}",

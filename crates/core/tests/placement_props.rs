@@ -1,153 +1,228 @@
-//! Property tests for the placement engine: LP-backend agreement,
-//! optimality dominance over the heuristic, and conservation invariants on
-//! random fat-tree scenarios.
+//! Seeded random-scenario tests for the placement engine: LP-backend
+//! agreement, optimality dominance over the heuristic, conservation
+//! invariants, and builder/legacy equivalence on random fat-tree states.
 
 use dust_core::{
-    heuristic, heuristic_with_hops, optimize, random_nmdb, DustConfig, PlacementStatus,
-    ScenarioParams, SolverBackend,
+    heuristic, heuristic_with_hops, optimize, random_nmdb, DustConfig, PlacementRequest,
+    PlacementStatus, ScenarioParams, SolverBackend,
 };
-use dust_topology::{FatTree, PathEngine};
-use proptest::prelude::*;
+use dust_topology::{FatTree, PathEngine, SplitMix64};
 
 fn cfg() -> DustConfig {
     DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Both LP backends agree on status and objective for random states.
-    #[test]
-    fn backends_agree(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// Both LP backends agree on status and objective for random states.
+#[test]
+fn backends_agree() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let a = optimize(&db, &c, SolverBackend::Transportation);
         let b = optimize(&db, &c, SolverBackend::Simplex);
-        prop_assert_eq!(a.status, b.status, "status must agree");
+        assert_eq!(a.status, b.status, "seed {seed}: status must agree");
         if a.status == PlacementStatus::Optimal {
-            prop_assert!((a.beta - b.beta).abs() <= 1e-5 * (1.0 + a.beta.abs()),
-                "beta {} vs {}", a.beta, b.beta);
+            assert!(
+                (a.beta - b.beta).abs() <= 1e-5 * (1.0 + a.beta.abs()),
+                "seed {seed}: beta {} vs {}",
+                a.beta,
+                b.beta
+            );
         }
     }
+}
 
-    /// Optimal placements satisfy Eq. 3a (capacity) and Eq. 3b (equality).
-    #[test]
-    fn placement_respects_constraints(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// Optimal placements satisfy Eq. 3a (capacity) and Eq. 3b (equality).
+#[test]
+fn placement_respects_constraints() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let p = optimize(&db, &c, SolverBackend::Transportation);
         if p.status != PlacementStatus::Optimal {
-            return Ok(());
+            continue;
         }
         // Eq. 3b: every busy node sheds exactly Cs_i
         for &b in &p.busy {
             let shed: f64 = p.assignments.iter().filter(|a| a.from == b).map(|a| a.amount).sum();
-            prop_assert!((shed - db.cs(b, &c)).abs() < 1e-6,
-                "busy {b:?} shed {shed} != Cs {}", db.cs(b, &c));
+            assert!(
+                (shed - db.cs(b, &c)).abs() < 1e-6,
+                "seed {seed}: busy {b:?} shed {shed} != Cs {}",
+                db.cs(b, &c)
+            );
         }
         // Eq. 3a: no candidate absorbs beyond Cd_j
         for &o in &p.candidates {
             let got: f64 = p.assignments.iter().filter(|a| a.to == o).map(|a| a.amount).sum();
-            prop_assert!(got <= db.cd(o, &c) + 1e-6,
-                "candidate {o:?} got {got} > Cd {}", db.cd(o, &c));
+            assert!(
+                got <= db.cd(o, &c) + 1e-6,
+                "seed {seed}: candidate {o:?} got {got} > Cd {}",
+                db.cd(o, &c)
+            );
         }
         // routes stay within the hop bound and connect the right endpoints
         for a in &p.assignments {
             let r = a.route.as_ref().expect("optimal assignments carry routes");
-            prop_assert_eq!(*r.nodes.first().unwrap(), a.from);
-            prop_assert_eq!(*r.nodes.last().unwrap(), a.to);
+            assert_eq!(*r.nodes.first().unwrap(), a.from);
+            assert_eq!(*r.nodes.last().unwrap(), a.to);
             if let Some(h) = c.max_hop {
-                prop_assert!(r.hops() <= h);
+                assert!(r.hops() <= h);
             }
         }
     }
+}
 
-    /// When the heuristic fully offloads, its β is never below the
-    /// optimizer's (the ILP is optimal).
-    #[test]
-    fn heuristic_never_beats_optimum(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// When the heuristic fully offloads, its β is never below the
+/// optimizer's (the ILP is optimal).
+#[test]
+fn heuristic_never_beats_optimum() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let p = optimize(&db, &c, SolverBackend::Transportation);
         let h = heuristic(&db, &c);
         if p.status == PlacementStatus::Optimal && h.fully_offloaded() && h.total_cs > 0.0 {
-            prop_assert!(h.beta >= p.beta - 1e-6 * (1.0 + p.beta.abs()),
-                "heuristic beta {} beat optimal {}", h.beta, p.beta);
+            assert!(
+                h.beta >= p.beta - 1e-6 * (1.0 + p.beta.abs()),
+                "seed {seed}: heuristic beta {} beat optimal {}",
+                h.beta,
+                p.beta
+            );
         }
     }
+}
 
-    /// HFR is within [0, 100] and monotone non-increasing in the hop reach.
-    #[test]
-    fn hfr_bounds_and_monotonicity(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// HFR is within [0, 100] and monotone non-increasing in the hop reach.
+#[test]
+fn hfr_bounds_and_monotonicity() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let mut prev = f64::INFINITY;
         for hops in [1usize, 2, 4, 6] {
             let h = heuristic_with_hops(&db, &c, hops);
             let rate = h.hfr_percent();
-            prop_assert!((0.0..=100.0 + 1e-9).contains(&rate), "HFR {rate} out of range");
-            prop_assert!(rate <= prev + 1e-9, "HFR must not grow with reach: {rate} > {prev}");
+            assert!((0.0..=100.0 + 1e-9).contains(&rate), "seed {seed}: HFR {rate} out of range");
+            assert!(
+                rate <= prev + 1e-9,
+                "seed {seed}: HFR must not grow with reach: {rate} > {prev}"
+            );
             prev = rate;
         }
     }
+}
 
-    /// Heuristic assignments never overdraw a candidate even with several
-    /// busy nodes competing, and residual + placed = total excess.
-    #[test]
-    fn heuristic_conservation(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// Heuristic assignments never overdraw a candidate even with several
+/// busy nodes competing, and residual + placed = total excess.
+#[test]
+fn heuristic_conservation() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let h = heuristic(&db, &c);
         let placed: f64 = h.assignments.iter().map(|a| a.amount).sum();
-        prop_assert!((placed + h.total_cse - h.total_cs).abs() < 1e-6,
-            "placed {placed} + residual {} != total {}", h.total_cse, h.total_cs);
+        assert!(
+            (placed + h.total_cse - h.total_cs).abs() < 1e-6,
+            "seed {seed}: placed {placed} + residual {} != total {}",
+            h.total_cse,
+            h.total_cs
+        );
         for n in db.graph.nodes() {
             let got: f64 = h.assignments.iter().filter(|a| a.to == n).map(|a| a.amount).sum();
-            prop_assert!(got <= db.cd(n, &c) + 1e-6, "{n:?} overdrawn");
+            assert!(got <= db.cd(n, &c) + 1e-6, "seed {seed}: {n:?} overdrawn");
         }
         // one-hop routes only
         for a in &h.assignments {
-            prop_assert_eq!(a.route.as_ref().unwrap().hops(), 1);
+            assert_eq!(a.route.as_ref().unwrap().hops(), 1, "seed {seed}");
         }
     }
+}
 
-    /// The whole pipeline is deterministic in the seed.
-    #[test]
-    fn determinism(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let c = cfg();
+/// The whole pipeline is deterministic in the seed.
+#[test]
+fn determinism() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..24u64 {
         let db1 = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let db2 = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
         let p1 = optimize(&db1, &c, SolverBackend::Transportation);
         let p2 = optimize(&db2, &c, SolverBackend::Transportation);
-        prop_assert_eq!(p1.status, p2.status);
-        prop_assert_eq!(p1.assignments.len(), p2.assignments.len());
+        assert_eq!(p1.status, p2.status, "seed {seed}");
+        assert_eq!(p1.assignments.len(), p2.assignments.len(), "seed {seed}");
         let h1 = heuristic(&db1, &c);
         let h2 = heuristic(&db2, &c);
-        prop_assert!((h1.beta - h2.beta).abs() < 1e-12);
+        assert!((h1.beta - h2.beta).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    /// Hop-bounded optimization cost is monotone: loosening max_hop never
-    /// worsens β (more routes can only help).
-    #[test]
-    fn beta_monotone_in_max_hop(seed in any::<u64>()) {
-        let ft = FatTree::with_default_links(4);
-        let base = cfg();
+/// Hop-bounded optimization cost is monotone: loosening max_hop never
+/// worsens β (more routes can only help).
+#[test]
+fn beta_monotone_in_max_hop() {
+    let ft = FatTree::with_default_links(4);
+    let base = cfg();
+    for seed in 0..24u64 {
         let db = random_nmdb(&ft.graph, &base, &ScenarioParams::default(), seed);
         let mut prev = f64::INFINITY;
         for h in [2usize, 4, 8] {
             let c = base.with_max_hop(Some(h));
             let p = optimize(&db, &c, SolverBackend::Transportation);
             if p.status == PlacementStatus::Optimal {
-                prop_assert!(p.beta <= prev + 1e-6 * (1.0 + prev.abs()),
-                    "beta grew from {prev} to {} at hop {h}", p.beta);
+                assert!(
+                    p.beta <= prev + 1e-6 * (1.0 + prev.abs()),
+                    "seed {seed}: beta grew from {prev} to {} at hop {h}",
+                    p.beta
+                );
                 prev = p.beta;
             }
+        }
+    }
+}
+
+/// The unified builder reproduces the legacy free functions bit-for-bit
+/// at every thread count, for both the LP and the heuristic strategy.
+#[test]
+fn builder_matches_legacy_at_every_thread_count() {
+    let ft = FatTree::with_default_links(4);
+    let c = cfg();
+    for seed in 0..12u64 {
+        let db = random_nmdb(&ft.graph, &c, &ScenarioParams::default(), seed);
+        let legacy = optimize(&db, &c, SolverBackend::Transportation);
+        let legacy_h = heuristic(&db, &c);
+        for threads in [1usize, 2, 7] {
+            match PlacementRequest::new(&db, &c).threads(threads).solve() {
+                Ok(report) => {
+                    assert_eq!(
+                        report.beta().to_bits(),
+                        legacy.beta.to_bits(),
+                        "seed {seed} threads {threads}"
+                    );
+                    assert_eq!(report.assignments().len(), legacy.assignments.len());
+                }
+                Err(_) => {
+                    assert_eq!(
+                        legacy.status,
+                        PlacementStatus::Infeasible,
+                        "seed {seed} threads {threads}: builder errored on a feasible state"
+                    );
+                }
+            }
+            let h = PlacementRequest::new(&db, &c)
+                .threads(threads)
+                .heuristic()
+                .solve()
+                .expect("heuristic outcomes are data, not errors");
+            assert_eq!(
+                h.beta().to_bits(),
+                legacy_h.beta.to_bits(),
+                "seed {seed} threads {threads}"
+            );
         }
     }
 }
@@ -155,43 +230,45 @@ proptest! {
 use dust_core::{apply_actions, placement_diff, Assignment, TransferAction};
 use dust_topology::NodeId;
 
-fn arb_assignments() -> impl Strategy<Value = Vec<Assignment>> {
-    proptest::collection::vec((0u32..6, 6u32..12, 0.1f64..20.0), 0..10).prop_map(|v| {
-        v.into_iter()
-            .map(|(f, t, a)| Assignment {
-                from: NodeId(f),
-                to: NodeId(t),
-                amount: a,
-                t_rmin: 0.1,
-                route: None,
-            })
-            .collect()
-    })
+/// Random assignment lists with sources 0–5 and destinations 6–11.
+/// Deterministic in `seed`.
+fn arb_assignments(seed: u64) -> Vec<Assignment> {
+    let mut rng = SplitMix64::new(seed);
+    let n = rng.below(10) as usize;
+    (0..n)
+        .map(|_| Assignment {
+            from: NodeId(rng.below(6) as u32),
+            to: NodeId(6 + rng.below(6) as u32),
+            amount: rng.range_f64(0.1, 20.0),
+            t_rmin: 0.1,
+            route: None,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Applying a diff always reproduces the target placement, and a diff
-    /// against self is empty.
-    #[test]
-    fn diff_is_sound(prev in arb_assignments(), next in arb_assignments()) {
+/// Applying a diff always reproduces the target placement, and a diff
+/// against self is empty.
+#[test]
+fn diff_is_sound() {
+    for seed in 0..128u64 {
+        let prev = arb_assignments(seed);
+        let next = arb_assignments(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         let actions = placement_diff(&prev, &next);
         let applied = apply_actions(&prev, &actions);
         let mut want = std::collections::BTreeMap::new();
         for a in &next {
             *want.entry((a.from, a.to)).or_insert(0.0) += a.amount;
         }
-        prop_assert_eq!(applied.len(), want.len());
+        assert_eq!(applied.len(), want.len(), "seed {seed}");
         for (k, v) in &want {
-            prop_assert!((applied[k] - v).abs() < 1e-9);
+            assert!((applied[k] - v).abs() < 1e-9, "seed {seed}");
         }
-        prop_assert!(placement_diff(&next, &next).is_empty());
+        assert!(placement_diff(&next, &next).is_empty(), "seed {seed}");
         // ordering invariant: no Start before the last Stop
         let last_stop = actions.iter().rposition(|a| matches!(a, TransferAction::Stop { .. }));
         let first_start = actions.iter().position(|a| matches!(a, TransferAction::Start { .. }));
         if let (Some(stop), Some(start)) = (last_stop, first_start) {
-            prop_assert!(stop < start, "stops must precede starts");
+            assert!(stop < start, "seed {seed}: stops must precede starts");
         }
     }
 }

@@ -26,13 +26,17 @@
 //! let cfg = DustConfig::paper_defaults();
 //! let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), 42);
 //!
-//! // exact placement (the paper's ILP) …
-//! let placement = optimize(&nmdb, &cfg, SolverBackend::Transportation);
+//! // exact placement (the paper's ILP) through the unified builder,
+//! // priced by the parallel memoizing cost engine …
+//! let report = PlacementRequest::new(&nmdb, &cfg)
+//!     .backend(SolverBackend::Transportation)
+//!     .threads(4)
+//!     .solve();
 //!
 //! // … and Algorithm 1, with its failure rate
 //! let h = heuristic(&nmdb, &cfg);
 //! assert!(h.hfr_percent() >= 0.0);
-//! # let _ = placement;
+//! # let _ = report;
 //! ```
 
 #![warn(missing_docs)]
@@ -48,11 +52,11 @@ pub use dust_topology as topology;
 pub mod prelude {
     pub use dust_core::{
         classify, classify_iteration, estimate_io_rate, heuristic, heuristic_with_hops,
-        io_rate_sweep, optimize, optimize_integral, optimize_zoned, random_nmdb,
-        scenario_stream, zone_by_bfs, zone_fat_tree, Assignment, DustConfig,
-        HeuristicOutcome, IntegralPlacement, IoRatePoint, NodeState, Nmdb, Placement,
-        PlacementStatus, Role, ScenarioParams, SolverBackend, SuccessClass, SuccessTally,
-        WorkUnit, ZonedPlacement, Zoning,
+        io_rate_sweep, optimize, optimize_integral, optimize_zoned, random_nmdb, scenario_stream,
+        zone_by_bfs, zone_fat_tree, Assignment, DustConfig, DustError, HeuristicOutcome,
+        IntegralPlacement, IoRatePoint, Nmdb, NodeState, Placement, PlacementReport,
+        PlacementRequest, PlacementStatus, ReportOutcome, Role, ScenarioParams, SolverBackend,
+        SuccessClass, SuccessTally, WorkUnit, ZonedPlacement, Zoning,
     };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
     pub use dust_sim::{
@@ -64,6 +68,7 @@ pub mod prelude {
         MonitorAgent, Rule, RuleEngine, Series, Tsdb,
     };
     pub use dust_topology::{
-        paper_sizes, CostMatrix, FatTree, Graph, Link, NodeId, Path, PathEngine, Tier,
+        paper_sizes, CostEngine, CostMatrix, FatTree, Graph, Link, NodeId, Path, PathEngine,
+        SplitMix64, Tier,
     };
 }

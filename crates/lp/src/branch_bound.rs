@@ -97,7 +97,10 @@ pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
 
     let mut heap: BinaryHeap<Ranked> = BinaryHeap::new();
     heap.push(Ranked(
-        Node { bounds: Vec::new(), bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY } },
+        Node {
+            bounds: Vec::new(),
+            bound: if minimize { f64::NEG_INFINITY } else { f64::INFINITY },
+        },
         minimize,
     ));
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -184,7 +187,7 @@ pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
                     x[v.0] = x[v.0].round();
                 }
                 let obj = p.objective_value(&x);
-                let accept = incumbent.as_ref().map_or(true, |(inc, _)| better(obj, *inc));
+                let accept = incumbent.as_ref().is_none_or(|(inc, _)| better(obj, *inc));
                 if accept && p.is_feasible(&x, 1e-6) {
                     incumbent = Some((obj, x));
                 }
@@ -313,8 +316,8 @@ mod tests {
         for row in &x {
             p.add_constraint(&[(row[0], 1.0), (row[1], 1.0)], Cmp::Eq, 1.0);
         }
-        for j in 0..2 {
-            p.add_constraint(&[(x[0][j], 1.0), (x[1][j], 1.0)], Cmp::Le, 1.0);
+        for (&a, &b) in x[0].iter().zip(&x[1]) {
+            p.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
         }
         let s = solve_mip(&p);
         assert_close(s.objective, 3.0);

@@ -84,7 +84,13 @@ pub fn to_lp_format(p: &Problem) -> String {
 
 /// Format one linear term with sign handling: ` + 2.5 x3` / ` - x0`.
 fn term(coef: f64, var: usize, follow: bool) -> String {
-    let sign = if coef < 0.0 { "-" } else if follow { "+" } else { "" };
+    let sign = if coef < 0.0 {
+        "-"
+    } else if follow {
+        "+"
+    } else {
+        ""
+    };
     let mag = coef.abs();
     if (mag - 1.0).abs() < 1e-15 {
         format!(" {sign} x{var}").replace("  ", " ")

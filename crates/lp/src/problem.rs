@@ -166,12 +166,7 @@ impl Problem {
 
     /// Indices of the integer-constrained variables.
     pub fn integer_vars(&self) -> Vec<Var> {
-        self.vars
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.integer)
-            .map(|(i, _)| Var(i))
-            .collect()
+        self.vars.iter().enumerate().filter(|(_, d)| d.integer).map(|(i, _)| Var(i)).collect()
     }
 
     /// Evaluate the objective at a point.

@@ -153,8 +153,8 @@ fn run_simplex(
     for r in 0..tab.rows {
         let cb = costs[tab.basis[r]];
         if cb != 0.0 {
-            for c in 0..w {
-                z[c] -= cb * tab.a[r * w + c];
+            for (c, zc) in z.iter_mut().enumerate() {
+                *zc -= cb * tab.a[r * w + c];
             }
         }
     }
@@ -212,8 +212,8 @@ fn run_simplex(
         // update reduced-cost row with the pivoted row
         let f = z[pc];
         if f != 0.0 {
-            for c in 0..w {
-                z[c] -= f * tab.a[pr * w + c];
+            for (c, zc) in z.iter_mut().enumerate() {
+                *zc -= f * tab.a[pr * w + c];
             }
             z[pc] = 0.0;
         }
@@ -227,8 +227,9 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     let minimize = p.sense() == Sense::Minimize;
     let mut maps: Vec<VarMap> = Vec::with_capacity(p.num_vars());
     let mut costs: Vec<f64> = Vec::new(); // structural columns only, minimize sense
-    // rows as (terms over columns, cmp, rhs)
-    let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+                                          // rows as (terms over columns, cmp, rhs)
+    type RowSpec = (Vec<(usize, f64)>, Cmp, f64);
+    let mut rows: Vec<RowSpec> = Vec::new();
 
     for i in 0..p.num_vars() {
         let def = *p.var_def(crate::problem::Var(i));
@@ -391,9 +392,7 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     let mut p2_costs = vec![0.0; n_total_guess];
     p2_costs[..n_struct].copy_from_slice(&costs);
     let mut allowed = vec![true; n_total_guess];
-    for c in n_struct + n_slack..n_total_guess {
-        allowed[c] = false; // artificials may never re-enter
-    }
+    allowed[n_struct + n_slack..].fill(false); // artificials may never re-enter
     let (st, obj, it) = run_simplex(&mut tab, &p2_costs, &allowed, opts);
     total_iters += it;
     match st {
@@ -427,10 +426,7 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     // point so constant offsets from variable lower bounds are included.
     let _ = obj;
     let objective = p.objective_value(&x);
-    debug_assert!(
-        p.is_feasible(&x, 1e-5),
-        "simplex returned an infeasible point: {x:?}"
-    );
+    debug_assert!(p.is_feasible(&x, 1e-5), "simplex returned an infeasible point: {x:?}");
     Solution { status: Status::Optimal, x, objective, iterations: total_iters }
 }
 

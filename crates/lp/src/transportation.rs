@@ -106,12 +106,7 @@ impl TransportProblem {
         }
 
         // Big-M for forbidden routes: dominates any mix of real costs.
-        let max_finite = self
-            .cost
-            .iter()
-            .copied()
-            .filter(|c| c.is_finite())
-            .fold(0.0f64, f64::max);
+        let max_finite = self.cost.iter().copied().filter(|c| c.is_finite()).fold(0.0f64, f64::max);
         let big_m = (max_finite + 1.0) * 1e6;
 
         // Balanced instance: extra dummy source absorbing spare capacity at
@@ -195,10 +190,7 @@ impl State {
         // two smallest costs among open cells of a row/col
         let row_penalty = |i: usize, col_done: &[bool]| -> (f64, usize) {
             let (mut c1, mut c2, mut jmin) = (f64::INFINITY, f64::INFINITY, usize::MAX);
-            for j in 0..n {
-                if col_done[j] {
-                    continue;
-                }
+            for (j, _) in col_done.iter().enumerate().filter(|(_, d)| !**d) {
                 let v = c[i * n + j];
                 if v < c1 {
                     c2 = c1;
@@ -212,10 +204,7 @@ impl State {
         };
         let col_penalty = |j: usize, row_done: &[bool]| -> (f64, usize) {
             let (mut c1, mut c2, mut imin) = (f64::INFINITY, f64::INFINITY, usize::MAX);
-            for i in 0..m {
-                if row_done[i] {
-                    continue;
-                }
+            for (i, _) in row_done.iter().enumerate().filter(|(_, d)| !**d) {
                 let v = c[i * n + j];
                 if v < c1 {
                     c2 = c1;
@@ -232,20 +221,14 @@ impl State {
             // pick the open row or column with the largest penalty
             let mut best_pen = -1.0;
             let mut pick: Option<(usize, usize)> = None; // (i, j)
-            for i in 0..m {
-                if row_done[i] {
-                    continue;
-                }
+            for (i, _) in row_done.iter().enumerate().filter(|(_, d)| !**d) {
                 let (pen, j) = row_penalty(i, &col_done);
                 if j != usize::MAX && pen > best_pen {
                     best_pen = pen;
                     pick = Some((i, j));
                 }
             }
-            for j in 0..n {
-                if col_done[j] {
-                    continue;
-                }
+            for (j, _) in col_done.iter().enumerate().filter(|(_, d)| !**d) {
                 let (pen, i) = col_penalty(j, &row_done);
                 if i != usize::MAX && pen > best_pen {
                     best_pen = pen;
@@ -371,7 +354,9 @@ impl State {
                     }
                 }
             }
-            let Some((ei, ej)) = enter else { return (iters, u, v) };
+            let Some((ei, ej)) = enter else {
+                return (iters, u, v);
+            };
 
             // 3. unique cycle: tree path from row ei to col ej, then the
             //    entering edge closes it. Find the path by BFS on the basis.
@@ -490,11 +475,7 @@ mod tests {
     #[test]
     fn simple_two_by_two() {
         // min: costs [[1,4],[3,2]], supplies [30,20], caps [25,30] → 85
-        let p = TransportProblem::new(
-            vec![30.0, 20.0],
-            vec![25.0, 30.0],
-            vec![1.0, 4.0, 3.0, 2.0],
-        );
+        let p = TransportProblem::new(vec![30.0, 20.0], vec![25.0, 30.0], vec![1.0, 4.0, 3.0, 2.0]);
         let s = p.solve();
         assert_eq!(s.status, TransportStatus::Optimal);
         assert_close(s.objective, 85.0);
@@ -522,11 +503,7 @@ mod tests {
     #[test]
     fn forbidden_route_forces_detour() {
         // source 0 can only reach sink 1; cheap sink 0 is forbidden
-        let p = TransportProblem::new(
-            vec![10.0],
-            vec![100.0, 100.0],
-            vec![f64::INFINITY, 7.0],
-        );
+        let p = TransportProblem::new(vec![10.0], vec![100.0, 100.0], vec![f64::INFINITY, 7.0]);
         let s = p.solve();
         assert_eq!(s.status, TransportStatus::Optimal);
         assert_close(s.objective, 70.0);
@@ -547,11 +524,7 @@ mod tests {
     #[test]
     fn partially_forbidden_capacity_shortfall_is_infeasible() {
         // 30 units must leave, reachable sink holds only 20
-        let p = TransportProblem::new(
-            vec![30.0],
-            vec![20.0, 50.0],
-            vec![1.0, f64::INFINITY],
-        );
+        let p = TransportProblem::new(vec![30.0], vec![20.0, 50.0], vec![1.0, f64::INFINITY]);
         assert_eq!(p.solve().status, TransportStatus::Infeasible);
     }
 
@@ -572,11 +545,7 @@ mod tests {
     #[test]
     fn degenerate_instance_terminates() {
         // supplies exactly match single-sink capacities → many zero cells
-        let p = TransportProblem::new(
-            vec![10.0, 10.0],
-            vec![10.0, 10.0],
-            vec![1.0, 2.0, 2.0, 1.0],
-        );
+        let p = TransportProblem::new(vec![10.0, 10.0], vec![10.0, 10.0], vec![1.0, 2.0, 2.0, 1.0]);
         let s = p.solve();
         assert_eq!(s.status, TransportStatus::Optimal);
         assert_close(s.objective, 20.0);
@@ -584,11 +553,7 @@ mod tests {
 
     #[test]
     fn exact_balance() {
-        let p = TransportProblem::new(
-            vec![15.0, 25.0],
-            vec![20.0, 20.0],
-            vec![2.0, 3.0, 4.0, 1.0],
-        );
+        let p = TransportProblem::new(vec![15.0, 25.0], vec![20.0, 20.0], vec![2.0, 3.0, 4.0, 1.0]);
         let s = p.solve();
         assert_eq!(s.status, TransportStatus::Optimal);
         // x11=15 (30), x21=5 (20), x22=20 (20) → 70
@@ -636,9 +601,8 @@ mod duality_tests {
         }
         // sinks with unused capacity have non-positive... rather: the dummy
         // row (cost 0) is basic on every sink with slack, so v_j <= 0 there.
-        let used: Vec<f64> = (0..n)
-            .map(|j| (0..p.supply.len()).map(|i| s.flow[i * n + j]).sum())
-            .collect();
+        let used: Vec<f64> =
+            (0..n).map(|j| (0..p.supply.len()).map(|i| s.flow[i * n + j]).sum()).collect();
         for (j, &v) in s.col_potentials.iter().enumerate() {
             if used[j] < p.capacity[j] - 1e-6 {
                 assert!(v <= 1e-6, "slack sink {j} must have v <= 0, got {v}");
@@ -658,11 +622,7 @@ mod duality_tests {
 
     #[test]
     fn duality_with_excess_capacity() {
-        let p = TransportProblem::new(
-            vec![15.0],
-            vec![100.0, 100.0],
-            vec![2.0, 5.0],
-        );
+        let p = TransportProblem::new(vec![15.0], vec![100.0, 100.0], vec![2.0, 5.0]);
         let s = p.solve();
         check_duality(&p, &s);
         // both sinks have slack → shadow price of extra capacity is zero
@@ -684,11 +644,7 @@ mod duality_tests {
     fn tight_capacity_has_negative_shadow_price_gain() {
         // sink 0 is cheap but tiny: its capacity constraint binds, so
         // increasing it would reduce cost — detectable via duals: v_0 < v_1
-        let p = TransportProblem::new(
-            vec![30.0],
-            vec![10.0, 100.0],
-            vec![1.0, 6.0],
-        );
+        let p = TransportProblem::new(vec![30.0], vec![10.0, 100.0], vec![1.0, 6.0]);
         let s = p.solve();
         check_duality(&p, &s);
         assert!(
@@ -703,11 +659,7 @@ mod duality_tests {
         // balanced-by-dummy duality: objective = Σ u_i s_i + Σ v_j d_j holds
         // for the balanced instance; with the dummy normalized to u = 0 the
         // identity carries over to the real rows plus full capacities.
-        let p = TransportProblem::new(
-            vec![12.0, 8.0],
-            vec![10.0, 15.0],
-            vec![3.0, 7.0, 2.0, 4.0],
-        );
+        let p = TransportProblem::new(vec![12.0, 8.0], vec![10.0, 15.0], vec![3.0, 7.0, 2.0, 4.0]);
         let s = p.solve();
         let dual_obj: f64 = s
             .row_potentials

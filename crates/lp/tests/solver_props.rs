@@ -1,13 +1,12 @@
-//! Property tests pitting the three solvers against each other and against
-//! first principles: the specialized transportation solver must match the
-//! general simplex on random instances, simplex optima must be feasible and
-//! never beaten by random feasible points, and branch-and-bound must
-//! dominate LP-relaxation bounds correctly.
+//! Seeded random-instance tests pitting the three solvers against each
+//! other and against first principles: the specialized transportation
+//! solver must match the general simplex on random instances, simplex
+//! optima must be feasible and never beaten by random feasible points,
+//! branch-and-bound must dominate LP-relaxation bounds correctly, and LP
+//! duality must hold exactly.
 
-use dust_lp::{
-    solve, solve_mip, Cmp, Problem, Sense, Status, TransportProblem, TransportStatus,
-};
-use proptest::prelude::*;
+use dust_lp::{solve, solve_mip, Cmp, Problem, Sense, Status, TransportProblem, TransportStatus};
+use dust_topology::SplitMix64;
 
 /// Build the transportation instance as a general LP and solve with simplex.
 fn transport_via_simplex(tp: &TransportProblem) -> Option<f64> {
@@ -26,132 +25,151 @@ fn transport_via_simplex(tp: &TransportProblem) -> Option<f64> {
         }
     }
     for i in 0..m {
-        let terms: Vec<_> = (0..n)
-            .filter_map(|j| vars[i * n + j].map(|v| (v, 1.0)))
-            .collect();
+        let terms: Vec<_> = (0..n).filter_map(|j| vars[i * n + j].map(|v| (v, 1.0))).collect();
         p.add_constraint(&terms, Cmp::Eq, tp.supply[i]);
     }
     for j in 0..n {
-        let terms: Vec<_> = (0..m)
-            .filter_map(|i| vars[i * n + j].map(|v| (v, 1.0)))
-            .collect();
+        let terms: Vec<_> = (0..m).filter_map(|i| vars[i * n + j].map(|v| (v, 1.0))).collect();
         p.add_constraint(&terms, Cmp::Le, tp.capacity[j]);
     }
     let s = solve(&p);
     (s.status == Status::Optimal).then_some(s.objective)
 }
 
-fn arb_transport() -> impl Strategy<Value = TransportProblem> {
-    (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
-        (
-            proptest::collection::vec(0.0f64..40.0, m),
-            proptest::collection::vec(0.0f64..60.0, n),
-            proptest::collection::vec(
-                prop_oneof![9 => (0.1f64..20.0).boxed(), 1 => Just(f64::INFINITY).boxed()],
-                m * n,
-            ),
-        )
-            .prop_map(|(s, c, costs)| TransportProblem::new(s, c, costs))
-    })
+/// A random transportation instance: 1–4 sources, 1–4 sinks, ~10 % of the
+/// cost cells forbidden (infinite). Deterministic in `seed`.
+fn arb_transport(seed: u64) -> TransportProblem {
+    let mut rng = SplitMix64::new(seed);
+    let m = 1 + rng.below(4) as usize;
+    let n = 1 + rng.below(4) as usize;
+    let supply: Vec<f64> = (0..m).map(|_| rng.range_f64(0.0, 40.0)).collect();
+    let capacity: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 60.0)).collect();
+    let cost: Vec<f64> = (0..m * n)
+        .map(|_| if rng.below(10) == 0 { f64::INFINITY } else { rng.range_f64(0.1, 20.0) })
+        .collect();
+    TransportProblem::new(supply, capacity, cost)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// MODI and simplex agree on optimality status and objective.
-    #[test]
-    fn transportation_matches_simplex(tp in arb_transport()) {
+/// MODI and simplex agree on optimality status and objective.
+#[test]
+fn transportation_matches_simplex() {
+    for seed in 0..128u64 {
+        let tp = arb_transport(seed);
         let fast = tp.solve();
         let general = transport_via_simplex(&tp);
         match (fast.status, general) {
             (TransportStatus::Optimal, Some(obj)) => {
-                prop_assert!((fast.objective - obj).abs() <= 1e-5 * obj.abs().max(1.0),
-                    "MODI {} vs simplex {}", fast.objective, obj);
+                assert!(
+                    (fast.objective - obj).abs() <= 1e-5 * obj.abs().max(1.0),
+                    "seed {seed}: MODI {} vs simplex {}",
+                    fast.objective,
+                    obj
+                );
             }
             (TransportStatus::Infeasible, None) => {}
-            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+            (a, b) => panic!("seed {seed}: status mismatch: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// Optimal transportation flows satisfy supply equality and capacity.
-    #[test]
-    fn transportation_flows_feasible(tp in arb_transport()) {
+/// Optimal transportation flows satisfy supply equality and capacity.
+#[test]
+fn transportation_flows_feasible() {
+    for seed in 0..128u64 {
+        let tp = arb_transport(seed);
         let s = tp.solve();
-        if s.status == TransportStatus::Optimal {
-            let n = tp.capacity.len();
-            for (i, &sup) in tp.supply.iter().enumerate() {
-                let shipped: f64 = (0..n).map(|j| s.flow[i * n + j]).sum();
-                prop_assert!((shipped - sup).abs() < 1e-6, "row {i}: {shipped} != {sup}");
-            }
-            for (j, &cap) in tp.capacity.iter().enumerate() {
-                let recv: f64 = (0..tp.supply.len()).map(|i| s.flow[i * n + j]).sum();
-                prop_assert!(recv <= cap + 1e-6, "col {j}: {recv} > {cap}");
-            }
-            for &f in &s.flow {
-                prop_assert!(f >= -1e-9, "negative flow {f}");
-            }
+        if s.status != TransportStatus::Optimal {
+            continue;
+        }
+        let n = tp.capacity.len();
+        for (i, &sup) in tp.supply.iter().enumerate() {
+            let shipped: f64 = (0..n).map(|j| s.flow[i * n + j]).sum();
+            assert!((shipped - sup).abs() < 1e-6, "seed {seed} row {i}: {shipped} != {sup}");
+        }
+        for (j, &cap) in tp.capacity.iter().enumerate() {
+            let recv: f64 = (0..tp.supply.len()).map(|i| s.flow[i * n + j]).sum();
+            assert!(recv <= cap + 1e-6, "seed {seed} col {j}: {recv} > {cap}");
+        }
+        for &f in &s.flow {
+            assert!(f >= -1e-9, "seed {seed}: negative flow {f}");
         }
     }
+}
 
-    /// Simplex optimum on random bounded LPs is feasible and not beaten by
-    /// sampled feasible corners of the box.
-    #[test]
-    fn simplex_optimum_dominates_box_samples(
-        n in 1usize..5,
-        costs in proptest::collection::vec(-5.0f64..5.0, 4),
-        caps in proptest::collection::vec(1.0f64..10.0, 4),
-    ) {
+/// Simplex optimum on random bounded LPs is feasible and not beaten by
+/// sampled feasible corners of the box.
+#[test]
+fn simplex_optimum_dominates_box_samples() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1 + rng.below(4) as usize;
+        let costs: Vec<f64> = (0..4).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+        let caps: Vec<f64> = (0..4).map(|_| rng.range_f64(1.0, 10.0)).collect();
         let mut p = Problem::new();
-        let vars: Vec<_> = (0..n).map(|i| p.add_var(0.0, caps[i % caps.len()], costs[i % costs.len()])).collect();
+        let vars: Vec<_> =
+            (0..n).map(|i| p.add_var(0.0, caps[i % caps.len()], costs[i % costs.len()])).collect();
         // a coupling constraint to make it non-trivial
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         let budget: f64 = caps.iter().take(n).sum::<f64>() / 2.0;
         p.add_constraint(&terms, Cmp::Le, budget);
         let s = solve(&p);
-        prop_assert_eq!(s.status, Status::Optimal);
-        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        assert_eq!(s.status, Status::Optimal, "seed {seed}");
+        assert!(p.is_feasible(&s.x, 1e-6), "seed {seed}");
         // corners of the box clipped to the budget: all-zero is feasible
-        prop_assert!(s.objective <= 0.0 + 1e-9, "all-zeros is feasible with objective 0");
+        assert!(s.objective <= 1e-9, "seed {seed}: all-zeros is feasible with objective 0");
     }
+}
 
-    /// Branch-and-bound objective is never better than the LP relaxation
-    /// and its point is integral and feasible.
-    #[test]
-    fn mip_bounded_by_relaxation(
-        n in 1usize..4,
-        costs in proptest::collection::vec(0.5f64..5.0, 4),
-        weights in proptest::collection::vec(0.5f64..5.0, 4),
-        budget in 2.0f64..10.0,
-    ) {
+/// Branch-and-bound objective is never better than the LP relaxation and
+/// its point is integral and feasible.
+#[test]
+fn mip_bounded_by_relaxation() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1 + rng.below(3) as usize;
+        let costs: Vec<f64> = (0..4).map(|_| rng.range_f64(0.5, 5.0)).collect();
+        let weights: Vec<f64> = (0..4).map(|_| rng.range_f64(0.5, 5.0)).collect();
+        let budget = rng.range_f64(2.0, 10.0);
         // knapsack: max Σ c_i b_i  s.t. Σ w_i b_i <= budget
         let mut mip = Problem::new();
         mip.set_sense(Sense::Maximize);
         let vars: Vec<_> = (0..n).map(|i| mip.add_bool(costs[i % costs.len()])).collect();
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
+        let terms: Vec<_> =
+            vars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
         mip.add_constraint(&terms, Cmp::Le, budget);
 
         // LP relaxation: same model, continuous [0,1] vars
         let mut lp = Problem::new();
         lp.set_sense(Sense::Maximize);
         let cvars: Vec<_> = (0..n).map(|i| lp.add_var(0.0, 1.0, costs[i % costs.len()])).collect();
-        let cterms: Vec<_> = cvars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
+        let cterms: Vec<_> =
+            cvars.iter().enumerate().map(|(i, &v)| (v, weights[i % weights.len()])).collect();
         lp.add_constraint(&cterms, Cmp::Le, budget);
 
         let mi = solve_mip(&mip);
         let re = solve(&lp);
-        prop_assert_eq!(mi.status, Status::Optimal);
-        prop_assert_eq!(re.status, Status::Optimal);
-        prop_assert!(mi.objective <= re.objective + 1e-6,
-            "MIP {} must not beat relaxation {}", mi.objective, re.objective);
-        prop_assert!(mip.is_feasible(&mi.x, 1e-6));
+        assert_eq!(mi.status, Status::Optimal, "seed {seed}");
+        assert_eq!(re.status, Status::Optimal, "seed {seed}");
+        assert!(
+            mi.objective <= re.objective + 1e-6,
+            "seed {seed}: MIP {} must not beat relaxation {}",
+            mi.objective,
+            re.objective
+        );
+        assert!(mip.is_feasible(&mi.x, 1e-6), "seed {seed}");
         for &v in &mi.x {
-            prop_assert!((v - v.round()).abs() < 1e-6, "non-integral value {v}");
+            assert!((v - v.round()).abs() < 1e-6, "seed {seed}: non-integral value {v}");
         }
     }
+}
 
-    /// Scaling all costs scales the transportation objective linearly.
-    #[test]
-    fn transportation_objective_scales(tp in arb_transport(), k in 1.0f64..10.0) {
+/// Scaling all costs scales the transportation objective linearly.
+#[test]
+fn transportation_objective_scales() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5);
+        let tp = arb_transport(seed);
+        let k = rng.range_f64(1.0, 10.0);
         let s1 = tp.solve();
         let scaled = TransportProblem::new(
             tp.supply.clone(),
@@ -159,43 +177,56 @@ proptest! {
             tp.cost.iter().map(|c| c * k).collect(),
         );
         let s2 = scaled.solve();
-        prop_assert_eq!(s1.status, s2.status);
+        assert_eq!(s1.status, s2.status, "seed {seed}");
         if s1.status == TransportStatus::Optimal {
-            prop_assert!((s2.objective - k * s1.objective).abs() <= 1e-6 * (1.0 + s2.objective.abs()));
+            assert!(
+                (s2.objective - k * s1.objective).abs() <= 1e-6 * (1.0 + s2.objective.abs()),
+                "seed {seed}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// LP duality holds on every random optimal instance: dual feasibility,
-    /// complementary slackness, and strong duality.
-    #[test]
-    fn transportation_duality(tp in arb_transport()) {
+/// LP duality holds on every random optimal instance: dual feasibility,
+/// complementary slackness, and strong duality.
+#[test]
+fn transportation_duality() {
+    for seed in 0..128u64 {
+        let tp = arb_transport(seed);
         let s = tp.solve();
         if s.status != TransportStatus::Optimal {
-            return Ok(());
+            continue;
         }
         let n = tp.capacity.len();
         // dual feasibility + complementary slackness
         for (i, &u) in s.row_potentials.iter().enumerate() {
             for (j, &v) in s.col_potentials.iter().enumerate() {
                 let c = tp.cost[i * n + j];
-                if !c.is_finite() { continue; }
+                if !c.is_finite() {
+                    continue;
+                }
                 let reduced = c - u - v;
-                prop_assert!(reduced >= -1e-6, "dual infeasible ({i},{j}): {reduced}");
+                assert!(reduced >= -1e-6, "seed {seed}: dual infeasible ({i},{j}): {reduced}");
                 if s.flow[i * n + j] > 1e-7 {
-                    prop_assert!(reduced.abs() < 1e-6,
-                        "complementary slackness ({i},{j}): {reduced}");
+                    assert!(
+                        reduced.abs() < 1e-6,
+                        "seed {seed}: complementary slackness ({i},{j}): {reduced}"
+                    );
                 }
             }
         }
         // strong duality (dummy-normalized): primal == dual objective
-        let dual: f64 = s.row_potentials.iter().zip(&tp.supply).map(|(u, a)| u * a)
+        let dual: f64 = s
+            .row_potentials
+            .iter()
+            .zip(&tp.supply)
+            .map(|(u, a)| u * a)
             .chain(s.col_potentials.iter().zip(&tp.capacity).map(|(v, b)| v * b))
             .sum();
-        prop_assert!((dual - s.objective).abs() <= 1e-5 * (1.0 + s.objective.abs()),
-            "strong duality: {dual} vs {}", s.objective);
+        assert!(
+            (dual - s.objective).abs() <= 1e-5 * (1.0 + s.objective.abs()),
+            "seed {seed}: strong duality: {dual} vs {}",
+            s.objective
+        );
     }
 }

@@ -7,11 +7,10 @@
 
 use crate::messages::{ClientMsg, ManagerMsg, RequestId};
 use dust_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Registration lifecycle of a client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientPhase {
     /// Nothing sent yet.
     Idle,
@@ -22,7 +21,7 @@ pub enum ClientPhase {
 }
 
 /// One workload this client hosts on behalf of a Busy node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostedWorkload {
     /// Originating Busy node.
     pub from: NodeId,
@@ -33,7 +32,7 @@ pub struct HostedWorkload {
 }
 
 /// The DUST-Client state machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Client {
     /// This node's identity.
     pub node: NodeId,
@@ -234,7 +233,10 @@ mod tests {
         let mut c = active_client();
         c.observe(40.0, 10.0);
         let reply = c.handle(0, &request(1, 20.0)).unwrap();
-        assert_eq!(reply, ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(1), accept: true });
+        assert_eq!(
+            reply,
+            ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(1), accept: true }
+        );
         assert_eq!(c.hosted_amount(), 20.0);
     }
 
@@ -290,12 +292,15 @@ mod tests {
         let mut c = active_client();
         c.observe(79.0, 5.0); // near ceiling — a REQUEST would be refused
         let reply = c
-            .handle(0, &ManagerMsg::Rep {
-                request: RequestId(6),
-                failed: NodeId(9),
-                from: NodeId(0),
-                amount: 10.0,
-            })
+            .handle(
+                0,
+                &ManagerMsg::Rep {
+                    request: RequestId(6),
+                    failed: NodeId(9),
+                    from: NodeId(0),
+                    amount: 10.0,
+                },
+            )
             .unwrap();
         match reply {
             ClientMsg::OffloadAck { accept, .. } => assert!(accept),

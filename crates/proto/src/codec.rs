@@ -207,11 +207,9 @@ pub fn decode_client(buf: &[u8]) -> Result<ClientMsg, CodecError> {
         TAG_OFFLOAD_CAPABLE => {
             ClientMsg::OffloadCapable { node: read_node(&mut r)?, capable: r.bool()? }
         }
-        TAG_STAT => ClientMsg::Stat {
-            node: read_node(&mut r)?,
-            utilization: r.f64()?,
-            data_mb: r.f64()?,
-        },
+        TAG_STAT => {
+            ClientMsg::Stat { node: read_node(&mut r)?, utilization: r.f64()?, data_mb: r.f64()? }
+        }
         TAG_OFFLOAD_ACK => ClientMsg::OffloadAck {
             node: read_node(&mut r)?,
             request: RequestId(r.varint()?),
@@ -390,7 +388,9 @@ mod tests {
         bytes.push(0x01);
         assert!(matches!(
             decode_client(&bytes),
-            Err(CodecError::Overlong) | Err(CodecError::Malformed(_)) | Err(CodecError::TrailingBytes(_))
+            Err(CodecError::Overlong)
+                | Err(CodecError::Malformed(_))
+                | Err(CodecError::TrailingBytes(_))
         ));
     }
 

@@ -11,13 +11,12 @@
 //! sending keepalives (§III-C).
 
 use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
-use dust_core::{optimize, DustConfig, NodeState, Nmdb, Placement, PlacementStatus, SolverBackend};
+use dust_core::{optimize, DustConfig, Nmdb, NodeState, Placement, PlacementStatus, SolverBackend};
 use dust_topology::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What the Manager knows about one registered client.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClientRecord {
     /// `Offload-capable` flag from registration.
     pub capable: bool,
@@ -28,7 +27,7 @@ pub struct ClientRecord {
 }
 
 /// One hosting arrangement brokered by the Manager.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hosting {
     /// Busy node that shed the load.
     pub from: NodeId,

@@ -9,14 +9,13 @@
 //! REST, in-process channels in the simulator) can carry them.
 
 use dust_topology::{NodeId, Path};
-use serde::{Deserialize, Serialize};
 
 /// Identifier correlating an `Offload-Request` with its `Offload-ACK`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
 
 /// Messages a DUST-Client sends to the Manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
     /// Initial registration: `1` (true) volunteers the node for the
     /// offloading process, `0` marks it None-offloading (§III-B).
@@ -54,7 +53,7 @@ pub enum ClientMsg {
 }
 
 /// Messages the DUST-Manager sends to a client.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ManagerMsg {
     /// Registration acknowledgment carrying the Update-Interval Time that
     /// paces subsequent `STAT` messages (§III-B).
@@ -98,7 +97,7 @@ pub enum ManagerMsg {
 }
 
 /// An addressed message in flight.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope<M> {
     /// Destination node.
     pub to: NodeId,

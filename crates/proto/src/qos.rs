@@ -6,13 +6,11 @@
 //! This module provides the priority lattice and a drop policy a queueing
 //! layer (the simulator's links) consults under congestion.
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic priority classes, highest first.
 ///
 /// Ordering: `NetworkControl > DataPlane > LocalTelemetry >
 /// OffloadedTelemetry`. Offloaded telemetry is always the first casualty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     /// Offloaded monitoring data — lowest priority, discard first.
     OffloadedTelemetry,
@@ -35,7 +33,7 @@ impl Priority {
 }
 
 /// A classified unit of traffic contending for link capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassifiedLoad {
     /// Traffic class.
     pub priority: Priority,
@@ -56,8 +54,7 @@ pub fn admit(loads: &[ClassifiedLoad], capacity_mbps: f64) -> Vec<f64> {
     let mut remaining = capacity_mbps;
     // highest priority first
     for class in Priority::DISCARD_ORDER.iter().rev() {
-        let offered: f64 =
-            loads.iter().filter(|l| l.priority == *class).map(|l| l.mbps).sum();
+        let offered: f64 = loads.iter().filter(|l| l.priority == *class).map(|l| l.mbps).sum();
         if offered <= 0.0 {
             continue;
         }

@@ -1,11 +1,10 @@
-//! Property tests for the protocol state machines: random message
-//! interleavings must never violate the bookkeeping invariants the rest of
-//! the system relies on.
+//! Seeded random-interleaving tests for the protocol state machines:
+//! random message sequences must never violate the bookkeeping invariants
+//! the rest of the system relies on.
 
 use dust_core::{DustConfig, SolverBackend};
 use dust_proto::{Client, ClientMsg, Manager, ManagerMsg, RequestId};
-use dust_topology::{topologies, Link, NodeId};
-use proptest::prelude::*;
+use dust_topology::{topologies, Link, NodeId, SplitMix64};
 
 /// Random actions to throw at a client.
 #[derive(Debug, Clone)]
@@ -17,25 +16,26 @@ enum ClientAction {
     Tick(u64),
 }
 
-fn arb_client_action() -> impl Strategy<Value = ClientAction> {
-    prop_oneof![
-        (0.0f64..100.0, 0.0f64..500.0).prop_map(|(u, d)| ClientAction::Observe(u, d)),
-        (0u64..20, 0.1f64..30.0).prop_map(|(id, amount)| ClientAction::Request { id, amount }),
-        (0u64..20).prop_map(|id| ClientAction::Release { id }),
-        (0u64..20, 0.1f64..10.0).prop_map(|(id, amount)| ClientAction::Rep { id, amount }),
-        (1u64..5_000).prop_map(ClientAction::Tick),
-    ]
+fn arb_client_action(rng: &mut SplitMix64) -> ClientAction {
+    match rng.below(5) {
+        0 => ClientAction::Observe(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 500.0)),
+        1 => ClientAction::Request { id: rng.below(20), amount: rng.range_f64(0.1, 30.0) },
+        2 => ClientAction::Release { id: rng.below(20) },
+        3 => ClientAction::Rep { id: rng.below(20), amount: rng.range_f64(0.1, 10.0) },
+        _ => ClientAction::Tick(rng.range_u64(1, 5_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whatever the Manager sends in whatever order, the client's hosted
-    /// ledger stays consistent: non-negative, only accepted requests are
-    /// hosted, releases remove exactly their request, and STAT always
-    /// reports local + hosted load.
-    #[test]
-    fn client_ledger_consistent(actions in proptest::collection::vec(arb_client_action(), 1..60)) {
+/// Whatever the Manager sends in whatever order, the client's hosted
+/// ledger stays consistent: non-negative, only accepted requests are
+/// hosted, releases remove exactly their request, and STAT always
+/// reports local + hosted load.
+#[test]
+fn client_ledger_consistent() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let actions: Vec<ClientAction> =
+            (0..rng.range_u64(1, 60)).map(|_| arb_client_action(&mut rng)).collect();
         let mut c = Client::new(NodeId(0), true, 80.0);
         let _ = c.register();
         c.handle(0, &ManagerMsg::Ack { update_interval_ms: 100 });
@@ -49,23 +49,30 @@ proptest! {
                     last_observed = u;
                 }
                 ClientAction::Request { id, amount } => {
-                    let reply = c.handle(now, &ManagerMsg::OffloadRequest {
-                        request: RequestId(id),
-                        from: NodeId(9),
-                        amount,
-                        data_mb: 1.0,
-                        route: None,
-                    });
+                    let reply = c.handle(
+                        now,
+                        &ManagerMsg::OffloadRequest {
+                            request: RequestId(id),
+                            from: NodeId(9),
+                            amount,
+                            data_mb: 1.0,
+                            route: None,
+                        },
+                    );
                     match reply {
                         Some(ClientMsg::OffloadAck { accept, request, .. }) => {
-                            prop_assert_eq!(request, RequestId(id));
+                            assert_eq!(request, RequestId(id), "seed {seed}");
                             if accept {
                                 // acceptance implies the ceiling held
-                                prop_assert!(last_observed + expected.values().sum::<f64>() + amount <= 80.0 + 1e-9);
+                                assert!(
+                                    last_observed + expected.values().sum::<f64>() + amount
+                                        <= 80.0 + 1e-9,
+                                    "seed {seed}"
+                                );
                                 expected.insert(id, amount);
                             }
                         }
-                        other => prop_assert!(false, "request must be answered, got {other:?}"),
+                        other => panic!("seed {seed}: request must be answered, got {other:?}"),
                     }
                 }
                 ClientAction::Release { id } => {
@@ -73,15 +80,18 @@ proptest! {
                     expected.remove(&id);
                 }
                 ClientAction::Rep { id, amount } => {
-                    let reply = c.handle(now, &ManagerMsg::Rep {
-                        request: RequestId(id),
-                        failed: NodeId(7),
-                        from: NodeId(9),
-                        amount,
-                    });
+                    let reply = c.handle(
+                        now,
+                        &ManagerMsg::Rep {
+                            request: RequestId(id),
+                            failed: NodeId(7),
+                            from: NodeId(9),
+                            amount,
+                        },
+                    );
                     let accepted =
                         matches!(reply, Some(ClientMsg::OffloadAck { accept: true, .. }));
-                    prop_assert!(accepted, "REP must be accepted unconditionally");
+                    assert!(accepted, "seed {seed}: REP must be accepted unconditionally");
                     expected.insert(id, amount);
                 }
                 ClientAction::Tick(dt) => {
@@ -89,35 +99,40 @@ proptest! {
                     for m in c.tick(now) {
                         if let ClientMsg::Stat { utilization, .. } = m {
                             let want = last_observed + expected.values().sum::<f64>();
-                            prop_assert!((utilization - want).abs() < 1e-9,
-                                "STAT {utilization} != observed {last_observed} + hosted");
+                            assert!(
+                                (utilization - want).abs() < 1e-9,
+                                "seed {seed}: STAT {utilization} != observed {last_observed} + hosted"
+                            );
                         }
                     }
                 }
             }
             let hosted: f64 = expected.values().sum();
-            prop_assert!((c.hosted_amount() - hosted).abs() < 1e-9,
-                "ledger mismatch: {} vs {}", c.hosted_amount(), hosted);
-            prop_assert!(c.hosted_amount() >= 0.0);
+            assert!(
+                (c.hosted_amount() - hosted).abs() < 1e-9,
+                "seed {seed}: ledger mismatch: {} vs {}",
+                c.hosted_amount(),
+                hosted
+            );
+            assert!(c.hosted_amount() >= 0.0, "seed {seed}");
         }
     }
+}
 
-    /// Manager invariants under random STAT streams and placement rounds:
-    /// request ids never repeat, confirmed hostings always reference
-    /// registered nodes, and snapshots clamp dirty inputs.
-    #[test]
-    fn manager_bookkeeping_sound(
-        utils in proptest::collection::vec((0u32..5, 0.0f64..150.0), 1..40),
-        rounds in 1usize..4,
-    ) {
+/// Manager invariants under random STAT streams and placement rounds:
+/// request ids never repeat, confirmed hostings always reference
+/// registered nodes, and snapshots clamp dirty inputs.
+#[test]
+fn manager_bookkeeping_sound() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let utils: Vec<(u32, f64)> = (0..rng.range_u64(1, 40))
+            .map(|_| (rng.below(5) as u32, rng.range_f64(0.0, 150.0)))
+            .collect();
+        let rounds = rng.range_u64(1, 4) as usize;
         let g = topologies::star(5, Link::default());
-        let mut m = Manager::new(
-            g,
-            DustConfig::paper_defaults(),
-            SolverBackend::Transportation,
-            100,
-            400,
-        );
+        let mut m =
+            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400);
         for n in 0..5u32 {
             m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
         }
@@ -125,7 +140,10 @@ proptest! {
         let mut seen_requests: std::collections::BTreeSet<RequestId> = Default::default();
         for (n, u) in utils {
             // deliberately dirty utilizations above 100 — snapshot must clamp
-            m.handle(now, &ClientMsg::Stat { node: NodeId(n), utilization: u.min(100.0), data_mb: 10.0 });
+            m.handle(
+                now,
+                &ClientMsg::Stat { node: NodeId(n), utilization: u.min(100.0), data_mb: 10.0 },
+            );
             now += 1;
         }
         for _ in 0..rounds {
@@ -133,45 +151,44 @@ proptest! {
             let _ = placement;
             for env in &outs {
                 if let ManagerMsg::OffloadRequest { request, from, amount, .. } = &env.msg {
-                    prop_assert!(seen_requests.insert(*request), "request id reuse");
-                    prop_assert!(*amount > 0.0);
-                    prop_assert!(from.0 < 5 && env.to.0 < 5);
-                    prop_assert_ne!(*from, env.to, "never offload to yourself");
+                    assert!(seen_requests.insert(*request), "seed {seed}: request id reuse");
+                    assert!(*amount > 0.0, "seed {seed}");
+                    assert!(from.0 < 5 && env.to.0 < 5, "seed {seed}");
+                    assert_ne!(*from, env.to, "seed {seed}: never offload to yourself");
                     // accept every request so hostings confirm
-                    m.handle(now, &ClientMsg::OffloadAck {
-                        node: env.to,
-                        request: *request,
-                        accept: true,
-                    });
+                    m.handle(
+                        now,
+                        &ClientMsg::OffloadAck { node: env.to, request: *request, accept: true },
+                    );
                 }
             }
             now += 10;
         }
         for h in m.hostings().values() {
-            prop_assert!(m.registry().contains_key(&h.to));
-            prop_assert!(m.registry().contains_key(&h.from));
-            prop_assert!(h.amount > 0.0);
+            assert!(m.registry().contains_key(&h.to), "seed {seed}");
+            assert!(m.registry().contains_key(&h.from), "seed {seed}");
+            assert!(h.amount > 0.0, "seed {seed}");
         }
         // snapshot is always a valid NMDB
         let db = m.snapshot();
         for s in &db.states {
-            prop_assert!((0.0..=100.0).contains(&s.utilization));
-            prop_assert!(s.data_mb >= 0.0);
+            assert!((0.0..=100.0).contains(&s.utilization), "seed {seed}");
+            assert!(s.data_mb >= 0.0, "seed {seed}");
         }
     }
+}
 
-    /// Keepalive timeouts never lose workloads: every confirmed hosting is
-    /// either still hosted, re-homed by a REP, or recorded as orphaned.
-    #[test]
-    fn failures_conserve_hostings(fail_first in any::<bool>(), silence_ms in 500u64..5_000) {
+/// Keepalive timeouts never lose workloads: every confirmed hosting is
+/// either still hosted, re-homed by a REP, or recorded as orphaned.
+#[test]
+fn failures_conserve_hostings() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let fail_first = rng.gen_bool(0.5);
+        let silence_ms = rng.range_u64(500, 5_000);
         let g = topologies::line(3, Link::default());
-        let mut m = Manager::new(
-            g,
-            DustConfig::paper_defaults(),
-            SolverBackend::Transportation,
-            100,
-            400,
-        );
+        let mut m =
+            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400);
         for n in 0..3u32 {
             m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
         }
@@ -182,11 +199,14 @@ proptest! {
         let before: usize = outs.len();
         for env in &outs {
             if let ManagerMsg::OffloadRequest { request, .. } = &env.msg {
-                m.handle(3, &ClientMsg::OffloadAck { node: env.to, request: *request, accept: true });
+                m.handle(
+                    3,
+                    &ClientMsg::OffloadAck { node: env.to, request: *request, accept: true },
+                );
             }
         }
         let confirmed = m.hostings().len();
-        prop_assert_eq!(confirmed, before);
+        assert_eq!(confirmed, before, "seed {seed}");
 
         // one destination goes silent; keep the other's records fresh
         let silent = if fail_first { NodeId(1) } else { NodeId(2) };
@@ -198,11 +218,11 @@ proptest! {
         let outs = m.tick(t + 1);
         // conservation: hostings + orphans == confirmed arrangements
         let after = m.hostings().len() + m.orphaned().len();
-        prop_assert_eq!(after, confirmed, "arrangements lost or duplicated");
+        assert_eq!(after, confirmed, "seed {seed}: arrangements lost or duplicated");
         // REPs (if any) went to the alive node
         for env in outs {
             if let ManagerMsg::Rep { .. } = env.msg {
-                prop_assert_eq!(env.to, alive);
+                assert_eq!(env.to, alive, "seed {seed}");
             }
         }
     }
@@ -211,51 +231,61 @@ proptest! {
 use dust_proto::{decode_client, decode_manager, encode_client, encode_manager};
 use dust_topology::{EdgeId, Path};
 
-fn arb_route() -> impl Strategy<Value = Option<Path>> {
-    prop_oneof![
-        1 => Just(None),
-        3 => proptest::collection::vec(0u32..10_000, 2..12).prop_map(|nodes| {
-            let edges = (0..nodes.len() - 1).map(|i| EdgeId(i as u32)).collect();
-            Some(Path { nodes: nodes.into_iter().map(NodeId).collect(), edges })
-        }),
-    ]
+/// A possibly-absent random route (None on ~25 % of draws).
+fn arb_route(rng: &mut SplitMix64) -> Option<Path> {
+    if rng.below(4) == 0 {
+        return None;
+    }
+    let n = rng.range_u64(2, 12) as usize;
+    let nodes: Vec<NodeId> = (0..n).map(|_| NodeId(rng.below(10_000) as u32)).collect();
+    let edges = (0..n - 1).map(|i| EdgeId(i as u32)).collect();
+    Some(Path { nodes, edges })
 }
 
-fn arb_client_msg() -> impl Strategy<Value = ClientMsg> {
-    prop_oneof![
-        (any::<u32>(), any::<bool>())
-            .prop_map(|(n, c)| ClientMsg::OffloadCapable { node: NodeId(n), capable: c }),
-        (any::<u32>(), any::<f64>(), any::<f64>()).prop_map(|(n, u, d)| ClientMsg::Stat {
-            node: NodeId(n),
-            utilization: u,
-            data_mb: d
-        }),
-        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(n, r, a)| ClientMsg::OffloadAck {
-            node: NodeId(n),
-            request: RequestId(r),
-            accept: a
-        }),
-        any::<u32>().prop_map(|n| ClientMsg::Keepalive { node: NodeId(n) }),
-    ]
+/// A raw 64-bit pattern reinterpreted as f64: exercises NaNs, infinities,
+/// subnormals, and negative zero in the codecs.
+fn arb_f64_bits(rng: &mut SplitMix64) -> f64 {
+    f64::from_bits(rng.next_u64())
 }
 
-fn arb_manager_msg() -> impl Strategy<Value = ManagerMsg> {
-    prop_oneof![
-        any::<u64>().prop_map(|i| ManagerMsg::Ack { update_interval_ms: i }),
-        (any::<u64>(), any::<u32>(), any::<f64>(), any::<f64>(), arb_route()).prop_map(
-            |(r, f, a, d, route)| ManagerMsg::OffloadRequest {
-                request: RequestId(r),
-                from: NodeId(f),
-                amount: a,
-                data_mb: d,
-                route,
-            }
-        ),
-        (any::<u64>(), any::<u32>(), any::<u32>(), any::<f64>()).prop_map(|(r, x, f, a)| {
-            ManagerMsg::Rep { request: RequestId(r), failed: NodeId(x), from: NodeId(f), amount: a }
-        }),
-        any::<u64>().prop_map(|r| ManagerMsg::Release { request: RequestId(r) }),
-    ]
+fn arb_client_msg(rng: &mut SplitMix64) -> ClientMsg {
+    match rng.below(4) {
+        0 => ClientMsg::OffloadCapable {
+            node: NodeId(rng.next_u64() as u32),
+            capable: rng.gen_bool(0.5),
+        },
+        1 => ClientMsg::Stat {
+            node: NodeId(rng.next_u64() as u32),
+            utilization: arb_f64_bits(rng),
+            data_mb: arb_f64_bits(rng),
+        },
+        2 => ClientMsg::OffloadAck {
+            node: NodeId(rng.next_u64() as u32),
+            request: RequestId(rng.next_u64()),
+            accept: rng.gen_bool(0.5),
+        },
+        _ => ClientMsg::Keepalive { node: NodeId(rng.next_u64() as u32) },
+    }
+}
+
+fn arb_manager_msg(rng: &mut SplitMix64) -> ManagerMsg {
+    match rng.below(4) {
+        0 => ManagerMsg::Ack { update_interval_ms: rng.next_u64() },
+        1 => ManagerMsg::OffloadRequest {
+            request: RequestId(rng.next_u64()),
+            from: NodeId(rng.next_u64() as u32),
+            amount: arb_f64_bits(rng),
+            data_mb: arb_f64_bits(rng),
+            route: arb_route(rng),
+        },
+        2 => ManagerMsg::Rep {
+            request: RequestId(rng.next_u64()),
+            failed: NodeId(rng.next_u64() as u32),
+            from: NodeId(rng.next_u64() as u32),
+            amount: arb_f64_bits(rng),
+        },
+        _ => ManagerMsg::Release { request: RequestId(rng.next_u64()) },
+    }
 }
 
 /// Bit-exact float comparison for message equality (NaN-safe).
@@ -264,41 +294,54 @@ fn msgs_bit_equal_c(a: &ClientMsg, b: &ClientMsg) -> bool {
         || encode_client(a) == encode_client(b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every client message round-trips byte-exactly through the codec.
-    #[test]
-    fn codec_client_roundtrip(m in arb_client_msg()) {
+/// Every client message round-trips byte-exactly through the codec.
+#[test]
+fn codec_client_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let m = arb_client_msg(&mut rng);
         let bytes = encode_client(&m);
         let back = decode_client(&bytes).expect("decode");
-        prop_assert!(msgs_bit_equal_c(&m, &back), "{m:?} vs {back:?}");
+        assert!(msgs_bit_equal_c(&m, &back), "seed {seed}: {m:?} vs {back:?}");
         // re-encoding is stable
-        prop_assert_eq!(encode_client(&back), bytes);
+        assert_eq!(encode_client(&back), bytes, "seed {seed}");
     }
+}
 
-    /// Every manager message round-trips through the codec.
-    #[test]
-    fn codec_manager_roundtrip(m in arb_manager_msg()) {
+/// Every manager message round-trips through the codec.
+#[test]
+fn codec_manager_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let m = arb_manager_msg(&mut rng);
         let bytes = encode_manager(&m);
         let back = decode_manager(&bytes).expect("decode");
-        prop_assert_eq!(encode_manager(&back), bytes, "re-encode mismatch for {:?}", m);
+        assert_eq!(encode_manager(&back), bytes, "seed {seed}: re-encode mismatch for {m:?}");
     }
+}
 
-    /// Arbitrary byte soup never panics the decoders — they return errors.
-    #[test]
-    fn codec_decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// Arbitrary byte soup never panics the decoders — they return errors.
+#[test]
+fn codec_decoders_are_total() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.below(200) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = decode_client(&bytes);
         let _ = decode_manager(&bytes);
     }
+}
 
-    /// Truncating a valid frame anywhere is always detected.
-    #[test]
-    fn codec_detects_truncation(m in arb_manager_msg(), frac in 0.0f64..1.0) {
+/// Truncating a valid frame anywhere is always detected.
+#[test]
+fn codec_detects_truncation() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let m = arb_manager_msg(&mut rng);
         let bytes = encode_manager(&m);
-        let cut = ((bytes.len() as f64) * frac) as usize;
+        let cut = ((bytes.len() as f64) * rng.next_f64()) as usize;
         if cut < bytes.len() {
-            prop_assert!(decode_manager(&bytes[..cut]).is_err());
+            assert!(decode_manager(&bytes[..cut]).is_err(), "seed {seed} cut {cut}");
         }
     }
 }

@@ -16,10 +16,9 @@
 
 use dust_proto::qos::{admit, ClassifiedLoad, Priority};
 use dust_topology::{EdgeId, Graph, NodeId, Path};
-use serde::{Deserialize, Serialize};
 
 /// One active telemetry stream from a Busy node to its host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TelemetryFlow {
     /// Monitored (Busy) node producing the data.
     pub owner: NodeId,
@@ -32,7 +31,7 @@ pub struct TelemetryFlow {
 }
 
 /// Delivered performance of one flow over one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowOutcome {
     /// Rate the flow tried to send, Mbps.
     pub offered_mbps: f64,
@@ -83,10 +82,7 @@ pub fn evaluate_flows(g: &Graph, flows: &[TelemetryFlow], interval_ms: u64) -> V
             mbps: link.lu(), // data plane in transit
         }];
         for &i in flow_ids {
-            loads.push(ClassifiedLoad {
-                priority: Priority::OffloadedTelemetry,
-                mbps: offered[i],
-            });
+            loads.push(ClassifiedLoad { priority: Priority::OffloadedTelemetry, mbps: offered[i] });
         }
         let granted = admit(&loads, link.capacity_mbps);
         for (slot, &i) in flow_ids.iter().enumerate() {
@@ -100,11 +96,8 @@ pub fn evaluate_flows(g: &Graph, flows: &[TelemetryFlow], interval_ms: u64) -> V
         .map(|(i, f)| {
             let adm = admitted[i];
             let transfer_time_s = if adm > 0.0 { f.data_mb / adm } else { f64::INFINITY };
-            let dropped = if offered[i] > 0.0 {
-                (1.0 - adm / offered[i]).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
+            let dropped =
+                if offered[i] > 0.0 { (1.0 - adm / offered[i]).clamp(0.0, 1.0) } else { 0.0 };
             FlowOutcome {
                 offered_mbps: offered[i],
                 admitted_mbps: adm,
@@ -200,8 +193,8 @@ mod tests {
             let g = make(util);
             let f = flow_over(&g, NodeId(0), NodeId(1), 10.0);
             let planner_time = f.route.response_time(&g, 10.0); // D / Lu
-            // 1 ms interval = burst mode: offered >> available, so the
-            // admitted rate is exactly the link's headroom
+                                                                // 1 ms interval = burst mode: offered >> available, so the
+                                                                // admitted rate is exactly the link's headroom
             let out = evaluate_flows(&g, &[f], 1);
             let ratio = planner_time / out[0].transfer_time_s;
             assert!(

@@ -37,5 +37,8 @@ pub use engine::{EventQueue, Scheduled};
 pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
 pub use node::{NodeSpec, SimNode};
 pub use runner::{SimConfig, SimReport, Simulation};
-pub use scenarios::{congestion, fig1, fig6, fleet, testbed_topology, CongestionResult, Fig1Row, Fig6Result, FleetResult};
+pub use scenarios::{
+    congestion, fig1, fig6, fleet, testbed_topology, CongestionResult, Fig1Row, Fig6Result,
+    FleetResult,
+};
 pub use traffic::TrafficModel;

@@ -9,10 +9,9 @@
 
 use dust_telemetry::{AgentKind, MonitorAgent};
 use dust_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Hardware and baseline-software profile of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// CPU cores (the DUT has 8).
     pub cpu_cores: f64,
@@ -69,7 +68,7 @@ const BURST_LEN_MS: u64 = 2_000;
 const BURST_FACTOR: f64 = 6.0;
 
 /// A simulated device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimNode {
     /// Topology identity.
     pub id: NodeId,
@@ -160,10 +159,7 @@ impl SimNode {
     /// Telemetry data volume this node must ship per interval if its local
     /// agents were monitored remotely (`D_i`, Mb).
     pub fn data_mb(&self, traffic_fraction: f64) -> f64 {
-        self.local_agents
-            .iter()
-            .map(|a| a.kind.data_mb_per_interval(traffic_fraction))
-            .sum()
+        self.local_agents.iter().map(|a| a.kind.data_mb_per_interval(traffic_fraction)).sum()
     }
 
     /// Move up to `cpu_budget_percent` (device-level percent) of local
@@ -177,9 +173,8 @@ impl SimNode {
         traffic_fraction: f64,
     ) -> Vec<MonitorAgent> {
         // device-level contribution of one agent
-        let device_cost = |k: AgentKind| {
-            k.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / self.spec.cpu_cores
-        };
+        let device_cost =
+            |k: AgentKind| k.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / self.spec.cpu_cores;
         // largest first so few agents cover the budget
         self.local_agents.sort_by(|a, b| {
             device_cost(b.kind)
@@ -270,8 +265,7 @@ mod tests {
     fn fig6_local_readings() {
         let n = dut();
         // time-averaged device CPU over a full burst period ≈ 31 %
-        let samples: Vec<f64> =
-            (0..60u64).map(|s| n.device_cpu_percent(s * 1000, 0.2)).collect();
+        let samples: Vec<f64> = (0..60u64).map(|s| n.device_cpu_percent(s * 1000, 0.2)).collect();
         let cpu = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((cpu - 31.0).abs() < 2.0, "local CPU {cpu}");
         // steady (burst-free) instantaneous reading sits lower

@@ -158,10 +158,8 @@ impl Simulation {
             cfg.update_interval_ms,
             cfg.keepalive_timeout_ms,
         );
-        let clients = nodes
-            .iter()
-            .map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0))
-            .collect();
+        let clients =
+            nodes.iter().map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0)).collect();
         Simulation {
             graph,
             nodes,
@@ -231,20 +229,14 @@ impl Simulation {
                         }
                     }
                 } else {
-                    let moved =
-                        self.nodes[from.index()].offload_agents_to(to, *amount, traffic);
+                    let moved = self.nodes[from.index()].offload_agents_to(to, *amount, traffic);
                     self.nodes[to.index()].host_agents(*from, &moved);
                 }
                 let (route, data_mb) = match &env.msg {
-                    ManagerMsg::OffloadRequest { route, data_mb, .. } => {
-                        (route.clone(), *data_mb)
-                    }
+                    ManagerMsg::OffloadRequest { route, data_mb, .. } => (route.clone(), *data_mb),
                     _ => (None, 0.0),
                 };
-                self.active.insert(
-                    *request,
-                    Transfer { owner: *from, host: to, route, data_mb },
-                );
+                self.active.insert(*request, Transfer { owner: *from, host: to, route, data_mb });
                 report.transfers_applied += 1;
             }
             (ManagerMsg::Rep { request, failed, from, .. }, Some(_)) => {
@@ -369,11 +361,7 @@ impl Simulation {
                         let db = report.federation.store_mut(n.id);
                         db.append("device-cpu", now, n.device_cpu_percent(now, traffic));
                         db.append("device-mem", now, n.device_mem_percent());
-                        db.append(
-                            "monitor-cpu",
-                            now,
-                            n.monitoring_cpu_core_percent(now, traffic),
-                        );
+                        db.append("monitor-cpu", now, n.monitoring_cpu_core_percent(now, traffic));
                     }
                     // Telemetry transport: every routed transfer streams its
                     // owner's data over the chosen path at the lowest QoS
@@ -392,11 +380,7 @@ impl Simulation {
                         })
                         .collect();
                     if !flows.is_empty() {
-                        let outs = evaluate_flows(
-                            &self.graph,
-                            &flows,
-                            self.cfg.update_interval_ms,
-                        );
+                        let outs = evaluate_flows(&self.graph, &flows, self.cfg.update_interval_ms);
                         for (f, o) in flows.iter().zip(&outs) {
                             let db = report.federation.store_mut(f.owner);
                             db.append("telemetry-admitted-mbps", now, o.admitted_mbps);
@@ -445,12 +429,7 @@ mod tests {
         // make the DUT Busy under paper thresholds: lower c_max so ~31 %
         // qualifies (thresholds are per-deployment, §IV-A)
         let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
-        let cfg = SimConfig {
-            dust,
-            dust_enabled,
-            duration_ms: 60_000,
-            ..Default::default()
-        };
+        let cfg = SimConfig { dust, dust_enabled, duration_ms: 60_000, ..Default::default() };
         Simulation::new(g, nodes, TrafficModel::testbed(), cfg)
     }
 
@@ -467,10 +446,7 @@ mod tests {
         let mut sim = two_node_sim(true);
         let report = sim.run();
         assert!(report.transfers_applied > 0, "placement must fire");
-        assert!(
-            !sim.nodes()[0].offloaded_agents.is_empty(),
-            "agents must physically move"
-        );
+        assert!(!sim.nodes()[0].offloaded_agents.is_empty(), "agents must physically move");
         // CPU in the steady tail must sit below the pre-offload window
         let before = report.mean(NodeId(0), "device-cpu", 0, 5_000).unwrap();
         let after = report.mean(NodeId(0), "device-cpu", 40_000, 60_000).unwrap();
@@ -490,11 +466,7 @@ mod tests {
             SimNode::bare(NodeId(2), NodeSpec::server()),
         ];
         let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
-        let cfg = SimConfig {
-            dust,
-            duration_ms: 60_000,
-            ..Default::default()
-        };
+        let cfg = SimConfig { dust, duration_ms: 60_000, ..Default::default() };
         let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
         // kill whichever host got the agents once hosting is underway
         sim.inject_failure(20_000, NodeId(1));

@@ -148,12 +148,8 @@ pub fn fig6(duration_ms: u64, seed: u64) -> Fig6Result {
             full_monitoring_offload: true,
             ..Default::default()
         };
-        let mut sim = Simulation::new(
-            graph.clone(),
-            testbed_nodes(dut),
-            TrafficModel::testbed(),
-            cfg,
-        );
+        let mut sim =
+            Simulation::new(graph.clone(), testbed_nodes(dut), TrafficModel::testbed(), cfg);
         let r = sim.run();
         let transfers = r.transfers_applied;
         (r, transfers)
@@ -216,10 +212,8 @@ pub fn fleet(k: usize, duration_ms: u64, seed: u64) -> FleetResult {
     let report = sim.run();
 
     let window = |start: u64, end: u64| -> f64 {
-        let vals: Vec<f64> = edges
-            .iter()
-            .filter_map(|&e| report.mean(e, "device-cpu", start, end))
-            .collect();
+        let vals: Vec<f64> =
+            edges.iter().filter_map(|&e| report.mean(e, "device-cpu", start, end)).collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };
     let dust_cfg = testbed_dust_config();
@@ -268,11 +262,7 @@ pub fn congestion(duration_ms: u64, seed: u64) -> CongestionResult {
     let squeeze_from = duration_ms / 2;
     // traffic ramps from the normal 20 % to a 99.9 % squeeze by mid-run,
     // then holds saturated for the whole second half
-    let traffic = TrafficModel::Ramp {
-        from: 0.2,
-        to: 0.999,
-        duration_ms: squeeze_from.max(1),
-    };
+    let traffic = TrafficModel::Ramp { from: 0.2, to: 0.999, duration_ms: squeeze_from.max(1) };
     let mut sim = Simulation::new(graph, testbed_nodes(dut), traffic, cfg);
     let report = sim.run();
     let dropped = |a: u64, b: u64| {

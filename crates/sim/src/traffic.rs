@@ -5,13 +5,10 @@
 //! deterministic line-rate fraction over time — constant, ramp, or a noisy
 //! diurnal wave — and projects it onto per-link utilizations.
 
-use dust_topology::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dust_topology::{Graph, SplitMix64};
 
 /// A deterministic traffic intensity profile over time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum TrafficModel {
     /// Fixed fraction of line rate.
     Constant(f64),
@@ -66,8 +63,8 @@ impl TrafficModel {
                 };
                 // noise keyed by (seed, time bucket) so it is reproducible
                 // without carrying mutable state
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(now_ms / 1000));
-                let n = if *noise > 0.0 { rng.gen_range(-noise..=*noise) } else { 0.0 };
+                let mut rng = SplitMix64::new(seed.wrapping_add(now_ms / 1000));
+                let n = if *noise > 0.0 { rng.range_f64(-noise, *noise) } else { 0.0 };
                 (mean + amplitude * phase.sin() + n).clamp(0.0, 1.0)
             }
         }
@@ -77,9 +74,9 @@ impl TrafficModel {
     /// per-link jitter so links are not uniformly loaded.
     pub fn apply_to_links(&self, g: &mut Graph, now_ms: u64, jitter: f64, seed: u64) {
         let base = self.fraction(now_ms);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(now_ms / 1000));
+        let mut rng = SplitMix64::new(seed.wrapping_add(now_ms / 1000));
         g.retarget_utilization(|_, _| {
-            let j = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
+            let j = if jitter > 0.0 { rng.range_f64(-jitter, jitter) } else { 0.0 };
             (base + j).clamp(0.0, 1.0)
         });
     }

@@ -12,10 +12,8 @@
 //! calibrated against Fig. 1: ten agents under 20 % line-rate VxLAN traffic
 //! average ≈ 100 % CPU (one core) and spike to ≈ 600 % on an 8-core switch.
 
-use serde::{Deserialize, Serialize};
-
 /// The ten user-defined agent kinds of the testbed (§V-A footnote 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AgentKind {
     /// Routing-protocol health (BGP/OSPF adjacency churn).
     RoutingProtocolHealth,
@@ -146,7 +144,7 @@ impl AgentKind {
 }
 
 /// A deployed monitor agent: a kind plus its sampling cadence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorAgent {
     /// What it monitors.
     pub kind: AgentKind,
@@ -167,7 +165,7 @@ impl MonitorAgent {
 }
 
 /// Aggregate cost of a set of agents at a traffic level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgentLoad {
     /// Total CPU, percent of one core (may exceed 100 on multi-core).
     pub cpu_percent: f64,

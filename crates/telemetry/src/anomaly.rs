@@ -13,10 +13,8 @@
 //!   `C_max`?" before it happens — the proactive trigger the DUST-Manager
 //!   can act on instead of waiting for a Busy STAT.
 
-use serde::{Deserialize, Serialize};
-
 /// Online EWMA mean/variance with z-score anomaly flagging.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EwmaDetector {
     /// Smoothing factor in `(0, 1]`: larger forgets faster.
     alpha: f64,
@@ -85,7 +83,7 @@ impl EwmaDetector {
 
 /// Holt double-exponential smoothing: level + trend, with crossing
 /// forecasts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrendForecaster {
     /// Level smoothing factor.
     alpha: f64,

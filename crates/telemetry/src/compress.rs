@@ -159,7 +159,13 @@ pub fn compress(series: &Series) -> CompressedBlock {
     CompressedBlock { count: pts.len(), bytes: w.finish() }
 }
 
-fn encode_value(w: &mut BitWriter, bits: u64, prev: &mut u64, prev_lead: &mut u8, prev_len: &mut u8) {
+fn encode_value(
+    w: &mut BitWriter,
+    bits: u64,
+    prev: &mut u64,
+    prev_lead: &mut u8,
+    prev_len: &mut u8,
+) {
     let xor = bits ^ *prev;
     *prev = bits;
     if xor == 0 {
@@ -317,9 +323,8 @@ mod tests {
 
     #[test]
     fn jittered_timestamps() {
-        let pts: Vec<_> = (0..50u64)
-            .map(|i| (i * 1000 + (i % 7) * 13, (i as f64).sin() * 100.0))
-            .collect();
+        let pts: Vec<_> =
+            (0..50u64).map(|i| (i * 1000 + (i % 7) * 13, (i as f64).sin() * 100.0)).collect();
         roundtrip(&pts);
     }
 

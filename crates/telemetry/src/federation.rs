@@ -7,11 +7,10 @@
 
 use crate::tsdb::{Point, Series, Tsdb};
 use dust_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How matching points from different nodes combine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregation {
     /// Sum across nodes (e.g. total packet rate).
     Sum,
@@ -36,7 +35,7 @@ impl Aggregation {
 }
 
 /// A federation over per-node TSDBs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Federation {
     stores: BTreeMap<NodeId, Tsdb>,
 }
@@ -70,11 +69,7 @@ impl Federation {
 
     /// Nodes holding a series with this name.
     pub fn holders(&self, series: &str) -> Vec<NodeId> {
-        self.stores
-            .iter()
-            .filter(|(_, db)| db.series(series).is_some())
-            .map(|(n, _)| *n)
-            .collect()
+        self.stores.iter().filter(|(_, db)| db.series(series).is_some()).map(|(n, _)| *n).collect()
     }
 
     /// Federated query: bucket every node's `series` into `bucket_ms`

@@ -5,7 +5,8 @@
 //! where frames may legitimately be discarded mid-stream), the receiver
 //! must detect truncated or corrupted blocks. A frame wraps one
 //! [`CompressedBlock`] with a magic, the point count, a length, and a
-//! CRC-32 over the payload:
+//! CRC-32 over everything after the magic (header varints included, so a
+//! flipped bit in `count` cannot silently change the block):
 //!
 //! ```text
 //! magic(4) | count(varint) | len(varint) | payload(len) | crc32(4, LE)
@@ -23,11 +24,11 @@ pub enum FrameError {
     Truncated,
     /// Magic bytes mismatch.
     BadMagic,
-    /// CRC-32 mismatch — payload corrupted in flight.
+    /// CRC-32 mismatch — header or payload corrupted in flight.
     BadChecksum {
         /// CRC carried by the frame.
         expected: u32,
-        /// CRC computed over the received payload.
+        /// CRC computed over the received header + payload.
         actual: u32,
     },
     /// A varint header field was malformed.
@@ -40,7 +41,10 @@ impl std::fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "frame truncated"),
             FrameError::BadMagic => write!(f, "bad frame magic"),
             FrameError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: frame says {expected:#010x}, payload is {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:#010x}, payload is {actual:#010x}"
+                )
             }
             FrameError::BadHeader => write!(f, "malformed frame header"),
         }
@@ -95,7 +99,8 @@ pub fn frame(block: &CompressedBlock) -> Vec<u8> {
     put_varint(&mut out, block.count as u64);
     put_varint(&mut out, block.bytes.len() as u64);
     out.extend_from_slice(&block.bytes);
-    out.extend_from_slice(&crc32(&block.bytes).to_le_bytes());
+    let crc = crc32(&out[MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -117,7 +122,7 @@ pub fn deframe(buf: &[u8]) -> Result<(CompressedBlock, usize), FrameError> {
     }
     let payload = &buf[pos..end];
     let expected = u32::from_le_bytes(buf[end..end + 4].try_into().expect("4 bytes checked"));
-    let actual = crc32(payload);
+    let actual = crc32(&buf[MAGIC.len()..end]);
     if expected != actual {
         return Err(FrameError::BadChecksum { expected, actual });
     }

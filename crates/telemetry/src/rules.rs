@@ -9,10 +9,9 @@
 //! detection path (e.g. "CPU above 80 % for 30 s").
 
 use crate::tsdb::Tsdb;
-use serde::{Deserialize, Serialize};
 
 /// Direction of a threshold crossing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Comparison {
     /// Fire while the value is strictly above the threshold.
     Above,
@@ -30,7 +29,7 @@ impl Comparison {
 }
 
 /// A sustained-threshold rule over one series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// Rule name (alert identifier).
     pub name: String,
@@ -62,7 +61,7 @@ impl Rule {
 }
 
 /// A fired alert.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Alert {
     /// Name of the rule that fired.
     pub rule: String,
@@ -73,7 +72,7 @@ pub struct Alert {
 }
 
 /// Per-rule evaluation state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct RuleState {
     /// Start of the current continuous violation, if any.
     violating_since: Option<u64>,
@@ -84,7 +83,7 @@ struct RuleState {
 }
 
 /// Evaluates a set of rules incrementally against a node-local TSDB.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RuleEngine {
     rules: Vec<Rule>,
     states: Vec<RuleState>,
@@ -114,15 +113,16 @@ impl RuleEngine {
     pub fn evaluate(&mut self, db: &Tsdb, now_ms: u64) -> Vec<Alert> {
         let mut alerts = Vec::new();
         for (rule, st) in self.rules.iter().zip(self.states.iter_mut()) {
-            let Some(series) = db.series(&rule.series) else { continue };
+            let Some(series) = db.series(&rule.series) else {
+                continue;
+            };
             // consume samples after the cursor up to and including now
             for p in series.range(st.cursor_ms, now_ms.saturating_add(1)) {
                 if rule.comparison.matches(p.value, rule.threshold) {
                     let since = *st.violating_since.get_or_insert(p.ts_ms);
                     let sustained = p.ts_ms.saturating_sub(since) >= rule.sustain_ms;
-                    let cooled = st
-                        .last_fired
-                        .map_or(true, |t| p.ts_ms.saturating_sub(t) >= rule.cooldown_ms);
+                    let cooled =
+                        st.last_fired.is_none_or(|t| p.ts_ms.saturating_sub(t) >= rule.cooldown_ms);
                     if sustained && cooled {
                         st.last_fired = Some(p.ts_ms);
                         alerts.push(Alert {
@@ -181,14 +181,7 @@ mod tests {
         // completes until the second streak (4000..7000)
         let db = db_with(
             "cpu",
-            &[
-                (1000, 90.0),
-                (2000, 50.0),
-                (4000, 90.0),
-                (5000, 91.0),
-                (6000, 92.0),
-                (7000, 93.0),
-            ],
+            &[(1000, 90.0), (2000, 50.0), (4000, 90.0), (5000, 91.0), (6000, 92.0), (7000, 93.0)],
         );
         let mut e = RuleEngine::new();
         e.add_rule(busy_rule(3000, 0));

@@ -6,11 +6,10 @@
 //! range queries, bucketed downsampling, and retention trimming — the
 //! operations the Monitor Agents and the Time-Series Federation layer need.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One timestamped measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Milliseconds since simulation epoch.
     pub ts_ms: u64,
@@ -19,7 +18,7 @@ pub struct Point {
 }
 
 /// An append-only series of points ordered by timestamp.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     points: Vec<Point>,
 }
@@ -32,11 +31,7 @@ impl Series {
     /// strictly append-ordered).
     pub fn push(&mut self, ts_ms: u64, value: f64) {
         if let Some(last) = self.points.last() {
-            assert!(
-                ts_ms >= last.ts_ms,
-                "out-of-order append: {ts_ms} after {}",
-                last.ts_ms
-            );
+            assert!(ts_ms >= last.ts_ms, "out-of-order append: {ts_ms} after {}", last.ts_ms);
         }
         self.points.push(Point { ts_ms, value });
     }
@@ -126,7 +121,7 @@ impl Series {
 }
 
 /// A node-local TSDB: named series with shared retention policy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Tsdb {
     series: BTreeMap<String, Series>,
 }

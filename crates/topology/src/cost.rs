@@ -7,11 +7,13 @@
 //! volume `D_i` in megabits.
 
 use crate::graph::{Graph, NodeId};
-use crate::paths::{min_inv_lu_dp_from, min_inv_lu_enumerated};
-use serde::{Deserialize, Serialize};
+use crate::paths::{min_inv_lu_dp_from, min_inv_lu_enumerated_from};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Which routing engine computes `T_rmin` (ablation 1 in DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PathEngine {
     /// Exhaustive simple-path enumeration — the paper's approach, whose cost
     /// grows combinatorially with the hop bound (reproduces Figs. 8/10).
@@ -25,7 +27,7 @@ pub enum PathEngine {
 ///
 /// `f64::INFINITY` marks a pair with no path inside the hop bound — the
 /// placement layer must not route between such a pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostMatrix {
     /// Busy (source) nodes, row order.
     pub sources: Vec<NodeId>,
@@ -36,7 +38,12 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
-    /// Build the matrix. `data_mb[r]` is `D_i` (Mb) for `sources[r]`.
+    /// Build the matrix sequentially with a throwaway [`CostEngine`].
+    /// `data_mb[r]` is `D_i` (Mb) for `sources[r]`.
+    ///
+    /// Prefer holding a [`CostEngine`] across solves — it parallelizes row
+    /// computation and reuses cached rows between re-optimizations; this
+    /// constructor exists for one-shot and test use.
     ///
     /// # Panics
     /// Panics if `data_mb.len() != sources.len()`.
@@ -48,35 +55,7 @@ impl CostMatrix {
         max_hop: Option<usize>,
         engine: PathEngine,
     ) -> Self {
-        assert_eq!(sources.len(), data_mb.len(), "one D_i per source required");
-        let mut t_rmin = Vec::with_capacity(sources.len() * destinations.len());
-        for (r, &src) in sources.iter().enumerate() {
-            let d = data_mb[r];
-            assert!(d.is_finite() && d >= 0.0, "monitoring data volume must be >= 0, got {d}");
-            match engine {
-                PathEngine::Enumerate => {
-                    for &dst in destinations {
-                        let c = if src == dst {
-                            // Offloading to yourself is free but the role
-                            // model never produces this pair.
-                            0.0
-                        } else {
-                            min_inv_lu_enumerated(g, src, dst, max_hop)
-                                .map_or(f64::INFINITY, |(inv, _)| d * inv)
-                        };
-                        t_rmin.push(c);
-                    }
-                }
-                PathEngine::HopBoundedDp => {
-                    let dist = min_inv_lu_dp_from(g, src, max_hop);
-                    for &dst in destinations {
-                        let c = if src == dst { 0.0 } else { d * dist[dst.index()] };
-                        t_rmin.push(c);
-                    }
-                }
-            }
-        }
-        CostMatrix { sources: sources.to_vec(), destinations: destinations.to_vec(), t_rmin }
+        CostEngine::sequential().build_matrix(g, sources, destinations, data_mb, max_hop, engine)
     }
 
     /// Number of rows (Busy nodes).
@@ -106,6 +85,205 @@ impl CostMatrix {
     pub fn row(&self, r: usize) -> &[f64] {
         let w = self.cols();
         &self.t_rmin[r * w..(r + 1) * w]
+    }
+}
+
+/// Cache key for one priced row: graph epoch, source, hop bound
+/// (`u64::MAX` encodes unbounded), and routing engine.
+type RowKey = (u64, NodeId, u64, PathEngine);
+
+fn hop_key(max_hop: Option<usize>) -> u64 {
+    max_hop.map_or(u64::MAX, |h| h as u64)
+}
+
+/// Parallel, memoized `T_rmin` row provider — the single cost authority
+/// behind every placement entry point.
+///
+/// Pricing a source means computing `min Σ 1/Lu_e` from it to *every*
+/// node ([`min_inv_lu_enumerated_from`] or [`min_inv_lu_dp_from`]); the
+/// per-source rows are independent, so `build_matrix` fans them out
+/// across scoped worker threads pulling row indices from a shared cursor
+/// and writing each result into its own slot. Merging happens in
+/// node-index order, so output is byte-identical to the sequential path
+/// for any thread count.
+///
+/// Rows are cached keyed by `(graph epoch, source, hop bound, engine)`.
+/// The epoch ([`Graph::epoch`]) is reassigned on every graph mutation, so
+/// a changed link utilization can never serve a stale row, while repeated
+/// re-optimizations over an unchanged graph — `io_rate_sweep`, zoned
+/// per-zone solves, the periodic re-solve loop — hit the cache instead of
+/// re-enumerating. Cached rows store `Σ 1/Lu_e` (not `T_rmin`), so one
+/// row serves every data volume `D_i`.
+#[derive(Debug, Default)]
+pub struct CostEngine {
+    threads: usize,
+    cache: RwLock<HashMap<RowKey, Arc<Vec<f64>>>>,
+}
+
+impl CostEngine {
+    /// An engine using all available parallelism.
+    pub fn new() -> Self {
+        Self::with_threads(0)
+    }
+
+    /// An engine with an explicit worker count; `0` means "use available
+    /// parallelism". `1` is the sequential reference implementation.
+    pub fn with_threads(threads: usize) -> Self {
+        CostEngine { threads, cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// The sequential reference engine (one thread, no fan-out).
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Resolved worker count: the configured value, or available
+    /// parallelism when configured as `0`.
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Number of rows currently cached (all epochs).
+    pub fn cached_rows(&self) -> usize {
+        self.cache.read().expect("cost cache poisoned").len()
+    }
+
+    /// Drop every cached row.
+    pub fn clear(&self) {
+        self.cache.write().expect("cost cache poisoned").clear();
+    }
+
+    /// Evict rows priced under epochs other than `g`'s current one.
+    /// Long-lived engines re-pricing a mutating graph call this to keep
+    /// the cache from accumulating dead epochs.
+    pub fn retain_epoch(&self, g: &Graph) {
+        let epoch = g.epoch();
+        self.cache.write().expect("cost cache poisoned").retain(|k, _| k.0 == epoch);
+    }
+
+    /// The cached `Σ 1/Lu_e` row from `src` to every node of `g`, priced
+    /// on demand with `engine` under the hop bound.
+    pub fn row(
+        &self,
+        g: &Graph,
+        src: NodeId,
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> Arc<Vec<f64>> {
+        let key: RowKey = (g.epoch(), src, hop_key(max_hop), engine);
+        if let Some(row) = self.cache.read().expect("cost cache poisoned").get(&key) {
+            return Arc::clone(row);
+        }
+        let row = Arc::new(match engine {
+            PathEngine::Enumerate => min_inv_lu_enumerated_from(g, src, max_hop),
+            PathEngine::HopBoundedDp => min_inv_lu_dp_from(g, src, max_hop),
+        });
+        // Two workers may race to price the same source; keep the first
+        // insert so every caller sees one canonical Arc.
+        let mut cache = self.cache.write().expect("cost cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(row))
+    }
+
+    /// Price the rows for `sources` in parallel, returning them in source
+    /// order. This is the fan-out core shared by [`CostEngine::build_matrix`]
+    /// and [`CostEngine::prefetch`]: workers pull row indices from a shared
+    /// cursor and each writes into its own slot, so the result — and
+    /// everything assembled from it — is identical for any thread count.
+    pub fn rows(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> Vec<Arc<Vec<f64>>> {
+        let workers = self.threads().min(sources.len());
+        if workers <= 1 {
+            sources.iter().map(|&src| self.row(g, src, max_hop, engine)).collect()
+        } else {
+            let slots: Vec<OnceLock<Arc<Vec<f64>>>> =
+                sources.iter().map(|_| OnceLock::new()).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&src) = sources.get(i) else { break };
+                        let row = self.row(g, src, max_hop, engine);
+                        slots[i].set(row).expect("row slot filled twice");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("worker left a row unpriced"))
+                .collect()
+        }
+    }
+
+    /// Warm the cache for `sources` using the parallel worker pool, without
+    /// assembling a matrix — callers that price rows one at a time (the
+    /// heuristic's per-busy-node loop) prefetch first so the sequential
+    /// loop only ever hits the cache.
+    pub fn prefetch(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) {
+        let _ = self.rows(g, sources, max_hop, engine);
+    }
+
+    /// Build the `T_rmin` matrix (Eq. 2): row `r` is
+    /// `data_mb[r] · Σ 1/Lu_e` from `sources[r]` to each destination, `0`
+    /// on the diagonal, `∞` for pairs with no path inside the bound.
+    ///
+    /// Rows are priced in parallel across [`CostEngine::threads`] workers
+    /// and merged in row order — output is identical for every thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `data_mb.len() != sources.len()` or any volume is
+    /// negative or non-finite.
+    pub fn build_matrix(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        destinations: &[NodeId],
+        data_mb: &[f64],
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> CostMatrix {
+        assert_eq!(sources.len(), data_mb.len(), "one D_i per source required");
+        for &d in data_mb {
+            assert!(d.is_finite() && d >= 0.0, "monitoring data volume must be >= 0, got {d}");
+        }
+        let rows = self.rows(g, sources, max_hop, engine);
+        let mut t_rmin = Vec::with_capacity(sources.len() * destinations.len());
+        for (r, &src) in sources.iter().enumerate() {
+            let d = data_mb[r];
+            let row = &rows[r];
+            for &dst in destinations {
+                let c = if src == dst {
+                    // Offloading to yourself is free but the role model
+                    // never produces this pair.
+                    0.0
+                } else {
+                    let inv = row[dst.index()];
+                    if inv.is_finite() {
+                        d * inv
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                t_rmin.push(c);
+            }
+        }
+        CostMatrix { sources: sources.to_vec(), destinations: destinations.to_vec(), t_rmin }
     }
 }
 
@@ -154,15 +332,24 @@ mod tests {
     #[test]
     fn cost_scales_linearly_with_data_volume() {
         let g = line(3, Link::default());
-        let m1 = CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[10.0], None, PathEngine::Enumerate);
-        let m2 = CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[20.0], None, PathEngine::Enumerate);
+        let m1 =
+            CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[10.0], None, PathEngine::Enumerate);
+        let m2 =
+            CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[20.0], None, PathEngine::Enumerate);
         assert!((m2.at(0, 0) / m1.at(0, 0) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn diagonal_pair_is_zero() {
         let g = line(3, Link::default());
-        let m = CostMatrix::build(&g, &[NodeId(1)], &[NodeId(1)], &[5.0], None, PathEngine::HopBoundedDp);
+        let m = CostMatrix::build(
+            &g,
+            &[NodeId(1)],
+            &[NodeId(1)],
+            &[5.0],
+            None,
+            PathEngine::HopBoundedDp,
+        );
         assert_eq!(m.at(0, 0), 0.0);
     }
 
@@ -181,5 +368,132 @@ mod tests {
     fn mismatched_data_len_rejected() {
         let g = line(3, Link::default());
         CostMatrix::build(&g, &[NodeId(0)], &[NodeId(2)], &[], None, PathEngine::Enumerate);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::graph::{EdgeId, Link};
+    use crate::topologies::example7;
+
+    fn fat_tree_instance() -> (Graph, Vec<NodeId>, Vec<NodeId>, Vec<f64>) {
+        let ft = FatTree::with_default_links(4);
+        let mut g = ft.graph.clone();
+        g.retarget_utilization(|e, _| 0.1 + 0.8 * (e.index() % 7) as f64 / 7.0);
+        let sources: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let destinations: Vec<NodeId> = (8..20).map(NodeId).collect();
+        let data: Vec<f64> = (0..8).map(|i| 50.0 + 10.0 * i as f64).collect();
+        (g, sources, destinations, data)
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_sequential() {
+        let (g, src, dst, data) = fat_tree_instance();
+        for engine in [PathEngine::Enumerate, PathEngine::HopBoundedDp] {
+            let seq = CostEngine::sequential().build_matrix(&g, &src, &dst, &data, Some(6), engine);
+            for threads in [2, 3, 8] {
+                let par = CostEngine::with_threads(threads).build_matrix(
+                    &g,
+                    &src,
+                    &dst,
+                    &data,
+                    Some(6),
+                    engine,
+                );
+                let a: Vec<u64> = seq.t_rmin.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = par.t_rmin.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "threads={threads} engine={engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_cached_across_builds() {
+        let (g, src, dst, data) = fat_tree_instance();
+        let eng = CostEngine::with_threads(4);
+        assert_eq!(eng.cached_rows(), 0);
+        let m1 = eng.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::Enumerate);
+        assert_eq!(eng.cached_rows(), src.len());
+        let m2 = eng.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::Enumerate);
+        assert_eq!(eng.cached_rows(), src.len(), "second build must not price new rows");
+        assert_eq!(m1.t_rmin, m2.t_rmin);
+    }
+
+    #[test]
+    fn cached_rows_serve_any_data_volume() {
+        let (g, src, dst, _) = fat_tree_instance();
+        let eng = CostEngine::sequential();
+        let ones = vec![1.0; src.len()];
+        let base = eng.build_matrix(&g, &src, &dst, &ones, Some(6), PathEngine::HopBoundedDp);
+        let n = eng.cached_rows();
+        let doubled = eng.build_matrix(
+            &g,
+            &src,
+            &dst,
+            &vec![2.0; src.len()],
+            Some(6),
+            PathEngine::HopBoundedDp,
+        );
+        assert_eq!(eng.cached_rows(), n, "different D_i must reuse the same rows");
+        for (a, b) in base.t_rmin.iter().zip(&doubled.t_rmin) {
+            if a.is_finite() {
+                assert!((b - 2.0 * a).abs() <= 1e-12 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_epoch_and_invalidates() {
+        let mut g = example7(Link::default());
+        let eng = CostEngine::sequential();
+        let src = [NodeId(0)];
+        let dst = [NodeId(1), NodeId(5)];
+        let before = eng.build_matrix(&g, &src, &dst, &[100.0], None, PathEngine::Enumerate);
+        let e0 = g.epoch();
+        g.link_mut(EdgeId(0)).utilization = 0.05;
+        assert_ne!(g.epoch(), e0, "mutation must move the epoch");
+        let after = eng.build_matrix(&g, &src, &dst, &[100.0], None, PathEngine::Enumerate);
+        assert_eq!(eng.cached_rows(), 2, "one row per epoch");
+        assert!(after.at(0, 0) > before.at(0, 0), "slower link must raise the cost");
+        // evicting dead epochs keeps only the live row
+        eng.retain_epoch(&g);
+        assert_eq!(eng.cached_rows(), 1);
+        let again = eng.build_matrix(&g, &src, &dst, &[100.0], None, PathEngine::Enumerate);
+        assert_eq!(again.t_rmin, after.t_rmin);
+    }
+
+    #[test]
+    fn clone_shares_epoch_until_mutated() {
+        let g = example7(Link::default());
+        let c = g.clone();
+        assert_eq!(g.epoch(), c.epoch());
+        let mut c2 = c.clone();
+        c2.retarget_utilization(|_, _| 0.3);
+        assert_ne!(c2.epoch(), g.epoch());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let eng = CostEngine::new();
+        assert!(eng.threads() >= 1);
+        assert_eq!(CostEngine::with_threads(5).threads(), 5);
+    }
+
+    #[test]
+    fn enumerated_row_matches_per_destination_calls() {
+        use crate::paths::{min_inv_lu_enumerated, min_inv_lu_enumerated_from};
+        let mut g = example7(Link::default());
+        let utils = [0.9, 0.1, 0.8, 0.7, 0.3, 0.6, 0.2];
+        g.retarget_utilization(|e, _| utils[e.index()]);
+        for bound in [Some(1), Some(2), Some(4), None] {
+            let row = min_inv_lu_enumerated_from(&g, NodeId(0), bound);
+            for v in g.nodes().skip(1) {
+                let per = min_inv_lu_enumerated(&g, NodeId(0), v, bound)
+                    .map_or(f64::INFINITY, |(c, _)| c);
+                assert_eq!(row[v.index()].to_bits(), per.to_bits(), "dst {v} bound {bound:?}");
+            }
+        }
     }
 }

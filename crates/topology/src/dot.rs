@@ -68,12 +68,7 @@ pub fn to_dot(g: &Graph, name: &str, styles: &[NodeStyle]) -> String {
 
 /// Render a placement overlay: the base graph plus bold red directed
 /// arrows along each offload route.
-pub fn placement_to_dot(
-    g: &Graph,
-    name: &str,
-    styles: &[NodeStyle],
-    routes: &[Path],
-) -> String {
+pub fn placement_to_dot(g: &Graph, name: &str, styles: &[NodeStyle], routes: &[Path]) -> String {
     let mut out = to_dot(g, name, styles);
     // re-open the document to append route edges
     out.truncate(out.len() - 2); // drop "}\n"

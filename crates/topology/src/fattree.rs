@@ -8,10 +8,9 @@
 //! 16-k → 320 / 2048, 64-k → 5120 / 131072.
 
 use crate::graph::{Graph, Link, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The layer a fat-tree switch sits in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// Core layer, `(k/2)^2` switches.
     Core,
@@ -22,7 +21,7 @@ pub enum Tier {
 }
 
 /// A generated fat-tree: the graph plus structural metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FatTree {
     /// Switch-to-switch topology.
     pub graph: Graph,
@@ -43,7 +42,7 @@ impl FatTree {
     /// # Panics
     /// Panics if `k` is not an even number ≥ 2.
     pub fn new(k: usize, link: Link) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2, got {k}");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2, got {k}");
         let half = k / 2;
         let n_core = half * half;
         let n_per_pod = k; // k/2 agg + k/2 edge

@@ -6,15 +6,14 @@
 //! paper's `Lu_{i,j}` (utilized bandwidth, Mbps) used in the response-time
 //! cost `Tr = D / Lu` (Eq. 1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a [`Graph`]. Stable for the lifetime of the graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Index of an undirected edge in a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -51,7 +50,7 @@ impl fmt::Display for EdgeId {
 /// [multiplied by] the dynamic utilization rate resulting from the data in
 /// transit" (§IV-B). [`Link::lu`] follows that definition verbatim so that
 /// the reproduced cost model matches Eq. 1 exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Physical line rate of the link, in Mbps.
     pub capacity_mbps: f64,
@@ -98,7 +97,7 @@ impl Default for Link {
 }
 
 /// An undirected edge between two nodes carrying a [`Link`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// One endpoint.
     pub a: NodeId,
@@ -130,28 +129,58 @@ impl Edge {
 /// rejection are handled at insertion time ([`Graph::add_edge`] forbids
 /// self-loops, allows parallel edges since fat-tree pods never produce them
 /// but ad-hoc topologies may).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     edges: Vec<Edge>,
     /// `adj[v]` lists `(neighbor, edge)` pairs for node `v`.
     adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Globally-unique state stamp; see [`Graph::epoch`].
+    epoch: u64,
+}
+
+/// Process-global source of graph state stamps. Every stamp is handed out
+/// exactly once, so two graphs share an epoch only when one is an
+/// unmutated clone of the other — which is exactly when cached path costs
+/// keyed by epoch remain valid across both.
+fn next_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Graph {
     /// An empty graph.
     pub fn new() -> Self {
-        Self::default()
+        Graph { edges: Vec::new(), adj: Vec::new(), epoch: next_epoch() }
     }
 
     /// An empty graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Graph { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        Graph { edges: Vec::new(), adj: vec![Vec::new(); n], epoch: next_epoch() }
+    }
+
+    /// The link-state epoch: a process-globally-unique stamp reassigned on
+    /// every mutation (adding nodes or edges, touching a link, retargeting
+    /// utilizations). Clones share their original's stamp until either
+    /// side mutates, so `a.epoch() == b.epoch()` implies `a` and `b` are
+    /// bit-identical — the invariant [`crate::CostEngine`] keys its path
+    /// cost cache on.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Add a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(u32::try_from(self.adj.len()).expect("more than u32::MAX nodes"));
         self.adj.push(Vec::new());
+        self.epoch = next_epoch();
         id
     }
 
@@ -172,6 +201,7 @@ impl Graph {
         self.edges.push(Edge { a, b, link });
         self.adj[a.index()].push((b, id));
         self.adj[b.index()].push((a, id));
+        self.epoch = next_epoch();
         id
     }
 
@@ -224,6 +254,7 @@ impl Graph {
     /// Mutable access to the link state of an edge (dynamic utilization
     /// updates during simulation).
     pub fn link_mut(&mut self, e: EdgeId) -> &mut Link {
+        self.epoch = next_epoch();
         &mut self.edges[e.index()].link
     }
 
@@ -234,6 +265,7 @@ impl Graph {
             assert!((0.0..=1.0).contains(&u), "utilization callback returned {u}");
             self.edges[i].link.utilization = u;
         }
+        self.epoch = next_epoch();
     }
 
     /// Hop distances from `src` to every node (BFS). Unreachable nodes get

@@ -81,7 +81,8 @@ fn masked_shortest(
                 continue;
             }
             let c = inv_lu_edge(g, e);
-            if h > 0 && (layers[h - 1][u.index()] + c - target).abs() <= 1e-12 * target.abs().max(1.0)
+            if h > 0
+                && (layers[h - 1][u.index()] + c - target).abs() <= 1e-12 * target.abs().max(1.0)
             {
                 edges.push(e);
                 nodes.push(u);
@@ -165,10 +166,8 @@ pub fn k_shortest_paths(
                     }
                 }
                 // dedup against accepted and candidates
-                let duplicate = accepted
-                    .iter()
-                    .chain(candidates.iter())
-                    .any(|(_, p)| p.edges == total.edges);
+                let duplicate =
+                    accepted.iter().chain(candidates.iter()).any(|(_, p)| p.edges == total.edges);
                 if !duplicate {
                     candidates.push((cost, total));
                 }

@@ -33,15 +33,17 @@ pub mod fattree;
 pub mod graph;
 pub mod ksp;
 pub mod paths;
+pub mod rng;
 pub mod topologies;
 
-pub use cost::{CostMatrix, PathEngine};
+pub use cost::{CostEngine, CostMatrix, PathEngine};
 pub use dot::{placement_to_dot, to_dot, NodeStyle};
 pub use fattree::{paper_sizes, FatTree, Tier};
 pub use graph::{Edge, EdgeId, Graph, Link, NodeId};
 pub use ksp::k_shortest_paths;
 pub use paths::{
-    min_inv_lu_dp_path,
     count_simple_paths, enumerate_simple_paths, for_each_simple_path, min_inv_lu_dp,
-    min_inv_lu_dp_from, min_inv_lu_enumerated, Path,
+    min_inv_lu_dp_from, min_inv_lu_dp_path, min_inv_lu_enumerated, min_inv_lu_enumerated_from,
+    Path,
 };
+pub use rng::SplitMix64;

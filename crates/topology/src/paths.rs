@@ -18,10 +18,9 @@
 //! paper's response time `Tr = Σ_e D_i / Lu_e`.
 
 use crate::graph::{EdgeId, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A simple path: node sequence plus the edges traversed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Path {
     /// Visited nodes, starting at the source and ending at the destination.
     pub nodes: Vec<NodeId>,
@@ -67,8 +66,13 @@ pub fn inv_lu_edge(g: &Graph, e: EdgeId) -> f64 {
 /// This is a depth-first enumeration whose work grows combinatorially with
 /// `max_hop` — deliberately so, as it reproduces the paper's optimization
 /// cost model (§IV-D complexity analysis).
-pub fn for_each_simple_path<F>(g: &Graph, src: NodeId, dst: NodeId, max_hop: Option<usize>, mut f: F)
-where
+pub fn for_each_simple_path<F>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hop: Option<usize>,
+    mut f: F,
+) where
     F: FnMut(&[NodeId], &[EdgeId], f64),
 {
     if src == dst {
@@ -167,6 +171,56 @@ pub fn min_inv_lu_enumerated(
         }
     });
     best
+}
+
+/// Minimum `Σ 1/Lu_e` from `src` to *every* node within `max_hop` hops by
+/// exhaustive simple-path enumeration. Entry `dist[v]` is `f64::INFINITY`
+/// when `v` is unreachable within the bound; `dist[src]` is `0.0`.
+///
+/// One DFS prices the whole row: every simple path from `src` appears as a
+/// stack prefix exactly once, so each destination sees the same path set —
+/// and therefore bit-identical minima — as a per-destination
+/// [`min_inv_lu_enumerated`] call, at a fraction of the work. This is the
+/// row primitive [`crate::CostEngine`] parallelizes over sources.
+pub fn min_inv_lu_enumerated_from(g: &Graph, src: NodeId, max_hop: Option<usize>) -> Vec<f64> {
+    let n = g.node_count();
+    let bound = max_hop.unwrap_or(usize::MAX);
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src.index()] = 0.0;
+    if bound == 0 || n == 0 {
+        return dist;
+    }
+    let mut visited = vec![false; n];
+    let mut cost_stack: Vec<f64> = vec![0.0];
+    // Iterative DFS over all simple paths: frame = (node, next neighbor idx).
+    let mut frames: Vec<(NodeId, usize)> = vec![(src, 0)];
+    visited[src.index()] = true;
+    while let Some(&mut (v, ref mut idx)) = frames.last_mut() {
+        let neighbors = g.neighbors(v);
+        if *idx >= neighbors.len() {
+            frames.pop();
+            visited[v.index()] = false;
+            cost_stack.pop();
+            continue;
+        }
+        let (w, e) = neighbors[*idx];
+        *idx += 1;
+        if visited[w.index()] {
+            continue;
+        }
+        let new_cost = cost_stack.last().unwrap() + inv_lu_edge(g, e);
+        if new_cost < dist[w.index()] {
+            dist[w.index()] = new_cost;
+        }
+        if frames.len() >= bound {
+            // w sits at the hop budget; nothing beyond it can qualify.
+            continue;
+        }
+        visited[w.index()] = true;
+        cost_stack.push(new_cost);
+        frames.push((w, 0));
+    }
+    dist
 }
 
 /// Minimum `Σ 1/Lu_e` from `src` to *every* node within `max_hop` hops via

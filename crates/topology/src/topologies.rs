@@ -7,9 +7,7 @@
 //! across various network topologies", §III).
 
 use crate::graph::{Graph, Link, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 
 /// A path graph `0 - 1 - ... - (n-1)`.
 pub fn line(n: usize, link: Link) -> Graph {
@@ -50,13 +48,13 @@ pub fn star(n: usize, link: Link) -> Graph {
 /// # Panics
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64, link: Link) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even (n={n}, d={d})");
+    assert!((n * d).is_multiple_of(2), "n*d must be even (n={n}, d={d})");
     assert!(d < n, "degree {d} must be below node count {n}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     'retry: loop {
         // Pairing model: d stubs per node, shuffle, pair consecutive stubs.
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
-        stubs.shuffle(&mut rng);
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        rng.shuffle(&mut stubs);
         let mut seen = std::collections::HashSet::new();
         let mut pairs = Vec::with_capacity(n * d / 2);
         for chunk in stubs.chunks(2) {

@@ -1,166 +1,191 @@
-//! Property-based tests for the topology substrate: the exhaustive path
-//! enumerator and the hop-bounded DP must agree everywhere, enumerated
-//! paths must be simple and within bounds, and generator invariants must
-//! hold for arbitrary parameters.
+//! Property-based tests for the topology substrate, driven by seeded
+//! random instances: the exhaustive path enumerator and the hop-bounded DP
+//! must agree everywhere, enumerated paths must be simple and within
+//! bounds, generator invariants must hold for arbitrary parameters, and
+//! the parallel [`CostEngine`] must reproduce the sequential matrices
+//! bit-for-bit under every thread count.
 
 use dust_topology::{
     count_simple_paths, enumerate_simple_paths, min_inv_lu_dp, min_inv_lu_enumerated,
-    topologies::random_regular, FatTree, Graph, Link, NodeId,
+    topologies::random_regular, CostEngine, FatTree, Graph, Link, NodeId, PathEngine, SplitMix64,
 };
-use proptest::prelude::*;
 
-/// A small random connected graph: a spanning line plus extra random edges,
-/// with randomized link states.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (3usize..10, proptest::collection::vec((0usize..100, 0usize..100, 1u32..10_000, 1u32..100), 0..12))
-        .prop_map(|(n, extras)| {
-            let mut g = Graph::with_nodes(n);
-            for i in 1..n {
-                g.add_edge(
-                    NodeId(i as u32 - 1),
-                    NodeId(i as u32),
-                    Link::new(1000.0, 0.5),
-                );
-            }
-            for (a, b, cap, util) in extras {
-                let (a, b) = (a % n, b % n);
-                if a != b {
-                    g.add_edge(
-                        NodeId(a as u32),
-                        NodeId(b as u32),
-                        Link::new(f64::from(cap), f64::from(util) / 100.0),
-                    );
-                }
-            }
-            g
-        })
+/// A small random connected graph: a spanning line plus extra random
+/// edges, with randomized link states. Deterministic in `seed`.
+fn arb_graph(seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let n = rng.range_u64(3, 10) as usize;
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), Link::new(1000.0, 0.5));
+    }
+    let extras = rng.below(12) as usize;
+    for _ in 0..extras {
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        if a != b {
+            let cap = rng.range_f64(1.0, 10_000.0);
+            let util = rng.range_f64(0.01, 1.0);
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), Link::new(cap, util));
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Enumerated minimum equals DP minimum for every pair and hop bound.
-    #[test]
-    fn dp_matches_enumeration(g in arb_graph(), max_hop in 1usize..7) {
+/// Enumerated minimum equals DP minimum for every pair and hop bound.
+#[test]
+fn dp_matches_enumeration() {
+    for seed in 0..64u64 {
+        let g = arb_graph(seed);
+        let max_hop = 1 + (seed % 6) as usize;
         let n = g.node_count();
         for s in 0..n.min(4) {
             for d in 0..n.min(4) {
-                if s == d { continue; }
+                if s == d {
+                    continue;
+                }
                 let (src, dst) = (NodeId(s as u32), NodeId(d as u32));
                 let e = min_inv_lu_enumerated(&g, src, dst, Some(max_hop))
                     .map(|(c, _)| c)
                     .filter(|c| c.is_finite());
                 let p = min_inv_lu_dp(&g, src, dst, Some(max_hop));
                 match (e, p) {
-                    (Some(a), Some(b)) => prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0),
-                        "enumerate {a} vs dp {b}"),
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "seed {seed}: enumerate {a} vs dp {b}"
+                    ),
                     (None, None) => {}
-                    other => prop_assert!(false, "reachability mismatch: {other:?}"),
+                    other => panic!("seed {seed}: reachability mismatch: {other:?}"),
                 }
-            }
-        }
-    }
-
-    /// Every enumerated path is simple, within the hop bound, and actually a
-    /// walk in the graph.
-    #[test]
-    fn paths_are_simple_and_bounded(g in arb_graph(), max_hop in 1usize..6) {
-        let src = NodeId(0);
-        let dst = NodeId(g.node_count() as u32 - 1);
-        for path in enumerate_simple_paths(&g, src, dst, Some(max_hop)) {
-            prop_assert!(path.hops() <= max_hop);
-            prop_assert_eq!(path.nodes.len(), path.edges.len() + 1);
-            prop_assert_eq!(*path.nodes.first().unwrap(), src);
-            prop_assert_eq!(*path.nodes.last().unwrap(), dst);
-            // simplicity
-            let mut seen = path.nodes.clone();
-            seen.sort_unstable();
-            seen.dedup();
-            prop_assert_eq!(seen.len(), path.nodes.len(), "path revisits a node");
-            // each edge joins consecutive nodes
-            for (w, &e) in path.nodes.windows(2).zip(&path.edges) {
-                let edge = g.edge(e);
-                let pair = (edge.a, edge.b);
-                prop_assert!(pair == (w[0], w[1]) || pair == (w[1], w[0]));
-            }
-        }
-    }
-
-    /// Path counts are monotone non-decreasing in the hop bound.
-    #[test]
-    fn path_count_monotone_in_bound(g in arb_graph()) {
-        let src = NodeId(0);
-        let dst = NodeId(g.node_count() as u32 - 1);
-        let mut prev = 0;
-        for h in 1..=g.node_count() {
-            let c = count_simple_paths(&g, src, dst, Some(h));
-            prop_assert!(c >= prev);
-            prev = c;
-        }
-        prop_assert_eq!(count_simple_paths(&g, src, dst, None), prev,
-            "unbounded must equal the largest bounded count");
-    }
-
-    /// Minimum cost is monotone non-increasing in the hop bound.
-    #[test]
-    fn min_cost_monotone_in_bound(g in arb_graph()) {
-        let src = NodeId(0);
-        let dst = NodeId(g.node_count() as u32 - 1);
-        let mut prev = f64::INFINITY;
-        for h in 1..=g.node_count() {
-            if let Some(c) = min_inv_lu_dp(&g, src, dst, Some(h)) {
-                prop_assert!(c <= prev + 1e-12);
-                prev = c;
-            }
-        }
-    }
-
-    /// Fat-tree sizes follow the closed forms for arbitrary even k.
-    #[test]
-    fn fat_tree_size_formulas(half in 1usize..9) {
-        let k = half * 2;
-        let ft = FatTree::with_default_links(k);
-        prop_assert_eq!(ft.node_count(), 5 * k * k / 4);
-        prop_assert_eq!(ft.edge_count(), k * k * k / 2);
-        prop_assert!(ft.graph.is_connected());
-    }
-
-    /// Random-regular generation really is d-regular and deterministic.
-    #[test]
-    fn random_regular_invariants(n in 4usize..24, seed in any::<u64>()) {
-        let d = 3;
-        let n = if n * d % 2 == 1 { n + 1 } else { n };
-        let g = random_regular(n, d, seed, Link::default());
-        for v in g.nodes() {
-            prop_assert_eq!(g.degree(v), d);
-        }
-        let g2 = random_regular(n, d, seed, Link::default());
-        let e1: Vec<_> = g.edges().iter().map(|e| (e.a, e.b)).collect();
-        let e2: Vec<_> = g2.edges().iter().map(|e| (e.a, e.b)).collect();
-        prop_assert_eq!(e1, e2);
-    }
-
-    /// BFS hop distances satisfy the triangle inequality over edges.
-    #[test]
-    fn bfs_distance_is_metric_over_edges(g in arb_graph()) {
-        let dist = g.hop_distances(NodeId(0));
-        for e in g.edges() {
-            let (da, db) = (dist[e.a.index()], dist[e.b.index()]);
-            if da != usize::MAX && db != usize::MAX {
-                prop_assert!(da.abs_diff(db) <= 1);
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every enumerated path is simple, within the hop bound, and actually a
+/// walk in the graph.
+#[test]
+fn paths_are_simple_and_bounded() {
+    for seed in 0..64u64 {
+        let g = arb_graph(seed);
+        let max_hop = 1 + (seed % 5) as usize;
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        for path in enumerate_simple_paths(&g, src, dst, Some(max_hop)) {
+            assert!(path.hops() <= max_hop);
+            assert_eq!(path.nodes.len(), path.edges.len() + 1);
+            assert_eq!(*path.nodes.first().unwrap(), src);
+            assert_eq!(*path.nodes.last().unwrap(), dst);
+            // simplicity
+            let mut seen = path.nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), path.nodes.len(), "path revisits a node");
+            // each edge joins consecutive nodes
+            for (w, &e) in path.nodes.windows(2).zip(&path.edges) {
+                let edge = g.edge(e);
+                let pair = (edge.a, edge.b);
+                assert!(pair == (w[0], w[1]) || pair == (w[1], w[0]));
+            }
+        }
+    }
+}
 
-    /// Yen's k-shortest paths agree with sorted exhaustive enumeration on
-    /// random graphs, for every k and hop bound.
-    #[test]
-    fn ksp_matches_sorted_enumeration(g in arb_graph(), max_hop in 2usize..6, k in 1usize..6) {
-        use dust_topology::k_shortest_paths;
+/// Path counts are monotone non-decreasing in the hop bound, and the
+/// unbounded count equals the largest bounded one.
+#[test]
+fn path_count_monotone_in_bound() {
+    for seed in 0..48u64 {
+        let g = arb_graph(seed);
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        let mut prev = 0;
+        for h in 1..=g.node_count() {
+            let c = count_simple_paths(&g, src, dst, Some(h));
+            assert!(c >= prev, "seed {seed}");
+            prev = c;
+        }
+        assert_eq!(
+            count_simple_paths(&g, src, dst, None),
+            prev,
+            "unbounded must equal the largest bounded count"
+        );
+    }
+}
+
+/// Minimum cost is monotone non-increasing in the hop bound.
+#[test]
+fn min_cost_monotone_in_bound() {
+    for seed in 0..48u64 {
+        let g = arb_graph(seed);
+        let src = NodeId(0);
+        let dst = NodeId(g.node_count() as u32 - 1);
+        let mut prev = f64::INFINITY;
+        for h in 1..=g.node_count() {
+            if let Some(c) = min_inv_lu_dp(&g, src, dst, Some(h)) {
+                assert!(c <= prev + 1e-12, "seed {seed}");
+                prev = c;
+            }
+        }
+    }
+}
+
+/// Fat-tree sizes follow the closed forms for arbitrary even k.
+#[test]
+fn fat_tree_size_formulas() {
+    for half in 1usize..9 {
+        let k = half * 2;
+        let ft = FatTree::with_default_links(k);
+        assert_eq!(ft.node_count(), 5 * k * k / 4);
+        assert_eq!(ft.edge_count(), k * k * k / 2);
+        assert!(ft.graph.is_connected());
+    }
+}
+
+/// Random-regular generation really is d-regular and deterministic.
+#[test]
+fn random_regular_invariants() {
+    for seed in 0..24u64 {
+        let d = 3;
+        let mut n = 4 + (seed % 20) as usize;
+        if n * d % 2 == 1 {
+            n += 1;
+        }
+        let g = random_regular(n, d, seed, Link::default());
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), d, "seed {seed}");
+        }
+        let g2 = random_regular(n, d, seed, Link::default());
+        let e1: Vec<_> = g.edges().iter().map(|e| (e.a, e.b)).collect();
+        let e2: Vec<_> = g2.edges().iter().map(|e| (e.a, e.b)).collect();
+        assert_eq!(e1, e2);
+    }
+}
+
+/// BFS hop distances satisfy the triangle inequality over edges.
+#[test]
+fn bfs_distance_is_metric_over_edges() {
+    for seed in 0..48u64 {
+        let g = arb_graph(seed);
+        let dist = g.hop_distances(NodeId(0));
+        for e in g.edges() {
+            let (da, db) = (dist[e.a.index()], dist[e.b.index()]);
+            if da != usize::MAX && db != usize::MAX {
+                assert!(da.abs_diff(db) <= 1, "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Yen's k-shortest paths agree with sorted exhaustive enumeration on
+/// random graphs, for every k and hop bound.
+#[test]
+fn ksp_matches_sorted_enumeration() {
+    use dust_topology::k_shortest_paths;
+    for seed in 0..48u64 {
+        let g = arb_graph(seed);
+        let max_hop = 2 + (seed % 4) as usize;
+        let k = 1 + (seed % 5) as usize;
         let src = NodeId(0);
         let dst = NodeId(g.node_count() as u32 - 1);
         let mut expect: Vec<f64> = enumerate_simple_paths(&g, src, dst, Some(max_hop))
@@ -174,15 +199,97 @@ proptest! {
         // infinite-cost (zero-Lu) routes may be ranked differently; only
         // compare the finite regime
         let got_finite: Vec<f64> = got.iter().map(|(c, _)| *c).filter(|c| c.is_finite()).collect();
-        prop_assert_eq!(got_finite.len(), expect.len(),
-            "k={} hop={}: {} vs {}", k, max_hop, got_finite.len(), expect.len());
+        assert_eq!(
+            got_finite.len(),
+            expect.len(),
+            "seed {seed} k={k} hop={max_hop}: {} vs {}",
+            got_finite.len(),
+            expect.len()
+        );
         for (i, (a, b)) in got_finite.iter().zip(&expect).enumerate() {
-            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "rank {i}: {a} vs {b}");
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "seed {seed} rank {i}: {a} vs {b}");
         }
         // structural sanity
         for (c, p) in &got {
-            prop_assert!(p.hops() <= max_hop);
-            prop_assert!((p.inv_lu(&g) - c).abs() <= 1e-9 * (1.0 + c.abs()) || c.is_infinite());
+            assert!(p.hops() <= max_hop);
+            assert!((p.inv_lu(&g) - c).abs() <= 1e-9 * (1.0 + c.abs()) || c.is_infinite());
         }
+    }
+}
+
+/// The parallel `CostEngine` matrix equals the sequential enumerator's
+/// matrix exactly — any topology, any seed, any thread count, both
+/// routing engines (the tentpole's determinism contract).
+#[test]
+fn parallel_cost_engine_matches_sequential_bitwise() {
+    for seed in 0..40u64 {
+        let g = arb_graph(seed);
+        let mut rng = SplitMix64::new(seed ^ 0xC0FFEE);
+        let n = g.node_count();
+        let sources: Vec<NodeId> = (0..n as u32).filter(|v| v % 2 == 0).map(NodeId).collect();
+        let destinations: Vec<NodeId> = (0..n as u32).filter(|v| v % 2 == 1).map(NodeId).collect();
+        let data: Vec<f64> = sources.iter().map(|_| rng.range_f64(1.0, 500.0)).collect();
+        let max_hop = if seed % 3 == 0 { None } else { Some(1 + (seed % 6) as usize) };
+        for engine in [PathEngine::Enumerate, PathEngine::HopBoundedDp] {
+            let seq = CostEngine::sequential().build_matrix(
+                &g,
+                &sources,
+                &destinations,
+                &data,
+                max_hop,
+                engine,
+            );
+            for threads in [2usize, 3, 5, 16] {
+                let par = CostEngine::with_threads(threads).build_matrix(
+                    &g,
+                    &sources,
+                    &destinations,
+                    &data,
+                    max_hop,
+                    engine,
+                );
+                let a: Vec<u64> = seq.t_rmin.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = par.t_rmin.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "seed {seed} threads {threads} engine {engine:?}");
+            }
+        }
+    }
+}
+
+/// Changing any link's utilization moves the graph epoch, so a shared
+/// engine re-prices instead of serving stale rows; rebuilding on the
+/// unchanged graph hits the cache and reproduces the matrix exactly.
+#[test]
+fn cache_invalidates_on_epoch_change() {
+    for seed in 0..24u64 {
+        let mut g = arb_graph(seed);
+        let n = g.node_count();
+        let sources = vec![NodeId(0)];
+        let destinations: Vec<NodeId> = (1..n as u32).map(NodeId).collect();
+        let eng = CostEngine::with_threads(4);
+        let before =
+            eng.build_matrix(&g, &sources, &destinations, &[100.0], None, PathEngine::Enumerate);
+        let cached = eng.cached_rows();
+        let hot =
+            eng.build_matrix(&g, &sources, &destinations, &[100.0], None, PathEngine::Enumerate);
+        assert_eq!(eng.cached_rows(), cached, "seed {seed}: warm rebuild must not re-price");
+        assert_eq!(before.t_rmin, hot.t_rmin);
+        // mutate one link; a fresh sequential engine is the ground truth
+        let epoch = g.epoch();
+        let mut rng = SplitMix64::new(seed ^ 0xBEEF);
+        let e = dust_topology::EdgeId(rng.below(g.edge_count() as u64) as u32);
+        g.link_mut(e).utilization = 0.001;
+        assert_ne!(g.epoch(), epoch, "seed {seed}: mutation must move the epoch");
+        let after =
+            eng.build_matrix(&g, &sources, &destinations, &[100.0], None, PathEngine::Enumerate);
+        let truth = CostEngine::sequential().build_matrix(
+            &g,
+            &sources,
+            &destinations,
+            &[100.0],
+            None,
+            PathEngine::Enumerate,
+        );
+        assert_eq!(after.t_rmin, truth.t_rmin, "seed {seed}: stale row served after mutation");
     }
 }

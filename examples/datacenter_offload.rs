@@ -51,7 +51,14 @@ fn main() {
         if let Some(cpu) = report.mean(dut, "device-cpu", t, end) {
             let mem = report.mean(dut, "device-mem", t, end).unwrap_or(f64::NAN);
             let bar = "#".repeat((cpu / 2.0) as usize);
-            println!("  [{:>3}s..{:>3}s] cpu {:5.1}%  mem {:5.1}%  {}", t / 1000, end / 1000, cpu, mem, bar);
+            println!(
+                "  [{:>3}s..{:>3}s] cpu {:5.1}%  mem {:5.1}%  {}",
+                t / 1000,
+                end / 1000,
+                cpu,
+                mem,
+                bar
+            );
         }
         t = end;
     }

@@ -13,11 +13,7 @@ use dust::topology::topologies;
 fn main() {
     // Leaf-spine fabric: 2 spines, 3 leaves, 2 servers per leaf.
     let graph = topologies::leaf_spine(2, 3, 2, Link::new(25_000.0, 0.3));
-    println!(
-        "leaf-spine fabric: {} nodes / {} links",
-        graph.node_count(),
-        graph.edge_count()
-    );
+    println!("leaf-spine fabric: {} nodes / {} links", graph.node_count(), graph.edge_count());
 
     // Node mix: the first leaf (node 2) is overloaded. Servers are beefier
     // platforms: one offloaded percent only costs them κ = 0.4; one spine
@@ -25,10 +21,10 @@ fn main() {
     let states: Vec<NodeState> = graph
         .nodes()
         .map(|n| match n.0 {
-            0 => NodeState::new(30.0, 5.0),                    // spine 0: candidate
-            1 => NodeState::new(30.0, 5.0).non_offloading(),   // spine 1: legacy
-            2 => NodeState::new(90.0, 220.0),                  // leaf 0: Busy, Cs = 10
-            3 | 4 => NodeState::new(60.0, 5.0),                // other leaves: neutral
+            0 => NodeState::new(30.0, 5.0),                  // spine 0: candidate
+            1 => NodeState::new(30.0, 5.0).non_offloading(), // spine 1: legacy
+            2 => NodeState::new(90.0, 220.0),                // leaf 0: Busy, Cs = 10
+            3 | 4 => NodeState::new(60.0, 5.0),              // other leaves: neutral
             _ => NodeState::new(20.0, 2.0).with_capacity_factor(0.4), // servers
         })
         .collect();

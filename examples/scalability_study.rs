@@ -15,7 +15,10 @@ fn main() {
     // the paper-faithful enumeration engine for the timing figures.
     let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
 
-    println!("{:>6} {:>7} {:>8} {:>12} {:>12} {:>9}", "k", "nodes", "edges", "ILP(ms)", "heur(ms)", "HFR(%)");
+    println!(
+        "{:>6} {:>7} {:>8} {:>12} {:>12} {:>9}",
+        "k", "nodes", "edges", "ILP(ms)", "heur(ms)", "HFR(%)"
+    );
     for (k, nodes, edges) in paper_sizes() {
         let ft = FatTree::with_default_links(k);
         assert_eq!(ft.node_count(), nodes);
@@ -49,7 +52,11 @@ fn main() {
             heur_ms += t.elapsed().as_secs_f64() * 1e3;
             hfr += h.hfr_percent();
         }
-        let ilp = if ilp_runs > 0 { format!("{:12.2}", ilp_ms / f64::from(ilp_runs)) } else { format!("{:>12}", "—") };
+        let ilp = if ilp_runs > 0 {
+            format!("{:12.2}", ilp_ms / f64::from(ilp_runs))
+        } else {
+            format!("{:>12}", "—")
+        };
         println!(
             "{:>6} {:>7} {:>8} {} {:12.2} {:9.2}",
             k,

@@ -42,7 +42,12 @@ fn main() {
     let fleet = fed.query("device-cpu", 0, 600_000, 60_000, dust::telemetry::Aggregation::Mean);
     println!("\nfederated fleet-mean CPU, 60 s buckets:");
     for p in fleet.points() {
-        println!("  t={:>3}s  {:5.1}%  {}", p.ts_ms / 1000, p.value, "*".repeat((p.value / 2.0) as usize));
+        println!(
+            "  t={:>3}s  {:5.1}%  {}",
+            p.ts_ms / 1000,
+            p.value,
+            "*".repeat((p.value / 2.0) as usize)
+        );
     }
 
     // ---- in-situ compression before shipping off-device --------------------
@@ -69,9 +74,6 @@ fn main() {
     ];
     let admitted = admit(&loads, 1000.0);
     for (l, a) in loads.iter().zip(&admitted) {
-        println!(
-            "  {:22?} offered {:6.1} Mbps → admitted {:6.1} Mbps",
-            l.priority, l.mbps, a
-        );
+        println!("  {:22?} offered {:6.1} Mbps → admitted {:6.1} Mbps", l.priority, l.mbps, a);
     }
 }

@@ -1,9 +1,9 @@
-//! Cross-crate property tests: invariants that only hold when every layer
+//! Cross-crate seeded tests: invariants that only hold when every layer
 //! cooperates (topology costs → LP optimum → placement → protocol).
 
 use dust::lp::{solve, Cmp, Problem, Status};
 use dust::prelude::*;
-use proptest::prelude::*;
+use dust::topology::SplitMix64;
 
 /// Rebuild a placement as an explicit LP from first principles and check
 /// the optimizer's β matches.
@@ -14,14 +14,8 @@ fn beta_via_raw_lp(nmdb: &Nmdb, cfg: &DustConfig) -> Option<f64> {
         return Some(0.0);
     }
     let data: Vec<f64> = busy.iter().map(|&b| nmdb.state(b).data_mb).collect();
-    let costs = CostMatrix::build(
-        &nmdb.graph,
-        &busy,
-        &cands,
-        &data,
-        cfg.max_hop,
-        PathEngine::HopBoundedDp,
-    );
+    let costs =
+        CostMatrix::build(&nmdb.graph, &busy, &cands, &data, cfg.max_hop, PathEngine::HopBoundedDp);
     let mut p = Problem::new();
     let mut vars = Vec::new();
     for r in 0..busy.len() {
@@ -31,27 +25,24 @@ fn beta_via_raw_lp(nmdb: &Nmdb, cfg: &DustConfig) -> Option<f64> {
         }
     }
     for (r, &b) in busy.iter().enumerate() {
-        let terms: Vec<_> = (0..cands.len())
-            .filter_map(|c| vars[r * cands.len() + c].map(|v| (v, 1.0)))
-            .collect();
+        let terms: Vec<_> =
+            (0..cands.len()).filter_map(|c| vars[r * cands.len() + c].map(|v| (v, 1.0))).collect();
         p.add_constraint(&terms, Cmp::Eq, nmdb.cs(b, cfg));
     }
     for (c, &o) in cands.iter().enumerate() {
-        let terms: Vec<_> = (0..busy.len())
-            .filter_map(|r| vars[r * cands.len() + c].map(|v| (v, 1.0)))
-            .collect();
+        let terms: Vec<_> =
+            (0..busy.len()).filter_map(|r| vars[r * cands.len() + c].map(|v| (v, 1.0))).collect();
         p.add_constraint(&terms, Cmp::Le, nmdb.cd(o, cfg));
     }
     let s = solve(&p);
     (s.status == Status::Optimal).then_some(s.objective)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The full placement pipeline equals a hand-built LP of Eq. 3.
-    #[test]
-    fn placement_equals_first_principles_lp(seed in any::<u64>()) {
+/// The full placement pipeline equals a hand-built LP of Eq. 3.
+#[test]
+fn placement_equals_first_principles_lp() {
+    for outer in 0..16u64 {
+        let seed = SplitMix64::new(outer).next_u64();
         let ft = FatTree::with_default_links(4);
         let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
         let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
@@ -59,55 +50,67 @@ proptest! {
         let raw = beta_via_raw_lp(&nmdb, &cfg);
         match (p.status, raw) {
             (PlacementStatus::Optimal, Some(beta)) => {
-                prop_assert!((p.beta - beta).abs() <= 1e-5 * (1.0 + beta.abs()),
-                    "pipeline {} vs raw LP {}", p.beta, beta);
+                assert!(
+                    (p.beta - beta).abs() <= 1e-5 * (1.0 + beta.abs()),
+                    "seed {seed}: pipeline {} vs raw LP {}",
+                    p.beta,
+                    beta
+                );
             }
             (PlacementStatus::Infeasible, None) => {}
-            (PlacementStatus::NoBusyNodes, Some(b)) => prop_assert!(b.abs() < 1e-9),
-            (a, b) => prop_assert!(false, "status mismatch {a:?} vs {b:?}"),
+            (PlacementStatus::NoBusyNodes, Some(b)) => assert!(b.abs() < 1e-9, "seed {seed}"),
+            (a, b) => panic!("seed {seed}: status mismatch {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// Applying an optimal placement to the NMDB de-busies every node
-    /// without overloading any candidate.
-    #[test]
-    fn applying_placement_debusies_network(seed in any::<u64>()) {
+/// Applying an optimal placement to the NMDB de-busies every node
+/// without overloading any candidate.
+#[test]
+fn applying_placement_debusies_network() {
+    for outer in 0..16u64 {
+        let seed = SplitMix64::new(1000 + outer).next_u64();
         let ft = FatTree::with_default_links(4);
         let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
         let mut nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
         let p = optimize(&nmdb, &cfg, SolverBackend::Transportation);
         if p.status != PlacementStatus::Optimal {
-            return Ok(());
+            continue;
         }
         for a in &p.assignments {
             nmdb.apply_transfer(a.from, a.to, a.amount);
         }
         for n in nmdb.graph.nodes() {
             let u = nmdb.state(n).utilization;
-            prop_assert!(u <= cfg.c_max + 1e-6 || nmdb.role(n, &cfg) != Role::Busy || u - cfg.c_max < 1e-6,
-                "node {n:?} still busy at {u}");
-            prop_assert!(u <= 100.0 + 1e-9);
+            assert!(
+                u <= cfg.c_max + 1e-6 || nmdb.role(n, &cfg) != Role::Busy || u - cfg.c_max < 1e-6,
+                "seed {seed}: node {n:?} still busy at {u}"
+            );
+            assert!(u <= 100.0 + 1e-9, "seed {seed}");
         }
         // ex-candidates must not exceed CO_max (constraint 3a post-state)
         for &o in &p.candidates {
-            prop_assert!(nmdb.state(o).utilization <= cfg.co_max + 1e-6,
-                "candidate {o:?} overloaded to {}", nmdb.state(o).utilization);
+            assert!(
+                nmdb.state(o).utilization <= cfg.co_max + 1e-6,
+                "seed {seed}: candidate {o:?} overloaded to {}",
+                nmdb.state(o).utilization
+            );
         }
     }
+}
 
-    /// Protocol-driven placement (Manager assembling its own NMDB from
-    /// STATs) agrees with direct optimization on the same state.
-    #[test]
-    fn manager_snapshot_matches_direct_optimization(seed in 0u64..200) {
+/// Protocol-driven placement (Manager assembling its own NMDB from
+/// STATs) agrees with direct optimization on the same state.
+#[test]
+fn manager_snapshot_matches_direct_optimization() {
+    for seed in 0u64..16 {
         let ft = FatTree::with_default_links(2); // 5 switches: quick
         let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
         let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
-        let mut manager = Manager::new(
-            ft.graph.clone(), cfg, SolverBackend::Transportation, 1_000, 4_000,
-        );
-        let mut clients: Vec<Client> = ft.graph.nodes()
-            .map(|n| Client::new(n, true, 100.0))
-            .collect();
+        let mut manager =
+            Manager::new(ft.graph.clone(), cfg, SolverBackend::Transportation, 1_000, 4_000);
+        let mut clients: Vec<Client> =
+            ft.graph.nodes().map(|n| Client::new(n, true, 100.0)).collect();
         for c in clients.iter_mut() {
             let reg = c.register();
             for env in manager.handle(0, &reg) {
@@ -125,9 +128,12 @@ proptest! {
         let (via_manager, _) = manager.run_placement(1_001);
         // link utilizations differ (manager snapshot clones the topology as
         // built), so only compare status and totals — the graph is shared.
-        prop_assert_eq!(direct.status, via_manager.status);
+        assert_eq!(direct.status, via_manager.status, "seed {seed}");
         if direct.status == PlacementStatus::Optimal {
-            prop_assert!((direct.total_offloaded() - via_manager.total_offloaded()).abs() < 1e-6);
+            assert!(
+                (direct.total_offloaded() - via_manager.total_offloaded()).abs() < 1e-6,
+                "seed {seed}"
+            );
         }
     }
 }

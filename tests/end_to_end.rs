@@ -32,8 +32,11 @@ fn fig1_shape_monotone_with_spikes() {
     // at the paper's 20 % line rate: ~100 % steady average, ~600 % spikes
     let top = rows.last().unwrap();
     assert!(top.mean_cpu_percent > 90.0, "mean {}", top.mean_cpu_percent);
-    assert!(top.peak_cpu_percent > 500.0 && top.peak_cpu_percent < 700.0,
-        "peak {}", top.peak_cpu_percent);
+    assert!(
+        top.peak_cpu_percent > 500.0 && top.peak_cpu_percent < 700.0,
+        "peak {}",
+        top.peak_cpu_percent
+    );
 }
 
 #[test]
@@ -45,29 +48,19 @@ fn destination_failure_is_survived() {
         full_monitoring_offload: true,
         ..Default::default()
     };
-    let mut sim = Simulation::new(
-        graph,
-        scenarios::testbed_nodes(dut),
-        TrafficModel::testbed(),
-        cfg,
-    );
+    let mut sim =
+        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
     // kill both servers in turn; the fleet must re-home or orphan cleanly
     sim.inject_failure(40_000, NodeId(4));
     let report = sim.run();
     // agents are conserved: 10 total, somewhere
-    let hosted_elsewhere: usize = sim
-        .nodes()
-        .iter()
-        .map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count())
-        .sum();
+    let hosted_elsewhere: usize =
+        sim.nodes().iter().map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count()).sum();
     let local = sim.nodes()[dut.index()].local_agents.len();
     assert_eq!(local + hosted_elsewhere, 10, "agents lost or duplicated");
     // if the failed node was the host, a replica substitution happened
     if report.replicas_applied > 0 {
-        assert!(
-            sim.nodes()[4].hosted_agents.is_empty(),
-            "failed node must no longer host"
-        );
+        assert!(sim.nodes()[4].hosted_agents.is_empty(), "failed node must no longer host");
     }
 }
 
@@ -80,12 +73,8 @@ fn baseline_run_keeps_everything_local() {
         duration_ms: 60_000,
         ..Default::default()
     };
-    let mut sim = Simulation::new(
-        graph,
-        scenarios::testbed_nodes(dut),
-        TrafficModel::testbed(),
-        cfg,
-    );
+    let mut sim =
+        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
     let report = sim.run();
     assert_eq!(report.transfers_applied, 0);
     assert_eq!(sim.nodes()[dut.index()].local_agents.len(), 10);
@@ -110,14 +99,8 @@ fn simulation_is_deterministic_across_runs() {
     let r2 = build().run();
     let (_, dut) = testbed_topology();
     assert_eq!(r1.transfers_applied, r2.transfers_applied);
-    assert_eq!(
-        r1.mean(dut, "device-cpu", 0, 60_000),
-        r2.mean(dut, "device-cpu", 0, 60_000)
-    );
-    assert_eq!(
-        r1.mean(dut, "device-mem", 0, 60_000),
-        r2.mean(dut, "device-mem", 0, 60_000)
-    );
+    assert_eq!(r1.mean(dut, "device-cpu", 0, 60_000), r2.mean(dut, "device-cpu", 0, 60_000));
+    assert_eq!(r1.mean(dut, "device-mem", 0, 60_000), r2.mean(dut, "device-mem", 0, 60_000));
 }
 
 #[test]
@@ -143,11 +126,8 @@ fn diurnal_traffic_drives_offload_and_reclaim() {
     let report = sim.run();
     assert!(report.transfers_applied > 0, "peak traffic must trigger offload");
     // conservation again
-    let hosted: usize = sim
-        .nodes()
-        .iter()
-        .map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count())
-        .sum();
+    let hosted: usize =
+        sim.nodes().iter().map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count()).sum();
     assert_eq!(sim.nodes()[dut.index()].local_agents.len() + hosted, 10);
 }
 
@@ -162,12 +142,8 @@ fn telemetry_flows_recorded_without_loss_on_idle_fabric() {
         full_monitoring_offload: true,
         ..Default::default()
     };
-    let mut sim = Simulation::new(
-        graph,
-        scenarios::testbed_nodes(dut),
-        TrafficModel::testbed(),
-        cfg,
-    );
+    let mut sim =
+        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
     let report = sim.run();
     assert!(report.transfers_applied > 0);
     let db = report.federation.store(dut).expect("DUT records flow series");

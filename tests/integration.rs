@@ -75,10 +75,8 @@ fn protocol_round_trip_reaches_confirmed_hosting() {
     // manual wiring (no simulator): manager + 3 clients on a line
     let g = topologies::line(3, Link::default());
     let cfg = paper_cfg();
-    let mut manager =
-        Manager::new(g, cfg, SolverBackend::Transportation, 1_000, 4_000);
-    let mut clients: Vec<Client> =
-        (0..3).map(|i| Client::new(NodeId(i), true, 80.0)).collect();
+    let mut manager = Manager::new(g, cfg, SolverBackend::Transportation, 1_000, 4_000);
+    let mut clients: Vec<Client> = (0..3).map(|i| Client::new(NodeId(i), true, 80.0)).collect();
 
     for c in clients.iter_mut() {
         let reg = c.register();
@@ -90,8 +88,8 @@ fn protocol_round_trip_reaches_confirmed_hosting() {
     for (i, util) in [(0u32, 90.0), (1, 60.0), (2, 20.0)] {
         clients[i as usize].observe(util, 25.0);
     }
-    for i in 0..3 {
-        for m in clients[i].tick(1_000) {
+    for c in clients.iter_mut().take(3) {
+        for m in c.tick(1_000) {
             manager.handle(1_000, &m);
         }
     }
@@ -181,19 +179,9 @@ fn forecaster_predicts_overload_before_it_happens() {
     };
     // ramp from idle to 20 % line rate over the run
     let traffic = TrafficModel::Ramp { from: 0.0, to: 0.2, duration_ms: 120_000 };
-    let mut sim = Simulation::new(
-        graph,
-        dust::sim::scenarios::testbed_nodes(dut),
-        traffic,
-        cfg,
-    );
+    let mut sim = Simulation::new(graph, dust::sim::scenarios::testbed_nodes(dut), traffic, cfg);
     let report = sim.run();
-    let series = report
-        .federation
-        .store(dut)
-        .unwrap()
-        .series("device-cpu")
-        .unwrap();
+    let series = report.federation.store(dut).unwrap().series("device-cpu").unwrap();
     let c_max = 25.0; // the calm reading crosses ~25 % mid-ramp
     let mut forecaster = TrendForecaster::default_tuning();
     let mut predicted_at: Option<u64> = None;
