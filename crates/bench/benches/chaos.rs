@@ -1,0 +1,35 @@
+//! Lossy-control-plane benchmarks: what a degrading message transport
+//! costs in wall-clock (retries and duplicate deliveries mean more
+//! events per simulated second) and in protocol outcome — transfers
+//! applied and time-to-first-offload versus loss rate.
+
+use dust::prelude::*;
+use dust_bench::harness::Runner;
+
+fn main() {
+    let group = Runner::group("chaos");
+    for &loss in &[0.0, 0.1, 0.2, 0.4] {
+        group.bench(&format!("testbed-60s/loss-{}", (loss * 100.0) as u32), || {
+            chaos(loss, 60_000, 7)
+        });
+    }
+
+    // outcome table: the protocol-quality side of the same sweep
+    println!("\n## chaos outcomes (120 simulated seconds, seed 7)");
+    println!(
+        "{:<8} {:>10} {:>6} {:>9} {:>10} {:>15}",
+        "loss%", "transfers", "reps", "retries", "abandoned", "first-offload"
+    );
+    for r in chaos_sweep(&[0.0, 0.05, 0.1, 0.2, 0.4], 120_000, 7) {
+        println!(
+            "{:<8} {:>10} {:>6} {:>9} {:>10} {:>15}",
+            format!("{:.0}", r.loss * 100.0),
+            r.transfers,
+            r.replicas,
+            r.offer_retries,
+            r.offers_abandoned,
+            r.first_transfer_ms.map_or("never".into(), |ms| format!("{:.1}s", ms as f64 / 1e3)),
+        );
+        assert_eq!(r.agents_present, r.agents_expected, "conservation broke in a bench run");
+    }
+}

@@ -34,7 +34,9 @@ pub fn time<T>(mut f: impl FnMut() -> T) -> Duration {
         }
         best = best.min(t.elapsed() / iters);
     }
-    best
+    // a fully optimized-out closure can divide down to < 1 ns; clamp so
+    // "faster than the clock resolves" never reads as a zero duration
+    best.max(Duration::from_nanos(1))
 }
 
 /// Render a duration with a unit fitting its magnitude.

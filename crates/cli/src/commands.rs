@@ -68,6 +68,104 @@ impl Options {
     }
 }
 
+/// Options for `dustctl sim` (the chaos testbed run).
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Drop probability applied in both directions.
+    pub loss: f64,
+    /// Duplication probability applied in both directions.
+    pub dup: f64,
+    /// Base propagation delay per message, ms.
+    pub delay_ms: u64,
+    /// Extra uniform delay in `0..=jitter`, ms (reorders when large).
+    pub jitter_ms: u64,
+    /// Simulated duration, ms.
+    pub duration_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Sweep the canned loss ladder instead of one `--loss` run.
+    pub sweep: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            loss: 0.0,
+            dup: 0.0,
+            delay_ms: 0,
+            jitter_ms: 0,
+            duration_ms: 120_000,
+            seed: 0,
+            sweep: false,
+        }
+    }
+}
+
+/// `dustctl sim`: run the Fig. 5 testbed under an imperfect control plane
+/// and report what the retry/expiry machinery did about it. Exits nonzero
+/// (via `Err`) if a conservation invariant breaks — the whole point of
+/// the command is that it never should.
+pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
+    for (flag, p) in [("--loss", opts.loss), ("--dup", opts.dup)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("{flag} must lie in [0, 1], got {p}"));
+        }
+    }
+    if opts.duration_ms == 0 {
+        return Err("--duration must be positive".into());
+    }
+    let results: Vec<ChaosResult> = if opts.sweep {
+        [0.0, 0.05, 0.1, 0.2, 0.4]
+            .iter()
+            .map(|&loss| {
+                let faults = FaultConfig::symmetric(FaultProfile {
+                    drop: loss,
+                    duplicate: loss / 2.0,
+                    delay_ms: 20,
+                    jitter_ms: 100,
+                });
+                chaos_with_faults(faults, opts.duration_ms, opts.seed)
+            })
+            .collect()
+    } else {
+        let faults = FaultConfig::symmetric(FaultProfile {
+            drop: opts.loss,
+            duplicate: opts.dup,
+            delay_ms: opts.delay_ms,
+            jitter_ms: opts.jitter_ms,
+        });
+        vec![chaos_with_faults(faults, opts.duration_ms, opts.seed)]
+    };
+    let mut out = format!(
+        "testbed chaos run: {:.0}s simulated, seed {}\n\n{}",
+        opts.duration_ms as f64 / 1000.0,
+        opts.seed,
+        crate::format::render_chaos(&results)
+    );
+    for r in &results {
+        if r.agents_present != r.agents_expected {
+            return Err(format!(
+                "loss {:.0}%: {} of {} monitor agents lost — conservation broken",
+                r.loss * 100.0,
+                r.agents_expected - r.agents_present.min(r.agents_expected),
+                r.agents_expected
+            ));
+        }
+        if !r.ledgers_consistent {
+            return Err(format!("loss {:.0}%: ledgers diverged", r.loss * 100.0));
+        }
+        if r.unconfirmed_stale > 0 {
+            return Err(format!(
+                "loss {:.0}%: {} unconfirmed offers leaked past the retry budget",
+                r.loss * 100.0,
+                r.unconfirmed_stale
+            ));
+        }
+    }
+    out.push_str("\ninvariants: agents conserved, ledgers consistent, no leaked offers\n");
+    Ok(out)
+}
+
 fn route_string(a: &Assignment) -> String {
     match &a.route {
         Some(r) => r.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join("→"),
@@ -344,5 +442,37 @@ mod tests {
         let o = Options { simplex: true, enumerate_paths: true, ..Default::default() };
         let out = cmd_optimize(&fig4(), &o).unwrap();
         assert!(out.contains("status: Optimal"));
+    }
+
+    #[test]
+    fn sim_lossy_run_reports_invariants() {
+        let o = SimOptions {
+            loss: 0.2,
+            dup: 0.1,
+            delay_ms: 20,
+            jitter_ms: 100,
+            duration_ms: 60_000,
+            seed: 17,
+            ..Default::default()
+        };
+        let out = cmd_sim(&o).unwrap();
+        assert!(out.contains("loss%"), "{out}");
+        assert!(out.contains("20.0"), "{out}");
+        assert!(out.contains("invariants: agents conserved"), "{out}");
+    }
+
+    #[test]
+    fn sim_sweep_emits_one_row_per_loss_rate() {
+        let o = SimOptions { sweep: true, duration_ms: 30_000, seed: 3, ..Default::default() };
+        let out = cmd_sim(&o).unwrap();
+        // header + five ladder rows + trailing invariant line
+        assert_eq!(out.lines().filter(|l| l.ends_with("ok")).count(), 5, "{out}");
+    }
+
+    #[test]
+    fn sim_rejects_bad_probabilities() {
+        assert!(cmd_sim(&SimOptions { loss: 1.5, ..Default::default() }).is_err());
+        assert!(cmd_sim(&SimOptions { dup: -0.1, ..Default::default() }).is_err());
+        assert!(cmd_sim(&SimOptions { duration_ms: 0, ..Default::default() }).is_err());
     }
 }

@@ -173,6 +173,37 @@ pub fn render_nmdb(nmdb: &Nmdb) -> String {
     out
 }
 
+/// Render chaos-run results as an aligned table (`dustctl sim`): one row
+/// per loss rate with delivery counters, retry work, convergence time,
+/// and the two invariant columns.
+pub fn render_chaos(rows: &[ChaosResult]) -> String {
+    let mut out = String::from(
+        "loss%   sent  dropped  dup  retries  abandoned  transfers  reps  first-offload  agents  ledgers\n",
+    );
+    for r in rows {
+        let first = match r.first_transfer_ms {
+            Some(ms) => format!("{:.1}s", ms as f64 / 1000.0),
+            None => "never".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>5.1} {:>6} {:>8} {:>4} {:>8} {:>10} {:>10} {:>5} {:>14} {:>4}/{:<2} {:>8}\n",
+            r.loss * 100.0,
+            r.msgs_sent,
+            r.msgs_dropped,
+            r.msgs_duplicated,
+            r.offer_retries,
+            r.offers_abandoned,
+            r.transfers,
+            r.replicas,
+            first,
+            r.agents_present,
+            r.agents_expected,
+            if r.ledgers_consistent { "ok" } else { "DIVERGED" },
+        ));
+    }
+    out
+}
+
 /// A documented sample file (the Fig. 4 topology) for `dustctl example`.
 pub fn example_file() -> String {
     "# DUST network state — the paper's Fig. 4 example\n\

@@ -8,7 +8,9 @@
 //! dustctl zoned net.dust --zone-size 80 --sweep
 //! ```
 
-use dust_cli::commands::{cmd_dot, cmd_heuristic, cmd_optimize, cmd_zoned, roles, Options};
+use dust_cli::commands::{
+    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_zoned, roles, Options, SimOptions,
+};
 use dust_cli::format::{example_file, parse_nmdb};
 
 const USAGE: &str = "usage: dustctl <command> [file] [options]
@@ -21,6 +23,7 @@ commands:
   zoned     <file> --zone-size N [--sweep]
                                per-zone placement, optional cross-zone sweep
   dot       <file>             Graphviz view: roles colored + chosen routes
+  sim                          chaos-run the testbed under a lossy control plane
 
 options (all commands taking a file):
   --c-max X     Busy threshold (default 80)
@@ -31,7 +34,17 @@ options (all commands taking a file):
   --simplex     use the general simplex instead of the transportation solver
   --threads N   T_rmin pricing threads (default: one per core)
 
-exit status: 0 on success, 1 when no feasible placement exists, 2 on usage errors";
+sim options:
+  --loss P      drop probability per message, both directions (default 0)
+  --dup P       duplication probability per message (default 0)
+  --delay MS    base propagation delay per message (default 0)
+  --jitter MS   extra uniform delay in 0..=MS, reorders messages (default 0)
+  --duration MS simulated time (default 120000)
+  --seed N      master seed (default 0)
+  --sweep       sweep loss 0/5/10/20/40% instead of a single --loss run
+
+exit status: 0 on success, 1 when no feasible placement exists or a sim
+invariant breaks, 2 on usage errors";
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("dustctl: {msg}\n\n{USAGE}");
@@ -47,6 +60,34 @@ fn main() {
     }
     if cmd == "-h" || cmd == "--help" {
         println!("{USAGE}");
+        return;
+    }
+    if cmd == "sim" {
+        let mut s = SimOptions::default();
+        let mut it = args.iter().skip(1);
+        let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
+            let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
+            v.parse().unwrap_or_else(|_| fail(format!("{flag}: invalid number {v:?}")))
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--loss" => s.loss = numeric(&mut it, "--loss"),
+                "--dup" => s.dup = numeric(&mut it, "--dup"),
+                "--delay" => s.delay_ms = numeric(&mut it, "--delay") as u64,
+                "--jitter" => s.jitter_ms = numeric(&mut it, "--jitter") as u64,
+                "--duration" => s.duration_ms = numeric(&mut it, "--duration") as u64,
+                "--seed" => s.seed = numeric(&mut it, "--seed") as u64,
+                "--sweep" => s.sweep = true,
+                other => fail(format!("sim: unknown option {other:?}")),
+            }
+        }
+        match cmd_sim(&s) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("dustctl: {e}");
+                std::process::exit(1)
+            }
+        }
         return;
     }
     let Some(path) = args.get(1).cloned() else { fail(format!("{cmd}: missing <file>")) };

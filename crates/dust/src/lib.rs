@@ -60,8 +60,9 @@ pub mod prelude {
     };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
     pub use dust_sim::{
-        evaluate_flows, fig1, fig6, fleet, testbed_topology, FlowOutcome, NodeSpec, SimConfig,
-        SimNode, SimReport, Simulation, TelemetryFlow, TrafficModel,
+        chaos, chaos_sweep, chaos_with_faults, evaluate_flows, fig1, fig6, fleet, testbed_topology,
+        ChaosResult, FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimConfig, SimNode,
+        SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
     };
     pub use dust_telemetry::{
         aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,

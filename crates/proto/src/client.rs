@@ -4,10 +4,16 @@
 //! current time, its local resource readings, and any Manager messages; it
 //! emits the `ClientMsg`s the protocol requires. No real clocks or sockets
 //! — the discrete-event simulator and unit tests drive it deterministically.
+//!
+//! The machine is hardened for lossy transports: the registration
+//! announcement retransmits until the Manager's `ACK` arrives, duplicated
+//! `Offload-Request`/`REP` deliveries re-confirm instead of double-booking,
+//! and released request ids are remembered so a late duplicate of an old
+//! offer can never resurrect a hosting the Manager already ended.
 
 use crate::messages::{ClientMsg, ManagerMsg, RequestId};
 use dust_topology::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Registration lifecycle of a client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +49,13 @@ pub struct Client {
     update_interval_ms: Option<u64>,
     last_stat_ms: Option<u64>,
     last_keepalive_ms: Option<u64>,
+    /// When the last `Offload-capable` announcement went out, ms.
+    last_register_ms: Option<u64>,
     /// Workloads hosted for Busy nodes, by request id.
     hosted: BTreeMap<RequestId, HostedWorkload>,
+    /// Request ids this client already released: a late duplicate of an
+    /// old offer must not resurrect a hosting the Manager ended.
+    released: BTreeSet<RequestId>,
     /// Maximum utilization this client will accept before refusing an
     /// `Offload-Request` (its own protection threshold).
     accept_ceiling: f64,
@@ -58,6 +69,10 @@ pub struct Client {
 /// 4× as often as they report STATs so failures are caught quickly.
 const KEEPALIVE_DIVISOR: u64 = 4;
 
+/// Retransmit cadence for the registration announcement while no ACK has
+/// arrived (the transport may have dropped either direction).
+const REGISTER_RETRY_MS: u64 = 1_000;
+
 impl Client {
     /// A new, unregistered client.
     pub fn new(node: NodeId, capable: bool, accept_ceiling: f64) -> Self {
@@ -69,7 +84,9 @@ impl Client {
             update_interval_ms: None,
             last_stat_ms: None,
             last_keepalive_ms: None,
+            last_register_ms: None,
             hosted: BTreeMap::new(),
+            released: BTreeSet::new(),
             accept_ceiling,
             utilization: 0.0,
             data_mb: 0.0,
@@ -100,22 +117,47 @@ impl Client {
     }
 
     /// Begin registration: emits the `Offload-capable` message (§III-B).
-    pub fn register(&mut self) -> ClientMsg {
+    /// While the ACK is outstanding, [`Client::tick`] keeps retransmitting
+    /// the announcement every [`REGISTER_RETRY_MS`].
+    pub fn register(&mut self, now_ms: u64) -> ClientMsg {
         self.phase = ClientPhase::Registering;
+        self.last_register_ms = Some(now_ms);
         ClientMsg::OffloadCapable { node: self.node, capable: self.capable }
     }
 
-    /// Process one Manager message, possibly emitting a reply.
+    /// Process one Manager message, possibly emitting a reply. Every arm is
+    /// idempotent: redelivering any message leaves the ledger unchanged.
     pub fn handle(&mut self, now_ms: u64, msg: &ManagerMsg) -> Option<ClientMsg> {
         match msg {
             ManagerMsg::Ack { update_interval_ms } => {
-                self.phase = ClientPhase::Active;
-                self.update_interval_ms = Some(*update_interval_ms);
-                // first STAT goes out on the next tick
-                self.last_stat_ms = Some(now_ms);
+                // Only the first ACK matters; a duplicated ACK must not
+                // reset the STAT clock of an already-active client.
+                if self.phase != ClientPhase::Active {
+                    self.phase = ClientPhase::Active;
+                    self.update_interval_ms = Some(*update_interval_ms);
+                    // first STAT goes out on the next tick
+                    self.last_stat_ms = Some(now_ms);
+                }
                 None
             }
             ManagerMsg::OffloadRequest { request, from, amount, data_mb, route: _ } => {
+                if self.released.contains(request) {
+                    // late duplicate of an offer the Manager already ended
+                    return Some(ClientMsg::OffloadAck {
+                        node: self.node,
+                        request: *request,
+                        accept: false,
+                    });
+                }
+                if self.hosted.contains_key(request) {
+                    // duplicated delivery (or a Manager retry after a lost
+                    // ACK): re-confirm without double-booking
+                    return Some(ClientMsg::OffloadAck {
+                        node: self.node,
+                        request: *request,
+                        accept: true,
+                    });
+                }
                 // Accept only while the added load keeps us under our own
                 // ceiling (the QoS guarantee of §III-C: remote nodes must
                 // not be degraded).
@@ -129,37 +171,55 @@ impl Client {
                 }
                 Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept })
             }
-            ManagerMsg::Rep { request, failed: _, from, amount } => {
+            ManagerMsg::Rep { request, failed: _, from, amount, data_mb, route: _ } => {
+                if self.released.contains(request) {
+                    return Some(ClientMsg::OffloadAck {
+                        node: self.node,
+                        request: *request,
+                        accept: false,
+                    });
+                }
                 // Replica substitution: unconditional hosting order from the
-                // Manager, which already verified capacity from STATs.
-                self.hosted.insert(
-                    *request,
-                    HostedWorkload { from: *from, amount: *amount, data_mb: 0.0 },
-                );
+                // Manager, which already verified capacity from STATs. A
+                // duplicated REP re-confirms without re-inserting.
+                self.hosted.entry(*request).or_insert(HostedWorkload {
+                    from: *from,
+                    amount: *amount,
+                    data_mb: *data_mb,
+                });
                 Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept: true })
             }
             ManagerMsg::Release { request } => {
                 self.hosted.remove(request);
+                self.released.insert(*request);
                 None
             }
         }
     }
 
-    /// Advance the clock; emits due periodic messages (`STAT`, and
-    /// `Keepalive` while hosting).
+    /// Advance the clock; emits due periodic messages: the registration
+    /// retransmit while unacknowledged, then `STAT` (and `Keepalive` while
+    /// hosting) once active.
     pub fn tick(&mut self, now_ms: u64) -> Vec<ClientMsg> {
         let mut out = Vec::new();
-        if self.phase != ClientPhase::Active {
-            return out;
+        let due = |last: Option<u64>, period: u64| match last {
+            None => true,
+            Some(t) => now_ms.saturating_sub(t) >= period,
+        };
+        match self.phase {
+            ClientPhase::Idle => return out,
+            ClientPhase::Registering => {
+                if due(self.last_register_ms, REGISTER_RETRY_MS) {
+                    out.push(self.register(now_ms));
+                }
+                return out;
+            }
+            ClientPhase::Active => {}
         }
         let interval = self.update_interval_ms.expect("active client has an interval");
         if interval == 0 {
             return out;
         }
-        let due = |last: Option<u64>, period: u64| match last {
-            None => true,
-            Some(t) => now_ms.saturating_sub(t) >= period,
-        };
         if due(self.last_stat_ms, interval) {
             self.last_stat_ms = Some(now_ms);
             out.push(ClientMsg::Stat {
@@ -185,7 +245,7 @@ mod tests {
 
     fn active_client() -> Client {
         let mut c = Client::new(NodeId(1), true, 80.0);
-        let _ = c.register();
+        let _ = c.register(0);
         c.handle(0, &ManagerMsg::Ack { update_interval_ms: 1000 });
         c
     }
@@ -200,15 +260,51 @@ mod tests {
         }
     }
 
+    fn rep(id: u64, amount: f64) -> ManagerMsg {
+        ManagerMsg::Rep {
+            request: RequestId(id),
+            failed: NodeId(9),
+            from: NodeId(0),
+            amount,
+            data_mb: 35.0,
+            route: None,
+        }
+    }
+
     #[test]
     fn registration_flow() {
         let mut c = Client::new(NodeId(2), true, 80.0);
         assert_eq!(c.phase(), ClientPhase::Idle);
-        let m = c.register();
+        let m = c.register(0);
         assert_eq!(m, ClientMsg::OffloadCapable { node: NodeId(2), capable: true });
         assert_eq!(c.phase(), ClientPhase::Registering);
         c.handle(0, &ManagerMsg::Ack { update_interval_ms: 500 });
         assert_eq!(c.phase(), ClientPhase::Active);
+    }
+
+    #[test]
+    fn registration_retransmits_until_ack() {
+        let mut c = Client::new(NodeId(2), true, 80.0);
+        let _ = c.register(0); // lost on the wire
+        assert!(c.tick(500).is_empty(), "not due yet");
+        let again = c.tick(1_000);
+        assert_eq!(again, vec![ClientMsg::OffloadCapable { node: NodeId(2), capable: true }]);
+        // still unacknowledged: keeps going
+        assert_eq!(c.tick(2_000).len(), 1);
+        c.handle(2_100, &ManagerMsg::Ack { update_interval_ms: 1000 });
+        assert_eq!(c.phase(), ClientPhase::Active);
+        // once active, ticks emit STATs, not registrations
+        let msgs = c.tick(4_000);
+        assert!(msgs.iter().all(|m| matches!(m, ClientMsg::Stat { .. })));
+    }
+
+    #[test]
+    fn duplicate_ack_does_not_reset_stat_clock() {
+        let mut c = active_client();
+        c.observe(42.0, 10.0);
+        // STAT due at 1000; a duplicated ACK at 900 must not postpone it
+        c.handle(900, &ManagerMsg::Ack { update_interval_ms: 1000 });
+        assert_eq!(c.tick(1_000).len(), 1);
     }
 
     #[test]
@@ -253,6 +349,46 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_request_reconfirms_without_double_booking() {
+        let mut c = active_client();
+        c.observe(60.0, 10.0);
+        let first = c.handle(0, &request(3, 15.0)).unwrap();
+        assert!(matches!(first, ClientMsg::OffloadAck { accept: true, .. }));
+        assert_eq!(c.hosted_amount(), 15.0);
+        // the duplicate would fail the ceiling check (60 + 15 + 15 > 80) if
+        // it were treated as a fresh offer — it must re-confirm instead
+        let dup = c.handle(5, &request(3, 15.0)).unwrap();
+        assert_eq!(
+            dup,
+            ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(3), accept: true }
+        );
+        assert_eq!(c.hosted_amount(), 15.0, "no double-booking");
+    }
+
+    #[test]
+    fn late_duplicate_after_release_is_refused() {
+        let mut c = active_client();
+        c.observe(10.0, 5.0);
+        c.handle(0, &request(4, 10.0));
+        c.handle(10, &ManagerMsg::Release { request: RequestId(4) });
+        assert_eq!(c.hosted_amount(), 0.0);
+        // a delayed duplicate of the original offer arrives after the end
+        // of the arrangement: it must not resurrect the hosting
+        let reply = c.handle(20, &request(4, 10.0)).unwrap();
+        assert_eq!(
+            reply,
+            ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(4), accept: false }
+        );
+        assert_eq!(c.hosted_amount(), 0.0);
+        // same for a late REP duplicate
+        c.handle(30, &rep(5, 10.0));
+        c.handle(40, &ManagerMsg::Release { request: RequestId(5) });
+        let reply = c.handle(50, &rep(5, 10.0)).unwrap();
+        assert!(matches!(reply, ClientMsg::OffloadAck { accept: false, .. }));
+        assert_eq!(c.hosted_amount(), 0.0);
+    }
+
+    #[test]
     fn hosting_raises_reported_utilization() {
         let mut c = active_client();
         c.observe(30.0, 5.0);
@@ -285,27 +421,27 @@ mod tests {
         assert_eq!(c.hosted_amount(), 10.0);
         c.handle(10, &ManagerMsg::Release { request: RequestId(5) });
         assert_eq!(c.hosted_amount(), 0.0);
+        // duplicated Release is a no-op
+        c.handle(20, &ManagerMsg::Release { request: RequestId(5) });
+        assert_eq!(c.hosted_amount(), 0.0);
     }
 
     #[test]
-    fn rep_order_is_unconditional() {
+    fn rep_order_is_unconditional_and_carries_volume() {
         let mut c = active_client();
         c.observe(79.0, 5.0); // near ceiling — a REQUEST would be refused
-        let reply = c
-            .handle(
-                0,
-                &ManagerMsg::Rep {
-                    request: RequestId(6),
-                    failed: NodeId(9),
-                    from: NodeId(0),
-                    amount: 10.0,
-                },
-            )
-            .unwrap();
+        let reply = c.handle(0, &rep(6, 10.0)).unwrap();
         match reply {
             ClientMsg::OffloadAck { accept, .. } => assert!(accept),
             other => panic!("{other:?}"),
         }
+        assert_eq!(c.hosted_amount(), 10.0);
+        // the telemetry volume survives the re-homing
+        let (_, w) = c.hosted().next().unwrap();
+        assert_eq!(w.data_mb, 35.0);
+        // duplicated REP re-confirms without double-booking
+        let dup = c.handle(5, &rep(6, 10.0)).unwrap();
+        assert!(matches!(dup, ClientMsg::OffloadAck { accept: true, .. }));
         assert_eq!(c.hosted_amount(), 10.0);
     }
 
@@ -313,14 +449,17 @@ mod tests {
     fn inactive_client_stays_silent() {
         let mut c = Client::new(NodeId(7), true, 80.0);
         assert!(c.tick(10_000).is_empty());
-        let _ = c.register();
-        assert!(c.tick(20_000).is_empty(), "no STATs before the ACK");
+        let _ = c.register(10_000);
+        assert!(
+            c.tick(20_000).iter().all(|m| matches!(m, ClientMsg::OffloadCapable { .. })),
+            "no STATs before the ACK — only registration retries"
+        );
     }
 
     #[test]
     fn incapable_node_refuses_requests() {
         let mut c = Client::new(NodeId(8), false, 80.0);
-        let _ = c.register();
+        let _ = c.register(0);
         c.handle(0, &ManagerMsg::Ack { update_interval_ms: 1000 });
         c.observe(10.0, 1.0);
         let reply = c.handle(0, &request(7, 5.0)).unwrap();

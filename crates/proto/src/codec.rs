@@ -238,12 +238,14 @@ pub fn encode_manager(msg: &ManagerMsg) -> Vec<u8> {
             put_f64(&mut out, *data_mb);
             put_route(&mut out, route);
         }
-        ManagerMsg::Rep { request, failed, from, amount } => {
+        ManagerMsg::Rep { request, failed, from, amount, data_mb, route } => {
             out.push(TAG_REP);
             put_varint(&mut out, request.0);
             put_varint(&mut out, u64::from(failed.0));
             put_varint(&mut out, u64::from(from.0));
             put_f64(&mut out, *amount);
+            put_f64(&mut out, *data_mb);
+            put_route(&mut out, route);
         }
         ManagerMsg::Release { request } => {
             out.push(TAG_RELEASE);
@@ -270,6 +272,8 @@ pub fn decode_manager(buf: &[u8]) -> Result<ManagerMsg, CodecError> {
             failed: read_node(&mut r)?,
             from: read_node(&mut r)?,
             amount: r.f64()?,
+            data_mb: r.f64()?,
+            route: read_route(&mut r)?,
         },
         TAG_RELEASE => ManagerMsg::Release { request: RequestId(r.varint()?) },
         t => return Err(CodecError::BadTag(t)),
@@ -328,6 +332,16 @@ mod tests {
                 failed: NodeId(4),
                 from: NodeId(1),
                 amount: 3.0,
+                data_mb: 42.5,
+                route: Some(sample_route()),
+            },
+            ManagerMsg::Rep {
+                request: RequestId(9),
+                failed: NodeId(4),
+                from: NodeId(1),
+                amount: 3.0,
+                data_mb: 0.0,
+                route: None,
             },
             ManagerMsg::Release { request: RequestId(8) },
         ];

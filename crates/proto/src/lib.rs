@@ -21,7 +21,7 @@
 //!
 //! // register both clients
 //! for c in [&mut busy, &mut helper] {
-//!     let reg = c.register();
+//!     let reg = c.register(0);
 //!     for env in manager.handle(0, &reg) {
 //!         c.handle(0, &env.msg);
 //!     }

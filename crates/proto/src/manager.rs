@@ -9,11 +9,18 @@
 //! ACKs, `Offload-Request`s, `Release`s when Busy nodes can reclaim local
 //! resources, and `REP` replica substitutions when a destination stops
 //! sending keepalives (§III-C).
+//!
+//! The ledger is hardened for lossy transports: unconfirmed offers expire
+//! and retransmit with exponential backoff (then are abandoned with a
+//! clean-up `Release`, so a destination whose `Offload-ACK` was lost never
+//! hosts a zombie), `Release`s retransmit a bounded number of times, ACKs
+//! from the wrong sender are ignored in all builds, and the reclaim path
+//! refuses to act on stale `STAT`s from a possibly-dead Busy node.
 
 use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
 use dust_core::{optimize, DustConfig, Nmdb, NodeState, Placement, PlacementStatus, SolverBackend};
-use dust_topology::{Graph, NodeId};
-use std::collections::BTreeMap;
+use dust_topology::{min_inv_lu_dp_path, Graph, NodeId, Path};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What the Manager knows about one registered client.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +34,7 @@ pub struct ClientRecord {
 }
 
 /// One hosting arrangement brokered by the Manager.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hosting {
     /// Busy node that shed the load.
     pub from: NodeId,
@@ -37,6 +44,41 @@ pub struct Hosting {
     pub amount: f64,
     /// Whether the destination's `Offload-ACK` arrived.
     pub confirmed: bool,
+    /// Monitoring data volume shipped per interval, Mb.
+    pub data_mb: f64,
+    /// Controllable route the offer carried.
+    pub route: Option<Path>,
+    /// When the current offer transmission went out, ms.
+    pub offered_ms: u64,
+    /// Offer transmissions so far (1 = the original).
+    pub attempts: u32,
+    /// `Some(failed)` when this hosting was created by a `REP` replica
+    /// substitution away from `failed` — retries must resend a `REP`.
+    pub rep_failed: Option<NodeId>,
+    /// For REP hostings: the request id the transfer was previously
+    /// running under (the owner reclaims under this id if the REP never
+    /// lands and the offer is abandoned).
+    pub orig_request: Option<RequestId>,
+}
+
+/// Retransmit bookkeeping for one outstanding `Release`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReleaseRetry {
+    to: NodeId,
+    sent_ms: u64,
+    attempts: u32,
+}
+
+/// Offer transmissions before an unconfirmed hosting is abandoned.
+const MAX_OFFER_ATTEMPTS: u32 = 5;
+
+/// `Release` transmissions before the Manager stops retrying (the message
+/// has no acknowledgment, so delivery is at-least-attempted, not exact).
+const MAX_RELEASE_ATTEMPTS: u32 = 5;
+
+/// Exponential backoff: `base`, `2·base`, `4·base`, then `8·base` capped.
+fn backoff(base_ms: u64, attempts: u32) -> u64 {
+    base_ms.saturating_mul(1 << attempts.saturating_sub(1).min(3))
 }
 
 /// The DUST-Manager.
@@ -48,10 +90,18 @@ pub struct Manager {
     update_interval_ms: u64,
     /// A destination is declared failed after this long without keepalive.
     keepalive_timeout_ms: u64,
+    /// Base timeout before an unconfirmed offer retransmits.
+    offer_timeout_ms: u64,
     registry: BTreeMap<NodeId, ClientRecord>,
     hostings: BTreeMap<RequestId, Hosting>,
+    /// Outstanding `Release`s being retransmitted.
+    releases: BTreeMap<RequestId, ReleaseRetry>,
     /// Hostings whose destination failed with no replacement available.
     orphaned: Vec<Hosting>,
+    /// Offer retransmissions performed (for reports and tests).
+    offer_retries: u64,
+    /// Offers abandoned after [`MAX_OFFER_ATTEMPTS`].
+    offers_abandoned: u64,
     next_request: u64,
 }
 
@@ -61,7 +111,9 @@ impl Manager {
     /// `update_interval_ms` is the Update-Interval Time sent in every ACK
     /// ("typically in minutes", §III-B — the simulator compresses time);
     /// `keepalive_timeout_ms` is how long a hosting destination may stay
-    /// silent before replica substitution kicks in.
+    /// silent before replica substitution kicks in. The offer-expiry
+    /// timeout defaults to `2 × update_interval_ms`; tune it with
+    /// [`Manager::with_offer_timeout`].
     pub fn new(
         graph: Graph,
         cfg: DustConfig,
@@ -77,11 +129,27 @@ impl Manager {
             graph,
             update_interval_ms,
             keepalive_timeout_ms,
+            offer_timeout_ms: 2 * update_interval_ms,
             registry: BTreeMap::new(),
             hostings: BTreeMap::new(),
+            releases: BTreeMap::new(),
             orphaned: Vec::new(),
+            offer_retries: 0,
+            offers_abandoned: 0,
             next_request: 0,
         }
+    }
+
+    /// Override the base offer-expiry timeout (must be positive).
+    pub fn with_offer_timeout(mut self, offer_timeout_ms: u64) -> Self {
+        assert!(offer_timeout_ms > 0, "offer timeout must be positive");
+        self.offer_timeout_ms = offer_timeout_ms;
+        self
+    }
+
+    /// Base timeout before an unconfirmed offer retransmits, ms.
+    pub fn offer_timeout_ms(&self) -> u64 {
+        self.offer_timeout_ms
     }
 
     /// Registered clients and their records.
@@ -99,19 +167,49 @@ impl Manager {
         &self.orphaned
     }
 
+    /// Offer retransmissions performed so far.
+    pub fn offer_retries(&self) -> u64 {
+        self.offer_retries
+    }
+
+    /// Offers abandoned after exhausting their retries.
+    pub fn offers_abandoned(&self) -> u64 {
+        self.offers_abandoned
+    }
+
+    /// Request ids with an outstanding (still retransmitting) `Release`.
+    pub fn pending_releases(&self) -> Vec<RequestId> {
+        self.releases.keys().copied().collect()
+    }
+
     fn fresh_request(&mut self) -> RequestId {
         self.next_request += 1;
         RequestId(self.next_request)
+    }
+
+    /// Queue a `Release` for retransmission and return the first copy.
+    fn send_release(
+        &mut self,
+        now_ms: u64,
+        to: NodeId,
+        request: RequestId,
+    ) -> Envelope<ManagerMsg> {
+        self.releases.insert(request, ReleaseRetry { to, sent_ms: now_ms, attempts: 1 });
+        Envelope { to, msg: ManagerMsg::Release { request } }
     }
 
     /// Process one client message.
     pub fn handle(&mut self, now_ms: u64, msg: &ClientMsg) -> Vec<Envelope<ManagerMsg>> {
         match msg {
             ClientMsg::OffloadCapable { node, capable } => {
-                self.registry.insert(
-                    *node,
-                    ClientRecord { capable: *capable, last_stat: None, last_keepalive: None },
-                );
+                // Idempotent: a registration retransmit (lost ACK) must not
+                // wipe the STAT/keepalive history of a known client.
+                let rec = self.registry.entry(*node).or_insert(ClientRecord {
+                    capable: *capable,
+                    last_stat: None,
+                    last_keepalive: None,
+                });
+                rec.capable = *capable;
                 // "DUST-Manager responds with an ACK message to each client
                 // engaged in the offloading process" (§III-B).
                 vec![Envelope {
@@ -132,14 +230,29 @@ impl Manager {
                 Vec::new()
             }
             ClientMsg::OffloadAck { node, request, accept } => {
+                let Some(h) = self.hostings.get_mut(request) else {
+                    // Unknown request. If the destination claims to host it
+                    // (accept after the offer was abandoned or released),
+                    // self-heal with a Release so no zombie hosting leaks.
+                    if *accept && !self.releases.contains_key(request) {
+                        return vec![Envelope {
+                            to: *node,
+                            msg: ManagerMsg::Release { request: *request },
+                        }];
+                    }
+                    return Vec::new();
+                };
+                if h.to != *node {
+                    // An ACK from anyone but the offered destination must
+                    // not confirm (or drop) someone else's hosting — in
+                    // every build, not just with debug assertions on.
+                    return Vec::new();
+                }
                 if *accept {
-                    if let Some(h) = self.hostings.get_mut(request) {
-                        debug_assert_eq!(h.to, *node, "ACK from unexpected destination");
-                        h.confirmed = true;
-                        // hosting starts: destination owes keepalives from now
-                        if let Some(rec) = self.registry.get_mut(node) {
-                            rec.last_keepalive.get_or_insert(now_ms);
-                        }
+                    h.confirmed = true;
+                    // hosting starts: destination owes keepalives from now
+                    if let Some(rec) = self.registry.get_mut(node) {
+                        rec.last_keepalive.get_or_insert(now_ms);
                     }
                 } else {
                     // refusal: drop the arrangement; the next placement
@@ -176,21 +289,39 @@ impl Manager {
 
     /// Run one optimization round ("DUST Monitoring Placement Workflow",
     /// §III-B): deploy the optimization engine and notify the chosen
-    /// Offload-destination nodes with `Offload-Request`s.
+    /// Offload-destination nodes with `Offload-Request`s. Assignments that
+    /// duplicate a still-unconfirmed offer (same busy node and destination)
+    /// are skipped — the expiry/retry machinery owns those.
     ///
     /// Returns the placement (for inspection) and the outgoing messages.
-    pub fn run_placement(&mut self, _now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
+    pub fn run_placement(&mut self, now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
         let nmdb = self.snapshot();
         let placement = optimize(&nmdb, &self.cfg, self.backend);
         let mut out = Vec::new();
         if placement.status == PlacementStatus::Optimal {
+            let in_flight: BTreeSet<(NodeId, NodeId)> =
+                self.hostings.values().filter(|h| !h.confirmed).map(|h| (h.from, h.to)).collect();
             for a in &placement.assignments {
+                if in_flight.contains(&(a.from, a.to)) {
+                    continue;
+                }
                 let request = self.fresh_request();
+                let data_mb = nmdb.state(a.from).data_mb;
                 self.hostings.insert(
                     request,
-                    Hosting { from: a.from, to: a.to, amount: a.amount, confirmed: false },
+                    Hosting {
+                        from: a.from,
+                        to: a.to,
+                        amount: a.amount,
+                        confirmed: false,
+                        data_mb,
+                        route: a.route.clone(),
+                        offered_ms: now_ms,
+                        attempts: 1,
+                        rep_failed: None,
+                        orig_request: None,
+                    },
                 );
-                let data_mb = nmdb.state(a.from).data_mb;
                 out.push(Envelope {
                     to: a.to,
                     msg: ManagerMsg::OffloadRequest {
@@ -206,11 +337,64 @@ impl Manager {
         (placement, out)
     }
 
-    /// Periodic maintenance: replica substitution for silent destinations
-    /// (§III-C) and `Release` for Busy nodes whose demand dropped enough to
-    /// reclaim local resources (§III-B).
+    /// Periodic maintenance: offer expiry/retransmit for unconfirmed
+    /// hostings, replica substitution for silent destinations (§III-C),
+    /// `Release` for Busy nodes whose demand dropped enough to reclaim
+    /// local resources (§III-B), and `Release` retransmits.
     pub fn tick(&mut self, now_ms: u64) -> Vec<Envelope<ManagerMsg>> {
         let mut out = Vec::new();
+
+        // --- offer expiry: retransmit or abandon unconfirmed offers -------
+        let expired: Vec<RequestId> = self
+            .hostings
+            .iter()
+            .filter(|(_, h)| !h.confirmed)
+            .filter(|(_, h)| {
+                now_ms.saturating_sub(h.offered_ms) >= backoff(self.offer_timeout_ms, h.attempts)
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for req in expired {
+            let attempts = self.hostings[&req].attempts;
+            if attempts >= MAX_OFFER_ATTEMPTS {
+                // Abandon: the destination never confirmed. Its ACK may
+                // have been lost after it accepted, so send a clean-up
+                // Release; a REP that never landed additionally hands the
+                // workload back to its owner under the old request id.
+                let h = self.hostings.remove(&req).expect("listed above");
+                self.offers_abandoned += 1;
+                out.push(self.send_release(now_ms, h.to, req));
+                if h.rep_failed.is_some() {
+                    if let Some(orig) = h.orig_request {
+                        out.push(self.send_release(now_ms, h.from, orig));
+                    }
+                    self.orphaned.push(h);
+                }
+            } else {
+                self.offer_retries += 1;
+                let h = self.hostings.get_mut(&req).expect("listed above");
+                h.attempts += 1;
+                h.offered_ms = now_ms;
+                let msg = match h.rep_failed {
+                    Some(failed) => ManagerMsg::Rep {
+                        request: req,
+                        failed,
+                        from: h.from,
+                        amount: h.amount,
+                        data_mb: h.data_mb,
+                        route: h.route.clone(),
+                    },
+                    None => ManagerMsg::OffloadRequest {
+                        request: req,
+                        from: h.from,
+                        amount: h.amount,
+                        data_mb: h.data_mb,
+                        route: h.route.clone(),
+                    },
+                };
+                out.push(Envelope { to: h.to, msg });
+            }
+        }
 
         // --- keepalive timeouts → REP -------------------------------------
         let failed_dests: Vec<NodeId> = self
@@ -239,6 +423,15 @@ impl Manager {
                 match self.pick_replacement(now_ms, failed, hosting.amount) {
                     Some(replacement) => {
                         let new_req = self.fresh_request();
+                        // a fresh controllable route — the old one ran to
+                        // the failed destination and is useless now
+                        let route = min_inv_lu_dp_path(
+                            &self.graph,
+                            hosting.from,
+                            replacement,
+                            self.cfg.max_hop,
+                        )
+                        .map(|(_, p)| p);
                         self.hostings.insert(
                             new_req,
                             Hosting {
@@ -246,6 +439,12 @@ impl Manager {
                                 to: replacement,
                                 amount: hosting.amount,
                                 confirmed: false,
+                                data_mb: hosting.data_mb,
+                                route: route.clone(),
+                                offered_ms: now_ms,
+                                attempts: 1,
+                                rep_failed: Some(failed),
+                                orig_request: Some(req),
                             },
                         );
                         // "the malfunctioning destination-node is diagnosed
@@ -258,6 +457,8 @@ impl Manager {
                                 failed,
                                 from: hosting.from,
                                 amount: hosting.amount,
+                                data_mb: hosting.data_mb,
+                                route,
                             },
                         });
                     }
@@ -265,10 +466,7 @@ impl Manager {
                         // No replica fits: hand the workload back to its
                         // owner so monitoring resumes locally rather than
                         // silently stalling on a dead destination.
-                        out.push(Envelope {
-                            to: hosting.from,
-                            msg: ManagerMsg::Release { request: req },
-                        });
+                        out.push(self.send_release(now_ms, hosting.from, req));
                         self.orphaned.push(hosting);
                     }
                 }
@@ -280,6 +478,9 @@ impl Manager {
         }
 
         // --- reclaim: Busy node could run everything locally again --------
+        // Only a *fresh* STAT may trigger a reclaim: firing a Release off a
+        // stale report from a dead Busy node would end a hosting that is
+        // still carrying real load.
         let reclaimable: Vec<RequestId> = self
             .hostings
             .iter()
@@ -292,7 +493,10 @@ impl Manager {
                     .map(|x| x.amount)
                     .sum();
                 match self.registry.get(&h.from).and_then(|r| r.last_stat) {
-                    Some((_, util, _)) => util + total_hosted_for <= self.cfg.c_max,
+                    Some((t, util, _)) => {
+                        now_ms.saturating_sub(t) <= self.keepalive_timeout_ms
+                            && util + total_hosted_for <= self.cfg.c_max
+                    }
                     None => false,
                 }
             })
@@ -300,7 +504,28 @@ impl Manager {
             .collect();
         for req in reclaimable {
             let h = self.hostings.remove(&req).expect("listed above");
-            out.push(Envelope { to: h.to, msg: ManagerMsg::Release { request: req } });
+            out.push(self.send_release(now_ms, h.to, req));
+        }
+
+        // --- Release retransmits ------------------------------------------
+        let due: Vec<RequestId> = self
+            .releases
+            .iter()
+            .filter(|(_, r)| {
+                now_ms.saturating_sub(r.sent_ms) >= backoff(self.offer_timeout_ms, r.attempts)
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for req in due {
+            let r = self.releases.get_mut(&req).expect("listed above");
+            if r.attempts >= MAX_RELEASE_ATTEMPTS {
+                self.releases.remove(&req);
+            } else {
+                r.attempts += 1;
+                r.sent_ms = now_ms;
+                let to = r.to;
+                out.push(Envelope { to, msg: ManagerMsg::Release { request: req } });
+            }
         }
 
         out
@@ -348,12 +573,30 @@ mod tests {
         m.handle(0, &ClientMsg::Stat { node, utilization: util, data_mb: 50.0 });
     }
 
+    fn first_request(msgs: &[Envelope<ManagerMsg>]) -> RequestId {
+        match &msgs[0].msg {
+            ManagerMsg::OffloadRequest { request, .. } => *request,
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn registration_gets_ack_with_interval() {
         let mut m = manager_on_line(2);
         let out = m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(0), capable: true });
         assert_eq!(out[0].to, NodeId(0));
         assert_eq!(out[0].msg, ManagerMsg::Ack { update_interval_ms: 1000 });
+    }
+
+    #[test]
+    fn duplicate_registration_keeps_stat_history() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 42.0);
+        // retransmitted registration (the client never saw the ACK)
+        let out = m.handle(500, &ClientMsg::OffloadCapable { node: NodeId(0), capable: true });
+        assert_eq!(out.len(), 1, "must re-ACK");
+        let rec = m.registry()[&NodeId(0)];
+        assert!(rec.last_stat.is_some(), "STAT history must survive re-registration");
     }
 
     #[test]
@@ -390,40 +633,118 @@ mod tests {
     }
 
     #[test]
+    fn placement_skips_in_flight_offers() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(100);
+        assert_eq!(msgs.len(), 1);
+        // same round again while the first offer is still unconfirmed:
+        // no duplicate offer for the same (from, to) pair
+        let (_, msgs2) = m.run_placement(200);
+        assert!(msgs2.is_empty(), "{msgs2:?}");
+        assert_eq!(m.hostings().len(), 1);
+    }
+
+    #[test]
+    fn unconfirmed_offer_retransmits_then_abandons() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = first_request(&msgs);
+        // before the offer timeout (2 × update interval): silence
+        assert!(m.tick(1_000).is_empty());
+        // past it: the same request id is retransmitted
+        let mut now = 2_000u64;
+        let out = m.tick(now);
+        assert_eq!(out.len(), 1);
+        assert_eq!(first_request(&out), req, "retry reuses the request id");
+        assert_eq!(m.offer_retries(), 1);
+        // keep the destination silent through every backoff stage
+        let mut retries = 1;
+        while m.hostings().contains_key(&req) {
+            now += 40_000; // beyond any backoff stage
+            let out = m.tick(now);
+            if m.hostings().contains_key(&req) {
+                assert_eq!(first_request(&out), req);
+                retries += 1;
+            } else {
+                // abandoned: a clean-up Release goes to the destination
+                assert!(matches!(out[0].msg, ManagerMsg::Release { request } if request == req));
+            }
+        }
+        assert_eq!(retries, MAX_OFFER_ATTEMPTS - 1, "retries beyond the original send");
+        assert_eq!(m.offers_abandoned(), 1);
+        assert!(m.hostings().is_empty(), "no zombie unconfirmed hosting may leak");
+    }
+
+    #[test]
     fn ack_confirms_hosting_and_refusal_drops_it() {
         let mut m = manager_on_line(2);
         register_and_stat(&mut m, NodeId(0), 90.0);
         register_and_stat(&mut m, NodeId(1), 20.0);
         let (_, msgs) = m.run_placement(100);
-        let req = match &msgs[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req = first_request(&msgs);
         m.handle(150, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
         assert!(m.hostings()[&req].confirmed);
 
         // a refusal on a fresh round drops the arrangement
         register_and_stat(&mut m, NodeId(0), 95.0);
         let (_, msgs2) = m.run_placement(200);
-        let req2 = match &msgs2[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req2 = first_request(&msgs2);
         m.handle(250, &ClientMsg::OffloadAck { node: NodeId(1), request: req2, accept: false });
         assert!(!m.hostings().contains_key(&req2));
     }
 
     #[test]
-    fn keepalive_timeout_triggers_rep() {
+    fn ack_from_wrong_sender_is_ignored() {
+        let mut m = manager_on_line(3);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        register_and_stat(&mut m, NodeId(2), 30.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = first_request(&msgs);
+        let dest = msgs[0].to;
+        let impostor = if dest == NodeId(2) { NodeId(1) } else { NodeId(2) };
+        // an accept from the wrong node must not confirm the hosting …
+        m.handle(10, &ClientMsg::OffloadAck { node: impostor, request: req, accept: true });
+        assert!(!m.hostings()[&req].confirmed);
+        // … and a refusal from the wrong node must not drop it
+        m.handle(20, &ClientMsg::OffloadAck { node: impostor, request: req, accept: false });
+        assert!(m.hostings().contains_key(&req));
+        // the real destination still closes the handshake
+        m.handle(30, &ClientMsg::OffloadAck { node: dest, request: req, accept: true });
+        assert!(m.hostings()[&req].confirmed);
+    }
+
+    #[test]
+    fn stray_accept_for_unknown_request_draws_release() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        let out = m.handle(
+            10,
+            &ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(999), accept: true },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(1));
+        assert_eq!(out[0].msg, ManagerMsg::Release { request: RequestId(999) });
+        // a stray refusal draws nothing
+        let out = m.handle(
+            20,
+            &ClientMsg::OffloadAck { node: NodeId(1), request: RequestId(998), accept: false },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn keepalive_timeout_triggers_rep_with_volume_and_route() {
         let mut m = manager_on_line(3);
         register_and_stat(&mut m, NodeId(0), 90.0); // busy
         register_and_stat(&mut m, NodeId(1), 20.0); // destination
         register_and_stat(&mut m, NodeId(2), 10.0); // future replica
         let (_, msgs) = m.run_placement(0);
-        let req = match &msgs[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req = first_request(&msgs);
         m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
         m.handle(500, &ClientMsg::Keepalive { node: NodeId(1) });
         // within timeout: nothing
@@ -435,10 +756,14 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, NodeId(2));
         match &out[0].msg {
-            ManagerMsg::Rep { failed, from, amount, .. } => {
+            ManagerMsg::Rep { failed, from, amount, data_mb, route, .. } => {
                 assert_eq!(*failed, NodeId(1));
                 assert_eq!(*from, NodeId(0));
                 assert!((amount - 10.0).abs() < 1e-6);
+                assert_eq!(*data_mb, 50.0, "REP must carry the telemetry volume");
+                let route = route.as_ref().expect("REP must carry a fresh route");
+                assert_eq!(route.nodes.first(), Some(&NodeId(0)));
+                assert_eq!(route.nodes.last(), Some(&NodeId(2)));
             }
             other => panic!("{other:?}"),
         }
@@ -453,10 +778,7 @@ mod tests {
         register_and_stat(&mut m, NodeId(0), 90.0);
         register_and_stat(&mut m, NodeId(1), 20.0);
         let (_, msgs) = m.run_placement(0);
-        let req = match &msgs[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req = first_request(&msgs);
         m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
         // only possible replacement is the busy node itself at 90% — no fit:
         // the hosting is orphaned and the owner is told to reclaim locally
@@ -474,10 +796,7 @@ mod tests {
         register_and_stat(&mut m, NodeId(0), 90.0);
         register_and_stat(&mut m, NodeId(1), 20.0);
         let (_, msgs) = m.run_placement(0);
-        let req = match &msgs[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req = first_request(&msgs);
         m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
         m.handle(20, &ClientMsg::Keepalive { node: NodeId(1) });
         // busy node now reports 60%: 60 + 10 hosted = 70 <= c_max (80) → release
@@ -490,20 +809,67 @@ mod tests {
     }
 
     #[test]
+    fn releases_retransmit_with_backoff_then_stop() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = first_request(&msgs);
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        m.handle(20, &ClientMsg::Keepalive { node: NodeId(1) });
+        m.handle(1000, &ClientMsg::Stat { node: NodeId(0), utilization: 60.0, data_mb: 50.0 });
+        assert_eq!(m.tick(1100).len(), 1); // the Release itself
+        assert_eq!(m.pending_releases(), vec![req]);
+        // the Release keeps retransmitting with backoff until the cap
+        let mut copies = 0;
+        let mut now = 1100u64;
+        while !m.pending_releases().is_empty() {
+            now += 40_000;
+            // refresh node 0's STAT so the loop only exercises retransmits
+            m.handle(now, &ClientMsg::Stat { node: NodeId(0), utilization: 60.0, data_mb: 50.0 });
+            copies += m
+                .tick(now)
+                .iter()
+                .filter(|e| matches!(e.msg, ManagerMsg::Release { request } if request == req))
+                .count();
+        }
+        assert_eq!(copies, (MAX_RELEASE_ATTEMPTS - 1) as usize);
+    }
+
+    #[test]
     fn no_release_while_demand_still_high() {
         let mut m = manager_on_line(2);
         register_and_stat(&mut m, NodeId(0), 90.0);
         register_and_stat(&mut m, NodeId(1), 20.0);
         let (_, msgs) = m.run_placement(0);
-        let req = match &msgs[0].msg {
-            ManagerMsg::OffloadRequest { request, .. } => *request,
-            other => panic!("{other:?}"),
-        };
+        let req = first_request(&msgs);
         m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
         m.handle(20, &ClientMsg::Keepalive { node: NodeId(1) });
         // post-offload STAT shows 80 (= c_max): 80 + 10 > 80 → keep hosting
         m.handle(1000, &ClientMsg::Stat { node: NodeId(0), utilization: 80.0, data_mb: 50.0 });
         assert!(m.tick(1100).is_empty());
+        assert_eq!(m.hostings().len(), 1);
+    }
+
+    #[test]
+    fn no_reclaim_off_stale_stat() {
+        let mut m = manager_on_line(2);
+        register_and_stat(&mut m, NodeId(0), 90.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        let (_, msgs) = m.run_placement(0);
+        let req = first_request(&msgs);
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        // node 0 recovers… then dies. Its last STAT (60%) goes stale.
+        m.handle(1000, &ClientMsg::Stat { node: NodeId(0), utilization: 60.0, data_mb: 50.0 });
+        // keep the destination's keepalives flowing so only staleness matters
+        m.handle(8000, &ClientMsg::Keepalive { node: NodeId(1) });
+        // 8s later the 60% reading is far older than the keepalive timeout:
+        // the reclaim path must NOT fire a Release off it
+        let out = m.tick(9000);
+        assert!(
+            !out.iter().any(|e| matches!(e.msg, ManagerMsg::Release { .. })),
+            "stale STAT fired a Release: {out:?}"
+        );
         assert_eq!(m.hostings().len(), 1);
     }
 

@@ -86,6 +86,11 @@ pub enum ManagerMsg {
         from: NodeId,
         /// Capacity-percent to host.
         amount: f64,
+        /// Monitoring data volume that will flow, Mb — without it the
+        /// re-homed transfer would vanish from the flow model.
+        data_mb: f64,
+        /// Fresh controllable route from the Busy node to the replica.
+        route: Option<Path>,
     },
     /// Release: the Busy node reclaimed local resources, hosting ends
     /// ("a Busy node \[can\] reclaim its local resources when they become
@@ -131,6 +136,8 @@ mod tests {
             failed: NodeId(2),
             from: NodeId(0),
             amount: 5.0,
+            data_mb: 80.0,
+            route: None,
         };
         assert_eq!(m.clone(), m);
     }

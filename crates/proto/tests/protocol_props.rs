@@ -26,10 +26,11 @@ fn arb_client_action(rng: &mut SplitMix64) -> ClientAction {
     }
 }
 
-/// Whatever the Manager sends in whatever order, the client's hosted
-/// ledger stays consistent: non-negative, only accepted requests are
-/// hosted, releases remove exactly their request, and STAT always
-/// reports local + hosted load.
+/// Whatever the Manager sends in whatever order — including duplicates
+/// and late retransmits — the client's hosted ledger stays consistent:
+/// non-negative, only accepted requests are hosted, releases remove
+/// exactly their request (and tombstone it against late duplicates), and
+/// STAT always reports local + hosted load.
 #[test]
 fn client_ledger_consistent() {
     for seed in 0..128u64 {
@@ -37,10 +38,11 @@ fn client_ledger_consistent() {
         let actions: Vec<ClientAction> =
             (0..rng.range_u64(1, 60)).map(|_| arb_client_action(&mut rng)).collect();
         let mut c = Client::new(NodeId(0), true, 80.0);
-        let _ = c.register();
+        let _ = c.register(0);
         c.handle(0, &ManagerMsg::Ack { update_interval_ms: 100 });
         let mut now = 0u64;
         let mut expected: std::collections::BTreeMap<u64, f64> = Default::default();
+        let mut released: std::collections::BTreeSet<u64> = Default::default();
         let mut last_observed = 0.0f64;
         for a in actions {
             match a {
@@ -49,6 +51,7 @@ fn client_ledger_consistent() {
                     last_observed = u;
                 }
                 ClientAction::Request { id, amount } => {
+                    let dup = expected.contains_key(&id);
                     let reply = c.handle(
                         now,
                         &ManagerMsg::OffloadRequest {
@@ -62,7 +65,14 @@ fn client_ledger_consistent() {
                     match reply {
                         Some(ClientMsg::OffloadAck { accept, request, .. }) => {
                             assert_eq!(request, RequestId(id), "seed {seed}");
-                            if accept {
+                            if released.contains(&id) {
+                                assert!(!accept, "seed {seed}: released id must stay refused");
+                            } else if dup {
+                                // a duplicated offer re-confirms without
+                                // double-booking: the ledger keeps the
+                                // originally accepted amount
+                                assert!(accept, "seed {seed}: duplicate must re-confirm");
+                            } else if accept {
                                 // acceptance implies the ceiling held
                                 assert!(
                                     last_observed + expected.values().sum::<f64>() + amount
@@ -78,6 +88,7 @@ fn client_ledger_consistent() {
                 ClientAction::Release { id } => {
                     c.handle(now, &ManagerMsg::Release { request: RequestId(id) });
                     expected.remove(&id);
+                    released.insert(id);
                 }
                 ClientAction::Rep { id, amount } => {
                     let reply = c.handle(
@@ -87,12 +98,23 @@ fn client_ledger_consistent() {
                             failed: NodeId(7),
                             from: NodeId(9),
                             amount,
+                            data_mb: 1.0,
+                            route: None,
                         },
                     );
-                    let accepted =
-                        matches!(reply, Some(ClientMsg::OffloadAck { accept: true, .. }));
-                    assert!(accepted, "seed {seed}: REP must be accepted unconditionally");
-                    expected.insert(id, amount);
+                    if released.contains(&id) {
+                        assert!(
+                            matches!(reply, Some(ClientMsg::OffloadAck { accept: false, .. })),
+                            "seed {seed}: released id must stay refused"
+                        );
+                    } else {
+                        assert!(
+                            matches!(reply, Some(ClientMsg::OffloadAck { accept: true, .. })),
+                            "seed {seed}: REP must be accepted unconditionally"
+                        );
+                        // a duplicated REP keeps the original amount
+                        expected.entry(id).or_insert(amount);
+                    }
                 }
                 ClientAction::Tick(dt) => {
                     now += dt;
@@ -283,6 +305,8 @@ fn arb_manager_msg(rng: &mut SplitMix64) -> ManagerMsg {
             failed: NodeId(rng.next_u64() as u32),
             from: NodeId(rng.next_u64() as u32),
             amount: arb_f64_bits(rng),
+            data_mb: arb_f64_bits(rng),
+            route: arb_route(rng),
         },
         _ => ManagerMsg::Release { request: RequestId(rng.next_u64()) },
     }

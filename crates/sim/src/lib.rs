@@ -7,11 +7,13 @@
 //! * [`node`] — the device resource model (Aruba-8325-class DUT, servers,
 //!   DPUs) where CPU/memory derive from which monitor agents run where;
 //! * [`traffic`] — VxLAN overlay traffic profiles projected onto links;
+//! * [`transport`] — a deterministic fault gate dropping, duplicating,
+//!   delaying, and reordering control-plane messages per direction;
 //! * [`runner`] — the full wiring: protocol state machines, placement
 //!   rounds, physical agent movement, metric recording, failure injection;
 //! * [`scenarios`] — canned reproductions of Fig. 1 (monitoring CPU vs
 //!   traffic) and Fig. 6 (local vs DUST resource usage) on the Fig. 5
-//!   testbed topology.
+//!   testbed topology, plus chaos scenarios sweeping control-plane loss.
 //!
 //! # Example
 //!
@@ -32,13 +34,15 @@ pub mod node;
 pub mod runner;
 pub mod scenarios;
 pub mod traffic;
+pub mod transport;
 
 pub use engine::{EventQueue, Scheduled};
 pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
 pub use node::{NodeSpec, SimNode};
 pub use runner::{SimConfig, SimReport, Simulation};
 pub use scenarios::{
-    congestion, fig1, fig6, fleet, testbed_topology, CongestionResult, Fig1Row, Fig6Result,
-    FleetResult,
+    chaos, chaos_sweep, chaos_with_faults, congestion, fig1, fig6, fleet, testbed_topology,
+    ChaosResult, CongestionResult, Fig1Row, Fig6Result, FleetResult,
 };
 pub use traffic::TrafficModel;
+pub use transport::{Direction, FaultConfig, FaultProfile, Transport, TransportStats};

@@ -9,11 +9,20 @@
 //! CPU/memory series (recorded into a [`Federation`]) reproduce the Fig. 6
 //! deltas mechanistically. Node failures can be injected to exercise the
 //! keepalive → REP replica-substitution path (§III-C).
+//!
+//! Every control-plane envelope crosses the [`Transport`] fault gate
+//! ([`SimConfig::faults`]): it may be dropped, duplicated, or delayed with
+//! jitter, per direction, deterministically per seed. An ideal direction
+//! delivers inline (identical to a direct call); any fault profile routes
+//! the copies through the event queue as [`SimEvent::DeliverClient`] /
+//! [`SimEvent::DeliverManager`] events, so delayed copies interleave with
+//! ticks exactly as wall-clock delivery would.
 
 use crate::engine::EventQueue;
 use crate::flows::{evaluate_flows, TelemetryFlow};
 use crate::node::SimNode;
 use crate::traffic::TrafficModel;
+use crate::transport::{Direction, FaultConfig, Transport};
 use dust_core::{DustConfig, SolverBackend};
 use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
 use dust_telemetry::Federation;
@@ -47,6 +56,9 @@ pub struct SimConfig {
     /// capacity budget — the semantics of the paper's testbed experiment
     /// (§V-A offloaded all ten agents; Fig. 6).
     pub full_monitoring_offload: bool,
+    /// Fault model for the control plane (drop/duplicate/delay per
+    /// direction). [`FaultConfig::ideal`] reproduces the perfect wire.
+    pub faults: FaultConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -64,13 +76,14 @@ impl Default for SimConfig {
             dust_enabled: true,
             link_jitter: 0.05,
             full_monitoring_offload: false,
+            faults: FaultConfig::ideal(),
             seed: 0,
         }
     }
 }
 
 /// Events driving the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum SimEvent {
     /// All clients observe resources and tick their protocol machines.
     ClientTick,
@@ -84,6 +97,10 @@ enum SimEvent {
     Kill(NodeId),
     /// Restart a dead node.
     Revive(NodeId),
+    /// A delayed Manager → client envelope reaches its destination.
+    DeliverClient(Envelope<ManagerMsg>),
+    /// A delayed client → Manager message reaches the Manager.
+    DeliverManager(ClientMsg),
 }
 
 /// Summary of a finished run.
@@ -100,6 +117,19 @@ pub struct SimReport {
     pub replicas_applied: usize,
     /// Hostings orphaned (destination died, no replacement fit).
     pub orphaned: usize,
+    /// When the first transfer was physically applied, ms (None = never):
+    /// under loss this measures convergence latency of the handshake.
+    pub first_transfer_ms: Option<u64>,
+    /// Envelopes that crossed the fault gate (ideal directions bypass it).
+    pub msgs_sent: u64,
+    /// Envelopes the fault gate dropped.
+    pub msgs_dropped: u64,
+    /// Extra copies the fault gate injected.
+    pub msgs_duplicated: u64,
+    /// Offer retransmissions the Manager performed.
+    pub offer_retries: u64,
+    /// Offers the Manager abandoned after exhausting retries.
+    pub offers_abandoned: u64,
     /// Final simulated time, ms.
     pub end_ms: u64,
 }
@@ -121,7 +151,7 @@ impl SimReport {
 struct Transfer {
     owner: NodeId,
     host: NodeId,
-    /// Route from the Offload-Request (REP re-homes arrive without one).
+    /// Route from the Offload-Request or REP.
     route: Option<Path>,
     /// Telemetry volume shipped per update interval, Mb.
     data_mb: f64,
@@ -134,6 +164,7 @@ pub struct Simulation {
     clients: Vec<Client>,
     manager: Manager,
     traffic: TrafficModel,
+    transport: Transport,
     cfg: SimConfig,
     dead: HashSet<NodeId>,
     /// Accepted transfers by request id.
@@ -148,7 +179,8 @@ impl Simulation {
     /// Build a simulation over `graph` with one [`SimNode`] per vertex.
     ///
     /// # Panics
-    /// Panics if `nodes.len() != graph.node_count()`.
+    /// Panics if `nodes.len() != graph.node_count()` or the fault config
+    /// holds invalid probabilities.
     pub fn new(graph: Graph, nodes: Vec<SimNode>, traffic: TrafficModel, cfg: SimConfig) -> Self {
         assert_eq!(nodes.len(), graph.node_count(), "one SimNode per vertex");
         let manager = Manager::new(
@@ -160,12 +192,14 @@ impl Simulation {
         );
         let clients =
             nodes.iter().map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0)).collect();
+        let transport = Transport::new(cfg.seed, cfg.faults);
         Simulation {
             graph,
             nodes,
             clients,
             manager,
             traffic,
+            transport,
             cfg,
             dead: HashSet::new(),
             active: HashMap::new(),
@@ -188,9 +222,67 @@ impl Simulation {
         !self.dead.contains(&n)
     }
 
+    /// Pass a Manager → client envelope through the fault gate. An ideal
+    /// direction delivers inline; otherwise each surviving copy is queued
+    /// at `now + delay`.
+    fn send_to_client(
+        &mut self,
+        now: u64,
+        env: Envelope<ManagerMsg>,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        if self.cfg.faults.to_client.is_ideal() {
+            self.deliver_manager_msg(now, env, q, report);
+            return;
+        }
+        for delay in self.transport.plan(Direction::ToClient) {
+            q.schedule(now + delay, SimEvent::DeliverClient(env.clone()));
+        }
+    }
+
+    /// Pass a client → Manager message through the fault gate.
+    fn send_to_manager(
+        &mut self,
+        now: u64,
+        msg: ClientMsg,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        if self.cfg.faults.to_manager.is_ideal() {
+            self.deliver_client_msg(now, &msg, q, report);
+            return;
+        }
+        for delay in self.transport.plan(Direction::ToManager) {
+            q.schedule(now + delay, SimEvent::DeliverManager(msg.clone()));
+        }
+    }
+
+    /// A client message reaches the Manager; replies head back through the
+    /// fault gate.
+    fn deliver_client_msg(
+        &mut self,
+        now: u64,
+        msg: &ClientMsg,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        for env in self.manager.handle(now, msg) {
+            self.send_to_client(now, env, q, report);
+        }
+    }
+
     /// Apply a Manager → client envelope: route to the client state machine
-    /// and mirror accepted decisions onto the resource model.
-    fn deliver_manager_msg(&mut self, now: u64, env: Envelope<ManagerMsg>, report: &mut SimReport) {
+    /// and mirror accepted decisions onto the resource model. Duplicate
+    /// deliveries re-ACK at the protocol layer but must not move agents
+    /// twice — mirroring is guarded by the `active` transfer ledger.
+    fn deliver_manager_msg(
+        &mut self,
+        now: u64,
+        env: Envelope<ManagerMsg>,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
         let to = env.to;
         if !self.alive(to) {
             return; // lost on the wire; keepalive timeout will catch it
@@ -200,9 +292,9 @@ impl Simulation {
         // Mirror protocol decisions onto the physical model.
         match (&env.msg, &reply) {
             (
-                ManagerMsg::OffloadRequest { request, from, amount, .. },
+                ManagerMsg::OffloadRequest { request, from, amount, data_mb, route },
                 Some(ClientMsg::OffloadAck { accept: true, .. }),
-            ) => {
+            ) if !self.active.contains_key(request) => {
                 if self.cfg.full_monitoring_offload {
                     // The Busy node sheds its own agents…
                     let moved = self.nodes[from.index()].offload_all_to(to);
@@ -232,14 +324,17 @@ impl Simulation {
                     let moved = self.nodes[from.index()].offload_agents_to(to, *amount, traffic);
                     self.nodes[to.index()].host_agents(*from, &moved);
                 }
-                let (route, data_mb) = match &env.msg {
-                    ManagerMsg::OffloadRequest { route, data_mb, .. } => (route.clone(), *data_mb),
-                    _ => (None, 0.0),
-                };
-                self.active.insert(*request, Transfer { owner: *from, host: to, route, data_mb });
+                self.active.insert(
+                    *request,
+                    Transfer { owner: *from, host: to, route: route.clone(), data_mb: *data_mb },
+                );
                 report.transfers_applied += 1;
+                report.first_transfer_ms.get_or_insert(now);
             }
-            (ManagerMsg::Rep { request, failed, from, .. }, Some(_)) => {
+            (
+                ManagerMsg::Rep { request, failed, from, data_mb, route, .. },
+                Some(ClientMsg::OffloadAck { accept: true, .. }),
+            ) if !self.active.contains_key(request) => {
                 // re-home: retarget the owner's offloaded agents and move
                 // the hosted copies from the failed node to the new host
                 let owner = &mut self.nodes[from.index()];
@@ -252,9 +347,21 @@ impl Simulation {
                 }
                 self.nodes[failed.index()].drop_hosted_for(*from);
                 self.nodes[to.index()].host_agents(*from, &rehomed);
+                // the transfer that ran owner → failed is gone; its
+                // replacement lives under the new request id — dropping
+                // the stale entry keeps the flow model truthful
+                let stale: Vec<RequestId> = self
+                    .active
+                    .iter()
+                    .filter(|(_, t)| t.owner == *from && t.host == *failed)
+                    .map(|(r, _)| *r)
+                    .collect();
+                for r in stale {
+                    self.active.remove(&r);
+                }
                 self.active.insert(
                     *request,
-                    Transfer { owner: *from, host: to, route: None, data_mb: 0.0 },
+                    Transfer { owner: *from, host: to, route: route.clone(), data_mb: *data_mb },
                 );
                 report.replicas_applied += 1;
             }
@@ -267,9 +374,7 @@ impl Simulation {
             _ => {}
         }
         if let Some(r) = reply {
-            for out in self.manager.handle(now, &r) {
-                self.deliver_manager_msg(now, out, report);
-            }
+            self.send_to_manager(now, r, q, report);
         }
     }
 
@@ -281,16 +386,21 @@ impl Simulation {
             transfers_applied: 0,
             replicas_applied: 0,
             orphaned: 0,
+            first_transfer_ms: None,
+            msgs_sent: 0,
+            msgs_dropped: 0,
+            msgs_duplicated: 0,
+            offer_retries: 0,
+            offers_abandoned: 0,
             end_ms: 0,
         };
         let mut q: EventQueue<SimEvent> = EventQueue::new();
 
-        // Registration at t = 0: every client announces itself.
+        // Registration at t = 0: every client announces itself. Lost
+        // registrations are retransmitted by the client on its next ticks.
         for i in 0..self.clients.len() {
-            let reg = self.clients[i].register();
-            for env in self.manager.handle(0, &reg) {
-                self.deliver_manager_msg(0, env, &mut report);
-            }
+            let reg = self.clients[i].register(0);
+            self.send_to_manager(0, reg, &mut q, &mut report);
         }
 
         // Periodic events.
@@ -330,9 +440,7 @@ impl Simulation {
                         let data = self.nodes[i].data_mb(traffic);
                         self.clients[i].observe(cpu, data);
                         for msg in self.clients[i].tick(now) {
-                            for env in self.manager.handle(now, &msg) {
-                                self.deliver_manager_msg(now, env, &mut report);
-                            }
+                            self.send_to_manager(now, msg, &mut q, &mut report);
                         }
                     }
                     q.schedule_in(self.cfg.update_interval_ms, SimEvent::ClientTick);
@@ -340,7 +448,7 @@ impl Simulation {
                 SimEvent::ManagerTick => {
                     let outs = self.manager.tick(now);
                     for env in outs {
-                        self.deliver_manager_msg(now, env, &mut report);
+                        self.send_to_client(now, env, &mut q, &mut report);
                     }
                     q.schedule_in(self.cfg.update_interval_ms, SimEvent::ManagerTick);
                 }
@@ -351,7 +459,7 @@ impl Simulation {
                     }
                     let _ = placement;
                     for env in outs {
-                        self.deliver_manager_msg(now, env, &mut report);
+                        self.send_to_client(now, env, &mut q, &mut report);
                     }
                     q.schedule_in(self.cfg.placement_period_ms, SimEvent::PlacementRound);
                 }
@@ -394,11 +502,31 @@ impl Simulation {
                 }
                 SimEvent::Revive(n) => {
                     self.dead.remove(&n);
+                    // The process restarted: the reborn client has no
+                    // memory of workloads it hosted before the crash —
+                    // keeping the old ledger would inflate every STAT it
+                    // sends from now on with phantom hosted load.
+                    let ceiling = self.cfg.dust.co_max + 10.0;
+                    self.clients[n.index()] = Client::new(n, true, ceiling);
+                    let reg = self.clients[n.index()].register(now);
+                    self.send_to_manager(now, reg, &mut q, &mut report);
+                }
+                SimEvent::DeliverClient(env) => {
+                    self.deliver_manager_msg(now, env, &mut q, &mut report);
+                }
+                SimEvent::DeliverManager(msg) => {
+                    self.deliver_client_msg(now, &msg, &mut q, &mut report);
                 }
             }
             report.end_ms = now;
         }
         report.orphaned = self.manager.orphaned().len();
+        report.offer_retries = self.manager.offer_retries();
+        report.offers_abandoned = self.manager.offers_abandoned();
+        let stats = self.transport.stats();
+        report.msgs_sent = stats.sent;
+        report.msgs_dropped = stats.dropped;
+        report.msgs_duplicated = stats.duplicated;
         report
     }
 
@@ -407,9 +535,26 @@ impl Simulation {
         &self.nodes
     }
 
+    /// The per-node client state machines (for assertions).
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
     /// The Manager (for assertions on protocol state).
     pub fn manager(&self) -> &Manager {
         &self.manager
+    }
+
+    /// Where `owner`'s monitor agents physically are right now: local
+    /// count plus copies hosted for it anywhere in the fleet. Conservation
+    /// means this never changes, whatever the control plane loses.
+    pub fn agent_census(&self, owner: NodeId) -> usize {
+        self.nodes[owner.index()].local_agents.len()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == owner).count())
+                .sum::<usize>()
     }
 }
 
@@ -417,6 +562,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::node::NodeSpec;
+    use crate::transport::FaultProfile;
     use dust_topology::{topologies, Link};
 
     /// DUT (node 0) + idle server (node 1) on one link.
@@ -476,13 +622,40 @@ mod tests {
             assert!(!sim.nodes()[2].hosted_agents.is_empty());
         }
         // invariant: the DUT's agents are somewhere — local, on 1, or on 2
-        let total = sim.nodes()[0].local_agents.len()
-            + sim
-                .nodes()
-                .iter()
-                .map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == NodeId(0)).count())
-                .sum::<usize>();
-        assert_eq!(total, 10, "no agents may be lost");
+        assert_eq!(sim.agent_census(NodeId(0)), 10, "no agents may be lost");
+    }
+
+    #[test]
+    fn revival_resets_phantom_hosted_state() {
+        let g = topologies::line(3, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+            SimNode::bare(NodeId(2), NodeSpec::server()),
+        ];
+        let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
+        let cfg = SimConfig { dust, duration_ms: 60_000, ..Default::default() };
+        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
+        // the destination dies mid-hosting and comes back much later,
+        // after the REP already re-homed its workload
+        sim.inject_failure(20_000, NodeId(1));
+        sim.inject_revival(40_000, NodeId(2));
+        sim.inject_revival(40_000, NodeId(1));
+        sim.run();
+        // the reborn client's ledger must agree with the Manager: every
+        // hosted entry corresponds to a live confirmed hosting — the
+        // pre-crash entry must NOT survive the reboot and inflate STATs
+        for c in sim.clients() {
+            for (req, _) in c.hosted() {
+                let h = sim.manager().hostings().get(req);
+                assert!(
+                    h.is_some_and(|h| h.to == c.node && h.confirmed),
+                    "client {:?} still carries phantom hosting {req:?}",
+                    c.node
+                );
+            }
+        }
+        assert_eq!(sim.agent_census(NodeId(0)), 10, "no agents may be lost");
     }
 
     #[test]
@@ -506,6 +679,50 @@ mod tests {
         assert_eq!(
             r1.mean(NodeId(0), "device-cpu", 0, 60_000),
             r2.mean(NodeId(0), "device-cpu", 0, 60_000)
+        );
+    }
+
+    /// Lossy control plane: offloading still converges, nothing is lost,
+    /// and the fault gate's counters land in the report.
+    fn lossy_sim(loss: f64, seed: u64) -> Simulation {
+        let g = topologies::line(3, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+            SimNode::bare(NodeId(2), NodeSpec::server()),
+        ];
+        let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
+        let faults = FaultConfig::symmetric(FaultProfile {
+            drop: loss,
+            duplicate: loss / 2.0,
+            delay_ms: 20,
+            jitter_ms: 100,
+        });
+        let cfg = SimConfig { dust, duration_ms: 60_000, faults, seed, ..Default::default() };
+        Simulation::new(g, nodes, TrafficModel::testbed(), cfg)
+    }
+
+    #[test]
+    fn lossy_control_plane_still_offloads() {
+        let mut sim = lossy_sim(0.2, 11);
+        let report = sim.run();
+        assert!(report.transfers_applied > 0, "handshake must converge despite 20 % loss");
+        assert!(report.msgs_sent > 0 && report.msgs_dropped > 0, "faults must actually fire");
+        assert_eq!(sim.agent_census(NodeId(0)), 10, "no agents may be lost");
+    }
+
+    #[test]
+    fn lossy_runs_are_bit_identical_per_seed() {
+        let a = lossy_sim(0.3, 5).run();
+        let b = lossy_sim(0.3, 5).run();
+        assert_eq!(
+            (a.transfers_applied, a.replicas_applied, a.msgs_sent, a.msgs_dropped),
+            (b.transfers_applied, b.replicas_applied, b.msgs_sent, b.msgs_dropped)
+        );
+        assert_eq!(a.first_transfer_ms, b.first_transfer_ms);
+        assert_eq!(
+            a.mean(NodeId(0), "device-cpu", 0, 60_000),
+            b.mean(NodeId(0), "device-cpu", 0, 60_000)
         );
     }
 }

@@ -10,6 +10,7 @@
 use crate::node::{NodeSpec, SimNode};
 use crate::runner::{SimConfig, SimReport, Simulation};
 use crate::traffic::TrafficModel;
+use crate::transport::{FaultConfig, FaultProfile};
 use dust_core::DustConfig;
 use dust_topology::{Graph, Link, NodeId};
 
@@ -286,6 +287,130 @@ pub fn congestion(duration_ms: u64, seed: u64) -> CongestionResult {
     }
 }
 
+/// Outcome of one chaos run: the testbed under a lossy control plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosResult {
+    /// Uniform drop probability applied in both directions.
+    pub loss: f64,
+    /// Offload transfers physically applied.
+    pub transfers: usize,
+    /// REP replica substitutions applied.
+    pub replicas: usize,
+    /// Envelopes through the fault gate.
+    pub msgs_sent: u64,
+    /// Envelopes the gate dropped.
+    pub msgs_dropped: u64,
+    /// Extra copies the gate injected.
+    pub msgs_duplicated: u64,
+    /// Offer retransmissions the Manager performed.
+    pub offer_retries: u64,
+    /// Offers abandoned after exhausting their retries.
+    pub offers_abandoned: u64,
+    /// When the first transfer landed, ms (None = handshake never closed).
+    pub first_transfer_ms: Option<u64>,
+    /// Monitor agents the DUT deployment started with.
+    pub agents_expected: usize,
+    /// Monitor agents accounted for at the end (local + hosted anywhere).
+    pub agents_present: usize,
+    /// Unconfirmed hostings older than the full retry budget at the end —
+    /// must be zero or offers are leaking.
+    pub unconfirmed_stale: usize,
+    /// Manager and client ledgers mutually consistent at the end.
+    pub ledgers_consistent: bool,
+}
+
+/// Run the Fig. 5 testbed with a uniformly lossy, duplicating, jittery
+/// control plane: drop probability `loss` both ways, duplication at
+/// `loss / 2`, 20 ms base delay with 100 ms jitter (enough to reorder).
+///
+/// The invariant under test is *conservation*: whatever the control plane
+/// loses, no monitor agent may vanish — every agent is either local to its
+/// owner or hosted somewhere on its behalf, and the protocol ledgers
+/// quiesce to a mutually consistent state.
+pub fn chaos(loss: f64, duration_ms: u64, seed: u64) -> ChaosResult {
+    let faults = FaultConfig::symmetric(FaultProfile {
+        drop: loss,
+        duplicate: loss / 2.0,
+        delay_ms: 20,
+        jitter_ms: 100,
+    });
+    chaos_with_faults(faults, duration_ms, seed)
+}
+
+/// [`chaos`] with a caller-supplied fault model (e.g. from `dustctl sim`
+/// flags): same testbed, same invariants, arbitrary knobs. The reported
+/// `loss` is the Manager → Client drop probability.
+pub fn chaos_with_faults(faults: FaultConfig, duration_ms: u64, seed: u64) -> ChaosResult {
+    let (graph, dut) = testbed_topology();
+    let loss = faults.to_client.drop;
+    let cfg = SimConfig {
+        dust: testbed_dust_config(),
+        duration_ms,
+        seed,
+        full_monitoring_offload: true,
+        faults,
+        ..Default::default()
+    };
+    let agents_expected = 10;
+    let mut sim = Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg);
+    let report = sim.run();
+
+    // offers still unconfirmed at the end are fine while young (an offer
+    // may be mid-retry when time runs out); one older than the entire
+    // backoff ladder has leaked past the expiry machinery
+    let budget = 8 * sim.manager().offer_timeout_ms();
+    let unconfirmed_stale = sim
+        .manager()
+        .hostings()
+        .values()
+        .filter(|h| !h.confirmed && report.end_ms.saturating_sub(h.offered_ms) > budget)
+        .count();
+
+    // mutual ledger consistency: every confirmed hosting is mirrored on
+    // its client with the same owner and amount, and no client entry that
+    // the Manager still tracks diverges from the Manager's record
+    let mut consistent = true;
+    for (req, h) in sim.manager().hostings() {
+        if !h.confirmed {
+            continue;
+        }
+        let mirrored = sim.clients()[h.to.index()]
+            .hosted()
+            .any(|(r, w)| r == req && w.from == h.from && (w.amount - h.amount).abs() < 1e-9);
+        consistent &= mirrored;
+    }
+    for c in sim.clients() {
+        for (req, w) in c.hosted() {
+            if let Some(h) = sim.manager().hostings().get(req) {
+                consistent &=
+                    h.to == c.node && h.from == w.from && (h.amount - w.amount).abs() < 1e-9;
+            }
+        }
+    }
+
+    ChaosResult {
+        loss,
+        transfers: report.transfers_applied,
+        replicas: report.replicas_applied,
+        msgs_sent: report.msgs_sent,
+        msgs_dropped: report.msgs_dropped,
+        msgs_duplicated: report.msgs_duplicated,
+        offer_retries: report.offer_retries,
+        offers_abandoned: report.offers_abandoned,
+        first_transfer_ms: report.first_transfer_ms,
+        agents_expected,
+        agents_present: sim.agent_census(dut),
+        unconfirmed_stale,
+        ledgers_consistent: consistent,
+    }
+}
+
+/// Sweep control-plane loss rates and collect one [`ChaosResult`] per
+/// rate — the degradation curve for `EXPERIMENTS.md` and `dust-bench`.
+pub fn chaos_sweep(losses: &[f64], duration_ms: u64, seed: u64) -> Vec<ChaosResult> {
+    losses.iter().map(|&l| chaos(l, duration_ms, seed)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +475,40 @@ mod tests {
             r.late_mean_cpu
         );
         assert!(r.still_busy <= 2, "{} switches never de-busied", r.still_busy);
+    }
+
+    #[test]
+    fn chaos_at_20_percent_loss_conserves_everything() {
+        let r = chaos(0.2, 120_000, 17);
+        assert!(r.msgs_dropped > 0, "faults must actually fire");
+        assert!(r.transfers > 0, "offloading must converge despite 20 % loss");
+        assert_eq!(r.agents_present, r.agents_expected, "no monitor agent may ever be lost");
+        assert_eq!(r.unconfirmed_stale, 0, "offers must confirm, retry, or die — not leak");
+        assert!(r.ledgers_consistent, "ledgers must quiesce mutually consistent");
+    }
+
+    #[test]
+    fn chaos_counters_bit_identical_per_seed() {
+        let a = chaos(0.25, 60_000, 9);
+        let b = chaos(0.25, 60_000, 9);
+        assert_eq!(a, b, "same seed must reproduce every counter bit-for-bit");
+    }
+
+    #[test]
+    fn chaos_sweep_degrades_gracefully() {
+        let rows = chaos_sweep(&[0.0, 0.1, 0.3], 90_000, 21);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.transfers > 0, "loss {} must still offload", r.loss);
+            assert_eq!(r.agents_present, r.agents_expected, "loss {}", r.loss);
+            assert!(r.ledgers_consistent, "loss {}", r.loss);
+            assert!(r.first_transfer_ms.is_some(), "loss {}", r.loss);
+        }
+        // a perfect wire needs no retries; loss forces some
+        assert_eq!(rows[0].offer_retries + rows[0].msgs_dropped, 0);
+        assert!(rows[2].msgs_dropped > rows[1].msgs_dropped);
+        // convergence can only get slower as the wire gets worse
+        assert!(rows[0].first_transfer_ms <= rows[2].first_transfer_ms);
     }
 
     #[test]

@@ -112,7 +112,7 @@ fn manager_snapshot_matches_direct_optimization() {
         let mut clients: Vec<Client> =
             ft.graph.nodes().map(|n| Client::new(n, true, 100.0)).collect();
         for c in clients.iter_mut() {
-            let reg = c.register();
+            let reg = c.register(0);
             for env in manager.handle(0, &reg) {
                 c.handle(0, &env.msg);
             }

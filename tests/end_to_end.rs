@@ -156,3 +156,39 @@ fn telemetry_flows_recorded_without_loss_on_idle_fabric() {
         "no congestion loss expected on an idle fabric"
     );
 }
+
+#[test]
+fn lossy_control_plane_end_to_end() {
+    // the whole stack under a hostile control plane: 25 % drop, 10 %
+    // duplication, 120 ms of jitter-driven reordering. The retry/expiry
+    // machinery must still offload, never lose a monitor agent, and
+    // leave Manager and Client ledgers agreeing once traffic settles.
+    let r = chaos_with_faults(
+        FaultConfig::symmetric(FaultProfile {
+            drop: 0.25,
+            duplicate: 0.1,
+            delay_ms: 20,
+            jitter_ms: 120,
+        }),
+        180_000,
+        99,
+    );
+    assert!(r.msgs_dropped > 0, "fault gate must actually fire");
+    assert!(r.transfers > 0, "offloading must survive 25 % loss");
+    assert_eq!(r.agents_present, r.agents_expected, "monitor agents conserved");
+    assert_eq!(r.unconfirmed_stale, 0, "no offer outlives its retry budget");
+    assert!(r.ledgers_consistent, "manager and client ledgers diverged");
+
+    // determinism across the full e2e path
+    let again = chaos_with_faults(
+        FaultConfig::symmetric(FaultProfile {
+            drop: 0.25,
+            duplicate: 0.1,
+            delay_ms: 20,
+            jitter_ms: 120,
+        }),
+        180_000,
+        99,
+    );
+    assert_eq!(r, again, "same seed must reproduce identical counters");
+}

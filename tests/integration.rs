@@ -79,7 +79,7 @@ fn protocol_round_trip_reaches_confirmed_hosting() {
     let mut clients: Vec<Client> = (0..3).map(|i| Client::new(NodeId(i), true, 80.0)).collect();
 
     for c in clients.iter_mut() {
-        let reg = c.register();
+        let reg = c.register(0);
         for env in manager.handle(0, &reg) {
             c.handle(0, &env.msg);
         }
