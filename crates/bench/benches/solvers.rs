@@ -1,7 +1,13 @@
 //! Ablation 2 (DESIGN.md): the specialized transportation solver vs the
 //! general two-phase simplex on identical placement-shaped instances.
+//!
+//! Besides wall-clock, the run reports *pivot-count histograms* over a
+//! seed sweep via the observability layer — the hardware-independent
+//! work metric behind the timing, so a solver regression shows up even
+//! on a noisy machine.
 
-use dust::lp::{solve, Cmp, Problem, TransportProblem};
+use dust::lp::{solve, solve_observed, Cmp, Options, Problem, TransportProblem};
+use dust::obs::ObsHandle;
 use dust::prelude::SplitMix64;
 use dust_bench::harness::Runner;
 
@@ -32,6 +38,30 @@ fn simplex_equivalent(tp: &TransportProblem) -> Problem {
     p
 }
 
+/// Solve 32 seeded instances of one size with both backends, recording
+/// pivot counts into a shared metrics registry, and print the p50/p95
+/// of each backend's pivot histogram.
+fn pivot_census(m: usize, n: usize) {
+    let obs = ObsHandle::recording(0);
+    for seed in 0..32u64 {
+        let tp = random_instance(m, n, seed * 7 + 1);
+        let lp = simplex_equivalent(&tp);
+        tp.solve_observed(&obs);
+        solve_observed(&lp, Options::default(), &obs);
+    }
+    let metrics = obs.metrics().expect("recording handle");
+    for name in ["lp.transport.pivots", "lp.simplex.pivots"] {
+        let h = metrics.histogram(name).expect("recorded histogram");
+        println!(
+            "{:<52} p50 {:>6.0}  p95 {:>6.0}  max {:>6.0}",
+            format!("lp-backends/pivots/{name}/{m}x{n}"),
+            h.quantile(0.5).unwrap_or(0.0),
+            h.quantile(0.95).unwrap_or(0.0),
+            h.max().unwrap_or(0.0),
+        );
+    }
+}
+
 fn main() {
     let group = Runner::group("lp-backends");
     for &(m, n) in &[(4usize, 8usize), (10, 20), (25, 50)] {
@@ -39,5 +69,6 @@ fn main() {
         let lp = simplex_equivalent(&tp);
         group.bench(&format!("transportation/{m}x{n}"), || tp.solve());
         group.bench(&format!("simplex/{m}x{n}"), || solve(&lp));
+        pivot_census(m, n);
     }
 }

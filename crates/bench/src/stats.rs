@@ -1,7 +1,14 @@
-//! Small statistics helpers for the experiment harness: percentiles,
-//! log-log least-squares (power-law) fits — used to check the paper's
-//! quantitative shape claims (e.g. Fig. 11a's "negative power function of
-//! ~(−0.5)" for HFR vs scale).
+//! Small statistics helpers for the experiment harness: log-log
+//! least-squares (power-law) fits used to check the paper's quantitative
+//! shape claims (e.g. Fig. 11a's "negative power function of ~(−0.5)"
+//! for HFR vs scale), plus histogram-backed quantiles.
+//!
+//! Quantiles reuse the observability layer's mergeable log-scale
+//! [`Histogram`] instead of a private sort-based percentile: the bench
+//! harness then reports the *same* statistic the runtime metrics report,
+//! and per-shard histograms from parallel experiment runs merge exactly.
+
+use dust::obs::Histogram;
 
 /// Least-squares fit of `y = a·x^b` via regression on `ln y = ln a + b·ln x`.
 ///
@@ -55,24 +62,23 @@ pub fn power_law_r2(points: &[(f64, f64)]) -> Option<f64> {
     Some(1.0 - ss_res / ss_tot)
 }
 
-/// Linear-interpolated percentile (`p` in `[0, 100]`) of an unsorted slice.
-///
-/// # Panics
-/// Panics on an empty slice or `p` outside `[0, 100]`.
-pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+/// Fold a slice of samples into the observability layer's mergeable
+/// log-scale [`Histogram`] (NaN samples are ignored, like the runtime).
+pub fn histogram_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
     }
+    h
+}
+
+/// Histogram-estimated quantile (`q` in `[0, 1]`) of a slice.
+///
+/// Bucket-resolution estimate — within one log-scale bucket (≤ 25 %
+/// relative error) of the exact order statistic, exact at the observed
+/// extremes. `None` on an empty slice or when every sample is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    histogram_of(values).quantile(q)
 }
 
 /// Sample geometric mean of positive values (useful for averaging
@@ -89,6 +95,7 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dust::prelude::SplitMix64;
 
     #[test]
     fn exact_power_law_recovered() {
@@ -117,19 +124,39 @@ mod tests {
         assert!(power_law_fit(&[(0.0, 2.0), (-1.0, 3.0)]).is_none()); // no logs
     }
 
+    /// Seeded property test: the histogram-backed quantile tracks the
+    /// exact sorted order statistic within one log-bucket (25 %) at
+    /// every decile, and is exact at both extremes.
     #[test]
-    fn percentile_interpolates() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 100.0), 4.0);
-        assert_eq!(percentile(&v, 50.0), 2.5);
-        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    fn quantile_tracks_exact_order_statistic() {
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(seed * 101 + 1);
+            let values: Vec<f64> = (0..500).map(|_| rng.range_f64(0.5, 5_000.0)).collect();
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for dec in 0..=10 {
+                let q = dec as f64 / 10.0;
+                let exact = sorted[((q * (sorted.len() - 1) as f64).round()) as usize];
+                let est = quantile(&values, q).unwrap();
+                assert!(
+                    est >= exact / 1.25 - 1e-9 && est <= exact * 1.25 + 1e-9,
+                    "seed {seed} q {q}: estimate {est} vs exact {exact}"
+                );
+            }
+            assert_eq!(quantile(&values, 0.0), Some(sorted[0]), "seed {seed}: min not exact");
+            assert_eq!(
+                quantile(&values, 1.0),
+                Some(sorted[sorted.len() - 1]),
+                "seed {seed}: max not exact"
+            );
+        }
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile(&[], 50.0);
+    fn quantile_degenerate_inputs() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(quantile(&[f64::NAN], 0.5).is_none());
+        assert_eq!(quantile(&[7.0], 0.5).map(f64::round), Some(7.0));
     }
 
     #[test]

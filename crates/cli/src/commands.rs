@@ -85,6 +85,11 @@ pub struct SimOptions {
     pub seed: u64,
     /// Sweep the canned loss ladder instead of one `--loss` run.
     pub sweep: bool,
+    /// Append the recorded metrics in text form.
+    pub metrics: bool,
+    /// Append the recorded metrics (plus trace digest) as JSON — stable
+    /// byte-for-byte per seed, so CI can diff two runs.
+    pub metrics_json: bool,
 }
 
 impl Default for SimOptions {
@@ -97,6 +102,47 @@ impl Default for SimOptions {
             duration_ms: 120_000,
             seed: 0,
             sweep: false,
+            metrics: false,
+            metrics_json: false,
+        }
+    }
+}
+
+impl SimOptions {
+    fn validate(&self) -> Result<(), String> {
+        for (flag, p) in [("--loss", self.loss), ("--dup", self.dup)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{flag} must lie in [0, 1], got {p}"));
+            }
+        }
+        if self.duration_ms == 0 {
+            return Err("--duration must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The fault ladder this invocation runs: the canned sweep or the
+    /// single profile assembled from the flags.
+    fn fault_ladder(&self) -> Vec<FaultConfig> {
+        if self.sweep {
+            [0.0, 0.05, 0.1, 0.2, 0.4]
+                .iter()
+                .map(|&loss| {
+                    FaultConfig::symmetric(FaultProfile {
+                        drop: loss,
+                        duplicate: loss / 2.0,
+                        delay_ms: 20,
+                        jitter_ms: 100,
+                    })
+                })
+                .collect()
+        } else {
+            vec![FaultConfig::symmetric(FaultProfile {
+                drop: self.loss,
+                duplicate: self.dup,
+                delay_ms: self.delay_ms,
+                jitter_ms: self.jitter_ms,
+            })]
         }
     }
 }
@@ -106,36 +152,15 @@ impl Default for SimOptions {
 /// (via `Err`) if a conservation invariant breaks — the whole point of
 /// the command is that it never should.
 pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
-    for (flag, p) in [("--loss", opts.loss), ("--dup", opts.dup)] {
-        if !(0.0..=1.0).contains(&p) {
-            return Err(format!("{flag} must lie in [0, 1], got {p}"));
-        }
+    opts.validate()?;
+    let observed = opts.metrics || opts.metrics_json;
+    let mut results: Vec<ChaosResult> = Vec::new();
+    let mut recorders: Vec<ObsHandle> = Vec::new();
+    for faults in opts.fault_ladder() {
+        let obs = if observed { ObsHandle::recording(opts.seed) } else { ObsHandle::disabled() };
+        results.push(chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone()));
+        recorders.push(obs);
     }
-    if opts.duration_ms == 0 {
-        return Err("--duration must be positive".into());
-    }
-    let results: Vec<ChaosResult> = if opts.sweep {
-        [0.0, 0.05, 0.1, 0.2, 0.4]
-            .iter()
-            .map(|&loss| {
-                let faults = FaultConfig::symmetric(FaultProfile {
-                    drop: loss,
-                    duplicate: loss / 2.0,
-                    delay_ms: 20,
-                    jitter_ms: 100,
-                });
-                chaos_with_faults(faults, opts.duration_ms, opts.seed)
-            })
-            .collect()
-    } else {
-        let faults = FaultConfig::symmetric(FaultProfile {
-            drop: opts.loss,
-            duplicate: opts.dup,
-            delay_ms: opts.delay_ms,
-            jitter_ms: opts.jitter_ms,
-        });
-        vec![chaos_with_faults(faults, opts.duration_ms, opts.seed)]
-    };
     let mut out = format!(
         "testbed chaos run: {:.0}s simulated, seed {}\n\n{}",
         opts.duration_ms as f64 / 1000.0,
@@ -163,6 +188,62 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
         }
     }
     out.push_str("\ninvariants: agents conserved, ledgers consistent, no leaked offers\n");
+    for (r, obs) in results.iter().zip(&recorders) {
+        if opts.metrics {
+            let m = obs.metrics().expect("recording handle");
+            out.push_str(&format!(
+                "\n-- metrics (loss {:.0}%, seed {}, digest {:016x}) --\n{}",
+                r.loss * 100.0,
+                opts.seed,
+                obs.digest().expect("recording handle"),
+                m.to_text()
+            ));
+        }
+        if opts.metrics_json {
+            let m = obs.metrics().expect("recording handle");
+            out.push_str(&format!(
+                "{{\"loss\":{},\"seed\":{},\"digest\":\"{:016x}\",\"metrics\":{}}}\n",
+                r.loss,
+                opts.seed,
+                obs.digest().expect("recording handle"),
+                m.to_json()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `dustctl trace`: run one chaos scenario with the trace recorder on
+/// and print the event census plus the run's digest — or, with `full`,
+/// the entire decoded event log. Two invocations with the same flags
+/// print byte-identical output; that is the feature.
+pub fn cmd_trace(opts: &SimOptions, full: bool) -> Result<String, String> {
+    opts.validate()?;
+    if opts.sweep {
+        return Err("trace records a single run; drop --sweep".into());
+    }
+    let obs = ObsHandle::recording(opts.seed);
+    let faults = opts.fault_ladder().remove(0);
+    let r = chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone());
+    let trace = obs.trace_snapshot().expect("recording handle");
+    if full {
+        return Ok(trace.to_text());
+    }
+    let mut by_kind: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for e in trace.entries() {
+        *by_kind.entry(e.event.kind()).or_insert(0) += 1;
+    }
+    let mut out = format!(
+        "trace: seed {}, loss {:.0}%, {} events, digest {:016x}\n",
+        opts.seed,
+        r.loss * 100.0,
+        trace.len(),
+        trace.digest()
+    );
+    for (kind, n) in by_kind {
+        out.push_str(&format!("  {kind:<18} {n}\n"));
+    }
     Ok(out)
 }
 
@@ -467,6 +548,54 @@ mod tests {
         let out = cmd_sim(&o).unwrap();
         // header + five ladder rows + trailing invariant line
         assert_eq!(out.lines().filter(|l| l.ends_with("ok")).count(), 5, "{out}");
+    }
+
+    #[test]
+    fn sim_metrics_json_is_byte_identical_per_seed() {
+        let o = SimOptions {
+            loss: 0.2,
+            dup: 0.1,
+            delay_ms: 20,
+            jitter_ms: 100,
+            duration_ms: 30_000,
+            seed: 23,
+            metrics_json: true,
+            ..Default::default()
+        };
+        let a = cmd_sim(&o).unwrap();
+        let b = cmd_sim(&o).unwrap();
+        assert_eq!(a, b, "metrics JSON must be reproducible byte-for-byte");
+        assert!(a.contains("\"digest\":\""), "{a}");
+        assert!(a.contains("proto.offers_sent"), "{a}");
+    }
+
+    #[test]
+    fn sim_metrics_text_includes_transport_counters() {
+        let o = SimOptions {
+            loss: 0.2,
+            duration_ms: 30_000,
+            seed: 5,
+            metrics: true,
+            ..Default::default()
+        };
+        let out = cmd_sim(&o).unwrap();
+        assert!(out.contains("-- metrics"), "{out}");
+        assert!(out.contains("sim.transport.to_manager.sent"), "{out}");
+        assert!(out.contains("hist lp."), "solver histograms must record: {out}");
+    }
+
+    #[test]
+    fn trace_census_is_reproducible_and_full_dump_carries_digest() {
+        let o = SimOptions { loss: 0.2, duration_ms: 30_000, seed: 7, ..Default::default() };
+        let a = cmd_trace(&o, false).unwrap();
+        let b = cmd_trace(&o, false).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("digest"), "{a}");
+        assert!(a.contains("Offer"), "{a}");
+        let full = cmd_trace(&o, true).unwrap();
+        let digest_line = full.lines().last().unwrap();
+        assert!(digest_line.starts_with("digest "), "{digest_line}");
+        assert!(cmd_trace(&SimOptions { sweep: true, ..o }, false).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ```
 
 use dust_cli::commands::{
-    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_zoned, roles, Options, SimOptions,
+    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_trace, cmd_zoned, roles, Options, SimOptions,
 };
 use dust_cli::format::{example_file, parse_nmdb};
 
@@ -24,6 +24,8 @@ commands:
                                per-zone placement, optional cross-zone sweep
   dot       <file>             Graphviz view: roles colored + chosen routes
   sim                          chaos-run the testbed under a lossy control plane
+  trace                        chaos-run with the trace recorder on; print the
+                               event census and the run's deterministic digest
 
 options (all commands taking a file):
   --c-max X     Busy threshold (default 80)
@@ -42,6 +44,13 @@ sim options:
   --duration MS simulated time (default 120000)
   --seed N      master seed (default 0)
   --sweep       sweep loss 0/5/10/20/40% instead of a single --loss run
+  --metrics     append the recorded metrics (counters/gauges/histograms)
+  --metrics-json
+                append one stable JSON object per run (includes the trace
+                digest) — byte-identical across runs at the same seed
+
+trace options: same as sim (minus --sweep), plus
+  --full        dump the entire decoded event log instead of the census
 
 exit status: 0 on success, 1 when no feasible placement exists or a sim
 invariant breaks, 2 on usage errors";
@@ -62,8 +71,9 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if cmd == "sim" {
+    if cmd == "sim" || cmd == "trace" {
         let mut s = SimOptions::default();
+        let mut full = false;
         let mut it = args.iter().skip(1);
         let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
             let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
@@ -77,11 +87,15 @@ fn main() {
                 "--jitter" => s.jitter_ms = numeric(&mut it, "--jitter") as u64,
                 "--duration" => s.duration_ms = numeric(&mut it, "--duration") as u64,
                 "--seed" => s.seed = numeric(&mut it, "--seed") as u64,
-                "--sweep" => s.sweep = true,
-                other => fail(format!("sim: unknown option {other:?}")),
+                "--sweep" if cmd == "sim" => s.sweep = true,
+                "--metrics" if cmd == "sim" => s.metrics = true,
+                "--metrics-json" if cmd == "sim" => s.metrics_json = true,
+                "--full" if cmd == "trace" => full = true,
+                other => fail(format!("{cmd}: unknown option {other:?}")),
             }
         }
-        match cmd_sim(&s) {
+        let result = if cmd == "sim" { cmd_sim(&s) } else { cmd_trace(&s, full) };
+        match result {
             Ok(out) => print!("{out}"),
             Err(e) => {
                 eprintln!("dustctl: {e}");

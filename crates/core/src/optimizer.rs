@@ -151,9 +151,15 @@ pub fn optimize_with(
     engine: &CostEngine,
 ) -> Result<Placement, DustError> {
     cfg.validate().map_err(DustError::BadConfig)?;
+    // Solver metrics (pivots, B&B nodes) are recorded through the
+    // engine's observability handle — attach one with
+    // `CostEngine::set_obs` or `PlacementRequest::obs`.
+    let obs = engine.obs();
+    obs.counter_inc("core.placements");
     let busy = nmdb.busy_nodes(cfg);
     let candidates = nmdb.candidate_nodes(cfg);
     if busy.is_empty() {
+        obs.counter_inc("core.placements_no_busy");
         return Ok(Placement {
             status: PlacementStatus::NoBusyNodes,
             assignments: Vec::new(),
@@ -182,7 +188,7 @@ pub fn optimize_with(
     let flows: Option<(Vec<f64>, f64)> = match backend {
         SolverBackend::Transportation => {
             let tp = TransportProblem::new(supply.clone(), capacity.clone(), costs.t_rmin.clone());
-            let sol = tp.solve();
+            let sol = tp.solve_observed(obs);
             if sol.status == TransportStatus::Optimal {
                 shadow_prices =
                     candidates.iter().copied().zip(sol.col_potentials.iter().copied()).collect();
@@ -211,7 +217,7 @@ pub fn optimize_with(
                     (0..busy.len()).filter_map(|r| vars[r * n + c].map(|v| (v, 1.0))).collect();
                 p.add_constraint(&terms, Cmp::Le, cap);
             }
-            let sol = dust_lp::solve(&p);
+            let sol = dust_lp::solve_observed(&p, dust_lp::Options::default(), obs);
             if sol.status == Status::Unbounded {
                 return Err(DustError::Unbounded);
             }
@@ -229,6 +235,7 @@ pub fn optimize_with(
     let solve_time = t1.elapsed();
 
     let Some((flow, beta)) = flows else {
+        obs.counter_inc("core.placements_infeasible");
         return Ok(Placement {
             status: PlacementStatus::Infeasible,
             assignments: Vec::new(),
@@ -267,6 +274,7 @@ pub fn optimize_with(
         }
     }
 
+    obs.counter_inc("core.placements_optimal");
     Ok(Placement {
         status: PlacementStatus::Optimal,
         assignments,

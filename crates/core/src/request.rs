@@ -38,6 +38,7 @@ use crate::integral::{optimize_integral_with, IntegralPlacement, WorkUnit};
 use crate::optimizer::{optimize_with, Assignment, Placement, PlacementStatus, SolverBackend};
 use crate::state::Nmdb;
 use crate::zoning::{optimize_zoned_with, ZonedPlacement, Zoning};
+use dust_obs::ObsHandle;
 use dust_topology::{CostEngine, PathEngine};
 
 /// Which placement algorithm a request runs.
@@ -80,6 +81,7 @@ pub struct PlacementRequest<'a> {
     backend: SolverBackend,
     strategy: Strategy<'a>,
     engine: EngineRef<'a>,
+    obs: ObsHandle,
 }
 
 impl<'a> PlacementRequest<'a> {
@@ -93,7 +95,21 @@ impl<'a> PlacementRequest<'a> {
             backend: SolverBackend::default(),
             strategy: Strategy::Lp,
             engine: EngineRef::Owned(CostEngine::new()),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Record metrics and trace events for this solve into `obs` (cost
+    /// cache hits/misses, rows priced, solver pivot counts). Applies to
+    /// the request-owned engine; when sharing an engine via
+    /// [`engine`](PlacementRequest::engine), attach the handle to that
+    /// engine with [`CostEngine::set_obs`] instead.
+    pub fn obs(mut self, obs: ObsHandle) -> Self {
+        if let EngineRef::Owned(e) = &mut self.engine {
+            e.set_obs(obs.clone());
+        }
+        self.obs = obs;
+        self
     }
 
     /// Choose the LP backend (transportation or two-phase simplex).
@@ -124,7 +140,7 @@ impl<'a> PlacementRequest<'a> {
     /// Replaces any engine previously set via
     /// [`engine`](PlacementRequest::engine), losing its cache.
     pub fn threads(mut self, n: usize) -> Self {
-        self.engine = EngineRef::Owned(CostEngine::with_threads(n));
+        self.engine = EngineRef::Owned(CostEngine::with_threads(n).with_obs(self.obs.clone()));
         self
     }
 

@@ -9,6 +9,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`obs`] | `dust-obs` | metrics registry, deterministic event tracing, trace digests |
 //! | [`topology`] | `dust-topology` | graphs, fat-trees, bounded path enumeration, `T_rmin` costs |
 //! | [`lp`] | `dust-lp` | simplex, transportation solver, branch-and-bound |
 //! | [`core`] | `dust-core` | thresholds, roles, NMDB, the placement ILP, Algorithm 1, HFR, `Δ_io` |
@@ -43,6 +44,7 @@
 
 pub use dust_core as core;
 pub use dust_lp as lp;
+pub use dust_obs as obs;
 pub use dust_proto as proto;
 pub use dust_sim as sim;
 pub use dust_telemetry as telemetry;
@@ -58,11 +60,13 @@ pub mod prelude {
         PlacementRequest, PlacementStatus, ReportOutcome, Role, ScenarioParams, SolverBackend,
         SuccessClass, SuccessTally, WorkUnit, ZonedPlacement, Zoning,
     };
+    pub use dust_obs::{Histogram, MetricsRegistry, ObsHandle, Trace, TraceAssert, TraceEvent};
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
     pub use dust_sim::{
-        chaos, chaos_sweep, chaos_with_faults, evaluate_flows, fig1, fig6, fleet, testbed_topology,
-        ChaosResult, FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimConfig, SimNode,
-        SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
+        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, evaluate_flows, fig1,
+        fig6, fleet, testbed_observed, testbed_topology, ChaosResult, FaultConfig, FaultProfile,
+        FlowOutcome, NodeSpec, SimConfig, SimNode, SimReport, Simulation, TelemetryFlow,
+        TrafficModel, Transport,
     };
     pub use dust_telemetry::{
         aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,

@@ -85,6 +85,20 @@ pub fn solve_mip(p: &Problem) -> MipSolution {
     solve_mip_with(p, MipOptions::default())
 }
 
+/// Solve a mixed-integer program and record solver metrics into `obs`:
+/// node counter and histogram plus one `BranchAndBound` trace event.
+/// A disabled handle makes this identical to [`solve_mip_with`].
+pub fn solve_mip_observed(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) -> MipSolution {
+    let s = solve_mip_with(p, opts);
+    if obs.is_enabled() {
+        obs.counter_inc("lp.bb.solves");
+        obs.counter_add("lp.bb.nodes", s.nodes as u64);
+        obs.observe("lp.bb.nodes", s.nodes as f64);
+        obs.trace(dust_obs::TraceEvent::BranchAndBound { nodes: s.nodes as u64 });
+    }
+    s
+}
+
 /// Solve a mixed-integer program.
 pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
     let ints = p.integer_vars();

@@ -42,6 +42,10 @@ pub struct Solution {
     pub objective: f64,
     /// Total simplex pivots across both phases.
     pub iterations: usize,
+    /// Pivots spent in Phase 1 (driving out artificials).
+    pub phase1_iterations: usize,
+    /// Pivots spent in Phase 2 (optimizing the real objective).
+    pub phase2_iterations: usize,
 }
 
 impl Solution {
@@ -334,6 +338,7 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     }
 
     let mut total_iters = 0usize;
+    let mut phase1_iters = 0usize;
 
     // ---- 3. Phase 1 -------------------------------------------------------
     if !artificials.is_empty() {
@@ -344,6 +349,7 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
         let allowed = vec![true; n_total_guess];
         let (st, obj, it) = run_simplex(&mut tab, &p1_costs, &allowed, opts);
         total_iters += it;
+        phase1_iters = it;
         match st {
             Status::Optimal => {
                 if obj > 1e-6 {
@@ -352,6 +358,8 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
                         x: Vec::new(),
                         objective: f64::NAN,
                         iterations: total_iters,
+                        phase1_iterations: phase1_iters,
+                        phase2_iterations: 0,
                     };
                 }
             }
@@ -361,6 +369,8 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
                     x: Vec::new(),
                     objective: f64::NAN,
                     iterations: total_iters,
+                    phase1_iterations: phase1_iters,
+                    phase2_iterations: 0,
                 };
             }
             // Phase 1 objective is bounded below by 0, so Unbounded cannot
@@ -395,6 +405,7 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     allowed[n_struct + n_slack..].fill(false); // artificials may never re-enter
     let (st, obj, it) = run_simplex(&mut tab, &p2_costs, &allowed, opts);
     total_iters += it;
+    let phase2_iters = it;
     match st {
         Status::Optimal => {}
         other => {
@@ -403,6 +414,8 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
                 x: Vec::new(),
                 objective: f64::NAN,
                 iterations: total_iters,
+                phase1_iterations: phase1_iters,
+                phase2_iterations: phase2_iters,
             };
         }
     }
@@ -427,7 +440,34 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     let _ = obj;
     let objective = p.objective_value(&x);
     debug_assert!(p.is_feasible(&x, 1e-5), "simplex returned an infeasible point: {x:?}");
-    Solution { status: Status::Optimal, x, objective, iterations: total_iters }
+    Solution {
+        status: Status::Optimal,
+        x,
+        objective,
+        iterations: total_iters,
+        phase1_iterations: phase1_iters,
+        phase2_iterations: phase2_iters,
+    }
+}
+
+/// Solve `p` and record solver metrics into `obs`: pivot counters and
+/// histograms split by phase, plus one `SimplexSolve` trace event. A
+/// disabled handle makes this identical to [`solve_with`].
+pub fn solve_observed(p: &Problem, opts: Options, obs: &dust_obs::ObsHandle) -> Solution {
+    let s = solve_with(p, opts);
+    if obs.is_enabled() {
+        obs.counter_inc("lp.simplex.solves");
+        obs.counter_add("lp.simplex.pivots", s.iterations as u64);
+        obs.counter_add("lp.simplex.phase1_iterations", s.phase1_iterations as u64);
+        obs.counter_add("lp.simplex.phase2_iterations", s.phase2_iterations as u64);
+        obs.observe("lp.simplex.pivots", s.iterations as f64);
+        obs.trace(dust_obs::TraceEvent::SimplexSolve {
+            pivots: s.iterations as u64,
+            phase1: s.phase1_iterations as u64,
+            phase2: s.phase2_iterations as u64,
+        });
+    }
+    s
 }
 
 #[cfg(test)]

@@ -76,6 +76,20 @@ impl TransportProblem {
         TransportProblem { supply, capacity, cost }
     }
 
+    /// Solve and record solver metrics into `obs`: a MODI pivot counter
+    /// and histogram plus one `TransportSolve` trace event. A disabled
+    /// handle makes this identical to [`TransportProblem::solve`].
+    pub fn solve_observed(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
+        let s = self.solve();
+        if obs.is_enabled() {
+            obs.counter_inc("lp.transport.solves");
+            obs.counter_add("lp.transport.pivots", s.iterations as u64);
+            obs.observe("lp.transport.pivots", s.iterations as f64);
+            obs.trace(dust_obs::TraceEvent::TransportSolve { pivots: s.iterations as u64 });
+        }
+        s
+    }
+
     /// Solve the instance.
     pub fn solve(&self) -> TransportSolution {
         const TOL: f64 = 1e-9;

@@ -1,0 +1,179 @@
+//! Test helper for asserting over recorded traces.
+//!
+//! `TraceAssert` wraps a [`Trace`] and provides pattern counts, window
+//! counts, expect/forbid assertions, and precedence checks — the
+//! building blocks of the trace-based protocol regression tests (e.g.
+//! "no `ClientAccept` after a `ClientReleased` for the same request",
+//! "every `Abandon` is preceded by the full retry budget of
+//! `Retransmit` events").
+
+use crate::trace::{Trace, TraceEntry};
+
+/// Assertion surface over an immutable trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceAssert<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> TraceAssert<'a> {
+    /// Wrap a recorded trace.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceAssert { trace }
+    }
+
+    /// The underlying entries, in record order.
+    pub fn entries(&self) -> &'a [TraceEntry] {
+        self.trace.entries()
+    }
+
+    /// Number of events of a given kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.entries().iter().filter(|e| e.event.kind() == kind).count()
+    }
+
+    /// Number of entries matching an arbitrary predicate.
+    pub fn count_where(&self, pred: impl Fn(&TraceEntry) -> bool) -> usize {
+        self.entries().iter().filter(|e| pred(e)).count()
+    }
+
+    /// Number of events of a kind inside the inclusive sim-time window.
+    pub fn count_in_window(&self, kind: &str, from_ms: u64, to_ms: u64) -> usize {
+        self.count_where(|e| e.event.kind() == kind && (from_ms..=to_ms).contains(&e.t_ms))
+    }
+
+    /// Panic unless at least one event of `kind` was recorded.
+    #[track_caller]
+    pub fn expect(&self, kind: &str) -> &Self {
+        assert!(self.count(kind) > 0, "expected at least one `{kind}` event, trace has none");
+        self
+    }
+
+    /// Panic unless at least `min` events of `kind` were recorded.
+    #[track_caller]
+    pub fn expect_at_least(&self, kind: &str, min: usize) -> &Self {
+        let n = self.count(kind);
+        assert!(n >= min, "expected >= {min} `{kind}` events, trace has {n}");
+        self
+    }
+
+    /// Panic if any entry matches the predicate.
+    #[track_caller]
+    pub fn forbid(&self, what: &str, pred: impl Fn(&TraceEntry) -> bool) -> &Self {
+        if let Some(e) = self.entries().iter().find(|e| pred(e)) {
+            panic!("forbidden event ({what}) present: {} (t={} seq={})", e.event, e.t_ms, e.seq);
+        }
+        self
+    }
+
+    /// For every entry matching `anchor`, panic if any *later* entry
+    /// matches `later(anchor_entry, later_entry)`. Precedence guard for
+    /// per-request orderings (tombstone → no re-accept).
+    #[track_caller]
+    pub fn forbid_after(
+        &self,
+        what: &str,
+        anchor: impl Fn(&TraceEntry) -> bool,
+        later: impl Fn(&TraceEntry, &TraceEntry) -> bool,
+    ) -> &Self {
+        let entries = self.entries();
+        for (i, a) in entries.iter().enumerate() {
+            if !anchor(a) {
+                continue;
+            }
+            if let Some(b) = entries[i + 1..].iter().find(|b| later(a, b)) {
+                panic!(
+                    "forbidden ordering ({what}): {} (seq={}) followed by {} (seq={})",
+                    a.event, a.seq, b.event, b.seq
+                );
+            }
+        }
+        self
+    }
+
+    /// Number of entries before `seq` that match the predicate.
+    pub fn preceding(&self, seq: u64, pred: impl Fn(&TraceEntry) -> bool) -> usize {
+        self.entries().iter().take(seq as usize).filter(|e| pred(e)).count()
+    }
+
+    /// Panic unless the trace digest equals `expected`.
+    #[track_caller]
+    pub fn assert_digest(&self, expected: u64) -> &Self {
+        assert_eq!(
+            self.trace.digest(),
+            expected,
+            "trace digest mismatch: got {:016x}, expected {expected:016x}",
+            self.trace.digest(),
+        );
+        self
+    }
+
+    /// Panic unless two traces have identical digests.
+    #[track_caller]
+    pub fn assert_same_digest(&self, other: &Trace) -> &Self {
+        assert_eq!(
+            self.trace.digest(),
+            other.digest(),
+            "trace digests diverge: {:016x} vs {:016x}",
+            self.trace.digest(),
+            other.digest(),
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(1);
+        t.record(0, TraceEvent::Offer { request: 1, from: 0, to: 2 });
+        t.record(3, TraceEvent::Retransmit { request: 1, attempt: 2 });
+        t.record(5, TraceEvent::Abandon { request: 1 });
+        t
+    }
+
+    #[test]
+    fn counts_and_windows() {
+        let t = sample();
+        let a = TraceAssert::new(&t);
+        assert_eq!(a.count("Offer"), 1);
+        assert_eq!(a.count_in_window("Retransmit", 0, 3), 1);
+        assert_eq!(a.count_in_window("Retransmit", 4, 9), 0);
+        a.expect("Abandon").expect_at_least("Offer", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden event")]
+    fn forbid_fires() {
+        let t = sample();
+        TraceAssert::new(&t).forbid("no abandons", |e| e.event.kind() == "Abandon");
+    }
+
+    #[test]
+    #[should_panic(expected = "forbidden ordering")]
+    fn forbid_after_fires() {
+        let t = sample();
+        TraceAssert::new(&t).forbid_after(
+            "retransmit after offer",
+            |e| e.event.kind() == "Offer",
+            |a, b| b.event.kind() == "Retransmit" && b.event.request() == a.event.request(),
+        );
+    }
+
+    #[test]
+    fn preceding_counts_only_earlier_entries() {
+        let t = sample();
+        let a = TraceAssert::new(&t);
+        let abandon_seq = a.entries().iter().find(|e| e.event.kind() == "Abandon").unwrap().seq;
+        assert_eq!(a.preceding(abandon_seq, |e| e.event.kind() == "Retransmit"), 1);
+    }
+
+    #[test]
+    fn digest_assertions() {
+        let t = sample();
+        let u = sample();
+        TraceAssert::new(&t).assert_digest(t.digest()).assert_same_digest(&u);
+    }
+}

@@ -1,0 +1,224 @@
+//! # dust-obs — deterministic observability for DUST
+//!
+//! A dependency-free metrics + tracing layer shared by every crate in
+//! the workspace. Two halves:
+//!
+//! * [`MetricsRegistry`] — monotonic counters, gauges, and log-scale
+//!   [`Histogram`]s with exactly mergeable snapshots and stable
+//!   text/JSON encodings.
+//! * [`Trace`] — an append-only structured event log keyed by sim time
+//!   and seed, with a running FNV-1a digest so two runs at the same
+//!   seed are bit-identical iff their digests match. [`TraceAssert`]
+//!   turns traces into regression tests.
+//!
+//! Both live behind [`ObsHandle`], a cheap clonable handle that is a
+//! **no-op by default**: `ObsHandle::disabled()` (also `Default`)
+//! carries no allocation and every recording call short-circuits on one
+//! `Option` check, so instrumented code pays nothing when observability
+//! is off. `ObsHandle::recording(seed)` turns everything on.
+//!
+//! ## Determinism contract
+//!
+//! Instrumentation must never perturb the instrumented system: handles
+//! are passed by value/clone, recording never fails, and nothing reads
+//! back from the registry on the hot path. Callers in parallel regions
+//! must restrict themselves to counter increments (commutative — totals
+//! are deterministic regardless of interleaving) and must not emit
+//! trace events, whose order would depend on thread scheduling; the
+//! cost engine, for example, decides cache hits in a sequential pre-pass
+//! and emits a single summary event per matrix build.
+
+#![warn(missing_docs)]
+
+mod assert;
+mod hist;
+mod metrics;
+mod trace;
+
+pub use assert::TraceAssert;
+pub use hist::{Histogram, NUM_BUCKETS, SUB_BUCKETS};
+pub use metrics::MetricsRegistry;
+pub use trace::{Trace, TraceEntry, TraceEvent};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug)]
+struct ObsCore {
+    /// Sim clock, mirrored by whoever owns the clock (the sim runner)
+    /// so layers without one (cost engine, solvers) can stamp events.
+    now_ms: AtomicU64,
+    inner: Mutex<ObsInner>,
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    metrics: MetricsRegistry,
+    trace: Trace,
+}
+
+/// Shared handle to one run's metrics + trace. Clones are cheap and all
+/// point at the same underlying recorder.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    core: Option<Arc<ObsCore>>,
+}
+
+impl ObsHandle {
+    /// The no-op handle: every recording call returns immediately.
+    pub fn disabled() -> Self {
+        ObsHandle { core: None }
+    }
+
+    /// A live handle recording into a fresh registry and trace.
+    pub fn recording(seed: u64) -> Self {
+        ObsHandle {
+            core: Some(Arc::new(ObsCore {
+                now_ms: AtomicU64::new(0),
+                inner: Mutex::new(ObsInner {
+                    metrics: MetricsRegistry::new(),
+                    trace: Trace::new(seed),
+                }),
+            })),
+        }
+    }
+
+    /// True when this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    fn lock(core: &ObsCore) -> MutexGuard<'_, ObsInner> {
+        // recording never panics while holding the lock; if a caller's
+        // assertion ever poisons it, keep recording anyway
+        core.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mirror the sim clock (ms). Called by the clock owner per event.
+    pub fn set_now(&self, t_ms: u64) {
+        if let Some(c) = &self.core {
+            c.now_ms.store(t_ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Current mirrored sim time, ms (0 when disabled or never set).
+    pub fn now(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.now_ms.load(Ordering::Relaxed))
+    }
+
+    /// Add `n` to a counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(c) = &self.core {
+            Self::lock(c).metrics.counter_add(name, n);
+        }
+    }
+
+    /// Add 1 to a counter.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Set a gauge. Must only be called from deterministic (sequential)
+    /// context — last write wins.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(c) = &self.core {
+            Self::lock(c).metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(c) = &self.core {
+            Self::lock(c).metrics.observe(name, v);
+        }
+    }
+
+    /// Record a trace event at the mirrored sim time. Must only be
+    /// called from deterministic (sequential) context.
+    pub fn trace(&self, event: TraceEvent) {
+        if let Some(c) = &self.core {
+            let t = c.now_ms.load(Ordering::Relaxed);
+            Self::lock(c).trace.record(t, event);
+        }
+    }
+
+    /// Record a trace event at an explicit sim time.
+    pub fn trace_at(&self, t_ms: u64, event: TraceEvent) {
+        if let Some(c) = &self.core {
+            Self::lock(c).trace.record(t_ms, event);
+        }
+    }
+
+    /// Snapshot of the metrics so far (`None` when disabled).
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.core.as_ref().map(|c| Self::lock(c).metrics.snapshot())
+    }
+
+    /// Copy of the trace so far (`None` when disabled).
+    pub fn trace_snapshot(&self) -> Option<Trace> {
+        self.core.as_ref().map(|c| Self::lock(c).trace.clone())
+    }
+
+    /// Current trace digest (`None` when disabled).
+    pub fn digest(&self) -> Option<u64> {
+        self.core.as_ref().map(|c| Self::lock(c).trace.digest())
+    }
+
+    /// Convenience: counter value, 0 when disabled.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.core.as_ref().map_or(0, |c| Self::lock(c).metrics.counter(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert_and_cheap() {
+        let h = ObsHandle::disabled();
+        assert!(!h.is_enabled());
+        h.counter_inc("x");
+        h.observe("h", 1.0);
+        h.trace(TraceEvent::Abandon { request: 1 });
+        assert_eq!(h.metrics(), None);
+        assert_eq!(h.digest(), None);
+        assert_eq!(h.counter("x"), 0);
+        assert_eq!(std::mem::size_of::<ObsHandle>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!ObsHandle::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let h = ObsHandle::recording(5);
+        let h2 = h.clone();
+        h.counter_add("c", 2);
+        h2.counter_add("c", 3);
+        h2.set_now(40);
+        h.trace(TraceEvent::Reclaim { request: 1, node: 2 });
+        assert_eq!(h.counter("c"), 5);
+        let t = h2.trace_snapshot().unwrap();
+        assert_eq!(t.entries()[0].t_ms, 40);
+        assert_eq!(t.seed(), 5);
+    }
+
+    #[test]
+    fn parallel_counter_adds_are_deterministic_in_total() {
+        let h = ObsHandle::recording(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.counter_inc("n");
+                    }
+                });
+            }
+        });
+        assert_eq!(h.counter("n"), 4000);
+    }
+}

@@ -1,0 +1,241 @@
+//! Metrics registry: monotonic counters, gauges, histograms.
+//!
+//! The registry doubles as its own snapshot type — `snapshot()` is a
+//! deep clone, and snapshots can be [`MetricsRegistry::merge`]d (counters
+//! add, gauges keep the max, histograms merge bucket-wise) with exact
+//! associativity/commutativity. All maps are `BTreeMap`s so every
+//! encoding ([`MetricsRegistry::to_text`], [`MetricsRegistry::to_json`])
+//! is byte-stable regardless of registration order timing.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+
+/// Counters, gauges, and histograms keyed by dotted names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `n` to a monotonic counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one sample into a named histogram.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deep copy of the current state.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// Fold another registry in: counters add, gauges keep the max,
+    /// histograms merge bucket-wise. Associative and commutative.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            if v > *e {
+                *e = v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Stable line-oriented text encoding:
+    ///
+    /// ```text
+    /// counter proto.offers_sent 12
+    /// gauge cost.workers 4
+    /// hist lp.simplex.pivots count=5 min=2 max=9 buckets=141:3,145:2
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("hist {k} {}\n", h.encode()));
+        }
+        out
+    }
+
+    /// Inverse of [`MetricsRegistry::to_text`]; `None` on malformed input.
+    pub fn from_text(text: &str) -> Option<MetricsRegistry> {
+        let mut m = MetricsRegistry::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, rest) = line.split_once(' ')?;
+            let (name, value) = rest.split_once(' ')?;
+            match kind {
+                "counter" => {
+                    m.counters.insert(name.to_string(), value.parse().ok()?);
+                }
+                "gauge" => {
+                    m.gauges.insert(name.to_string(), value.parse().ok()?);
+                }
+                "hist" => {
+                    m.histograms.insert(name.to_string(), Histogram::decode(value)?);
+                }
+                _ => return None,
+            }
+        }
+        Some(m)
+    }
+
+    /// Stable JSON encoding (sorted keys, shortest-roundtrip floats).
+    /// Histograms are summarized as count/min/max/p50/p99 plus sparse
+    /// buckets. Suitable for byte-for-byte diffing across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter().map(|(k, v)| (k, json_f64(*v))));
+        out.push_str("},\"histograms\":{");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let mut v = format!("{{\"count\":{}", h.count());
+                if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
+                    v.push_str(&format!(",\"min\":{},\"max\":{}", json_f64(mn), json_f64(mx)));
+                    let p50 = h.quantile(0.5).unwrap();
+                    let p99 = h.quantile(0.99).unwrap();
+                    v.push_str(&format!(",\"p50\":{},\"p99\":{}", json_f64(p50), json_f64(p99)));
+                }
+                v.push_str(",\"buckets\":{");
+                let mut first = true;
+                for (i, _, _, c) in h.nonzero_buckets() {
+                    if !first {
+                        v.push(',');
+                    }
+                    v.push_str(&format!("\"{i}\":{c}"));
+                    first = false;
+                }
+                v.push_str("}}");
+                (k, v)
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// JSON-safe float rendering (JSON has no inf/nan literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_entries<'a>(out: &mut String, it: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in it {
+        if !first {
+            out.push(',');
+        }
+        // names are code-controlled dotted identifiers; escape the two
+        // characters that could break the framing anyway
+        let k = k.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("\"{k}\":{v}"));
+        first = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_default_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.counter_add("x", 2);
+        m.counter_add("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a.b", 7);
+        m.gauge_set("g", 1.25);
+        m.observe("h", 3.0);
+        m.observe("h", 900.5);
+        assert_eq!(MetricsRegistry::from_text(&m.to_text()), Some(m));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 4);
+        b.gauge_set("g", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(2.0));
+    }
+
+    #[test]
+    fn json_is_stable_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z", 1);
+        m.counter_add("a", 2);
+        let j = m.to_json();
+        assert!(j.find("\"a\":2").unwrap() < j.find("\"z\":1").unwrap());
+        assert_eq!(j, m.to_json());
+    }
+}

@@ -1,0 +1,364 @@
+//! Deterministic event tracing with a running FNV-1a digest.
+//!
+//! A [`Trace`] is an append-only log of [`TraceEntry`]s keyed by sim
+//! time and sequence number, seeded with the run's RNG seed. Every entry
+//! has a stable one-line text encoding; the 64-bit FNV-1a digest is
+//! folded over those lines (plus the seed) as entries are recorded, so
+//! two runs produce the same digest iff they produced the same event
+//! stream at the same times — the bit-identity the golden-trace
+//! regression tests pin down.
+//!
+//! Event payloads are integers only (node ids, request ids, counts):
+//! no floats means no formatting ambiguity in the encoding.
+
+use std::fmt;
+
+/// One structured event. Fields are raw ids (`u32` node, `u64` request)
+/// so the crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing ids/counts
+pub enum TraceEvent {
+    /// Manager received an Offload-capable registration.
+    Register { node: u32 },
+    /// Manager ACKed a registration.
+    RegisterAck { node: u32 },
+    /// Manager received a STAT update.
+    Stat { node: u32 },
+    /// Manager received a keepalive.
+    Keepalive { node: u32 },
+    /// Manager sent an Offload-Request.
+    Offer { request: u64, from: u32, to: u32 },
+    /// Manager confirmed a hosting (first accepting Offload-ACK).
+    OfferAccepted { request: u64, node: u32 },
+    /// Manager dropped a hosting on a refusing Offload-ACK.
+    OfferRefused { request: u64, node: u32 },
+    /// Manager sent a REP (replica substitution) for a failed host.
+    Rep { request: u64, failed: u32, to: u32 },
+    /// Manager sent (or retransmitted) a Release.
+    ReleaseSent { request: u64, to: u32 },
+    /// Manager retransmitted an expired unconfirmed offer.
+    Retransmit { request: u64, attempt: u32 },
+    /// Manager abandoned an offer after exhausting its retry budget.
+    Abandon { request: u64 },
+    /// Manager reclaimed a hosting back to a recovered owner.
+    Reclaim { request: u64, node: u32 },
+    /// Client accepted an Offload-Request (sent accept=true).
+    ClientAccept { request: u64, node: u32 },
+    /// Client refused an Offload-Request (sent accept=false).
+    ClientRefuse { request: u64, node: u32 },
+    /// Client released a hosted workload (tombstone created).
+    ClientReleased { request: u64, node: u32 },
+    /// Simulator applied a confirmed transfer to the physical model.
+    TransferApplied { request: u64, from: u32, to: u32 },
+    /// Simulator applied a replica substitution.
+    ReplicaApplied { request: u64, to: u32 },
+    /// Simulator reverted a transfer on Release.
+    ReleaseApplied { request: u64, node: u32 },
+    /// A stale transfer was superseded by a newer REP for the same id.
+    TransferSuperseded { request: u64 },
+    /// Fault gate dropped an envelope.
+    FaultDrop { to_manager: bool },
+    /// Fault gate duplicated an envelope.
+    FaultDuplicate { to_manager: bool },
+    /// Chaos schedule killed a node.
+    NodeKilled { node: u32 },
+    /// Chaos schedule revived a node.
+    NodeRevived { node: u32 },
+    /// Cost-engine row cache hit for a source node.
+    CacheHit { node: u32 },
+    /// Cost-engine row cache miss for a source node.
+    CacheMiss { node: u32 },
+    /// Cost matrix assembled: totals for one build.
+    MatrixBuilt { rows: u32, hits: u32, misses: u32 },
+    /// One simplex solve finished (pivot counts by phase).
+    SimplexSolve { pivots: u64, phase1: u64, phase2: u64 },
+    /// One transportation-simplex solve finished (MODI pivots).
+    TransportSolve { pivots: u64 },
+    /// One branch-and-bound solve finished (nodes explored).
+    BranchAndBound { nodes: u64 },
+}
+
+impl TraceEvent {
+    /// Stable kind name used in the text encoding and by `TraceAssert`.
+    pub fn kind(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            Register { .. } => "Register",
+            RegisterAck { .. } => "RegisterAck",
+            Stat { .. } => "Stat",
+            Keepalive { .. } => "Keepalive",
+            Offer { .. } => "Offer",
+            OfferAccepted { .. } => "OfferAccepted",
+            OfferRefused { .. } => "OfferRefused",
+            Rep { .. } => "Rep",
+            ReleaseSent { .. } => "ReleaseSent",
+            Retransmit { .. } => "Retransmit",
+            Abandon { .. } => "Abandon",
+            Reclaim { .. } => "Reclaim",
+            ClientAccept { .. } => "ClientAccept",
+            ClientRefuse { .. } => "ClientRefuse",
+            ClientReleased { .. } => "ClientReleased",
+            TransferApplied { .. } => "TransferApplied",
+            ReplicaApplied { .. } => "ReplicaApplied",
+            ReleaseApplied { .. } => "ReleaseApplied",
+            TransferSuperseded { .. } => "TransferSuperseded",
+            FaultDrop { .. } => "FaultDrop",
+            FaultDuplicate { .. } => "FaultDuplicate",
+            NodeKilled { .. } => "NodeKilled",
+            NodeRevived { .. } => "NodeRevived",
+            CacheHit { .. } => "CacheHit",
+            CacheMiss { .. } => "CacheMiss",
+            MatrixBuilt { .. } => "MatrixBuilt",
+            SimplexSolve { .. } => "SimplexSolve",
+            TransportSolve { .. } => "TransportSolve",
+            BranchAndBound { .. } => "BranchAndBound",
+        }
+    }
+
+    /// The request id this event concerns, if any.
+    pub fn request(&self) -> Option<u64> {
+        use TraceEvent::*;
+        match *self {
+            Offer { request, .. }
+            | OfferAccepted { request, .. }
+            | OfferRefused { request, .. }
+            | Rep { request, .. }
+            | ReleaseSent { request, .. }
+            | Retransmit { request, .. }
+            | Abandon { request }
+            | Reclaim { request, .. }
+            | ClientAccept { request, .. }
+            | ClientRefuse { request, .. }
+            | ClientReleased { request, .. }
+            | TransferApplied { request, .. }
+            | ReplicaApplied { request, .. }
+            | ReleaseApplied { request, .. }
+            | TransferSuperseded { request } => Some(request),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TraceEvent::*;
+        match *self {
+            Register { node } => write!(f, "Register node={node}"),
+            RegisterAck { node } => write!(f, "RegisterAck node={node}"),
+            Stat { node } => write!(f, "Stat node={node}"),
+            Keepalive { node } => write!(f, "Keepalive node={node}"),
+            Offer { request, from, to } => write!(f, "Offer req={request} from={from} to={to}"),
+            OfferAccepted { request, node } => write!(f, "OfferAccepted req={request} node={node}"),
+            OfferRefused { request, node } => write!(f, "OfferRefused req={request} node={node}"),
+            Rep { request, failed, to } => write!(f, "Rep req={request} failed={failed} to={to}"),
+            ReleaseSent { request, to } => write!(f, "ReleaseSent req={request} to={to}"),
+            Retransmit { request, attempt } => {
+                write!(f, "Retransmit req={request} attempt={attempt}")
+            }
+            Abandon { request } => write!(f, "Abandon req={request}"),
+            Reclaim { request, node } => write!(f, "Reclaim req={request} node={node}"),
+            ClientAccept { request, node } => write!(f, "ClientAccept req={request} node={node}"),
+            ClientRefuse { request, node } => write!(f, "ClientRefuse req={request} node={node}"),
+            ClientReleased { request, node } => {
+                write!(f, "ClientReleased req={request} node={node}")
+            }
+            TransferApplied { request, from, to } => {
+                write!(f, "TransferApplied req={request} from={from} to={to}")
+            }
+            ReplicaApplied { request, to } => write!(f, "ReplicaApplied req={request} to={to}"),
+            ReleaseApplied { request, node } => {
+                write!(f, "ReleaseApplied req={request} node={node}")
+            }
+            TransferSuperseded { request } => write!(f, "TransferSuperseded req={request}"),
+            FaultDrop { to_manager } => {
+                write!(f, "FaultDrop dir={}", if to_manager { "to_manager" } else { "to_client" })
+            }
+            FaultDuplicate { to_manager } => write!(
+                f,
+                "FaultDuplicate dir={}",
+                if to_manager { "to_manager" } else { "to_client" }
+            ),
+            NodeKilled { node } => write!(f, "NodeKilled node={node}"),
+            NodeRevived { node } => write!(f, "NodeRevived node={node}"),
+            CacheHit { node } => write!(f, "CacheHit node={node}"),
+            CacheMiss { node } => write!(f, "CacheMiss node={node}"),
+            MatrixBuilt { rows, hits, misses } => {
+                write!(f, "MatrixBuilt rows={rows} hits={hits} misses={misses}")
+            }
+            SimplexSolve { pivots, phase1, phase2 } => {
+                write!(f, "SimplexSolve pivots={pivots} phase1={phase1} phase2={phase2}")
+            }
+            TransportSolve { pivots } => write!(f, "TransportSolve pivots={pivots}"),
+            BranchAndBound { nodes } => write!(f, "BranchAndBound nodes={nodes}"),
+        }
+    }
+}
+
+/// One recorded event with its sim-time and sequence coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Sim time the event was recorded at, ms.
+    pub t_ms: u64,
+    /// Zero-based position in the trace (total order within a run).
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceEntry {
+    /// Stable line encoding: `<t_ms> <seq> <event>`.
+    pub fn to_line(&self) -> String {
+        format!("{} {} {}", self.t_ms, self.seq, self.event)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An append-only event log with a running digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    seed: u64,
+    entries: Vec<TraceEntry>,
+    digest: u64,
+}
+
+impl Trace {
+    /// An empty trace for a run at `seed`. The seed is folded into the
+    /// digest so traces from different seeds never collide trivially.
+    pub fn new(seed: u64) -> Self {
+        Trace { seed, entries: Vec::new(), digest: fnv1a(FNV_OFFSET, &seed.to_le_bytes()) }
+    }
+
+    /// The seed this trace was recorded under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Append one event at sim time `t_ms`.
+    pub fn record(&mut self, t_ms: u64, event: TraceEvent) {
+        let entry = TraceEntry { t_ms, seq: self.entries.len() as u64, event };
+        self.digest = fnv1a(self.digest, entry.to_line().as_bytes());
+        self.digest = fnv1a(self.digest, b"\n");
+        self.entries.push(entry);
+    }
+
+    /// All entries in record order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// FNV-1a 64 digest over seed + every encoded line so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Full text encoding: header, one line per event, digest footer.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trace seed={}\n", self.seed);
+        for e in &self.entries {
+            out.push_str(&e.to_line());
+            out.push('\n');
+        }
+        out.push_str(&format!("digest {:016x}\n", self.digest));
+        out
+    }
+
+    /// Compact binary encoding: `seed, count` then one length-prefixed
+    /// encoded line per entry (all integers little-endian). The digest
+    /// is recomputed on decode, so a tampered stream is detectable by
+    /// comparing digests.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 32);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            let line = e.to_line();
+            out.extend_from_slice(&(line.len() as u32).to_le_bytes());
+            out.extend_from_slice(line.as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_events_same_digest() {
+        let run = || {
+            let mut t = Trace::new(42);
+            t.record(0, TraceEvent::Register { node: 1 });
+            t.record(5, TraceEvent::Offer { request: 9, from: 1, to: 2 });
+            t.record(7, TraceEvent::OfferAccepted { request: 9, node: 2 });
+            t.digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_order_time_and_seed() {
+        let mut a = Trace::new(1);
+        a.record(0, TraceEvent::Abandon { request: 1 });
+        a.record(0, TraceEvent::Reclaim { request: 1, node: 0 });
+        let mut b = Trace::new(1);
+        b.record(0, TraceEvent::Reclaim { request: 1, node: 0 });
+        b.record(0, TraceEvent::Abandon { request: 1 });
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+
+        let mut c = Trace::new(1);
+        c.record(1, TraceEvent::Abandon { request: 1 });
+        let mut d = Trace::new(1);
+        d.record(2, TraceEvent::Abandon { request: 1 });
+        assert_ne!(c.digest(), d.digest(), "time must matter");
+
+        assert_ne!(Trace::new(1).digest(), Trace::new(2).digest(), "seed must matter");
+    }
+
+    #[test]
+    fn text_encoding_carries_digest_footer() {
+        let mut t = Trace::new(3);
+        t.record(10, TraceEvent::FaultDrop { to_manager: true });
+        let text = t.to_text();
+        assert!(text.starts_with("trace seed=3\n"));
+        assert!(text.contains("10 0 FaultDrop dir=to_manager\n"));
+        assert!(text.trim_end().ends_with(&format!("{:016x}", t.digest())));
+    }
+
+    #[test]
+    fn binary_encoding_is_deterministic() {
+        let mk = || {
+            let mut t = Trace::new(8);
+            t.record(1, TraceEvent::Stat { node: 4 });
+            t.record(2, TraceEvent::Keepalive { node: 4 });
+            t.to_binary()
+        };
+        assert_eq!(mk(), mk());
+        assert!(mk().len() > 16);
+    }
+
+    #[test]
+    fn request_accessor_covers_lifecycle_events() {
+        assert_eq!(TraceEvent::Abandon { request: 7 }.request(), Some(7));
+        assert_eq!(TraceEvent::Stat { node: 1 }.request(), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Seeded property tests for the log-scale histogram.
+//!
+//! The crate is dependency-free, so a local SplitMix64 (same algorithm
+//! as `dust_topology::SplitMix64`) drives the generators.
+
+use dust_obs::Histogram;
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Positive sample spanning many decades: 10^u for u in [-9, 9).
+    fn sample(&mut self) -> f64 {
+        10f64.powf(self.next_f64() * 18.0 - 9.0)
+    }
+}
+
+fn record_all(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact rank statistic from the raw values, matching the histogram's
+/// rank convention (`rank = clamp(ceil(q*n), 1, n)`, 1-based).
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantile_estimates_bounded_by_bucket_edges() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64(seed * 1315 + 7);
+        let n = 1 + (rng.next_u64() % 500) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.sample()).collect();
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = Histogram::bucket_edges(Histogram::bucket_index(truth));
+            assert!(
+                lo <= est && est <= hi,
+                "seed {seed} q {q}: estimate {est} outside bucket [{lo}, {hi}] of truth {truth}"
+            );
+            assert!(est >= truth, "seed {seed} q {q}: estimate {est} below truth {truth}");
+            assert!(
+                est >= sorted[0] && est <= sorted[n - 1],
+                "seed {seed} q {q}: estimate {est} outside observed range"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64(seed ^ 0xabcd);
+        let a: Vec<f64> = (0..200).map(|_| rng.sample()).collect();
+        let b: Vec<f64> = (0..150).map(|_| rng.sample()).collect();
+        let (ha, hb) = (record_all(&a), record_all(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(ab, ba, "seed {seed}: merge not commutative");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9e37));
+        let parts: Vec<Vec<f64>> =
+            (0..3).map(|_| (0..120).map(|_| rng.sample()).collect()).collect();
+        let [ha, hb, hc] = [record_all(&parts[0]), record_all(&parts[1]), record_all(&parts[2])];
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "seed {seed}: merge not associative");
+    }
+}
+
+#[test]
+fn merged_shards_equal_single_pass_recording() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64(seed + 99);
+        let values: Vec<f64> = (0..400).map(|_| rng.sample()).collect();
+        let single = record_all(&values);
+        // shard round-robin into 4, merge back in shard order
+        let mut merged = Histogram::new();
+        for s in 0..4 {
+            let shard: Vec<f64> = values.iter().copied().skip(s).step_by(4).collect();
+            merged.merge(&record_all(&shard));
+        }
+        assert_eq!(single, merged, "seed {seed}: sharded merge != single pass");
+    }
+}
+
+#[test]
+fn snapshot_round_trips_through_text_encoding() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64(seed * 31 + 5);
+        let n = (rng.next_u64() % 300) as usize; // sometimes empty
+        let values: Vec<f64> = (0..n).map(|_| rng.sample()).collect();
+        let h = record_all(&values);
+        let text = h.encode();
+        let back = Histogram::decode(&text)
+            .unwrap_or_else(|| panic!("seed {seed}: decode failed on {text:?}"));
+        assert_eq!(h, back, "seed {seed}: text round-trip lost information");
+        assert_eq!(back.encode(), text, "seed {seed}: re-encode not byte-stable");
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let mut rng = SplitMix64(1);
+    let values: Vec<f64> = (0..50).map(|_| rng.sample()).collect();
+    let h = record_all(&values);
+    let mut merged = h.clone();
+    merged.merge(&Histogram::new());
+    assert_eq!(h, merged);
+    let mut other = Histogram::new();
+    other.merge(&h);
+    assert_eq!(h, other);
+}

@@ -12,6 +12,7 @@
 //! offer can never resurrect a hosting the Manager already ended.
 
 use crate::messages::{ClientMsg, ManagerMsg, RequestId};
+use dust_obs::{ObsHandle, TraceEvent};
 use dust_topology::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -63,6 +64,8 @@ pub struct Client {
     utilization: f64,
     /// Latest locally measured monitoring data volume, Mb.
     data_mb: f64,
+    /// Observability sink for hosting transitions (no-op by default).
+    obs: ObsHandle,
 }
 
 /// Keepalive cadence relative to the STAT interval: destinations heartbeat
@@ -90,7 +93,14 @@ impl Client {
             accept_ceiling,
             utilization: 0.0,
             data_mb: 0.0,
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attach an observability handle: hosting transitions (accept,
+    /// refuse, release) record through it.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Registration lifecycle phase.
@@ -143,6 +153,7 @@ impl Client {
             ManagerMsg::OffloadRequest { request, from, amount, data_mb, route: _ } => {
                 if self.released.contains(request) {
                     // late duplicate of an offer the Manager already ended
+                    self.obs.counter_inc("proto.client.tombstone_refusals");
                     return Some(ClientMsg::OffloadAck {
                         node: self.node,
                         request: *request,
@@ -152,6 +163,7 @@ impl Client {
                 if self.hosted.contains_key(request) {
                     // duplicated delivery (or a Manager retry after a lost
                     // ACK): re-confirm without double-booking
+                    self.obs.counter_inc("proto.client.reconfirms");
                     return Some(ClientMsg::OffloadAck {
                         node: self.node,
                         request: *request,
@@ -168,11 +180,23 @@ impl Client {
                         *request,
                         HostedWorkload { from: *from, amount: *amount, data_mb: *data_mb },
                     );
+                    self.obs.counter_inc("proto.client.accepts");
+                    self.obs.trace_at(
+                        now_ms,
+                        TraceEvent::ClientAccept { request: request.0, node: self.node.0 },
+                    );
+                } else {
+                    self.obs.counter_inc("proto.client.refusals");
+                    self.obs.trace_at(
+                        now_ms,
+                        TraceEvent::ClientRefuse { request: request.0, node: self.node.0 },
+                    );
                 }
                 Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept })
             }
             ManagerMsg::Rep { request, failed: _, from, amount, data_mb, route: _ } => {
                 if self.released.contains(request) {
+                    self.obs.counter_inc("proto.client.tombstone_refusals");
                     return Some(ClientMsg::OffloadAck {
                         node: self.node,
                         request: *request,
@@ -182,15 +206,29 @@ impl Client {
                 // Replica substitution: unconditional hosting order from the
                 // Manager, which already verified capacity from STATs. A
                 // duplicated REP re-confirms without re-inserting.
-                self.hosted.entry(*request).or_insert(HostedWorkload {
-                    from: *from,
-                    amount: *amount,
-                    data_mb: *data_mb,
-                });
+                if self.hosted.contains_key(request) {
+                    self.obs.counter_inc("proto.client.reconfirms");
+                } else {
+                    self.hosted.insert(
+                        *request,
+                        HostedWorkload { from: *from, amount: *amount, data_mb: *data_mb },
+                    );
+                    self.obs.counter_inc("proto.client.accepts");
+                    self.obs.trace_at(
+                        now_ms,
+                        TraceEvent::ClientAccept { request: request.0, node: self.node.0 },
+                    );
+                }
                 Some(ClientMsg::OffloadAck { node: self.node, request: *request, accept: true })
             }
             ManagerMsg::Release { request } => {
-                self.hosted.remove(request);
+                if self.hosted.remove(request).is_some() {
+                    self.obs.counter_inc("proto.client.releases");
+                    self.obs.trace_at(
+                        now_ms,
+                        TraceEvent::ClientReleased { request: request.0, node: self.node.0 },
+                    );
+                }
                 self.released.insert(*request);
                 None
             }

@@ -18,9 +18,14 @@
 //! refuses to act on stale `STAT`s from a possibly-dead Busy node.
 
 use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
-use dust_core::{optimize, DustConfig, Nmdb, NodeState, Placement, PlacementStatus, SolverBackend};
-use dust_topology::{min_inv_lu_dp_path, Graph, NodeId, Path};
+use dust_core::{
+    optimize_with, DustConfig, Nmdb, NodeState, Placement, PlacementStatus, SolverBackend,
+};
+use dust_obs::{ObsHandle, TraceEvent};
+use dust_topology::{min_inv_lu_dp_path, CostEngine, Graph, NodeId, Path};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// What the Manager knows about one registered client.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +108,12 @@ pub struct Manager {
     /// Offers abandoned after [`MAX_OFFER_ATTEMPTS`].
     offers_abandoned: u64,
     next_request: u64,
+    /// Observability sink for protocol transitions (no-op by default).
+    obs: ObsHandle,
+    /// Persistent cost engine: the graph never changes after
+    /// construction, so `T_rmin` rows stay cached across placement
+    /// rounds. Solver metrics flow through its attached [`ObsHandle`].
+    engine: Arc<CostEngine>,
 }
 
 impl Manager {
@@ -137,7 +148,23 @@ impl Manager {
             offer_retries: 0,
             offers_abandoned: 0,
             next_request: 0,
+            obs: ObsHandle::disabled(),
+            engine: Arc::new(CostEngine::new()),
         }
+    }
+
+    /// Attach an observability handle: every protocol transition and
+    /// the optimizer's solver/cache metrics record through it. The
+    /// shared cost engine is rebuilt so its accounting lands on the
+    /// same handle; its memoized rows restart cold.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.engine = Arc::new(CostEngine::new().with_obs(obs.clone()));
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Override the base offer-expiry timeout (must be positive).
@@ -195,6 +222,8 @@ impl Manager {
         request: RequestId,
     ) -> Envelope<ManagerMsg> {
         self.releases.insert(request, ReleaseRetry { to, sent_ms: now_ms, attempts: 1 });
+        self.obs.counter_inc("proto.releases_sent");
+        self.obs.trace_at(now_ms, TraceEvent::ReleaseSent { request: request.0, to: to.0 });
         Envelope { to, msg: ManagerMsg::Release { request } }
     }
 
@@ -210,6 +239,9 @@ impl Manager {
                     last_keepalive: None,
                 });
                 rec.capable = *capable;
+                self.obs.counter_inc("proto.registrations");
+                self.obs.trace_at(now_ms, TraceEvent::Register { node: node.0 });
+                self.obs.trace_at(now_ms, TraceEvent::RegisterAck { node: node.0 });
                 // "DUST-Manager responds with an ACK message to each client
                 // engaged in the offloading process" (§III-B).
                 vec![Envelope {
@@ -220,12 +252,16 @@ impl Manager {
             ClientMsg::Stat { node, utilization, data_mb } => {
                 if let Some(rec) = self.registry.get_mut(node) {
                     rec.last_stat = Some((now_ms, *utilization, *data_mb));
+                    self.obs.counter_inc("proto.stats");
+                    self.obs.trace_at(now_ms, TraceEvent::Stat { node: node.0 });
                 }
                 Vec::new()
             }
             ClientMsg::Keepalive { node } => {
                 if let Some(rec) = self.registry.get_mut(node) {
                     rec.last_keepalive = Some(now_ms);
+                    self.obs.counter_inc("proto.keepalives");
+                    self.obs.trace_at(now_ms, TraceEvent::Keepalive { node: node.0 });
                 }
                 Vec::new()
             }
@@ -235,6 +271,11 @@ impl Manager {
                     // (accept after the offer was abandoned or released),
                     // self-heal with a Release so no zombie hosting leaks.
                     if *accept && !self.releases.contains_key(request) {
+                        self.obs.counter_inc("proto.releases_sent");
+                        self.obs.trace_at(
+                            now_ms,
+                            TraceEvent::ReleaseSent { request: request.0, to: node.0 },
+                        );
                         return vec![Envelope {
                             to: *node,
                             msg: ManagerMsg::Release { request: *request },
@@ -249,7 +290,16 @@ impl Manager {
                     return Vec::new();
                 }
                 if *accept {
-                    h.confirmed = true;
+                    if h.confirmed {
+                        self.obs.counter_inc("proto.acks_duplicate");
+                    } else {
+                        h.confirmed = true;
+                        self.obs.counter_inc("proto.offers_confirmed");
+                        self.obs.trace_at(
+                            now_ms,
+                            TraceEvent::OfferAccepted { request: request.0, node: node.0 },
+                        );
+                    }
                     // hosting starts: destination owes keepalives from now
                     if let Some(rec) = self.registry.get_mut(node) {
                         rec.last_keepalive.get_or_insert(now_ms);
@@ -257,7 +307,20 @@ impl Manager {
                 } else {
                     // refusal: drop the arrangement; the next placement
                     // round will retry with fresher state
+                    let was_confirmed = h.confirmed;
                     self.hostings.remove(request);
+                    if was_confirmed {
+                        // a confirmed hosting refused late — cannot happen
+                        // with the shipped client, but keep the ledger math
+                        // honest if a foreign client ever does it
+                        self.obs.counter_inc("proto.confirmed_refused");
+                    } else {
+                        self.obs.counter_inc("proto.offers_refused");
+                        self.obs.trace_at(
+                            now_ms,
+                            TraceEvent::OfferRefused { request: request.0, node: node.0 },
+                        );
+                    }
                 }
                 Vec::new()
             }
@@ -296,7 +359,21 @@ impl Manager {
     /// Returns the placement (for inspection) and the outgoing messages.
     pub fn run_placement(&mut self, now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
         let nmdb = self.snapshot();
-        let placement = optimize(&nmdb, &self.cfg, self.backend);
+        // Unbounded cannot occur for well-formed placement instances;
+        // fold it into the infeasible outcome like `dust_core::optimize`.
+        let placement =
+            optimize_with(&nmdb, &self.cfg, self.backend, &self.engine).unwrap_or_else(|_| {
+                Placement {
+                    status: PlacementStatus::Infeasible,
+                    assignments: Vec::new(),
+                    beta: f64::NAN,
+                    busy: nmdb.busy_nodes(&self.cfg),
+                    candidates: nmdb.candidate_nodes(&self.cfg),
+                    cost_time: Duration::ZERO,
+                    solve_time: Duration::ZERO,
+                    shadow_prices: Vec::new(),
+                }
+            });
         let mut out = Vec::new();
         if placement.status == PlacementStatus::Optimal {
             let in_flight: BTreeSet<(NodeId, NodeId)> =
@@ -321,6 +398,11 @@ impl Manager {
                         rep_failed: None,
                         orig_request: None,
                     },
+                );
+                self.obs.counter_inc("proto.offers_sent");
+                self.obs.trace_at(
+                    now_ms,
+                    TraceEvent::Offer { request: request.0, from: a.from.0, to: a.to.0 },
                 );
                 out.push(Envelope {
                     to: a.to,
@@ -363,6 +445,8 @@ impl Manager {
                 // workload back to its owner under the old request id.
                 let h = self.hostings.remove(&req).expect("listed above");
                 self.offers_abandoned += 1;
+                self.obs.counter_inc("proto.offers_abandoned");
+                self.obs.trace_at(now_ms, TraceEvent::Abandon { request: req.0 });
                 out.push(self.send_release(now_ms, h.to, req));
                 if h.rep_failed.is_some() {
                     if let Some(orig) = h.orig_request {
@@ -375,6 +459,11 @@ impl Manager {
                 let h = self.hostings.get_mut(&req).expect("listed above");
                 h.attempts += 1;
                 h.offered_ms = now_ms;
+                self.obs.counter_inc("proto.offer_retransmits");
+                self.obs.trace_at(
+                    now_ms,
+                    TraceEvent::Retransmit { request: req.0, attempt: h.attempts },
+                );
                 let msg = match h.rep_failed {
                     Some(failed) => ManagerMsg::Rep {
                         request: req,
@@ -450,6 +539,18 @@ impl Manager {
                         // "the malfunctioning destination-node is diagnosed
                         // and substituted with a replica node. Manager
                         // notifies this node by sending it a REP message."
+                        // A REP opens a fresh offer: it counts toward
+                        // `proto.offers_sent` so the offer ledger balances.
+                        self.obs.counter_inc("proto.offers_sent");
+                        self.obs.counter_inc("proto.reps_sent");
+                        self.obs.trace_at(
+                            now_ms,
+                            TraceEvent::Rep {
+                                request: new_req.0,
+                                failed: failed.0,
+                                to: replacement.0,
+                            },
+                        );
                         out.push(Envelope {
                             to: replacement,
                             msg: ManagerMsg::Rep {
@@ -466,6 +567,7 @@ impl Manager {
                         // No replica fits: hand the workload back to its
                         // owner so monitoring resumes locally rather than
                         // silently stalling on a dead destination.
+                        self.obs.counter_inc("proto.hostings_orphaned");
                         out.push(self.send_release(now_ms, hosting.from, req));
                         self.orphaned.push(hosting);
                     }
@@ -504,6 +606,8 @@ impl Manager {
             .collect();
         for req in reclaimable {
             let h = self.hostings.remove(&req).expect("listed above");
+            self.obs.counter_inc("proto.reclaims");
+            self.obs.trace_at(now_ms, TraceEvent::Reclaim { request: req.0, node: h.from.0 });
             out.push(self.send_release(now_ms, h.to, req));
         }
 
@@ -524,6 +628,8 @@ impl Manager {
                 r.attempts += 1;
                 r.sent_ms = now_ms;
                 let to = r.to;
+                self.obs.counter_inc("proto.release_retransmits");
+                self.obs.trace_at(now_ms, TraceEvent::ReleaseSent { request: req.0, to: to.0 });
                 out.push(Envelope { to, msg: ManagerMsg::Release { request: req } });
             }
         }

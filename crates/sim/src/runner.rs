@@ -24,6 +24,7 @@ use crate::node::SimNode;
 use crate::traffic::TrafficModel;
 use crate::transport::{Direction, FaultConfig, Transport};
 use dust_core::{DustConfig, SolverBackend};
+use dust_obs::{ObsHandle, TraceEvent};
 use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
 use dust_telemetry::Federation;
 use dust_topology::{Graph, NodeId, Path};
@@ -173,6 +174,9 @@ pub struct Simulation {
     kills: Vec<(u64, NodeId)>,
     /// Revival injections.
     revives: Vec<(u64, NodeId)>,
+    /// Observability sink shared with the Manager and every client
+    /// (no-op by default).
+    obs: ObsHandle,
 }
 
 impl Simulation {
@@ -205,7 +209,31 @@ impl Simulation {
             active: HashMap::new(),
             kills: Vec::new(),
             revives: Vec::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attach an observability handle: the Manager, every client, and
+    /// the runner itself record metrics and trace events through it.
+    /// Instrumentation never feeds back into simulation decisions, so a
+    /// run at a given seed is bit-identical with tracing on or off.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.manager.set_obs(obs.clone());
+        for c in &mut self.clients {
+            c.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// Builder form of [`Simulation::set_obs`].
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Schedule a crash of `node` at `at_ms`.
@@ -233,11 +261,42 @@ impl Simulation {
         report: &mut SimReport,
     ) {
         if self.cfg.faults.to_client.is_ideal() {
+            if self.obs.is_enabled() {
+                self.obs.counter_inc("sim.transport.to_client.sent");
+                self.obs.counter_inc("sim.transport.to_client.delivered");
+            }
             self.deliver_manager_msg(now, env, q, report);
             return;
         }
-        for delay in self.transport.plan(Direction::ToClient) {
+        let copies = self.transport.plan(Direction::ToClient);
+        self.record_gate(now, Direction::ToClient, &copies);
+        for delay in copies {
             q.schedule(now + delay, SimEvent::DeliverClient(env.clone()));
+        }
+    }
+
+    /// Record one envelope's fate at the fault gate: per-direction
+    /// sent/delivered/dropped/duplicated counters (the conservation
+    /// identity `delivered + dropped == sent + duplicated` holds per
+    /// direction), a delay histogram, and drop/duplicate trace events.
+    fn record_gate(&self, now: u64, dir: Direction, copies: &[u64]) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let to_manager = dir == Direction::ToManager;
+        let prefix =
+            if to_manager { "sim.transport.to_manager" } else { "sim.transport.to_client" };
+        self.obs.counter_add(&format!("{prefix}.sent"), 1);
+        self.obs.counter_add(&format!("{prefix}.delivered"), copies.len() as u64);
+        if copies.is_empty() {
+            self.obs.counter_add(&format!("{prefix}.dropped"), 1);
+            self.obs.trace_at(now, TraceEvent::FaultDrop { to_manager });
+        } else if copies.len() > 1 {
+            self.obs.counter_add(&format!("{prefix}.duplicated"), copies.len() as u64 - 1);
+            self.obs.trace_at(now, TraceEvent::FaultDuplicate { to_manager });
+        }
+        for &d in copies {
+            self.obs.observe("sim.transport.delay_ms", d as f64);
         }
     }
 
@@ -250,10 +309,16 @@ impl Simulation {
         report: &mut SimReport,
     ) {
         if self.cfg.faults.to_manager.is_ideal() {
+            if self.obs.is_enabled() {
+                self.obs.counter_inc("sim.transport.to_manager.sent");
+                self.obs.counter_inc("sim.transport.to_manager.delivered");
+            }
             self.deliver_client_msg(now, &msg, q, report);
             return;
         }
-        for delay in self.transport.plan(Direction::ToManager) {
+        let copies = self.transport.plan(Direction::ToManager);
+        self.record_gate(now, Direction::ToManager, &copies);
+        for delay in copies {
             q.schedule(now + delay, SimEvent::DeliverManager(msg.clone()));
         }
     }
@@ -330,6 +395,11 @@ impl Simulation {
                 );
                 report.transfers_applied += 1;
                 report.first_transfer_ms.get_or_insert(now);
+                self.obs.counter_inc("sim.transfers_applied");
+                self.obs.trace_at(
+                    now,
+                    TraceEvent::TransferApplied { request: request.0, from: from.0, to: to.0 },
+                );
             }
             (
                 ManagerMsg::Rep { request, failed, from, data_mb, route, .. },
@@ -358,17 +428,26 @@ impl Simulation {
                     .collect();
                 for r in stale {
                     self.active.remove(&r);
+                    self.obs.counter_inc("sim.transfers_superseded");
+                    self.obs.trace_at(now, TraceEvent::TransferSuperseded { request: r.0 });
                 }
                 self.active.insert(
                     *request,
                     Transfer { owner: *from, host: to, route: route.clone(), data_mb: *data_mb },
                 );
                 report.replicas_applied += 1;
+                self.obs.counter_inc("sim.replicas_applied");
+                self.obs.trace_at(now, TraceEvent::ReplicaApplied { request: request.0, to: to.0 });
             }
             (ManagerMsg::Release { request }, _) => {
                 if let Some(t) = self.active.remove(request) {
                     self.nodes[t.owner.index()].reclaim_from(t.host);
                     self.nodes[t.host.index()].drop_hosted_for(t.owner);
+                    self.obs.counter_inc("sim.releases_applied");
+                    self.obs.trace_at(
+                        now,
+                        TraceEvent::ReleaseApplied { request: request.0, node: t.host.0 },
+                    );
                 }
             }
             _ => {}
@@ -422,6 +501,9 @@ impl Simulation {
             if now > self.cfg.duration_ms {
                 break;
             }
+            // Mirror the sim clock so layers without one (cost engine,
+            // solvers) stamp their trace events with this time.
+            self.obs.set_now(now);
             match ev.event {
                 SimEvent::ClientTick => {
                     let traffic = self.traffic.fraction(now);
@@ -466,10 +548,19 @@ impl Simulation {
                 SimEvent::Sample => {
                     let traffic = self.traffic.fraction(now);
                     for n in &self.nodes {
+                        let cpu = n.device_cpu_percent(now, traffic);
+                        let mem = n.device_mem_percent();
                         let db = report.federation.store_mut(n.id);
-                        db.append("device-cpu", now, n.device_cpu_percent(now, traffic));
-                        db.append("device-mem", now, n.device_mem_percent());
+                        db.append("device-cpu", now, cpu);
+                        db.append("device-mem", now, mem);
                         db.append("monitor-cpu", now, n.monitoring_cpu_core_percent(now, traffic));
+                        if self.obs.is_enabled() {
+                            self.obs.observe("sim.node.cpu_percent", cpu);
+                            self.obs.observe("sim.node.mem_percent", mem);
+                        }
+                    }
+                    if self.obs.is_enabled() {
+                        self.obs.gauge_set("sim.active_transfers", self.active.len() as f64);
                     }
                     // Telemetry transport: every routed transfer streams its
                     // owner's data over the chosen path at the lowest QoS
@@ -499,15 +590,21 @@ impl Simulation {
                 }
                 SimEvent::Kill(n) => {
                     self.dead.insert(n);
+                    self.obs.counter_inc("sim.nodes_killed");
+                    self.obs.trace_at(now, TraceEvent::NodeKilled { node: n.0 });
                 }
                 SimEvent::Revive(n) => {
                     self.dead.remove(&n);
+                    self.obs.counter_inc("sim.nodes_revived");
+                    self.obs.trace_at(now, TraceEvent::NodeRevived { node: n.0 });
                     // The process restarted: the reborn client has no
                     // memory of workloads it hosted before the crash —
                     // keeping the old ledger would inflate every STAT it
                     // sends from now on with phantom hosted load.
                     let ceiling = self.cfg.dust.co_max + 10.0;
-                    self.clients[n.index()] = Client::new(n, true, ceiling);
+                    let mut fresh = Client::new(n, true, ceiling);
+                    fresh.set_obs(self.obs.clone());
+                    self.clients[n.index()] = fresh;
                     let reg = self.clients[n.index()].register(now);
                     self.send_to_manager(now, reg, &mut q, &mut report);
                 }
@@ -543,6 +640,14 @@ impl Simulation {
     /// The Manager (for assertions on protocol state).
     pub fn manager(&self) -> &Manager {
         &self.manager
+    }
+
+    /// Number of transfers currently applied on the resource model (the
+    /// `active` ledger). Satisfies the conservation identity
+    /// `active == transfers_applied + replicas_applied
+    ///            - releases_applied - transfers_superseded`.
+    pub fn active_transfers(&self) -> usize {
+        self.active.len()
     }
 
     /// Where `owner`'s monitor agents physically are right now: local

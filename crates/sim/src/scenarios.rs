@@ -12,6 +12,7 @@ use crate::runner::{SimConfig, SimReport, Simulation};
 use crate::traffic::TrafficModel;
 use crate::transport::{FaultConfig, FaultProfile};
 use dust_core::DustConfig;
+use dust_obs::ObsHandle;
 use dust_topology::{Graph, Link, NodeId};
 
 /// The Fig. 5 testbed: 2 spines, 2 leaves, 2 servers. Returns the graph
@@ -341,6 +342,19 @@ pub fn chaos(loss: f64, duration_ms: u64, seed: u64) -> ChaosResult {
 /// flags): same testbed, same invariants, arbitrary knobs. The reported
 /// `loss` is the Manager → Client drop probability.
 pub fn chaos_with_faults(faults: FaultConfig, duration_ms: u64, seed: u64) -> ChaosResult {
+    chaos_with_faults_observed(faults, duration_ms, seed, ObsHandle::disabled())
+}
+
+/// [`chaos_with_faults`] recording into `obs`: every protocol transition,
+/// fault-gate decision, solver solve, and resource sample lands in the
+/// handle's metrics and trace. Pass [`ObsHandle::disabled`] for the plain
+/// run — the scenario is bit-identical either way.
+pub fn chaos_with_faults_observed(
+    faults: FaultConfig,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+) -> ChaosResult {
     let (graph, dut) = testbed_topology();
     let loss = faults.to_client.drop;
     let cfg = SimConfig {
@@ -352,7 +366,8 @@ pub fn chaos_with_faults(faults: FaultConfig, duration_ms: u64, seed: u64) -> Ch
         ..Default::default()
     };
     let agents_expected = 10;
-    let mut sim = Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg);
+    let mut sim =
+        Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg).with_obs(obs);
     let report = sim.run();
 
     // offers still unconfirmed at the end are fine while young (an offer
@@ -409,6 +424,22 @@ pub fn chaos_with_faults(faults: FaultConfig, duration_ms: u64, seed: u64) -> Ch
 /// rate — the degradation curve for `EXPERIMENTS.md` and `dust-bench`.
 pub fn chaos_sweep(losses: &[f64], duration_ms: u64, seed: u64) -> Vec<ChaosResult> {
     losses.iter().map(|&l| chaos(l, duration_ms, seed)).collect()
+}
+
+/// The Fig. 5 testbed DUST run (full monitoring offload, perfect wire)
+/// recording into `obs` — the golden-trace regression scenario.
+pub fn testbed_observed(duration_ms: u64, seed: u64, obs: ObsHandle) -> SimReport {
+    let (graph, dut) = testbed_topology();
+    let cfg = SimConfig {
+        dust: testbed_dust_config(),
+        duration_ms,
+        seed,
+        full_monitoring_offload: true,
+        ..Default::default()
+    };
+    let mut sim =
+        Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg).with_obs(obs);
+    sim.run()
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::paths::{min_inv_lu_dp_from, min_inv_lu_enumerated_from};
+use dust_obs::{ObsHandle, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -118,6 +119,7 @@ fn hop_key(max_hop: Option<usize>) -> u64 {
 pub struct CostEngine {
     threads: usize,
     cache: RwLock<HashMap<RowKey, Arc<Vec<f64>>>>,
+    obs: ObsHandle,
 }
 
 impl CostEngine {
@@ -129,7 +131,26 @@ impl CostEngine {
     /// An engine with an explicit worker count; `0` means "use available
     /// parallelism". `1` is the sequential reference implementation.
     pub fn with_threads(threads: usize) -> Self {
-        CostEngine { threads, cache: RwLock::new(HashMap::new()) }
+        CostEngine { threads, cache: RwLock::new(HashMap::new()), obs: ObsHandle::disabled() }
+    }
+
+    /// Attach an observability handle (builder form). Cache hit/miss
+    /// accounting happens in a sequential pre-pass and the parallel
+    /// workers never touch the handle, so recording cannot perturb
+    /// row-pricing determinism.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attach an observability handle to an existing engine.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// The sequential reference engine (one thread, no fan-out).
@@ -166,8 +187,40 @@ impl CostEngine {
     }
 
     /// The cached `Σ 1/Lu_e` row from `src` to every node of `g`, priced
-    /// on demand with `engine` under the hop bound.
+    /// on demand with `engine` under the hop bound. Records one cache
+    /// hit/miss into the attached [`ObsHandle`]; this entry point is for
+    /// sequential callers — the internal fan-out uses an uncounted path
+    /// so worker scheduling never reorders trace events.
     pub fn row(
+        &self,
+        g: &Graph,
+        src: NodeId,
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> Arc<Vec<f64>> {
+        if self.obs.is_enabled() {
+            let key: RowKey = (g.epoch(), src, hop_key(max_hop), engine);
+            let hit = self.cache.read().expect("cost cache poisoned").contains_key(&key);
+            self.record_lookup(src, hit);
+        }
+        self.row_uncounted(g, src, max_hop, engine)
+    }
+
+    /// One hit-or-miss accounting step (sequential context only).
+    fn record_lookup(&self, src: NodeId, hit: bool) {
+        if hit {
+            self.obs.counter_inc("cost.cache_hits");
+            self.obs.trace(TraceEvent::CacheHit { node: src.0 });
+        } else {
+            self.obs.counter_inc("cost.cache_misses");
+            self.obs.counter_inc("cost.rows_priced");
+            self.obs.trace(TraceEvent::CacheMiss { node: src.0 });
+        }
+    }
+
+    /// [`CostEngine::row`] without observability accounting — safe to
+    /// call from parallel workers.
+    fn row_uncounted(
         &self,
         g: &Graph,
         src: NodeId,
@@ -200,9 +253,46 @@ impl CostEngine {
         max_hop: Option<usize>,
         engine: PathEngine,
     ) -> Vec<Arc<Vec<f64>>> {
+        self.rows_counted(g, sources, max_hop, engine).0
+    }
+
+    /// Fan-out core returning `(rows, cache_hits, cache_misses)`.
+    ///
+    /// Hit/miss accounting runs in a *sequential pre-pass* over the
+    /// cache (counters and `CacheHit`/`CacheMiss` trace events in source
+    /// order); the workers themselves never touch the obs handle, so the
+    /// trace is identical for every thread count.
+    fn rows_counted(
+        &self,
+        g: &Graph,
+        sources: &[NodeId],
+        max_hop: Option<usize>,
+        engine: PathEngine,
+    ) -> (Vec<Arc<Vec<f64>>>, u64, u64) {
         let workers = self.threads().min(sources.len());
-        if workers <= 1 {
-            sources.iter().map(|&src| self.row(g, src, max_hop, engine)).collect()
+        let (mut hits, mut misses) = (0u64, 0u64);
+        if self.obs.is_enabled() {
+            let epoch = g.epoch();
+            let hopk = hop_key(max_hop);
+            let lookups: Vec<(NodeId, bool)> = {
+                let cache = self.cache.read().expect("cost cache poisoned");
+                sources
+                    .iter()
+                    .map(|&src| (src, cache.contains_key(&(epoch, src, hopk, engine))))
+                    .collect()
+            };
+            for (src, hit) in lookups {
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                self.record_lookup(src, hit);
+            }
+            self.obs.gauge_set("cost.workers", workers.max(1) as f64);
+        }
+        let rows = if workers <= 1 {
+            sources.iter().map(|&src| self.row_uncounted(g, src, max_hop, engine)).collect()
         } else {
             let slots: Vec<OnceLock<Arc<Vec<f64>>>> =
                 sources.iter().map(|_| OnceLock::new()).collect();
@@ -212,7 +302,7 @@ impl CostEngine {
                     s.spawn(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&src) = sources.get(i) else { break };
-                        let row = self.row(g, src, max_hop, engine);
+                        let row = self.row_uncounted(g, src, max_hop, engine);
                         slots[i].set(row).expect("row slot filled twice");
                     });
                 }
@@ -221,7 +311,8 @@ impl CostEngine {
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("worker left a row unpriced"))
                 .collect()
-        }
+        };
+        (rows, hits, misses)
     }
 
     /// Warm the cache for `sources` using the parallel worker pool, without
@@ -262,7 +353,15 @@ impl CostEngine {
         for &d in data_mb {
             assert!(d.is_finite() && d >= 0.0, "monitoring data volume must be >= 0, got {d}");
         }
-        let rows = self.rows(g, sources, max_hop, engine);
+        let (rows, hits, misses) = self.rows_counted(g, sources, max_hop, engine);
+        if self.obs.is_enabled() {
+            self.obs.counter_inc("cost.builds");
+            self.obs.trace(TraceEvent::MatrixBuilt {
+                rows: sources.len() as u32,
+                hits: hits as u32,
+                misses: misses as u32,
+            });
+        }
         let mut t_rmin = Vec::with_capacity(sources.len() * destinations.len());
         for (r, &src) in sources.iter().enumerate() {
             let d = data_mb[r];
@@ -479,6 +578,31 @@ mod engine_tests {
         let eng = CostEngine::new();
         assert!(eng.threads() >= 1);
         assert_eq!(CostEngine::with_threads(5).threads(), 5);
+    }
+
+    #[test]
+    fn obs_accounting_is_thread_count_invariant() {
+        let (g, src, dst, data) = fat_tree_instance();
+        let run = |threads: usize| {
+            let obs = ObsHandle::recording(1);
+            let eng = CostEngine::with_threads(threads).with_obs(obs.clone());
+            eng.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::HopBoundedDp);
+            eng.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::HopBoundedDp);
+            let m = obs.metrics().unwrap();
+            (
+                m.counter("cost.cache_hits"),
+                m.counter("cost.cache_misses"),
+                m.counter("cost.rows_priced"),
+                obs.digest().unwrap(),
+            )
+        };
+        let seq = run(1);
+        assert_eq!(seq.0, src.len() as u64, "second build must hit on every row");
+        assert_eq!(seq.1, src.len() as u64, "first build must miss on every row");
+        assert_eq!(seq.1, seq.2, "every miss prices exactly one row");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
     }
 
     #[test]

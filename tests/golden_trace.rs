@@ -1,0 +1,131 @@
+//! Golden-trace regression tests.
+//!
+//! Two canned scenarios — the Fig. 5 testbed under a perfect wire and the
+//! same testbed under 20 % control-plane loss — run at fixed seeds with
+//! the trace recorder on. Each test runs its scenario twice in-process and
+//! requires (a) the two traces to be bit-identical (digest, binary
+//! encoding, and metrics text all equal) and (b) the digest and a handful
+//! of load-bearing counters to match golden values checked in below.
+//!
+//! If a change legitimately alters protocol or solver behaviour, rerun
+//! the tests, read the `got {digest:016x}` from the failure message, and
+//! update the constants — that diff is the reviewable behavioural delta.
+
+use dust::prelude::*;
+
+/// Fixed seed for the perfect-wire testbed scenario.
+const TESTBED_SEED: u64 = 42;
+/// Simulated duration for the testbed scenario, ms.
+const TESTBED_DURATION_MS: u64 = 60_000;
+
+/// Fixed seed for the 20 %-loss chaos scenario.
+const CHAOS_SEED: u64 = 7;
+/// Simulated duration for the chaos scenario, ms.
+const CHAOS_DURATION_MS: u64 = 120_000;
+
+/// Golden digest of the testbed trace at `TESTBED_SEED`.
+const TESTBED_DIGEST: u64 = 0x21e422abd4af59e3;
+/// Golden digest of the chaos trace at `CHAOS_SEED`.
+const CHAOS_DIGEST: u64 = 0xdec67f2e3ba2b322;
+
+fn run_testbed() -> (ObsHandle, SimReport) {
+    let obs = ObsHandle::recording(TESTBED_SEED);
+    let report = testbed_observed(TESTBED_DURATION_MS, TESTBED_SEED, obs.clone());
+    (obs, report)
+}
+
+fn chaos_faults() -> FaultConfig {
+    FaultConfig::symmetric(FaultProfile { drop: 0.2, duplicate: 0.1, delay_ms: 20, jitter_ms: 100 })
+}
+
+fn run_chaos() -> (ObsHandle, ChaosResult) {
+    let obs = ObsHandle::recording(CHAOS_SEED);
+    let result =
+        chaos_with_faults_observed(chaos_faults(), CHAOS_DURATION_MS, CHAOS_SEED, obs.clone());
+    (obs, result)
+}
+
+#[test]
+fn testbed_trace_is_bit_identical_across_runs() {
+    let (a, report_a) = run_testbed();
+    let (b, report_b) = run_testbed();
+    assert!(report_a.transfers_applied > 0, "testbed run must offload");
+    assert_eq!(report_a.transfers_applied, report_b.transfers_applied);
+
+    let ta = a.trace_snapshot().unwrap();
+    let tb = b.trace_snapshot().unwrap();
+    TraceAssert::new(&ta).assert_same_digest(&tb);
+    assert_eq!(ta.to_binary(), tb.to_binary(), "binary encodings diverge");
+    assert_eq!(
+        a.metrics().unwrap().to_text(),
+        b.metrics().unwrap().to_text(),
+        "metrics snapshots diverge"
+    );
+}
+
+#[test]
+fn testbed_trace_matches_golden_digest() {
+    let (obs, _) = run_testbed();
+    let trace = obs.trace_snapshot().unwrap();
+    TraceAssert::new(&trace)
+        .expect("Register")
+        .expect("Offer")
+        .expect("OfferAccepted")
+        .expect("TransferApplied")
+        .assert_digest(TESTBED_DIGEST);
+}
+
+#[test]
+fn chaos_trace_is_bit_identical_across_runs() {
+    let (a, result_a) = run_chaos();
+    let (b, result_b) = run_chaos();
+    assert_eq!(result_a, result_b, "chaos outcomes diverge at the same seed");
+    assert!(result_a.msgs_dropped > 0, "20% loss must drop something");
+
+    let ta = a.trace_snapshot().unwrap();
+    let tb = b.trace_snapshot().unwrap();
+    TraceAssert::new(&ta).assert_same_digest(&tb);
+    assert_eq!(ta.to_binary(), tb.to_binary(), "binary encodings diverge");
+    assert_eq!(
+        a.metrics().unwrap().to_text(),
+        b.metrics().unwrap().to_text(),
+        "metrics snapshots diverge"
+    );
+}
+
+#[test]
+fn chaos_trace_matches_golden_digest() {
+    let (obs, _) = run_chaos();
+    let trace = obs.trace_snapshot().unwrap();
+    TraceAssert::new(&trace)
+        .expect("FaultDrop")
+        .expect("Retransmit")
+        .expect("TransferApplied")
+        .assert_digest(CHAOS_DIGEST);
+}
+
+#[test]
+fn golden_counters_hold() {
+    // A few load-bearing counters pinned alongside the digests: these
+    // change only when protocol or solver behaviour changes, and their
+    // diff localizes *what* moved when a digest test goes red.
+    let (testbed, _) = run_testbed();
+    let (chaos, _) = run_chaos();
+    let got = [
+        ("testbed proto.offers_sent", testbed.counter("proto.offers_sent")),
+        ("testbed proto.offers_confirmed", testbed.counter("proto.offers_confirmed")),
+        ("testbed sim.transfers_applied", testbed.counter("sim.transfers_applied")),
+        ("chaos proto.offers_sent", chaos.counter("proto.offers_sent")),
+        ("chaos proto.offer_retransmits", chaos.counter("proto.offer_retransmits")),
+        ("chaos sim.transport.to_client.dropped", chaos.counter("sim.transport.to_client.dropped")),
+    ];
+    let golden: [(&str, u64); 6] = [
+        ("testbed proto.offers_sent", 6),
+        ("testbed proto.offers_confirmed", 6),
+        ("testbed sim.transfers_applied", 6),
+        ("chaos proto.offers_sent", 6),
+        ("chaos proto.offer_retransmits", 2),
+        ("chaos sim.transport.to_client.dropped", 1),
+    ];
+    assert_eq!(got, golden, "golden counters moved");
+}
