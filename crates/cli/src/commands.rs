@@ -69,7 +69,7 @@ impl Options {
 }
 
 /// Options for `dustctl sim` (the chaos testbed run).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Drop probability applied in both directions.
     pub loss: f64,
@@ -90,6 +90,18 @@ pub struct SimOptions {
     /// Append the recorded metrics (plus trace digest) as JSON — stable
     /// byte-for-byte per seed, so CI can diff two runs.
     pub metrics_json: bool,
+    /// Append the metrics as a Prometheus-style text exposition.
+    pub metrics_prom: bool,
+    /// SLO spec evaluated online during each run, e.g.
+    /// `convergence<=15000,retransmit_rate<=0.25`. Any breach makes
+    /// [`cmd_sim`] report `slo_breached` so `main` can exit 1.
+    pub slo: Option<String>,
+    /// Where to write the flight-recorder post-mortem dump if a sim
+    /// invariant breaks (turns the recorder on even without --metrics).
+    pub postmortem: Option<String>,
+    /// Deliberately corrupt the first run's agent census after the fact
+    /// so the invariant check (and post-mortem path) demonstrably fires.
+    pub inject_breach: bool,
 }
 
 impl Default for SimOptions {
@@ -104,6 +116,10 @@ impl Default for SimOptions {
             sweep: false,
             metrics: false,
             metrics_json: false,
+            metrics_prom: false,
+            slo: None,
+            postmortem: None,
+            inject_breach: false,
         }
     }
 }
@@ -147,19 +163,59 @@ impl SimOptions {
     }
 }
 
+/// What one `dustctl sim` invocation produced: the rendered report plus
+/// whether any SLO rule fired (so `main` can print *and* exit 1 — a
+/// breach is a finding, not an error that should eat the output).
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The text to print.
+    pub output: String,
+    /// True when an `--slo` rule breached in any run.
+    pub slo_breached: bool,
+}
+
 /// `dustctl sim`: run the Fig. 5 testbed under an imperfect control plane
 /// and report what the retry/expiry machinery did about it. Exits nonzero
 /// (via `Err`) if a conservation invariant breaks — the whole point of
-/// the command is that it never should.
-pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
+/// the command is that it never should. With `--slo` the runs are watched
+/// by the online SLO engine; breaches land in the report (and the JSON)
+/// and flip [`SimRun::slo_breached`].
+pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
     opts.validate()?;
-    let observed = opts.metrics || opts.metrics_json;
+    let spec = match &opts.slo {
+        Some(s) => Some(SloSpec::parse(s)?),
+        None => None,
+    };
+    let observed = opts.metrics
+        || opts.metrics_json
+        || opts.metrics_prom
+        || spec.is_some()
+        || opts.postmortem.is_some();
     let mut results: Vec<ChaosResult> = Vec::new();
     let mut recorders: Vec<ObsHandle> = Vec::new();
+    let mut engines: Vec<SloEngine> = Vec::new();
     for faults in opts.fault_ladder() {
         let obs = if observed { ObsHandle::recording(opts.seed) } else { ObsHandle::disabled() };
-        results.push(chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone()));
+        match &spec {
+            Some(spec) => {
+                let (r, engine) =
+                    chaos_with_slo(faults, opts.duration_ms, opts.seed, obs.clone(), spec);
+                results.push(r);
+                engines.push(engine);
+            }
+            None => results.push(chaos_with_faults_observed(
+                faults,
+                opts.duration_ms,
+                opts.seed,
+                obs.clone(),
+            )),
+        }
         recorders.push(obs);
+    }
+    if opts.inject_breach {
+        // simulate the unthinkable: an agent vanished (testing the
+        // invariant check and the post-mortem machinery end to end)
+        results[0].agents_present = results[0].agents_present.saturating_sub(1);
     }
     let mut out = format!(
         "testbed chaos run: {:.0}s simulated, seed {}\n\n{}",
@@ -167,27 +223,34 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
         opts.seed,
         crate::format::render_chaos(&results)
     );
-    for r in &results {
-        if r.agents_present != r.agents_expected {
-            return Err(format!(
+    for (i, r) in results.iter().enumerate() {
+        let violated = if r.agents_present != r.agents_expected {
+            Some(format!(
                 "loss {:.0}%: {} of {} monitor agents lost — conservation broken",
                 r.loss * 100.0,
                 r.agents_expected - r.agents_present.min(r.agents_expected),
                 r.agents_expected
-            ));
-        }
-        if !r.ledgers_consistent {
-            return Err(format!("loss {:.0}%: ledgers diverged", r.loss * 100.0));
-        }
-        if r.unconfirmed_stale > 0 {
-            return Err(format!(
+            ))
+        } else if !r.ledgers_consistent {
+            Some(format!("loss {:.0}%: ledgers diverged", r.loss * 100.0))
+        } else if r.unconfirmed_stale > 0 {
+            Some(format!(
                 "loss {:.0}%: {} unconfirmed offers leaked past the retry budget",
                 r.loss * 100.0,
                 r.unconfirmed_stale
-            ));
+            ))
+        } else {
+            None
+        };
+        if let Some(msg) = violated {
+            return Err(write_postmortem(&msg, &recorders[i], opts.postmortem.as_deref()));
         }
     }
     out.push_str("\ninvariants: agents conserved, ledgers consistent, no leaked offers\n");
+    let slo_breached = engines.iter().any(|e| e.breached());
+    for (r, engine) in results.iter().zip(&engines) {
+        out.push_str(&format!("\n-- slo (loss {:.0}%) --\n{}", r.loss * 100.0, engine.report()));
+    }
     for (r, obs) in results.iter().zip(&recorders) {
         if opts.metrics {
             let m = obs.metrics().expect("recording handle");
@@ -199,10 +262,29 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
                 m.to_text()
             ));
         }
-        if opts.metrics_json {
+        if opts.metrics_prom {
             let m = obs.metrics().expect("recording handle");
             out.push_str(&format!(
-                "{{\"loss\":{},\"seed\":{},\"digest\":\"{:016x}\",\"metrics\":{}}}\n",
+                "\n-- prometheus (loss {:.0}%, seed {}) --\n{}",
+                r.loss * 100.0,
+                opts.seed,
+                m.to_prometheus()
+            ));
+        }
+    }
+    for (i, (r, obs)) in results.iter().zip(&recorders).enumerate() {
+        if opts.metrics_json {
+            let m = obs.metrics().expect("recording handle");
+            let breaches = match engines.get(i) {
+                Some(e) => {
+                    let lines: Vec<String> =
+                        e.breaches().iter().map(|b| format!("\"{}\"", b.to_line())).collect();
+                    format!(",\"slo_breaches\":[{}]", lines.join(","))
+                }
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{{\"loss\":{},\"seed\":{},\"digest\":\"{:016x}\"{breaches},\"metrics\":{}}}\n",
                 r.loss,
                 opts.seed,
                 obs.digest().expect("recording handle"),
@@ -210,14 +292,33 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<String, String> {
             ));
         }
     }
-    Ok(out)
+    Ok(SimRun { output: out, slo_breached })
+}
+
+/// On an invariant violation, dump the flight recorder to `path` (when
+/// requested and recording) and fold the outcome into the error message.
+fn write_postmortem(msg: &str, obs: &ObsHandle, path: Option<&str>) -> String {
+    let Some(path) = path else { return msg.to_string() };
+    let Some(dump) = obs.post_mortem(msg) else { return msg.to_string() };
+    match std::fs::write(path, &dump) {
+        Ok(()) => format!("{msg} (postmortem written to {path})"),
+        Err(e) => format!("{msg} (postmortem write to {path} failed: {e})"),
+    }
 }
 
 /// `dustctl trace`: run one chaos scenario with the trace recorder on
 /// and print the event census plus the run's digest — or, with `full`,
 /// the entire decoded event log. Two invocations with the same flags
 /// print byte-identical output; that is the feature.
-pub fn cmd_trace(opts: &SimOptions, full: bool) -> Result<String, String> {
+///
+/// The full dump *streams* into `out` one event at a time (traces grow
+/// with duration; a two-minute chaos run is tens of thousands of lines),
+/// so no run-length buffer is ever materialized.
+pub fn cmd_trace(
+    opts: &SimOptions,
+    full: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
     opts.validate()?;
     if opts.sweep {
         return Err("trace records a single run; drop --sweep".into());
@@ -227,14 +328,14 @@ pub fn cmd_trace(opts: &SimOptions, full: bool) -> Result<String, String> {
     let r = chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone());
     let trace = obs.trace_snapshot().expect("recording handle");
     if full {
-        return Ok(trace.to_text());
+        return trace.write_text(out).map_err(|e| format!("writing trace: {e}"));
     }
     let mut by_kind: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
     for e in trace.entries() {
         *by_kind.entry(e.event.kind()).or_insert(0) += 1;
     }
-    let mut out = format!(
+    let mut text = format!(
         "trace: seed {}, loss {:.0}%, {} events, digest {:016x}\n",
         opts.seed,
         r.loss * 100.0,
@@ -242,7 +343,83 @@ pub fn cmd_trace(opts: &SimOptions, full: bool) -> Result<String, String> {
         trace.digest()
     );
     for (kind, n) in by_kind {
-        out.push_str(&format!("  {kind:<18} {n}\n"));
+        text.push_str(&format!("  {kind:<18} {n}\n"));
+    }
+    out.write_all(text.as_bytes()).map_err(|e| format!("writing census: {e}"))
+}
+
+/// `dustctl spans`: run one chaos scenario, reconstruct every flow's
+/// causal span tree, and print a per-flow table, per-phase p50/p99
+/// latencies, and the critical-path breakdown. `flow` narrows the table
+/// to one transfer's request id; `phase` narrows the latency table to
+/// one phase name. Byte-identical per seed, like everything else here.
+pub fn cmd_spans(
+    opts: &SimOptions,
+    flow: Option<u64>,
+    phase: Option<&str>,
+) -> Result<String, String> {
+    opts.validate()?;
+    if opts.sweep {
+        return Err("spans analyzes a single run; drop --sweep".into());
+    }
+    let obs = ObsHandle::recording(opts.seed);
+    let faults = opts.fault_ladder().remove(0);
+    let r = chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone());
+    let trace = obs.trace_snapshot().expect("recording handle");
+    let forest = build_spans(&trace);
+    let (t, reg, p) = forest.kind_counts();
+    let mut out = format!(
+        "spans: seed {}, loss {:.0}%, {} events → {} flows \
+         ({t} transfers, {reg} registrations, {p} rounds), \
+         unflowed {}, orphan events {}\n\n",
+        opts.seed,
+        r.loss * 100.0,
+        forest.total_events,
+        forest.flows.len(),
+        forest.unflowed_events,
+        forest.orphan_events,
+    );
+
+    out.push_str("flow    outcome      start_ms  dur_ms  events  backoffs  phases\n");
+    for f in &forest.flows {
+        if let Some(want) = flow {
+            if f.flow != FlowId::Transfer(want) {
+                continue;
+            }
+        }
+        let phases: Vec<String> =
+            f.phases.iter().map(|s| format!("{}={}ms", s.name, s.dur_ms())).collect();
+        out.push_str(&format!(
+            "{:<7} {:<12} {:>8}  {:>6}  {:>6}  {:>8}  {}{}\n",
+            f.flow.to_string(),
+            f.outcome.name(),
+            f.root.start_ms,
+            f.root.dur_ms(),
+            f.events,
+            f.backoffs.len(),
+            phases.join(" "),
+            if f.complete { "" } else { "  [INCOMPLETE]" },
+        ));
+    }
+
+    let hists = forest.phase_histograms();
+    out.push_str("\nphase latency (ms):\nphase         count    p50    p99\n");
+    for (name, h) in &hists {
+        if let Some(want) = phase {
+            if *name != want {
+                continue;
+            }
+        }
+        let q = |q: f64| h.quantile(q).map_or("-".into(), |v| format!("{v:.1}"));
+        out.push_str(&format!("{name:<12} {:>6}  {:>5}  {:>5}\n", h.count(), q(0.5), q(0.99)));
+    }
+
+    let cp = forest.critical_path();
+    let total: u64 = cp.iter().map(|(_, ms, _)| ms).sum();
+    out.push_str("\ncritical path (share of total phase time):\n");
+    for (name, ms, n) in &cp {
+        let share = if total > 0 { 100.0 * *ms as f64 / total as f64 } else { 0.0 };
+        out.push_str(&format!("  {name:<12} {ms:>7} ms over {n:>3} span(s)  {share:5.1}%\n"));
     }
     Ok(out)
 }
@@ -536,7 +713,7 @@ mod tests {
             seed: 17,
             ..Default::default()
         };
-        let out = cmd_sim(&o).unwrap();
+        let out = cmd_sim(&o).unwrap().output;
         assert!(out.contains("loss%"), "{out}");
         assert!(out.contains("20.0"), "{out}");
         assert!(out.contains("invariants: agents conserved"), "{out}");
@@ -545,7 +722,7 @@ mod tests {
     #[test]
     fn sim_sweep_emits_one_row_per_loss_rate() {
         let o = SimOptions { sweep: true, duration_ms: 30_000, seed: 3, ..Default::default() };
-        let out = cmd_sim(&o).unwrap();
+        let out = cmd_sim(&o).unwrap().output;
         // header + five ladder rows + trailing invariant line
         assert_eq!(out.lines().filter(|l| l.ends_with("ok")).count(), 5, "{out}");
     }
@@ -562,8 +739,8 @@ mod tests {
             metrics_json: true,
             ..Default::default()
         };
-        let a = cmd_sim(&o).unwrap();
-        let b = cmd_sim(&o).unwrap();
+        let a = cmd_sim(&o).unwrap().output;
+        let b = cmd_sim(&o).unwrap().output;
         assert_eq!(a, b, "metrics JSON must be reproducible byte-for-byte");
         assert!(a.contains("\"digest\":\""), "{a}");
         assert!(a.contains("proto.offers_sent"), "{a}");
@@ -578,24 +755,123 @@ mod tests {
             metrics: true,
             ..Default::default()
         };
-        let out = cmd_sim(&o).unwrap();
+        let out = cmd_sim(&o).unwrap().output;
         assert!(out.contains("-- metrics"), "{out}");
         assert!(out.contains("sim.transport.to_manager.sent"), "{out}");
         assert!(out.contains("hist lp."), "solver histograms must record: {out}");
     }
 
+    fn trace_to_string(o: &SimOptions, full: bool) -> Result<String, String> {
+        let mut buf = Vec::new();
+        cmd_trace(o, full, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("trace output is UTF-8"))
+    }
+
     #[test]
     fn trace_census_is_reproducible_and_full_dump_carries_digest() {
         let o = SimOptions { loss: 0.2, duration_ms: 30_000, seed: 7, ..Default::default() };
-        let a = cmd_trace(&o, false).unwrap();
-        let b = cmd_trace(&o, false).unwrap();
+        let a = trace_to_string(&o, false).unwrap();
+        let b = trace_to_string(&o, false).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("digest"), "{a}");
         assert!(a.contains("Offer"), "{a}");
-        let full = cmd_trace(&o, true).unwrap();
+        let full = trace_to_string(&o, true).unwrap();
         let digest_line = full.lines().last().unwrap();
         assert!(digest_line.starts_with("digest "), "{digest_line}");
-        assert!(cmd_trace(&SimOptions { sweep: true, ..o }, false).is_err());
+        assert!(trace_to_string(&SimOptions { sweep: true, ..o }, false).is_err());
+    }
+
+    #[test]
+    fn spans_reports_complete_flows_and_phase_quantiles() {
+        let o = SimOptions { duration_ms: 60_000, seed: 42, ..Default::default() };
+        let a = cmd_spans(&o, None, None).unwrap();
+        let b = cmd_spans(&o, None, None).unwrap();
+        assert_eq!(a, b, "span analytics must be byte-identical per seed");
+        assert!(a.contains("transfers"), "{a}");
+        assert!(a.contains("registered"), "{a}");
+        assert!(!a.contains("[INCOMPLETE]"), "perfect wire must yield complete trees: {a}");
+        assert!(a.contains("phase latency"), "{a}");
+        assert!(a.contains("critical path"), "{a}");
+        assert!(a.contains("hosted"), "{a}");
+        // --phase narrows the latency table; --flow narrows the flow table
+        let only_offer = cmd_spans(&o, None, Some("offer")).unwrap();
+        assert!(only_offer.contains("offer"), "{only_offer}");
+        assert!(!only_offer.lines().any(|l| l.starts_with("hosted ")), "{only_offer}");
+        let only_t1 = cmd_spans(&o, Some(1), None).unwrap();
+        assert!(only_t1.contains("t:1"), "{only_t1}");
+        assert!(!only_t1.contains("\nn:"), "registrations filtered out: {only_t1}");
+        assert!(cmd_spans(&SimOptions { sweep: true, ..o }, None, None).is_err());
+    }
+
+    #[test]
+    fn sim_slo_breach_is_reported_and_flagged() {
+        let o = SimOptions {
+            loss: 0.25,
+            dup: 0.1,
+            delay_ms: 20,
+            jitter_ms: 100,
+            duration_ms: 60_000,
+            seed: 9,
+            metrics_json: true,
+            slo: Some("retransmit_rate<=0.0,convergence<=1".into()),
+            ..Default::default()
+        };
+        let run = cmd_sim(&o).unwrap();
+        assert!(run.slo_breached, "a lossy wire must breach a zero-retransmit budget");
+        assert!(run.output.contains("-- slo"), "{}", run.output);
+        assert!(run.output.contains("breach rule=retransmit_rate"), "{}", run.output);
+        assert!(run.output.contains("\"slo_breaches\":[\"breach"), "{}", run.output);
+        // a satisfied spec keeps the flag down
+        let ok = cmd_sim(&SimOptions {
+            slo: Some("abandons<=1000".into()),
+            metrics_json: false,
+            ..o.clone()
+        })
+        .unwrap();
+        assert!(!ok.slo_breached, "{}", ok.output);
+        assert!(ok.output.contains("0 breach(es)"), "{}", ok.output);
+        // junk specs fail loudly before any run
+        assert!(cmd_sim(&SimOptions { slo: Some("bogus<=1".into()), ..o }).is_err());
+    }
+
+    #[test]
+    fn sim_injected_breach_writes_the_postmortem_dump() {
+        let path = std::env::temp_dir().join("dustctl-test-postmortem.txt");
+        let _ = std::fs::remove_file(&path);
+        let o = SimOptions {
+            duration_ms: 30_000,
+            seed: 5,
+            inject_breach: true,
+            postmortem: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let err = cmd_sim(&o).unwrap_err();
+        assert!(err.contains("conservation broken"), "{err}");
+        assert!(err.contains("postmortem written to"), "{err}");
+        let dump = std::fs::read_to_string(&path).expect("dump must exist");
+        assert!(dump.starts_with("postmortem reason="), "{dump}");
+        assert!(dump.contains("seed=5"), "{dump}");
+        let last = dump.lines().last().unwrap();
+        assert!(last.starts_with("digest "), "{last}");
+        // deterministic: a second breach run reproduces the dump exactly
+        let _ = cmd_sim(&o).unwrap_err();
+        assert_eq!(dump, std::fs::read_to_string(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sim_prometheus_exposition_renders_all_three_kinds() {
+        let o = SimOptions {
+            loss: 0.2,
+            duration_ms: 30_000,
+            seed: 5,
+            metrics_prom: true,
+            ..Default::default()
+        };
+        let out = cmd_sim(&o).unwrap().output;
+        assert!(out.contains("-- prometheus"), "{out}");
+        assert!(out.contains("# TYPE dust_proto_offers_sent counter"), "{out}");
+        assert!(out.contains("_bucket{le=\"+Inf\"}"), "{out}");
     }
 
     #[test]

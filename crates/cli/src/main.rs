@@ -9,7 +9,8 @@
 //! ```
 
 use dust_cli::commands::{
-    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_trace, cmd_zoned, roles, Options, SimOptions,
+    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_spans, cmd_trace, cmd_zoned, roles, Options,
+    SimOptions,
 };
 use dust_cli::format::{example_file, parse_nmdb};
 
@@ -26,6 +27,8 @@ commands:
   sim                          chaos-run the testbed under a lossy control plane
   trace                        chaos-run with the trace recorder on; print the
                                event census and the run's deterministic digest
+  spans                        chaos-run and reconstruct per-flow causal span
+                               trees: flow table, per-phase p50/p99, critical path
 
 options (all commands taking a file):
   --c-max X     Busy threshold (default 80)
@@ -47,13 +50,28 @@ sim options:
   --metrics     append the recorded metrics (counters/gauges/histograms)
   --metrics-json
                 append one stable JSON object per run (includes the trace
-                digest) — byte-identical across runs at the same seed
+                digest and any SLO breaches) — byte-identical per seed
+  --metrics-prom
+                append the metrics as a Prometheus-style text exposition
+  --slo SPEC    evaluate SLO rules online and exit 1 on any breach, e.g.
+                convergence<=15000,retransmit_rate<=0.25,abandons<=0,
+                overload_dwell<=20000
+  --postmortem PATH
+                on an invariant violation, write the flight-recorder dump
+                (the most recent trace events + digest) to PATH
+  --inject-breach
+                corrupt the first run's agent census after the fact, to
+                exercise the invariant check and post-mortem path
 
 trace options: same as sim (minus --sweep), plus
-  --full        dump the entire decoded event log instead of the census
+  --full        stream the entire decoded event log instead of the census
 
-exit status: 0 on success, 1 when no feasible placement exists or a sim
-invariant breaks, 2 on usage errors";
+spans options: same as sim (minus --sweep), plus
+  --flow N      show only transfer flow N in the flow table
+  --phase NAME  show only NAME in the phase-latency table
+
+exit status: 0 on success, 1 when no feasible placement exists, a sim
+invariant breaks, or an --slo rule breaches, 2 on usage errors";
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("dustctl: {msg}\n\n{USAGE}");
@@ -71,13 +89,18 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if cmd == "sim" || cmd == "trace" {
+    if cmd == "sim" || cmd == "trace" || cmd == "spans" {
         let mut s = SimOptions::default();
         let mut full = false;
+        let mut flow: Option<u64> = None;
+        let mut phase: Option<String> = None;
         let mut it = args.iter().skip(1);
         let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
             let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
             v.parse().unwrap_or_else(|_| fail(format!("{flag}: invalid number {v:?}")))
+        };
+        let text = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| fail(format!("{flag} needs a value"))).clone()
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -90,13 +113,44 @@ fn main() {
                 "--sweep" if cmd == "sim" => s.sweep = true,
                 "--metrics" if cmd == "sim" => s.metrics = true,
                 "--metrics-json" if cmd == "sim" => s.metrics_json = true,
+                "--metrics-prom" if cmd == "sim" => s.metrics_prom = true,
+                "--slo" if cmd == "sim" => s.slo = Some(text(&mut it, "--slo")),
+                "--postmortem" if cmd == "sim" => {
+                    s.postmortem = Some(text(&mut it, "--postmortem"))
+                }
+                "--inject-breach" if cmd == "sim" => s.inject_breach = true,
                 "--full" if cmd == "trace" => full = true,
+                "--flow" if cmd == "spans" => flow = Some(numeric(&mut it, "--flow") as u64),
+                "--phase" if cmd == "spans" => phase = Some(text(&mut it, "--phase")),
                 other => fail(format!("{cmd}: unknown option {other:?}")),
             }
         }
-        let result = if cmd == "sim" { cmd_sim(&s) } else { cmd_trace(&s, full) };
-        match result {
-            Ok(out) => print!("{out}"),
+        if cmd == "trace" {
+            let stdout = std::io::stdout();
+            if let Err(e) = cmd_trace(&s, full, &mut stdout.lock()) {
+                eprintln!("dustctl: {e}");
+                std::process::exit(1)
+            }
+            return;
+        }
+        if cmd == "spans" {
+            match cmd_spans(&s, flow, phase.as_deref()) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("dustctl: {e}");
+                    std::process::exit(1)
+                }
+            }
+            return;
+        }
+        match cmd_sim(&s) {
+            Ok(run) => {
+                print!("{}", run.output);
+                if run.slo_breached {
+                    eprintln!("dustctl: SLO breached (see report above)");
+                    std::process::exit(1)
+                }
+            }
             Err(e) => {
                 eprintln!("dustctl: {e}");
                 std::process::exit(1)

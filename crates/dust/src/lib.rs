@@ -60,13 +60,16 @@ pub mod prelude {
         PlacementRequest, PlacementStatus, ReportOutcome, Role, ScenarioParams, SolverBackend,
         SuccessClass, SuccessTally, WorkUnit, ZonedPlacement, Zoning,
     };
-    pub use dust_obs::{Histogram, MetricsRegistry, ObsHandle, Trace, TraceAssert, TraceEvent};
+    pub use dust_obs::{
+        build_spans, FlightRecorder, FlowId, Histogram, MetricsRegistry, ObsHandle, SloBreach,
+        SloEngine, SloKind, SloSpec, SpanForest, SpanOutcome, Trace, TraceAssert, TraceEvent,
+    };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
     pub use dust_sim::{
-        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, evaluate_flows, fig1,
-        fig6, fleet, testbed_observed, testbed_topology, ChaosResult, FaultConfig, FaultProfile,
-        FlowOutcome, NodeSpec, SimConfig, SimNode, SimReport, Simulation, TelemetryFlow,
-        TrafficModel, Transport,
+        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, chaos_with_slo,
+        evaluate_flows, fig1, fig6, fleet, testbed_dust_config, testbed_observed, testbed_topology,
+        ChaosResult, FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimConfig, SimNode,
+        SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
     };
     pub use dust_telemetry::{
         aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,

@@ -6,19 +6,53 @@
 //! "no `ClientAccept` after a `ClientReleased` for the same request",
 //! "every `Abandon` is preceded by the full retry budget of
 //! `Retransmit` events").
+//!
+//! With [`TraceAssert::with_postmortem`], a failing assertion writes a
+//! flight-recorder style dump (the tail of the trace) to the given path
+//! before panicking, so CI can upload the black box as an artifact.
 
+use crate::flight::{dump_entries, DEFAULT_FLIGHT_CAPACITY};
 use crate::trace::{Trace, TraceEntry};
+use std::path::PathBuf;
 
 /// Assertion surface over an immutable trace.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TraceAssert<'a> {
     trace: &'a Trace,
+    dump_path: Option<PathBuf>,
 }
 
 impl<'a> TraceAssert<'a> {
     /// Wrap a recorded trace.
     pub fn new(trace: &'a Trace) -> Self {
-        TraceAssert { trace }
+        TraceAssert { trace, dump_path: None }
+    }
+
+    /// On assertion failure, write a post-mortem dump (the last
+    /// [`DEFAULT_FLIGHT_CAPACITY`] entries) to `path` before panicking.
+    /// Parent directories are created; write errors are swallowed — a
+    /// failing assertion must still panic with its own message.
+    pub fn with_postmortem(mut self, path: impl Into<PathBuf>) -> Self {
+        self.dump_path = Some(path.into());
+        self
+    }
+
+    /// Panic with `msg`, writing the post-mortem dump first if one was
+    /// requested via [`TraceAssert::with_postmortem`].
+    #[track_caller]
+    fn fail(&self, msg: String) -> ! {
+        if let Some(path) = &self.dump_path {
+            let entries = self.trace.entries();
+            let tail = &entries[entries.len().saturating_sub(DEFAULT_FLIGHT_CAPACITY)..];
+            let reason = msg.split(':').next().unwrap_or("assert");
+            let dump = dump_entries(self.trace.seed(), reason, tail, entries.len() as u64);
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(path, &dump);
+            panic!("{msg} (postmortem written to {})", path.display());
+        }
+        panic!("{msg}");
     }
 
     /// The underlying entries, in record order.
@@ -44,7 +78,9 @@ impl<'a> TraceAssert<'a> {
     /// Panic unless at least one event of `kind` was recorded.
     #[track_caller]
     pub fn expect(&self, kind: &str) -> &Self {
-        assert!(self.count(kind) > 0, "expected at least one `{kind}` event, trace has none");
+        if self.count(kind) == 0 {
+            self.fail(format!("expected at least one `{kind}` event, trace has none"));
+        }
         self
     }
 
@@ -52,7 +88,9 @@ impl<'a> TraceAssert<'a> {
     #[track_caller]
     pub fn expect_at_least(&self, kind: &str, min: usize) -> &Self {
         let n = self.count(kind);
-        assert!(n >= min, "expected >= {min} `{kind}` events, trace has {n}");
+        if n < min {
+            self.fail(format!("expected >= {min} `{kind}` events, trace has {n}"));
+        }
         self
     }
 
@@ -60,7 +98,10 @@ impl<'a> TraceAssert<'a> {
     #[track_caller]
     pub fn forbid(&self, what: &str, pred: impl Fn(&TraceEntry) -> bool) -> &Self {
         if let Some(e) = self.entries().iter().find(|e| pred(e)) {
-            panic!("forbidden event ({what}) present: {} (t={} seq={})", e.event, e.t_ms, e.seq);
+            self.fail(format!(
+                "forbidden event ({what}) present: {} (t={} seq={})",
+                e.event, e.t_ms, e.seq
+            ));
         }
         self
     }
@@ -81,10 +122,10 @@ impl<'a> TraceAssert<'a> {
                 continue;
             }
             if let Some(b) = entries[i + 1..].iter().find(|b| later(a, b)) {
-                panic!(
+                self.fail(format!(
                     "forbidden ordering ({what}): {} (seq={}) followed by {} (seq={})",
                     a.event, a.seq, b.event, b.seq
-                );
+                ));
             }
         }
         self
@@ -98,25 +139,25 @@ impl<'a> TraceAssert<'a> {
     /// Panic unless the trace digest equals `expected`.
     #[track_caller]
     pub fn assert_digest(&self, expected: u64) -> &Self {
-        assert_eq!(
-            self.trace.digest(),
-            expected,
-            "trace digest mismatch: got {:016x}, expected {expected:016x}",
-            self.trace.digest(),
-        );
+        if self.trace.digest() != expected {
+            self.fail(format!(
+                "trace digest mismatch: got {:016x}, expected {expected:016x}",
+                self.trace.digest(),
+            ));
+        }
         self
     }
 
     /// Panic unless two traces have identical digests.
     #[track_caller]
     pub fn assert_same_digest(&self, other: &Trace) -> &Self {
-        assert_eq!(
-            self.trace.digest(),
-            other.digest(),
-            "trace digests diverge: {:016x} vs {:016x}",
-            self.trace.digest(),
-            other.digest(),
-        );
+        if self.trace.digest() != other.digest() {
+            self.fail(format!(
+                "trace digests diverge: {:016x} vs {:016x}",
+                self.trace.digest(),
+                other.digest(),
+            ));
+        }
         self
     }
 }
@@ -175,5 +216,31 @@ mod tests {
         let t = sample();
         let u = sample();
         TraceAssert::new(&t).assert_digest(t.digest()).assert_same_digest(&u);
+    }
+
+    #[test]
+    fn failing_assertion_writes_a_postmortem_dump() {
+        let t = sample();
+        let path = std::env::temp_dir().join("dust-obs-assert-test/postmortem.txt");
+        let _ = std::fs::remove_file(&path);
+        let result = std::panic::catch_unwind(|| {
+            TraceAssert::new(&t).with_postmortem(&path).assert_digest(0xdead_beef);
+        });
+        assert!(result.is_err(), "assertion must still panic");
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("postmortem written to"), "got: {msg}");
+        let dump = std::fs::read_to_string(&path).expect("dump file");
+        assert!(dump.starts_with("postmortem reason=trace_digest_mismatch seed=1 window=3"));
+        assert!(dump.contains("Abandon req=1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn passing_assertions_write_nothing() {
+        let t = sample();
+        let path = std::env::temp_dir().join("dust-obs-assert-test/clean.txt");
+        let _ = std::fs::remove_file(&path);
+        TraceAssert::new(&t).with_postmortem(&path).expect("Offer").assert_digest(t.digest());
+        assert!(!path.exists(), "no dump on success");
     }
 }

@@ -1,0 +1,169 @@
+//! Bounded flight recorder for post-mortem dumps.
+//!
+//! A [`FlightRecorder`] keeps the last `capacity` trace entries in a
+//! fixed ring with O(1) append and no per-event allocation (entries are
+//! `Copy`). When a sim invariant breaks or a [`crate::TraceAssert`]
+//! fails, [`FlightRecorder::dump`] renders the window as a deterministic
+//! text artifact — same events in, same bytes (and digest) out — so a
+//! chaos failure ships a reproducible black box instead of a bare
+//! assert message.
+
+use crate::trace::{fnv1a, TraceEntry, FNV_OFFSET};
+
+/// Default ring capacity used by `ObsHandle::recording`.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// Fixed-size ring of the most recent [`TraceEntry`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Vec<TraceEntry>,
+    /// Index the next push writes to once the ring is full.
+    next: usize,
+    /// Total entries ever pushed (>= buf.len()).
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder holding at most `capacity` entries. A zero
+    /// capacity is clamped to 1 so `push` stays branch-simple.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder { capacity, buf: Vec::with_capacity(capacity), next: 0, total: 0 }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries ever pushed, including ones already evicted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries currently held (min(total, capacity)).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one entry, evicting the oldest once full. O(1).
+    pub fn push(&mut self, entry: TraceEntry) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.next] = entry;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// The retained window in record order (oldest first).
+    pub fn window(&self) -> Vec<TraceEntry> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Render the retained window as a deterministic post-mortem dump.
+    /// See [`dump_entries`] for the format.
+    pub fn dump(&self, seed: u64, reason: &str) -> String {
+        dump_entries(seed, reason, &self.window(), self.total)
+    }
+}
+
+/// Render a post-mortem dump over an explicit entry window. Format:
+///
+/// ```text
+/// postmortem reason=<reason> seed=<seed> window=<kept> dropped=<evicted>
+/// <t_ms> <seq> <event>         (one line per retained entry)
+/// digest <fnv1a-64 over all preceding lines>
+/// ```
+///
+/// Whitespace in `reason` is folded to `_` so the header stays one
+/// token-parseable line. The digest covers the header and every entry
+/// line, so two dumps are byte-identical iff their digests match.
+pub fn dump_entries(seed: u64, reason: &str, window: &[TraceEntry], total: u64) -> String {
+    let reason: String = reason.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+    let dropped = total.saturating_sub(window.len() as u64);
+    let mut out = format!(
+        "postmortem reason={reason} seed={seed} window={} dropped={dropped}\n",
+        window.len()
+    );
+    for e in window {
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+    let digest = fnv1a(FNV_OFFSET, out.as_bytes());
+    out.push_str(&format!("digest {digest:016x}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn entry(i: u64) -> TraceEntry {
+        TraceEntry { t_ms: i * 10, seq: i, event: TraceEvent::Abandon { request: i } }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_entries_in_order() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            fr.push(entry(i));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.total(), 10);
+        let seqs: Vec<u64> = fr.window().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "window must be the tail, oldest first");
+    }
+
+    #[test]
+    fn window_is_stable_before_wraparound() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..3 {
+            fr.push(entry(i));
+        }
+        let seqs: Vec<u64> = fr.window().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_counts_evictions() {
+        let mk = || {
+            let mut fr = FlightRecorder::new(2);
+            for i in 0..5 {
+                fr.push(entry(i));
+            }
+            fr.dump(7, "ledger drift")
+        };
+        let dump = mk();
+        assert_eq!(dump, mk(), "same window must dump identical bytes");
+        assert!(dump.starts_with("postmortem reason=ledger_drift seed=7 window=2 dropped=3\n"));
+        assert!(dump.trim_end().lines().last().unwrap().starts_with("digest "));
+    }
+
+    #[test]
+    fn dump_digest_is_sensitive_to_content() {
+        let a = dump_entries(1, "x", &[entry(0)], 1);
+        let b = dump_entries(1, "x", &[entry(1)], 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut fr = FlightRecorder::new(0);
+        fr.push(entry(0));
+        fr.push(entry(1));
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.window()[0].seq, 1);
+    }
+}

@@ -11,6 +11,14 @@
 //!   seed are bit-identical iff their digests match. [`TraceAssert`]
 //!   turns traces into regression tests.
 //!
+//! On top of the trace sit three analysis tiers (all deterministic pure
+//! functions of the recorded stream): [`span::build_spans`] reconstructs
+//! per-flow causal span trees from the flow identities events carry
+//! ([`TraceEvent::flow`]), a [`FlightRecorder`] ring keeps the most
+//! recent events for O(capacity) post-mortem dumps
+//! ([`ObsHandle::post_mortem`]), and an [`SloEngine`] evaluates
+//! declarative health rules online as the sim feeds it.
+//!
 //! Both live behind [`ObsHandle`], a cheap clonable handle that is a
 //! **no-op by default**: `ObsHandle::disabled()` (also `Default`)
 //! carries no allocation and every recording call short-circuits on one
@@ -31,14 +39,23 @@
 #![warn(missing_docs)]
 
 mod assert;
+mod flight;
 mod hist;
 mod metrics;
+mod slo;
+pub mod span;
 mod trace;
 
 pub use assert::TraceAssert;
+pub use flight::{dump_entries, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::{Histogram, NUM_BUCKETS, SUB_BUCKETS};
 pub use metrics::MetricsRegistry;
-pub use trace::{Trace, TraceEntry, TraceEvent};
+pub use slo::{SloBreach, SloEngine, SloKind, SloRule, SloSpec};
+pub use span::{build_spans, FlowSpans, Span, SpanForest, SpanOutcome};
+pub use trace::{
+    DecodedTrace, FlowId, Trace, TraceEntry, TraceEvent, SLO_GLOBAL, TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -55,6 +72,21 @@ struct ObsCore {
 struct ObsInner {
     metrics: MetricsRegistry,
     trace: Trace,
+    /// Bounded ring of the most recent trace entries, kept alongside the
+    /// full trace so post-mortem dumps are O(capacity) regardless of run
+    /// length.
+    flight: FlightRecorder,
+}
+
+impl ObsInner {
+    /// Append to the trace and mirror into the flight ring; the entry's
+    /// sequence number is shared so a post-mortem window lines up with
+    /// the full trace.
+    fn record(&mut self, t_ms: u64, event: TraceEvent) {
+        let seq = self.trace.len() as u64;
+        self.trace.record(t_ms, event);
+        self.flight.push(TraceEntry { t_ms, seq, event });
+    }
 }
 
 /// Shared handle to one run's metrics + trace. Clones are cheap and all
@@ -70,14 +102,22 @@ impl ObsHandle {
         ObsHandle { core: None }
     }
 
-    /// A live handle recording into a fresh registry and trace.
+    /// A live handle recording into a fresh registry and trace, with a
+    /// [`DEFAULT_FLIGHT_CAPACITY`]-entry flight recorder riding along.
     pub fn recording(seed: u64) -> Self {
+        Self::recording_with_flight(seed, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Like [`ObsHandle::recording`] with an explicit flight-recorder
+    /// ring capacity (how many trailing events a post-mortem retains).
+    pub fn recording_with_flight(seed: u64, flight_capacity: usize) -> Self {
         ObsHandle {
             core: Some(Arc::new(ObsCore {
                 now_ms: AtomicU64::new(0),
                 inner: Mutex::new(ObsInner {
                     metrics: MetricsRegistry::new(),
                     trace: Trace::new(seed),
+                    flight: FlightRecorder::new(flight_capacity),
                 }),
             })),
         }
@@ -138,15 +178,26 @@ impl ObsHandle {
     pub fn trace(&self, event: TraceEvent) {
         if let Some(c) = &self.core {
             let t = c.now_ms.load(Ordering::Relaxed);
-            Self::lock(c).trace.record(t, event);
+            Self::lock(c).record(t, event);
         }
     }
 
     /// Record a trace event at an explicit sim time.
     pub fn trace_at(&self, t_ms: u64, event: TraceEvent) {
         if let Some(c) = &self.core {
-            Self::lock(c).trace.record(t_ms, event);
+            Self::lock(c).record(t_ms, event);
         }
+    }
+
+    /// Render a post-mortem dump of the flight-recorder window (the most
+    /// recent events) tagged with `reason`. `None` when disabled. The
+    /// dump is deterministic: same events in, same bytes out — see
+    /// [`FlightRecorder::dump`].
+    pub fn post_mortem(&self, reason: &str) -> Option<String> {
+        self.core.as_ref().map(|c| {
+            let g = Self::lock(c);
+            g.flight.dump(g.trace.seed(), reason)
+        })
     }
 
     /// Snapshot of the metrics so far (`None` when disabled).
@@ -184,7 +235,24 @@ mod tests {
         assert_eq!(h.metrics(), None);
         assert_eq!(h.digest(), None);
         assert_eq!(h.counter("x"), 0);
+        assert_eq!(h.post_mortem("why"), None);
         assert_eq!(std::mem::size_of::<ObsHandle>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn post_mortem_dumps_the_trailing_window() {
+        let h = ObsHandle::recording_with_flight(9, 2);
+        for i in 0..5u64 {
+            h.trace_at(i * 10, TraceEvent::Abandon { request: i });
+        }
+        let dump = h.post_mortem("test").unwrap();
+        assert!(dump.starts_with("postmortem reason=test seed=9 window=2 dropped=3\n"), "{dump}");
+        assert!(dump.contains("30 3 Abandon req=3\n"));
+        assert!(dump.contains("40 4 Abandon req=4\n"));
+        assert!(!dump.contains("req=2"), "evicted entries must not appear");
+        assert_eq!(dump, h.post_mortem("test").unwrap(), "dump is deterministic");
+        // the full trace still has everything
+        assert_eq!(h.trace_snapshot().unwrap().len(), 5);
     }
 
     #[test]

@@ -133,6 +133,47 @@ impl MetricsRegistry {
         Some(m)
     }
 
+    /// Prometheus text exposition (format 0.0.4). Dotted names are
+    /// sanitized to `[a-zA-Z0-9_]` and prefixed `dust_`; histograms are
+    /// rendered as cumulative `_bucket{le="..."}` series over the
+    /// non-empty log-scale buckets plus the mandatory `+Inf` bucket and
+    /// `_count` (no `_sum`: the histogram stores only integer bucket
+    /// counts by design, which is what keeps merges exact). Output is
+    /// byte-stable per registry state like every other encoding here.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("dust_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json_f64(*v)));
+        }
+        for (k, h) in &self.histograms {
+            let n = sanitize(k);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (_, _, hi, c) in h.nonzero_buckets() {
+                cumulative += c;
+                if hi.is_finite() {
+                    out.push_str(&format!("{n}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+                }
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
+
     /// Stable JSON encoding (sorted keys, shortest-roundtrip floats).
     /// Histograms are summarized as count/min/max/p50/p99 plus sparse
     /// buckets. Suitable for byte-for-byte diffing across runs.
@@ -227,6 +268,30 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("c"), 5);
         assert_eq!(a.gauge("g"), Some(2.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_stable_and_sanitized() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("proto.offers_sent", 3);
+        m.gauge_set("sim.active_transfers", 2.0);
+        m.observe("span.offer_ms", 20.0);
+        m.observe("span.offer_ms", 40.0);
+        let p = m.to_prometheus();
+        assert_eq!(p, m.to_prometheus(), "exposition must be byte-stable");
+        assert!(p.contains("# TYPE dust_proto_offers_sent counter\ndust_proto_offers_sent 3\n"));
+        assert!(p.contains("# TYPE dust_sim_active_transfers gauge\ndust_sim_active_transfers 2\n"));
+        assert!(p.contains("# TYPE dust_span_offer_ms histogram\n"));
+        assert!(p.contains("dust_span_offer_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(p.contains("dust_span_offer_ms_count 2\n"));
+        // cumulative bucket counts must be nondecreasing and end at count
+        let mut last = 0u64;
+        for line in p.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative counts regressed: {line}");
+            last = v;
+        }
+        assert_eq!(last, 2);
     }
 
     #[test]

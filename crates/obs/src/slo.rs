@@ -1,0 +1,419 @@
+//! Online SLO engine: declarative health rules evaluated incrementally.
+//!
+//! A [`SloSpec`] is parsed from a compact text form like
+//! `convergence<=15000,retransmit_rate<=0.25,abandons<=0,overload_dwell<=20000`
+//! and evaluated by an [`SloEngine`] that the sim runner feeds as the
+//! run unfolds. The engine is a pure observer — it reads protocol
+//! counters and node samples but never feeds anything back — so a run
+//! with an engine attached is bit-identical to one without. Each rule
+//! fires **at most once per scope** (once globally, or once per node for
+//! per-node rules), producing [`SloBreach`]es that the runner traces as
+//! `SloBreach` events; alerts are therefore part of the digested event
+//! stream and as reproducible as the run itself.
+//!
+//! Rules:
+//!
+//! * `convergence<=MS` — the first offloaded transfer must be applied
+//!   within `MS` ms of sim start (the paper's "time to shed load").
+//! * `retransmit_rate<=R` — offer retransmits per offer sent must stay
+//!   at or below `R`.
+//! * `abandons<=N` — at most `N` offers may exhaust their retry budget.
+//! * `overload_dwell<=MS` — no node may sit at or above the CPU
+//!   overload threshold for more than `MS` consecutive ms.
+
+use crate::trace::SLO_GLOBAL;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which health dimension a rule constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Time-to-first-applied-transfer ceiling, ms.
+    Convergence,
+    /// Offer retransmits per offer sent, ratio.
+    RetransmitRate,
+    /// Abandoned-offer budget, count.
+    Abandons,
+    /// Consecutive CPU-overload dwell ceiling per node, ms.
+    OverloadDwell,
+}
+
+impl SloKind {
+    /// Stable spec/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloKind::Convergence => "convergence",
+            SloKind::RetransmitRate => "retransmit_rate",
+            SloKind::Abandons => "abandons",
+            SloKind::OverloadDwell => "overload_dwell",
+        }
+    }
+}
+
+impl fmt::Display for SloKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One declarative rule: `kind <= threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRule {
+    /// Constrained dimension.
+    pub kind: SloKind,
+    /// Inclusive ceiling the observed value must not exceed.
+    pub threshold: f64,
+}
+
+/// An ordered set of rules. Rule indices (used in `SloBreach` trace
+/// events) are positions in this list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// The rules, in spec order.
+    pub rules: Vec<SloRule>,
+}
+
+impl SloSpec {
+    /// Parse a comma-separated spec, e.g.
+    /// `convergence<=15000,retransmit_rate<=0.25`. Every clause must be
+    /// `<name><=<value>` with a known name and a finite non-negative
+    /// value.
+    pub fn parse(s: &str) -> Result<SloSpec, String> {
+        let mut rules = Vec::new();
+        for clause in s.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, value) = clause
+                .split_once("<=")
+                .ok_or_else(|| format!("SLO clause `{clause}`: expected <name><=<value>"))?;
+            let kind = match name.trim() {
+                "convergence" => SloKind::Convergence,
+                "retransmit_rate" => SloKind::RetransmitRate,
+                "abandons" => SloKind::Abandons,
+                "overload_dwell" => SloKind::OverloadDwell,
+                other => {
+                    return Err(format!(
+                        "SLO clause `{clause}`: unknown rule `{other}` (know: convergence, \
+                         retransmit_rate, abandons, overload_dwell)"
+                    ));
+                }
+            };
+            let threshold: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("SLO clause `{clause}`: `{value}` is not a number"))?;
+            if !threshold.is_finite() || threshold < 0.0 {
+                return Err(format!("SLO clause `{clause}`: threshold must be finite and >= 0"));
+            }
+            rules.push(SloRule { kind, threshold });
+        }
+        if rules.is_empty() {
+            return Err("empty SLO spec".to_string());
+        }
+        Ok(SloSpec { rules })
+    }
+}
+
+/// One fired rule: which rule, where, what was observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBreach {
+    /// Index of the rule in its [`SloSpec`].
+    pub rule: u32,
+    /// The rule's dimension.
+    pub kind: SloKind,
+    /// Offending node for per-node rules, `None` for fleet-wide ones.
+    pub node: Option<u32>,
+    /// Observed value at fire time (ms, ratio, or count per kind).
+    pub observed: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Sim time the rule fired, ms.
+    pub at_ms: u64,
+}
+
+impl SloBreach {
+    /// Node id as traced: the node, or [`SLO_GLOBAL`] for fleet-wide.
+    pub fn node_code(&self) -> u32 {
+        self.node.unwrap_or(SLO_GLOBAL)
+    }
+
+    /// Observed value in milli-units (`round(observed * 1000)`), the
+    /// integer payload traced in `SloBreach` events.
+    pub fn value_m(&self) -> u64 {
+        (self.observed * 1000.0).round() as u64
+    }
+
+    /// One-line deterministic report form.
+    pub fn to_line(&self) -> String {
+        let scope = match self.node {
+            Some(n) => format!("node={n}"),
+            None => "node=*".to_string(),
+        };
+        format!(
+            "breach rule={} {} observed={} threshold={} at_ms={}",
+            self.kind, scope, self.observed, self.threshold, self.at_ms
+        )
+    }
+}
+
+/// Incremental evaluator for one run. Feed it from the sim loop via the
+/// `on_*` hooks; each returns the breaches that call newly fired (often
+/// empty) so the caller can trace them at the current sim time.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    spec: SloSpec,
+    /// CPU % at or above which a node counts as overloaded (the
+    /// scenario's `c_max`).
+    overload_threshold: f64,
+    first_transfer_ms: Option<u64>,
+    /// Per-node start of the current contiguous overload stretch.
+    dwell_start: BTreeMap<u32, u64>,
+    /// (rule index, node code) pairs that already fired.
+    fired: BTreeSet<(u32, u32)>,
+    breaches: Vec<SloBreach>,
+}
+
+impl SloEngine {
+    /// An engine for `spec`, treating CPU >= `overload_threshold` (%) as
+    /// overloaded for `overload_dwell` rules.
+    pub fn new(spec: SloSpec, overload_threshold: f64) -> Self {
+        SloEngine {
+            spec,
+            overload_threshold,
+            first_transfer_ms: None,
+            dwell_start: BTreeMap::new(),
+            fired: BTreeSet::new(),
+            breaches: Vec::new(),
+        }
+    }
+
+    /// The spec this engine evaluates.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// All breaches fired so far, in fire order.
+    pub fn breaches(&self) -> &[SloBreach] {
+        &self.breaches
+    }
+
+    /// True once any rule has fired.
+    pub fn breached(&self) -> bool {
+        !self.breaches.is_empty()
+    }
+
+    fn fire(
+        &mut self,
+        rule: u32,
+        kind: SloKind,
+        node: Option<u32>,
+        observed: f64,
+        threshold: f64,
+        at_ms: u64,
+    ) -> Option<SloBreach> {
+        let key = (rule, node.unwrap_or(SLO_GLOBAL));
+        if !self.fired.insert(key) {
+            return None;
+        }
+        let b = SloBreach { rule, kind, node, observed, threshold, at_ms };
+        self.breaches.push(b);
+        Some(b)
+    }
+
+    /// Feed cumulative protocol counters (offers sent, offer
+    /// retransmits, abandons) at sim time `now_ms`.
+    pub fn on_protocol(
+        &mut self,
+        now_ms: u64,
+        offers_sent: u64,
+        retransmits: u64,
+        abandons: u64,
+    ) -> Vec<SloBreach> {
+        let mut out = Vec::new();
+        for (i, rule) in self.spec.rules.clone().iter().enumerate() {
+            let fired = match rule.kind {
+                SloKind::RetransmitRate if offers_sent > 0 => {
+                    let rate = retransmits as f64 / offers_sent as f64;
+                    (rate > rule.threshold)
+                        .then(|| self.fire(i as u32, rule.kind, None, rate, rule.threshold, now_ms))
+                }
+                SloKind::Abandons => (abandons as f64 > rule.threshold).then(|| {
+                    self.fire(i as u32, rule.kind, None, abandons as f64, rule.threshold, now_ms)
+                }),
+                _ => None,
+            };
+            if let Some(Some(b)) = fired {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Note that a transfer was applied at `now_ms` (convergence clock).
+    pub fn on_transfer_applied(&mut self, now_ms: u64) -> Vec<SloBreach> {
+        if self.first_transfer_ms.is_none() {
+            self.first_transfer_ms = Some(now_ms);
+            return self.check_convergence(now_ms, now_ms as f64);
+        }
+        Vec::new()
+    }
+
+    /// Feed one node CPU sample (%) at `now_ms` for dwell tracking.
+    pub fn on_cpu(&mut self, now_ms: u64, node: u32, cpu_percent: f64) -> Vec<SloBreach> {
+        if !self.spec.rules.iter().any(|r| r.kind == SloKind::OverloadDwell) {
+            return Vec::new();
+        }
+        if cpu_percent < self.overload_threshold {
+            self.dwell_start.remove(&node);
+            return Vec::new();
+        }
+        let start = *self.dwell_start.entry(node).or_insert(now_ms);
+        let dwell = (now_ms - start) as f64;
+        let mut out = Vec::new();
+        for (i, rule) in self.spec.rules.clone().iter().enumerate() {
+            if rule.kind == SloKind::OverloadDwell && dwell > rule.threshold {
+                if let Some(b) =
+                    self.fire(i as u32, rule.kind, Some(node), dwell, rule.threshold, now_ms)
+                {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Periodic tick at `now_ms`: fires `convergence` once its deadline
+    /// passes with no transfer applied yet.
+    pub fn on_tick(&mut self, now_ms: u64) -> Vec<SloBreach> {
+        if self.first_transfer_ms.is_some() {
+            return Vec::new();
+        }
+        self.check_convergence(now_ms, now_ms as f64)
+    }
+
+    fn check_convergence(&mut self, now_ms: u64, observed: f64) -> Vec<SloBreach> {
+        let mut out = Vec::new();
+        for (i, rule) in self.spec.rules.clone().iter().enumerate() {
+            if rule.kind == SloKind::Convergence && observed > rule.threshold {
+                if let Some(b) =
+                    self.fire(i as u32, rule.kind, None, observed, rule.threshold, now_ms)
+                {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic multi-line report: a summary line plus one line per
+    /// breach in fire order.
+    pub fn report(&self) -> String {
+        let mut out =
+            format!("slo: {} rule(s), {} breach(es)\n", self.spec.rules.len(), self.breaches.len());
+        for b in &self.breaches {
+            out.push_str("  ");
+            out.push_str(&b.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(s: &str) -> SloSpec {
+        SloSpec::parse(s).expect("valid spec")
+    }
+
+    #[test]
+    fn parse_accepts_the_full_rule_set() {
+        let s = spec("convergence<=15000, retransmit_rate<=0.25,abandons<=0,overload_dwell<=20000");
+        assert_eq!(s.rules.len(), 4);
+        assert_eq!(s.rules[1].kind, SloKind::RetransmitRate);
+        assert_eq!(s.rules[1].threshold, 0.25);
+    }
+
+    #[test]
+    fn parse_rejects_junk_loudly() {
+        assert!(SloSpec::parse("").unwrap_err().contains("empty"));
+        assert!(SloSpec::parse("convergence=5").unwrap_err().contains("expected"));
+        assert!(SloSpec::parse("latency<=5").unwrap_err().contains("unknown rule"));
+        assert!(SloSpec::parse("abandons<=x").unwrap_err().contains("not a number"));
+        assert!(SloSpec::parse("abandons<=-1").unwrap_err().contains(">= 0"));
+    }
+
+    #[test]
+    fn convergence_fires_once_when_the_deadline_passes_unmet() {
+        let mut e = SloEngine::new(spec("convergence<=5000"), 100.0);
+        assert!(e.on_tick(4000).is_empty());
+        let fired = e.on_tick(6000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, SloKind::Convergence);
+        assert_eq!(fired[0].at_ms, 6000);
+        assert!(e.on_tick(7000).is_empty(), "fires at most once");
+        assert!(e.breached());
+    }
+
+    #[test]
+    fn convergence_is_satisfied_by_an_early_transfer() {
+        let mut e = SloEngine::new(spec("convergence<=5000"), 100.0);
+        assert!(e.on_transfer_applied(3000).is_empty());
+        assert!(e.on_tick(60000).is_empty());
+        assert!(!e.breached());
+    }
+
+    #[test]
+    fn late_first_transfer_still_breaches_convergence() {
+        let mut e = SloEngine::new(spec("convergence<=5000"), 100.0);
+        let fired = e.on_transfer_applied(9000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].observed, 9000.0);
+    }
+
+    #[test]
+    fn retransmit_rate_and_abandons_watch_the_counters() {
+        let mut e = SloEngine::new(spec("retransmit_rate<=0.5,abandons<=1"), 100.0);
+        assert!(e.on_protocol(1000, 4, 2, 0).is_empty(), "rate at ceiling is fine");
+        let fired = e.on_protocol(2000, 4, 3, 2);
+        assert_eq!(fired.len(), 2, "both rules breach");
+        assert_eq!(fired[0].kind, SloKind::RetransmitRate);
+        assert_eq!(fired[1].kind, SloKind::Abandons);
+        assert!(e.on_protocol(3000, 4, 4, 9).is_empty(), "each fires once");
+    }
+
+    #[test]
+    fn overload_dwell_is_per_node_and_resets_on_recovery() {
+        let mut e = SloEngine::new(spec("overload_dwell<=3000"), 20.0);
+        // node 1 dips below the threshold mid-stretch: clock restarts
+        assert!(e.on_cpu(0, 1, 25.0).is_empty());
+        assert!(e.on_cpu(2000, 1, 10.0).is_empty());
+        assert!(e.on_cpu(3000, 1, 25.0).is_empty());
+        assert!(e.on_cpu(5000, 1, 25.0).is_empty(), "dwell 2000 after reset");
+        // node 2 stays hot past the ceiling
+        assert!(e.on_cpu(0, 2, 30.0).is_empty());
+        let fired = e.on_cpu(4000, 2, 30.0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].node, Some(2));
+        assert_eq!(fired[0].observed, 4000.0);
+        // node 1 can still fire independently later
+        let fired = e.on_cpu(8000, 1, 25.0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].node, Some(1));
+    }
+
+    #[test]
+    fn report_and_value_m_are_deterministic() {
+        let mut e = SloEngine::new(spec("retransmit_rate<=0.25"), 100.0);
+        let fired = e.on_protocol(1000, 3, 1, 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].value_m(), 333, "1/3 in milli-units");
+        assert_eq!(fired[0].node_code(), SLO_GLOBAL);
+        let report = e.report();
+        assert!(report.starts_with("slo: 1 rule(s), 1 breach(es)\n"), "got: {report}");
+        assert!(report.contains("breach rule=retransmit_rate node=*"), "got: {report}");
+    }
+}

@@ -1,0 +1,496 @@
+//! Causal span reconstruction: from a flat [`Trace`] to per-flow span
+//! trees.
+//!
+//! Every protocol event carries a stable flow identity
+//! ([`TraceEvent::flow`]): a transfer's request id, a registering node's
+//! id, or a placement round number. [`build_spans`] groups a trace by
+//! flow — following REP substitution links so a re-homed transfer stays
+//! one flow across its request-id changes — and reconstructs each flow's
+//! span tree: a root span covering the flow's lifetime, phase child
+//! spans (offer → confirm → hosted → release, or offer → abandon), and
+//! retransmit/backoff child spans, one per retransmission gap.
+//!
+//! The reconstruction is a pure function of the trace: same digest in,
+//! same forest (and same per-phase histograms) out. That makes span
+//! analytics as reproducible as the golden digests themselves.
+
+use crate::hist::Histogram;
+use crate::trace::{FlowId, Trace, TraceEntry, TraceEvent};
+use std::collections::BTreeMap;
+
+/// A named interval of sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name ("offer", "confirm", "hosted", "release", "abandon",
+    /// "registration", "backoff") or the flow kind for root spans.
+    pub name: &'static str,
+    /// Start, sim ms.
+    pub start_ms: u64,
+    /// End, sim ms (>= start).
+    pub end_ms: u64,
+}
+
+impl Span {
+    fn new(name: &'static str, start_ms: u64, end_ms: u64) -> Self {
+        Span { name, start_ms, end_ms: end_ms.max(start_ms) }
+    }
+
+    /// Duration in ms.
+    pub fn dur_ms(&self) -> u64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// How a flow ended (or stood) at the end of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Transfer confirmed and later released/reclaimed back.
+    Released,
+    /// Transfer confirmed and still hosted at end of trace.
+    Hosted,
+    /// Offer exhausted its retry budget.
+    Abandoned,
+    /// Client refused and no later accept confirmed.
+    Refused,
+    /// Flow opened but reached no terminal milestone.
+    Pending,
+    /// Registration ACKed: node went Active.
+    Registered,
+    /// Registration still awaiting its first ACK.
+    Registering,
+    /// A placement round (instantaneous flow).
+    Round,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name for tables and filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::Released => "released",
+            SpanOutcome::Hosted => "hosted",
+            SpanOutcome::Abandoned => "abandoned",
+            SpanOutcome::Refused => "refused",
+            SpanOutcome::Pending => "pending",
+            SpanOutcome::Registered => "registered",
+            SpanOutcome::Registering => "registering",
+            SpanOutcome::Round => "round",
+        }
+    }
+}
+
+/// One reconstructed flow: root span, phase children, backoff children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpans {
+    /// The flow's identity (transfer ids resolved to their REP root).
+    pub flow: FlowId,
+    /// Whole-flow span: first to last event of the flow.
+    pub root: Span,
+    /// Phase child spans in causal order.
+    pub phases: Vec<Span>,
+    /// One "backoff" child per retransmission gap (previous transmission
+    /// to the retransmit that ended the wait).
+    pub backoffs: Vec<Span>,
+    /// Terminal (or standing) outcome.
+    pub outcome: SpanOutcome,
+    /// Number of trace events grouped into this flow.
+    pub events: usize,
+    /// True when the flow has its opening event and every observed
+    /// milestone is preceded by the milestone that causes it. A flow
+    /// with events but no opener is *orphaned*.
+    pub complete: bool,
+}
+
+impl FlowSpans {
+    /// The phase span named `name`, if reconstructed.
+    pub fn phase(&self, name: &str) -> Option<&Span> {
+        self.phases.iter().find(|s| s.name == name)
+    }
+}
+
+/// All flows reconstructed from one trace, plus the events that belong
+/// to no flow (fault gate, chaos schedule, solver internals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanForest {
+    /// Flows in `FlowId` order (transfers, then registrations, then
+    /// placement rounds — the `FlowId` derive order).
+    pub flows: Vec<FlowSpans>,
+    /// Total events in the source trace.
+    pub total_events: usize,
+    /// Events carrying no flow id (infrastructure).
+    pub unflowed_events: usize,
+    /// Events stranded in flows that lack their opening event.
+    pub orphan_events: usize,
+}
+
+impl SpanForest {
+    /// Flows of one kind, e.g. every transfer.
+    pub fn transfers(&self) -> impl Iterator<Item = &FlowSpans> {
+        self.flows.iter().filter(|f| matches!(f.flow, FlowId::Transfer(_)))
+    }
+
+    /// Count of flows per kind: (transfers, registrations, placements).
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for f in &self.flows {
+            match f.flow {
+                FlowId::Transfer(_) => t.0 += 1,
+                FlowId::Registration(_) => t.1 += 1,
+                FlowId::Placement(_) => t.2 += 1,
+            }
+        }
+        t
+    }
+
+    /// Per-phase latency histograms over every flow (backoff gaps under
+    /// `"backoff"`). Deterministic: histogram text encodings are stable.
+    pub fn phase_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for f in &self.flows {
+            for s in f.phases.iter().chain(&f.backoffs) {
+                out.entry(s.name).or_default().record(s.dur_ms() as f64);
+            }
+        }
+        out
+    }
+
+    /// Critical-path breakdown: per phase name, (total ms, span count),
+    /// in phase-name order. Shares of the summed total tell which phase
+    /// dominates end-to-end latency.
+    pub fn critical_path(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut acc: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for f in &self.flows {
+            for s in f.phases.iter().chain(&f.backoffs) {
+                let e = acc.entry(s.name).or_insert((0, 0));
+                e.0 += s.dur_ms();
+                e.1 += 1;
+            }
+        }
+        acc.into_iter().map(|(k, (ms, n))| (k, ms, n)).collect()
+    }
+}
+
+/// First event time per kind within one flow's entries.
+fn first(entries: &[TraceEntry], pred: impl Fn(&TraceEvent) -> bool) -> Option<u64> {
+    entries.iter().find(|e| pred(&e.event)).map(|e| e.t_ms)
+}
+
+fn build_transfer(flow: FlowId, entries: &[TraceEntry]) -> FlowSpans {
+    use TraceEvent::*;
+    let open = first(entries, |e| matches!(e, Offer { .. } | Rep { .. }));
+    let accepted = first(entries, |e| matches!(e, ClientAccept { .. }));
+    let refused = first(entries, |e| matches!(e, ClientRefuse { .. }));
+    let decision = match (accepted, refused) {
+        (Some(a), Some(r)) => Some(a.min(r)),
+        (a, r) => a.or(r),
+    };
+    let confirmed = first(entries, |e| matches!(e, OfferAccepted { .. }));
+    let release_sent = first(entries, |e| matches!(e, ReleaseSent { .. }));
+    let reclaim = first(entries, |e| matches!(e, Reclaim { .. }));
+    let released = first(entries, |e| matches!(e, ClientReleased { .. } | ReleaseApplied { .. }));
+    let abandon = first(entries, |e| matches!(e, Abandon { .. }));
+
+    let start = entries[0].t_ms;
+    let end = entries[entries.len() - 1].t_ms;
+    let mut phases = Vec::new();
+    if let (Some(o), Some(d)) = (open, decision) {
+        phases.push(Span::new("offer", o, d));
+    }
+    if let (Some(a), Some(c)) = (accepted, confirmed) {
+        phases.push(Span::new("confirm", a, c));
+    }
+    let release_start = match (release_sent, reclaim) {
+        (Some(s), Some(r)) => Some(s.min(r)),
+        (s, r) => s.or(r),
+    };
+    if let (Some(c), Some(rs)) = (confirmed, release_start) {
+        phases.push(Span::new("hosted", c, rs));
+    }
+    if let (Some(rs), Some(rel)) = (release_start, released) {
+        phases.push(Span::new("release", rs, rel));
+    }
+    if let (Some(o), Some(ab)) = (open, abandon) {
+        phases.push(Span::new("abandon", o, ab));
+    }
+
+    let mut backoffs = Vec::new();
+    let mut prev = open.unwrap_or(start);
+    for e in entries {
+        if let Retransmit { .. } = e.event {
+            backoffs.push(Span::new("backoff", prev, e.t_ms));
+            prev = e.t_ms;
+        }
+    }
+
+    let outcome = if abandon.is_some() {
+        SpanOutcome::Abandoned
+    } else if released.is_some() {
+        SpanOutcome::Released
+    } else if confirmed.is_some() {
+        SpanOutcome::Hosted
+    } else if refused.is_some() && accepted.is_none() {
+        SpanOutcome::Refused
+    } else {
+        SpanOutcome::Pending
+    };
+
+    let complete = open.is_some()
+        && (confirmed.is_none() || accepted.is_some())
+        && (released.is_none() || release_start.is_some());
+
+    FlowSpans {
+        flow,
+        root: Span::new("transfer", start, end),
+        phases,
+        backoffs,
+        outcome,
+        events: entries.len(),
+        complete,
+    }
+}
+
+fn build_registration(flow: FlowId, entries: &[TraceEntry]) -> FlowSpans {
+    use TraceEvent::*;
+    let opened = first(entries, |e| matches!(e, ClientRegister { .. }));
+    let registered = first(entries, |e| matches!(e, ClientRegistered { .. }));
+    let start = entries[0].t_ms;
+    let end = entries[entries.len() - 1].t_ms;
+
+    let mut phases = Vec::new();
+    if let (Some(o), Some(r)) = (opened, registered) {
+        phases.push(Span::new("registration", o, r));
+    }
+
+    // Every re-sent ClientRegister after the first is a backoff child:
+    // the client waited REGISTER_RETRY_MS without an ACK.
+    let mut backoffs = Vec::new();
+    let mut prev: Option<u64> = None;
+    for e in entries {
+        if let ClientRegister { .. } = e.event {
+            if let Some(p) = prev {
+                backoffs.push(Span::new("backoff", p, e.t_ms));
+            }
+            prev = Some(e.t_ms);
+        }
+    }
+
+    let outcome =
+        if registered.is_some() { SpanOutcome::Registered } else { SpanOutcome::Registering };
+
+    FlowSpans {
+        flow,
+        root: Span::new("registration", start, end),
+        phases,
+        backoffs,
+        outcome,
+        events: entries.len(),
+        complete: opened.is_some(),
+    }
+}
+
+fn build_placement(flow: FlowId, entries: &[TraceEntry]) -> FlowSpans {
+    let start = entries[0].t_ms;
+    let end = entries[entries.len() - 1].t_ms;
+    FlowSpans {
+        flow,
+        root: Span::new("placement", start, end),
+        phases: Vec::new(),
+        backoffs: Vec::new(),
+        outcome: SpanOutcome::Round,
+        events: entries.len(),
+        complete: true,
+    }
+}
+
+/// Reconstruct every flow's span tree from a trace.
+///
+/// REP substitution links (`Rep { request, orig, .. }` with `orig != 0`)
+/// are resolved transitively, so a transfer that was re-homed twice is
+/// one flow keyed by its original request id.
+pub fn build_spans(trace: &Trace) -> SpanForest {
+    // Pass 1: request-id aliasing from REP links.
+    let mut alias: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in trace.entries() {
+        if let TraceEvent::Rep { request, orig, .. } = e.event {
+            if orig != 0 && orig != request {
+                alias.insert(request, orig);
+            }
+        }
+    }
+    let resolve = |mut r: u64| {
+        // Alias chains are short (one hop per REP); cap the walk anyway.
+        for _ in 0..alias.len() {
+            match alias.get(&r) {
+                Some(&next) => r = next,
+                None => break,
+            }
+        }
+        r
+    };
+
+    // Pass 2: group entries by resolved flow, preserving trace order.
+    let mut groups: BTreeMap<FlowId, Vec<TraceEntry>> = BTreeMap::new();
+    let mut unflowed = 0usize;
+    for e in trace.entries() {
+        match e.event.flow() {
+            Some(FlowId::Transfer(r)) => {
+                groups.entry(FlowId::Transfer(resolve(r))).or_default().push(*e);
+            }
+            Some(flow) => groups.entry(flow).or_default().push(*e),
+            None => unflowed += 1,
+        }
+    }
+
+    // Pass 3: build each flow's tree.
+    let mut flows = Vec::with_capacity(groups.len());
+    let mut orphan_events = 0usize;
+    for (flow, entries) in groups {
+        let built = match flow {
+            FlowId::Transfer(_) => build_transfer(flow, &entries),
+            FlowId::Registration(_) => build_registration(flow, &entries),
+            FlowId::Placement(_) => build_placement(flow, &entries),
+        };
+        if !built.complete && matches!(flow, FlowId::Transfer(_) | FlowId::Registration(_)) {
+            let has_opener = match flow {
+                FlowId::Transfer(_) => entries
+                    .iter()
+                    .any(|e| matches!(e.event, TraceEvent::Offer { .. } | TraceEvent::Rep { .. })),
+                _ => entries.iter().any(|e| matches!(e.event, TraceEvent::ClientRegister { .. })),
+            };
+            if !has_opener {
+                orphan_events += built.events;
+            }
+        }
+        flows.push(built);
+    }
+
+    SpanForest { flows, total_events: trace.len(), unflowed_events: unflowed, orphan_events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent::*;
+
+    fn trace(events: &[(u64, TraceEvent)]) -> Trace {
+        let mut t = Trace::new(0);
+        for &(t_ms, ev) in events {
+            t.record(t_ms, ev);
+        }
+        t
+    }
+
+    #[test]
+    fn happy_path_transfer_yields_all_four_phases() {
+        let t = trace(&[
+            (5000, Offer { request: 1, from: 2, to: 4 }),
+            (5020, ClientAccept { request: 1, node: 4 }),
+            (5040, OfferAccepted { request: 1, node: 4 }),
+            (9000, ReleaseSent { request: 1, to: 4 }),
+            (9030, ClientReleased { request: 1, node: 4 }),
+        ]);
+        let forest = build_spans(&t);
+        assert_eq!(forest.flows.len(), 1);
+        let f = &forest.flows[0];
+        assert_eq!(f.flow, FlowId::Transfer(1));
+        assert!(f.complete);
+        assert_eq!(f.outcome, SpanOutcome::Released);
+        assert_eq!(f.root, Span { name: "transfer", start_ms: 5000, end_ms: 9030 });
+        assert_eq!(f.phase("offer").unwrap().dur_ms(), 20);
+        assert_eq!(f.phase("confirm").unwrap().dur_ms(), 20);
+        assert_eq!(f.phase("hosted").unwrap().dur_ms(), 3960);
+        assert_eq!(f.phase("release").unwrap().dur_ms(), 30);
+        assert!(f.backoffs.is_empty());
+        assert_eq!(forest.orphan_events, 0);
+    }
+
+    #[test]
+    fn retransmits_become_backoff_children_and_abandon_closes_the_flow() {
+        let t = trace(&[
+            (1000, Offer { request: 3, from: 1, to: 2 }),
+            (3000, Retransmit { request: 3, attempt: 2 }),
+            (7000, Retransmit { request: 3, attempt: 3 }),
+            (7500, Abandon { request: 3 }),
+        ]);
+        let f = &build_spans(&t).flows[0];
+        assert_eq!(f.outcome, SpanOutcome::Abandoned);
+        assert_eq!(f.backoffs.len(), 2);
+        assert_eq!(f.backoffs[0], Span { name: "backoff", start_ms: 1000, end_ms: 3000 });
+        assert_eq!(f.backoffs[1], Span { name: "backoff", start_ms: 3000, end_ms: 7000 });
+        assert_eq!(f.phase("abandon").unwrap().dur_ms(), 6500);
+        assert!(f.complete);
+    }
+
+    #[test]
+    fn rep_links_merge_request_ids_into_one_flow() {
+        let t = trace(&[
+            (1000, Offer { request: 1, from: 2, to: 3 }),
+            (1020, ClientAccept { request: 1, node: 3 }),
+            (1040, OfferAccepted { request: 1, node: 3 }),
+            // host 3 dies; replica request 2 supersedes request 1
+            (6000, Rep { request: 2, orig: 1, failed: 3, to: 4 }),
+            (6020, ClientAccept { request: 2, node: 4 }),
+            (6040, OfferAccepted { request: 2, node: 4 }),
+            // and host 4 dies too: request 5 chains through 2 back to 1
+            (9000, Rep { request: 5, orig: 2, failed: 4, to: 0 }),
+        ]);
+        let forest = build_spans(&t);
+        assert_eq!(forest.flows.len(), 1, "aliasing must merge all three ids");
+        let f = &forest.flows[0];
+        assert_eq!(f.flow, FlowId::Transfer(1), "flow keyed by the root request id");
+        assert_eq!(f.events, 7);
+        assert_eq!(f.outcome, SpanOutcome::Hosted);
+    }
+
+    #[test]
+    fn transfer_without_opener_is_orphaned() {
+        let t = trace(&[(100, ClientAccept { request: 9, node: 1 })]);
+        let forest = build_spans(&t);
+        assert_eq!(forest.orphan_events, 1);
+        assert!(!forest.flows[0].complete);
+    }
+
+    #[test]
+    fn registration_spans_cover_retries_until_ack() {
+        let t = trace(&[
+            (0, ClientRegister { node: 5 }),
+            (1000, ClientRegister { node: 5 }),
+            (2000, ClientRegister { node: 5 }),
+            (2005, Register { node: 5 }),
+            (2005, RegisterAck { node: 5 }),
+            (2010, ClientRegistered { node: 5 }),
+        ]);
+        let f = &build_spans(&t).flows[0];
+        assert_eq!(f.flow, FlowId::Registration(5));
+        assert_eq!(f.outcome, SpanOutcome::Registered);
+        assert!(f.complete);
+        assert_eq!(f.phase("registration").unwrap().dur_ms(), 2010);
+        assert_eq!(f.backoffs.len(), 2, "two re-sends, two backoff children");
+    }
+
+    #[test]
+    fn infrastructure_events_are_counted_but_not_flowed() {
+        let t = trace(&[
+            (0, FaultDrop { to_manager: true }),
+            (1, PlacementRound { round: 0, offers: 0 }),
+        ]);
+        let forest = build_spans(&t);
+        assert_eq!(forest.unflowed_events, 1);
+        assert_eq!(forest.kind_counts(), (0, 0, 1));
+        assert_eq!(forest.flows[0].outcome, SpanOutcome::Round);
+    }
+
+    #[test]
+    fn phase_histograms_and_critical_path_aggregate_across_flows() {
+        let t = trace(&[
+            (0, Offer { request: 1, from: 0, to: 1 }),
+            (10, ClientAccept { request: 1, node: 1 }),
+            (0, Offer { request: 2, from: 0, to: 2 }),
+            (30, ClientAccept { request: 2, node: 2 }),
+        ]);
+        let forest = build_spans(&t);
+        let hists = forest.phase_histograms();
+        assert_eq!(hists["offer"].count(), 2);
+        let cp = forest.critical_path();
+        assert_eq!(cp, vec![("offer", 40, 2)]);
+    }
+}

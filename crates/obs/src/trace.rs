@@ -12,6 +12,16 @@
 //! no floats means no formatting ambiguity in the encoding.
 
 use std::fmt;
+use std::io;
+
+/// Version of the [`Trace::to_binary`] encoding. Bumped whenever the
+/// framing (not the event payload) changes; [`Trace::decode_binary`]
+/// refuses streams from other versions with a loud error instead of
+/// silently mismatching digests.
+pub const TRACE_FORMAT_VERSION: u16 = 2;
+
+/// Magic bytes opening every versioned binary trace stream.
+pub const TRACE_MAGIC: [u8; 4] = *b"DTRC";
 
 /// One structured event. Fields are raw ids (`u32` node, `u64` request)
 /// so the crate stays dependency-free.
@@ -33,7 +43,9 @@ pub enum TraceEvent {
     /// Manager dropped a hosting on a refusing Offload-ACK.
     OfferRefused { request: u64, node: u32 },
     /// Manager sent a REP (replica substitution) for a failed host.
-    Rep { request: u64, failed: u32, to: u32 },
+    /// `orig` is the request id the replica supersedes (0 = unknown),
+    /// linking the new flow back to the one it continues.
+    Rep { request: u64, orig: u64, failed: u32, to: u32 },
     /// Manager sent (or retransmitted) a Release.
     ReleaseSent { request: u64, to: u32 },
     /// Manager retransmitted an expired unconfirmed offer.
@@ -76,6 +88,42 @@ pub enum TraceEvent {
     TransportSolve { pivots: u64 },
     /// One branch-and-bound solve finished (nodes explored).
     BranchAndBound { nodes: u64 },
+    /// Client sent (or retransmitted) an Offload-capable registration.
+    ClientRegister { node: u32 },
+    /// Client saw its first registration ACK and went Active.
+    ClientRegistered { node: u32 },
+    /// Manager finished one placement round, sending `offers` offers.
+    PlacementRound { round: u64, offers: u32 },
+    /// Online SLO engine fired a rule breach. `rule` is the rule's index
+    /// in its spec, `node` the offender (`SLO_GLOBAL` for fleet-wide
+    /// rules), `value_m` the observed value in milli-units.
+    SloBreach { rule: u32, node: u32, value_m: u64 },
+}
+
+/// Sentinel `node` value on [`TraceEvent::SloBreach`] for rules that
+/// apply to the whole fleet rather than one node.
+pub const SLO_GLOBAL: u32 = u32::MAX;
+
+/// Stable causal-flow identity for an event: the unit of work it belongs
+/// to. Flows are what [`crate::span::build_spans`] groups by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowId {
+    /// One transfer's lifecycle, keyed by its (root) request id.
+    Transfer(u64),
+    /// One node's registration lifecycle, keyed by node id.
+    Registration(u32),
+    /// One placement round, keyed by round number.
+    Placement(u64),
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FlowId::Transfer(r) => write!(f, "t:{r}"),
+            FlowId::Registration(n) => write!(f, "n:{n}"),
+            FlowId::Placement(r) => write!(f, "p:{r}"),
+        }
+    }
 }
 
 impl TraceEvent {
@@ -112,6 +160,10 @@ impl TraceEvent {
             SimplexSolve { .. } => "SimplexSolve",
             TransportSolve { .. } => "TransportSolve",
             BranchAndBound { .. } => "BranchAndBound",
+            ClientRegister { .. } => "ClientRegister",
+            ClientRegistered { .. } => "ClientRegistered",
+            PlacementRound { .. } => "PlacementRound",
+            SloBreach { .. } => "SloBreach",
         }
     }
 
@@ -137,6 +189,26 @@ impl TraceEvent {
             _ => None,
         }
     }
+
+    /// The causal flow this event belongs to, if any. Infrastructure
+    /// events (fault gate, chaos schedule, solver/cache internals, SLO
+    /// breaches) carry no flow and are reported separately.
+    pub fn flow(&self) -> Option<FlowId> {
+        use TraceEvent::*;
+        if let Some(request) = self.request() {
+            return Some(FlowId::Transfer(request));
+        }
+        match *self {
+            Register { node }
+            | RegisterAck { node }
+            | Stat { node }
+            | Keepalive { node }
+            | ClientRegister { node }
+            | ClientRegistered { node } => Some(FlowId::Registration(node)),
+            PlacementRound { round, .. } => Some(FlowId::Placement(round)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -150,7 +222,9 @@ impl fmt::Display for TraceEvent {
             Offer { request, from, to } => write!(f, "Offer req={request} from={from} to={to}"),
             OfferAccepted { request, node } => write!(f, "OfferAccepted req={request} node={node}"),
             OfferRefused { request, node } => write!(f, "OfferRefused req={request} node={node}"),
-            Rep { request, failed, to } => write!(f, "Rep req={request} failed={failed} to={to}"),
+            Rep { request, orig, failed, to } => {
+                write!(f, "Rep req={request} orig={orig} failed={failed} to={to}")
+            }
             ReleaseSent { request, to } => write!(f, "ReleaseSent req={request} to={to}"),
             Retransmit { request, attempt } => {
                 write!(f, "Retransmit req={request} attempt={attempt}")
@@ -190,6 +264,14 @@ impl fmt::Display for TraceEvent {
             }
             TransportSolve { pivots } => write!(f, "TransportSolve pivots={pivots}"),
             BranchAndBound { nodes } => write!(f, "BranchAndBound nodes={nodes}"),
+            ClientRegister { node } => write!(f, "ClientRegister node={node}"),
+            ClientRegistered { node } => write!(f, "ClientRegistered node={node}"),
+            PlacementRound { round, offers } => {
+                write!(f, "PlacementRound round={round} offers={offers}")
+            }
+            SloBreach { rule, node, value_m } => {
+                write!(f, "SloBreach rule={rule} node={node} value_m={value_m}")
+            }
         }
     }
 }
@@ -212,10 +294,10 @@ impl TraceEntry {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
@@ -273,21 +355,32 @@ impl Trace {
 
     /// Full text encoding: header, one line per event, digest footer.
     pub fn to_text(&self) -> String {
-        let mut out = format!("trace seed={}\n", self.seed);
-        for e in &self.entries {
-            out.push_str(&e.to_line());
-            out.push('\n');
-        }
-        out.push_str(&format!("digest {:016x}\n", self.digest));
-        out
+        let mut out = Vec::with_capacity(32 + self.entries.len() * 40);
+        self.write_text(&mut out).expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("trace lines are ASCII")
     }
 
-    /// Compact binary encoding: `seed, count` then one length-prefixed
-    /// encoded line per entry (all integers little-endian). The digest
-    /// is recomputed on decode, so a tampered stream is detectable by
-    /// comparing digests.
+    /// Stream the text encoding to `out` one line at a time — same bytes
+    /// as [`Trace::to_text`] without materializing the dump as one
+    /// String. This is what `dustctl trace --full` uses so large chaos
+    /// sweeps run in bounded memory.
+    pub fn write_text<W: io::Write + ?Sized>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(out, "trace seed={}", self.seed)?;
+        for e in &self.entries {
+            writeln!(out, "{} {} {}", e.t_ms, e.seq, e.event)?;
+        }
+        writeln!(out, "digest {:016x}", self.digest)
+    }
+
+    /// Compact binary encoding: magic `DTRC`, format version, then
+    /// `seed, count` and one length-prefixed encoded line per entry (all
+    /// integers little-endian). The digest is recomputed on decode, so a
+    /// tampered stream is detectable by comparing digests, and a stream
+    /// from a different format version is rejected loudly.
     pub fn to_binary(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.entries.len() * 32);
+        let mut out = Vec::with_capacity(24 + self.entries.len() * 32);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
         for e in &self.entries {
@@ -297,6 +390,72 @@ impl Trace {
         }
         out
     }
+
+    /// Decode a versioned binary stream produced by [`Trace::to_binary`].
+    ///
+    /// The digest is recomputed from the decoded lines exactly as the
+    /// recorder computed it, so `decoded.digest` can be compared against
+    /// a golden value. Fails loudly (with the offending magic/version in
+    /// the message) on format drift instead of returning garbage that
+    /// would only surface later as a digest mismatch.
+    pub fn decode_binary(bytes: &[u8]) -> Result<DecodedTrace, String> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], String> {
+            if bytes.len() < n {
+                return Err(format!("truncated trace stream: expected {n} bytes for {what}"));
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Ok(head)
+        }
+        let mut rest = bytes;
+        let magic = take(&mut rest, 4, "magic")?;
+        if magic != TRACE_MAGIC {
+            return Err(format!(
+                "not a DUST trace: bad magic {magic:02x?} (expected {TRACE_MAGIC:02x?})"
+            ));
+        }
+        let version = u16::from_le_bytes(take(&mut rest, 2, "version")?.try_into().unwrap());
+        if version != TRACE_FORMAT_VERSION {
+            return Err(format!(
+                "trace format v{version} but this build reads v{TRACE_FORMAT_VERSION}; \
+                 re-record the trace (golden digests are format-versioned)"
+            ));
+        }
+        let seed = u64::from_le_bytes(take(&mut rest, 8, "seed")?.try_into().unwrap());
+        let count = u64::from_le_bytes(take(&mut rest, 8, "count")?.try_into().unwrap());
+        let mut lines = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut digest = fnv1a(FNV_OFFSET, &seed.to_le_bytes());
+        for i in 0..count {
+            let len =
+                u32::from_le_bytes(take(&mut rest, 4, "line length")?.try_into().unwrap()) as usize;
+            let raw = take(&mut rest, len, "line body")?;
+            let line = std::str::from_utf8(raw)
+                .map_err(|_| format!("entry {i}: line is not UTF-8"))?
+                .to_string();
+            digest = fnv1a(digest, line.as_bytes());
+            digest = fnv1a(digest, b"\n");
+            lines.push(line);
+        }
+        if !rest.is_empty() {
+            return Err(format!("trailing garbage: {} bytes past the last entry", rest.len()));
+        }
+        Ok(DecodedTrace { version, seed, lines, digest })
+    }
+}
+
+/// A binary trace stream decoded by [`Trace::decode_binary`]: the raw
+/// encoded lines plus the digest recomputed over them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedTrace {
+    /// Format version the stream was encoded with.
+    pub version: u16,
+    /// Seed of the recorded run.
+    pub seed: u64,
+    /// One encoded `<t_ms> <seq> <event>` line per entry.
+    pub lines: Vec<String>,
+    /// FNV-1a digest recomputed over seed + lines (matches
+    /// [`Trace::digest`] for an untampered stream).
+    pub digest: u64,
 }
 
 #[cfg(test)]
@@ -360,5 +519,69 @@ mod tests {
     fn request_accessor_covers_lifecycle_events() {
         assert_eq!(TraceEvent::Abandon { request: 7 }.request(), Some(7));
         assert_eq!(TraceEvent::Stat { node: 1 }.request(), None);
+    }
+
+    #[test]
+    fn flow_accessor_partitions_events() {
+        use TraceEvent::*;
+        assert_eq!(
+            Offer { request: 9, from: 1, to: 2 }.flow(),
+            Some(FlowId::Transfer(9)),
+            "request-scoped events belong to their transfer"
+        );
+        assert_eq!(Rep { request: 4, orig: 2, failed: 1, to: 3 }.flow(), Some(FlowId::Transfer(4)));
+        assert_eq!(ClientRegister { node: 5 }.flow(), Some(FlowId::Registration(5)));
+        assert_eq!(Keepalive { node: 5 }.flow(), Some(FlowId::Registration(5)));
+        assert_eq!(PlacementRound { round: 3, offers: 2 }.flow(), Some(FlowId::Placement(3)));
+        assert_eq!(FaultDrop { to_manager: true }.flow(), None, "infrastructure has no flow");
+        assert_eq!(SloBreach { rule: 0, node: SLO_GLOBAL, value_m: 1 }.flow(), None);
+    }
+
+    #[test]
+    fn binary_round_trips_through_decode() {
+        let mut t = Trace::new(42);
+        t.record(0, TraceEvent::ClientRegister { node: 1 });
+        t.record(5, TraceEvent::Offer { request: 9, from: 1, to: 2 });
+        let d = Trace::decode_binary(&t.to_binary()).expect("decode");
+        assert_eq!(d.version, TRACE_FORMAT_VERSION);
+        assert_eq!(d.seed, 42);
+        assert_eq!(d.lines.len(), 2);
+        assert_eq!(d.lines[0], t.entries()[0].to_line());
+        assert_eq!(d.digest, t.digest(), "decode must recompute the recorder's digest");
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_loudly() {
+        let err = Trace::decode_binary(b"NOPE\x02\x00rest").unwrap_err();
+        assert!(err.contains("bad magic"), "got: {err}");
+    }
+
+    #[test]
+    fn decode_rejects_other_versions_loudly() {
+        let mut bytes = Trace::new(1).to_binary();
+        bytes[4] = TRACE_FORMAT_VERSION as u8 + 1; // bump the version field
+        let err = Trace::decode_binary(&bytes).unwrap_err();
+        assert!(err.contains("trace format v"), "got: {err}");
+        assert!(err.contains("re-record"), "got: {err}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let mut t = Trace::new(1);
+        t.record(0, TraceEvent::Abandon { request: 1 });
+        let bytes = t.to_binary();
+        assert!(Trace::decode_binary(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(Trace::decode_binary(&longer).unwrap_err().contains("trailing garbage"));
+    }
+
+    #[test]
+    fn write_text_streams_the_same_bytes_as_to_text() {
+        let mut t = Trace::new(9);
+        t.record(1, TraceEvent::PlacementRound { round: 0, offers: 3 });
+        let mut streamed = Vec::new();
+        t.write_text(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), t.to_text());
     }
 }

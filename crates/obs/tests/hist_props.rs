@@ -135,6 +135,72 @@ fn snapshot_round_trips_through_text_encoding() {
 }
 
 #[test]
+fn merging_disjoint_bucket_ranges_preserves_both_tails() {
+    // One histogram entirely in the tiny decades, one entirely in the
+    // huge ones: no bucket overlaps, so the merge must be the exact
+    // concatenation — counts, extremes, and both quantile tails.
+    let small: Vec<f64> = (1..=100).map(|i| 1e-9 * i as f64).collect();
+    let large: Vec<f64> = (1..=100).map(|i| 1e9 * i as f64).collect();
+    let (hs, hl) = (record_all(&small), record_all(&large));
+    let overlap: Vec<usize> = hs
+        .nonzero_buckets()
+        .filter(|(i, ..)| hl.nonzero_buckets().any(|(j, ..)| i == &j))
+        .map(|(i, ..)| i)
+        .collect();
+    assert!(overlap.is_empty(), "ranges must be bucket-disjoint, shared: {overlap:?}");
+
+    let mut merged = hs.clone();
+    merged.merge(&hl);
+    assert_eq!(merged.count(), 200);
+    assert_eq!(merged.min(), Some(1e-9));
+    assert_eq!(merged.max(), Some(1e11));
+    // q=0.5 falls on the last small sample; q=0.51 on the first large
+    // one — the estimate must stay within the right side's range.
+    assert!(merged.quantile(0.5).unwrap() <= *small.last().unwrap() * 2.0);
+    assert!(merged.quantile(0.51).unwrap() >= 1e9);
+    // and the merge equals single-pass recording of the union
+    let mut union = small.clone();
+    union.extend(&large);
+    assert_eq!(merged, record_all(&union));
+}
+
+#[test]
+fn quantile_zero_and_one_are_the_exact_extremes() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64(seed * 77 + 3);
+        let n = 1 + (rng.next_u64() % 300) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.sample()).collect();
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(h.quantile(0.0), Some(sorted[0]), "seed {seed}: q=0 must be the exact min");
+        assert_eq!(h.quantile(1.0), Some(sorted[n - 1]), "seed {seed}: q=1 must be the exact max");
+        // out-of-domain q clamps rather than panicking or extrapolating
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0), "seed {seed}");
+        assert_eq!(h.quantile(1.5), h.quantile(1.0), "seed {seed}");
+    }
+}
+
+#[test]
+fn single_sample_quantiles_are_stable_across_the_whole_q_range() {
+    // With one sample every quantile is that sample, bit-for-bit, for
+    // any q — including awkward values and repeated queries.
+    let mut rng = SplitMix64(0xfeed);
+    for _ in 0..50 {
+        let v = rng.sample();
+        let mut h = Histogram::new();
+        h.record(v);
+        let mut q = 0.0;
+        while q <= 1.0 {
+            assert_eq!(h.quantile(q), Some(v), "v={v} q={q}");
+            q += 0.01;
+        }
+        assert_eq!(h.quantile(f64::MIN_POSITIVE), Some(v));
+        assert_eq!(h.quantile(1.0 - f64::EPSILON), Some(v));
+    }
+}
+
+#[test]
 fn merge_with_empty_is_identity() {
     let mut rng = SplitMix64(1);
     let values: Vec<f64> = (0..50).map(|_| rng.sample()).collect();

@@ -132,6 +132,8 @@ impl Client {
     pub fn register(&mut self, now_ms: u64) -> ClientMsg {
         self.phase = ClientPhase::Registering;
         self.last_register_ms = Some(now_ms);
+        self.obs.counter_inc("proto.client.registers");
+        self.obs.trace_at(now_ms, TraceEvent::ClientRegister { node: self.node.0 });
         ClientMsg::OffloadCapable { node: self.node, capable: self.capable }
     }
 
@@ -147,6 +149,8 @@ impl Client {
                     self.update_interval_ms = Some(*update_interval_ms);
                     // first STAT goes out on the next tick
                     self.last_stat_ms = Some(now_ms);
+                    self.obs.counter_inc("proto.client.registered");
+                    self.obs.trace_at(now_ms, TraceEvent::ClientRegistered { node: self.node.0 });
                 }
                 None
             }

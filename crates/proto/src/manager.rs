@@ -107,6 +107,8 @@ pub struct Manager {
     offer_retries: u64,
     /// Offers abandoned after [`MAX_OFFER_ATTEMPTS`].
     offers_abandoned: u64,
+    /// Placement rounds run so far (each traced as a `PlacementRound`).
+    placement_rounds: u64,
     next_request: u64,
     /// Observability sink for protocol transitions (no-op by default).
     obs: ObsHandle,
@@ -147,6 +149,7 @@ impl Manager {
             orphaned: Vec::new(),
             offer_retries: 0,
             offers_abandoned: 0,
+            placement_rounds: 0,
             next_request: 0,
             obs: ObsHandle::disabled(),
             engine: Arc::new(CostEngine::new()),
@@ -202,6 +205,17 @@ impl Manager {
     /// Offers abandoned after exhausting their retries.
     pub fn offers_abandoned(&self) -> u64 {
         self.offers_abandoned
+    }
+
+    /// Total offers ever sent (original transmissions, including REPs).
+    /// Request ids are allocated one per offer, so this is exact.
+    pub fn offers_sent(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Placement rounds run so far.
+    pub fn placement_rounds(&self) -> u64 {
+        self.placement_rounds
     }
 
     /// Request ids with an outstanding (still retransmitting) `Release`.
@@ -416,6 +430,10 @@ impl Manager {
                 });
             }
         }
+        let round = self.placement_rounds;
+        self.placement_rounds += 1;
+        self.obs.counter_inc("proto.placement_rounds");
+        self.obs.trace_at(now_ms, TraceEvent::PlacementRound { round, offers: out.len() as u32 });
         (placement, out)
     }
 
@@ -547,6 +565,7 @@ impl Manager {
                             now_ms,
                             TraceEvent::Rep {
                                 request: new_req.0,
+                                orig: req.0,
                                 failed: failed.0,
                                 to: replacement.0,
                             },

@@ -41,9 +41,9 @@ pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
 pub use node::{NodeSpec, SimNode};
 pub use runner::{SimConfig, SimReport, Simulation};
 pub use scenarios::{
-    chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, congestion, fig1, fig6,
-    fleet, testbed_observed, testbed_topology, ChaosResult, CongestionResult, Fig1Row, Fig6Result,
-    FleetResult,
+    chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, chaos_with_slo, congestion,
+    fig1, fig6, fleet, testbed_dust_config, testbed_observed, testbed_topology, ChaosResult,
+    CongestionResult, Fig1Row, Fig6Result, FleetResult,
 };
 pub use traffic::TrafficModel;
 pub use transport::{Direction, FaultConfig, FaultProfile, Transport, TransportStats};

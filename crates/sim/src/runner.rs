@@ -24,7 +24,7 @@ use crate::node::SimNode;
 use crate::traffic::TrafficModel;
 use crate::transport::{Direction, FaultConfig, Transport};
 use dust_core::{DustConfig, SolverBackend};
-use dust_obs::{ObsHandle, TraceEvent};
+use dust_obs::{ObsHandle, SloBreach, SloEngine, TraceEvent};
 use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
 use dust_telemetry::Federation;
 use dust_topology::{Graph, NodeId, Path};
@@ -177,6 +177,10 @@ pub struct Simulation {
     /// Observability sink shared with the Manager and every client
     /// (no-op by default).
     obs: ObsHandle,
+    /// Online SLO engine, fed from the event loop (none by default).
+    /// A pure observer: it reads Manager counters and node samples but
+    /// never feeds back, so a run is bit-identical with or without it.
+    slo: Option<SloEngine>,
 }
 
 impl Simulation {
@@ -210,6 +214,7 @@ impl Simulation {
             kills: Vec::new(),
             revives: Vec::new(),
             obs: ObsHandle::disabled(),
+            slo: None,
         }
     }
 
@@ -234,6 +239,55 @@ impl Simulation {
     /// The attached observability handle (disabled by default).
     pub fn obs(&self) -> &ObsHandle {
         &self.obs
+    }
+
+    /// Attach an online SLO engine. The runner feeds it from the event
+    /// loop — protocol counters after Manager activity, CPU samples and
+    /// a tick at each sample point, and the convergence clock when the
+    /// first transfer lands — and traces every breach it fires as a
+    /// [`TraceEvent::SloBreach`] (plus `slo.breaches` counters), so
+    /// alerts are part of the digested event stream.
+    pub fn set_slo(&mut self, engine: SloEngine) {
+        self.slo = Some(engine);
+    }
+
+    /// The attached SLO engine, if any (for breach inspection).
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// Detach and return the SLO engine (e.g. to render its report).
+    pub fn take_slo(&mut self) -> Option<SloEngine> {
+        self.slo.take()
+    }
+
+    /// Trace and count newly fired SLO breaches (no-op on an empty set).
+    fn record_breaches(&self, now: u64, fired: &[SloBreach]) {
+        for b in fired {
+            self.obs.counter_inc("slo.breaches");
+            self.obs.counter_inc(&format!("slo.breach.{}", b.kind));
+            self.obs.trace_at(
+                now,
+                TraceEvent::SloBreach { rule: b.rule, node: b.node_code(), value_m: b.value_m() },
+            );
+        }
+    }
+
+    /// Feed the Manager's cumulative offer counters to the SLO engine
+    /// (after Manager ticks and placement rounds, where they can move).
+    fn poll_slo_protocol(&mut self, now: u64) {
+        if self.slo.is_none() {
+            return;
+        }
+        let sent = self.manager.offers_sent();
+        let retries = self.manager.offer_retries();
+        let abandons = self.manager.offers_abandoned();
+        let fired = self
+            .slo
+            .as_mut()
+            .map(|e| e.on_protocol(now, sent, retries, abandons))
+            .unwrap_or_default();
+        self.record_breaches(now, &fired);
     }
 
     /// Schedule a crash of `node` at `at_ms`.
@@ -400,6 +454,9 @@ impl Simulation {
                     now,
                     TraceEvent::TransferApplied { request: request.0, from: from.0, to: to.0 },
                 );
+                let fired =
+                    self.slo.as_mut().map(|e| e.on_transfer_applied(now)).unwrap_or_default();
+                self.record_breaches(now, &fired);
             }
             (
                 ManagerMsg::Rep { request, failed, from, data_mb, route, .. },
@@ -532,6 +589,7 @@ impl Simulation {
                     for env in outs {
                         self.send_to_client(now, env, &mut q, &mut report);
                     }
+                    self.poll_slo_protocol(now);
                     q.schedule_in(self.cfg.update_interval_ms, SimEvent::ManagerTick);
                 }
                 SimEvent::PlacementRound => {
@@ -543,6 +601,7 @@ impl Simulation {
                     for env in outs {
                         self.send_to_client(now, env, &mut q, &mut report);
                     }
+                    self.poll_slo_protocol(now);
                     q.schedule_in(self.cfg.placement_period_ms, SimEvent::PlacementRound);
                 }
                 SimEvent::Sample => {
@@ -561,6 +620,22 @@ impl Simulation {
                     }
                     if self.obs.is_enabled() {
                         self.obs.gauge_set("sim.active_transfers", self.active.len() as f64);
+                    }
+                    if self.slo.is_some() {
+                        let samples: Vec<(u32, f64)> = self
+                            .nodes
+                            .iter()
+                            .filter(|n| self.alive(n.id))
+                            .map(|n| (n.id.0, n.device_cpu_percent(now, traffic)))
+                            .collect();
+                        let mut fired = Vec::new();
+                        if let Some(engine) = self.slo.as_mut() {
+                            for (node, cpu) in samples {
+                                fired.extend(engine.on_cpu(now, node, cpu));
+                            }
+                            fired.extend(engine.on_tick(now));
+                        }
+                        self.record_breaches(now, &fired);
                     }
                     // Telemetry transport: every routed transfer streams its
                     // owner's data over the chosen path at the lowest QoS
@@ -814,6 +889,51 @@ mod tests {
         assert!(report.transfers_applied > 0, "handshake must converge despite 20 % loss");
         assert!(report.msgs_sent > 0 && report.msgs_dropped > 0, "faults must actually fire");
         assert_eq!(sim.agent_census(NodeId(0)), 10, "no agents may be lost");
+    }
+
+    #[test]
+    fn slo_convergence_breach_fires_on_the_no_offload_baseline() {
+        use dust_obs::{ObsHandle, SloEngine, SloKind, SloSpec};
+        // dust disabled → no transfer ever applies → convergence breaches
+        let mut sim = two_node_sim(false);
+        sim.set_obs(ObsHandle::recording(3));
+        let spec = SloSpec::parse("convergence<=10000").unwrap();
+        sim.set_slo(SloEngine::new(spec, 25.0));
+        sim.run();
+        let engine = sim.take_slo().unwrap();
+        assert!(engine.breached(), "baseline never offloads, deadline must fire");
+        assert_eq!(engine.breaches().len(), 1, "convergence fires exactly once");
+        assert_eq!(engine.breaches()[0].kind, SloKind::Convergence);
+        // the breach is traced and counted — part of the digested stream
+        assert_eq!(sim.obs().counter("slo.breaches"), 1);
+        assert_eq!(sim.obs().counter("slo.breach.convergence"), 1);
+        let trace = sim.obs().trace_snapshot().unwrap();
+        let traced = trace
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::SloBreach { .. }))
+            .count();
+        assert_eq!(traced, 1);
+    }
+
+    #[test]
+    fn slo_engine_is_a_pure_observer() {
+        // identical runs with and without an engine watching
+        let plain = two_node_sim(true).run();
+        let mut watched = two_node_sim(true);
+        let spec = dust_obs::SloSpec::parse(
+            "convergence<=1,retransmit_rate<=0.0,abandons<=0,overload_dwell<=1",
+        )
+        .unwrap();
+        watched.set_slo(dust_obs::SloEngine::new(spec, 25.0));
+        let report = watched.run();
+        assert!(watched.slo().unwrap().breached(), "tight thresholds must fire");
+        assert_eq!(plain.transfers_applied, report.transfers_applied);
+        assert_eq!(plain.first_transfer_ms, report.first_transfer_ms);
+        assert_eq!(
+            plain.mean(NodeId(0), "device-cpu", 0, 60_000),
+            report.mean(NodeId(0), "device-cpu", 0, 60_000)
+        );
     }
 
     #[test]

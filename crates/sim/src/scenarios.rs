@@ -12,7 +12,7 @@ use crate::runner::{SimConfig, SimReport, Simulation};
 use crate::traffic::TrafficModel;
 use crate::transport::{FaultConfig, FaultProfile};
 use dust_core::DustConfig;
-use dust_obs::ObsHandle;
+use dust_obs::{ObsHandle, SloEngine, SloSpec};
 use dust_topology::{Graph, Link, NodeId};
 
 /// The Fig. 5 testbed: 2 spines, 2 leaves, 2 servers. Returns the graph
@@ -355,6 +355,34 @@ pub fn chaos_with_faults_observed(
     seed: u64,
     obs: ObsHandle,
 ) -> ChaosResult {
+    chaos_inner(faults, duration_ms, seed, obs, None).0
+}
+
+/// [`chaos_with_faults_observed`] with an online SLO engine for `spec`
+/// riding along (overload threshold = the testbed's `c_max`). Returns
+/// the scenario result and the engine, whose [`SloEngine::breaches`]
+/// and [`SloEngine::report`] describe every rule that fired. The engine
+/// is a pure observer: the `ChaosResult` is bit-identical to
+/// [`chaos_with_faults`] at the same knobs and seed.
+pub fn chaos_with_slo(
+    faults: FaultConfig,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    spec: &SloSpec,
+) -> (ChaosResult, SloEngine) {
+    let engine = SloEngine::new(spec.clone(), testbed_dust_config().c_max);
+    let (result, engine) = chaos_inner(faults, duration_ms, seed, obs, Some(engine));
+    (result, engine.expect("engine attached above"))
+}
+
+fn chaos_inner(
+    faults: FaultConfig,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    slo: Option<SloEngine>,
+) -> (ChaosResult, Option<SloEngine>) {
     let (graph, dut) = testbed_topology();
     let loss = faults.to_client.drop;
     let cfg = SimConfig {
@@ -368,6 +396,9 @@ pub fn chaos_with_faults_observed(
     let agents_expected = 10;
     let mut sim =
         Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg).with_obs(obs);
+    if let Some(engine) = slo {
+        sim.set_slo(engine);
+    }
     let report = sim.run();
 
     // offers still unconfirmed at the end are fine while young (an offer
@@ -403,7 +434,7 @@ pub fn chaos_with_faults_observed(
         }
     }
 
-    ChaosResult {
+    let result = ChaosResult {
         loss,
         transfers: report.transfers_applied,
         replicas: report.replicas_applied,
@@ -417,7 +448,8 @@ pub fn chaos_with_faults_observed(
         agents_present: sim.agent_census(dut),
         unconfirmed_stale,
         ledgers_consistent: consistent,
-    }
+    };
+    (result, sim.take_slo())
 }
 
 /// Sweep control-plane loss rates and collect one [`ChaosResult`] per
@@ -516,6 +548,23 @@ mod tests {
         assert_eq!(r.agents_present, r.agents_expected, "no monitor agent may ever be lost");
         assert_eq!(r.unconfirmed_stale, 0, "offers must confirm, retry, or die — not leak");
         assert!(r.ledgers_consistent, "ledgers must quiesce mutually consistent");
+    }
+
+    #[test]
+    fn chaos_with_slo_is_a_pure_observer_and_catches_loss() {
+        let faults = FaultConfig::symmetric(FaultProfile {
+            drop: 0.25,
+            duplicate: 0.125,
+            delay_ms: 20,
+            jitter_ms: 100,
+        });
+        let plain = chaos_with_faults(faults, 60_000, 9);
+        // thresholds tight enough that a 25 % lossy wire must trip them
+        let spec = SloSpec::parse("retransmit_rate<=0.0,convergence<=1").unwrap();
+        let (watched, engine) = chaos_with_slo(faults, 60_000, 9, ObsHandle::recording(9), &spec);
+        assert_eq!(plain, watched, "SLO engine must not perturb the run");
+        assert!(engine.breached(), "a lossy wire must breach a zero-retransmit budget");
+        assert!(engine.report().contains("breach rule="), "{}", engine.report());
     }
 
     #[test]

@@ -24,9 +24,9 @@ const CHAOS_SEED: u64 = 7;
 const CHAOS_DURATION_MS: u64 = 120_000;
 
 /// Golden digest of the testbed trace at `TESTBED_SEED`.
-const TESTBED_DIGEST: u64 = 0x21e422abd4af59e3;
+const TESTBED_DIGEST: u64 = 0x56baacf9a0c6e5d5;
 /// Golden digest of the chaos trace at `CHAOS_SEED`.
-const CHAOS_DIGEST: u64 = 0xdec67f2e3ba2b322;
+const CHAOS_DIGEST: u64 = 0x0462984b186d8882;
 
 fn run_testbed() -> (ObsHandle, SimReport) {
     let obs = ObsHandle::recording(TESTBED_SEED);
@@ -67,7 +67,10 @@ fn testbed_trace_is_bit_identical_across_runs() {
 fn testbed_trace_matches_golden_digest() {
     let (obs, _) = run_testbed();
     let trace = obs.trace_snapshot().unwrap();
+    // a failure writes the trace tail to target/postmortem/ so CI can
+    // upload the black box next to the red test
     TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/testbed_golden.txt")
         .expect("Register")
         .expect("Offer")
         .expect("OfferAccepted")
@@ -98,10 +101,40 @@ fn chaos_trace_matches_golden_digest() {
     let (obs, _) = run_chaos();
     let trace = obs.trace_snapshot().unwrap();
     TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/chaos_golden.txt")
         .expect("FaultDrop")
         .expect("Retransmit")
         .expect("TransferApplied")
         .assert_digest(CHAOS_DIGEST);
+}
+
+#[test]
+fn trace_binary_format_is_versioned_and_round_trips() {
+    use dust::obs::{DecodedTrace, TRACE_FORMAT_VERSION, TRACE_MAGIC};
+    // The golden digests above are only comparable across builds that
+    // speak the same trace format. Pin the version: bumping it is a
+    // deliberate act that must arrive in the same diff as new digests.
+    assert_eq!(TRACE_FORMAT_VERSION, 2, "format bumped — re-record the golden digests");
+
+    let (obs, _) = run_testbed();
+    let trace = obs.trace_snapshot().unwrap();
+    let bytes = trace.to_binary();
+    assert_eq!(&bytes[..4], &TRACE_MAGIC, "stream must open with the magic");
+
+    let decoded: DecodedTrace = dust::obs::Trace::decode_binary(&bytes).unwrap();
+    assert_eq!(decoded.version, TRACE_FORMAT_VERSION);
+    assert_eq!(decoded.seed, TESTBED_SEED);
+    assert_eq!(decoded.lines.len(), trace.len());
+    assert_eq!(decoded.digest, TESTBED_DIGEST, "decode must reproduce the golden digest");
+
+    // a future-format stream fails loudly, not with a digest mismatch
+    let mut future = bytes.clone();
+    future[4] = 0xff;
+    future[5] = 0xff;
+    let err = dust::obs::Trace::decode_binary(&future).unwrap_err();
+    assert!(err.contains("golden digests are format-versioned"), "{err}");
+    let err = dust::obs::Trace::decode_binary(b"nope").unwrap_err();
+    assert!(err.contains("bad magic") || err.contains("truncated"), "{err}");
 }
 
 #[test]
