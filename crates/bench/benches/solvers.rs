@@ -6,7 +6,7 @@
 //! work metric behind the timing, so a solver regression shows up even
 //! on a noisy machine.
 
-use dust::lp::{solve, solve_observed, Cmp, Options, Problem, TransportProblem};
+use dust::lp::{solve, solve_with, Cmp, Options, Problem, TransportProblem};
 use dust::obs::ObsHandle;
 use dust::prelude::SplitMix64;
 use dust_bench::harness::Runner;
@@ -46,8 +46,8 @@ fn pivot_census(m: usize, n: usize) {
     for seed in 0..32u64 {
         let tp = random_instance(m, n, seed * 7 + 1);
         let lp = simplex_equivalent(&tp);
-        tp.solve_observed(&obs);
-        solve_observed(&lp, Options::default(), &obs);
+        tp.solve_with(&obs);
+        solve_with(&lp, Options::default(), &obs);
     }
     let metrics = obs.metrics().expect("recording handle");
     for name in ["lp.transport.pivots", "lp.simplex.pivots"] {

@@ -1,0 +1,353 @@
+//! The committed performance baseline (`BENCH_seed.json`) and its
+//! comparison logic.
+//!
+//! `dust-perf emit` measures the named scenarios and writes one JSON
+//! document; the repository commits the result as `BENCH_seed.json`.
+//! `dust-perf compare` reruns the same scenarios on the current tree and
+//! fails when the candidate regresses:
+//!
+//! * **Deterministic fields** (`events_processed`, `nodes`,
+//!   `peak_queue_len`, `federation_points`) must match **exactly** —
+//!   they are machine-independent, so any drift means the simulation
+//!   itself changed and the baseline must be consciously refreshed.
+//! * **Throughput** (`events_per_sec`, `rounds_per_sec`) may regress at
+//!   most `tolerance` (default 20 %) — these are wall-clock numbers and
+//!   inherit machine noise.
+//! * **`speedup_vs_tick`** is the event core's advantage over the tick
+//!   core *measured on the same machine in the same process*, which
+//!   cancels machine speed out of the comparison; it must stay at or
+//!   above the scenario's committed `min_speedup` floor.
+//!
+//! The JSON is hand-rolled (the workspace is std-only) with a fixed
+//! field order, so two emits of the same tree on the same machine differ
+//! only in measured throughput.
+
+/// One named scenario's perf record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPerf {
+    /// Stable scenario name, e.g. `scale_fleet_k90`.
+    pub name: String,
+    /// Fleet size (deterministic).
+    pub nodes: u64,
+    /// Simulation events processed (deterministic, identical across
+    /// cores — see `SimReport::events_processed`).
+    pub events_processed: u64,
+    /// Peak pending events in the queue (deterministic allocation-pressure
+    /// proxy for the event core's working set).
+    pub peak_queue_len: u64,
+    /// Total recorded metric points across the federation (deterministic
+    /// peak-RSS proxy: the run's dominant retained allocation).
+    pub federation_points: u64,
+    /// Event-core throughput, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Placement rounds per wall-clock second (0 when the scenario's
+    /// control plane is idle).
+    pub rounds_per_sec: f64,
+    /// Event-core over tick-core wall-clock ratio, same machine.
+    pub speedup_vs_tick: f64,
+    /// Committed floor for `speedup_vs_tick` (0 disables the gate).
+    pub min_speedup: f64,
+}
+
+/// A whole baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Format version.
+    pub version: u32,
+    /// Per-scenario records.
+    pub scenarios: Vec<ScenarioPerf>,
+}
+
+/// Current format version.
+pub const BASELINE_VERSION: u32 = 1;
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "0.00".into()
+    }
+}
+
+impl BenchBaseline {
+    /// Render as stable, human-diffable JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+            out.push_str(&format!("      \"nodes\": {},\n", s.nodes));
+            out.push_str(&format!("      \"events_processed\": {},\n", s.events_processed));
+            out.push_str(&format!("      \"peak_queue_len\": {},\n", s.peak_queue_len));
+            out.push_str(&format!("      \"federation_points\": {},\n", s.federation_points));
+            out.push_str(&format!("      \"events_per_sec\": {},\n", fmt_f64(s.events_per_sec)));
+            out.push_str(&format!("      \"rounds_per_sec\": {},\n", fmt_f64(s.rounds_per_sec)));
+            out.push_str(&format!("      \"speedup_vs_tick\": {},\n", fmt_f64(s.speedup_vs_tick)));
+            out.push_str(&format!("      \"min_speedup\": {}\n", fmt_f64(s.min_speedup)));
+            out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`BenchBaseline::to_json`]. The parser
+    /// is line-oriented over that fixed shape — it accepts any field
+    /// order inside a scenario object but not arbitrary JSON.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut version: Option<u32> = None;
+        let mut scenarios = Vec::new();
+        let mut cur: Option<ScenarioPerf> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim().trim_end_matches(',');
+            let err = |m: &str| format!("line {}: {m}: {raw:?}", lineno + 1);
+            if line == "{"
+                || line == "["
+                || line == "\"scenarios\": ["
+                || line == "]"
+                || line == "}"
+            {
+                if line == "{" && version.is_some() {
+                    cur = Some(ScenarioPerf {
+                        name: String::new(),
+                        nodes: 0,
+                        events_processed: 0,
+                        peak_queue_len: 0,
+                        federation_points: 0,
+                        events_per_sec: 0.0,
+                        rounds_per_sec: 0.0,
+                        speedup_vs_tick: 0.0,
+                        min_speedup: 0.0,
+                    });
+                }
+                if line == "}" {
+                    if let Some(s) = cur.take() {
+                        if s.name.is_empty() {
+                            return Err(err("scenario without a name"));
+                        }
+                        scenarios.push(s);
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else { continue };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match (key, &mut cur) {
+                ("version", None) => {
+                    version = Some(value.parse().map_err(|_| err("version must be an integer"))?);
+                }
+                ("name", Some(s)) => s.name = value.trim_matches('"').to_string(),
+                ("nodes", Some(s)) => {
+                    s.nodes = value.parse().map_err(|_| err("bad integer"))?;
+                }
+                ("events_processed", Some(s)) => {
+                    s.events_processed = value.parse().map_err(|_| err("bad integer"))?;
+                }
+                ("peak_queue_len", Some(s)) => {
+                    s.peak_queue_len = value.parse().map_err(|_| err("bad integer"))?;
+                }
+                ("federation_points", Some(s)) => {
+                    s.federation_points = value.parse().map_err(|_| err("bad integer"))?;
+                }
+                ("events_per_sec", Some(s)) => {
+                    s.events_per_sec = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("rounds_per_sec", Some(s)) => {
+                    s.rounds_per_sec = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("speedup_vs_tick", Some(s)) => {
+                    s.speedup_vs_tick = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("min_speedup", Some(s)) => {
+                    s.min_speedup = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("scenarios", _) => {}
+                (other, _) => return Err(err(&format!("unexpected key {other:?}"))),
+            }
+        }
+        let version = version.ok_or("missing version")?;
+        if version != BASELINE_VERSION {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        if scenarios.is_empty() {
+            return Err("baseline has no scenarios".into());
+        }
+        Ok(BenchBaseline { version, scenarios })
+    }
+
+    /// Compare `candidate` against this baseline. Returns the list of
+    /// failures (empty = pass). `tolerance` is the allowed fractional
+    /// throughput regression, e.g. `0.2` for 20 %.
+    pub fn compare(&self, candidate: &BenchBaseline, tolerance: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in &self.scenarios {
+            let Some(c) = candidate.scenarios.iter().find(|s| s.name == b.name) else {
+                failures.push(format!("{}: missing from candidate", b.name));
+                continue;
+            };
+            for (field, bv, cv) in [
+                ("nodes", b.nodes, c.nodes),
+                ("events_processed", b.events_processed, c.events_processed),
+                ("peak_queue_len", b.peak_queue_len, c.peak_queue_len),
+                ("federation_points", b.federation_points, c.federation_points),
+            ] {
+                if bv != cv {
+                    failures.push(format!(
+                        "{}: deterministic field {field} drifted: baseline {bv}, candidate {cv} \
+                         (simulation behaviour changed; refresh BENCH_seed.json deliberately)",
+                        b.name
+                    ));
+                }
+            }
+            let floor = b.events_per_sec * (1.0 - tolerance);
+            if c.events_per_sec < floor {
+                failures.push(format!(
+                    "{}: events/sec regressed beyond {:.0} %: baseline {:.0}, candidate {:.0} \
+                     (floor {:.0})",
+                    b.name,
+                    tolerance * 100.0,
+                    b.events_per_sec,
+                    c.events_per_sec,
+                    floor
+                ));
+            }
+            if b.rounds_per_sec > 0.0 {
+                let floor = b.rounds_per_sec * (1.0 - tolerance);
+                if c.rounds_per_sec < floor {
+                    failures.push(format!(
+                        "{}: rounds/sec regressed beyond {:.0} %: baseline {:.2}, candidate {:.2}",
+                        b.name,
+                        tolerance * 100.0,
+                        b.rounds_per_sec,
+                        c.rounds_per_sec
+                    ));
+                }
+            }
+            if b.min_speedup > 0.0 && c.speedup_vs_tick < b.min_speedup {
+                failures.push(format!(
+                    "{}: event-core speedup vs tick fell below the committed floor: \
+                     {:.2}x < {:.2}x",
+                    b.name, c.speedup_vs_tick, b.min_speedup
+                ));
+            }
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchBaseline {
+        BenchBaseline {
+            version: BASELINE_VERSION,
+            scenarios: vec![
+                ScenarioPerf {
+                    name: "scale_fleet_k90".into(),
+                    nodes: 10_125,
+                    events_processed: 121_589,
+                    peak_queue_len: 3,
+                    federation_points: 2_063_457,
+                    events_per_sec: 500_000.0,
+                    rounds_per_sec: 0.2,
+                    speedup_vs_tick: 7.0,
+                    min_speedup: 5.0,
+                },
+                ScenarioPerf {
+                    name: "testbed_chaos".into(),
+                    nodes: 6,
+                    events_processed: 1_800,
+                    peak_queue_len: 12,
+                    federation_points: 2_160,
+                    events_per_sec: 90_000.0,
+                    rounds_per_sec: 11.0,
+                    speedup_vs_tick: 1.1,
+                    min_speedup: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let parsed = BenchBaseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.version, b.version);
+        assert_eq!(parsed.scenarios.len(), 2);
+        assert_eq!(parsed.scenarios[0].name, "scale_fleet_k90");
+        assert_eq!(parsed.scenarios[0].events_processed, 121_589);
+        assert_eq!(parsed.scenarios[1].rounds_per_sec, 11.0);
+        assert_eq!(parsed.scenarios[0].min_speedup, 5.0);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = sample();
+        assert!(b.compare(&sample(), 0.2).is_empty());
+    }
+
+    #[test]
+    fn throughput_within_tolerance_passes() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[0].events_per_sec = 420_000.0; // -16 %
+        assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn throughput_regression_fails() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[0].events_per_sec = 350_000.0; // -30 %
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("events/sec regressed"), "{f:?}");
+    }
+
+    #[test]
+    fn deterministic_drift_fails_regardless_of_speed() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[0].events_processed += 1;
+        c.scenarios[0].events_per_sec *= 10.0;
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("events_processed drifted"), "{f:?}");
+    }
+
+    #[test]
+    fn speedup_floor_is_enforced() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[0].speedup_vs_tick = 4.2;
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("below the committed floor"), "{f:?}");
+        // the ungated scenario may move freely
+        let mut c = sample();
+        c.scenarios[1].speedup_vs_tick = 0.5;
+        assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios.remove(1);
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("missing from candidate"), "{f:?}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchBaseline::parse("").is_err());
+        assert!(BenchBaseline::parse("{\n  \"version\": 99\n}\n").is_err());
+        let mangled = sample().to_json().replace("\"events_per_sec\"", "\"events_per_min\"");
+        assert!(BenchBaseline::parse(&mangled).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! `dust-perf` — emit and compare the committed perf baseline.
+//!
+//! ```sh
+//! dust-perf emit --out BENCH_seed.json       # measure, write baseline
+//! dust-perf compare --baseline BENCH_seed.json --candidate candidate.json
+//! ```
+//!
+//! `emit` runs each named scenario on both simulation cores and records
+//! deterministic shape fields plus wall-clock throughput and the
+//! event-over-tick speedup (see `dust_bench::baseline` for the format
+//! and the comparison rules). `compare` exits 1 with one line per
+//! failure; CI runs `emit` on the candidate tree and compares it against
+//! the committed `BENCH_seed.json`.
+
+use dust::prelude::*;
+use dust_bench::baseline::{BenchBaseline, ScenarioPerf, BASELINE_VERSION};
+use std::time::{Duration, Instant};
+
+/// Samples per measurement; the fastest is kept (external noise only
+/// ever slows a run down).
+const SAMPLES: usize = 3;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dust-perf emit [--out PATH]\n  dust-perf compare --baseline PATH \
+         --candidate PATH [--tolerance F]"
+    );
+    std::process::exit(2)
+}
+
+fn federation_points(r: &SimReport) -> u64 {
+    r.federation
+        .nodes()
+        .iter()
+        .filter_map(|n| r.federation.store(*n))
+        .map(|db| db.point_count() as u64)
+        .sum()
+}
+
+/// Fastest wall-clock for a fresh run of `sim()` on `engine`, plus the
+/// report of the fastest run.
+fn best_run(mk: &dyn Fn(EngineKind) -> Simulation, engine: EngineKind) -> (Duration, SimReport) {
+    let mut best: Option<(Duration, SimReport)> = None;
+    for _ in 0..SAMPLES {
+        let mut sim = mk(engine);
+        let t = Instant::now();
+        let r = sim.run();
+        let d = t.elapsed();
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+            best = Some((d, r));
+        }
+    }
+    best.expect("SAMPLES > 0")
+}
+
+fn measure(name: &str, min_speedup: f64, mk: &dyn Fn(EngineKind) -> Simulation) -> ScenarioPerf {
+    eprintln!("measuring {name} ...");
+    let (event_wall, report) = best_run(mk, EngineKind::Event);
+    let (tick_wall, tick_report) = best_run(mk, EngineKind::Tick);
+    assert_eq!(
+        report.events_processed, tick_report.events_processed,
+        "{name}: cores disagree on event count — determinism bug"
+    );
+    let secs = event_wall.as_secs_f64();
+    ScenarioPerf {
+        name: name.to_string(),
+        nodes: report.federation.nodes().len() as u64,
+        events_processed: report.events_processed,
+        peak_queue_len: report.peak_queue_len as u64,
+        federation_points: federation_points(&report),
+        events_per_sec: report.events_processed as f64 / secs,
+        rounds_per_sec: report.placement_rounds as f64 / secs,
+        speedup_vs_tick: tick_wall.as_secs_f64() / secs,
+        min_speedup,
+    }
+}
+
+fn emit() -> BenchBaseline {
+    let scale = measure("scale_fleet_k90", 5.0, &|engine| scale_fleet_sim(90, 10_000, 1, engine));
+    let testbed = measure("testbed_offload_60s", 0.0, &|engine| {
+        let (graph, dut) = testbed_topology();
+        Simulation::builder()
+            .graph(graph)
+            .nodes(testbed_nodes(dut))
+            .traffic(TrafficModel::testbed())
+            .dust(testbed_dust_config())
+            .duration_ms(60_000)
+            .seed(42)
+            .full_monitoring_offload(true)
+            .engine(engine)
+            .build()
+            .expect("testbed knobs are consistent")
+    });
+    BenchBaseline { version: BASELINE_VERSION, scenarios: vec![scale, testbed] }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => {
+            let mut out: Option<String> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+                    _ => usage(),
+                }
+            }
+            let baseline = emit();
+            let json = baseline.to_json();
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &json).unwrap_or_else(|e| {
+                        eprintln!("dust-perf: cannot write {path}: {e}");
+                        std::process::exit(1)
+                    });
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{json}"),
+            }
+        }
+        Some("compare") => {
+            let mut baseline: Option<String> = None;
+            let mut candidate: Option<String> = None;
+            let mut tolerance = 0.2f64;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--baseline" => baseline = Some(it.next().unwrap_or_else(|| usage()).clone()),
+                    "--candidate" => candidate = Some(it.next().unwrap_or_else(|| usage()).clone()),
+                    "--tolerance" => {
+                        tolerance =
+                            it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            let (Some(bp), Some(cp)) = (baseline, candidate) else { usage() };
+            let read = |p: &str| -> BenchBaseline {
+                let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("dust-perf: cannot read {p}: {e}");
+                    std::process::exit(1)
+                });
+                BenchBaseline::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("dust-perf: {p}: {e}");
+                    std::process::exit(1)
+                })
+            };
+            let failures = read(&bp).compare(&read(&cp), tolerance);
+            if failures.is_empty() {
+                println!("perf baseline OK ({} scenarios, tolerance {tolerance})", 2);
+            } else {
+                for f in &failures {
+                    eprintln!("FAIL {f}");
+                }
+                std::process::exit(1)
+            }
+        }
+        _ => usage(),
+    }
+}

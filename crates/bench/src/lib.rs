@@ -8,6 +8,7 @@
 use dust::prelude::*;
 use std::time::{Duration, Instant};
 
+pub mod baseline;
 pub mod figures;
 pub mod harness;
 pub mod stats;

@@ -1,0 +1,181 @@
+//! Shared argument parsing for the simulation-backed `dustctl` commands.
+//!
+//! `sim`, `trace`, and `spans` accept the same run flags — the fault
+//! profile (`--loss`/`--dup`/`--delay`/`--jitter`), the run shape
+//! (`--duration`/`--seed`/`--engine`), and the reporting switches
+//! (`--metrics`/`--metrics-json`/`--metrics-prom`/`--slo`) — so this
+//! module owns that grammar in one place. Each command declares only its
+//! extras here; the three parsers cannot drift apart because there is
+//! exactly one.
+
+use crate::commands::SimOptions;
+use dust::sim::EngineKind;
+
+/// Which simulation-backed subcommand is being parsed. Gates the
+/// command-specific flags (`--sweep` and the report switches for `sim`,
+/// `--full` for `trace`, `--flow`/`--phase` for `spans`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimCommandKind {
+    /// `dustctl sim` — the chaos ladder with metrics/SLO reporting.
+    Sim,
+    /// `dustctl trace` — one run, trace census or full event log.
+    Trace,
+    /// `dustctl spans` — one run, causal span reconstruction.
+    Spans,
+}
+
+impl SimCommandKind {
+    /// Map a command word to its kind, `None` for non-sim commands.
+    pub fn from_name(cmd: &str) -> Option<Self> {
+        match cmd {
+            "sim" => Some(SimCommandKind::Sim),
+            "trace" => Some(SimCommandKind::Trace),
+            "spans" => Some(SimCommandKind::Spans),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SimCommandKind::Sim => "sim",
+            SimCommandKind::Trace => "trace",
+            SimCommandKind::Spans => "spans",
+        }
+    }
+}
+
+/// A fully parsed `sim`/`trace`/`spans` invocation: the shared
+/// [`SimOptions`] plus each command's extras (unused extras stay at
+/// their defaults).
+#[derive(Debug, Clone)]
+pub struct SimInvocation {
+    /// The shared simulation options.
+    pub opts: SimOptions,
+    /// `trace --full`: stream the whole decoded event log.
+    pub full: bool,
+    /// `spans --flow N`: restrict the flow table to one transfer.
+    pub flow: Option<u64>,
+    /// `spans --phase NAME`: restrict the latency table to one phase.
+    pub phase: Option<String>,
+}
+
+/// Parse the flags of one simulation-backed command. `args` excludes the
+/// command word itself. Errors are plain messages; the caller decides
+/// how to render them (the binary appends usage and exits 2).
+pub fn parse_sim_invocation(
+    kind: SimCommandKind,
+    args: &[String],
+) -> Result<SimInvocation, String> {
+    let mut inv =
+        SimInvocation { opts: SimOptions::default(), full: false, flow: None, phase: None };
+    let s = &mut inv.opts;
+    let mut it = args.iter();
+    let text = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let numeric = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<f64, String> {
+        let v = text(it, flag)?;
+        v.parse().map_err(|_| format!("{flag}: invalid number {v:?}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // -- shared by sim, trace, and spans --------------------------
+            "--loss" => s.loss = numeric(&mut it, "--loss")?,
+            "--dup" => s.dup = numeric(&mut it, "--dup")?,
+            "--delay" => s.delay_ms = numeric(&mut it, "--delay")? as u64,
+            "--jitter" => s.jitter_ms = numeric(&mut it, "--jitter")? as u64,
+            "--duration" => s.duration_ms = numeric(&mut it, "--duration")? as u64,
+            "--seed" => s.seed = numeric(&mut it, "--seed")? as u64,
+            "--engine" => s.engine = EngineKind::parse(&text(&mut it, "--engine")?)?,
+            // -- sim only -------------------------------------------------
+            "--sweep" if kind == SimCommandKind::Sim => s.sweep = true,
+            "--metrics" if kind == SimCommandKind::Sim => s.metrics = true,
+            "--metrics-json" if kind == SimCommandKind::Sim => s.metrics_json = true,
+            "--metrics-prom" if kind == SimCommandKind::Sim => s.metrics_prom = true,
+            "--slo" if kind == SimCommandKind::Sim => s.slo = Some(text(&mut it, "--slo")?),
+            "--postmortem" if kind == SimCommandKind::Sim => {
+                s.postmortem = Some(text(&mut it, "--postmortem")?)
+            }
+            "--inject-breach" if kind == SimCommandKind::Sim => s.inject_breach = true,
+            // -- trace / spans extras -------------------------------------
+            "--full" if kind == SimCommandKind::Trace => inv.full = true,
+            "--flow" if kind == SimCommandKind::Spans => {
+                inv.flow = Some(numeric(&mut it, "--flow")? as u64)
+            }
+            "--phase" if kind == SimCommandKind::Spans => {
+                inv.phase = Some(text(&mut it, "--phase")?)
+            }
+            other => return Err(format!("{}: unknown option {other:?}", kind.name())),
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let inv = parse_sim_invocation(SimCommandKind::Sim, &[]).unwrap();
+        assert_eq!(inv.opts.duration_ms, 120_000);
+        assert_eq!(inv.opts.engine, EngineKind::Event);
+        assert!(!inv.full && inv.flow.is_none() && inv.phase.is_none());
+    }
+
+    #[test]
+    fn shared_flags_parse_for_every_command() {
+        for kind in [SimCommandKind::Sim, SimCommandKind::Trace, SimCommandKind::Spans] {
+            let inv = parse_sim_invocation(
+                kind,
+                &argv("--loss 0.2 --dup 0.1 --delay 20 --jitter 100 --duration 60000 --seed 7"),
+            )
+            .unwrap();
+            assert_eq!(inv.opts.loss, 0.2);
+            assert_eq!(inv.opts.dup, 0.1);
+            assert_eq!(inv.opts.delay_ms, 20);
+            assert_eq!(inv.opts.jitter_ms, 100);
+            assert_eq!(inv.opts.duration_ms, 60_000);
+            assert_eq!(inv.opts.seed, 7);
+        }
+    }
+
+    #[test]
+    fn engine_flag_selects_the_tick_core() {
+        let inv = parse_sim_invocation(SimCommandKind::Trace, &argv("--engine tick")).unwrap();
+        assert_eq!(inv.opts.engine, EngineKind::Tick);
+        let err = parse_sim_invocation(SimCommandKind::Sim, &argv("--engine warp")).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
+    }
+
+    #[test]
+    fn sim_only_flags_are_rejected_elsewhere() {
+        assert!(parse_sim_invocation(SimCommandKind::Sim, &argv("--sweep")).is_ok());
+        let err = parse_sim_invocation(SimCommandKind::Trace, &argv("--sweep")).unwrap_err();
+        assert!(err.contains("trace: unknown option"), "{err}");
+        let err = parse_sim_invocation(SimCommandKind::Spans, &argv("--metrics-json")).unwrap_err();
+        assert!(err.contains("spans: unknown option"), "{err}");
+    }
+
+    #[test]
+    fn command_extras_parse() {
+        let inv = parse_sim_invocation(SimCommandKind::Trace, &argv("--full")).unwrap();
+        assert!(inv.full);
+        let inv =
+            parse_sim_invocation(SimCommandKind::Spans, &argv("--flow 3 --phase offer")).unwrap();
+        assert_eq!(inv.flow, Some(3));
+        assert_eq!(inv.phase.as_deref(), Some("offer"));
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_loud() {
+        let err = parse_sim_invocation(SimCommandKind::Sim, &argv("--loss")).unwrap_err();
+        assert_eq!(err, "--loss needs a value");
+        let err = parse_sim_invocation(SimCommandKind::Sim, &argv("--seed banana")).unwrap_err();
+        assert!(err.contains("invalid number"), "{err}");
+    }
+}

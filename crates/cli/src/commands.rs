@@ -102,6 +102,10 @@ pub struct SimOptions {
     /// Deliberately corrupt the first run's agent census after the fact
     /// so the invariant check (and post-mortem path) demonstrably fires.
     pub inject_breach: bool,
+    /// Which simulation core runs the scenario. The default event core
+    /// and the legacy tick core produce byte-identical output for the
+    /// same flags; `--engine tick` exists to prove it.
+    pub engine: EngineKind,
 }
 
 impl Default for SimOptions {
@@ -120,6 +124,7 @@ impl Default for SimOptions {
             slo: None,
             postmortem: None,
             inject_breach: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -198,16 +203,23 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
         let obs = if observed { ObsHandle::recording(opts.seed) } else { ObsHandle::disabled() };
         match &spec {
             Some(spec) => {
-                let (r, engine) =
-                    chaos_with_slo(faults, opts.duration_ms, opts.seed, obs.clone(), spec);
+                let (r, engine) = chaos_with_slo_on(
+                    faults,
+                    opts.duration_ms,
+                    opts.seed,
+                    obs.clone(),
+                    spec,
+                    opts.engine,
+                );
                 results.push(r);
                 engines.push(engine);
             }
-            None => results.push(chaos_with_faults_observed(
+            None => results.push(chaos_with_faults_observed_on(
                 faults,
                 opts.duration_ms,
                 opts.seed,
                 obs.clone(),
+                opts.engine,
             )),
         }
         recorders.push(obs);
@@ -325,7 +337,13 @@ pub fn cmd_trace(
     }
     let obs = ObsHandle::recording(opts.seed);
     let faults = opts.fault_ladder().remove(0);
-    let r = chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone());
+    let r = chaos_with_faults_observed_on(
+        faults,
+        opts.duration_ms,
+        opts.seed,
+        obs.clone(),
+        opts.engine,
+    );
     let trace = obs.trace_snapshot().expect("recording handle");
     if full {
         return trace.write_text(out).map_err(|e| format!("writing trace: {e}"));
@@ -364,7 +382,13 @@ pub fn cmd_spans(
     }
     let obs = ObsHandle::recording(opts.seed);
     let faults = opts.fault_ladder().remove(0);
-    let r = chaos_with_faults_observed(faults, opts.duration_ms, opts.seed, obs.clone());
+    let r = chaos_with_faults_observed_on(
+        faults,
+        opts.duration_ms,
+        opts.seed,
+        obs.clone(),
+        opts.engine,
+    );
     let trace = obs.trace_snapshot().expect("recording handle");
     let forest = build_spans(&trace);
     let (t, reg, p) = forest.kind_counts();

@@ -3,5 +3,6 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod commands;
 pub mod format;

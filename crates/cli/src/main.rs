@@ -8,9 +8,9 @@
 //! dustctl zoned net.dust --zone-size 80 --sweep
 //! ```
 
+use dust_cli::args::{parse_sim_invocation, SimCommandKind};
 use dust_cli::commands::{
     cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_spans, cmd_trace, cmd_zoned, roles, Options,
-    SimOptions,
 };
 use dust_cli::format::{example_file, parse_nmdb};
 
@@ -46,6 +46,8 @@ sim options:
   --jitter MS   extra uniform delay in 0..=MS, reorders messages (default 0)
   --duration MS simulated time (default 120000)
   --seed N      master seed (default 0)
+  --engine NAME simulation core: event (default) or tick; both produce
+                byte-identical output for the same flags
   --sweep       sweep loss 0/5/10/20/40% instead of a single --loss run
   --metrics     append the recorded metrics (counters/gauges/histograms)
   --metrics-json
@@ -89,72 +91,33 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if cmd == "sim" || cmd == "trace" || cmd == "spans" {
-        let mut s = SimOptions::default();
-        let mut full = false;
-        let mut flow: Option<u64> = None;
-        let mut phase: Option<String> = None;
-        let mut it = args.iter().skip(1);
-        let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
-            let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
-            v.parse().unwrap_or_else(|_| fail(format!("{flag}: invalid number {v:?}")))
+    if let Some(kind) = SimCommandKind::from_name(&cmd) {
+        let inv = parse_sim_invocation(kind, &args[1..]).unwrap_or_else(|e| fail(e));
+        let run_err = |e: String| -> ! {
+            eprintln!("dustctl: {e}");
+            std::process::exit(1)
         };
-        let text = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
-            it.next().unwrap_or_else(|| fail(format!("{flag} needs a value"))).clone()
-        };
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--loss" => s.loss = numeric(&mut it, "--loss"),
-                "--dup" => s.dup = numeric(&mut it, "--dup"),
-                "--delay" => s.delay_ms = numeric(&mut it, "--delay") as u64,
-                "--jitter" => s.jitter_ms = numeric(&mut it, "--jitter") as u64,
-                "--duration" => s.duration_ms = numeric(&mut it, "--duration") as u64,
-                "--seed" => s.seed = numeric(&mut it, "--seed") as u64,
-                "--sweep" if cmd == "sim" => s.sweep = true,
-                "--metrics" if cmd == "sim" => s.metrics = true,
-                "--metrics-json" if cmd == "sim" => s.metrics_json = true,
-                "--metrics-prom" if cmd == "sim" => s.metrics_prom = true,
-                "--slo" if cmd == "sim" => s.slo = Some(text(&mut it, "--slo")),
-                "--postmortem" if cmd == "sim" => {
-                    s.postmortem = Some(text(&mut it, "--postmortem"))
+        match kind {
+            SimCommandKind::Trace => {
+                let stdout = std::io::stdout();
+                if let Err(e) = cmd_trace(&inv.opts, inv.full, &mut stdout.lock()) {
+                    run_err(e)
                 }
-                "--inject-breach" if cmd == "sim" => s.inject_breach = true,
-                "--full" if cmd == "trace" => full = true,
-                "--flow" if cmd == "spans" => flow = Some(numeric(&mut it, "--flow") as u64),
-                "--phase" if cmd == "spans" => phase = Some(text(&mut it, "--phase")),
-                other => fail(format!("{cmd}: unknown option {other:?}")),
             }
-        }
-        if cmd == "trace" {
-            let stdout = std::io::stdout();
-            if let Err(e) = cmd_trace(&s, full, &mut stdout.lock()) {
-                eprintln!("dustctl: {e}");
-                std::process::exit(1)
-            }
-            return;
-        }
-        if cmd == "spans" {
-            match cmd_spans(&s, flow, phase.as_deref()) {
+            SimCommandKind::Spans => match cmd_spans(&inv.opts, inv.flow, inv.phase.as_deref()) {
                 Ok(out) => print!("{out}"),
-                Err(e) => {
-                    eprintln!("dustctl: {e}");
-                    std::process::exit(1)
+                Err(e) => run_err(e),
+            },
+            SimCommandKind::Sim => match cmd_sim(&inv.opts) {
+                Ok(run) => {
+                    print!("{}", run.output);
+                    if run.slo_breached {
+                        eprintln!("dustctl: SLO breached (see report above)");
+                        std::process::exit(1)
+                    }
                 }
-            }
-            return;
-        }
-        match cmd_sim(&s) {
-            Ok(run) => {
-                print!("{}", run.output);
-                if run.slo_breached {
-                    eprintln!("dustctl: SLO breached (see report above)");
-                    std::process::exit(1)
-                }
-            }
-            Err(e) => {
-                eprintln!("dustctl: {e}");
-                std::process::exit(1)
-            }
+                Err(e) => run_err(e),
+            },
         }
         return;
     }

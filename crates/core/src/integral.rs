@@ -163,7 +163,7 @@ pub fn optimize_integral_with(
         }
     }
 
-    let sol = solve_mip_with(&p, MipOptions::default());
+    let sol = solve_mip_with(&p, MipOptions::default(), &dust_obs::ObsHandle::disabled());
     if sol.status != Status::Optimal {
         return Ok(IntegralPlacement {
             feasible: false,

@@ -188,7 +188,7 @@ pub fn optimize_with(
     let flows: Option<(Vec<f64>, f64)> = match backend {
         SolverBackend::Transportation => {
             let tp = TransportProblem::new(supply.clone(), capacity.clone(), costs.t_rmin.clone());
-            let sol = tp.solve_observed(obs);
+            let sol = tp.solve_with(obs);
             if sol.status == TransportStatus::Optimal {
                 shadow_prices =
                     candidates.iter().copied().zip(sol.col_potentials.iter().copied()).collect();
@@ -217,7 +217,7 @@ pub fn optimize_with(
                     (0..busy.len()).filter_map(|r| vars[r * n + c].map(|v| (v, 1.0))).collect();
                 p.add_constraint(&terms, Cmp::Le, cap);
             }
-            let sol = dust_lp::solve_observed(&p, dust_lp::Options::default(), obs);
+            let sol = dust_lp::solve_with(&p, dust_lp::Options::default(), obs);
             if sol.status == Status::Unbounded {
                 return Err(DustError::Unbounded);
             }

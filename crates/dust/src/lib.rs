@@ -66,9 +66,11 @@ pub mod prelude {
     };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
     pub use dust_sim::{
-        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, chaos_with_slo,
-        evaluate_flows, fig1, fig6, fleet, testbed_dust_config, testbed_observed, testbed_topology,
-        ChaosResult, FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimConfig, SimNode,
+        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
+        chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, evaluate_flows, fig1,
+        fig6, fleet, scale_fleet, scale_fleet_sim, testbed_dust_config, testbed_nodes,
+        testbed_observed, testbed_observed_on, testbed_topology, ChaosResult, EngineKind,
+        FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimBuilder, SimConfig, SimNode,
         SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
     };
     pub use dust_telemetry::{

@@ -10,7 +10,7 @@
 //! explore best-bound-first, prune by incumbent.
 
 use crate::problem::{Problem, Sense, Var};
-use crate::simplex::{solve_with, Options, Status};
+use crate::simplex::{solve_inner, Options, Status};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -80,16 +80,18 @@ impl Ord for Ranked {
     }
 }
 
-/// Solve a mixed-integer program with default options.
+/// Solve a mixed-integer program with default options and no
+/// observability.
 pub fn solve_mip(p: &Problem) -> MipSolution {
-    solve_mip_with(p, MipOptions::default())
+    solve_mip_with(p, MipOptions::default(), &dust_obs::ObsHandle::disabled())
 }
 
-/// Solve a mixed-integer program and record solver metrics into `obs`:
-/// node counter and histogram plus one `BranchAndBound` trace event.
-/// A disabled handle makes this identical to [`solve_mip_with`].
-pub fn solve_mip_observed(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) -> MipSolution {
-    let s = solve_mip_with(p, opts);
+/// The single MIP entry point: solve with explicit options and record
+/// solver metrics into `obs` — node counter and histogram plus one
+/// `BranchAndBound` trace event. A disabled handle skips all recording,
+/// preserving the untraced path exactly.
+pub fn solve_mip_with(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) -> MipSolution {
+    let s = solve_mip_inner(p, opts);
     if obs.is_enabled() {
         obs.counter_inc("lp.bb.solves");
         obs.counter_add("lp.bb.nodes", s.nodes as u64);
@@ -99,11 +101,19 @@ pub fn solve_mip_observed(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHand
     s
 }
 
-/// Solve a mixed-integer program.
-pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
+/// Former observed entry point, now an alias for [`solve_mip_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use solve_mip_with, the single entry point taking an ObsHandle"
+)]
+pub fn solve_mip_observed(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) -> MipSolution {
+    solve_mip_with(p, opts, obs)
+}
+
+fn solve_mip_inner(p: &Problem, opts: MipOptions) -> MipSolution {
     let ints = p.integer_vars();
     if ints.is_empty() {
-        let s = solve_with(p, opts.lp);
+        let s = solve_inner(p, opts.lp);
         return MipSolution { status: s.status, x: s.x, objective: s.objective, nodes: 1 };
     }
     let minimize = p.sense() == Sense::Minimize;
@@ -154,7 +164,7 @@ pub fn solve_mip_with(p: &Problem, opts: MipOptions) -> MipSolution {
         if !ok {
             continue;
         }
-        let relax = solve_with(&sub, opts.lp);
+        let relax = solve_inner(&sub, opts.lp);
         match relax.status {
             Status::Optimal => {}
             Status::Infeasible => continue,

@@ -36,8 +36,12 @@ pub mod problem;
 pub mod simplex;
 pub mod transportation;
 
-pub use branch_bound::{solve_mip, solve_mip_observed, solve_mip_with, MipOptions, MipSolution};
+#[allow(deprecated)]
+pub use branch_bound::solve_mip_observed;
+pub use branch_bound::{solve_mip, solve_mip_with, MipOptions, MipSolution};
 pub use export::to_lp_format;
 pub use problem::{Cmp, Constraint, Problem, Sense, Var, VarDef};
-pub use simplex::{solve, solve_observed, solve_with, Options, Solution, Status};
+#[allow(deprecated)]
+pub use simplex::solve_observed;
+pub use simplex::{solve, solve_with, Options, Solution, Status};
 pub use transportation::{TransportProblem, TransportSolution, TransportStatus};

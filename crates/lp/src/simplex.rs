@@ -72,9 +72,9 @@ impl Default for Options {
     }
 }
 
-/// Solve with default [`Options`].
+/// Solve with default [`Options`] and no observability.
 pub fn solve(p: &Problem) -> Solution {
-    solve_with(p, Options::default())
+    solve_with(p, Options::default(), &dust_obs::ObsHandle::disabled())
 }
 
 /// How each original variable maps into the standard-form column space.
@@ -225,8 +225,28 @@ fn run_simplex(
     }
 }
 
-/// Solve `p` with explicit options.
-pub fn solve_with(p: &Problem, opts: Options) -> Solution {
+/// The single solver entry point: solve `p` with explicit options and
+/// record solver metrics into `obs` — pivot counters and histograms
+/// split by phase, plus one `SimplexSolve` trace event. A disabled
+/// handle skips all recording, preserving the untraced path exactly.
+pub fn solve_with(p: &Problem, opts: Options, obs: &dust_obs::ObsHandle) -> Solution {
+    let s = solve_inner(p, opts);
+    if obs.is_enabled() {
+        obs.counter_inc("lp.simplex.solves");
+        obs.counter_add("lp.simplex.pivots", s.iterations as u64);
+        obs.counter_add("lp.simplex.phase1_iterations", s.phase1_iterations as u64);
+        obs.counter_add("lp.simplex.phase2_iterations", s.phase2_iterations as u64);
+        obs.observe("lp.simplex.pivots", s.iterations as f64);
+        obs.trace(dust_obs::TraceEvent::SimplexSolve {
+            pivots: s.iterations as u64,
+            phase1: s.phase1_iterations as u64,
+            phase2: s.phase2_iterations as u64,
+        });
+    }
+    s
+}
+
+pub(crate) fn solve_inner(p: &Problem, opts: Options) -> Solution {
     // ---- 1. Standard-form conversion -------------------------------------
     let minimize = p.sense() == Sense::Minimize;
     let mut maps: Vec<VarMap> = Vec::with_capacity(p.num_vars());
@@ -450,24 +470,10 @@ pub fn solve_with(p: &Problem, opts: Options) -> Solution {
     }
 }
 
-/// Solve `p` and record solver metrics into `obs`: pivot counters and
-/// histograms split by phase, plus one `SimplexSolve` trace event. A
-/// disabled handle makes this identical to [`solve_with`].
+/// Former observed entry point, now an alias for [`solve_with`].
+#[deprecated(since = "0.2.0", note = "use solve_with, the single entry point taking an ObsHandle")]
 pub fn solve_observed(p: &Problem, opts: Options, obs: &dust_obs::ObsHandle) -> Solution {
-    let s = solve_with(p, opts);
-    if obs.is_enabled() {
-        obs.counter_inc("lp.simplex.solves");
-        obs.counter_add("lp.simplex.pivots", s.iterations as u64);
-        obs.counter_add("lp.simplex.phase1_iterations", s.phase1_iterations as u64);
-        obs.counter_add("lp.simplex.phase2_iterations", s.phase2_iterations as u64);
-        obs.observe("lp.simplex.pivots", s.iterations as f64);
-        obs.trace(dust_obs::TraceEvent::SimplexSolve {
-            pivots: s.iterations as u64,
-            phase1: s.phase1_iterations as u64,
-            phase2: s.phase2_iterations as u64,
-        });
-    }
-    s
+    solve_with(p, opts, obs)
 }
 
 #[cfg(test)]

@@ -76,11 +76,12 @@ impl TransportProblem {
         TransportProblem { supply, capacity, cost }
     }
 
-    /// Solve and record solver metrics into `obs`: a MODI pivot counter
-    /// and histogram plus one `TransportSolve` trace event. A disabled
-    /// handle makes this identical to [`TransportProblem::solve`].
-    pub fn solve_observed(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
-        let s = self.solve();
+    /// The single entry point: solve and record solver metrics into
+    /// `obs` — a MODI pivot counter and histogram plus one
+    /// `TransportSolve` trace event. A disabled handle skips all
+    /// recording, preserving the untraced path exactly.
+    pub fn solve_with(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
+        let s = self.solve_inner();
         if obs.is_enabled() {
             obs.counter_inc("lp.transport.solves");
             obs.counter_add("lp.transport.pivots", s.iterations as u64);
@@ -90,8 +91,22 @@ impl TransportProblem {
         s
     }
 
-    /// Solve the instance.
+    /// Former observed entry point, now an alias for
+    /// [`TransportProblem::solve_with`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use solve_with, the single entry point taking an ObsHandle"
+    )]
+    pub fn solve_observed(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
+        self.solve_with(obs)
+    }
+
+    /// Solve with no observability.
     pub fn solve(&self) -> TransportSolution {
+        self.solve_with(&dust_obs::ObsHandle::disabled())
+    }
+
+    fn solve_inner(&self) -> TransportSolution {
         const TOL: f64 = 1e-9;
         let m0 = self.supply.len();
         let n = self.capacity.len();

@@ -244,23 +244,31 @@ impl Client {
     /// hosting) once active.
     pub fn tick(&mut self, now_ms: u64) -> Vec<ClientMsg> {
         let mut out = Vec::new();
+        self.tick_into(now_ms, &mut out);
+        out
+    }
+
+    /// [`Client::tick`] into a caller-owned buffer — the allocation-free
+    /// form the event-driven simulator core uses on its per-fleet hot
+    /// path. Due messages are *appended*; the buffer is not cleared.
+    pub fn tick_into(&mut self, now_ms: u64, out: &mut Vec<ClientMsg>) {
         let due = |last: Option<u64>, period: u64| match last {
             None => true,
             Some(t) => now_ms.saturating_sub(t) >= period,
         };
         match self.phase {
-            ClientPhase::Idle => return out,
+            ClientPhase::Idle => return,
             ClientPhase::Registering => {
                 if due(self.last_register_ms, REGISTER_RETRY_MS) {
                     out.push(self.register(now_ms));
                 }
-                return out;
+                return;
             }
             ClientPhase::Active => {}
         }
         let interval = self.update_interval_ms.expect("active client has an interval");
         if interval == 0 {
-            return out;
+            return;
         }
         if due(self.last_stat_ms, interval) {
             self.last_stat_ms = Some(now_ms);
@@ -277,7 +285,6 @@ impl Client {
                 out.push(ClientMsg::Keepalive { node: self.node });
             }
         }
-        out
     }
 }
 

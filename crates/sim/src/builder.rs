@@ -1,0 +1,459 @@
+//! Validating construction for [`Simulation`]: the replacement for the
+//! old "fill a `SimConfig` struct and hope" surface.
+//!
+//! Every knob that used to be a bare public field is a builder method,
+//! and [`SimBuilder::build`] cross-checks the combination before any
+//! state is wired up: inconsistent settings come back as a loud
+//! [`DustError::BadConfig`] naming the offending knob instead of a panic
+//! deep inside the run loop (or, worse, a silently meaningless result —
+//! the classic one being a lossy fault profile without an explicit seed,
+//! which "works" but makes the run irreproducible).
+//!
+//! ```
+//! use dust_sim::{Simulation, SimNode, NodeSpec, TrafficModel};
+//! use dust_topology::{topologies, Link, NodeId};
+//!
+//! let g = topologies::line(2, Link::default());
+//! let nodes = vec![
+//!     SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+//!     SimNode::bare(NodeId(1), NodeSpec::server()),
+//! ];
+//! let mut sim = Simulation::builder()
+//!     .graph(g)
+//!     .nodes(nodes)
+//!     .traffic(TrafficModel::testbed())
+//!     .duration_ms(10_000)
+//!     .build()
+//!     .expect("consistent knobs");
+//! let report = sim.run();
+//! assert!(report.end_ms > 0);
+//! ```
+
+use crate::engine::EngineKind;
+use crate::node::SimNode;
+use crate::runner::{SimConfig, Simulation};
+use crate::traffic::TrafficModel;
+use crate::transport::FaultConfig;
+use dust_core::{DustConfig, DustError, SolverBackend};
+use dust_obs::{ObsHandle, SloEngine};
+use dust_topology::{Graph, NodeId};
+
+/// Builder for [`Simulation`]; obtain one via [`Simulation::builder`].
+///
+/// Required: [`graph`](SimBuilder::graph) and [`nodes`](SimBuilder::nodes)
+/// (one [`SimNode`] per vertex). Everything else defaults to the paper's
+/// testbed parameters (see [`SimConfig::default`]); traffic defaults to
+/// [`TrafficModel::testbed`].
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    graph: Option<Graph>,
+    nodes: Vec<SimNode>,
+    traffic: Option<TrafficModel>,
+    cfg: SimConfig,
+    /// Set when the caller picked a seed explicitly — a lossy fault
+    /// profile without one is rejected as irreproducible.
+    seed_set: bool,
+    obs: Option<ObsHandle>,
+    slo: Option<SloEngine>,
+    kills: Vec<(u64, NodeId)>,
+    revives: Vec<(u64, NodeId)>,
+}
+
+impl SimBuilder {
+    pub(crate) fn new() -> Self {
+        SimBuilder::default()
+    }
+
+    /// The network topology (required).
+    pub fn graph(mut self, graph: Graph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The per-vertex resource models (required; one per graph node, in
+    /// node-id order).
+    pub fn nodes(mut self, nodes: Vec<SimNode>) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Traffic evolution model (default: [`TrafficModel::testbed`]).
+    pub fn traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// Placement thresholds and routing options.
+    pub fn dust(mut self, dust: DustConfig) -> Self {
+        self.cfg.dust = dust;
+        self
+    }
+
+    /// LP backend for the Manager's optimization engine.
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// STAT cadence handed out in ACKs, ms.
+    pub fn update_interval_ms(mut self, ms: u64) -> Self {
+        self.cfg.update_interval_ms = ms;
+        self
+    }
+
+    /// Keepalive silence tolerated before replica substitution, ms.
+    pub fn keepalive_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.keepalive_timeout_ms = ms;
+        self
+    }
+
+    /// Placement round period, ms.
+    pub fn placement_period_ms(mut self, ms: u64) -> Self {
+        self.cfg.placement_period_ms = ms;
+        self
+    }
+
+    /// Metric sampling cadence, ms.
+    pub fn sample_period_ms(mut self, ms: u64) -> Self {
+        self.cfg.sample_period_ms = ms;
+        self
+    }
+
+    /// Total simulated time, ms.
+    pub fn duration_ms(mut self, ms: u64) -> Self {
+        self.cfg.duration_ms = ms;
+        self
+    }
+
+    /// `false` runs the no-offload baseline (control plane gossips, no
+    /// placement rounds).
+    pub fn dust_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.dust_enabled = enabled;
+        self
+    }
+
+    /// Per-link utilization jitter around the traffic model's base.
+    pub fn link_jitter(mut self, jitter: f64) -> Self {
+        self.cfg.link_jitter = jitter;
+        self
+    }
+
+    /// Move the Busy node's entire deployment on accept (§V-A testbed
+    /// semantics) instead of the granted capacity budget.
+    pub fn full_monitoring_offload(mut self, full: bool) -> Self {
+        self.cfg.full_monitoring_offload = full;
+        self
+    }
+
+    /// Control-plane fault model. Non-ideal profiles require an explicit
+    /// [`seed`](SimBuilder::seed) or `build` fails.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Master seed (drives link jitter and the fault gate).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self.seed_set = true;
+        self
+    }
+
+    /// Which simulation core runs this configuration (default:
+    /// [`EngineKind::Event`]; `tick` is the legacy reference core).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Attach an observability handle at construction time.
+    pub fn obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attach an online SLO engine at construction time.
+    pub fn slo(mut self, slo: SloEngine) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Crash `node` at `at_ms`.
+    pub fn kill_at(mut self, at_ms: u64, node: NodeId) -> Self {
+        self.kills.push((at_ms, node));
+        self
+    }
+
+    /// Revive `node` at `at_ms`.
+    pub fn revive_at(mut self, at_ms: u64, node: NodeId) -> Self {
+        self.revives.push((at_ms, node));
+        self
+    }
+
+    /// Validate the knob combination and wire up the simulation.
+    pub fn build(self) -> Result<Simulation, DustError> {
+        let bad = |msg: String| Err(DustError::BadConfig(msg));
+        let Some(graph) = self.graph else {
+            return bad("a simulation needs a graph (SimBuilder::graph)".into());
+        };
+        if self.nodes.is_empty() {
+            return bad("a simulation needs nodes (SimBuilder::nodes)".into());
+        }
+        if self.nodes.len() != graph.node_count() {
+            return bad(format!(
+                "node count mismatch: {} SimNodes for a {}-vertex graph",
+                self.nodes.len(),
+                graph.node_count()
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id.index() != i {
+                return bad(format!("nodes must be in id order: position {i} holds {:?}", n.id));
+            }
+        }
+        let cfg = &self.cfg;
+        if cfg.update_interval_ms == 0 {
+            return bad("update_interval_ms must be positive".into());
+        }
+        if cfg.placement_period_ms == 0 {
+            return bad("placement_period_ms must be positive".into());
+        }
+        if cfg.sample_period_ms == 0 {
+            return bad("sample_period_ms must be positive".into());
+        }
+        if cfg.duration_ms == 0 {
+            return bad("duration_ms must be positive".into());
+        }
+        if cfg.keepalive_timeout_ms < cfg.update_interval_ms {
+            return bad(format!(
+                "keepalive_timeout_ms ({}) below update_interval_ms ({}): every node \
+                 would be declared dead between its own STATs",
+                cfg.keepalive_timeout_ms, cfg.update_interval_ms
+            ));
+        }
+        if !cfg.link_jitter.is_finite() || !(0.0..=1.0).contains(&cfg.link_jitter) {
+            return bad(format!("link_jitter must lie in [0, 1], got {}", cfg.link_jitter));
+        }
+        for (dir, p) in
+            [("to_manager", &cfg.faults.to_manager), ("to_client", &cfg.faults.to_client)]
+        {
+            if !p.drop.is_finite()
+                || !p.duplicate.is_finite()
+                || !(0.0..=1.0).contains(&p.drop)
+                || !(0.0..=1.0).contains(&p.duplicate)
+            {
+                return bad(format!(
+                    "fault probabilities for {dir} must lie in [0, 1]: \
+                     drop {} duplicate {}",
+                    p.drop, p.duplicate
+                ));
+            }
+        }
+        if !cfg.faults.is_ideal() && !self.seed_set {
+            return bad("a fault profile without an explicit seed is irreproducible: \
+                 call SimBuilder::seed(...) alongside SimBuilder::faults(...)"
+                .into());
+        }
+        cfg.dust.validate().map_err(DustError::BadConfig)?;
+        let n = graph.node_count();
+        for &(_, node) in self.kills.iter().chain(self.revives.iter()) {
+            if node.index() >= n {
+                return bad(format!(
+                    "kill/revive targets {node:?}, but the graph has only {n} nodes"
+                ));
+            }
+        }
+        for &(at, node) in &self.kills {
+            if at > cfg.duration_ms {
+                return bad(format!(
+                    "kill of {node:?} at {at} ms lands after duration_ms ({} ms)",
+                    cfg.duration_ms
+                ));
+            }
+        }
+
+        let traffic = self.traffic.unwrap_or_else(TrafficModel::testbed);
+        let mut sim = Simulation::assemble(graph, self.nodes, traffic, self.cfg);
+        if let Some(obs) = self.obs {
+            sim.set_obs(obs);
+        }
+        if let Some(slo) = self.slo {
+            sim.set_slo(slo);
+        }
+        for (at, node) in self.kills {
+            sim.inject_failure(at, node);
+        }
+        for (at, node) in self.revives {
+            sim.inject_revival(at, node);
+        }
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use crate::transport::FaultProfile;
+    use dust_topology::{topologies, Link};
+
+    fn two_nodes() -> (Graph, Vec<SimNode>) {
+        let g = topologies::line(2, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+        ];
+        (g, nodes)
+    }
+
+    fn msg(err: DustError) -> String {
+        match err {
+            DustError::BadConfig(m) => m,
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_valid_build_succeeds() {
+        let (g, nodes) = two_nodes();
+        let sim = Simulation::builder().graph(g).nodes(nodes).build();
+        assert!(sim.is_ok());
+    }
+
+    #[test]
+    fn missing_graph_is_loud() {
+        let (_, nodes) = two_nodes();
+        let err = msg(Simulation::builder().nodes(nodes).build().unwrap_err());
+        assert!(err.contains("graph"), "{err}");
+    }
+
+    #[test]
+    fn node_count_mismatch_is_loud() {
+        let (g, mut nodes) = two_nodes();
+        nodes.pop();
+        let err = msg(Simulation::builder().graph(g).nodes(nodes).build().unwrap_err());
+        assert!(err.contains("node count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_nodes_are_loud() {
+        let (g, mut nodes) = two_nodes();
+        nodes.swap(0, 1);
+        let err = msg(Simulation::builder().graph(g).nodes(nodes).build().unwrap_err());
+        assert!(err.contains("id order"), "{err}");
+    }
+
+    #[test]
+    fn faults_without_seed_are_rejected() {
+        let (g, nodes) = two_nodes();
+        let faults = FaultConfig::symmetric(FaultProfile {
+            drop: 0.1,
+            duplicate: 0.0,
+            delay_ms: 10,
+            jitter_ms: 50,
+        });
+        let err = msg(Simulation::builder()
+            .graph(g.clone())
+            .nodes(nodes.clone())
+            .faults(faults)
+            .build()
+            .unwrap_err());
+        assert!(err.contains("seed"), "{err}");
+        // the same profile with a seed is fine
+        let ok = Simulation::builder().graph(g).nodes(nodes).faults(faults).seed(9).build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fault_probability_is_loud() {
+        let (g, nodes) = two_nodes();
+        let faults = FaultConfig::symmetric(FaultProfile {
+            drop: 1.5,
+            duplicate: 0.0,
+            delay_ms: 0,
+            jitter_ms: 0,
+        });
+        let err = msg(Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .faults(faults)
+            .seed(1)
+            .build()
+            .unwrap_err());
+        assert!(err.contains("fault probabilities"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_periods_are_loud() {
+        let (g, nodes) = two_nodes();
+        let err = msg(Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .update_interval_ms(0)
+            .build()
+            .unwrap_err());
+        assert!(err.contains("update_interval_ms"), "{err}");
+    }
+
+    #[test]
+    fn keepalive_below_update_interval_is_loud() {
+        let (g, nodes) = two_nodes();
+        let err = msg(Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .update_interval_ms(2_000)
+            .keepalive_timeout_ms(1_000)
+            .build()
+            .unwrap_err());
+        assert!(err.contains("keepalive_timeout_ms"), "{err}");
+    }
+
+    #[test]
+    fn link_jitter_outside_unit_interval_is_loud() {
+        let (g, nodes) = two_nodes();
+        let err =
+            msg(Simulation::builder().graph(g).nodes(nodes).link_jitter(1.5).build().unwrap_err());
+        assert!(err.contains("link_jitter"), "{err}");
+    }
+
+    #[test]
+    fn kill_of_unknown_node_is_loud() {
+        let (g, nodes) = two_nodes();
+        let err = msg(Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .kill_at(1_000, NodeId(7))
+            .build()
+            .unwrap_err());
+        assert!(err.contains("kill/revive"), "{err}");
+    }
+
+    #[test]
+    fn kill_after_duration_is_loud() {
+        let (g, nodes) = two_nodes();
+        let err = msg(Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .duration_ms(10_000)
+            .kill_at(20_000, NodeId(1))
+            .build()
+            .unwrap_err());
+        assert!(err.contains("after duration_ms"), "{err}");
+    }
+
+    #[test]
+    fn obs_and_slo_attach_through_the_builder() {
+        use dust_obs::{ObsHandle, SloEngine, SloSpec};
+        let (g, nodes) = two_nodes();
+        let obs = ObsHandle::recording(1);
+        let sim = Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .obs(obs.clone())
+            .slo(SloEngine::new(SloSpec::parse("convergence<=10000").unwrap(), 25.0))
+            .build()
+            .unwrap();
+        assert!(sim.obs().is_enabled());
+        assert!(sim.slo().is_some());
+    }
+}

@@ -1,0 +1,231 @@
+//! The event-driven simulation core.
+//!
+//! Processes exactly the same typed [`SimEvent`] sequence as the tick
+//! core in [`crate::runner`] — same `(time, seq)` order, same protocol
+//! calls, same observability emissions — so golden-trace digests,
+//! `--metrics-json` output, and every recorded metric series are
+//! bit-identical between the two. The speed comes from *how* each
+//! handler computes, never from reordering *what* happens:
+//!
+//! * **Lazy link application.** The tick core re-rolls a per-edge RNG
+//!   over the whole graph at every STAT emission
+//!   ([`TrafficModel::apply_to_links`] is a pure function of
+//!   `(seed, time)`). The simulation's own graph copy is only ever read
+//!   by flow evaluation at sample points, so the event core just records
+//!   the last emission time and applies it on demand — an O(E) pass per
+//!   *flow-bearing sample* instead of per emission, and never when no
+//!   telemetry flow is routed.
+//! * **Epoch-keyed node caches.** Per-agent CPU/memory walks are cached
+//!   per node, keyed on [`SimNode::agents_epoch`] and the traffic
+//!   fraction's bit pattern; only the burst-window arithmetic (a pure
+//!   function of the cached sum and `now`) runs per event. The shared
+//!   `*_from_raw` helpers on [`SimNode`] keep the arithmetic
+//!   bit-identical with the uncached path.
+//! * **Arena-style buffers.** STAT emission reuses one message buffer
+//!   ([`dust_proto::Client::tick_into`]); the telemetry flow set is
+//!   rebuilt only when the transfer ledger's version moves; liveness is
+//!   a flat bitmap instead of a hash probe per node.
+
+use crate::engine::EventQueue;
+use crate::flows::{evaluate_flows, TelemetryFlow};
+use crate::node::SimNode;
+use crate::runner::{SimEvent, SimReport, Simulation};
+use dust_proto::ClientMsg;
+
+/// Per-node cached aggregates, invalidated by agent-ledger epoch (and
+/// traffic fraction for the CPU/data sums, which depend on it).
+#[derive(Debug, Clone, Default)]
+struct NodeCache {
+    /// Key of `raw_cpu`/`data_mb`: `(agents_epoch, traffic.to_bits())`.
+    raw_key: Option<(u64, u64)>,
+    raw_cpu: f64,
+    data_mb: f64,
+    /// Key of `mem_percent`: `agents_epoch` (memory is traffic-blind).
+    mem_key: Option<u64>,
+    mem_percent: f64,
+}
+
+/// Hot state owned by the event loop, outside the `Simulation` so the
+/// borrow checker lets handlers mutate both independently.
+struct HotState {
+    cache: Vec<NodeCache>,
+    /// `alive[i]` mirrors `!sim.dead.contains(node i)`.
+    alive: Vec<bool>,
+    /// Reused STAT/keepalive buffer.
+    stat_buf: Vec<ClientMsg>,
+    /// Flow arena: rebuilt only when `sim.active_version` moves.
+    flows: Vec<TelemetryFlow>,
+    flows_version: Option<u64>,
+    /// Time of the latest STAT emission — the link state the graph
+    /// *should* carry, applied lazily before flow evaluation.
+    links_pending: Option<u64>,
+    /// Time whose link state is actually applied to the graph.
+    links_applied: Option<u64>,
+}
+
+impl HotState {
+    fn new(n: usize) -> Self {
+        HotState {
+            cache: vec![NodeCache::default(); n],
+            alive: vec![true; n],
+            stat_buf: Vec::new(),
+            flows: Vec::new(),
+            flows_version: None,
+            links_pending: None,
+            links_applied: None,
+        }
+    }
+
+    /// Refresh node `i`'s cached aggregates for `traffic` and return
+    /// `(raw_cpu, data_mb)`.
+    fn raw(&mut self, node: &SimNode, i: usize, traffic: f64) -> (f64, f64) {
+        let key = (node.agents_epoch(), traffic.to_bits());
+        let c = &mut self.cache[i];
+        if c.raw_key != Some(key) {
+            c.raw_cpu = node.raw_agent_cpu(traffic);
+            c.data_mb = node.data_mb(traffic);
+            c.raw_key = Some(key);
+        }
+        (c.raw_cpu, c.data_mb)
+    }
+
+    /// Cached [`SimNode::device_mem_percent`].
+    fn mem(&mut self, node: &SimNode, i: usize) -> f64 {
+        let key = node.agents_epoch();
+        let c = &mut self.cache[i];
+        if c.mem_key != Some(key) {
+            c.mem_percent = node.device_mem_percent();
+            c.mem_key = Some(key);
+        }
+        c.mem_percent
+    }
+}
+
+/// Run `sim` to completion on the event core. Called from
+/// [`Simulation::run`] when the configured engine is
+/// [`crate::engine::EngineKind::Event`].
+pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
+    let mut report = Simulation::empty_report();
+    let mut q: EventQueue<SimEvent> = EventQueue::new();
+    let mut hot = HotState::new(sim.nodes.len());
+    for d in &sim.dead {
+        hot.alive[d.index()] = false;
+    }
+    sim.seed_queue(&mut q, &mut report);
+
+    while let Some(ev) = q.pop() {
+        let now = ev.at_ms;
+        if now > sim.cfg.duration_ms {
+            break;
+        }
+        report.events_processed += 1;
+        report.peak_queue_len = report.peak_queue_len.max(q.len());
+        sim.obs.set_now(now);
+        match ev.event {
+            SimEvent::StatEmission => {
+                let traffic = sim.traffic.fraction(now);
+                // The tick core applies link jitter here; nothing below
+                // reads the graph, so note the time and move on.
+                hot.links_pending = Some(now);
+                for i in 0..sim.nodes.len() {
+                    if !hot.alive[i] {
+                        continue;
+                    }
+                    let (raw, data) = hot.raw(&sim.nodes[i], i, traffic);
+                    let cpu = sim.nodes[i].device_cpu_from_raw(raw, now);
+                    sim.clients[i].observe(cpu, data);
+                    sim.clients[i].tick_into(now, &mut hot.stat_buf);
+                    for msg in hot.stat_buf.drain(..) {
+                        sim.send_to_manager(now, msg, &mut q, &mut report);
+                    }
+                }
+                q.schedule_in(sim.cfg.update_interval_ms, SimEvent::StatEmission);
+            }
+            SimEvent::OfferMaintenance => {
+                sim.handle_offer_maintenance(now, &mut q, &mut report);
+            }
+            SimEvent::PlacementRound => {
+                sim.handle_placement_round(now, &mut q, &mut report);
+            }
+            SimEvent::TelemetrySample => {
+                let traffic = sim.traffic.fraction(now);
+                for i in 0..sim.nodes.len() {
+                    let (raw, _) = hot.raw(&sim.nodes[i], i, traffic);
+                    let mem = hot.mem(&sim.nodes[i], i);
+                    let n = &sim.nodes[i];
+                    let cpu = n.device_cpu_from_raw(raw, now);
+                    let db = report.federation.store_mut(n.id);
+                    db.append("device-cpu", now, cpu);
+                    db.append("device-mem", now, mem);
+                    db.append("monitor-cpu", now, SimNode::monitoring_cpu_from_raw(raw, now));
+                    if sim.obs.is_enabled() {
+                        sim.obs.observe("sim.node.cpu_percent", cpu);
+                        sim.obs.observe("sim.node.mem_percent", mem);
+                    }
+                }
+                if sim.obs.is_enabled() {
+                    sim.obs.gauge_set("sim.active_transfers", sim.active.len() as f64);
+                }
+                if sim.slo.is_some() {
+                    q.schedule(now, SimEvent::SloEvaluation);
+                }
+                if hot.flows_version != Some(sim.active_version) {
+                    hot.flows.clear();
+                    hot.flows.extend(sim.active.values().filter(|t| t.data_mb > 0.0).filter_map(
+                        |t| {
+                            t.route.as_ref().map(|r| TelemetryFlow {
+                                owner: t.owner,
+                                host: t.host,
+                                route: r.clone(),
+                                data_mb: t.data_mb,
+                            })
+                        },
+                    ));
+                    hot.flows_version = Some(sim.active_version);
+                }
+                if !hot.flows.is_empty() {
+                    // flows read link utilizations: reconcile the graph
+                    // with the latest STAT emission's link state first
+                    if hot.links_applied != hot.links_pending {
+                        if let Some(t) = hot.links_pending {
+                            sim.traffic.apply_to_links(
+                                &mut sim.graph,
+                                t,
+                                sim.cfg.link_jitter,
+                                sim.cfg.seed,
+                            );
+                        }
+                        hot.links_applied = hot.links_pending;
+                    }
+                    let outs = evaluate_flows(&sim.graph, &hot.flows, sim.cfg.update_interval_ms);
+                    for (f, o) in hot.flows.iter().zip(&outs) {
+                        let db = report.federation.store_mut(f.owner);
+                        db.append("telemetry-admitted-mbps", now, o.admitted_mbps);
+                        db.append("telemetry-dropped", now, o.dropped_fraction);
+                    }
+                }
+                q.schedule_in(sim.cfg.sample_period_ms, SimEvent::TelemetrySample);
+            }
+            SimEvent::SloEvaluation => {
+                sim.handle_slo_evaluation(now);
+            }
+            SimEvent::NodeKill(n) => {
+                sim.handle_kill(now, n);
+                hot.alive[n.index()] = false;
+            }
+            SimEvent::NodeRevive(n) => {
+                sim.handle_revive(now, n, &mut q, &mut report);
+                hot.alive[n.index()] = true;
+            }
+            SimEvent::DeliverClient(env) => {
+                sim.deliver_manager_msg(now, env, &mut q, &mut report);
+            }
+            SimEvent::DeliverManager(msg) => {
+                sim.deliver_client_msg(now, &msg, &mut q, &mut report);
+            }
+        }
+        report.end_ms = now;
+    }
+    sim.finish_report(&mut report);
+    report
+}

@@ -3,7 +3,12 @@
 //! Substitutes the paper's physical prototype — a VxLAN data-center
 //! topology of commercial switches — with a deterministic simulation:
 //!
-//! * [`engine`] — a deterministic event queue;
+//! * [`engine`] — a deterministic event queue with cancelable timers and
+//!   the [`engine::EngineKind`] core selector;
+//! * [`builder`] — validating construction ([`Simulation::builder`]);
+//! * [`event`] — the event-driven core: identical observable behaviour
+//!   to the tick core, with per-event-time batching and arena-backed
+//!   hot state;
 //! * [`node`] — the device resource model (Aruba-8325-class DUT, servers,
 //!   DPUs) where CPU/memory derive from which monitor agents run where;
 //! * [`traffic`] — VxLAN overlay traffic profiles projected onto links;
@@ -28,7 +33,9 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod engine;
+pub mod event;
 pub mod flows;
 pub mod node;
 pub mod runner;
@@ -36,14 +43,17 @@ pub mod scenarios;
 pub mod traffic;
 pub mod transport;
 
-pub use engine::{EventQueue, Scheduled};
+pub use builder::SimBuilder;
+pub use engine::{EngineKind, EventQueue, EventToken, Scheduled};
 pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
 pub use node::{NodeSpec, SimNode};
 pub use runner::{SimConfig, SimReport, Simulation};
 pub use scenarios::{
-    chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed, chaos_with_slo, congestion,
-    fig1, fig6, fleet, testbed_dust_config, testbed_observed, testbed_topology, ChaosResult,
-    CongestionResult, Fig1Row, Fig6Result, FleetResult,
+    chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
+    chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, congestion, fig1, fig6,
+    fleet, scale_fleet, scale_fleet_sim, testbed_dust_config, testbed_nodes, testbed_observed,
+    testbed_observed_on, testbed_topology, ChaosResult, CongestionResult, Fig1Row, Fig6Result,
+    FleetResult,
 };
 pub use traffic::TrafficModel;
 pub use transport::{Direction, FaultConfig, FaultProfile, Transport, TransportStats};

@@ -80,6 +80,11 @@ pub struct SimNode {
     pub offloaded_agents: Vec<(NodeId, MonitorAgent)>,
     /// Agents this node hosts on behalf of others: `(owner, agent)`.
     pub hosted_agents: Vec<(NodeId, MonitorAgent)>,
+    /// Bumped on every agent-list mutation; lets callers cache derived
+    /// sums (CPU/memory/data) and invalidate them precisely. Code that
+    /// mutates the public agent vectors directly must call
+    /// [`SimNode::note_agents_changed`].
+    epoch: u64,
 }
 
 impl SimNode {
@@ -91,6 +96,7 @@ impl SimNode {
             local_agents: MonitorAgent::standard_deployment(),
             offloaded_agents: Vec::new(),
             hosted_agents: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -102,7 +108,44 @@ impl SimNode {
             local_agents: Vec::new(),
             offloaded_agents: Vec::new(),
             hosted_agents: Vec::new(),
+            epoch: 0,
         }
+    }
+
+    /// Current agent-list epoch: changes whenever a cached derivation of
+    /// the agent lists (CPU sum, memory, data volume) could be stale.
+    pub fn agents_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declare that the agent vectors were mutated directly (outside the
+    /// methods below), invalidating any epoch-keyed cache.
+    pub fn note_agents_changed(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Raw agent CPU sum in percent of one core at `traffic_fraction` —
+    /// local agents then hosted agents, before engine overhead and bursts.
+    /// This is the expensive per-agent walk the event core caches per
+    /// [`SimNode::agents_epoch`].
+    pub fn raw_agent_cpu(&self, traffic_fraction: f64) -> f64 {
+        self.local_agents
+            .iter()
+            .chain(self.hosted_agents.iter().map(|(_, a)| a))
+            .map(|a| a.kind.cpu_percent(traffic_fraction))
+            .sum()
+    }
+
+    /// Monitoring CPU (percent of one core) from a precomputed
+    /// [`SimNode::raw_agent_cpu`] sum: engine overhead plus the periodic
+    /// aggregation burst. Shared by the cached and uncached paths so the
+    /// arithmetic is bit-identical.
+    pub fn monitoring_cpu_from_raw(raw_cpu: f64, now_ms: u64) -> f64 {
+        let mut cpu = raw_cpu * ENGINE_OVERHEAD;
+        if now_ms % BURST_PERIOD_MS < BURST_LEN_MS {
+            cpu *= BURST_FACTOR;
+        }
+        cpu
     }
 
     /// Monitoring-module CPU in percent **of one core** at `now_ms`, the
@@ -110,37 +153,26 @@ impl SimNode {
     /// aggregation bursts. Includes hosted agents (they run in the same
     /// engine).
     pub fn monitoring_cpu_core_percent(&self, now_ms: u64, traffic_fraction: f64) -> f64 {
-        let raw: f64 = self
-            .local_agents
-            .iter()
-            .chain(self.hosted_agents.iter().map(|(_, a)| a))
-            .map(|a| a.kind.cpu_percent(traffic_fraction))
-            .sum();
-        let mut cpu = raw * ENGINE_OVERHEAD;
-        if now_ms % BURST_PERIOD_MS < BURST_LEN_MS {
-            cpu *= BURST_FACTOR;
-        }
-        cpu
+        Self::monitoring_cpu_from_raw(self.raw_agent_cpu(traffic_fraction), now_ms)
     }
 
     /// Steady-state (burst-free) monitoring CPU of one core.
     pub fn monitoring_cpu_steady(&self, traffic_fraction: f64) -> f64 {
-        let raw: f64 = self
-            .local_agents
-            .iter()
-            .chain(self.hosted_agents.iter().map(|(_, a)| a))
-            .map(|a| a.kind.cpu_percent(traffic_fraction))
-            .sum();
-        raw * ENGINE_OVERHEAD
+        self.raw_agent_cpu(traffic_fraction) * ENGINE_OVERHEAD
+    }
+
+    /// Device CPU from a precomputed raw agent sum (cached-path variant of
+    /// [`SimNode::device_cpu_percent`]; identical arithmetic).
+    pub fn device_cpu_from_raw(&self, raw_cpu: f64, now_ms: u64) -> f64 {
+        let monitoring = Self::monitoring_cpu_from_raw(raw_cpu, now_ms) / self.spec.cpu_cores;
+        let stub = if self.offloaded_agents.is_empty() { 0.0 } else { OFFLOAD_STUB_CPU_PERCENT };
+        (self.spec.base_cpu_percent + monitoring + stub).min(100.0)
     }
 
     /// Device-level CPU utilization percent (all cores) — what a `STAT`
     /// message reports as `C_i`.
     pub fn device_cpu_percent(&self, now_ms: u64, traffic_fraction: f64) -> f64 {
-        let monitoring =
-            self.monitoring_cpu_core_percent(now_ms, traffic_fraction) / self.spec.cpu_cores;
-        let stub = if self.offloaded_agents.is_empty() { 0.0 } else { OFFLOAD_STUB_CPU_PERCENT };
-        (self.spec.base_cpu_percent + monitoring + stub).min(100.0)
+        self.device_cpu_from_raw(self.raw_agent_cpu(traffic_fraction), now_ms)
     }
 
     /// Device memory utilization percent.
@@ -172,6 +204,7 @@ impl SimNode {
         cpu_budget_percent: f64,
         traffic_fraction: f64,
     ) -> Vec<MonitorAgent> {
+        self.note_agents_changed();
         // device-level contribution of one agent
         let device_cost =
             |k: AgentKind| k.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / self.spec.cpu_cores;
@@ -201,6 +234,7 @@ impl SimNode {
     /// Offload *every* local agent to `host` — the testbed's Fig. 6
     /// experiment, where the whole monitoring deployment moves.
     pub fn offload_all_to(&mut self, host: NodeId) -> Vec<MonitorAgent> {
+        self.note_agents_changed();
         let moved: Vec<MonitorAgent> = self.local_agents.drain(..).collect();
         for a in &moved {
             self.offloaded_agents.push((host, *a));
@@ -210,6 +244,7 @@ impl SimNode {
 
     /// Accept agents to host for `owner`.
     pub fn host_agents(&mut self, owner: NodeId, agents: &[MonitorAgent]) {
+        self.note_agents_changed();
         for a in agents {
             self.hosted_agents.push((owner, *a));
         }
@@ -218,6 +253,7 @@ impl SimNode {
     /// Reclaim: bring home every agent offloaded to `host` (the host must
     /// symmetrically drop them via [`SimNode::drop_hosted_for`]).
     pub fn reclaim_from(&mut self, host: NodeId) -> usize {
+        self.note_agents_changed();
         let before = self.offloaded_agents.len();
         let mut kept = Vec::with_capacity(before);
         for (h, a) in self.offloaded_agents.drain(..) {
@@ -233,9 +269,44 @@ impl SimNode {
 
     /// Drop hosted agents belonging to `owner`; returns how many.
     pub fn drop_hosted_for(&mut self, owner: NodeId) -> usize {
+        self.note_agents_changed();
         let before = self.hosted_agents.len();
         self.hosted_agents.retain(|(o, _)| *o != owner);
         before - self.hosted_agents.len()
+    }
+
+    /// Take every hosted agent (the node is shedding its hosting duties,
+    /// e.g. because it just became Busy itself and redirects the workload,
+    /// §III-B). Returns `(owner, agent)` pairs in hosting order.
+    pub fn take_hosted(&mut self) -> Vec<(NodeId, MonitorAgent)> {
+        self.note_agents_changed();
+        self.hosted_agents.drain(..).collect()
+    }
+
+    /// Re-point every agent offloaded to `from` at `to` (the hosting moved
+    /// wholesale; membership is unchanged).
+    pub fn redirect_offloaded(&mut self, from: NodeId, to: NodeId) {
+        self.note_agents_changed();
+        for (h, _) in self.offloaded_agents.iter_mut() {
+            if *h == from {
+                *h = to;
+            }
+        }
+    }
+
+    /// Re-home agents offloaded to a `failed` host onto `to`, returning
+    /// the moved agents in ledger order (for the new host's
+    /// [`SimNode::host_agents`] call) — the REP replica-substitution path.
+    pub fn rehome_offloaded(&mut self, failed: NodeId, to: NodeId) -> Vec<MonitorAgent> {
+        self.note_agents_changed();
+        let mut rehomed = Vec::new();
+        for (h, a) in self.offloaded_agents.iter_mut() {
+            if *h == failed {
+                *h = to;
+                rehomed.push(*a);
+            }
+        }
+        rehomed
     }
 }
 
@@ -337,6 +408,53 @@ mod tests {
         let n = dut();
         assert!(n.data_mb(0.2) > 0.0);
         assert!(n.data_mb(0.8) > n.data_mb(0.0));
+    }
+
+    #[test]
+    fn epoch_tracks_every_mutation() {
+        let mut n = dut();
+        let e0 = n.agents_epoch();
+        n.offload_all_to(NodeId(1));
+        assert_ne!(n.agents_epoch(), e0, "offload must bump the epoch");
+        let e1 = n.agents_epoch();
+        n.reclaim_from(NodeId(1));
+        assert_ne!(n.agents_epoch(), e1);
+        let mut host = SimNode::bare(NodeId(2), NodeSpec::server());
+        let eh = host.agents_epoch();
+        host.host_agents(NodeId(0), &MonitorAgent::standard_deployment());
+        assert_ne!(host.agents_epoch(), eh);
+        let eh = host.agents_epoch();
+        assert_eq!(host.take_hosted().len(), 10);
+        assert_ne!(host.agents_epoch(), eh);
+    }
+
+    #[test]
+    fn rehome_and_redirect_preserve_membership() {
+        let mut n = dut();
+        n.offload_all_to(NodeId(1));
+        let rehomed = n.rehome_offloaded(NodeId(1), NodeId(2));
+        assert_eq!(rehomed.len(), 10);
+        assert!(n.offloaded_agents.iter().all(|(h, _)| *h == NodeId(2)));
+        n.redirect_offloaded(NodeId(2), NodeId(3));
+        assert!(n.offloaded_agents.iter().all(|(h, _)| *h == NodeId(3)));
+        assert_eq!(n.offloaded_agents.len(), 10, "membership unchanged");
+    }
+
+    #[test]
+    fn cached_raw_cpu_matches_fresh_compute() {
+        let n = dut();
+        let raw = n.raw_agent_cpu(0.2);
+        for t in [0u64, 1_000, 10_000, 31_000] {
+            assert_eq!(
+                SimNode::device_cpu_from_raw(&n, raw, t),
+                n.device_cpu_percent(t, 0.2),
+                "cached path must be bit-identical at t={t}"
+            );
+            assert_eq!(
+                SimNode::monitoring_cpu_from_raw(raw, t),
+                n.monitoring_cpu_core_percent(t, 0.2)
+            );
+        }
     }
 
     #[test]

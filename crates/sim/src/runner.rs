@@ -16,9 +16,19 @@
 //! delivers inline (identical to a direct call); any fault profile routes
 //! the copies through the event queue as [`SimEvent::DeliverClient`] /
 //! [`SimEvent::DeliverManager`] events, so delayed copies interleave with
-//! ticks exactly as wall-clock delivery would.
+//! the periodic events exactly as wall-clock delivery would.
+//!
+//! Two interchangeable cores drive the run ([`SimConfig::engine`]):
+//! the legacy fixed-cadence **tick** core in this module, and the
+//! **event** core in [`crate::event`], which processes the *same* typed
+//! event sequence — [`SimEvent::StatEmission`], offer expiry/backoff
+//! maintenance, fault-injected delivery, transfer completion, node
+//! kill/revive, and SLO evaluation — but batches telemetry cost updates
+//! per event-time and keeps hot per-node/per-flow state in arenas. The
+//! two cores are pinned bit-for-bit against each other by the golden
+//! trace digests and the `engine_parity` test suite.
 
-use crate::engine::EventQueue;
+use crate::engine::{EngineKind, EventQueue};
 use crate::flows::{evaluate_flows, TelemetryFlow};
 use crate::node::SimNode;
 use crate::traffic::TrafficModel;
@@ -28,9 +38,13 @@ use dust_obs::{ObsHandle, SloBreach, SloEngine, TraceEvent};
 use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
 use dust_telemetry::Federation;
 use dust_topology::{Graph, NodeId, Path};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Simulation parameters.
+///
+/// Prefer [`Simulation::builder`], which validates knob combinations and
+/// returns a loud [`dust_core::DustError::BadConfig`] instead of silently
+/// accepting inconsistent settings.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Placement thresholds and routing options.
@@ -62,6 +76,8 @@ pub struct SimConfig {
     pub faults: FaultConfig,
     /// Master seed.
     pub seed: u64,
+    /// Which simulation core runs this configuration.
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -79,26 +95,36 @@ impl Default for SimConfig {
             full_monitoring_offload: false,
             faults: FaultConfig::ideal(),
             seed: 0,
+            engine: EngineKind::default(),
         }
     }
 }
 
-/// Events driving the simulation.
+/// The typed events driving a simulation run. Both cores process the same
+/// sequence in the same `(time, seq)` order.
 #[derive(Debug, Clone, PartialEq)]
-enum SimEvent {
-    /// All clients observe resources and tick their protocol machines.
-    ClientTick,
-    /// Manager maintenance (keepalive timeouts, releases).
-    ManagerTick,
-    /// Manager placement round.
+pub(crate) enum SimEvent {
+    /// The fleet's STAT emission point: every live client observes its
+    /// node's resources and ticks its protocol machine (registration
+    /// retransmits, STATs, keepalives).
+    StatEmission,
+    /// Manager timer maintenance: offer expiry/backoff retransmits,
+    /// keepalive timeouts, replica substitution.
+    OfferMaintenance,
+    /// Manager placement round (solve + Offload-Requests).
     PlacementRound,
-    /// Record metric samples.
-    Sample,
+    /// Record metric samples and evaluate telemetry flow transport.
+    TelemetrySample,
+    /// Online SLO evaluation over the sample just recorded (scheduled
+    /// only when an engine is attached).
+    SloEvaluation,
     /// Stop a node (crash): it stops sending anything.
-    Kill(NodeId),
+    NodeKill(NodeId),
     /// Restart a dead node.
-    Revive(NodeId),
-    /// A delayed Manager → client envelope reaches its destination.
+    NodeRevive(NodeId),
+    /// A delayed Manager → client envelope reaches its destination
+    /// (transfer completions ride this event: an accepted Offload-Request
+    /// lands here and moves agents).
     DeliverClient(Envelope<ManagerMsg>),
     /// A delayed client → Manager message reaches the Manager.
     DeliverManager(ClientMsg),
@@ -133,6 +159,15 @@ pub struct SimReport {
     pub offers_abandoned: u64,
     /// Final simulated time, ms.
     pub end_ms: u64,
+    /// Units of simulation work processed: queue events popped plus
+    /// messages delivered inline on an ideal wire. Identical for both
+    /// cores at the same configuration — a determinism cross-check and
+    /// the denominator of `dust-bench`'s events/sec.
+    pub events_processed: u64,
+    /// Peak number of pending events observed in the queue.
+    pub peak_queue_len: usize,
+    /// Placement rounds the Manager executed.
+    pub placement_rounds: u64,
 }
 
 impl SimReport {
@@ -149,47 +184,77 @@ impl SimReport {
 
 /// One accepted transfer tracked by the simulation.
 #[derive(Debug, Clone)]
-struct Transfer {
-    owner: NodeId,
-    host: NodeId,
+pub(crate) struct Transfer {
+    pub(crate) owner: NodeId,
+    pub(crate) host: NodeId,
     /// Route from the Offload-Request or REP.
-    route: Option<Path>,
+    pub(crate) route: Option<Path>,
     /// Telemetry volume shipped per update interval, Mb.
-    data_mb: f64,
+    pub(crate) data_mb: f64,
 }
 
 /// The wired-up simulation.
+#[derive(Debug)]
 pub struct Simulation {
-    graph: Graph,
-    nodes: Vec<SimNode>,
-    clients: Vec<Client>,
-    manager: Manager,
-    traffic: TrafficModel,
-    transport: Transport,
-    cfg: SimConfig,
-    dead: HashSet<NodeId>,
-    /// Accepted transfers by request id.
-    active: HashMap<RequestId, Transfer>,
+    pub(crate) graph: Graph,
+    pub(crate) nodes: Vec<SimNode>,
+    pub(crate) clients: Vec<Client>,
+    pub(crate) manager: Manager,
+    pub(crate) traffic: TrafficModel,
+    pub(crate) transport: Transport,
+    pub(crate) cfg: SimConfig,
+    pub(crate) dead: HashSet<NodeId>,
+    /// Accepted transfers by request id. A `BTreeMap` so iteration order
+    /// (flow evaluation, stale-transfer supersede traces) is a pure
+    /// function of contents — identical across cores and across runs.
+    pub(crate) active: BTreeMap<RequestId, Transfer>,
+    /// Bumped whenever `active` changes; the event core's flow arena
+    /// rebuilds only when this moves.
+    pub(crate) active_version: u64,
     /// Failure injections: `(when_ms, node)`.
-    kills: Vec<(u64, NodeId)>,
+    pub(crate) kills: Vec<(u64, NodeId)>,
     /// Revival injections.
-    revives: Vec<(u64, NodeId)>,
+    pub(crate) revives: Vec<(u64, NodeId)>,
     /// Observability sink shared with the Manager and every client
     /// (no-op by default).
-    obs: ObsHandle,
+    pub(crate) obs: ObsHandle,
     /// Online SLO engine, fed from the event loop (none by default).
     /// A pure observer: it reads Manager counters and node samples but
     /// never feeds back, so a run is bit-identical with or without it.
-    slo: Option<SloEngine>,
+    pub(crate) slo: Option<SloEngine>,
 }
 
 impl Simulation {
+    /// Start building a simulation: the validating replacement for the
+    /// old `SimConfig` + [`Simulation::new`] surface. See
+    /// [`crate::builder::SimBuilder`].
+    pub fn builder() -> crate::builder::SimBuilder {
+        crate::builder::SimBuilder::new()
+    }
+
     /// Build a simulation over `graph` with one [`SimNode`] per vertex.
     ///
     /// # Panics
     /// Panics if `nodes.len() != graph.node_count()` or the fault config
     /// holds invalid probabilities.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Simulation::builder(), which validates the configuration \
+                and reports inconsistent knobs as DustError::BadConfig"
+    )]
     pub fn new(graph: Graph, nodes: Vec<SimNode>, traffic: TrafficModel, cfg: SimConfig) -> Self {
+        Self::assemble(graph, nodes, traffic, cfg)
+    }
+
+    /// Internal constructor shared by the builder and the deprecated
+    /// [`Simulation::new`]. Panics on node-count mismatch; the builder
+    /// pre-validates and never trips these.
+    pub(crate) fn assemble(
+        graph: Graph,
+        nodes: Vec<SimNode>,
+        traffic: TrafficModel,
+        cfg: SimConfig,
+    ) -> Self {
         assert_eq!(nodes.len(), graph.node_count(), "one SimNode per vertex");
         let manager = Manager::new(
             graph.clone(),
@@ -210,7 +275,8 @@ impl Simulation {
             transport,
             cfg,
             dead: HashSet::new(),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
+            active_version: 0,
             kills: Vec::new(),
             revives: Vec::new(),
             obs: ObsHandle::disabled(),
@@ -243,10 +309,10 @@ impl Simulation {
 
     /// Attach an online SLO engine. The runner feeds it from the event
     /// loop — protocol counters after Manager activity, CPU samples and
-    /// a tick at each sample point, and the convergence clock when the
-    /// first transfer lands — and traces every breach it fires as a
-    /// [`TraceEvent::SloBreach`] (plus `slo.breaches` counters), so
-    /// alerts are part of the digested event stream.
+    /// a tick at each [`SimEvent::SloEvaluation`] point, and the
+    /// convergence clock when the first transfer lands — and traces every
+    /// breach it fires as a [`TraceEvent::SloBreach`] (plus `slo.breaches`
+    /// counters), so alerts are part of the digested event stream.
     pub fn set_slo(&mut self, engine: SloEngine) {
         self.slo = Some(engine);
     }
@@ -300,14 +366,14 @@ impl Simulation {
         self.revives.push((at_ms, node));
     }
 
-    fn alive(&self, n: NodeId) -> bool {
+    pub(crate) fn alive(&self, n: NodeId) -> bool {
         !self.dead.contains(&n)
     }
 
     /// Pass a Manager → client envelope through the fault gate. An ideal
     /// direction delivers inline; otherwise each surviving copy is queued
     /// at `now + delay`.
-    fn send_to_client(
+    pub(crate) fn send_to_client(
         &mut self,
         now: u64,
         env: Envelope<ManagerMsg>,
@@ -319,6 +385,7 @@ impl Simulation {
                 self.obs.counter_inc("sim.transport.to_client.sent");
                 self.obs.counter_inc("sim.transport.to_client.delivered");
             }
+            report.events_processed += 1;
             self.deliver_manager_msg(now, env, q, report);
             return;
         }
@@ -355,7 +422,7 @@ impl Simulation {
     }
 
     /// Pass a client → Manager message through the fault gate.
-    fn send_to_manager(
+    pub(crate) fn send_to_manager(
         &mut self,
         now: u64,
         msg: ClientMsg,
@@ -367,6 +434,7 @@ impl Simulation {
                 self.obs.counter_inc("sim.transport.to_manager.sent");
                 self.obs.counter_inc("sim.transport.to_manager.delivered");
             }
+            report.events_processed += 1;
             self.deliver_client_msg(now, &msg, q, report);
             return;
         }
@@ -379,7 +447,7 @@ impl Simulation {
 
     /// A client message reaches the Manager; replies head back through the
     /// fault gate.
-    fn deliver_client_msg(
+    pub(crate) fn deliver_client_msg(
         &mut self,
         now: u64,
         msg: &ClientMsg,
@@ -395,7 +463,7 @@ impl Simulation {
     /// and mirror accepted decisions onto the resource model. Duplicate
     /// deliveries re-ACK at the protocol layer but must not move agents
     /// twice — mirroring is guarded by the `active` transfer ledger.
-    fn deliver_manager_msg(
+    pub(crate) fn deliver_manager_msg(
         &mut self,
         now: u64,
         env: Envelope<ManagerMsg>,
@@ -421,14 +489,9 @@ impl Simulation {
                     // …and redirects any workload it was hosting for others
                     // ("an Offload-destination node can redirect the
                     // workload to another node if it becomes busy", §III-B).
-                    let redirected: Vec<(NodeId, _)> =
-                        self.nodes[from.index()].hosted_agents.drain(..).collect();
+                    let redirected = self.nodes[from.index()].take_hosted();
                     for (owner, agent) in redirected {
-                        for (h, _) in self.nodes[owner.index()].offloaded_agents.iter_mut() {
-                            if *h == *from {
-                                *h = to;
-                            }
-                        }
+                        self.nodes[owner.index()].redirect_offloaded(*from, to);
                         self.nodes[to.index()].host_agents(owner, &[agent]);
                     }
                     // keep the transfer ledger pointing at the new host
@@ -447,6 +510,7 @@ impl Simulation {
                     *request,
                     Transfer { owner: *from, host: to, route: route.clone(), data_mb: *data_mb },
                 );
+                self.active_version += 1;
                 report.transfers_applied += 1;
                 report.first_transfer_ms.get_or_insert(now);
                 self.obs.counter_inc("sim.transfers_applied");
@@ -464,14 +528,7 @@ impl Simulation {
             ) if !self.active.contains_key(request) => {
                 // re-home: retarget the owner's offloaded agents and move
                 // the hosted copies from the failed node to the new host
-                let owner = &mut self.nodes[from.index()];
-                let mut rehomed = Vec::new();
-                for (h, a) in owner.offloaded_agents.iter_mut() {
-                    if *h == *failed {
-                        *h = to;
-                        rehomed.push(*a);
-                    }
-                }
+                let rehomed = self.nodes[from.index()].rehome_offloaded(*failed, to);
                 self.nodes[failed.index()].drop_hosted_for(*from);
                 self.nodes[to.index()].host_agents(*from, &rehomed);
                 // the transfer that ran owner → failed is gone; its
@@ -492,12 +549,14 @@ impl Simulation {
                     *request,
                     Transfer { owner: *from, host: to, route: route.clone(), data_mb: *data_mb },
                 );
+                self.active_version += 1;
                 report.replicas_applied += 1;
                 self.obs.counter_inc("sim.replicas_applied");
                 self.obs.trace_at(now, TraceEvent::ReplicaApplied { request: request.0, to: to.0 });
             }
             (ManagerMsg::Release { request }, _) => {
                 if let Some(t) = self.active.remove(request) {
+                    self.active_version += 1;
                     self.nodes[t.owner.index()].reclaim_from(t.host);
                     self.nodes[t.host.index()].drop_hosted_for(t.owner);
                     self.obs.counter_inc("sim.releases_applied");
@@ -514,9 +573,9 @@ impl Simulation {
         }
     }
 
-    /// Run to completion.
-    pub fn run(&mut self) -> SimReport {
-        let mut report = SimReport {
+    /// A fresh, empty report.
+    pub(crate) fn empty_report() -> SimReport {
+        SimReport {
             federation: Federation::new(),
             placements_with_assignments: 0,
             transfers_applied: 0,
@@ -529,40 +588,163 @@ impl Simulation {
             offer_retries: 0,
             offers_abandoned: 0,
             end_ms: 0,
-        };
-        let mut q: EventQueue<SimEvent> = EventQueue::new();
+            events_processed: 0,
+            peak_queue_len: 0,
+            placement_rounds: 0,
+        }
+    }
 
+    /// Seed the queue exactly as both cores must see it: registrations
+    /// delivered at t = 0, then the periodic events, then injected kills
+    /// and revivals — the relative `seq` order at equal timestamps is part
+    /// of the determinism contract.
+    pub(crate) fn seed_queue(&mut self, q: &mut EventQueue<SimEvent>, report: &mut SimReport) {
         // Registration at t = 0: every client announces itself. Lost
         // registrations are retransmitted by the client on its next ticks.
         for i in 0..self.clients.len() {
             let reg = self.clients[i].register(0);
-            self.send_to_manager(0, reg, &mut q, &mut report);
+            self.send_to_manager(0, reg, q, report);
         }
-
-        // Periodic events.
-        q.schedule(self.cfg.update_interval_ms, SimEvent::ClientTick);
-        q.schedule(self.cfg.update_interval_ms, SimEvent::ManagerTick);
+        q.schedule(self.cfg.update_interval_ms, SimEvent::StatEmission);
+        q.schedule(self.cfg.update_interval_ms, SimEvent::OfferMaintenance);
         if self.cfg.dust_enabled {
             q.schedule(self.cfg.placement_period_ms, SimEvent::PlacementRound);
         }
-        q.schedule(0, SimEvent::Sample);
+        q.schedule(0, SimEvent::TelemetrySample);
         for &(t, n) in &self.kills {
-            q.schedule(t, SimEvent::Kill(n));
+            q.schedule(t, SimEvent::NodeKill(n));
         }
         for &(t, n) in &self.revives {
-            q.schedule(t, SimEvent::Revive(n));
+            q.schedule(t, SimEvent::NodeRevive(n));
         }
+    }
+
+    /// Manager timer maintenance (offer expiry/backoff, keepalive
+    /// timeouts → REP). Shared by both cores.
+    pub(crate) fn handle_offer_maintenance(
+        &mut self,
+        now: u64,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        let outs = self.manager.tick(now);
+        for env in outs {
+            self.send_to_client(now, env, q, report);
+        }
+        self.poll_slo_protocol(now);
+        q.schedule_in(self.cfg.update_interval_ms, SimEvent::OfferMaintenance);
+    }
+
+    /// One Manager placement round. Shared by both cores.
+    pub(crate) fn handle_placement_round(
+        &mut self,
+        now: u64,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        let (placement, outs) = self.manager.run_placement(now);
+        if !outs.is_empty() {
+            report.placements_with_assignments += 1;
+        }
+        let _ = placement;
+        for env in outs {
+            self.send_to_client(now, env, q, report);
+        }
+        self.poll_slo_protocol(now);
+        q.schedule_in(self.cfg.placement_period_ms, SimEvent::PlacementRound);
+    }
+
+    /// Online SLO evaluation over the sample recorded at `now`. Shared by
+    /// both cores (the cost is proportional to fleet size only when an
+    /// engine is attached, so the hot path never pays it).
+    pub(crate) fn handle_slo_evaluation(&mut self, now: u64) {
+        let traffic = self.traffic.fraction(now);
+        let samples: Vec<(u32, f64)> = self
+            .nodes
+            .iter()
+            .filter(|n| self.alive(n.id))
+            .map(|n| (n.id.0, n.device_cpu_percent(now, traffic)))
+            .collect();
+        let mut fired = Vec::new();
+        if let Some(engine) = self.slo.as_mut() {
+            for (node, cpu) in samples {
+                fired.extend(engine.on_cpu(now, node, cpu));
+            }
+            fired.extend(engine.on_tick(now));
+        }
+        self.record_breaches(now, &fired);
+    }
+
+    /// Crash `node`. Shared by both cores.
+    pub(crate) fn handle_kill(&mut self, now: u64, n: NodeId) {
+        self.dead.insert(n);
+        self.obs.counter_inc("sim.nodes_killed");
+        self.obs.trace_at(now, TraceEvent::NodeKilled { node: n.0 });
+    }
+
+    /// Revive `node` with a fresh client. Shared by both cores.
+    pub(crate) fn handle_revive(
+        &mut self,
+        now: u64,
+        n: NodeId,
+        q: &mut EventQueue<SimEvent>,
+        report: &mut SimReport,
+    ) {
+        self.dead.remove(&n);
+        self.obs.counter_inc("sim.nodes_revived");
+        self.obs.trace_at(now, TraceEvent::NodeRevived { node: n.0 });
+        // The process restarted: the reborn client has no memory of
+        // workloads it hosted before the crash — keeping the old ledger
+        // would inflate every STAT it sends from now on with phantom
+        // hosted load.
+        let ceiling = self.cfg.dust.co_max + 10.0;
+        let mut fresh = Client::new(n, true, ceiling);
+        fresh.set_obs(self.obs.clone());
+        self.clients[n.index()] = fresh;
+        let reg = self.clients[n.index()].register(now);
+        self.send_to_manager(now, reg, q, report);
+    }
+
+    /// Fill the end-of-run fields from Manager and transport state.
+    pub(crate) fn finish_report(&self, report: &mut SimReport) {
+        report.orphaned = self.manager.orphaned().len();
+        report.offer_retries = self.manager.offer_retries();
+        report.offers_abandoned = self.manager.offers_abandoned();
+        report.placement_rounds = self.manager.placement_rounds();
+        let stats = self.transport.stats();
+        report.msgs_sent = stats.sent;
+        report.msgs_dropped = stats.dropped;
+        report.msgs_duplicated = stats.duplicated;
+    }
+
+    /// Run to completion on the configured engine.
+    pub fn run(&mut self) -> SimReport {
+        match self.cfg.engine {
+            EngineKind::Tick => self.run_tick(),
+            EngineKind::Event => crate::event::run_event(self),
+        }
+    }
+
+    /// The legacy fixed-cadence core: every handler recomputes its state
+    /// from scratch each firing. Kept as the reference implementation the
+    /// event core is pinned against.
+    fn run_tick(&mut self) -> SimReport {
+        let mut report = Self::empty_report();
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        self.seed_queue(&mut q, &mut report);
 
         while let Some(ev) = q.pop() {
             let now = ev.at_ms;
             if now > self.cfg.duration_ms {
                 break;
             }
+            report.events_processed += 1;
+            report.peak_queue_len = report.peak_queue_len.max(q.len());
             // Mirror the sim clock so layers without one (cost engine,
             // solvers) stamp their trace events with this time.
             self.obs.set_now(now);
             match ev.event {
-                SimEvent::ClientTick => {
+                SimEvent::StatEmission => {
                     let traffic = self.traffic.fraction(now);
                     self.traffic.apply_to_links(
                         &mut self.graph,
@@ -582,29 +764,15 @@ impl Simulation {
                             self.send_to_manager(now, msg, &mut q, &mut report);
                         }
                     }
-                    q.schedule_in(self.cfg.update_interval_ms, SimEvent::ClientTick);
+                    q.schedule_in(self.cfg.update_interval_ms, SimEvent::StatEmission);
                 }
-                SimEvent::ManagerTick => {
-                    let outs = self.manager.tick(now);
-                    for env in outs {
-                        self.send_to_client(now, env, &mut q, &mut report);
-                    }
-                    self.poll_slo_protocol(now);
-                    q.schedule_in(self.cfg.update_interval_ms, SimEvent::ManagerTick);
+                SimEvent::OfferMaintenance => {
+                    self.handle_offer_maintenance(now, &mut q, &mut report);
                 }
                 SimEvent::PlacementRound => {
-                    let (placement, outs) = self.manager.run_placement(now);
-                    if !outs.is_empty() {
-                        report.placements_with_assignments += 1;
-                    }
-                    let _ = placement;
-                    for env in outs {
-                        self.send_to_client(now, env, &mut q, &mut report);
-                    }
-                    self.poll_slo_protocol(now);
-                    q.schedule_in(self.cfg.placement_period_ms, SimEvent::PlacementRound);
+                    self.handle_placement_round(now, &mut q, &mut report);
                 }
-                SimEvent::Sample => {
+                SimEvent::TelemetrySample => {
                     let traffic = self.traffic.fraction(now);
                     for n in &self.nodes {
                         let cpu = n.device_cpu_percent(now, traffic);
@@ -622,20 +790,7 @@ impl Simulation {
                         self.obs.gauge_set("sim.active_transfers", self.active.len() as f64);
                     }
                     if self.slo.is_some() {
-                        let samples: Vec<(u32, f64)> = self
-                            .nodes
-                            .iter()
-                            .filter(|n| self.alive(n.id))
-                            .map(|n| (n.id.0, n.device_cpu_percent(now, traffic)))
-                            .collect();
-                        let mut fired = Vec::new();
-                        if let Some(engine) = self.slo.as_mut() {
-                            for (node, cpu) in samples {
-                                fired.extend(engine.on_cpu(now, node, cpu));
-                            }
-                            fired.extend(engine.on_tick(now));
-                        }
-                        self.record_breaches(now, &fired);
+                        q.schedule(now, SimEvent::SloEvaluation);
                     }
                     // Telemetry transport: every routed transfer streams its
                     // owner's data over the chosen path at the lowest QoS
@@ -661,27 +816,16 @@ impl Simulation {
                             db.append("telemetry-dropped", now, o.dropped_fraction);
                         }
                     }
-                    q.schedule_in(self.cfg.sample_period_ms, SimEvent::Sample);
+                    q.schedule_in(self.cfg.sample_period_ms, SimEvent::TelemetrySample);
                 }
-                SimEvent::Kill(n) => {
-                    self.dead.insert(n);
-                    self.obs.counter_inc("sim.nodes_killed");
-                    self.obs.trace_at(now, TraceEvent::NodeKilled { node: n.0 });
+                SimEvent::SloEvaluation => {
+                    self.handle_slo_evaluation(now);
                 }
-                SimEvent::Revive(n) => {
-                    self.dead.remove(&n);
-                    self.obs.counter_inc("sim.nodes_revived");
-                    self.obs.trace_at(now, TraceEvent::NodeRevived { node: n.0 });
-                    // The process restarted: the reborn client has no
-                    // memory of workloads it hosted before the crash —
-                    // keeping the old ledger would inflate every STAT it
-                    // sends from now on with phantom hosted load.
-                    let ceiling = self.cfg.dust.co_max + 10.0;
-                    let mut fresh = Client::new(n, true, ceiling);
-                    fresh.set_obs(self.obs.clone());
-                    self.clients[n.index()] = fresh;
-                    let reg = self.clients[n.index()].register(now);
-                    self.send_to_manager(now, reg, &mut q, &mut report);
+                SimEvent::NodeKill(n) => {
+                    self.handle_kill(now, n);
+                }
+                SimEvent::NodeRevive(n) => {
+                    self.handle_revive(now, n, &mut q, &mut report);
                 }
                 SimEvent::DeliverClient(env) => {
                     self.deliver_manager_msg(now, env, &mut q, &mut report);
@@ -692,13 +836,7 @@ impl Simulation {
             }
             report.end_ms = now;
         }
-        report.orphaned = self.manager.orphaned().len();
-        report.offer_retries = self.manager.offer_retries();
-        report.offers_abandoned = self.manager.offers_abandoned();
-        let stats = self.transport.stats();
-        report.msgs_sent = stats.sent;
-        report.msgs_dropped = stats.dropped;
-        report.msgs_duplicated = stats.duplicated;
+        self.finish_report(&mut report);
         report
     }
 
@@ -747,6 +885,10 @@ mod tests {
 
     /// DUT (node 0) + idle server (node 1) on one link.
     fn two_node_sim(dust_enabled: bool) -> Simulation {
+        two_node_sim_on(dust_enabled, EngineKind::default())
+    }
+
+    fn two_node_sim_on(dust_enabled: bool, engine: EngineKind) -> Simulation {
         let g = topologies::line(2, Link::default());
         let nodes = vec![
             SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
@@ -755,8 +897,16 @@ mod tests {
         // make the DUT Busy under paper thresholds: lower c_max so ~31 %
         // qualifies (thresholds are per-deployment, §IV-A)
         let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
-        let cfg = SimConfig { dust, dust_enabled, duration_ms: 60_000, ..Default::default() };
-        Simulation::new(g, nodes, TrafficModel::testbed(), cfg)
+        Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .traffic(TrafficModel::testbed())
+            .dust(dust)
+            .dust_enabled(dust_enabled)
+            .duration_ms(60_000)
+            .engine(engine)
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -783,6 +933,28 @@ mod tests {
     }
 
     #[test]
+    fn both_engines_report_identical_outcomes() {
+        let mut tick = two_node_sim_on(true, EngineKind::Tick);
+        let mut event = two_node_sim_on(true, EngineKind::Event);
+        let rt = tick.run();
+        let re = event.run();
+        assert_eq!(rt.transfers_applied, re.transfers_applied);
+        assert_eq!(rt.first_transfer_ms, re.first_transfer_ms);
+        assert_eq!(rt.events_processed, re.events_processed, "event accounting must agree");
+        assert_eq!(rt.peak_queue_len, re.peak_queue_len);
+        assert_eq!(rt.placement_rounds, re.placement_rounds);
+        assert_eq!(
+            rt.mean(NodeId(0), "device-cpu", 0, 60_000),
+            re.mean(NodeId(0), "device-cpu", 0, 60_000),
+            "recorded series must be bit-identical"
+        );
+        assert_eq!(
+            rt.mean(NodeId(0), "telemetry-admitted-mbps", 0, 60_000),
+            re.mean(NodeId(0), "telemetry-admitted-mbps", 0, 60_000),
+        );
+    }
+
+    #[test]
     fn failure_triggers_replica_substitution() {
         // three nodes: DUT busy, two possible hosts
         let g = topologies::line(3, Link::default());
@@ -792,10 +964,16 @@ mod tests {
             SimNode::bare(NodeId(2), NodeSpec::server()),
         ];
         let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
-        let cfg = SimConfig { dust, duration_ms: 60_000, ..Default::default() };
-        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
-        // kill whichever host got the agents once hosting is underway
-        sim.inject_failure(20_000, NodeId(1));
+        let mut sim = Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .traffic(TrafficModel::testbed())
+            .dust(dust)
+            .duration_ms(60_000)
+            // kill whichever host got the agents once hosting is underway
+            .kill_at(20_000, NodeId(1))
+            .build()
+            .expect("valid config");
         let report = sim.run();
         if sim.nodes()[1].hosted_agents.is_empty() && report.replicas_applied > 0 {
             // re-homed to node 2
@@ -814,13 +992,19 @@ mod tests {
             SimNode::bare(NodeId(2), NodeSpec::server()),
         ];
         let dust = DustConfig::paper_defaults().with_thresholds(25.0, 20.0, 1.0);
-        let cfg = SimConfig { dust, duration_ms: 60_000, ..Default::default() };
-        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
         // the destination dies mid-hosting and comes back much later,
         // after the REP already re-homed its workload
-        sim.inject_failure(20_000, NodeId(1));
-        sim.inject_revival(40_000, NodeId(2));
-        sim.inject_revival(40_000, NodeId(1));
+        let mut sim = Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .traffic(TrafficModel::testbed())
+            .dust(dust)
+            .duration_ms(60_000)
+            .kill_at(20_000, NodeId(1))
+            .revive_at(40_000, NodeId(2))
+            .revive_at(40_000, NodeId(1))
+            .build()
+            .expect("valid config");
         sim.run();
         // the reborn client's ledger must agree with the Manager: every
         // hosted entry corresponds to a live confirmed hosting — the
@@ -878,8 +1062,16 @@ mod tests {
             delay_ms: 20,
             jitter_ms: 100,
         });
-        let cfg = SimConfig { dust, duration_ms: 60_000, faults, seed, ..Default::default() };
-        Simulation::new(g, nodes, TrafficModel::testbed(), cfg)
+        Simulation::builder()
+            .graph(g)
+            .nodes(nodes)
+            .traffic(TrafficModel::testbed())
+            .dust(dust)
+            .duration_ms(60_000)
+            .faults(faults)
+            .seed(seed)
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -949,5 +1141,19 @@ mod tests {
             a.mean(NodeId(0), "device-cpu", 0, 60_000),
             b.mean(NodeId(0), "device-cpu", 0, 60_000)
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let g = topologies::line(2, Link::default());
+        let nodes = vec![
+            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
+            SimNode::bare(NodeId(1), NodeSpec::server()),
+        ];
+        let cfg = SimConfig { duration_ms: 5_000, ..Default::default() };
+        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
+        let report = sim.run();
+        assert!(report.end_ms > 0);
     }
 }

@@ -7,8 +7,9 @@
 //! (average and spikes); [`fig6`] runs local-vs-DUST and reports the
 //! device-level CPU/memory pairs.
 
+use crate::engine::EngineKind;
 use crate::node::{NodeSpec, SimNode};
-use crate::runner::{SimConfig, SimReport, Simulation};
+use crate::runner::{SimReport, Simulation};
 use crate::traffic::TrafficModel;
 use crate::transport::{FaultConfig, FaultProfile};
 use dust_core::DustConfig;
@@ -85,19 +86,16 @@ pub fn fig1(levels: &[f64], per_level_ms: u64, seed: u64) -> Vec<Fig1Row> {
     levels
         .iter()
         .map(|&traffic| {
-            let cfg = SimConfig {
-                dust: testbed_dust_config(),
-                dust_enabled: false, // Fig. 1 measures the unoffloaded module
-                duration_ms: per_level_ms,
-                seed,
-                ..Default::default()
-            };
-            let mut sim = Simulation::new(
-                graph.clone(),
-                testbed_nodes(dut),
-                TrafficModel::Constant(traffic),
-                cfg,
-            );
+            let mut sim = Simulation::builder()
+                .graph(graph.clone())
+                .nodes(testbed_nodes(dut))
+                .traffic(TrafficModel::Constant(traffic))
+                .dust(testbed_dust_config())
+                .dust_enabled(false) // Fig. 1 measures the unoffloaded module
+                .duration_ms(per_level_ms)
+                .seed(seed)
+                .build()
+                .expect("fig1 knobs are consistent");
             let report = sim.run();
             let mean = report.mean(dut, "monitor-cpu", 0, per_level_ms).unwrap_or(0.0);
             let peak = report.max(dut, "monitor-cpu", 0, per_level_ms).unwrap_or(0.0);
@@ -142,16 +140,17 @@ impl Fig6Result {
 pub fn fig6(duration_ms: u64, seed: u64) -> Fig6Result {
     let (graph, dut) = testbed_topology();
     let run = |dust_enabled: bool| -> (SimReport, usize) {
-        let cfg = SimConfig {
-            dust: testbed_dust_config(),
-            dust_enabled,
-            duration_ms,
-            seed,
-            full_monitoring_offload: true,
-            ..Default::default()
-        };
-        let mut sim =
-            Simulation::new(graph.clone(), testbed_nodes(dut), TrafficModel::testbed(), cfg);
+        let mut sim = Simulation::builder()
+            .graph(graph.clone())
+            .nodes(testbed_nodes(dut))
+            .traffic(TrafficModel::testbed())
+            .dust(testbed_dust_config())
+            .dust_enabled(dust_enabled)
+            .duration_ms(duration_ms)
+            .seed(seed)
+            .full_monitoring_offload(true)
+            .build()
+            .expect("fig6 knobs are consistent");
         let r = sim.run();
         let transfers = r.transfers_applied;
         (r, transfers)
@@ -203,14 +202,16 @@ pub fn fleet(k: usize, duration_ms: u64, seed: u64) -> FleetResult {
             }
         })
         .collect();
-    let cfg = SimConfig {
-        dust: testbed_dust_config(),
-        duration_ms,
-        seed,
-        full_monitoring_offload: true,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(ft.graph.clone(), nodes, TrafficModel::testbed(), cfg);
+    let mut sim = Simulation::builder()
+        .graph(ft.graph.clone())
+        .nodes(nodes)
+        .traffic(TrafficModel::testbed())
+        .dust(testbed_dust_config())
+        .duration_ms(duration_ms)
+        .seed(seed)
+        .full_monitoring_offload(true)
+        .build()
+        .expect("fleet knobs are consistent");
     let report = sim.run();
 
     let window = |start: u64, end: u64| -> f64 {
@@ -253,19 +254,21 @@ pub struct CongestionResult {
 /// series the runner records.
 pub fn congestion(duration_ms: u64, seed: u64) -> CongestionResult {
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: testbed_dust_config(),
-        duration_ms,
-        seed,
-        full_monitoring_offload: true,
-        link_jitter: 0.0,
-        ..Default::default()
-    };
     let squeeze_from = duration_ms / 2;
     // traffic ramps from the normal 20 % to a 99.9 % squeeze by mid-run,
     // then holds saturated for the whole second half
     let traffic = TrafficModel::Ramp { from: 0.2, to: 0.999, duration_ms: squeeze_from.max(1) };
-    let mut sim = Simulation::new(graph, testbed_nodes(dut), traffic, cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(testbed_nodes(dut))
+        .traffic(traffic)
+        .dust(testbed_dust_config())
+        .duration_ms(duration_ms)
+        .seed(seed)
+        .full_monitoring_offload(true)
+        .link_jitter(0.0)
+        .build()
+        .expect("congestion knobs are consistent");
     let report = sim.run();
     let dropped = |a: u64, b: u64| {
         report
@@ -355,7 +358,20 @@ pub fn chaos_with_faults_observed(
     seed: u64,
     obs: ObsHandle,
 ) -> ChaosResult {
-    chaos_inner(faults, duration_ms, seed, obs, None).0
+    chaos_with_faults_observed_on(faults, duration_ms, seed, obs, EngineKind::default())
+}
+
+/// [`chaos_with_faults_observed`] on an explicit simulation core — the
+/// `dustctl … --engine tick` compatibility path that pins the event core
+/// against the legacy tick core byte-for-byte.
+pub fn chaos_with_faults_observed_on(
+    faults: FaultConfig,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    engine: EngineKind,
+) -> ChaosResult {
+    chaos_inner(faults, duration_ms, seed, obs, None, engine).0
 }
 
 /// [`chaos_with_faults_observed`] with an online SLO engine for `spec`
@@ -371,9 +387,21 @@ pub fn chaos_with_slo(
     obs: ObsHandle,
     spec: &SloSpec,
 ) -> (ChaosResult, SloEngine) {
-    let engine = SloEngine::new(spec.clone(), testbed_dust_config().c_max);
-    let (result, engine) = chaos_inner(faults, duration_ms, seed, obs, Some(engine));
-    (result, engine.expect("engine attached above"))
+    chaos_with_slo_on(faults, duration_ms, seed, obs, spec, EngineKind::default())
+}
+
+/// [`chaos_with_slo`] on an explicit simulation core.
+pub fn chaos_with_slo_on(
+    faults: FaultConfig,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    spec: &SloSpec,
+    engine: EngineKind,
+) -> (ChaosResult, SloEngine) {
+    let slo = SloEngine::new(spec.clone(), testbed_dust_config().c_max);
+    let (result, slo) = chaos_inner(faults, duration_ms, seed, obs, Some(slo), engine);
+    (result, slo.expect("engine attached above"))
 }
 
 fn chaos_inner(
@@ -382,23 +410,26 @@ fn chaos_inner(
     seed: u64,
     obs: ObsHandle,
     slo: Option<SloEngine>,
+    engine: EngineKind,
 ) -> (ChaosResult, Option<SloEngine>) {
     let (graph, dut) = testbed_topology();
     let loss = faults.to_client.drop;
-    let cfg = SimConfig {
-        dust: testbed_dust_config(),
-        duration_ms,
-        seed,
-        full_monitoring_offload: true,
-        faults,
-        ..Default::default()
-    };
     let agents_expected = 10;
-    let mut sim =
-        Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg).with_obs(obs);
-    if let Some(engine) = slo {
-        sim.set_slo(engine);
+    let mut builder = Simulation::builder()
+        .graph(graph)
+        .nodes(testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(testbed_dust_config())
+        .duration_ms(duration_ms)
+        .seed(seed)
+        .full_monitoring_offload(true)
+        .faults(faults)
+        .engine(engine)
+        .obs(obs);
+    if let Some(slo) = slo {
+        builder = builder.slo(slo);
     }
+    let mut sim = builder.build().expect("chaos knobs are consistent");
     let report = sim.run();
 
     // offers still unconfirmed at the end are fine while young (an offer
@@ -461,17 +492,85 @@ pub fn chaos_sweep(losses: &[f64], duration_ms: u64, seed: u64) -> Vec<ChaosResu
 /// The Fig. 5 testbed DUST run (full monitoring offload, perfect wire)
 /// recording into `obs` — the golden-trace regression scenario.
 pub fn testbed_observed(duration_ms: u64, seed: u64, obs: ObsHandle) -> SimReport {
+    testbed_observed_on(duration_ms, seed, obs, EngineKind::default())
+}
+
+/// [`testbed_observed`] on an explicit simulation core.
+pub fn testbed_observed_on(
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    engine: EngineKind,
+) -> SimReport {
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: testbed_dust_config(),
-        duration_ms,
-        seed,
-        full_monitoring_offload: true,
-        ..Default::default()
-    };
-    let mut sim =
-        Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg).with_obs(obs);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(testbed_dust_config())
+        .duration_ms(duration_ms)
+        .seed(seed)
+        .full_monitoring_offload(true)
+        .engine(engine)
+        .obs(obs)
+        .build()
+        .expect("testbed knobs are consistent");
     sim.run()
+}
+
+/// How many copies of the standard ten-agent deployment every switch in
+/// [`scale_fleet`] carries: a deep per-node monitoring stack whose
+/// resource model the tick core re-walks on every emission and sample,
+/// and the event core computes once per epoch.
+pub const SCALE_FLEET_AGENT_COPIES: usize = 40;
+
+/// The core-overhead bench scenario: a `k`-port fat-tree where *every*
+/// switch is a many-core telemetry appliance carrying
+/// [`SCALE_FLEET_AGENT_COPIES`] copies of the standard monitoring
+/// deployment. The core count keeps device-level CPU far below the Busy
+/// threshold, so the placement control plane stays quiet and the run is
+/// dominated by exactly the per-event machinery the event core optimizes
+/// — resource-model walks over the deep agent stacks, link-state
+/// application, sampling — not by protocol traffic, which both cores
+/// share. At `k = 90` this is a 10 125-node fleet processing > 100 000
+/// events over a 10-second run — the `BENCH_seed.json` workload.
+pub fn scale_fleet(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) -> SimReport {
+    scale_fleet_sim(k, duration_ms, seed, engine).run()
+}
+
+/// The assembled-but-not-run [`scale_fleet`] simulation, so benchmarks
+/// can time [`Simulation::run`] in isolation — fleet construction
+/// (a million agent structs) is identical for both cores and would only
+/// dilute the measured core speedup.
+pub fn scale_fleet_sim(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) -> Simulation {
+    use dust_telemetry::MonitorAgent;
+    use dust_topology::FatTree;
+    let ft = FatTree::new(k, Link::new(25_000.0, 0.2));
+    let appliance =
+        NodeSpec { cpu_cores: 4096.0, mem_gib: 4096.0, base_cpu_percent: 14.0, base_mem_gib: 9.6 };
+    let nodes: Vec<SimNode> = ft
+        .graph
+        .nodes()
+        .map(|n| {
+            let mut node = SimNode::with_standard_agents(n, appliance);
+            for _ in 1..SCALE_FLEET_AGENT_COPIES {
+                node.local_agents.extend(MonitorAgent::standard_deployment());
+            }
+            node.note_agents_changed();
+            node
+        })
+        .collect();
+    Simulation::builder()
+        .graph(ft.graph.clone())
+        .nodes(nodes)
+        .traffic(TrafficModel::testbed())
+        .dust(DustConfig::paper_defaults())
+        .duration_ms(duration_ms)
+        .sample_period_ms(150)
+        .seed(seed)
+        .engine(engine)
+        .build()
+        .expect("scale knobs are consistent")
 }
 
 #[cfg(test)]
@@ -611,5 +710,19 @@ mod tests {
             "mem reduction {}",
             r.mem_reduction_percent()
         );
+    }
+
+    #[test]
+    fn scale_fleet_cores_agree_and_stay_idle() {
+        // small k keeps the test fast; the bench binary runs the real k=90
+        let ev = scale_fleet(4, 3_000, 9, EngineKind::Event);
+        let tk = scale_fleet(4, 3_000, 9, EngineKind::Tick);
+        // under paper-default thresholds nobody classifies Busy…
+        assert_eq!(ev.transfers_applied, 0, "paper defaults must not trigger offload");
+        // …but the STAT pipeline runs fleet-wide on both cores identically
+        assert!(ev.events_processed > 100);
+        assert_eq!(ev.events_processed, tk.events_processed);
+        assert_eq!(ev.peak_queue_len, tk.peak_queue_len);
+        assert_eq!(ev.end_ms, tk.end_ms);
     }
 }

@@ -132,9 +132,15 @@ impl Tsdb {
         Self::default()
     }
 
-    /// Append to (creating if needed) a named series.
+    /// Append to (creating if needed) a named series. The existing-series
+    /// path allocates nothing — the simulator appends here per node per
+    /// sample, so the name is only materialized on first use.
     pub fn append(&mut self, name: &str, ts_ms: u64, value: f64) {
-        self.series.entry(name.to_string()).or_default().push(ts_ms, value);
+        if let Some(s) = self.series.get_mut(name) {
+            s.push(ts_ms, value);
+        } else {
+            self.series.entry(name.to_string()).or_default().push(ts_ms, value);
+        }
     }
 
     /// Look up a series.

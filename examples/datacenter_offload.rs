@@ -20,20 +20,20 @@ fn main() {
     );
 
     // Build the simulation: the DUT runs the ten-agent deployment; the two
-    // servers are idle offload targets.
-    let nodes = scenarios::testbed_nodes(dut);
-    let cfg = SimConfig {
-        dust: scenarios::testbed_dust_config(),
-        duration_ms: 180_000, // 3 simulated minutes
-        full_monitoring_offload: true,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(graph, nodes, TrafficModel::testbed(), cfg);
-
-    // Inject a destination failure mid-run: whichever server hosts the
-    // DUT's agents at t = 60 s goes dark, exercising keepalive → REP.
-    sim.inject_failure(60_000, NodeId(4));
-    sim.inject_revival(120_000, NodeId(4));
+    // servers are idle offload targets. A destination failure at t = 60 s
+    // (whichever server hosts the DUT's agents goes dark) exercises
+    // keepalive → REP before the node revives at t = 120 s.
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(scenarios::testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(scenarios::testbed_dust_config())
+        .duration_ms(180_000) // 3 simulated minutes
+        .full_monitoring_offload(true)
+        .kill_at(60_000, NodeId(4))
+        .revive_at(120_000, NodeId(4))
+        .build()
+        .expect("testbed knobs are consistent");
 
     let report = sim.run();
 

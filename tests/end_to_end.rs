@@ -42,14 +42,15 @@ fn fig1_shape_monotone_with_spikes() {
 #[test]
 fn destination_failure_is_survived() {
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: scenarios::testbed_dust_config(),
-        duration_ms: 120_000,
-        full_monitoring_offload: true,
-        ..Default::default()
-    };
-    let mut sim =
-        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(scenarios::testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(scenarios::testbed_dust_config())
+        .duration_ms(120_000)
+        .full_monitoring_offload(true)
+        .build()
+        .expect("testbed knobs are consistent");
     // kill both servers in turn; the fleet must re-home or orphan cleanly
     sim.inject_failure(40_000, NodeId(4));
     let report = sim.run();
@@ -67,14 +68,15 @@ fn destination_failure_is_survived() {
 #[test]
 fn baseline_run_keeps_everything_local() {
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: scenarios::testbed_dust_config(),
-        dust_enabled: false,
-        duration_ms: 60_000,
-        ..Default::default()
-    };
-    let mut sim =
-        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(scenarios::testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(scenarios::testbed_dust_config())
+        .dust_enabled(false)
+        .duration_ms(60_000)
+        .build()
+        .expect("testbed knobs are consistent");
     let report = sim.run();
     assert_eq!(report.transfers_applied, 0);
     assert_eq!(sim.nodes()[dut.index()].local_agents.len(), 10);
@@ -86,14 +88,16 @@ fn baseline_run_keeps_everything_local() {
 fn simulation_is_deterministic_across_runs() {
     let build = || {
         let (graph, dut) = testbed_topology();
-        let cfg = SimConfig {
-            dust: scenarios::testbed_dust_config(),
-            duration_ms: 60_000,
-            full_monitoring_offload: true,
-            seed: 31,
-            ..Default::default()
-        };
-        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg)
+        Simulation::builder()
+            .graph(graph)
+            .nodes(scenarios::testbed_nodes(dut))
+            .traffic(TrafficModel::testbed())
+            .dust(scenarios::testbed_dust_config())
+            .duration_ms(60_000)
+            .full_monitoring_offload(true)
+            .seed(31)
+            .build()
+            .expect("testbed knobs are consistent")
     };
     let r1 = build().run();
     let r2 = build().run();
@@ -110,11 +114,6 @@ fn diurnal_traffic_drives_offload_and_reclaim() {
     // falls with the trough, enabling reclaim (Release) — verify at least
     // that transfers happen and the run stays consistent.
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: scenarios::testbed_dust_config(),
-        duration_ms: 240_000,
-        ..Default::default()
-    };
     let traffic = TrafficModel::Diurnal {
         mean: 0.12,
         amplitude: 0.1,
@@ -122,7 +121,14 @@ fn diurnal_traffic_drives_offload_and_reclaim() {
         noise: 0.0,
         seed: 0,
     };
-    let mut sim = Simulation::new(graph, scenarios::testbed_nodes(dut), traffic, cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(scenarios::testbed_nodes(dut))
+        .traffic(traffic)
+        .dust(scenarios::testbed_dust_config())
+        .duration_ms(240_000)
+        .build()
+        .expect("testbed knobs are consistent");
     let report = sim.run();
     assert!(report.transfers_applied > 0, "peak traffic must trigger offload");
     // conservation again
@@ -136,14 +142,15 @@ fn telemetry_flows_recorded_without_loss_on_idle_fabric() {
     // the testbed fabric at 20 % load has ample headroom: offloaded
     // telemetry must flow with zero drops, and the series must exist
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: scenarios::testbed_dust_config(),
-        duration_ms: 60_000,
-        full_monitoring_offload: true,
-        ..Default::default()
-    };
-    let mut sim =
-        Simulation::new(graph, scenarios::testbed_nodes(dut), TrafficModel::testbed(), cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(scenarios::testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(scenarios::testbed_dust_config())
+        .duration_ms(60_000)
+        .full_monitoring_offload(true)
+        .build()
+        .expect("testbed knobs are consistent");
     let report = sim.run();
     assert!(report.transfers_applied > 0);
     let db = report.federation.store(dut).expect("DUT records flow series");

@@ -1,0 +1,111 @@
+//! Tick-vs-event core parity: the redesigned event-driven core must be
+//! observably indistinguishable from the legacy fixed-tick core.
+//!
+//! "Observably" is strict: for the same scenario, seed, and fault
+//! profile, the two cores must produce bit-identical traces (same
+//! digest, same binary encoding), identical metrics text, and identical
+//! report counters. The event core is free to reorder *work* internally
+//! (lazy link application, epoch-cached resource walks) but never to
+//! reorder or change any *observable* event.
+//!
+//! A seeded sweep stands in for a property test: a fixed set of seeds
+//! chosen at authoring time, run over both the perfect-wire testbed and
+//! a lossy chaos profile. Any divergence names the seed that broke.
+
+use dust::prelude::*;
+
+/// Seeds for the parity sweep. Deliberately spread: small, large,
+/// bit-dense, and the golden-trace seeds themselves.
+const SEEDS: [u64; 5] = [1, 7, 42, 0xDEAD_BEEF, u64::MAX - 3];
+
+fn assert_obs_equal(scenario: &str, seed: u64, tick: &ObsHandle, event: &ObsHandle) {
+    let tt = tick.trace_snapshot().unwrap();
+    let te = event.trace_snapshot().unwrap();
+    assert_eq!(
+        tt.digest(),
+        te.digest(),
+        "{scenario} seed {seed}: trace digests diverge (tick {:016x} vs event {:016x})",
+        tt.digest(),
+        te.digest()
+    );
+    assert_eq!(tt.to_binary(), te.to_binary(), "{scenario} seed {seed}: binary traces diverge");
+    assert_eq!(
+        tick.metrics().unwrap().to_text(),
+        event.metrics().unwrap().to_text(),
+        "{scenario} seed {seed}: metrics snapshots diverge"
+    );
+}
+
+#[test]
+fn testbed_cores_agree_at_every_seed() {
+    for seed in SEEDS {
+        let tick_obs = ObsHandle::recording(seed);
+        let tick = testbed_observed_on(30_000, seed, tick_obs.clone(), EngineKind::Tick);
+        let event_obs = ObsHandle::recording(seed);
+        let event = testbed_observed_on(30_000, seed, event_obs.clone(), EngineKind::Event);
+
+        assert_obs_equal("testbed", seed, &tick_obs, &event_obs);
+        assert_eq!(tick.transfers_applied, event.transfers_applied, "seed {seed}");
+        assert_eq!(tick.replicas_applied, event.replicas_applied, "seed {seed}");
+        assert_eq!(tick.placements_with_assignments, event.placements_with_assignments);
+        assert_eq!(tick.placement_rounds, event.placement_rounds, "seed {seed}");
+        assert_eq!(tick.msgs_sent, event.msgs_sent, "seed {seed}");
+        assert_eq!(tick.first_transfer_ms, event.first_transfer_ms, "seed {seed}");
+        assert_eq!(tick.events_processed, event.events_processed, "seed {seed}");
+        assert_eq!(tick.end_ms, event.end_ms, "seed {seed}");
+    }
+}
+
+#[test]
+fn chaos_cores_agree_at_every_seed() {
+    let faults = FaultConfig::symmetric(FaultProfile {
+        drop: 0.2,
+        duplicate: 0.1,
+        delay_ms: 20,
+        jitter_ms: 100,
+    });
+    for seed in SEEDS {
+        let tick_obs = ObsHandle::recording(seed);
+        let tick =
+            chaos_with_faults_observed_on(faults, 60_000, seed, tick_obs.clone(), EngineKind::Tick);
+        let event_obs = ObsHandle::recording(seed);
+        let event = chaos_with_faults_observed_on(
+            faults,
+            60_000,
+            seed,
+            event_obs.clone(),
+            EngineKind::Event,
+        );
+
+        assert_obs_equal("chaos", seed, &tick_obs, &event_obs);
+        // ChaosResult derives PartialEq over every protocol counter.
+        assert_eq!(tick, event, "chaos seed {seed}: protocol outcomes diverge");
+    }
+}
+
+#[test]
+fn federation_contents_identical_across_cores() {
+    // Beyond counters: the time-series databases the run leaves behind
+    // must hold the same points on the same nodes.
+    let tick = testbed_observed_on(30_000, 42, ObsHandle::disabled(), EngineKind::Tick);
+    let event = testbed_observed_on(30_000, 42, ObsHandle::disabled(), EngineKind::Event);
+    let tick_nodes = tick.federation.nodes();
+    assert_eq!(tick_nodes, event.federation.nodes(), "federation topology diverges");
+    for n in tick_nodes {
+        let a = tick.federation.store(n).unwrap();
+        let b = event.federation.store(n).unwrap();
+        assert_eq!(a.point_count(), b.point_count(), "node {n:?} point counts diverge");
+    }
+}
+
+#[test]
+fn scale_scenario_cores_agree() {
+    // The bench workload itself (small k so the test stays quick): the
+    // scenario whose speedup BENCH_seed.json gates must also be exact.
+    let event = scale_fleet(4, 2_000, 3, EngineKind::Event);
+    let tick = scale_fleet(4, 2_000, 3, EngineKind::Tick);
+    assert_eq!(event.events_processed, tick.events_processed);
+    assert_eq!(event.peak_queue_len, tick.peak_queue_len);
+    assert_eq!(event.end_ms, tick.end_ms);
+    assert_eq!(event.placement_rounds, tick.placement_rounds);
+}

@@ -171,15 +171,17 @@ fn forecaster_predicts_overload_before_it_happens() {
     // of time.
     use dust::telemetry::TrendForecaster;
     let (graph, dut) = testbed_topology();
-    let cfg = SimConfig {
-        dust: dust::sim::scenarios::testbed_dust_config(),
-        dust_enabled: false, // observe the undisturbed ramp
-        duration_ms: 120_000,
-        ..Default::default()
-    };
     // ramp from idle to 20 % line rate over the run
     let traffic = TrafficModel::Ramp { from: 0.0, to: 0.2, duration_ms: 120_000 };
-    let mut sim = Simulation::new(graph, dust::sim::scenarios::testbed_nodes(dut), traffic, cfg);
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(dust::sim::scenarios::testbed_nodes(dut))
+        .traffic(traffic)
+        .dust(dust::sim::scenarios::testbed_dust_config())
+        .dust_enabled(false) // observe the undisturbed ramp
+        .duration_ms(120_000)
+        .build()
+        .expect("testbed knobs are consistent");
     let report = sim.run();
     let series = report.federation.store(dut).unwrap().series("device-cpu").unwrap();
     let c_max = 25.0; // the calm reading crosses ~25 % mid-ramp

@@ -45,16 +45,18 @@ fn faults_for(seed: u64) -> FaultConfig {
 fn run_observed(seed: u64) -> (Simulation, ObsHandle) {
     let (graph, dut) = testbed_topology();
     let obs = ObsHandle::recording(seed);
-    let cfg = SimConfig {
-        dust: testbed_dust_config(),
-        duration_ms: DURATION_MS,
-        seed,
-        full_monitoring_offload: true,
-        faults: faults_for(seed),
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(graph, testbed_nodes(dut), TrafficModel::testbed(), cfg)
-        .with_obs(obs.clone());
+    let mut sim = Simulation::builder()
+        .graph(graph)
+        .nodes(testbed_nodes(dut))
+        .traffic(TrafficModel::testbed())
+        .dust(testbed_dust_config())
+        .duration_ms(DURATION_MS)
+        .seed(seed)
+        .full_monitoring_offload(true)
+        .faults(faults_for(seed))
+        .obs(obs.clone())
+        .build()
+        .expect("testbed knobs are consistent");
     sim.run();
     (sim, obs)
 }
