@@ -47,6 +47,16 @@ pub struct ScenarioPerf {
     pub speedup_vs_tick: f64,
     /// Committed floor for `speedup_vs_tick` (0 disables the gate).
     pub min_speedup: f64,
+    /// Partitioned-solve objective gap vs the exact optimum, in percent
+    /// (0 for scenarios without a partitioned solve).
+    pub objective_gap_pct: f64,
+    /// Committed ceiling for `objective_gap_pct` (0 disables the gate).
+    pub max_gap_pct: f64,
+    /// Partitioned-solve wall-clock speedup over the exact whole-problem
+    /// solve, same machine (0 for scenarios without a partitioned solve).
+    pub speedup_vs_exact: f64,
+    /// Committed floor for `speedup_vs_exact` (0 disables the gate).
+    pub min_exact_speedup: f64,
 }
 
 /// A whole baseline document.
@@ -58,8 +68,11 @@ pub struct BenchBaseline {
     pub scenarios: Vec<ScenarioPerf>,
 }
 
-/// Current format version.
-pub const BASELINE_VERSION: u32 = 1;
+/// Current format version. Version 2 added the partition-quality fields
+/// (`objective_gap_pct`/`max_gap_pct`, `speedup_vs_exact`/
+/// `min_exact_speedup`); version-1 documents still parse, with those
+/// fields defaulting to 0 (gates off).
+pub const BASELINE_VERSION: u32 = 2;
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
@@ -86,7 +99,20 @@ impl BenchBaseline {
             out.push_str(&format!("      \"events_per_sec\": {},\n", fmt_f64(s.events_per_sec)));
             out.push_str(&format!("      \"rounds_per_sec\": {},\n", fmt_f64(s.rounds_per_sec)));
             out.push_str(&format!("      \"speedup_vs_tick\": {},\n", fmt_f64(s.speedup_vs_tick)));
-            out.push_str(&format!("      \"min_speedup\": {}\n", fmt_f64(s.min_speedup)));
+            out.push_str(&format!("      \"min_speedup\": {},\n", fmt_f64(s.min_speedup)));
+            out.push_str(&format!(
+                "      \"objective_gap_pct\": {},\n",
+                fmt_f64(s.objective_gap_pct)
+            ));
+            out.push_str(&format!("      \"max_gap_pct\": {},\n", fmt_f64(s.max_gap_pct)));
+            out.push_str(&format!(
+                "      \"speedup_vs_exact\": {},\n",
+                fmt_f64(s.speedup_vs_exact)
+            ));
+            out.push_str(&format!(
+                "      \"min_exact_speedup\": {}\n",
+                fmt_f64(s.min_exact_speedup)
+            ));
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -120,6 +146,10 @@ impl BenchBaseline {
                         rounds_per_sec: 0.0,
                         speedup_vs_tick: 0.0,
                         min_speedup: 0.0,
+                        objective_gap_pct: 0.0,
+                        max_gap_pct: 0.0,
+                        speedup_vs_exact: 0.0,
+                        min_exact_speedup: 0.0,
                     });
                 }
                 if line == "}" {
@@ -164,12 +194,24 @@ impl BenchBaseline {
                 ("min_speedup", Some(s)) => {
                     s.min_speedup = value.parse().map_err(|_| err("bad number"))?;
                 }
+                ("objective_gap_pct", Some(s)) => {
+                    s.objective_gap_pct = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("max_gap_pct", Some(s)) => {
+                    s.max_gap_pct = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("speedup_vs_exact", Some(s)) => {
+                    s.speedup_vs_exact = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("min_exact_speedup", Some(s)) => {
+                    s.min_exact_speedup = value.parse().map_err(|_| err("bad number"))?;
+                }
                 ("scenarios", _) => {}
                 (other, _) => return Err(err(&format!("unexpected key {other:?}"))),
             }
         }
         let version = version.ok_or("missing version")?;
-        if version != BASELINE_VERSION {
+        if version == 0 || version > BASELINE_VERSION {
             return Err(format!("unsupported baseline version {version}"));
         }
         if scenarios.is_empty() {
@@ -233,6 +275,20 @@ impl BenchBaseline {
                     b.name, c.speedup_vs_tick, b.min_speedup
                 ));
             }
+            if b.max_gap_pct > 0.0 && c.objective_gap_pct > b.max_gap_pct {
+                failures.push(format!(
+                    "{}: partitioned objective gap exceeds the committed ceiling: \
+                     {:.2} % > {:.2} %",
+                    b.name, c.objective_gap_pct, b.max_gap_pct
+                ));
+            }
+            if b.min_exact_speedup > 0.0 && c.speedup_vs_exact < b.min_exact_speedup {
+                failures.push(format!(
+                    "{}: partitioned speedup over the exact solve fell below the committed \
+                     floor: {:.2}x < {:.2}x",
+                    b.name, c.speedup_vs_exact, b.min_exact_speedup
+                ));
+            }
         }
         failures
     }
@@ -256,6 +312,10 @@ mod tests {
                     rounds_per_sec: 0.2,
                     speedup_vs_tick: 7.0,
                     min_speedup: 5.0,
+                    objective_gap_pct: 0.0,
+                    max_gap_pct: 0.0,
+                    speedup_vs_exact: 0.0,
+                    min_exact_speedup: 0.0,
                 },
                 ScenarioPerf {
                     name: "testbed_chaos".into(),
@@ -267,6 +327,25 @@ mod tests {
                     rounds_per_sec: 11.0,
                     speedup_vs_tick: 1.1,
                     min_speedup: 0.0,
+                    objective_gap_pct: 0.0,
+                    max_gap_pct: 0.0,
+                    speedup_vs_exact: 0.0,
+                    min_exact_speedup: 0.0,
+                },
+                ScenarioPerf {
+                    name: "partition_fat_tree".into(),
+                    nodes: 5_120,
+                    events_processed: 0,
+                    peak_queue_len: 4,
+                    federation_points: 0,
+                    events_per_sec: 0.0,
+                    rounds_per_sec: 0.4,
+                    speedup_vs_tick: 0.0,
+                    min_speedup: 0.0,
+                    objective_gap_pct: 2.1,
+                    max_gap_pct: 5.0,
+                    speedup_vs_exact: 4.5,
+                    min_exact_speedup: 3.0,
                 },
             ],
         }
@@ -277,11 +356,29 @@ mod tests {
         let b = sample();
         let parsed = BenchBaseline::parse(&b.to_json()).unwrap();
         assert_eq!(parsed.version, b.version);
-        assert_eq!(parsed.scenarios.len(), 2);
+        assert_eq!(parsed.scenarios.len(), 3);
         assert_eq!(parsed.scenarios[0].name, "scale_fleet_k90");
         assert_eq!(parsed.scenarios[0].events_processed, 121_589);
         assert_eq!(parsed.scenarios[1].rounds_per_sec, 11.0);
         assert_eq!(parsed.scenarios[0].min_speedup, 5.0);
+        assert_eq!(parsed.scenarios[2].objective_gap_pct, 2.1);
+        assert_eq!(parsed.scenarios[2].max_gap_pct, 5.0);
+        assert_eq!(parsed.scenarios[2].speedup_vs_exact, 4.5);
+        assert_eq!(parsed.scenarios[2].min_exact_speedup, 3.0);
+    }
+
+    #[test]
+    fn version_1_documents_still_parse_with_gates_off() {
+        let v1 = "{\n  \"version\": 1,\n  \"scenarios\": [\n    {\n      \
+                  \"name\": \"scale_fleet_k90\",\n      \"nodes\": 10125,\n      \
+                  \"events_processed\": 121589,\n      \"peak_queue_len\": 3,\n      \
+                  \"federation_points\": 2035125,\n      \"events_per_sec\": 523537.28,\n      \
+                  \"rounds_per_sec\": 8.61,\n      \"speedup_vs_tick\": 7.41,\n      \
+                  \"min_speedup\": 5.00\n    }\n  ]\n}\n";
+        let parsed = BenchBaseline::parse(v1).unwrap();
+        assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.scenarios[0].max_gap_pct, 0.0, "v1 leaves the gap gate off");
+        assert_eq!(parsed.scenarios[0].min_exact_speedup, 0.0);
     }
 
     #[test]
@@ -331,6 +428,30 @@ mod tests {
         let mut c = sample();
         c.scenarios[1].speedup_vs_tick = 0.5;
         assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn gap_ceiling_is_enforced() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[2].objective_gap_pct = 7.3;
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("objective gap exceeds"), "{f:?}");
+        // scenarios without a committed ceiling may drift freely
+        let mut c = sample();
+        c.scenarios[0].objective_gap_pct = 40.0;
+        assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn exact_speedup_floor_is_enforced() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[2].speedup_vs_exact = 1.2;
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("speedup over the exact solve"), "{f:?}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use dust::prelude::*;
 use dust_bench::baseline::{BenchBaseline, ScenarioPerf, BASELINE_VERSION};
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 /// Samples per measurement; the fastest is kept (external noise only
@@ -72,6 +73,79 @@ fn measure(name: &str, min_speedup: f64, mk: &dyn Fn(EngineKind) -> Simulation) 
         rounds_per_sec: report.placement_rounds as f64 / secs,
         speedup_vs_tick: tick_wall.as_secs_f64() / secs,
         min_speedup,
+        objective_gap_pct: 0.0,
+        max_gap_pct: 0.0,
+        speedup_vs_exact: 0.0,
+        min_exact_speedup: 0.0,
+    }
+}
+
+/// Measure the POP-style partitioned placement against the exact
+/// whole-problem solve on a `k`-port fat-tree with seeded random states.
+/// Both paths share one memoized `CostEngine`, so the comparison is
+/// solver time over identical cached `T_rmin` pricing — the quantity the
+/// `min_exact_speedup` gate protects. The objective gap is fully
+/// deterministic (seeded states, seeded row split).
+fn measure_partition(
+    name: &str,
+    k: usize,
+    parts: usize,
+    max_gap_pct: f64,
+    min_exact_speedup: f64,
+) -> ScenarioPerf {
+    eprintln!("measuring {name} ...");
+    // hop-bounded DP pricing: exhaustive enumeration is exponential at
+    // this scale, and the gate targets solver time, not routing time
+    let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
+    let graph = FatTree::with_default_links(k).graph;
+    let nodes = graph.node_count() as u64;
+    let nmdb = random_nmdb(&graph, &cfg, &ScenarioParams::default(), 7);
+    let engine = CostEngine::new();
+    let solve = |parts_opt: Option<NonZeroUsize>| -> Placement {
+        PlacementRequest::new(&nmdb, &cfg)
+            .engine(&engine)
+            .partitions(parts_opt)
+            .partition_seed(7)
+            .run_lp()
+            .expect("generated fat-tree instance is well-formed")
+    };
+    let best = |parts_opt: Option<NonZeroUsize>| -> Placement {
+        let mut best: Option<Placement> = None;
+        for _ in 0..SAMPLES {
+            let p = solve(parts_opt);
+            if best.as_ref().is_none_or(|b| p.solve_time < b.solve_time) {
+                best = Some(p);
+            }
+        }
+        best.expect("SAMPLES > 0")
+    };
+    let exact = best(None);
+    let part = best(Some(NonZeroUsize::new(parts).expect("parts > 0")));
+    assert!(
+        !part.partition_fallback,
+        "{name}: the generated instance is feasible, so the partitioned path must hold"
+    );
+    let gap_pct = if exact.beta > 0.0 {
+        ((part.beta - exact.beta) / exact.beta * 100.0).max(0.0)
+    } else {
+        0.0
+    };
+    ScenarioPerf {
+        name: name.to_string(),
+        nodes,
+        // deterministic problem shape: the seeded state draw fixes the
+        // Busy/candidate split, so any drift means placement inputs moved
+        events_processed: (exact.busy.len() * exact.candidates.len()) as u64,
+        peak_queue_len: part.partitions as u64,
+        federation_points: exact.assignments.len() as u64,
+        events_per_sec: 0.0,
+        rounds_per_sec: 1.0 / part.solve_time.as_secs_f64().max(1e-9),
+        speedup_vs_tick: 0.0,
+        min_speedup: 0.0,
+        objective_gap_pct: gap_pct,
+        max_gap_pct,
+        speedup_vs_exact: exact.solve_time.as_secs_f64() / part.solve_time.as_secs_f64().max(1e-9),
+        min_exact_speedup,
     }
 }
 
@@ -91,7 +165,11 @@ fn emit() -> BenchBaseline {
             .build()
             .expect("testbed knobs are consistent")
     });
-    BenchBaseline { version: BASELINE_VERSION, scenarios: vec![scale, testbed] }
+    // ISSUE 7 acceptance gate: on the 64-port (paper-scale) fat-tree the
+    // k=4 partitioned solve must stay within 5 % of the exact objective
+    // while beating the whole-problem solve by at least 3x.
+    let partition = measure_partition("partition_fat_tree_64k", 64, 4, 5.0, 3.0);
+    BenchBaseline { version: BASELINE_VERSION, scenarios: vec![scale, testbed, partition] }
 }
 
 fn main() {
@@ -146,9 +224,13 @@ fn main() {
                     std::process::exit(1)
                 })
             };
-            let failures = read(&bp).compare(&read(&cp), tolerance);
+            let base = read(&bp);
+            let failures = base.compare(&read(&cp), tolerance);
             if failures.is_empty() {
-                println!("perf baseline OK ({} scenarios, tolerance {tolerance})", 2);
+                println!(
+                    "perf baseline OK ({} scenarios, tolerance {tolerance})",
+                    base.scenarios.len()
+                );
             } else {
                 for f in &failures {
                     eprintln!("FAIL {f}");

@@ -26,6 +26,7 @@ const USAGE: &str = "usage: experiments <fig1|...|fig12|zoned|fleet|congestion|a
   zoned  extension: zoned placement (paper's <=80-node-zone recommendation)
   fleet  extension: all edge switches offload simultaneously
   congestion  extension: QoS squeeze on offloaded telemetry
+  partition   extension: POP-style partitioned solve, gap/speedup vs k
   all    everything above, in order
 
   --seed N   master seed (default printed in the header)
@@ -83,6 +84,7 @@ fn main() {
         "zoned" => figures::zoned(seed, effort),
         "fleet" => figures::fleet(seed, effort),
         "congestion" => figures::congestion(seed, effort),
+        "partition" => figures::partition(seed, effort),
         "all" => figures::all(seed, effort),
         other => {
             eprintln!("unknown figure {other:?}\n{USAGE}");

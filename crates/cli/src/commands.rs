@@ -648,6 +648,172 @@ pub fn cmd_dot(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
     Ok(placement_to_dot(&nmdb.graph, "dust", &styles, &routes))
 }
 
+/// Options for `dustctl place`: single or batched placement rounds,
+/// optionally over a generated fat-tree and the partitioned solve path.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaceOptions {
+    /// Shared threshold/routing options.
+    pub base: Options,
+    /// Generate a k-port fat-tree instead of reading a network-state file.
+    pub fat_tree: Option<usize>,
+    /// POP-style partition count (`None` or 1 = the exact whole-problem solve).
+    pub partitions: Option<usize>,
+    /// Placement rounds to run back-to-back (throughput mode when > 1).
+    pub batch: usize,
+    /// Seed for generated states (round `i` uses `seed + i`).
+    pub seed: u64,
+    /// Also solve each round exactly and report the objective gap.
+    pub gap: bool,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            base: Options::default(),
+            fat_tree: None,
+            partitions: None,
+            batch: 1,
+            seed: 0,
+            gap: false,
+        }
+    }
+}
+
+/// `dustctl place`: run placement rounds — from a file or a generated
+/// fat-tree — through the exact or partitioned solve path, reporting
+/// solve throughput (rounds/sec) and, with `--gap`, the objective gap
+/// versus the exact solution.
+pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String, String> {
+    use std::num::NonZeroUsize;
+    let cfg = opts.base.config()?;
+    if opts.batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let parts = opts.partitions.unwrap_or(1);
+    let parts_nz = NonZeroUsize::new(parts).ok_or("--partitions must be at least 1")?;
+    let generated_graph = match (file_nmdb, opts.fat_tree) {
+        (None, Some(k)) => Some(FatTree::with_default_links(k).graph),
+        (None, None) => return Err("place needs a <file> or --fat-tree K".into()),
+        (Some(_), Some(_)) => return Err("give either a <file> or --fat-tree, not both".into()),
+        (Some(_), None) => None,
+    };
+
+    let solve_round = |nmdb: &Nmdb, round: u64| -> Result<Placement, String> {
+        opts.base
+            .request(nmdb, &cfg)
+            .partitions(if parts > 1 { Some(parts_nz) } else { None })
+            .partition_seed(opts.seed ^ round)
+            .run_lp()
+            .map_err(|e| e.to_string())
+    };
+    let exact_round = |nmdb: &Nmdb| -> Result<Placement, String> {
+        opts.base.request(nmdb, &cfg).run_lp().map_err(|e| e.to_string())
+    };
+
+    let params = ScenarioParams::default();
+    let make_nmdb = |round: u64| -> Option<Nmdb> {
+        generated_graph
+            .as_ref()
+            .map(|g| random_nmdb(g, &cfg, &params, opts.seed.wrapping_add(round)))
+    };
+
+    let mut out = String::new();
+    let mut optimal = 0usize;
+    let mut no_busy = 0usize;
+    let mut infeasible = 0usize;
+    let mut fallbacks = 0usize;
+    let mut beta_sum = 0.0f64;
+    let mut gap_sum = 0.0f64;
+    let mut gap_max = 0.0f64;
+    let mut gap_rounds = 0usize;
+
+    let started = std::time::Instant::now();
+    let mut last: Option<Placement> = None;
+    for round in 0..opts.batch as u64 {
+        let storage;
+        let nmdb = match file_nmdb {
+            Some(db) => db,
+            None => {
+                storage = make_nmdb(round).expect("generated path has a graph");
+                &storage
+            }
+        };
+        let p = solve_round(nmdb, round)?;
+        match p.status {
+            PlacementStatus::Optimal => {
+                optimal += 1;
+                beta_sum += p.beta;
+                if p.partition_fallback {
+                    fallbacks += 1;
+                }
+                if opts.gap {
+                    let exact = exact_round(nmdb)?;
+                    if exact.status == PlacementStatus::Optimal && exact.beta > 1e-12 {
+                        let gap = ((p.beta - exact.beta) / exact.beta * 100.0).max(0.0);
+                        gap_sum += gap;
+                        gap_max = gap_max.max(gap);
+                        gap_rounds += 1;
+                    }
+                }
+            }
+            PlacementStatus::NoBusyNodes => no_busy += 1,
+            PlacementStatus::Infeasible => infeasible += 1,
+        }
+        last = Some(p);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let p = last.expect("batch >= 1 always solves at least once");
+    let nodes = file_nmdb
+        .map(|db| db.graph.node_count())
+        .or_else(|| generated_graph.as_ref().map(|g| g.node_count()))
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "place: {} round(s) on {} nodes, partitions = {}, threads = {}\n",
+        opts.batch,
+        nodes,
+        parts,
+        if opts.base.threads == 0 { "auto".to_string() } else { opts.base.threads.to_string() },
+    ));
+    if opts.batch == 1 {
+        out.push_str(&format!("status: {:?}\n", p.status));
+        if p.status == PlacementStatus::Optimal {
+            out.push_str(&format!(
+                "beta = {:.6} s·%, total offloaded = {:.1}%, assignments = {}{}\n",
+                p.beta,
+                p.total_offloaded(),
+                p.assignments.len(),
+                if p.partition_fallback { ", exact fallback" } else { "" },
+            ));
+        }
+    } else {
+        out.push_str(&format!(
+            "outcomes: optimal = {optimal}, no-busy = {no_busy}, infeasible = {infeasible}, \
+             partition fallbacks = {fallbacks}\n"
+        ));
+        if optimal > 0 {
+            out.push_str(&format!("mean beta = {:.6} s·%\n", beta_sum / optimal as f64));
+        }
+    }
+    out.push_str(&format!(
+        "throughput: {:.1} rounds/sec ({:.3} s total)\n",
+        opts.batch as f64 / elapsed,
+        elapsed,
+    ));
+    if opts.gap {
+        if gap_rounds > 0 {
+            out.push_str(&format!(
+                "objective gap vs exact: mean = {:.3}%, max = {:.3}% over {gap_rounds} round(s)\n",
+                gap_sum / gap_rounds as f64,
+                gap_max,
+            ));
+        } else {
+            out.push_str("objective gap vs exact: n/a (no optimal rounds)\n");
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +830,40 @@ mod tests {
         assert!(out.contains("OffloadCandidate"));
         assert!(out.contains("Cs = 12.0"));
         assert!(out.contains("totals:"));
+    }
+
+    #[test]
+    fn place_single_round_on_a_file() {
+        let db = fig4();
+        let out = cmd_place(Some(&db), &PlaceOptions::default()).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("rounds/sec"), "{out}");
+    }
+
+    #[test]
+    fn place_batch_on_a_generated_fat_tree_with_partitions_and_gap() {
+        let opts = PlaceOptions {
+            fat_tree: Some(4),
+            partitions: Some(2),
+            batch: 3,
+            seed: 7,
+            gap: true,
+            ..Default::default()
+        };
+        let out = cmd_place(None, &opts).unwrap();
+        assert!(out.contains("3 round(s) on 20 nodes, partitions = 2"), "{out}");
+        assert!(out.contains("outcomes:"), "{out}");
+        assert!(out.contains("objective gap vs exact"), "{out}");
+    }
+
+    #[test]
+    fn place_rejects_contradictory_sources() {
+        let db = fig4();
+        let opts = PlaceOptions { fat_tree: Some(4), ..Default::default() };
+        assert!(cmd_place(Some(&db), &opts).is_err());
+        assert!(cmd_place(None, &PlaceOptions::default()).is_err());
+        let opts = PlaceOptions { fat_tree: Some(4), batch: 0, ..Default::default() };
+        assert!(cmd_place(None, &opts).is_err());
     }
 
     #[test]

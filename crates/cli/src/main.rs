@@ -10,7 +10,8 @@
 
 use dust_cli::args::{parse_sim_invocation, SimCommandKind};
 use dust_cli::commands::{
-    cmd_dot, cmd_heuristic, cmd_optimize, cmd_sim, cmd_spans, cmd_trace, cmd_zoned, roles, Options,
+    cmd_dot, cmd_heuristic, cmd_optimize, cmd_place, cmd_sim, cmd_spans, cmd_trace, cmd_zoned,
+    roles, Options, PlaceOptions,
 };
 use dust_cli::format::{example_file, parse_nmdb};
 
@@ -20,6 +21,8 @@ commands:
   example                      print a sample network-state file
   roles     <file>             classify nodes (Busy / candidate / neutral)
   optimize  <file>             exact min-cost placement with routes
+  place     [file]             placement rounds through the exact or POP-style
+                               partitioned solve path; reports rounds/sec
   heuristic <file> [--hops N]  Algorithm 1 (default one-hop reach)
   zoned     <file> --zone-size N [--sweep]
                                per-zone placement, optional cross-zone sweep
@@ -38,6 +41,18 @@ options (all commands taking a file):
   --enumerate   paper-faithful exhaustive path enumeration
   --simplex     use the general simplex instead of the transportation solver
   --threads N   T_rmin pricing threads (default: one per core)
+
+place options (plus the file options above):
+  --fat-tree K  solve on a generated k-port fat-tree with seeded random
+                states instead of a <file> (k = 64 is the paper's scale)
+  --partitions K
+                split the transport problem into K seeded random
+                subproblems solved in parallel (1 = exact; any infeasible
+                subproblem falls back to the exact whole-problem solve)
+  --batch N     run N placement rounds back-to-back and report rounds/sec
+                (generated states re-seed per round with seed+i)
+  --seed N      base seed for generated states and the partition shuffle
+  --gap         also solve each round exactly; report the objective gap
 
 sim options:
   --loss P      drop probability per message, both directions (default 0)
@@ -118,6 +133,48 @@ fn main() {
                 }
                 Err(e) => run_err(e),
             },
+        }
+        return;
+    }
+    if cmd == "place" {
+        let mut popts = PlaceOptions::default();
+        let mut path: Option<String> = None;
+        let mut it = args.iter().skip(1);
+        let numeric = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> f64 {
+            let v = it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")));
+            v.parse().unwrap_or_else(|_| fail(format!("{flag}: invalid number {v:?}")))
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--c-max" => popts.base.c_max = numeric(&mut it, "--c-max"),
+                "--co-max" => popts.base.co_max = numeric(&mut it, "--co-max"),
+                "--x-min" => popts.base.x_min = numeric(&mut it, "--x-min"),
+                "--max-hop" => popts.base.max_hop = Some(numeric(&mut it, "--max-hop") as usize),
+                "--enumerate" => popts.base.enumerate_paths = true,
+                "--simplex" => popts.base.simplex = true,
+                "--threads" => popts.base.threads = numeric(&mut it, "--threads") as usize,
+                "--fat-tree" => popts.fat_tree = Some(numeric(&mut it, "--fat-tree") as usize),
+                "--partitions" => {
+                    popts.partitions = Some(numeric(&mut it, "--partitions") as usize)
+                }
+                "--batch" => popts.batch = numeric(&mut it, "--batch") as usize,
+                "--seed" => popts.seed = numeric(&mut it, "--seed") as u64,
+                "--gap" => popts.gap = true,
+                other if !other.starts_with('-') && path.is_none() => path = Some(other.into()),
+                other => fail(format!("unknown place option {other:?}")),
+            }
+        }
+        let file_nmdb = path.map(|p| {
+            let input = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| fail(format!("cannot read {p:?}: {e}")));
+            parse_nmdb(&input).unwrap_or_else(|e| fail(format!("{p}: {e}")))
+        });
+        match cmd_place(file_nmdb.as_ref(), &popts) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("dustctl: {e}");
+                std::process::exit(1)
+            }
         }
         return;
     }

@@ -35,11 +35,14 @@ use crate::config::DustConfig;
 use crate::error::DustError;
 use crate::heuristic::{heuristic_with, HeuristicOutcome};
 use crate::integral::{optimize_integral_with, IntegralPlacement, WorkUnit};
-use crate::optimizer::{optimize_with, Assignment, Placement, PlacementStatus, SolverBackend};
+use crate::optimizer::{
+    optimize_with_path, Assignment, Placement, PlacementStatus, SolvePath, SolverBackend,
+};
 use crate::state::Nmdb;
 use crate::zoning::{optimize_zoned_with, ZonedPlacement, Zoning};
 use dust_obs::ObsHandle;
 use dust_topology::{CostEngine, PathEngine};
+use std::num::NonZeroUsize;
 
 /// Which placement algorithm a request runs.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +85,8 @@ pub struct PlacementRequest<'a> {
     strategy: Strategy<'a>,
     engine: EngineRef<'a>,
     obs: ObsHandle,
+    partitions: Option<NonZeroUsize>,
+    partition_seed: u64,
 }
 
 impl<'a> PlacementRequest<'a> {
@@ -96,6 +101,8 @@ impl<'a> PlacementRequest<'a> {
             strategy: Strategy::Lp,
             engine: EngineRef::Owned(CostEngine::new()),
             obs: ObsHandle::disabled(),
+            partitions: None,
+            partition_seed: 0,
         }
     }
 
@@ -149,6 +156,33 @@ impl<'a> PlacementRequest<'a> {
     pub fn engine(mut self, engine: &'a CostEngine) -> Self {
         self.engine = EngineRef::Shared(engine);
         self
+    }
+
+    /// Solve the transportation LP POP-style in `parts` seeded random
+    /// subproblems, recombined after parallel solves on the engine's
+    /// thread pool — the quality-vs-latency knob for fleet-scale rounds.
+    /// `None` (the default) keeps the exact whole-problem solve;
+    /// `Some(1)` is bit-identical to it. Applies to the LP strategy with
+    /// the transportation backend; combining partitions with the simplex
+    /// backend fails as [`DustError::BadConfig`].
+    pub fn partitions(mut self, parts: Option<NonZeroUsize>) -> Self {
+        self.partitions = parts;
+        self
+    }
+
+    /// Seed for the partitioned solve's random row split
+    /// (default 0). Ignored without [`partitions`](Self::partitions).
+    pub fn partition_seed(mut self, seed: u64) -> Self {
+        self.partition_seed = seed;
+        self
+    }
+
+    /// The [`SolvePath`] this request will take.
+    pub fn solve_path(&self) -> SolvePath {
+        match self.partitions {
+            Some(parts) => SolvePath::Partitioned { parts, seed: self.partition_seed },
+            None => SolvePath::Exact,
+        }
     }
 
     /// Use Algorithm 1 (the paper's one-hop heuristic).
@@ -216,7 +250,7 @@ impl<'a> PlacementRequest<'a> {
     /// Run the exact LP regardless of the configured strategy, returning
     /// the full [`Placement`] (including the legacy status enum).
     pub fn run_lp(&self) -> Result<Placement, DustError> {
-        optimize_with(self.nmdb, &self.cfg, self.backend, self.engine.get())
+        optimize_with_path(self.nmdb, &self.cfg, self.backend, self.engine.get(), self.solve_path())
     }
 
     /// Run the heuristic regardless of the configured strategy (reach
@@ -462,6 +496,26 @@ mod tests {
         assert!(ip.feasible);
         assert_eq!(ip.moves.len(), 2);
         assert!(report.assignments().is_empty(), "integral moves are unit-level");
+    }
+
+    #[test]
+    fn partitions_knob_routes_through_the_builder() {
+        let db = simple_nmdb();
+        let exact = PlacementRequest::new(&db, &cfg()).solve().unwrap();
+        let req =
+            PlacementRequest::new(&db, &cfg()).partitions(NonZeroUsize::new(2)).partition_seed(9);
+        assert!(matches!(req.solve_path(), SolvePath::Partitioned { seed: 9, .. }));
+        let part = req.solve().unwrap();
+        assert!((part.total_offloaded() - exact.total_offloaded()).abs() < 1e-9);
+        // the default stays exact
+        assert_eq!(PlacementRequest::new(&db, &cfg()).solve_path(), SolvePath::Exact);
+        // simplex + partitions is rejected, typed
+        let err = PlacementRequest::new(&db, &cfg())
+            .backend(SolverBackend::Simplex)
+            .partitions(NonZeroUsize::new(4))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, DustError::BadConfig(_)));
     }
 
     #[test]

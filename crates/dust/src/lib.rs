@@ -57,8 +57,8 @@ pub mod prelude {
         io_rate_sweep, optimize, optimize_integral, optimize_zoned, random_nmdb, scenario_stream,
         zone_by_bfs, zone_fat_tree, Assignment, DustConfig, DustError, HeuristicOutcome,
         IntegralPlacement, IoRatePoint, Nmdb, NodeState, Placement, PlacementReport,
-        PlacementRequest, PlacementStatus, ReportOutcome, Role, ScenarioParams, SolverBackend,
-        SuccessClass, SuccessTally, WorkUnit, ZonedPlacement, Zoning,
+        PlacementRequest, PlacementStatus, ReportOutcome, Role, ScenarioParams, SolvePath,
+        SolverBackend, SuccessClass, SuccessTally, WorkUnit, ZonedPlacement, Zoning,
     };
     pub use dust_obs::{
         build_spans, FlightRecorder, FlowId, Histogram, MetricsRegistry, ObsHandle, SloBreach,

@@ -101,15 +101,6 @@ pub fn solve_mip_with(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) 
     s
 }
 
-/// Former observed entry point, now an alias for [`solve_mip_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use solve_mip_with, the single entry point taking an ObsHandle"
-)]
-pub fn solve_mip_observed(p: &Problem, opts: MipOptions, obs: &dust_obs::ObsHandle) -> MipSolution {
-    solve_mip_with(p, opts, obs)
-}
-
 fn solve_mip_inner(p: &Problem, opts: MipOptions) -> MipSolution {
     let ints = p.integer_vars();
     if ints.is_empty() {

@@ -32,16 +32,16 @@
 
 pub mod branch_bound;
 pub mod export;
+pub mod partition;
 pub mod problem;
 pub mod simplex;
 pub mod transportation;
 
-#[allow(deprecated)]
-pub use branch_bound::solve_mip_observed;
 pub use branch_bound::{solve_mip, solve_mip_with, MipOptions, MipSolution};
 pub use export::to_lp_format;
+pub use partition::{
+    solve_partitioned_via, solve_partitioned_with, PartitionOutcome, PartitionPlan, SubProblem,
+};
 pub use problem::{Cmp, Constraint, Problem, Sense, Var, VarDef};
-#[allow(deprecated)]
-pub use simplex::solve_observed;
 pub use simplex::{solve, solve_with, Options, Solution, Status};
 pub use transportation::{TransportProblem, TransportSolution, TransportStatus};

@@ -470,12 +470,6 @@ pub(crate) fn solve_inner(p: &Problem, opts: Options) -> Solution {
     }
 }
 
-/// Former observed entry point, now an alias for [`solve_with`].
-#[deprecated(since = "0.2.0", note = "use solve_with, the single entry point taking an ObsHandle")]
-pub fn solve_observed(p: &Problem, opts: Options, obs: &dust_obs::ObsHandle) -> Solution {
-    solve_with(p, opts, obs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,16 +91,6 @@ impl TransportProblem {
         s
     }
 
-    /// Former observed entry point, now an alias for
-    /// [`TransportProblem::solve_with`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use solve_with, the single entry point taking an ObsHandle"
-    )]
-    pub fn solve_observed(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
-        self.solve_with(obs)
-    }
-
     /// Solve with no observability.
     pub fn solve(&self) -> TransportSolution {
         self.solve_with(&dust_obs::ObsHandle::disabled())

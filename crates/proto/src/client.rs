@@ -76,10 +76,20 @@ const KEEPALIVE_DIVISOR: u64 = 4;
 /// arrived (the transport may have dropped either direction).
 const REGISTER_RETRY_MS: u64 = 1_000;
 
+/// A hosting order's payload is only bookable if both quantities are
+/// finite and the capacity share is positive — anything else is a
+/// corrupted or hostile frame, not a workload.
+fn sane_payload(amount: f64, data_mb: f64) -> bool {
+    amount.is_finite() && amount > 0.0 && data_mb.is_finite() && data_mb >= 0.0
+}
+
 impl Client {
-    /// A new, unregistered client.
+    /// A new, unregistered client. The ceiling is a percentage; values
+    /// outside `[0, 100]` (including NaN) are clamped rather than trusted,
+    /// so a bad config can never panic a node.
     pub fn new(node: NodeId, capable: bool, accept_ceiling: f64) -> Self {
-        assert!((0.0..=100.0).contains(&accept_ceiling), "ceiling must be a percentage");
+        let accept_ceiling =
+            if accept_ceiling.is_finite() { accept_ceiling.clamp(0.0, 100.0) } else { 0.0 };
         Client {
             node,
             capable,
@@ -119,11 +129,13 @@ impl Client {
         self.hosted.values().map(|w| w.amount).sum()
     }
 
-    /// Update local readings (from the node's own monitor agents).
+    /// Update local readings (from the node's own monitor agents). Readings
+    /// come from outside the protocol — a wedged agent reporting NaN or a
+    /// utilization above 100 % is clamped, never a panic.
     pub fn observe(&mut self, utilization: f64, data_mb: f64) {
-        assert!((0.0..=100.0).contains(&utilization), "utilization out of range");
-        self.utilization = utilization;
-        self.data_mb = data_mb;
+        self.utilization =
+            if utilization.is_finite() { utilization.clamp(0.0, 100.0) } else { 0.0 };
+        self.data_mb = if data_mb.is_finite() { data_mb.max(0.0) } else { 0.0 };
     }
 
     /// Begin registration: emits the `Offload-capable` message (§III-B).
@@ -176,8 +188,11 @@ impl Client {
                 }
                 // Accept only while the added load keeps us under our own
                 // ceiling (the QoS guarantee of §III-C: remote nodes must
-                // not be degraded).
+                // not be degraded). A corrupted frame can smuggle NaN or
+                // negative payloads past the codec — those are refused, so
+                // the hosting ledger can never go negative.
                 let accept = self.capable
+                    && sane_payload(*amount, *data_mb)
                     && self.utilization + self.hosted_amount() + amount <= self.accept_ceiling;
                 if accept {
                     self.hosted.insert(
@@ -201,6 +216,17 @@ impl Client {
             ManagerMsg::Rep { request, failed: _, from, amount, data_mb, route: _ } => {
                 if self.released.contains(request) {
                     self.obs.counter_inc("proto.client.tombstone_refusals");
+                    return Some(ClientMsg::OffloadAck {
+                        node: self.node,
+                        request: *request,
+                        accept: false,
+                    });
+                }
+                // A REP is an unconditional hosting order, but a corrupted
+                // frame is not an order: refuse garbage payloads instead of
+                // booking them.
+                if !sane_payload(*amount, *data_mb) {
+                    self.obs.counter_inc("proto.client.refusals");
                     return Some(ClientMsg::OffloadAck {
                         node: self.node,
                         request: *request,
@@ -266,7 +292,9 @@ impl Client {
             }
             ClientPhase::Active => {}
         }
-        let interval = self.update_interval_ms.expect("active client has an interval");
+        // An Active client always has an interval (set by the ACK), but a
+        // missing one must degrade to silence, not a panic.
+        let Some(interval) = self.update_interval_ms else { return };
         if interval == 0 {
             return;
         }
@@ -460,6 +488,36 @@ mod tests {
         // keepalive cadence is interval/4 = 250ms
         assert!(c.tick(2100).is_empty());
         assert!(c.tick(2250).iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })));
+    }
+
+    #[test]
+    fn keepalive_period_clamps_to_one_ms_for_tiny_stat_intervals() {
+        // STAT intervals of 1–3 ms divide to 0 under KEEPALIVE_DIVISOR;
+        // the clamp must hold the heartbeat at 1 ms, never 0 (which would
+        // read as "always due" semantics degenerating per-call).
+        for interval in 1..=3u64 {
+            let mut c = Client::new(NodeId(1), true, 80.0);
+            let _ = c.register(0);
+            c.handle(0, &ManagerMsg::Ack { update_interval_ms: interval });
+            c.observe(30.0, 5.0);
+            c.handle(0, &request(1, 10.0));
+            let first = c.tick(interval);
+            assert!(
+                first.iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })),
+                "interval {interval}: hosting client must heartbeat"
+            );
+            // the next keepalive is due exactly 1 ms later — not sooner
+            // (same-instant re-tick) and not stalled
+            let t = interval;
+            assert!(
+                !c.tick(t).iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })),
+                "interval {interval}: re-tick at the same ms must not re-heartbeat"
+            );
+            assert!(
+                c.tick(t + 1).iter().any(|m| matches!(m, ClientMsg::Keepalive { .. })),
+                "interval {interval}: keepalive must be due 1 ms later"
+            );
+        }
     }
 
     #[test]

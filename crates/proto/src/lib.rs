@@ -15,7 +15,7 @@
 //!
 //! let g = topologies::line(2, Link::default());
 //! let mut manager = Manager::new(g, DustConfig::paper_defaults(),
-//!     SolverBackend::Transportation, 1000, 4000);
+//!     SolverBackend::Transportation, 1000, 4000).unwrap();
 //! let mut busy = Client::new(NodeId(0), true, 80.0);
 //! let mut helper = Client::new(NodeId(1), true, 80.0);
 //!

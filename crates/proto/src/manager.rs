@@ -19,7 +19,8 @@
 
 use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
 use dust_core::{
-    optimize_with, DustConfig, Nmdb, NodeState, Placement, PlacementStatus, SolverBackend,
+    optimize_with, DustConfig, DustError, Nmdb, NodeState, Placement, PlacementStatus,
+    SolverBackend,
 };
 use dust_obs::{ObsHandle, TraceEvent};
 use dust_topology::{min_inv_lu_dp_path, CostEngine, Graph, NodeId, Path};
@@ -127,16 +128,22 @@ impl Manager {
     /// silent before replica substitution kicks in. The offer-expiry
     /// timeout defaults to `2 × update_interval_ms`; tune it with
     /// [`Manager::with_offer_timeout`].
+    ///
+    /// An invalid `cfg` or a zero update interval is a typed
+    /// [`DustError::BadConfig`] — a daemon bootstrapping from an untrusted
+    /// config file must never panic.
     pub fn new(
         graph: Graph,
         cfg: DustConfig,
         backend: SolverBackend,
         update_interval_ms: u64,
         keepalive_timeout_ms: u64,
-    ) -> Self {
-        cfg.validate().expect("invalid DustConfig");
-        assert!(update_interval_ms > 0, "update interval must be positive");
-        Manager {
+    ) -> Result<Self, DustError> {
+        cfg.validate().map_err(DustError::BadConfig)?;
+        if update_interval_ms == 0 {
+            return Err(DustError::BadConfig("update interval must be positive".to_string()));
+        }
+        Ok(Manager {
             cfg,
             backend,
             graph,
@@ -153,7 +160,7 @@ impl Manager {
             next_request: 0,
             obs: ObsHandle::disabled(),
             engine: Arc::new(CostEngine::new()),
-        }
+        })
     }
 
     /// Attach an observability handle: every protocol transition and
@@ -170,11 +177,14 @@ impl Manager {
         &self.obs
     }
 
-    /// Override the base offer-expiry timeout (must be positive).
-    pub fn with_offer_timeout(mut self, offer_timeout_ms: u64) -> Self {
-        assert!(offer_timeout_ms > 0, "offer timeout must be positive");
+    /// Override the base offer-expiry timeout; zero is a typed
+    /// [`DustError::BadConfig`].
+    pub fn with_offer_timeout(mut self, offer_timeout_ms: u64) -> Result<Self, DustError> {
+        if offer_timeout_ms == 0 {
+            return Err(DustError::BadConfig("offer timeout must be positive".to_string()));
+        }
         self.offer_timeout_ms = offer_timeout_ms;
-        self
+        Ok(self)
     }
 
     /// Base timeout before an unconfirmed offer retransmits, ms.
@@ -350,7 +360,13 @@ impl Manager {
             .nodes()
             .map(|n| match self.registry.get(&n) {
                 Some(rec) if rec.capable => match rec.last_stat {
-                    Some((_, u, d)) => NodeState::new(u.clamp(0.0, 100.0), d.max(0.0)),
+                    // A STAT travels as raw f64 bits, so a corrupt or
+                    // hostile frame can smuggle NaN/∞ here; sanitize to
+                    // idle rather than let NodeState's invariants panic.
+                    Some((_, u, d)) if u.is_finite() && d.is_finite() => {
+                        NodeState::new(u.clamp(0.0, 100.0), d.max(0.0))
+                    }
+                    Some(_) => NodeState::new(0.0, 0.0).non_offloading(),
                     None => NodeState::new(0.0, 0.0).non_offloading(),
                 },
                 _ => NodeState::new(0.0, 0.0).non_offloading(),
@@ -386,6 +402,8 @@ impl Manager {
                     cost_time: Duration::ZERO,
                     solve_time: Duration::ZERO,
                     shadow_prices: Vec::new(),
+                    partitions: 1,
+                    partition_fallback: false,
                 }
             });
         let mut out = Vec::new();
@@ -455,13 +473,13 @@ impl Manager {
             .map(|(r, _)| *r)
             .collect();
         for req in expired {
-            let attempts = self.hostings[&req].attempts;
+            let Some(attempts) = self.hostings.get(&req).map(|h| h.attempts) else { continue };
             if attempts >= MAX_OFFER_ATTEMPTS {
                 // Abandon: the destination never confirmed. Its ACK may
                 // have been lost after it accepted, so send a clean-up
                 // Release; a REP that never landed additionally hands the
                 // workload back to its owner under the old request id.
-                let h = self.hostings.remove(&req).expect("listed above");
+                let Some(h) = self.hostings.remove(&req) else { continue };
                 self.offers_abandoned += 1;
                 self.obs.counter_inc("proto.offers_abandoned");
                 self.obs.trace_at(now_ms, TraceEvent::Abandon { request: req.0 });
@@ -473,8 +491,8 @@ impl Manager {
                     self.orphaned.push(h);
                 }
             } else {
+                let Some(h) = self.hostings.get_mut(&req) else { continue };
                 self.offer_retries += 1;
-                let h = self.hostings.get_mut(&req).expect("listed above");
                 h.attempts += 1;
                 h.offered_ms = now_ms;
                 self.obs.counter_inc("proto.offer_retransmits");
@@ -526,7 +544,7 @@ impl Manager {
                 .map(|(r, _)| *r)
                 .collect();
             for req in affected {
-                let hosting = self.hostings.remove(&req).expect("listed above");
+                let Some(hosting) = self.hostings.remove(&req) else { continue };
                 match self.pick_replacement(now_ms, failed, hosting.amount) {
                     Some(replacement) => {
                         let new_req = self.fresh_request();
@@ -624,7 +642,7 @@ impl Manager {
             .map(|(r, _)| *r)
             .collect();
         for req in reclaimable {
-            let h = self.hostings.remove(&req).expect("listed above");
+            let Some(h) = self.hostings.remove(&req) else { continue };
             self.obs.counter_inc("proto.reclaims");
             self.obs.trace_at(now_ms, TraceEvent::Reclaim { request: req.0, node: h.from.0 });
             out.push(self.send_release(now_ms, h.to, req));
@@ -640,7 +658,7 @@ impl Manager {
             .map(|(r, _)| *r)
             .collect();
         for req in due {
-            let r = self.releases.get_mut(&req).expect("listed above");
+            let Some(r) = self.releases.get_mut(&req) else { continue };
             if r.attempts >= MAX_RELEASE_ATTEMPTS {
                 self.releases.remove(&req);
             } else {
@@ -690,6 +708,7 @@ mod tests {
             1000,
             3000,
         )
+        .unwrap()
     }
 
     fn register_and_stat(m: &mut Manager, node: NodeId, util: f64) {

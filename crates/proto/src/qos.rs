@@ -49,9 +49,9 @@ pub struct ClassifiedLoad {
 /// it, so "remote nodes participating in the offloading process are not
 /// expected to experience any traffic loss" on their own classes.
 pub fn admit(loads: &[ClassifiedLoad], capacity_mbps: f64) -> Vec<f64> {
-    assert!(capacity_mbps >= 0.0, "capacity must be >= 0");
     let mut admitted = vec![0.0; loads.len()];
-    let mut remaining = capacity_mbps;
+    // a negative or NaN capacity admits nothing rather than panicking
+    let mut remaining = if capacity_mbps.is_finite() { capacity_mbps.max(0.0) } else { 0.0 };
     // highest priority first
     for class in Priority::DISCARD_ORDER.iter().rev() {
         let offered: f64 = loads.iter().filter(|l| l.priority == *class).map(|l| l.mbps).sum();

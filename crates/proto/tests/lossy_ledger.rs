@@ -57,7 +57,8 @@ impl Harness {
             SolverBackend::Transportation,
             UPDATE_INTERVAL_MS,
             KEEPALIVE_TIMEOUT_MS,
-        );
+        )
+        .unwrap();
         let mut clients = BTreeMap::new();
         let mut load = BTreeMap::new();
         for i in 0..n as u32 {

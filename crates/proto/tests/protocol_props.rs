@@ -154,7 +154,8 @@ fn manager_bookkeeping_sound() {
         let rounds = rng.range_u64(1, 4) as usize;
         let g = topologies::star(5, Link::default());
         let mut m =
-            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400);
+            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400)
+                .unwrap();
         for n in 0..5u32 {
             m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
         }
@@ -210,7 +211,8 @@ fn failures_conserve_hostings() {
         let silence_ms = rng.range_u64(500, 5_000);
         let g = topologies::line(3, Link::default());
         let mut m =
-            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400);
+            Manager::new(g, DustConfig::paper_defaults(), SolverBackend::Transportation, 100, 400)
+                .unwrap();
         for n in 0..3u32 {
             m.handle(0, &ClientMsg::OffloadCapable { node: NodeId(n), capable: true });
         }

@@ -70,7 +70,9 @@ impl Harness {
             UPDATE_INTERVAL_MS,
             KEEPALIVE_TIMEOUT_MS,
         )
-        .with_offer_timeout(500);
+        .unwrap()
+        .with_offer_timeout(500)
+        .unwrap();
         manager.set_obs(obs.clone());
         let mut clients = BTreeMap::new();
         let mut load = BTreeMap::new();

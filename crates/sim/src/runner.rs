@@ -225,30 +225,14 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Start building a simulation: the validating replacement for the
-    /// old `SimConfig` + [`Simulation::new`] surface. See
+    /// Start building a simulation: the validating entry point. See
     /// [`crate::builder::SimBuilder`].
     pub fn builder() -> crate::builder::SimBuilder {
         crate::builder::SimBuilder::new()
     }
 
-    /// Build a simulation over `graph` with one [`SimNode`] per vertex.
-    ///
-    /// # Panics
-    /// Panics if `nodes.len() != graph.node_count()` or the fault config
-    /// holds invalid probabilities.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Simulation::builder(), which validates the configuration \
-                and reports inconsistent knobs as DustError::BadConfig"
-    )]
-    pub fn new(graph: Graph, nodes: Vec<SimNode>, traffic: TrafficModel, cfg: SimConfig) -> Self {
-        Self::assemble(graph, nodes, traffic, cfg)
-    }
-
-    /// Internal constructor shared by the builder and the deprecated
-    /// [`Simulation::new`]. Panics on node-count mismatch; the builder
-    /// pre-validates and never trips these.
+    /// Internal constructor behind the builder. Panics on node-count
+    /// mismatch; the builder pre-validates and never trips these.
     pub(crate) fn assemble(
         graph: Graph,
         nodes: Vec<SimNode>,
@@ -262,7 +246,8 @@ impl Simulation {
             cfg.backend,
             cfg.update_interval_ms,
             cfg.keepalive_timeout_ms,
-        );
+        )
+        .expect("builder pre-validated the SimConfig");
         let clients =
             nodes.iter().map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0)).collect();
         let transport = Transport::new(cfg.seed, cfg.faults);
@@ -356,13 +341,15 @@ impl Simulation {
         self.record_breaches(now, &fired);
     }
 
-    /// Schedule a crash of `node` at `at_ms`.
-    pub fn inject_failure(&mut self, at_ms: u64, node: NodeId) {
+    /// Schedule a crash of `node` at `at_ms` (builder-internal; callers
+    /// use [`crate::builder::SimBuilder::kill_at`]).
+    pub(crate) fn inject_failure(&mut self, at_ms: u64, node: NodeId) {
         self.kills.push((at_ms, node));
     }
 
-    /// Schedule a revival of `node` at `at_ms`.
-    pub fn inject_revival(&mut self, at_ms: u64, node: NodeId) {
+    /// Schedule a revival of `node` at `at_ms` (builder-internal; callers
+    /// use [`crate::builder::SimBuilder::revive_at`]).
+    pub(crate) fn inject_revival(&mut self, at_ms: u64, node: NodeId) {
         self.revives.push((at_ms, node));
     }
 
@@ -1141,19 +1128,5 @@ mod tests {
             a.mean(NodeId(0), "device-cpu", 0, 60_000),
             b.mean(NodeId(0), "device-cpu", 0, 60_000)
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_works() {
-        let g = topologies::line(2, Link::default());
-        let nodes = vec![
-            SimNode::with_standard_agents(NodeId(0), NodeSpec::aruba_8325()),
-            SimNode::bare(NodeId(1), NodeSpec::server()),
-        ];
-        let cfg = SimConfig { duration_ms: 5_000, ..Default::default() };
-        let mut sim = Simulation::new(g, nodes, TrafficModel::testbed(), cfg);
-        let report = sim.run();
-        assert!(report.end_ms > 0);
     }
 }

@@ -329,6 +329,43 @@ impl CostEngine {
         let _ = self.rows(g, sources, max_hop, engine);
     }
 
+    /// Run `jobs` independent closures on the engine's scoped-thread pool,
+    /// returning the results in job order. Same worker discipline as
+    /// [`CostEngine::rows`] — a shared cursor feeds indices, each worker
+    /// writes its own slot — so the output is identical for any thread
+    /// count. The partitioned placement solver fans its transportation
+    /// subproblems out through here.
+    pub fn run_parallel<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads().min(jobs);
+        if workers <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let v = f(i);
+                    if slots[i].set(v).is_err() {
+                        unreachable!("cursor handed out job {i} twice");
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker left a job unfinished"))
+            .collect()
+    }
+
     /// Build the `T_rmin` matrix (Eq. 2): row `r` is
     /// `data_mb[r] · Σ 1/Lu_e` from `sources[r]` to each destination, `0`
     /// on the diagonal, `∞` for pairs with no path inside the bound.
@@ -603,6 +640,20 @@ mod engine_tests {
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_parallel_preserves_job_order_for_any_thread_count() {
+        let jobs = 23usize;
+        let expect: Vec<usize> = (0..jobs).map(|i| i * i).collect();
+        for threads in [1usize, 2, 4, 16, 0] {
+            let engine = CostEngine::with_threads(threads);
+            let got = engine.run_parallel(jobs, |i| i * i);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        // more workers than jobs, and zero jobs, are both fine
+        assert_eq!(CostEngine::with_threads(8).run_parallel(2, |i| i), vec![0, 1]);
+        assert!(CostEngine::new().run_parallel(0, |i| i).is_empty());
     }
 
     #[test]

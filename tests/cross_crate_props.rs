@@ -108,7 +108,8 @@ fn manager_snapshot_matches_direct_optimization() {
         let cfg = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
         let nmdb = random_nmdb(&ft.graph, &cfg, &ScenarioParams::default(), seed);
         let mut manager =
-            Manager::new(ft.graph.clone(), cfg, SolverBackend::Transportation, 1_000, 4_000);
+            Manager::new(ft.graph.clone(), cfg, SolverBackend::Transportation, 1_000, 4_000)
+                .unwrap();
         let mut clients: Vec<Client> =
             ft.graph.nodes().map(|n| Client::new(n, true, 100.0)).collect();
         for c in clients.iter_mut() {

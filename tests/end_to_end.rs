@@ -49,10 +49,10 @@ fn destination_failure_is_survived() {
         .dust(scenarios::testbed_dust_config())
         .duration_ms(120_000)
         .full_monitoring_offload(true)
+        // kill a server mid-run; the fleet must re-home or orphan cleanly
+        .kill_at(40_000, NodeId(4))
         .build()
         .expect("testbed knobs are consistent");
-    // kill both servers in turn; the fleet must re-home or orphan cleanly
-    sim.inject_failure(40_000, NodeId(4));
     let report = sim.run();
     // agents are conserved: 10 total, somewhere
     let hosted_elsewhere: usize =

@@ -75,7 +75,7 @@ fn protocol_round_trip_reaches_confirmed_hosting() {
     // manual wiring (no simulator): manager + 3 clients on a line
     let g = topologies::line(3, Link::default());
     let cfg = paper_cfg();
-    let mut manager = Manager::new(g, cfg, SolverBackend::Transportation, 1_000, 4_000);
+    let mut manager = Manager::new(g, cfg, SolverBackend::Transportation, 1_000, 4_000).unwrap();
     let mut clients: Vec<Client> = (0..3).map(|i| Client::new(NodeId(i), true, 80.0)).collect();
 
     for c in clients.iter_mut() {
