@@ -10,7 +10,7 @@ fn main() {
     let group = Runner::group("chaos");
     for &loss in &[0.0, 0.1, 0.2, 0.4] {
         group.bench(&format!("testbed-60s/loss-{}", (loss * 100.0) as u32), || {
-            chaos(loss, 60_000, 7)
+            chaos_run(loss, 60_000, 7)
         });
     }
 
@@ -20,7 +20,7 @@ fn main() {
         "{:<8} {:>10} {:>6} {:>9} {:>10} {:>15}",
         "loss%", "transfers", "reps", "retries", "abandoned", "first-offload"
     );
-    for r in chaos_sweep(&[0.0, 0.05, 0.1, 0.2, 0.4], 120_000, 7) {
+    for r in chaos_ladder(&[0.0, 0.05, 0.1, 0.2, 0.4], 120_000, 7) {
         println!(
             "{:<8} {:>10} {:>6} {:>9} {:>10} {:>15}",
             format!("{:.0}", r.loss * 100.0),

@@ -9,7 +9,7 @@ use dust_bench::harness::Runner;
 fn main() {
     let group = Runner::group("simulation");
     for &duration in &[30_000u64, 60_000] {
-        group.bench(&format!("fig6-pair/{}", duration / 1000), || fig6(duration, 7));
+        group.bench(&format!("fig6-pair/{}", duration / 1000), || fig6_contrast(duration, 7));
     }
     group.bench("fleet-4k-60s", || scenarios::fleet(4, 60_000, 7));
 }

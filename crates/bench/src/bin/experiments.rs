@@ -27,6 +27,8 @@ const USAGE: &str = "usage: experiments <fig1|...|fig12|zoned|fleet|congestion|a
   fleet  extension: all edge switches offload simultaneously
   congestion  extension: QoS squeeze on offloaded telemetry
   partition   extension: POP-style partitioned solve, gap/speedup vs k
+  int         extension: INT sampling, deterministic 1/N vs probabilistic p
+  storm       extension: zone_storm scenario convergence ladder
   all    everything above, in order
 
   --seed N   master seed (default printed in the header)
@@ -85,6 +87,8 @@ fn main() {
         "fleet" => figures::fleet(seed, effort),
         "congestion" => figures::congestion(seed, effort),
         "partition" => figures::partition(seed, effort),
+        "int" => figures::int_contrast(seed, effort),
+        "storm" => figures::zone_storm(seed, effort),
         "all" => figures::all(seed, effort),
         other => {
             eprintln!("unknown figure {other:?}\n{USAGE}");

@@ -23,7 +23,7 @@ pub fn fig1(seed: u64, effort: Effort) -> String {
         Effort::Full => 181_000,
     };
     let levels = [0.0, 0.05, 0.10, 0.15, 0.20];
-    let rows = dust::sim::scenarios::fig1(&levels, per_level, seed);
+    let rows = dust::sim::registry::fig1_curve(&levels, per_level, seed);
     let mut t = Table::new(&["traffic (% line rate)", "mean CPU (% of core)", "peak CPU (%)"]);
     for r in rows {
         t.row(&[
@@ -45,7 +45,7 @@ pub fn fig6(seed: u64, effort: Effort) -> String {
         Effort::Quick => 120_000,
         Effort::Full => 300_000,
     };
-    let r = dust::sim::scenarios::fig6(duration, seed);
+    let r = dust::sim::registry::fig6_contrast(duration, seed);
     let mut t = Table::new(&["metric", "local", "DUST", "reduction (%)"]);
     t.row(&[
         "CPU (%)".into(),
@@ -528,6 +528,92 @@ pub fn partition(seed: u64, effort: Effort) -> String {
     )
 }
 
+/// Extension — INT-style per-packet sampling: deterministic `1/N`
+/// versus seeded probabilistic `p` at matched expected fractions. The
+/// realized report rate and the agent's modeled CPU cost must agree
+/// between the two modes; only the per-packet decision sequence differs.
+pub fn int_contrast(seed: u64, effort: Effort) -> String {
+    use dust::telemetry::IntSampling;
+    let pkts: u64 = match effort {
+        Effort::Quick => 100_000,
+        Effort::Full => 1_000_000,
+    };
+    let mut t = Table::new(&[
+        "sampling",
+        "expected fraction",
+        "realized reports/pkt",
+        "agent CPU (%, 20% traffic)",
+    ]);
+    for (n, p) in [(1u32, 1.0f64), (2, 0.5), (4, 0.25), (8, 0.125)] {
+        for mode in [IntSampling::Deterministic { n }, IntSampling::Probabilistic { p }] {
+            let realized = mode.sampler(seed).reports_for(pkts) as f64 / pkts as f64;
+            let agent = MonitorAgent::int(mode);
+            let label = match mode {
+                IntSampling::Deterministic { n } => format!("det 1/{n}"),
+                IntSampling::Probabilistic { p } => format!("prob p={p}"),
+            };
+            t.row(&[
+                label,
+                format!("{:.4}", mode.fraction()),
+                format!("{:.4}", realized),
+                format!("{:.2}", agent.cpu_percent(0.2)),
+            ]);
+        }
+    }
+    format!(
+        "Extension — INT sampling: deterministic 1/N vs probabilistic p ({pkts} pkts)\n{}\n\
+         matched fractions cost the same CPU; deterministic realizes ceil(pkts/N)/pkts\n\
+         exactly while probabilistic converges binomially (`sim --scenario int_burst`\n\
+         runs both agent flavors on the DUT and is digest-pinned in tests/golden_trace.rs).\n",
+        t.render()
+    )
+}
+
+/// Extension — the `zone_storm` registry scenario across a seed ladder:
+/// CPU-cascade storm kills, a pod-wide zone outage, revival, and the
+/// re-convergence the SLO spec gates in CI.
+pub fn zone_storm(seed: u64, effort: Effort) -> String {
+    use dust::sim::registry::{self, ScenarioKnobs};
+    let runs = match effort {
+        Effort::Quick => 4,
+        Effort::Full => 10,
+    };
+    let sc = registry::find("zone_storm").expect("registered scenario");
+    let mut t = Table::new(&[
+        "seed",
+        "cascades",
+        "killed",
+        "revived",
+        "transfers",
+        "first offload (ms)",
+        "slo",
+    ]);
+    for i in 0..runs {
+        let s = seed.wrapping_add(i);
+        let knobs =
+            ScenarioKnobs { obs: dust::obs::ObsHandle::recording(s), ..ScenarioKnobs::seeded(s) };
+        let run = sc.run(&knobs).expect("zone_storm builds");
+        t.row(&[
+            format!("{s}"),
+            format!("{}", knobs.obs.counter("sim.storm_cascades")),
+            format!("{}", knobs.obs.counter("sim.nodes_killed")),
+            format!("{}", knobs.obs.counter("sim.nodes_revived")),
+            format!("{}", run.report.transfers_applied),
+            run.report.first_transfer_ms.map_or("never".into(), |ms| format!("{ms}")),
+            if run.breached() { "BREACH".into() } else { "pass".to_string() },
+        ]);
+    }
+    format!(
+        "Extension — zone_storm convergence ladder ({} seeds, {} s each)\n{}\n\
+         every seed must converge (offload despite the storm) and pass the\n\
+         attached spec `{}` — the same gate CI runs via `dustctl sim --scenario`.\n",
+        runs,
+        sc.default_duration_ms / 1000,
+        t.render(),
+        sc.slo_spec
+    )
+}
+
 /// Run every figure in order.
 pub fn all(seed: u64, effort: Effort) -> String {
     [
@@ -543,6 +629,8 @@ pub fn all(seed: u64, effort: Effort) -> String {
         fleet(seed, effort),
         congestion(seed, effort),
         partition(seed, effort),
+        int_contrast(seed, effort),
+        zone_storm(seed, effort),
     ]
     .join("\n")
 }

@@ -84,10 +84,16 @@ pub fn parse_sim_invocation(
             "--dup" => s.dup = numeric(&mut it, "--dup")?,
             "--delay" => s.delay_ms = numeric(&mut it, "--delay")? as u64,
             "--jitter" => s.jitter_ms = numeric(&mut it, "--jitter")? as u64,
-            "--duration" => s.duration_ms = numeric(&mut it, "--duration")? as u64,
+            "--duration" => {
+                s.duration_ms = numeric(&mut it, "--duration")? as u64;
+                s.duration_explicit = true;
+            }
             "--seed" => s.seed = numeric(&mut it, "--seed")? as u64,
             "--engine" => s.engine = EngineKind::parse(&text(&mut it, "--engine")?)?,
             // -- sim only -------------------------------------------------
+            "--scenario" if kind == SimCommandKind::Sim => {
+                s.scenario = Some(text(&mut it, "--scenario")?)
+            }
             "--sweep" if kind == SimCommandKind::Sim => s.sweep = true,
             "--metrics" if kind == SimCommandKind::Sim => s.metrics = true,
             "--metrics-json" if kind == SimCommandKind::Sim => s.metrics_json = true,

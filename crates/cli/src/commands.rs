@@ -106,6 +106,13 @@ pub struct SimOptions {
     /// and the legacy tick core produce byte-identical output for the
     /// same flags; `--engine tick` exists to prove it.
     pub engine: EngineKind,
+    /// Run a named registry scenario instead of the chaos ladder
+    /// (`--scenario help` lists the registry). Mutually exclusive with
+    /// the fault flags, `--sweep`, and `--inject-breach`.
+    pub scenario: Option<String>,
+    /// True when `--duration` was passed explicitly — a scenario run
+    /// otherwise uses the entry's own default duration.
+    pub duration_explicit: bool,
 }
 
 impl Default for SimOptions {
@@ -125,6 +132,8 @@ impl Default for SimOptions {
             postmortem: None,
             inject_breach: false,
             engine: EngineKind::default(),
+            scenario: None,
+            duration_explicit: false,
         }
     }
 }
@@ -187,6 +196,9 @@ pub struct SimRun {
 /// and flip [`SimRun::slo_breached`].
 pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
     opts.validate()?;
+    if opts.scenario.is_some() {
+        return cmd_sim_scenario(opts);
+    }
     let spec = match &opts.slo {
         Some(s) => Some(SloSpec::parse(s)?),
         None => None,
@@ -305,6 +317,127 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
         }
     }
     Ok(SimRun { output: out, slo_breached })
+}
+
+/// `dustctl sim --scenario <name>`: run one registry scenario with its
+/// attached SLO spec evaluated by default (`--slo` overrides it). The
+/// run always records — the digest lands in the JSON line and two runs
+/// at the same seed are byte-identical, which is what the CI chaos gate
+/// diffs. A breach flips [`SimRun::slo_breached`] (exit 1) and, with
+/// `--postmortem`, dumps the flight recorder; unlike an invariant
+/// violation it is a finding, so the report is still printed.
+fn cmd_sim_scenario(opts: &SimOptions) -> Result<SimRun, String> {
+    let name = opts.scenario.as_deref().expect("caller checked");
+    if name == "help" || name == "list" {
+        let mut out = String::from("named scenarios (dustctl sim --scenario <name>):\n\n");
+        for sc in registry::all() {
+            out.push_str(&format!(
+                "  {:<12} {}\n               default {} s, slo {}\n",
+                sc.name,
+                sc.summary,
+                sc.default_duration_ms / 1000,
+                sc.slo_spec,
+            ));
+        }
+        return Ok(SimRun { output: out, slo_breached: false });
+    }
+    let Some(sc) = registry::find(name) else {
+        let names: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+        return Err(format!(
+            "unknown scenario {name:?} (have: {}; --scenario help describes them)",
+            names.join(", ")
+        ));
+    };
+    if opts.loss != 0.0 || opts.dup != 0.0 || opts.delay_ms != 0 || opts.jitter_ms != 0 {
+        return Err(format!(
+            "scenario {} carries its own fault model: drop --loss/--dup/--delay/--jitter",
+            sc.name
+        ));
+    }
+    if opts.sweep || opts.inject_breach {
+        return Err("--sweep/--inject-breach apply to the chaos ladder, not --scenario runs".into());
+    }
+    let slo_override = match &opts.slo {
+        Some(s) => Some(SloSpec::parse(s)?),
+        None => None,
+    };
+    let obs = ObsHandle::recording(opts.seed);
+    let knobs = ScenarioKnobs {
+        duration_ms: opts.duration_explicit.then_some(opts.duration_ms),
+        seed: opts.seed,
+        engine: opts.engine,
+        obs: obs.clone(),
+        slo_override,
+    };
+    let duration = sc.duration(&knobs);
+    let run = sc.run(&knobs).map_err(|e| e.to_string())?;
+    let r = &run.report;
+    let mut out = format!(
+        "scenario {}: {}\n{:.0}s simulated, seed {}, slo {}\n\n",
+        sc.name,
+        sc.summary,
+        duration as f64 / 1000.0,
+        opts.seed,
+        opts.slo.as_deref().unwrap_or(sc.slo_spec),
+    );
+    out.push_str(&format!(
+        "transfers {} | replicas {} | msgs {} (dropped {}, duplicated {}) | \
+         retries {} | abandoned {}\n",
+        r.transfers_applied,
+        r.replicas_applied,
+        r.msgs_sent,
+        r.msgs_dropped,
+        r.msgs_duplicated,
+        r.offer_retries,
+        r.offers_abandoned,
+    ));
+    out.push_str(&match r.first_transfer_ms {
+        Some(t) => format!("first transfer at {t} ms\n"),
+        None => "no transfer landed\n".to_string(),
+    });
+    out.push_str(&format!("\n-- slo --\n{}", run.slo.report()));
+    if run.breached() {
+        if let Some(path) = opts.postmortem.as_deref() {
+            let msg = format!("scenario {} breached its SLO", sc.name);
+            if let Some(dump) = obs.post_mortem(&msg) {
+                match std::fs::write(path, &dump) {
+                    Ok(()) => out.push_str(&format!("\npostmortem written to {path}\n")),
+                    Err(e) => out.push_str(&format!("\npostmortem write to {path} failed: {e}\n")),
+                }
+            }
+        }
+    }
+    let m = obs.metrics().expect("recording handle");
+    let digest = obs.digest().expect("recording handle");
+    if opts.metrics {
+        out.push_str(&format!(
+            "\n-- metrics (scenario {}, seed {}, digest {digest:016x}) --\n{}",
+            sc.name,
+            opts.seed,
+            m.to_text()
+        ));
+    }
+    if opts.metrics_prom {
+        out.push_str(&format!(
+            "\n-- prometheus (scenario {}, seed {}) --\n{}",
+            sc.name,
+            opts.seed,
+            m.to_prometheus()
+        ));
+    }
+    if opts.metrics_json {
+        let lines: Vec<String> =
+            run.slo.breaches().iter().map(|b| format!("\"{}\"", b.to_line())).collect();
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"seed\":{},\"digest\":\"{digest:016x}\",\
+             \"slo_breaches\":[{}],\"metrics\":{}}}\n",
+            sc.name,
+            opts.seed,
+            lines.join(","),
+            m.to_json()
+        ));
+    }
+    Ok(SimRun { output: out, slo_breached: run.breached() })
 }
 
 /// On an invariant violation, dump the flight recorder to `path` (when
@@ -1103,5 +1236,78 @@ mod tests {
         assert!(cmd_sim(&SimOptions { loss: 1.5, ..Default::default() }).is_err());
         assert!(cmd_sim(&SimOptions { dup: -0.1, ..Default::default() }).is_err());
         assert!(cmd_sim(&SimOptions { duration_ms: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn scenario_help_lists_every_registry_entry() {
+        let run =
+            cmd_sim(&SimOptions { scenario: Some("help".into()), ..Default::default() }).unwrap();
+        for sc in registry::all() {
+            assert!(run.output.contains(sc.name), "{}", run.output);
+            assert!(run.output.contains(sc.slo_spec), "{}", run.output);
+        }
+        assert!(!run.slo_breached);
+    }
+
+    #[test]
+    fn scenario_run_is_slo_gated_and_byte_identical_per_seed() {
+        let o = SimOptions {
+            scenario: Some("int_burst".into()),
+            seed: 11,
+            metrics_json: true,
+            ..Default::default()
+        };
+        let a = cmd_sim(&o).unwrap();
+        let b = cmd_sim(&o).unwrap();
+        assert_eq!(a.output, b.output, "scenario runs must be reproducible byte-for-byte");
+        assert!(!a.slo_breached, "{}", a.output);
+        assert!(a.output.contains("\"scenario\":\"int_burst\""), "{}", a.output);
+        assert!(a.output.contains("\"digest\":\""), "{}", a.output);
+        assert!(a.output.contains("\"slo_breaches\":[]"), "{}", a.output);
+        assert!(a.output.contains("-- slo --"), "{}", a.output);
+    }
+
+    #[test]
+    fn scenario_duration_override_shrinks_the_run() {
+        let o = SimOptions {
+            scenario: Some("testbed".into()),
+            duration_ms: 30_000,
+            duration_explicit: true,
+            ..Default::default()
+        };
+        let run = cmd_sim(&o).unwrap();
+        assert!(run.output.contains("30s simulated"), "{}", run.output);
+    }
+
+    #[test]
+    fn scenario_slo_override_can_force_a_breach_and_postmortem() {
+        let path = std::env::temp_dir().join("dustctl-test-scenario-postmortem.txt");
+        let _ = std::fs::remove_file(&path);
+        let o = SimOptions {
+            scenario: Some("testbed".into()),
+            slo: Some("convergence<=1".into()),
+            postmortem: Some(path.to_string_lossy().into_owned()),
+            seed: 3,
+            ..Default::default()
+        };
+        let run = cmd_sim(&o).unwrap();
+        assert!(run.slo_breached, "an impossible bound must breach:\n{}", run.output);
+        assert!(run.output.contains("postmortem written to"), "{}", run.output);
+        let dump = std::fs::read_to_string(&path).expect("dump must exist");
+        assert!(dump.starts_with("postmortem reason="), "{dump}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_rejects_fault_flags_sweeps_and_unknown_names() {
+        let base = || SimOptions { scenario: Some("chaos".into()), ..Default::default() };
+        let err = cmd_sim(&SimOptions { loss: 0.1, ..base() }).unwrap_err();
+        assert!(err.contains("carries its own fault model"), "{err}");
+        let err = cmd_sim(&SimOptions { sweep: true, ..base() }).unwrap_err();
+        assert!(err.contains("chaos ladder"), "{err}");
+        let err = cmd_sim(&SimOptions { scenario: Some("figment".into()), ..Default::default() })
+            .unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        assert!(err.contains("zone_storm"), "the error must list the registry: {err}");
     }
 }

@@ -27,7 +27,8 @@ commands:
   zoned     <file> --zone-size N [--sweep]
                                per-zone placement, optional cross-zone sweep
   dot       <file>             Graphviz view: roles colored + chosen routes
-  sim                          chaos-run the testbed under a lossy control plane
+  sim                          chaos-run the testbed under a lossy control plane,
+                               or run a named registry scenario (--scenario)
   trace                        chaos-run with the trace recorder on; print the
                                event census and the run's deterministic digest
   spans                        chaos-run and reconstruct per-flow causal span
@@ -55,6 +56,12 @@ place options (plus the file options above):
   --gap         also solve each round exactly; report the objective gap
 
 sim options:
+  --scenario NAME
+                run a named registry scenario (testbed, chaos, int_burst,
+                diurnal, flash_crowd, zone_storm) with its own topology,
+                traffic/fault model, duration, and attached SLO spec —
+                evaluated by default; --scenario help lists the registry.
+                Excludes the fault flags, --sweep, and --inject-breach
   --loss P      drop probability per message, both directions (default 0)
   --dup P       duplication probability per message (default 0)
   --delay MS    base propagation delay per message (default 0)

@@ -65,6 +65,7 @@ pub mod prelude {
         SloEngine, SloKind, SloSpec, SpanForest, SpanOutcome, Trace, TraceAssert, TraceEvent,
     };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
+    #[allow(deprecated)]
     pub use dust_sim::{
         chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
         chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, evaluate_flows, fig1,
@@ -72,6 +73,10 @@ pub mod prelude {
         testbed_observed, testbed_observed_on, testbed_topology, ChaosResult, EngineKind,
         FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimBuilder, SimConfig, SimNode,
         SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
+    };
+    pub use dust_sim::{
+        chaos_ladder, chaos_run, fig1_curve, fig6_contrast, registry, Scenario, ScenarioKnobs,
+        ScenarioRun, StormConfig,
     };
     pub use dust_telemetry::{
         aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,

@@ -98,6 +98,10 @@ pub enum TraceEvent {
     /// in its spec, `node` the offender (`SLO_GLOBAL` for fleet-wide
     /// rules), `value_m` the observed value in milli-units.
     SloBreach { rule: u32, node: u32, value_m: u64 },
+    /// A failure storm cascaded: `node` was killed because its CPU
+    /// (`cpu_m`, milli-percent) crossed the storm's cascade threshold
+    /// under load.
+    StormCascade { node: u32, cpu_m: u64 },
 }
 
 /// Sentinel `node` value on [`TraceEvent::SloBreach`] for rules that
@@ -164,6 +168,7 @@ impl TraceEvent {
             ClientRegistered { .. } => "ClientRegistered",
             PlacementRound { .. } => "PlacementRound",
             SloBreach { .. } => "SloBreach",
+            StormCascade { .. } => "StormCascade",
         }
     }
 
@@ -271,6 +276,9 @@ impl fmt::Display for TraceEvent {
             }
             SloBreach { rule, node, value_m } => {
                 write!(f, "SloBreach rule={rule} node={node} value_m={value_m}")
+            }
+            StormCascade { node, cpu_m } => {
+                write!(f, "StormCascade node={node} cpu_m={cpu_m}")
             }
         }
     }

@@ -31,12 +31,12 @@
 
 use crate::engine::EngineKind;
 use crate::node::SimNode;
-use crate::runner::{SimConfig, Simulation};
+use crate::runner::{SimConfig, Simulation, StormConfig};
 use crate::traffic::TrafficModel;
 use crate::transport::FaultConfig;
 use dust_core::{DustConfig, DustError, SolverBackend};
 use dust_obs::{ObsHandle, SloEngine};
-use dust_topology::{Graph, NodeId};
+use dust_topology::{Graph, NodeId, PathEngine};
 
 /// Builder for [`Simulation`]; obtain one via [`Simulation::builder`].
 ///
@@ -178,6 +178,13 @@ impl SimBuilder {
         self
     }
 
+    /// Attach a correlated failure storm: cascading overload kills on
+    /// top of any scheduled [`kill_at`](SimBuilder::kill_at) injections.
+    pub fn storm(mut self, storm: StormConfig) -> Self {
+        self.cfg.storm = Some(storm);
+        self
+    }
+
     /// Crash `node` at `at_ms`.
     pub fn kill_at(mut self, at_ms: u64, node: NodeId) -> Self {
         self.kills.push((at_ms, node));
@@ -255,6 +262,35 @@ impl SimBuilder {
                 .into());
         }
         cfg.dust.validate().map_err(DustError::BadConfig)?;
+        // The PR 6 footgun: exhaustive path enumeration with no hop bound
+        // is exponential in path count on dense fabrics — on a fat-tree
+        // this size the first placement round effectively hangs. Callers
+        // must either bound hops or pin the hop-bounded DP engine (which
+        // returns the same optimum, property-tested).
+        if cfg.dust.path_engine == PathEngine::Enumerate
+            && cfg.dust.max_hop.is_none()
+            && graph.node_count() >= 80
+        {
+            return bad(format!(
+                "PathEngine::Enumerate without max_hop on a {}-node graph would \
+                 enumerate an exponential path set: pin PathEngine::HopBoundedDp \
+                 (DustConfig::with_engine) or set max_hop",
+                graph.node_count()
+            ));
+        }
+        if let Some(storm) = &cfg.storm {
+            if !storm.cpu_threshold.is_finite() || storm.cpu_threshold <= 0.0 {
+                return bad(format!(
+                    "storm cpu_threshold must be a positive CPU percentage, got {}",
+                    storm.cpu_threshold
+                ));
+            }
+            if storm.max_cascades == 0 {
+                return bad("a storm with max_cascades = 0 can never fire: drop the \
+                     storm or give it a kill budget"
+                    .into());
+            }
+        }
         let n = graph.node_count();
         for &(_, node) in self.kills.iter().chain(self.revives.iter()) {
             if node.index() >= n {
@@ -439,6 +475,77 @@ mod tests {
             .build()
             .unwrap_err());
         assert!(err.contains("after duration_ms"), "{err}");
+    }
+
+    #[test]
+    fn paper_defaults_on_a_big_fabric_are_rejected_loudly() {
+        // the PR-6 footgun: DustConfig::paper_defaults() keeps the
+        // paper-faithful exhaustive path enumeration with no hop bound,
+        // which is exponential on a real fabric. The builder must refuse
+        // before the first placement round ever runs.
+        use dust_core::DustConfig;
+        use dust_topology::{FatTree, PathEngine};
+        let ft = FatTree::new(8, Link::default()); // 80 nodes
+        let nodes: Vec<SimNode> =
+            ft.graph.nodes().map(|n| SimNode::bare(n, NodeSpec::server())).collect();
+        let err = msg(Simulation::builder()
+            .graph(ft.graph.clone())
+            .nodes(nodes.clone())
+            .dust(DustConfig::paper_defaults())
+            .build()
+            .unwrap_err());
+        assert!(err.contains("HopBoundedDp"), "{err}");
+        assert!(err.contains("80-node"), "{err}");
+        // pinning the DP engine (or a hop bound) makes the same fabric fine
+        let dp = DustConfig::paper_defaults().with_engine(PathEngine::HopBoundedDp);
+        assert!(Simulation::builder()
+            .graph(ft.graph.clone())
+            .nodes(nodes.clone())
+            .dust(dp)
+            .build()
+            .is_ok());
+        let bounded = DustConfig::paper_defaults().with_max_hop(Some(4));
+        assert!(Simulation::builder()
+            .graph(ft.graph.clone())
+            .nodes(nodes)
+            .dust(bounded)
+            .build()
+            .is_ok());
+        // small topologies keep accepting the paper defaults unchanged
+        let (g, small) = two_nodes();
+        assert!(Simulation::builder()
+            .graph(g)
+            .nodes(small)
+            .dust(DustConfig::paper_defaults())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn storm_knobs_are_validated() {
+        use crate::runner::StormConfig;
+        let storm = |cpu_threshold: f64, max_cascades: usize| StormConfig {
+            cpu_threshold,
+            start_ms: 0,
+            cascade_delay_ms: 1_000,
+            max_cascades,
+        };
+        let (g, nodes) = two_nodes();
+        let err = msg(Simulation::builder()
+            .graph(g.clone())
+            .nodes(nodes.clone())
+            .storm(storm(f64::NAN, 2))
+            .build()
+            .unwrap_err());
+        assert!(err.contains("cpu_threshold"), "{err}");
+        let err = msg(Simulation::builder()
+            .graph(g.clone())
+            .nodes(nodes.clone())
+            .storm(storm(30.0, 0))
+            .build()
+            .unwrap_err());
+        assert!(err.contains("max_cascades"), "{err}");
+        assert!(Simulation::builder().graph(g).nodes(nodes).storm(storm(30.0, 2)).build().is_ok());
     }
 
     #[test]

@@ -204,6 +204,7 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
                         db.append("telemetry-dropped", now, o.dropped_fraction);
                     }
                 }
+                sim.handle_storm_check(now, &mut q);
                 q.schedule_in(sim.cfg.sample_period_ms, SimEvent::TelemetrySample);
             }
             SimEvent::SloEvaluation => {

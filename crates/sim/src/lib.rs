@@ -16,19 +16,27 @@
 //!   delaying, and reordering control-plane messages per direction;
 //! * [`runner`] — the full wiring: protocol state machines, placement
 //!   rounds, physical agent movement, metric recording, failure injection;
-//! * [`scenarios`] — canned reproductions of Fig. 1 (monitoring CPU vs
-//!   traffic) and Fig. 6 (local vs DUST resource usage) on the Fig. 5
-//!   testbed topology, plus chaos scenarios sweeping control-plane loss.
+//! * [`scenarios`] — the shared Fig. 5 testbed fixtures (topology, agent
+//!   mixes, DUST config) and the parameterized chaos harness;
+//! * [`registry`] — the named scenario registry: every canned workload
+//!   (`testbed`, `chaos`, `int_burst`, `diurnal`, `flash_crowd`,
+//!   `zone_storm`) as a [`registry::Scenario`] descriptor carrying its
+//!   own SLO spec, plus the Fig. 1 / Fig. 6 experiment helpers.
 //!
 //! # Example
 //!
 //! ```
-//! use dust_sim::scenarios;
+//! use dust_sim::registry;
 //!
 //! // the Fig. 6 experiment, 60 simulated seconds
-//! let r = scenarios::fig6(60_000, 42);
+//! let r = registry::fig6_contrast(60_000, 42);
 //! assert!(r.transfers > 0);
 //! assert!(r.dust_cpu < r.local_cpu);
+//!
+//! // a registry scenario, SLO-gated by construction
+//! let sc = registry::find("testbed").unwrap();
+//! let run = sc.run(&registry::ScenarioKnobs::seeded(42)).unwrap();
+//! assert!(!run.breached());
 //! ```
 
 #![warn(missing_docs)]
@@ -38,6 +46,7 @@ pub mod engine;
 pub mod event;
 pub mod flows;
 pub mod node;
+pub mod registry;
 pub mod runner;
 pub mod scenarios;
 pub mod traffic;
@@ -47,7 +56,11 @@ pub use builder::SimBuilder;
 pub use engine::{EngineKind, EventQueue, EventToken, Scheduled};
 pub use flows::{evaluate_flows, FlowOutcome, TelemetryFlow};
 pub use node::{NodeSpec, SimNode};
-pub use runner::{SimConfig, SimReport, Simulation};
+pub use registry::{
+    chaos_ladder, chaos_run, fig1_curve, fig6_contrast, Scenario, ScenarioKnobs, ScenarioRun,
+};
+pub use runner::{SimConfig, SimReport, Simulation, StormConfig};
+#[allow(deprecated)]
 pub use scenarios::{
     chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
     chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, congestion, fig1, fig6,

@@ -7,7 +7,7 @@
 //! between [`SimNode`]s, so the Fig. 6 deltas fall out of the model rather
 //! than being scripted.
 
-use dust_telemetry::{AgentKind, MonitorAgent};
+use dust_telemetry::MonitorAgent;
 use dust_topology::NodeId;
 
 /// Hardware and baseline-software profile of a device.
@@ -132,7 +132,7 @@ impl SimNode {
         self.local_agents
             .iter()
             .chain(self.hosted_agents.iter().map(|(_, a)| a))
-            .map(|a| a.kind.cpu_percent(traffic_fraction))
+            .map(|a| a.cpu_percent(traffic_fraction))
             .sum()
     }
 
@@ -191,7 +191,7 @@ impl SimNode {
     /// Telemetry data volume this node must ship per interval if its local
     /// agents were monitored remotely (`D_i`, Mb).
     pub fn data_mb(&self, traffic_fraction: f64) -> f64 {
-        self.local_agents.iter().map(|a| a.kind.data_mb_per_interval(traffic_fraction)).sum()
+        self.local_agents.iter().map(|a| a.data_mb_per_interval(traffic_fraction)).sum()
     }
 
     /// Move up to `cpu_budget_percent` (device-level percent) of local
@@ -205,20 +205,19 @@ impl SimNode {
         traffic_fraction: f64,
     ) -> Vec<MonitorAgent> {
         self.note_agents_changed();
-        // device-level contribution of one agent
+        // device-level contribution of one agent (sampling-aware)
+        let cores = self.spec.cpu_cores;
         let device_cost =
-            |k: AgentKind| k.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / self.spec.cpu_cores;
+            |a: &MonitorAgent| a.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / cores;
         // largest first so few agents cover the budget
         self.local_agents.sort_by(|a, b| {
-            device_cost(b.kind)
-                .partial_cmp(&device_cost(a.kind))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            device_cost(b).partial_cmp(&device_cost(a)).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut moved = Vec::new();
         let mut budget = cpu_budget_percent;
         let mut i = 0;
         while i < self.local_agents.len() {
-            let c = device_cost(self.local_agents[i].kind);
+            let c = device_cost(&self.local_agents[i]);
             if c <= budget + 1e-9 {
                 let agent = self.local_agents.remove(i);
                 budget -= c;

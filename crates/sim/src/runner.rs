@@ -40,6 +40,27 @@ use dust_telemetry::Federation;
 use dust_topology::{Graph, NodeId, Path};
 use std::collections::{BTreeMap, HashSet};
 
+/// Correlated failure-storm parameters: overload-induced cascades on top
+/// of the scheduled `kill_at`/`revive_at` injections.
+///
+/// At every telemetry sample point at or after `start_ms`, any live node
+/// whose device CPU is at or above `cpu_threshold` is scheduled to crash
+/// `cascade_delay_ms` later — modeling a zone outage where the surviving
+/// members buckle under the load shed onto them. Each node cascades at
+/// most once, and the storm stops after `max_cascades` kills so a run
+/// cannot annihilate its own fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormConfig {
+    /// Device CPU (percent) at which a node joins the cascade.
+    pub cpu_threshold: f64,
+    /// Storm checks only fire at/after this time, ms.
+    pub start_ms: u64,
+    /// Delay between threshold crossing and the node's crash, ms.
+    pub cascade_delay_ms: u64,
+    /// Total cascade-kill budget for the run.
+    pub max_cascades: usize,
+}
+
 /// Simulation parameters.
 ///
 /// Prefer [`Simulation::builder`], which validates knob combinations and
@@ -74,6 +95,8 @@ pub struct SimConfig {
     /// Fault model for the control plane (drop/duplicate/delay per
     /// direction). [`FaultConfig::ideal`] reproduces the perfect wire.
     pub faults: FaultConfig,
+    /// Correlated failure storm (cascading overload kills), if any.
+    pub storm: Option<StormConfig>,
     /// Master seed.
     pub seed: u64,
     /// Which simulation core runs this configuration.
@@ -94,6 +117,7 @@ impl Default for SimConfig {
             link_jitter: 0.05,
             full_monitoring_offload: false,
             faults: FaultConfig::ideal(),
+            storm: None,
             seed: 0,
             engine: EngineKind::default(),
         }
@@ -215,6 +239,8 @@ pub struct Simulation {
     pub(crate) kills: Vec<(u64, NodeId)>,
     /// Revival injections.
     pub(crate) revives: Vec<(u64, NodeId)>,
+    /// Nodes the failure storm has already cascaded (each at most once).
+    pub(crate) storm_triggered: HashSet<NodeId>,
     /// Observability sink shared with the Manager and every client
     /// (no-op by default).
     pub(crate) obs: ObsHandle,
@@ -264,6 +290,7 @@ impl Simulation {
             active_version: 0,
             kills: Vec::new(),
             revives: Vec::new(),
+            storm_triggered: HashSet::new(),
             obs: ObsHandle::disabled(),
             slo: None,
         }
@@ -662,6 +689,40 @@ impl Simulation {
         self.record_breaches(now, &fired);
     }
 
+    /// Failure-storm check at a telemetry sample point. Shared by both
+    /// cores: nodes are visited in id order and CPU is computed through
+    /// the same pure function the sample loop uses, so the cascade
+    /// decision sequence is bit-identical across cores. A triggered node
+    /// is killed through the normal [`SimEvent::NodeKill`] path
+    /// `cascade_delay_ms` later, so each core's liveness bookkeeping
+    /// stays in sync.
+    pub(crate) fn handle_storm_check(&mut self, now: u64, q: &mut EventQueue<SimEvent>) {
+        let Some(storm) = self.cfg.storm else { return };
+        if now < storm.start_ms {
+            return;
+        }
+        let traffic = self.traffic.fraction(now);
+        for i in 0..self.nodes.len() {
+            if self.storm_triggered.len() >= storm.max_cascades {
+                break;
+            }
+            let id = self.nodes[i].id;
+            if !self.alive(id) || self.storm_triggered.contains(&id) {
+                continue;
+            }
+            let cpu = self.nodes[i].device_cpu_percent(now, traffic);
+            if cpu >= storm.cpu_threshold {
+                self.storm_triggered.insert(id);
+                self.obs.counter_inc("sim.storm_cascades");
+                self.obs.trace_at(
+                    now,
+                    TraceEvent::StormCascade { node: id.0, cpu_m: (cpu * 1000.0).round() as u64 },
+                );
+                q.schedule(now + storm.cascade_delay_ms, SimEvent::NodeKill(id));
+            }
+        }
+    }
+
     /// Crash `node`. Shared by both cores.
     pub(crate) fn handle_kill(&mut self, now: u64, n: NodeId) {
         self.dead.insert(n);
@@ -803,6 +864,7 @@ impl Simulation {
                             db.append("telemetry-dropped", now, o.dropped_fraction);
                         }
                     }
+                    self.handle_storm_check(now, &mut q);
                     q.schedule_in(self.cfg.sample_period_ms, SimEvent::TelemetrySample);
                 }
                 SimEvent::SloEvaluation => {

@@ -35,6 +35,21 @@ pub enum TrafficModel {
         /// Noise seed.
         seed: u64,
     },
+    /// A flash crowd: steady `base` until `start_ms`, a linear ramp to
+    /// `peak` over `ramp_ms`, a hold at `peak` for `hold_ms`, then a
+    /// symmetric ramp back down to `base`.
+    FlashCrowd {
+        /// Quiet-period fraction before and after the crowd.
+        base: f64,
+        /// Fraction at the top of the crowd.
+        peak: f64,
+        /// When the crowd starts arriving, ms.
+        start_ms: u64,
+        /// Ramp-up (and ramp-down) duration, ms; `0` makes it a step.
+        ramp_ms: u64,
+        /// How long the crowd holds at `peak`, ms.
+        hold_ms: u64,
+    },
 }
 
 impl TrafficModel {
@@ -66,6 +81,23 @@ impl TrafficModel {
                 let mut rng = SplitMix64::new(seed.wrapping_add(now_ms / 1000));
                 let n = if *noise > 0.0 { rng.range_f64(-noise, *noise) } else { 0.0 };
                 (mean + amplitude * phase.sin() + n).clamp(0.0, 1.0)
+            }
+            TrafficModel::FlashCrowd { base, peak, start_ms, ramp_ms, hold_ms } => {
+                let up_end = start_ms.saturating_add(*ramp_ms);
+                let hold_end = up_end.saturating_add(*hold_ms);
+                let down_end = hold_end.saturating_add(*ramp_ms);
+                let f = if now_ms < *start_ms || now_ms >= down_end {
+                    *base
+                } else if now_ms < up_end {
+                    let a = (now_ms - start_ms) as f64 / *ramp_ms as f64;
+                    base + (peak - base) * a
+                } else if now_ms < hold_end {
+                    *peak
+                } else {
+                    let a = (now_ms - hold_end) as f64 / *ramp_ms as f64;
+                    peak + (base - peak) * a
+                };
+                f.clamp(0.0, 1.0)
             }
         }
     }
@@ -140,6 +172,40 @@ mod tests {
         for e in g.edges() {
             assert!((e.link.utilization - 0.2).abs() <= 0.05 + 1e-12);
         }
+    }
+
+    #[test]
+    fn flash_crowd_ramps_holds_and_recedes() {
+        let m = TrafficModel::FlashCrowd {
+            base: 0.1,
+            peak: 0.9,
+            start_ms: 10_000,
+            ramp_ms: 4_000,
+            hold_ms: 20_000,
+        };
+        assert_eq!(m.fraction(0), 0.1);
+        assert_eq!(m.fraction(9_999), 0.1);
+        assert!((m.fraction(12_000) - 0.5).abs() < 1e-12, "mid-ramp");
+        assert_eq!(m.fraction(14_000), 0.9);
+        assert_eq!(m.fraction(30_000), 0.9);
+        assert!((m.fraction(36_000) - 0.5).abs() < 1e-12, "mid-decay");
+        assert_eq!(m.fraction(38_000), 0.1);
+        assert_eq!(m.fraction(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn flash_crowd_zero_ramp_is_a_step() {
+        let m = TrafficModel::FlashCrowd {
+            base: 0.2,
+            peak: 0.8,
+            start_ms: 5_000,
+            ramp_ms: 0,
+            hold_ms: 1_000,
+        };
+        assert_eq!(m.fraction(4_999), 0.2);
+        assert_eq!(m.fraction(5_000), 0.8);
+        assert_eq!(m.fraction(5_999), 0.8);
+        assert_eq!(m.fraction(6_000), 0.2);
     }
 
     #[test]

@@ -11,8 +11,16 @@
 //! engine burns running them — which is what DUST offloads. The model is
 //! calibrated against Fig. 1: ten agents under 20 % line-rate VxLAN traffic
 //! average ≈ 100 % CPU (one core) and spike to ≈ 600 % on an 8-core switch.
+//!
+//! Beyond the ten periodic-STAT kinds, [`AgentKind::InbandTelemetry`] models
+//! a P4 INT-style per-packet telemetry pipeline whose cost scales with how
+//! many packets it actually samples: deterministic `1/N` or seeded
+//! probabilistic `p` via [`IntSampling`] / [`IntSampler`].
 
-/// The ten user-defined agent kinds of the testbed (§V-A footnote 1).
+use dust_topology::SplitMix64;
+
+/// The ten user-defined agent kinds of the testbed (§V-A footnote 1), plus
+/// the INT-style per-packet class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AgentKind {
     /// Routing-protocol health (BGP/OSPF adjacency churn).
@@ -35,6 +43,12 @@ pub enum AgentKind {
     SystemTemperature,
     /// Fault finder (log scraping and anomaly matching).
     FaultFinder,
+    /// In-band network telemetry: per-packet metadata extraction whose
+    /// cost tracks line rate almost linearly. Not part of the calibrated
+    /// ten-agent testbed deployment ([`AgentKind::ALL`]); deployed via
+    /// [`MonitorAgent::int`] with a sampling knob that scales its
+    /// traffic-proportional cost.
+    InbandTelemetry,
 }
 
 impl AgentKind {
@@ -65,6 +79,7 @@ impl AgentKind {
             AgentKind::LinkStates => "link-states",
             AgentKind::SystemTemperature => "system-temperature",
             AgentKind::FaultFinder => "fault-finder",
+            AgentKind::InbandTelemetry => "inband-telemetry",
         }
     }
 
@@ -84,6 +99,7 @@ impl AgentKind {
             AgentKind::LinkStates => 1.5,
             AgentKind::SystemTemperature => 1.0,
             AgentKind::FaultFinder => 6.5,
+            AgentKind::InbandTelemetry => 2.0,
         }
     }
 
@@ -102,6 +118,9 @@ impl AgentKind {
             AgentKind::LinkStates => 10.0,
             AgentKind::SystemTemperature => 0.0,
             AgentKind::FaultFinder => 100.0,
+            // per-packet pipeline: at full sampling it dwarfs every STAT
+            // agent; the sampling knob scales this slope down
+            AgentKind::InbandTelemetry => 300.0,
         }
     }
 
@@ -119,6 +138,7 @@ impl AgentKind {
             AgentKind::LinkStates => 90.0,
             AgentKind::SystemTemperature => 60.0,
             AgentKind::FaultFinder => 270.0,
+            AgentKind::InbandTelemetry => 160.0,
         }
     }
 
@@ -143,24 +163,145 @@ impl AgentKind {
     }
 }
 
-/// A deployed monitor agent: a kind plus its sampling cadence.
+/// How an INT-style agent decides which packets to report on (the two
+/// knobs of the P4 lightweight-INT design: deterministic `1/N` vs.
+/// seeded probabilistic `p`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntSampling {
+    /// Report on every `n`-th packet, starting with the first.
+    Deterministic {
+        /// Sampling period in packets; `1` reports on every packet.
+        n: u32,
+    },
+    /// Report on each packet independently with probability `p`.
+    Probabilistic {
+        /// Per-packet report probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl IntSampling {
+    /// Long-run fraction of packets reported on — what the cost model
+    /// scales the agent's traffic-proportional work by.
+    pub fn fraction(self) -> f64 {
+        match self {
+            IntSampling::Deterministic { n } => 1.0 / n.max(1) as f64,
+            IntSampling::Probabilistic { p } => p.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A stateful per-packet sampler for this knob. `seed` feeds the
+    /// probabilistic draw and is ignored by the deterministic mode.
+    pub fn sampler(self, seed: u64) -> IntSampler {
+        IntSampler { mode: self, counter: 0, rng: SplitMix64::new(seed) }
+    }
+}
+
+/// Stateful per-packet INT sampler: deterministic every-`n`-th counting
+/// or a seeded Bernoulli draw per packet.
+///
+/// `Probabilistic { p: 1.0 }` makes the same decision for every packet as
+/// `Deterministic { n: 1 }` — both report on all of them — so the two
+/// parameterizations agree exactly at the boundary.
+#[derive(Debug, Clone)]
+pub struct IntSampler {
+    mode: IntSampling,
+    counter: u64,
+    rng: SplitMix64,
+}
+
+impl IntSampler {
+    /// Decide whether the next packet is reported on, advancing state.
+    pub fn sample_packet(&mut self) -> bool {
+        match self.mode {
+            IntSampling::Deterministic { n } => {
+                let hit = self.counter.is_multiple_of(u64::from(n.max(1)));
+                self.counter += 1;
+                hit
+            }
+            IntSampling::Probabilistic { p } => self.rng.gen_bool(p),
+        }
+    }
+
+    /// Number of reports a burst of `pkts` packets produces, advancing
+    /// state as if each packet had been offered to [`Self::sample_packet`].
+    /// Deterministic mode on a fresh sampler yields exactly `ceil(pkts/n)`.
+    pub fn reports_for(&mut self, pkts: u64) -> u64 {
+        (0..pkts).filter(|_| self.sample_packet()).count() as u64
+    }
+}
+
+/// A deployed monitor agent: a kind, its sampling cadence, and — for
+/// INT-style agents — a per-packet sampling knob.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorAgent {
     /// What it monitors.
     pub kind: AgentKind,
     /// How often it samples its DB tables, ms.
     pub sample_interval_ms: u64,
+    /// Per-packet sampling knob; `None` for periodic-STAT agents. Scales
+    /// the traffic-proportional part of the cost model by its fraction.
+    pub sampling: Option<IntSampling>,
 }
 
 impl MonitorAgent {
-    /// An agent with the default 1-second cadence.
+    /// An agent with the default 1-second cadence and no packet sampling.
     pub fn new(kind: AgentKind) -> Self {
-        MonitorAgent { kind, sample_interval_ms: 1000 }
+        MonitorAgent { kind, sample_interval_ms: 1000, sampling: None }
+    }
+
+    /// An INT-style per-packet agent with the given sampling knob and a
+    /// fast 100 ms export cadence.
+    pub fn int(sampling: IntSampling) -> Self {
+        MonitorAgent {
+            kind: AgentKind::InbandTelemetry,
+            sample_interval_ms: 100,
+            sampling: Some(sampling),
+        }
     }
 
     /// The full ten-agent testbed deployment.
     pub fn standard_deployment() -> Vec<MonitorAgent> {
         AgentKind::ALL.iter().copied().map(MonitorAgent::new).collect()
+    }
+
+    /// Fraction of traffic-proportional work this deployment actually
+    /// performs (`1.0` for periodic agents, the sampling fraction for INT).
+    pub fn cost_fraction(&self) -> f64 {
+        self.sampling.map_or(1.0, IntSampling::fraction)
+    }
+
+    /// Effective CPU cost at a traffic level, percent of one core: the
+    /// kind's cost with the traffic-proportional part scaled by the
+    /// sampling fraction. Identical to [`AgentKind::cpu_percent`] when no
+    /// sampling knob is set.
+    ///
+    /// # Panics
+    /// Panics if `traffic_fraction` is outside `[0, 1]`.
+    pub fn cpu_percent(&self, traffic_fraction: f64) -> f64 {
+        match self.sampling {
+            None => self.kind.cpu_percent(traffic_fraction),
+            Some(s) => {
+                assert!(
+                    (0.0..=1.0).contains(&traffic_fraction),
+                    "traffic fraction must be in [0,1], got {traffic_fraction}"
+                );
+                self.kind.cpu_base_percent()
+                    + self.kind.cpu_traffic_slope() * traffic_fraction * s.fraction()
+            }
+        }
+    }
+
+    /// Effective telemetry volume per STAT interval, Mb, with the
+    /// traffic-proportional part scaled by the sampling fraction.
+    pub fn data_mb_per_interval(&self, traffic_fraction: f64) -> f64 {
+        match self.sampling {
+            None => self.kind.data_mb_per_interval(traffic_fraction),
+            Some(s) => {
+                self.kind.mem_mib() / 20.0
+                    + self.kind.cpu_traffic_slope() * traffic_fraction * 0.1 * s.fraction()
+            }
+        }
     }
 }
 
@@ -181,9 +322,9 @@ pub fn aggregate_load(agents: &[MonitorAgent], traffic_fraction: f64) -> AgentLo
     let mut mem = 0.0;
     let mut data = 0.0;
     for a in agents {
-        cpu += a.kind.cpu_percent(traffic_fraction);
+        cpu += a.cpu_percent(traffic_fraction);
         mem += a.kind.mem_mib();
-        data += a.kind.data_mb_per_interval(traffic_fraction);
+        data += a.data_mb_per_interval(traffic_fraction);
     }
     AgentLoad { cpu_percent: cpu, mem_mib: mem, data_mb: data }
 }
@@ -252,6 +393,51 @@ mod tests {
         for k in AgentKind::ALL {
             assert!(k.data_mb_per_interval(0.0) > 0.0);
             assert!(k.data_mb_per_interval(0.5) >= k.data_mb_per_interval(0.0));
+        }
+    }
+
+    #[test]
+    fn int_kind_stays_out_of_the_calibrated_deployment() {
+        assert!(!AgentKind::ALL.contains(&AgentKind::InbandTelemetry));
+        assert_eq!(AgentKind::InbandTelemetry.name(), "inband-telemetry");
+    }
+
+    #[test]
+    fn sampling_fraction_scales_int_cost() {
+        let full = MonitorAgent::int(IntSampling::Deterministic { n: 1 });
+        let eighth = MonitorAgent::int(IntSampling::Deterministic { n: 8 });
+        let half = MonitorAgent::int(IntSampling::Probabilistic { p: 0.5 });
+        let t = 0.6;
+        let slope_part = |a: &MonitorAgent| a.cpu_percent(t) - a.kind.cpu_base_percent();
+        assert!((slope_part(&eighth) - slope_part(&full) / 8.0).abs() < 1e-9);
+        assert!((slope_part(&half) - slope_part(&full) / 2.0).abs() < 1e-9);
+        assert!(eighth.data_mb_per_interval(t) < full.data_mb_per_interval(t));
+    }
+
+    #[test]
+    fn unsampled_agent_cost_matches_kind_cost_exactly() {
+        for k in AgentKind::ALL {
+            let a = MonitorAgent::new(k);
+            for t in [0.0, 0.2, 0.77, 1.0] {
+                assert_eq!(a.cpu_percent(t), k.cpu_percent(t));
+                assert_eq!(a.data_mb_per_interval(t), k.data_mb_per_interval(t));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_sampler_hits_every_nth_from_the_first() {
+        let mut s = IntSampling::Deterministic { n: 4 }.sampler(0);
+        let hits: Vec<bool> = (0..9).map(|_| s.sample_packet()).collect();
+        assert_eq!(hits, [true, false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn full_probability_equals_every_packet() {
+        let mut every = IntSampling::Deterministic { n: 1 }.sampler(9);
+        let mut sure = IntSampling::Probabilistic { p: 1.0 }.sampler(9);
+        for _ in 0..1000 {
+            assert_eq!(every.sample_packet(), sure.sample_packet());
         }
     }
 }

@@ -39,7 +39,7 @@ pub mod framing;
 pub mod rules;
 pub mod tsdb;
 
-pub use agents::{aggregate_load, AgentKind, AgentLoad, MonitorAgent};
+pub use agents::{aggregate_load, AgentKind, AgentLoad, IntSampler, IntSampling, MonitorAgent};
 pub use anomaly::{EwmaDetector, TrendForecaster};
 pub use compress::{compress, compression_ratio, decompress, CompressedBlock};
 pub use federation::{Aggregation, Federation};

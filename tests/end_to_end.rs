@@ -7,7 +7,7 @@ use dust::sim::scenarios;
 
 #[test]
 fn fig6_cpu_and_memory_reductions() {
-    let r = fig6(120_000, 2024);
+    let r = fig6_contrast(120_000, 2024);
     assert!(r.transfers > 0, "DUST must offload in the testbed scenario");
     // Paper: CPU 31 % → 15 % (≈ 52 % less), memory 70 % → 62 % (≈ 12 % less).
     assert!((r.local_cpu - 31.0).abs() < 3.0, "local cpu {}", r.local_cpu);
@@ -24,7 +24,7 @@ fn fig6_cpu_and_memory_reductions() {
 
 #[test]
 fn fig1_shape_monotone_with_spikes() {
-    let rows = fig1(&[0.0, 0.05, 0.1, 0.15, 0.2], 61_000, 9);
+    let rows = fig1_curve(&[0.0, 0.05, 0.1, 0.15, 0.2], 61_000, 9);
     // CPU grows monotonically with traffic
     for w in rows.windows(2) {
         assert!(w[1].mean_cpu_percent > w[0].mean_cpu_percent);

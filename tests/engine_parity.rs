@@ -84,6 +84,37 @@ fn chaos_cores_agree_at_every_seed() {
 }
 
 #[test]
+fn registry_scenarios_agree_at_every_seed() {
+    // The four PR-8 registry scenarios (INT sampling costs, diurnal and
+    // flash-crowd traffic, storm cascades) must hold the same parity
+    // contract as the hand-rolled scenarios above: whatever machinery a
+    // scenario exercises, both cores must observe it identically.
+    for name in ["int_burst", "diurnal", "flash_crowd", "zone_storm"] {
+        let sc = registry::find(name).expect("registered scenario");
+        for seed in SEEDS {
+            let run_on = |engine: EngineKind| {
+                let knobs = ScenarioKnobs {
+                    duration_ms: Some(30_000),
+                    engine,
+                    obs: ObsHandle::recording(seed),
+                    ..ScenarioKnobs::seeded(seed)
+                };
+                let run = sc.run(&knobs).unwrap();
+                (knobs.obs, run.report)
+            };
+            let (tick_obs, tick) = run_on(EngineKind::Tick);
+            let (event_obs, event) = run_on(EngineKind::Event);
+            assert_obs_equal(name, seed, &tick_obs, &event_obs);
+            assert_eq!(tick.transfers_applied, event.transfers_applied, "{name} seed {seed}");
+            assert_eq!(tick.msgs_sent, event.msgs_sent, "{name} seed {seed}");
+            assert_eq!(tick.first_transfer_ms, event.first_transfer_ms, "{name} seed {seed}");
+            assert_eq!(tick.events_processed, event.events_processed, "{name} seed {seed}");
+            assert_eq!(tick.end_ms, event.end_ms, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
 fn federation_contents_identical_across_cores() {
     // Beyond counters: the time-series databases the run leaves behind
     // must hold the same points on the same nodes.

@@ -108,6 +108,91 @@ fn chaos_trace_matches_golden_digest() {
         .assert_digest(CHAOS_DIGEST);
 }
 
+/// Fixed seed for the four registry scenarios pinned below.
+const SCENARIO_SEED: u64 = 42;
+
+/// Golden digests of the registry scenarios at `SCENARIO_SEED`, default
+/// durations, default (event) core, each entry's own SLO spec attached
+/// (a registry run always attaches one, and the evaluation events are
+/// part of the trace).
+const INT_BURST_DIGEST: u64 = 0x79a6b30453fa311f;
+const DIURNAL_DIGEST: u64 = 0xfc936cf3e05a3066;
+const FLASH_CROWD_DIGEST: u64 = 0x028c1eec925a8662;
+const ZONE_STORM_DIGEST: u64 = 0xed3d8c01dc80f20f;
+
+fn run_scenario(name: &str) -> ObsHandle {
+    let sc = registry::find(name).expect("registered scenario");
+    let knobs = ScenarioKnobs {
+        obs: ObsHandle::recording(SCENARIO_SEED),
+        ..ScenarioKnobs::seeded(SCENARIO_SEED)
+    };
+    let run = sc.run(&knobs).unwrap();
+    assert!(!run.breached(), "{name} must pass its attached SLO:\n{}", run.slo.report());
+    assert!(run.report.transfers_applied > 0, "{name} must offload");
+    knobs.obs
+}
+
+#[test]
+fn registry_scenarios_are_bit_identical_across_runs() {
+    for name in ["int_burst", "diurnal", "flash_crowd", "zone_storm"] {
+        let a = run_scenario(name);
+        let b = run_scenario(name);
+        let ta = a.trace_snapshot().unwrap();
+        let tb = b.trace_snapshot().unwrap();
+        TraceAssert::new(&ta).assert_same_digest(&tb);
+        assert_eq!(ta.to_binary(), tb.to_binary(), "{name}: binary encodings diverge");
+        assert_eq!(
+            a.metrics().unwrap().to_text(),
+            b.metrics().unwrap().to_text(),
+            "{name}: metrics snapshots diverge"
+        );
+    }
+}
+
+#[test]
+fn int_burst_trace_matches_golden_digest() {
+    let obs = run_scenario("int_burst");
+    let trace = obs.trace_snapshot().unwrap();
+    TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/int_burst_golden.txt")
+        .expect("Register")
+        .expect("Offer")
+        .expect("TransferApplied")
+        .assert_digest(INT_BURST_DIGEST);
+}
+
+#[test]
+fn diurnal_trace_matches_golden_digest() {
+    let obs = run_scenario("diurnal");
+    let trace = obs.trace_snapshot().unwrap();
+    TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/diurnal_golden.txt")
+        .expect("TransferApplied")
+        .assert_digest(DIURNAL_DIGEST);
+}
+
+#[test]
+fn flash_crowd_trace_matches_golden_digest() {
+    let obs = run_scenario("flash_crowd");
+    let trace = obs.trace_snapshot().unwrap();
+    TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/flash_crowd_golden.txt")
+        .expect("TransferApplied")
+        .assert_digest(FLASH_CROWD_DIGEST);
+}
+
+#[test]
+fn zone_storm_trace_matches_golden_digest() {
+    let obs = run_scenario("zone_storm");
+    let trace = obs.trace_snapshot().unwrap();
+    assert!(obs.counter("sim.storm_cascades") > 0, "the storm must cascade");
+    TraceAssert::new(&trace)
+        .with_postmortem("target/postmortem/zone_storm_golden.txt")
+        .expect("StormCascade")
+        .expect("TransferApplied")
+        .assert_digest(ZONE_STORM_DIGEST);
+}
+
 #[test]
 fn trace_binary_format_is_versioned_and_round_trips() {
     use dust::obs::{DecodedTrace, TRACE_FORMAT_VERSION, TRACE_MAGIC};

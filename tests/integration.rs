@@ -109,11 +109,11 @@ fn protocol_round_trip_reaches_confirmed_hosting() {
 #[test]
 fn telemetry_from_sim_compresses_losslessly() {
     // run the Fig. 6 testbed briefly and compress every recorded series
-    let r = fig6(30_000, 5);
+    let r = fig6_contrast(30_000, 5);
     assert!(r.transfers > 0);
     // recompression check on the simulator's own output
     let (_, dut) = testbed_topology();
-    let rep = dust::sim::scenarios::fig6(30_000, 5);
+    let rep = dust::sim::registry::fig6_contrast(30_000, 5);
     let _ = rep;
     let mut sim_report_series = 0;
     let mut fed = Federation::new();
