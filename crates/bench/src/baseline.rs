@@ -57,6 +57,12 @@ pub struct ScenarioPerf {
     pub speedup_vs_exact: f64,
     /// Committed floor for `speedup_vs_exact` (0 disables the gate).
     pub min_exact_speedup: f64,
+    /// Per-phase self-time from one profiled run, as
+    /// `name:ms;name:ms;…` sorted by self-time descending (empty when
+    /// the emitter did not profile). Wall-clock like the throughput
+    /// fields — never compared exactly, only used to *attribute* a
+    /// throughput regression to the phases that grew.
+    pub phase_self_ms: String,
 }
 
 /// A whole baseline document.
@@ -68,11 +74,13 @@ pub struct BenchBaseline {
     pub scenarios: Vec<ScenarioPerf>,
 }
 
-/// Current format version. Version 2 added the partition-quality fields
+/// Current format version. Version 3 added `phase_self_ms` (per-phase
+/// self-time from a profiled run, used to attribute throughput
+/// regressions). Version 2 added the partition-quality fields
 /// (`objective_gap_pct`/`max_gap_pct`, `speedup_vs_exact`/
-/// `min_exact_speedup`); version-1 documents still parse, with those
-/// fields defaulting to 0 (gates off).
-pub const BASELINE_VERSION: u32 = 2;
+/// `min_exact_speedup`). Older documents still parse, with the missing
+/// fields defaulting to 0 / empty (gates and attribution off).
+pub const BASELINE_VERSION: u32 = 3;
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
@@ -80,6 +88,46 @@ fn fmt_f64(v: f64) -> String {
     } else {
         "0.00".into()
     }
+}
+
+/// Parse a `name:ms;name:ms;…` phase string (tolerant: malformed
+/// segments are skipped, an empty string yields an empty list).
+fn parse_phases(s: &str) -> Vec<(&str, f64)> {
+    s.split(';')
+        .filter_map(|seg| {
+            let (name, ms) = seg.rsplit_once(':')?;
+            Some((name, ms.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Name the phases whose self-time grew the most from `baseline` to
+/// `candidate` — the attribution suffix appended to a throughput
+/// failure. Empty when either side carries no phase data or nothing
+/// grew.
+fn phase_attribution(baseline: &str, candidate: &str) -> String {
+    let b = parse_phases(baseline);
+    let c = parse_phases(candidate);
+    if b.is_empty() || c.is_empty() {
+        return String::new();
+    }
+    let mut grew: Vec<(&str, f64, f64)> = c
+        .iter()
+        .filter_map(|(name, cms)| {
+            let bms = b.iter().find(|(n, _)| n == name).map_or(0.0, |(_, m)| *m);
+            (*cms > bms).then_some((*name, cms - bms, *cms))
+        })
+        .collect();
+    grew.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+    if grew.is_empty() {
+        return String::new();
+    }
+    let top: Vec<String> = grew
+        .iter()
+        .take(3)
+        .map(|(name, delta, cms)| format!("{name} (+{delta:.2} ms self, now {cms:.2} ms)"))
+        .collect();
+    format!("; slowest-growing phases: {}", top.join(", "))
 }
 
 impl BenchBaseline {
@@ -110,9 +158,10 @@ impl BenchBaseline {
                 fmt_f64(s.speedup_vs_exact)
             ));
             out.push_str(&format!(
-                "      \"min_exact_speedup\": {}\n",
+                "      \"min_exact_speedup\": {},\n",
                 fmt_f64(s.min_exact_speedup)
             ));
+            out.push_str(&format!("      \"phase_self_ms\": \"{}\"\n", s.phase_self_ms));
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -150,6 +199,7 @@ impl BenchBaseline {
                         max_gap_pct: 0.0,
                         speedup_vs_exact: 0.0,
                         min_exact_speedup: 0.0,
+                        phase_self_ms: String::new(),
                     });
                 }
                 if line == "}" {
@@ -206,6 +256,9 @@ impl BenchBaseline {
                 ("min_exact_speedup", Some(s)) => {
                     s.min_exact_speedup = value.parse().map_err(|_| err("bad number"))?;
                 }
+                ("phase_self_ms", Some(s)) => {
+                    s.phase_self_ms = value.trim_matches('"').to_string();
+                }
                 ("scenarios", _) => {}
                 (other, _) => return Err(err(&format!("unexpected key {other:?}"))),
             }
@@ -244,11 +297,12 @@ impl BenchBaseline {
                     ));
                 }
             }
+            let attribution = phase_attribution(&b.phase_self_ms, &c.phase_self_ms);
             let floor = b.events_per_sec * (1.0 - tolerance);
             if c.events_per_sec < floor {
                 failures.push(format!(
                     "{}: events/sec regressed beyond {:.0} %: baseline {:.0}, candidate {:.0} \
-                     (floor {:.0})",
+                     (floor {:.0}){attribution}",
                     b.name,
                     tolerance * 100.0,
                     b.events_per_sec,
@@ -260,7 +314,8 @@ impl BenchBaseline {
                 let floor = b.rounds_per_sec * (1.0 - tolerance);
                 if c.rounds_per_sec < floor {
                     failures.push(format!(
-                        "{}: rounds/sec regressed beyond {:.0} %: baseline {:.2}, candidate {:.2}",
+                        "{}: rounds/sec regressed beyond {:.0} %: baseline {:.2}, \
+                         candidate {:.2}{attribution}",
                         b.name,
                         tolerance * 100.0,
                         b.rounds_per_sec,
@@ -316,6 +371,9 @@ mod tests {
                     max_gap_pct: 0.0,
                     speedup_vs_exact: 0.0,
                     min_exact_speedup: 0.0,
+                    phase_self_ms: "sim.event.stat_emission:120.00;sim.resource_walk:80.00;\
+                                    sim.telemetry_batch:40.00"
+                        .into(),
                 },
                 ScenarioPerf {
                     name: "testbed_chaos".into(),
@@ -331,6 +389,7 @@ mod tests {
                     max_gap_pct: 0.0,
                     speedup_vs_exact: 0.0,
                     min_exact_speedup: 0.0,
+                    phase_self_ms: "proto.manager_tick:12.00;cost.price_rows:5.00".into(),
                 },
                 ScenarioPerf {
                     name: "partition_fat_tree".into(),
@@ -346,6 +405,7 @@ mod tests {
                     max_gap_pct: 5.0,
                     speedup_vs_exact: 4.5,
                     min_exact_speedup: 3.0,
+                    phase_self_ms: "lp.partition.solve:300.00;lp.partition.deal:40.00".into(),
                 },
             ],
         }
@@ -365,6 +425,30 @@ mod tests {
         assert_eq!(parsed.scenarios[2].max_gap_pct, 5.0);
         assert_eq!(parsed.scenarios[2].speedup_vs_exact, 4.5);
         assert_eq!(parsed.scenarios[2].min_exact_speedup, 3.0);
+        assert_eq!(
+            parsed.scenarios[2].phase_self_ms, "lp.partition.solve:300.00;lp.partition.deal:40.00",
+            "phase strings (which contain colons) must survive the line parser"
+        );
+        assert_eq!(parsed.scenarios[0].phase_self_ms, b.scenarios[0].phase_self_ms);
+    }
+
+    #[test]
+    fn version_2_documents_still_parse_with_empty_phases() {
+        let mut v2 = sample();
+        v2.version = 2;
+        for s in &mut v2.scenarios {
+            s.phase_self_ms = String::new();
+        }
+        // drop the phase_self_ms lines entirely, as a real v2 file has
+        let json: String = v2
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("phase_self_ms"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = BenchBaseline::parse(&json).unwrap();
+        assert_eq!(parsed.version, 2);
+        assert!(parsed.scenarios.iter().all(|s| s.phase_self_ms.is_empty()));
     }
 
     #[test]
@@ -403,6 +487,40 @@ mod tests {
         let f = b.compare(&c, 0.2);
         assert_eq!(f.len(), 1);
         assert!(f[0].contains("events/sec regressed"), "{f:?}");
+        // identical phase data: nothing grew, so no attribution suffix
+        assert!(!f[0].contains("slowest-growing"), "{f:?}");
+    }
+
+    #[test]
+    fn throughput_regression_names_the_phases_that_grew() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[0].events_per_sec = 350_000.0; // -30 %
+        c.scenarios[0].phase_self_ms = "sim.event.stat_emission:121.00;\
+                                        sim.resource_walk:290.00;sim.telemetry_batch:40.00"
+            .into();
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("slowest-growing phases:"), "{f:?}");
+        // the biggest delta leads: resource_walk grew 80 → 290 ms
+        assert!(f[0].contains("sim.resource_walk (+210.00 ms self, now 290.00 ms)"), "{f:?}");
+        let walk = f[0].find("sim.resource_walk").unwrap();
+        let stat = f[0].rfind("sim.event.stat_emission").unwrap();
+        assert!(walk < stat, "phases must be ordered by delta: {f:?}");
+        // a brand-new phase counts as grown from zero
+        let mut c = sample();
+        c.scenarios[0].rounds_per_sec = 0.01;
+        c.scenarios[0].phase_self_ms = "cost.row_price:55.00".into();
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("cost.row_price (+55.00 ms self"), "{f:?}");
+        // no phase data on the candidate: the failure stands, unattributed
+        let mut c = sample();
+        c.scenarios[0].events_per_sec = 1.0;
+        c.scenarios[0].phase_self_ms = String::new();
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(!f[0].contains("slowest-growing"), "{f:?}");
     }
 
     #[test]

@@ -38,12 +38,36 @@ fn federation_points(r: &SimReport) -> u64 {
         .sum()
 }
 
-/// Fastest wall-clock for a fresh run of `sim()` on `engine`, plus the
-/// report of the fastest run.
-fn best_run(mk: &dyn Fn(EngineKind) -> Simulation, engine: EngineKind) -> (Duration, SimReport) {
+/// Phases kept in `phase_self_ms` — the profiler's aggregated scope
+/// vocabulary is small, but the attribution only ever names the top
+/// regressors, so the record stays readable.
+const PHASE_CAP: usize = 8;
+
+/// Render the profiled run's per-phase self-time as the baseline's
+/// `name:ms;…` string (self-time descending, zero-time phases dropped).
+fn phase_string(obs: &ObsHandle) -> String {
+    let Some(profile) = obs.profile() else { return String::new() };
+    profile
+        .phase_self_ns()
+        .iter()
+        .filter(|(_, ns)| *ns > 0)
+        .take(PHASE_CAP)
+        .map(|(name, ns)| format!("{name}:{:.2}", *ns as f64 / 1e6))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Fastest wall-clock for a fresh run of `mk(engine, …)`, plus the
+/// report of the fastest run. Timing samples run unobserved — the
+/// profiled run happens separately so instrumentation never taxes the
+/// recorded throughput.
+fn best_run(
+    mk: &dyn Fn(EngineKind, ObsHandle) -> Simulation,
+    engine: EngineKind,
+) -> (Duration, SimReport) {
     let mut best: Option<(Duration, SimReport)> = None;
     for _ in 0..SAMPLES {
-        let mut sim = mk(engine);
+        let mut sim = mk(engine, ObsHandle::disabled());
         let t = Instant::now();
         let r = sim.run();
         let d = t.elapsed();
@@ -54,7 +78,11 @@ fn best_run(mk: &dyn Fn(EngineKind) -> Simulation, engine: EngineKind) -> (Durat
     best.expect("SAMPLES > 0")
 }
 
-fn measure(name: &str, min_speedup: f64, mk: &dyn Fn(EngineKind) -> Simulation) -> ScenarioPerf {
+fn measure(
+    name: &str,
+    min_speedup: f64,
+    mk: &dyn Fn(EngineKind, ObsHandle) -> Simulation,
+) -> ScenarioPerf {
     eprintln!("measuring {name} ...");
     let (event_wall, report) = best_run(mk, EngineKind::Event);
     let (tick_wall, tick_report) = best_run(mk, EngineKind::Tick);
@@ -62,6 +90,11 @@ fn measure(name: &str, min_speedup: f64, mk: &dyn Fn(EngineKind) -> Simulation) 
         report.events_processed, tick_report.events_processed,
         "{name}: cores disagree on event count — determinism bug"
     );
+    // one extra profiled run on the shipping (event) core attributes the
+    // throughput numbers to phases; its wall-clock is never recorded
+    let obs = ObsHandle::recording(0);
+    obs.enable_profiling();
+    let _ = mk(EngineKind::Event, obs.clone()).run();
     let secs = event_wall.as_secs_f64();
     ScenarioPerf {
         name: name.to_string(),
@@ -77,6 +110,7 @@ fn measure(name: &str, min_speedup: f64, mk: &dyn Fn(EngineKind) -> Simulation) 
         max_gap_pct: 0.0,
         speedup_vs_exact: 0.0,
         min_exact_speedup: 0.0,
+        phase_self_ms: phase_string(&obs),
     }
 }
 
@@ -100,7 +134,7 @@ fn measure_partition(
     let graph = FatTree::with_default_links(k).graph;
     let nodes = graph.node_count() as u64;
     let nmdb = random_nmdb(&graph, &cfg, &ScenarioParams::default(), 7);
-    let engine = CostEngine::new();
+    let mut engine = CostEngine::new();
     let solve = |parts_opt: Option<NonZeroUsize>| -> Placement {
         PlacementRequest::new(&nmdb, &cfg)
             .engine(&engine)
@@ -121,6 +155,19 @@ fn measure_partition(
     };
     let exact = best(None);
     let part = best(Some(NonZeroUsize::new(parts).expect("parts > 0")));
+    // profiled partitioned solve (warm cost cache, like the timed runs):
+    // attributes rounds/sec to deal/solve/repair and the pricing scopes.
+    // The solver reads its ObsHandle off the engine, so a shared engine
+    // must have the handle attached directly (set_obs, not request.obs).
+    let obs = ObsHandle::recording(0);
+    obs.enable_profiling();
+    engine.set_obs(obs.clone());
+    let _ = PlacementRequest::new(&nmdb, &cfg)
+        .engine(&engine)
+        .partitions(Some(NonZeroUsize::new(parts).expect("parts > 0")))
+        .partition_seed(7)
+        .run_lp()
+        .expect("generated fat-tree instance is well-formed");
     assert!(
         !part.partition_fallback,
         "{name}: the generated instance is feasible, so the partitioned path must hold"
@@ -146,12 +193,15 @@ fn measure_partition(
         max_gap_pct,
         speedup_vs_exact: exact.solve_time.as_secs_f64() / part.solve_time.as_secs_f64().max(1e-9),
         min_exact_speedup,
+        phase_self_ms: phase_string(&obs),
     }
 }
 
 fn emit() -> BenchBaseline {
-    let scale = measure("scale_fleet_k90", 5.0, &|engine| scale_fleet_sim(90, 10_000, 1, engine));
-    let testbed = measure("testbed_offload_60s", 0.0, &|engine| {
+    let scale = measure("scale_fleet_k90", 5.0, &|engine, obs| {
+        scale_fleet_sim_on(90, 10_000, 1, obs, engine)
+    });
+    let testbed = measure("testbed_offload_60s", 0.0, &|engine, obs| {
         let (graph, dut) = testbed_topology();
         Simulation::builder()
             .graph(graph)
@@ -162,6 +212,7 @@ fn emit() -> BenchBaseline {
             .seed(42)
             .full_monitoring_offload(true)
             .engine(engine)
+            .obs(obs)
             .build()
             .expect("testbed knobs are consistent")
     });

@@ -95,6 +95,9 @@ pub fn parse_sim_invocation(
                 s.scenario = Some(text(&mut it, "--scenario")?)
             }
             "--sweep" if kind == SimCommandKind::Sim => s.sweep = true,
+            "--profile" if kind == SimCommandKind::Sim => {
+                s.profile = Some(text(&mut it, "--profile")?)
+            }
             "--metrics" if kind == SimCommandKind::Sim => s.metrics = true,
             "--metrics-json" if kind == SimCommandKind::Sim => s.metrics_json = true,
             "--metrics-prom" if kind == SimCommandKind::Sim => s.metrics_prom = true,
@@ -165,6 +168,16 @@ mod tests {
         assert!(err.contains("trace: unknown option"), "{err}");
         let err = parse_sim_invocation(SimCommandKind::Spans, &argv("--metrics-json")).unwrap_err();
         assert!(err.contains("spans: unknown option"), "{err}");
+        let err =
+            parse_sim_invocation(SimCommandKind::Trace, &argv("--profile p.txt")).unwrap_err();
+        assert!(err.contains("trace: unknown option"), "{err}");
+    }
+
+    #[test]
+    fn profile_flag_parses_for_sim() {
+        let inv =
+            parse_sim_invocation(SimCommandKind::Sim, &argv("--profile prof.folded")).unwrap();
+        assert_eq!(inv.opts.profile.as_deref(), Some("prof.folded"));
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub struct SimOptions {
     /// True when `--duration` was passed explicitly — a scenario run
     /// otherwise uses the entry's own default duration.
     pub duration_explicit: bool,
+    /// Write the hierarchical wall-clock profile (folded stacks plus the
+    /// top self-time table) to this path after the run. Scope *counts*
+    /// in the artifact are deterministic per seed; durations are
+    /// wall-clock and never leak into `--metrics-json` or the digest.
+    pub profile: Option<String>,
 }
 
 impl Default for SimOptions {
@@ -134,6 +139,7 @@ impl Default for SimOptions {
             engine: EngineKind::default(),
             scenario: None,
             duration_explicit: false,
+            profile: None,
         }
     }
 }
@@ -207,12 +213,16 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
         || opts.metrics_json
         || opts.metrics_prom
         || spec.is_some()
-        || opts.postmortem.is_some();
+        || opts.postmortem.is_some()
+        || opts.profile.is_some();
     let mut results: Vec<ChaosResult> = Vec::new();
     let mut recorders: Vec<ObsHandle> = Vec::new();
     let mut engines: Vec<SloEngine> = Vec::new();
     for faults in opts.fault_ladder() {
         let obs = if observed { ObsHandle::recording(opts.seed) } else { ObsHandle::disabled() };
+        if opts.profile.is_some() {
+            obs.enable_profiling();
+        }
         match &spec {
             Some(spec) => {
                 let (r, engine) = chaos_with_slo_on(
@@ -316,6 +326,15 @@ pub fn cmd_sim(opts: &SimOptions) -> Result<SimRun, String> {
             ));
         }
     }
+    if let Some(path) = opts.profile.as_deref() {
+        let mut text = String::new();
+        for (r, obs) in results.iter().zip(&recorders) {
+            text.push_str(&format!("# run: loss {:.0}%\n", r.loss * 100.0));
+            text.push_str(&obs.profile_report().expect("profiling was enabled"));
+        }
+        std::fs::write(path, &text).map_err(|e| format!("profile write to {path} failed: {e}"))?;
+        out.push_str(&format!("\nprofile written to {path}\n"));
+    }
     Ok(SimRun { output: out, slo_breached })
 }
 
@@ -362,6 +381,9 @@ fn cmd_sim_scenario(opts: &SimOptions) -> Result<SimRun, String> {
         None => None,
     };
     let obs = ObsHandle::recording(opts.seed);
+    if opts.profile.is_some() {
+        obs.enable_profiling();
+    }
     let knobs = ScenarioKnobs {
         duration_ms: opts.duration_explicit.then_some(opts.duration_ms),
         seed: opts.seed,
@@ -436,6 +458,15 @@ fn cmd_sim_scenario(opts: &SimOptions) -> Result<SimRun, String> {
             lines.join(","),
             m.to_json()
         ));
+    }
+    if let Some(path) = opts.profile.as_deref() {
+        let text = format!(
+            "# run: scenario {}\n{}",
+            sc.name,
+            obs.profile_report().expect("profiling was enabled")
+        );
+        std::fs::write(path, &text).map_err(|e| format!("profile write to {path} failed: {e}"))?;
+        out.push_str(&format!("\nprofile written to {path}\n"));
     }
     Ok(SimRun { output: out, slo_breached: run.breached() })
 }
@@ -783,7 +814,7 @@ pub fn cmd_dot(nmdb: &Nmdb, opts: &Options) -> Result<String, String> {
 
 /// Options for `dustctl place`: single or batched placement rounds,
 /// optionally over a generated fat-tree and the partitioned solve path.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PlaceOptions {
     /// Shared threshold/routing options.
     pub base: Options,
@@ -797,6 +828,9 @@ pub struct PlaceOptions {
     pub seed: u64,
     /// Also solve each round exactly and report the objective gap.
     pub gap: bool,
+    /// Write the solver-side wall-clock profile (simplex, partition
+    /// deal/solve/repair, cost-matrix pricing) to this path.
+    pub profile: Option<String>,
 }
 
 impl Default for PlaceOptions {
@@ -808,6 +842,7 @@ impl Default for PlaceOptions {
             batch: 1,
             seed: 0,
             gap: false,
+            profile: None,
         }
     }
 }
@@ -831,16 +866,25 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
         (Some(_), None) => None,
     };
 
+    let obs = match &opts.profile {
+        Some(_) => {
+            let o = ObsHandle::recording(opts.seed);
+            o.enable_profiling();
+            o
+        }
+        None => ObsHandle::disabled(),
+    };
     let solve_round = |nmdb: &Nmdb, round: u64| -> Result<Placement, String> {
         opts.base
             .request(nmdb, &cfg)
             .partitions(if parts > 1 { Some(parts_nz) } else { None })
             .partition_seed(opts.seed ^ round)
+            .obs(obs.clone())
             .run_lp()
             .map_err(|e| e.to_string())
     };
     let exact_round = |nmdb: &Nmdb| -> Result<Placement, String> {
-        opts.base.request(nmdb, &cfg).run_lp().map_err(|e| e.to_string())
+        opts.base.request(nmdb, &cfg).obs(obs.clone()).run_lp().map_err(|e| e.to_string())
     };
 
     let params = ScenarioParams::default();
@@ -943,6 +987,101 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
         } else {
             out.push_str("objective gap vs exact: n/a (no optimal rounds)\n");
         }
+    }
+    if let Some(path) = opts.profile.as_deref() {
+        let report = obs.profile_report().expect("profiling was enabled");
+        std::fs::write(path, &report)
+            .map_err(|e| format!("profile write to {path} failed: {e}"))?;
+        out.push_str(&format!("profile written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// Options for `dustctl profile <scenario>`: one profiled run of a named
+/// registry scenario (or the `scale_fleet` benchmark fleet) with the
+/// wall-clock profiler on from the start.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileOptions {
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated-duration override, ms (`None` = the scenario default).
+    pub duration_ms: Option<u64>,
+    /// Which simulation core to profile.
+    pub engine: EngineKind,
+    /// Write the artifact to this path instead of stdout.
+    pub out: Option<String>,
+}
+
+/// The fat-tree arity `dustctl profile scale_fleet` uses: big enough
+/// that the per-event machinery dominates, small enough for an
+/// interactive command (the committed benchmark uses k = 90).
+const PROFILE_FLEET_K: usize = 24;
+
+/// Default simulated duration for `dustctl profile scale_fleet`, ms.
+const PROFILE_FLEET_DURATION_MS: u64 = 10_000;
+
+/// `dustctl profile <scenario>`: run one named scenario with the
+/// hierarchical profiler enabled and emit the folded-stack artifact —
+/// scope-count lines first (deterministic per seed; CI byte-diffs them),
+/// then wall-clock `self` lines a flamegraph renders, then the top
+/// self-time table. `scale_fleet` profiles the benchmark fleet (which is
+/// deliberately not in the registry: it has no SLO, it exists to be
+/// measured); every other name resolves through [`registry::find`].
+pub fn cmd_profile(name: &str, opts: &ProfileOptions) -> Result<String, String> {
+    if name == "help" || name == "list" {
+        let mut out = String::from("profilable scenarios (dustctl profile <name>):\n\n");
+        for sc in registry::all() {
+            out.push_str(&format!("  {:<12} {}\n", sc.name, sc.summary));
+        }
+        out.push_str(&format!(
+            "  {:<12} the {}-port benchmark fleet, {} s default\n",
+            "scale_fleet",
+            PROFILE_FLEET_K,
+            PROFILE_FLEET_DURATION_MS / 1000
+        ));
+        return Ok(out);
+    }
+    let obs = ObsHandle::recording(opts.seed);
+    obs.enable_profiling();
+    let (label, duration_ms, events) = if name == "scale_fleet" {
+        let duration = opts.duration_ms.unwrap_or(PROFILE_FLEET_DURATION_MS);
+        let mut sim =
+            scale_fleet_sim_on(PROFILE_FLEET_K, duration, opts.seed, obs.clone(), opts.engine);
+        let report = sim.run();
+        (format!("scale_fleet (k={PROFILE_FLEET_K})"), duration, report.events_processed)
+    } else {
+        let Some(sc) = registry::find(name) else {
+            let names: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+            return Err(format!(
+                "unknown scenario {name:?} (have: {}, scale_fleet; profile help lists them)",
+                names.join(", ")
+            ));
+        };
+        let knobs = ScenarioKnobs {
+            duration_ms: opts.duration_ms,
+            seed: opts.seed,
+            engine: opts.engine,
+            obs: obs.clone(),
+            slo_override: None,
+        };
+        let duration = sc.duration(&knobs);
+        let run = sc.run(&knobs).map_err(|e| e.to_string())?;
+        (sc.name.to_string(), duration, run.report.events_processed)
+    };
+    let mut out = format!(
+        "profile: {label}, seed {}, engine {}, {:.0}s simulated, {events} events\n",
+        opts.seed,
+        opts.engine,
+        duration_ms as f64 / 1000.0,
+    );
+    let report = obs.profile_report().expect("profiling was enabled");
+    match opts.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &report)
+                .map_err(|e| format!("profile write to {path} failed: {e}"))?;
+            out.push_str(&format!("profile written to {path}\n"));
+        }
+        None => out.push_str(&report),
     }
     Ok(out)
 }
@@ -1295,6 +1434,81 @@ mod tests {
         assert!(run.output.contains("postmortem written to"), "{}", run.output);
         let dump = std::fs::read_to_string(&path).expect("dump must exist");
         assert!(dump.starts_with("postmortem reason="), "{dump}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sim_profile_writes_folded_stacks_without_perturbing_json() {
+        let path = std::env::temp_dir().join("dustctl-test-sim-profile.folded");
+        let _ = std::fs::remove_file(&path);
+        let plain = SimOptions {
+            loss: 0.2,
+            duration_ms: 30_000,
+            seed: 23,
+            metrics_json: true,
+            ..Default::default()
+        };
+        let profiled =
+            SimOptions { profile: Some(path.to_string_lossy().into_owned()), ..plain.clone() };
+        let a = cmd_sim(&plain).unwrap().output;
+        let b = cmd_sim(&profiled).unwrap().output;
+        // the profiler must not perturb anything deterministic: the JSON
+        // line (metrics + trace digest) is bit-identical with it on
+        let json = |s: &str| s.lines().find(|l| l.starts_with('{')).unwrap().to_string();
+        assert_eq!(json(&a), json(&b), "profiling must not leak into --metrics-json");
+        assert!(b.contains("profile written to"), "{b}");
+        let dump = std::fs::read_to_string(&path).expect("artifact must exist");
+        assert!(dump.starts_with("# run: loss 20%\n# dust profile v1"), "{dump}");
+        assert!(dump.contains("count sim.event.stat_emission;sim.resource_walk "), "{dump}");
+        assert!(dump.lines().any(|l| l.starts_with("self ")), "{dump}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_command_scope_counts_are_deterministic_per_seed() {
+        let o = ProfileOptions { seed: 17, duration_ms: Some(20_000), ..Default::default() };
+        let a = cmd_profile("testbed", &o).unwrap();
+        let b = cmd_profile("testbed", &o).unwrap();
+        fn counts(s: &str) -> Vec<&str> {
+            s.lines().filter(|l| l.starts_with("count ")).collect()
+        }
+        assert_eq!(counts(&a), counts(&b), "scope counts must be byte-identical per seed");
+        assert!(!counts(&a).is_empty(), "{a}");
+        assert!(a.lines().any(|l| l.starts_with("self ")), "{a}");
+        assert!(a.starts_with("profile: testbed, seed 17, engine event"), "{a}");
+    }
+
+    #[test]
+    fn profile_command_handles_scale_fleet_help_and_unknowns() {
+        let o = ProfileOptions { duration_ms: Some(2_000), ..Default::default() };
+        let out = cmd_profile("scale_fleet", &o).unwrap();
+        assert!(out.starts_with("profile: scale_fleet (k=24)"), "{out}");
+        assert!(out.contains("count sim.event.telemetry_sample;sim.telemetry_batch "), "{out}");
+        let help = cmd_profile("help", &ProfileOptions::default()).unwrap();
+        assert!(help.contains("scale_fleet"), "{help}");
+        assert!(help.contains("testbed"), "{help}");
+        let err = cmd_profile("figment", &ProfileOptions::default()).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        assert!(err.contains("scale_fleet"), "{err}");
+    }
+
+    #[test]
+    fn place_profile_covers_the_solver_stack() {
+        let path = std::env::temp_dir().join("dustctl-test-place-profile.folded");
+        let _ = std::fs::remove_file(&path);
+        let opts = PlaceOptions {
+            fat_tree: Some(4),
+            partitions: Some(2),
+            batch: 2,
+            seed: 7,
+            profile: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let out = cmd_place(None, &opts).unwrap();
+        assert!(out.contains("profile written to"), "{out}");
+        let dump = std::fs::read_to_string(&path).expect("artifact must exist");
+        assert!(dump.contains("cost.build_matrix"), "{dump}");
+        assert!(dump.contains("lp.partition.solve"), "{dump}");
         let _ = std::fs::remove_file(&path);
     }
 

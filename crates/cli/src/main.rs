@@ -8,10 +8,11 @@
 //! dustctl zoned net.dust --zone-size 80 --sweep
 //! ```
 
+use dust::sim::EngineKind;
 use dust_cli::args::{parse_sim_invocation, SimCommandKind};
 use dust_cli::commands::{
-    cmd_dot, cmd_heuristic, cmd_optimize, cmd_place, cmd_sim, cmd_spans, cmd_trace, cmd_zoned,
-    roles, Options, PlaceOptions,
+    cmd_dot, cmd_heuristic, cmd_optimize, cmd_place, cmd_profile, cmd_sim, cmd_spans, cmd_trace,
+    cmd_zoned, roles, Options, PlaceOptions, ProfileOptions,
 };
 use dust_cli::format::{example_file, parse_nmdb};
 
@@ -33,6 +34,10 @@ commands:
                                event census and the run's deterministic digest
   spans                        chaos-run and reconstruct per-flow causal span
                                trees: flow table, per-phase p50/p99, critical path
+  profile   <scenario>         run one scenario with the wall-clock profiler on
+                               and print the folded-stack profile (counts are
+                               deterministic per seed; durations are wall-clock);
+                               profile help lists the targets
 
 options (all commands taking a file):
   --c-max X     Busy threshold (default 80)
@@ -54,6 +59,9 @@ place options (plus the file options above):
                 (generated states re-seed per round with seed+i)
   --seed N      base seed for generated states and the partition shuffle
   --gap         also solve each round exactly; report the objective gap
+  --profile PATH
+                write the solver-side wall-clock profile (simplex, partition
+                deal/solve/repair, cost-matrix pricing) to PATH
 
 sim options:
   --scenario NAME
@@ -86,6 +94,15 @@ sim options:
   --inject-breach
                 corrupt the first run's agent census after the fact, to
                 exercise the invariant check and post-mortem path
+  --profile PATH
+                write the hierarchical wall-clock profile (folded stacks
+                plus the top self-time table) to PATH after the run
+
+profile options:
+  --seed N      master seed (default 0)
+  --duration MS override the scenario's default simulated time
+  --engine NAME simulation core to profile: event (default) or tick
+  --out PATH    write the artifact to PATH instead of stdout
 
 trace options: same as sim (minus --sweep), plus
   --full        stream the entire decoded event log instead of the census
@@ -143,6 +160,46 @@ fn main() {
         }
         return;
     }
+    if cmd == "profile" {
+        let Some(name) = args.get(1).cloned().filter(|a| !a.starts_with('-')) else {
+            fail("profile needs a scenario name (profile help lists them)")
+        };
+        let mut popts = ProfileOptions::default();
+        let mut it = args.iter().skip(2);
+        let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| fail(format!("{flag} needs a value"))).clone()
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = value(&mut it, "--seed");
+                    popts.seed =
+                        v.parse().unwrap_or_else(|_| fail(format!("--seed: invalid number {v:?}")))
+                }
+                "--duration" => {
+                    let v = value(&mut it, "--duration");
+                    popts.duration_ms = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| fail(format!("--duration: invalid number {v:?}"))),
+                    )
+                }
+                "--engine" => {
+                    popts.engine =
+                        EngineKind::parse(&value(&mut it, "--engine")).unwrap_or_else(|e| fail(e))
+                }
+                "--out" => popts.out = Some(value(&mut it, "--out")),
+                other => fail(format!("unknown profile option {other:?}")),
+            }
+        }
+        match cmd_profile(&name, &popts) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("dustctl: {e}");
+                std::process::exit(1)
+            }
+        }
+        return;
+    }
     if cmd == "place" {
         let mut popts = PlaceOptions::default();
         let mut path: Option<String> = None;
@@ -167,6 +224,10 @@ fn main() {
                 "--batch" => popts.batch = numeric(&mut it, "--batch") as usize,
                 "--seed" => popts.seed = numeric(&mut it, "--seed") as u64,
                 "--gap" => popts.gap = true,
+                "--profile" => {
+                    popts.profile =
+                        Some(it.next().unwrap_or_else(|| fail("--profile needs a value")).clone())
+                }
                 other if !other.starts_with('-') && path.is_none() => path = Some(other.into()),
                 other => fail(format!("unknown place option {other:?}")),
             }

@@ -65,18 +65,17 @@ pub mod prelude {
         SloEngine, SloKind, SloSpec, SpanForest, SpanOutcome, Trace, TraceAssert, TraceEvent,
     };
     pub use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, Priority, RequestId};
-    #[allow(deprecated)]
-    pub use dust_sim::{
-        chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
-        chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, evaluate_flows, fig1,
-        fig6, fleet, scale_fleet, scale_fleet_sim, testbed_dust_config, testbed_nodes,
-        testbed_observed, testbed_observed_on, testbed_topology, ChaosResult, EngineKind,
-        FaultConfig, FaultProfile, FlowOutcome, NodeSpec, SimBuilder, SimConfig, SimNode,
-        SimReport, Simulation, TelemetryFlow, TrafficModel, Transport,
-    };
     pub use dust_sim::{
         chaos_ladder, chaos_run, fig1_curve, fig6_contrast, registry, Scenario, ScenarioKnobs,
         ScenarioRun, StormConfig,
+    };
+    pub use dust_sim::{
+        chaos_with_faults, chaos_with_faults_observed, chaos_with_faults_observed_on,
+        chaos_with_slo, chaos_with_slo_on, evaluate_flows, fleet, scale_fleet, scale_fleet_sim,
+        scale_fleet_sim_on, testbed_dust_config, testbed_nodes, testbed_observed,
+        testbed_observed_on, testbed_topology, ChaosResult, EngineKind, FaultConfig, FaultProfile,
+        FlowOutcome, NodeSpec, SimBuilder, SimConfig, SimNode, SimReport, Simulation,
+        TelemetryFlow, TrafficModel, Transport,
     };
     pub use dust_telemetry::{
         aggregate_load, compress, decompress, AgentKind, Alert, Comparison, Federation,

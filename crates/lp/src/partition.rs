@@ -262,8 +262,14 @@ where
     if plan.parts() <= 1 {
         return PartitionOutcome { solution: p.solve_with(obs), parts: 1, fell_back: false };
     }
-    let subs = plan.subproblems(p);
-    let solutions = solve_batch(&subs);
+    let subs = {
+        let _prof = obs.prof_scope("lp.partition.deal");
+        plan.subproblems(p)
+    };
+    let solutions = {
+        let _prof = obs.prof_scope("lp.partition.solve");
+        solve_batch(&subs)
+    };
     assert_eq!(solutions.len(), subs.len(), "batch solver must answer every subproblem");
 
     if obs.is_enabled() {
@@ -312,6 +318,7 @@ where
     // Evict the most expensive flows from each oversubscribed column,
     // then re-place the evicted supply with one small exact solve
     // against residual capacity.
+    let prof_repair = obs.prof_scope("lp.partition.repair");
     let mut absorbed = vec![0.0; n];
     for i in 0..m {
         for (j, a) in absorbed.iter_mut().enumerate() {
@@ -374,6 +381,7 @@ where
             }
         }
     }
+    drop(prof_repair);
 
     // the recombined + repaired flows are the solution: price them directly
     let mut objective = 0.0;

@@ -230,6 +230,7 @@ fn run_simplex(
 /// split by phase, plus one `SimplexSolve` trace event. A disabled
 /// handle skips all recording, preserving the untraced path exactly.
 pub fn solve_with(p: &Problem, opts: Options, obs: &dust_obs::ObsHandle) -> Solution {
+    let _prof = obs.prof_scope("lp.simplex.solve");
     let s = solve_inner(p, opts);
     if obs.is_enabled() {
         obs.counter_inc("lp.simplex.solves");

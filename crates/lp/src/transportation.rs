@@ -81,6 +81,7 @@ impl TransportProblem {
     /// `TransportSolve` trace event. A disabled handle skips all
     /// recording, preserving the untraced path exactly.
     pub fn solve_with(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
+        let _prof = obs.prof_scope("lp.transport.solve");
         let s = self.solve_inner();
         if obs.is_enabled() {
             obs.counter_inc("lp.transport.solves");

@@ -42,6 +42,7 @@ mod assert;
 mod flight;
 mod hist;
 mod metrics;
+pub mod profile;
 mod slo;
 pub mod span;
 mod trace;
@@ -50,6 +51,7 @@ pub use assert::TraceAssert;
 pub use flight::{dump_entries, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::{Histogram, NUM_BUCKETS, SUB_BUCKETS};
 pub use metrics::MetricsRegistry;
+pub use profile::{LocalProfiler, ProfileRegistry, ScopeTimer};
 pub use slo::{SloBreach, SloEngine, SloKind, SloRule, SloSpec};
 pub use span::{build_spans, FlowSpans, Span, SpanForest, SpanOutcome};
 pub use trace::{
@@ -66,6 +68,10 @@ struct ObsCore {
     /// so layers without one (cost engine, solvers) can stamp events.
     now_ms: AtomicU64,
     inner: Mutex<ObsInner>,
+    /// Wall-clock profiler, attached lazily by [`ObsHandle::enable_profiling`]
+    /// so the common recording handle pays one `OnceLock` probe per scope
+    /// and the disabled handle stays a single `Option` check.
+    profile: profile::ProfileSlot,
 }
 
 #[derive(Debug)]
@@ -119,6 +125,7 @@ impl ObsHandle {
                     trace: Trace::new(seed),
                     flight: FlightRecorder::new(flight_capacity),
                 }),
+                profile: profile::ProfileSlot::new(),
             })),
         }
     }
@@ -219,6 +226,52 @@ impl ObsHandle {
     pub fn counter(&self, name: &str) -> u64 {
         self.core.as_ref().map_or(0, |c| Self::lock(c).metrics.counter(name))
     }
+
+    /// Attach a wall-clock [`ProfileRegistry`] to this handle (no-op on
+    /// a disabled handle, idempotent on a recording one). Profiling is
+    /// opt-in on top of recording: metrics/trace callers pay one extra
+    /// `OnceLock` probe per `prof_*` call until this is invoked.
+    pub fn enable_profiling(&self) {
+        if let Some(c) = &self.core {
+            let _ = c.profile.set(Arc::new(ProfileRegistry::new()));
+        }
+    }
+
+    /// True when [`ObsHandle::enable_profiling`] has been called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile().is_some()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profile(&self) -> Option<&Arc<ProfileRegistry>> {
+        self.core.as_ref().and_then(|c| c.profile.get())
+    }
+
+    /// Open a profiling scope (RAII; closes on drop). `None` — costing
+    /// one branch — unless profiling is enabled. Single-threaded use
+    /// only: workers fork with [`ObsHandle::prof_fork`].
+    pub fn prof_scope(&self, name: &'static str) -> Option<ScopeTimer> {
+        self.profile().map(|p| p.scope(name))
+    }
+
+    /// Fork a private per-worker profiler (see [`LocalProfiler`]).
+    pub fn prof_fork(&self) -> Option<LocalProfiler> {
+        self.profile().map(|p| p.fork())
+    }
+
+    /// Graft a worker profiler back under the currently open scope.
+    /// Join in a deterministic order (merging is commutative, so any
+    /// order yields the same tree — but determinism likes discipline).
+    pub fn prof_join(&self, local: LocalProfiler) {
+        if let Some(p) = self.profile() {
+            p.join(local);
+        }
+    }
+
+    /// The folded-stack profile artifact (`None` unless profiling).
+    pub fn profile_report(&self) -> Option<String> {
+        self.profile().map(|p| p.report())
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +289,32 @@ mod tests {
         assert_eq!(h.digest(), None);
         assert_eq!(h.counter("x"), 0);
         assert_eq!(h.post_mortem("why"), None);
+        assert!(h.prof_scope("x").is_none() && h.prof_fork().is_none());
+        h.enable_profiling();
+        assert!(!h.profiling_enabled(), "profiling cannot attach to a disabled handle");
+        assert_eq!(h.profile_report(), None);
         assert_eq!(std::mem::size_of::<ObsHandle>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn profiling_is_opt_in_on_recording_handles() {
+        let h = ObsHandle::recording(1);
+        assert!(!h.profiling_enabled());
+        assert!(h.prof_scope("x").is_none(), "recording alone must not profile");
+        h.enable_profiling();
+        h.enable_profiling(); // idempotent
+        assert!(h.profiling_enabled());
+        {
+            let _outer = h.prof_scope("outer");
+            let mut w = h.prof_fork().unwrap();
+            w.time("job", || ());
+            h.prof_join(w);
+        }
+        let report = h.profile_report().unwrap();
+        assert!(report.contains("count outer 1\n"), "{report}");
+        assert!(report.contains("count outer;job 1\n"), "{report}");
+        // clones share the profiler like they share the recorder
+        assert!(h.clone().profiling_enabled());
     }
 
     #[test]

@@ -136,10 +136,11 @@ impl MetricsRegistry {
     /// Prometheus text exposition (format 0.0.4). Dotted names are
     /// sanitized to `[a-zA-Z0-9_]` and prefixed `dust_`; histograms are
     /// rendered as cumulative `_bucket{le="..."}` series over the
-    /// non-empty log-scale buckets plus the mandatory `+Inf` bucket and
-    /// `_count` (no `_sum`: the histogram stores only integer bucket
-    /// counts by design, which is what keeps merges exact). Output is
-    /// byte-stable per registry state like every other encoding here.
+    /// non-empty log-scale buckets plus the mandatory `+Inf` bucket,
+    /// then `_sum` (from the histogram's fixed-point accumulator — see
+    /// the `hist` module docs for why the sum is not a float internally)
+    /// and `_count`, as the text format requires. Output is byte-stable
+    /// per registry state like every other encoding here.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             let mut out = String::with_capacity(name.len() + 5);
@@ -169,6 +170,7 @@ impl MetricsRegistry {
                 }
             }
             out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n", json_f64(h.sum())));
             out.push_str(&format!("{n}_count {}\n", h.count()));
         }
         out
@@ -283,6 +285,7 @@ mod tests {
         assert!(p.contains("# TYPE dust_sim_active_transfers gauge\ndust_sim_active_transfers 2\n"));
         assert!(p.contains("# TYPE dust_span_offer_ms histogram\n"));
         assert!(p.contains("dust_span_offer_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(p.contains("dust_span_offer_ms_sum 60\n"));
         assert!(p.contains("dust_span_offer_ms_count 2\n"));
         // cumulative bucket counts must be nondecreasing and end at count
         let mut last = 0u64;
@@ -292,6 +295,82 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_conforms_to_the_text_format() {
+        // lint-style pass over the whole exposition, checking the
+        // invariants promtool's `check metrics` would: every sample name
+        // matches the metric-name grammar, every metric is TYPE-declared
+        // before its first sample, histograms carry _sum and _count,
+        // the +Inf bucket equals _count, and cumulative buckets never
+        // decrease. Runs against a registry with all three kinds and
+        // awkward inputs (negative + fractional samples, dotted names).
+        let mut m = MetricsRegistry::new();
+        m.counter_add("proto.offers_sent", 3);
+        m.gauge_set("sim.active-transfers", 2.5);
+        for v in [0.1, 7.25, -2.0, 1e9, 0.0] {
+            m.observe("span.offer_ms", v);
+        }
+        m.observe("lp.pivots", 41.0);
+        let p = m.to_prometheus();
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && !n.starts_with(|c: char| c.is_ascii_digit())
+                && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut declared: Vec<(String, String)> = Vec::new(); // (name, type)
+        let mut inf_buckets: BTreeMap<String, u64> = BTreeMap::new();
+        let mut sums: Vec<String> = Vec::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut cumulative: BTreeMap<String, u64> = BTreeMap::new();
+        for line in p.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, ty) = rest.split_once(' ').expect("TYPE line shape");
+                assert!(name_ok(name), "bad metric name {name:?}");
+                assert!(["counter", "gauge", "histogram"].contains(&ty), "{ty}");
+                declared.push((name.to_string(), ty.to_string()));
+                continue;
+            }
+            assert!(!line.starts_with('#'), "only TYPE comments expected: {line}");
+            let (sample, value) = line.rsplit_once(' ').expect("sample line shape");
+            let bare = sample.split('{').next().unwrap();
+            assert!(name_ok(bare), "bad sample name {bare:?}");
+            let base = bare
+                .strip_suffix("_bucket")
+                .or_else(|| bare.strip_suffix("_sum"))
+                .or_else(|| bare.strip_suffix("_count"))
+                .filter(|b| declared.iter().any(|(n, t)| n == b && t == "histogram"))
+                .unwrap_or(bare);
+            assert!(
+                declared.iter().any(|(n, _)| n == base),
+                "sample {sample} before/without its TYPE declaration"
+            );
+            if bare.ends_with("_bucket") {
+                let v: u64 = value.parse().expect("bucket counts are integers");
+                let prev = cumulative.entry(base.to_string()).or_insert(0);
+                assert!(v >= *prev, "cumulative bucket regressed: {line}");
+                *prev = v;
+                if sample.contains("le=\"+Inf\"") {
+                    inf_buckets.insert(base.to_string(), v);
+                }
+            } else if bare.ends_with("_sum") && base != bare {
+                let _: f64 = value.parse().expect("sum is a float");
+                sums.push(base.to_string());
+            } else if bare.ends_with("_count") && base != bare {
+                counts.insert(base.to_string(), value.parse().expect("count is an integer"));
+            }
+        }
+        let histograms: Vec<&String> =
+            declared.iter().filter(|(_, t)| t == "histogram").map(|(n, _)| n).collect();
+        assert_eq!(histograms.len(), 2);
+        for h in histograms {
+            assert!(sums.contains(h), "{h} missing _sum");
+            let count = counts.get(h).unwrap_or_else(|| panic!("{h} missing _count"));
+            assert_eq!(inf_buckets.get(h), Some(count), "{h}: +Inf bucket != _count");
+        }
+        // the _sum value reflects the fixed-point accumulator exactly
+        assert!(p.contains("dust_span_offer_ms_sum 1000000005.35\n"), "{p}");
     }
 
     #[test]

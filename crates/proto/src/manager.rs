@@ -274,6 +274,7 @@ impl Manager {
                 }]
             }
             ClientMsg::Stat { node, utilization, data_mb } => {
+                let _prof = self.obs.prof_scope("proto.stat_ingest");
                 if let Some(rec) = self.registry.get_mut(node) {
                     rec.last_stat = Some((now_ms, *utilization, *data_mb));
                     self.obs.counter_inc("proto.stats");
@@ -388,6 +389,7 @@ impl Manager {
     ///
     /// Returns the placement (for inspection) and the outgoing messages.
     pub fn run_placement(&mut self, now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
+        let _prof = self.obs.prof_scope("proto.placement_round");
         let nmdb = self.snapshot();
         // Unbounded cannot occur for well-formed placement instances;
         // fold it into the infeasible outcome like `dust_core::optimize`.
@@ -460,6 +462,7 @@ impl Manager {
     /// `Release` for Busy nodes whose demand dropped enough to reclaim
     /// local resources (§III-B), and `Release` retransmits.
     pub fn tick(&mut self, now_ms: u64) -> Vec<Envelope<ManagerMsg>> {
+        let _prof = self.obs.prof_scope("proto.manager_tick");
         let mut out = Vec::new();
 
         // --- offer expiry: retransmit or abandon unconfirmed offers -------

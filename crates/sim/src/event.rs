@@ -121,12 +121,14 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
         report.events_processed += 1;
         report.peak_queue_len = report.peak_queue_len.max(q.len());
         sim.obs.set_now(now);
+        let _prof = sim.obs.prof_scope(ev.event.scope_name());
         match ev.event {
             SimEvent::StatEmission => {
                 let traffic = sim.traffic.fraction(now);
                 // The tick core applies link jitter here; nothing below
                 // reads the graph, so note the time and move on.
                 hot.links_pending = Some(now);
+                let walk = sim.obs.prof_scope("sim.resource_walk");
                 for i in 0..sim.nodes.len() {
                     if !hot.alive[i] {
                         continue;
@@ -139,6 +141,7 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
                         sim.send_to_manager(now, msg, &mut q, &mut report);
                     }
                 }
+                drop(walk);
                 q.schedule_in(sim.cfg.update_interval_ms, SimEvent::StatEmission);
             }
             SimEvent::OfferMaintenance => {
@@ -149,6 +152,7 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
             }
             SimEvent::TelemetrySample => {
                 let traffic = sim.traffic.fraction(now);
+                let batch = sim.obs.prof_scope("sim.telemetry_batch");
                 for i in 0..sim.nodes.len() {
                     let (raw, _) = hot.raw(&sim.nodes[i], i, traffic);
                     let mem = hot.mem(&sim.nodes[i], i);
@@ -163,6 +167,7 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
                         sim.obs.observe("sim.node.mem_percent", mem);
                     }
                 }
+                drop(batch);
                 if sim.obs.is_enabled() {
                     sim.obs.gauge_set("sim.active_transfers", sim.active.len() as f64);
                 }

@@ -60,13 +60,11 @@ pub use registry::{
     chaos_ladder, chaos_run, fig1_curve, fig6_contrast, Scenario, ScenarioKnobs, ScenarioRun,
 };
 pub use runner::{SimConfig, SimReport, Simulation, StormConfig};
-#[allow(deprecated)]
 pub use scenarios::{
-    chaos, chaos_sweep, chaos_with_faults, chaos_with_faults_observed,
-    chaos_with_faults_observed_on, chaos_with_slo, chaos_with_slo_on, congestion, fig1, fig6,
-    fleet, scale_fleet, scale_fleet_sim, testbed_dust_config, testbed_nodes, testbed_observed,
-    testbed_observed_on, testbed_topology, ChaosResult, CongestionResult, Fig1Row, Fig6Result,
-    FleetResult,
+    chaos_with_faults, chaos_with_faults_observed, chaos_with_faults_observed_on, chaos_with_slo,
+    chaos_with_slo_on, congestion, fleet, scale_fleet, scale_fleet_sim, scale_fleet_sim_on,
+    testbed_dust_config, testbed_nodes, testbed_observed, testbed_observed_on, testbed_topology,
+    ChaosResult, CongestionResult, Fig1Row, Fig6Result, FleetResult,
 };
 pub use traffic::TrafficModel;
 pub use transport::{Direction, FaultConfig, FaultProfile, Transport, TransportStats};

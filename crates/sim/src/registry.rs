@@ -23,8 +23,8 @@
 //!
 //! The experiment helpers that used to live in [`crate::scenarios`]
 //! ([`fig1_curve`], [`fig6_contrast`], [`chaos_run`], [`chaos_ladder`])
-//! moved here; the old `fig1`/`fig6`/`chaos`/`chaos_sweep` names remain
-//! as deprecated thin aliases for one release.
+//! live here; the old `fig1`/`fig6`/`chaos`/`chaos_sweep` aliases have
+//! been removed.
 
 use crate::engine::EngineKind;
 use crate::node::{NodeSpec, SimNode};
@@ -507,6 +507,28 @@ mod tests {
             knobs.obs.digest().unwrap()
         };
         assert_eq!(digest(5), digest(5), "same seed, same digest");
+    }
+
+    #[test]
+    fn profiling_never_perturbs_the_digest_or_metrics() {
+        let sc = find("testbed").unwrap();
+        let run_with = |profiled: bool| {
+            let obs = ObsHandle::recording(11);
+            if profiled {
+                obs.enable_profiling();
+            }
+            let knobs = ScenarioKnobs {
+                obs: obs.clone(),
+                duration_ms: Some(30_000),
+                ..ScenarioKnobs::seeded(11)
+            };
+            sc.run(&knobs).unwrap();
+            (obs.digest().unwrap(), obs.metrics().unwrap().to_json())
+        };
+        let (plain_digest, plain_metrics) = run_with(false);
+        let (prof_digest, prof_metrics) = run_with(true);
+        assert_eq!(plain_digest, prof_digest, "profiler must not touch the trace digest");
+        assert_eq!(plain_metrics, prof_metrics, "profiler must not touch recorded metrics");
     }
 
     #[test]

@@ -154,6 +154,25 @@ pub(crate) enum SimEvent {
     DeliverManager(ClientMsg),
 }
 
+impl SimEvent {
+    /// Profiling scope name for this event kind, shared by both cores so
+    /// the per-kind self-time contrast in a profile compares like with
+    /// like (`dustctl profile`, EXPERIMENTS engine-core table).
+    pub(crate) fn scope_name(&self) -> &'static str {
+        match self {
+            SimEvent::StatEmission => "sim.event.stat_emission",
+            SimEvent::OfferMaintenance => "sim.event.offer_maintenance",
+            SimEvent::PlacementRound => "sim.event.placement_round",
+            SimEvent::TelemetrySample => "sim.event.telemetry_sample",
+            SimEvent::SloEvaluation => "sim.event.slo_evaluation",
+            SimEvent::NodeKill(_) => "sim.event.node_kill",
+            SimEvent::NodeRevive(_) => "sim.event.node_revive",
+            SimEvent::DeliverClient(_) => "sim.event.deliver_client",
+            SimEvent::DeliverManager(_) => "sim.event.deliver_manager",
+        }
+    }
+}
+
 /// Summary of a finished run.
 #[derive(Debug)]
 pub struct SimReport {
@@ -791,6 +810,7 @@ impl Simulation {
             // Mirror the sim clock so layers without one (cost engine,
             // solvers) stamp their trace events with this time.
             self.obs.set_now(now);
+            let _prof = self.obs.prof_scope(ev.event.scope_name());
             match ev.event {
                 SimEvent::StatEmission => {
                     let traffic = self.traffic.fraction(now);
@@ -800,6 +820,7 @@ impl Simulation {
                         self.cfg.link_jitter,
                         self.cfg.seed,
                     );
+                    let walk = self.obs.prof_scope("sim.resource_walk");
                     for i in 0..self.nodes.len() {
                         let id = self.nodes[i].id;
                         if !self.alive(id) {
@@ -812,6 +833,7 @@ impl Simulation {
                             self.send_to_manager(now, msg, &mut q, &mut report);
                         }
                     }
+                    drop(walk);
                     q.schedule_in(self.cfg.update_interval_ms, SimEvent::StatEmission);
                 }
                 SimEvent::OfferMaintenance => {
@@ -822,6 +844,7 @@ impl Simulation {
                 }
                 SimEvent::TelemetrySample => {
                     let traffic = self.traffic.fraction(now);
+                    let batch = self.obs.prof_scope("sim.telemetry_batch");
                     for n in &self.nodes {
                         let cpu = n.device_cpu_percent(now, traffic);
                         let mem = n.device_mem_percent();
@@ -834,6 +857,7 @@ impl Simulation {
                             self.obs.observe("sim.node.mem_percent", mem);
                         }
                     }
+                    drop(batch);
                     if self.obs.is_enabled() {
                         self.obs.gauge_set("sim.active_transfers", self.active.len() as f64);
                     }

@@ -5,9 +5,8 @@
 //! ten-agent monitoring deployment and neighboring servers offer spare
 //! compute. The named canned workloads and the Fig. 1 / Fig. 6 experiment
 //! helpers live in [`crate::registry`]; this module keeps the fixtures
-//! they are assembled from, the [`chaos_with_faults`] /
-//! [`chaos_with_slo`] harness the CLI drives with arbitrary fault knobs,
-//! and deprecated aliases for the moved free functions.
+//! they are assembled from and the [`chaos_with_faults`] /
+//! [`chaos_with_slo`] harness the CLI drives with arbitrary fault knobs.
 
 use crate::engine::EngineKind;
 use crate::node::{NodeSpec, SimNode};
@@ -80,12 +79,6 @@ pub struct Fig1Row {
     pub peak_cpu_percent: f64,
 }
 
-/// Reproduce Fig. 1: monitoring-module CPU versus VxLAN traffic level.
-#[deprecated(since = "0.8.0", note = "use dust_sim::registry::fig1_curve")]
-pub fn fig1(levels: &[f64], per_level_ms: u64, seed: u64) -> Vec<Fig1Row> {
-    crate::registry::fig1_curve(levels, per_level_ms, seed)
-}
-
 /// Fig. 6 result: device-level CPU/memory with local monitoring vs DUST.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig6Result {
@@ -111,12 +104,6 @@ impl Fig6Result {
     pub fn mem_reduction_percent(&self) -> f64 {
         100.0 * (self.local_mem - self.dust_mem) / self.local_mem
     }
-}
-
-/// Reproduce Fig. 6: local-vs-DUST steady-state resource utilization.
-#[deprecated(since = "0.8.0", note = "use dust_sim::registry::fig6_contrast")]
-pub fn fig6(duration_ms: u64, seed: u64) -> Fig6Result {
-    crate::registry::fig6_contrast(duration_ms, seed)
 }
 
 /// Outcome of the fleet scenario.
@@ -275,15 +262,10 @@ pub struct ChaosResult {
     pub ledgers_consistent: bool,
 }
 
-/// Run the Fig. 5 testbed with a uniformly lossy control plane.
-#[deprecated(since = "0.8.0", note = "use dust_sim::registry::chaos_run")]
-pub fn chaos(loss: f64, duration_ms: u64, seed: u64) -> ChaosResult {
-    crate::registry::chaos_run(loss, duration_ms, seed)
-}
-
-/// [`chaos`] with a caller-supplied fault model (e.g. from `dustctl sim`
-/// flags): same testbed, same invariants, arbitrary knobs. The reported
-/// `loss` is the Manager → Client drop probability.
+/// [`crate::registry::chaos_run`] with a caller-supplied fault model
+/// (e.g. from `dustctl sim` flags): same testbed, same invariants,
+/// arbitrary knobs. The reported `loss` is the Manager → Client drop
+/// probability.
 pub fn chaos_with_faults(faults: FaultConfig, duration_ms: u64, seed: u64) -> ChaosResult {
     chaos_with_faults_observed(faults, duration_ms, seed, ObsHandle::disabled())
 }
@@ -423,12 +405,6 @@ fn chaos_inner(
     (result, sim.take_slo())
 }
 
-/// Sweep control-plane loss rates, one [`ChaosResult`] per rate.
-#[deprecated(since = "0.8.0", note = "use dust_sim::registry::chaos_ladder")]
-pub fn chaos_sweep(losses: &[f64], duration_ms: u64, seed: u64) -> Vec<ChaosResult> {
-    crate::registry::chaos_ladder(losses, duration_ms, seed)
-}
-
 /// The Fig. 5 testbed DUST run (full monitoring offload, perfect wire)
 /// recording into `obs` — the golden-trace regression scenario.
 pub fn testbed_observed(duration_ms: u64, seed: u64, obs: ObsHandle) -> SimReport {
@@ -483,6 +459,20 @@ pub fn scale_fleet(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) ->
 /// (a million agent structs) is identical for both cores and would only
 /// dilute the measured core speedup.
 pub fn scale_fleet_sim(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) -> Simulation {
+    scale_fleet_sim_on(k, duration_ms, seed, ObsHandle::disabled(), engine)
+}
+
+/// [`scale_fleet_sim`] recording into `obs` — `dustctl profile
+/// scale_fleet` and the per-phase BENCH breakdown attach a profiling
+/// handle here. Pass [`ObsHandle::disabled`] for the plain benchmark
+/// run; the assembled fleet is bit-identical either way.
+pub fn scale_fleet_sim_on(
+    k: usize,
+    duration_ms: u64,
+    seed: u64,
+    obs: ObsHandle,
+    engine: EngineKind,
+) -> Simulation {
     use dust_telemetry::MonitorAgent;
     use dust_topology::FatTree;
     let ft = FatTree::new(k, Link::new(25_000.0, 0.2));
@@ -514,6 +504,7 @@ pub fn scale_fleet_sim(k: usize, duration_ms: u64, seed: u64, engine: EngineKind
         .sample_period_ms(150)
         .seed(seed)
         .engine(engine)
+        .obs(obs)
         .build()
         .expect("scale knobs are consistent")
 }
@@ -590,14 +581,6 @@ mod tests {
         let a = crate::registry::chaos_run(0.25, 60_000, 9);
         let b = crate::registry::chaos_run(0.25, 60_000, 9);
         assert_eq!(a, b, "same seed must reproduce every counter bit-for-bit");
-    }
-
-    #[test]
-    fn deprecated_aliases_still_delegate() {
-        #[allow(deprecated)]
-        let a = chaos(0.25, 30_000, 9);
-        let b = crate::registry::chaos_run(0.25, 30_000, 9);
-        assert_eq!(a, b, "the alias must be a pure delegation");
     }
 
     #[test]

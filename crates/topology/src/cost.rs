@@ -269,9 +269,11 @@ impl CostEngine {
         max_hop: Option<usize>,
         engine: PathEngine,
     ) -> (Vec<Arc<Vec<f64>>>, u64, u64) {
+        let _prof = self.obs.prof_scope("cost.price_rows");
         let workers = self.threads().min(sources.len());
         let (mut hits, mut misses) = (0u64, 0u64);
         if self.obs.is_enabled() {
+            let _probe = self.obs.prof_scope("cost.cache_probe");
             let epoch = g.epoch();
             let hopk = hop_key(max_hop);
             let lookups: Vec<(NodeId, bool)> = {
@@ -292,24 +294,47 @@ impl CostEngine {
             self.obs.gauge_set("cost.workers", workers.max(1) as f64);
         }
         let rows = if workers <= 1 {
-            sources.iter().map(|&src| self.row_uncounted(g, src, max_hop, engine)).collect()
+            sources
+                .iter()
+                .map(|&src| {
+                    let _row = self.obs.prof_scope("cost.row_price");
+                    self.row_uncounted(g, src, max_hop, engine)
+                })
+                .collect()
         } else {
-            let slots: Vec<OnceLock<Arc<Vec<f64>>>> =
-                sources.iter().map(|_| OnceLock::new()).collect();
+            // Workers never touch the shared obs handle: each job records
+            // into a private forked profiler carried through its result
+            // slot, and the locals are grafted back in job-index order
+            // after the scope — so profile *counts* (sources.len() rows)
+            // are identical for every thread count, like everything else.
+            type RowSlot = (Arc<Vec<f64>>, Option<dust_obs::LocalProfiler>);
+            let slots: Vec<OnceLock<RowSlot>> = sources.iter().map(|_| OnceLock::new()).collect();
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&src) = sources.get(i) else { break };
-                        let row = self.row_uncounted(g, src, max_hop, engine);
-                        slots[i].set(row).expect("row slot filled twice");
+                        let mut local = self.obs.prof_fork();
+                        let row = match local.as_mut() {
+                            Some(l) => l.time("cost.row_price", || {
+                                self.row_uncounted(g, src, max_hop, engine)
+                            }),
+                            None => self.row_uncounted(g, src, max_hop, engine),
+                        };
+                        slots[i].set((row, local)).expect("row slot filled twice");
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|slot| slot.into_inner().expect("worker left a row unpriced"))
+                .map(|slot| {
+                    let (row, local) = slot.into_inner().expect("worker left a row unpriced");
+                    if let Some(l) = local {
+                        self.obs.prof_join(l);
+                    }
+                    row
+                })
                 .collect()
         };
         (rows, hits, misses)
@@ -390,6 +415,7 @@ impl CostEngine {
         for &d in data_mb {
             assert!(d.is_finite() && d >= 0.0, "monitoring data volume must be >= 0, got {d}");
         }
+        let _prof = self.obs.prof_scope("cost.build_matrix");
         let (rows, hits, misses) = self.rows_counted(g, sources, max_hop, engine);
         if self.obs.is_enabled() {
             self.obs.counter_inc("cost.builds");
@@ -637,6 +663,31 @@ mod engine_tests {
         assert_eq!(seq.0, src.len() as u64, "second build must hit on every row");
         assert_eq!(seq.1, src.len() as u64, "first build must miss on every row");
         assert_eq!(seq.1, seq.2, "every miss prices exactly one row");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn profile_scope_counts_are_thread_count_invariant() {
+        let (g, src, dst, data) = fat_tree_instance();
+        let run = |threads: usize| {
+            let obs = ObsHandle::recording(1);
+            obs.enable_profiling();
+            let eng = CostEngine::with_threads(threads).with_obs(obs.clone());
+            eng.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::HopBoundedDp);
+            let report = obs.profile_report().unwrap();
+            report.lines().filter(|l| l.starts_with("count ")).map(String::from).collect::<Vec<_>>()
+        };
+        let seq = run(1);
+        assert!(
+            seq.iter().any(|l| l
+                == &format!(
+                    "count cost.build_matrix;cost.price_rows;cost.row_price {}",
+                    src.len()
+                )),
+            "{seq:?}"
+        );
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), seq, "threads={threads}");
         }
