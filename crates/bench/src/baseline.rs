@@ -57,6 +57,12 @@ pub struct ScenarioPerf {
     pub speedup_vs_exact: f64,
     /// Committed floor for `speedup_vs_exact` (0 disables the gate).
     pub min_exact_speedup: f64,
+    /// Warm-started steady-state re-placement throughput over cold-solve
+    /// throughput on the same drifting instance, same machine (0 for
+    /// scenarios without a warm loop).
+    pub warm_speedup_vs_cold: f64,
+    /// Committed floor for `warm_speedup_vs_cold` (0 disables the gate).
+    pub min_warm_speedup: f64,
     /// Per-phase self-time from one profiled run, as
     /// `name:ms;name:ms;…` sorted by self-time descending (empty when
     /// the emitter did not profile). Wall-clock like the throughput
@@ -74,13 +80,15 @@ pub struct BenchBaseline {
     pub scenarios: Vec<ScenarioPerf>,
 }
 
-/// Current format version. Version 3 added `phase_self_ms` (per-phase
-/// self-time from a profiled run, used to attribute throughput
-/// regressions). Version 2 added the partition-quality fields
-/// (`objective_gap_pct`/`max_gap_pct`, `speedup_vs_exact`/
-/// `min_exact_speedup`). Older documents still parse, with the missing
-/// fields defaulting to 0 / empty (gates and attribution off).
-pub const BASELINE_VERSION: u32 = 3;
+/// Current format version. Version 4 added the warm-start fields
+/// (`warm_speedup_vs_cold`/`min_warm_speedup`). Version 3 added
+/// `phase_self_ms` (per-phase self-time from a profiled run, used to
+/// attribute throughput regressions). Version 2 added the
+/// partition-quality fields (`objective_gap_pct`/`max_gap_pct`,
+/// `speedup_vs_exact`/`min_exact_speedup`). Older documents still parse,
+/// with the missing fields defaulting to 0 / empty (gates and
+/// attribution off).
+pub const BASELINE_VERSION: u32 = 4;
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
@@ -161,6 +169,14 @@ impl BenchBaseline {
                 "      \"min_exact_speedup\": {},\n",
                 fmt_f64(s.min_exact_speedup)
             ));
+            out.push_str(&format!(
+                "      \"warm_speedup_vs_cold\": {},\n",
+                fmt_f64(s.warm_speedup_vs_cold)
+            ));
+            out.push_str(&format!(
+                "      \"min_warm_speedup\": {},\n",
+                fmt_f64(s.min_warm_speedup)
+            ));
             out.push_str(&format!("      \"phase_self_ms\": \"{}\"\n", s.phase_self_ms));
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
@@ -199,6 +215,8 @@ impl BenchBaseline {
                         max_gap_pct: 0.0,
                         speedup_vs_exact: 0.0,
                         min_exact_speedup: 0.0,
+                        warm_speedup_vs_cold: 0.0,
+                        min_warm_speedup: 0.0,
                         phase_self_ms: String::new(),
                     });
                 }
@@ -255,6 +273,12 @@ impl BenchBaseline {
                 }
                 ("min_exact_speedup", Some(s)) => {
                     s.min_exact_speedup = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("warm_speedup_vs_cold", Some(s)) => {
+                    s.warm_speedup_vs_cold = value.parse().map_err(|_| err("bad number"))?;
+                }
+                ("min_warm_speedup", Some(s)) => {
+                    s.min_warm_speedup = value.parse().map_err(|_| err("bad number"))?;
                 }
                 ("phase_self_ms", Some(s)) => {
                     s.phase_self_ms = value.trim_matches('"').to_string();
@@ -326,22 +350,29 @@ impl BenchBaseline {
             if b.min_speedup > 0.0 && c.speedup_vs_tick < b.min_speedup {
                 failures.push(format!(
                     "{}: event-core speedup vs tick fell below the committed floor: \
-                     {:.2}x < {:.2}x",
+                     {:.2}x < {:.2}x{attribution}",
                     b.name, c.speedup_vs_tick, b.min_speedup
                 ));
             }
             if b.max_gap_pct > 0.0 && c.objective_gap_pct > b.max_gap_pct {
                 failures.push(format!(
                     "{}: partitioned objective gap exceeds the committed ceiling: \
-                     {:.2} % > {:.2} %",
+                     {:.2} % > {:.2} %{attribution}",
                     b.name, c.objective_gap_pct, b.max_gap_pct
                 ));
             }
             if b.min_exact_speedup > 0.0 && c.speedup_vs_exact < b.min_exact_speedup {
                 failures.push(format!(
                     "{}: partitioned speedup over the exact solve fell below the committed \
-                     floor: {:.2}x < {:.2}x",
+                     floor: {:.2}x < {:.2}x{attribution}",
                     b.name, c.speedup_vs_exact, b.min_exact_speedup
+                ));
+            }
+            if b.min_warm_speedup > 0.0 && c.warm_speedup_vs_cold < b.min_warm_speedup {
+                failures.push(format!(
+                    "{}: warm-start speedup over the cold solve fell below the committed \
+                     floor: {:.2}x < {:.2}x{attribution}",
+                    b.name, c.warm_speedup_vs_cold, b.min_warm_speedup
                 ));
             }
         }
@@ -371,6 +402,8 @@ mod tests {
                     max_gap_pct: 0.0,
                     speedup_vs_exact: 0.0,
                     min_exact_speedup: 0.0,
+                    warm_speedup_vs_cold: 0.0,
+                    min_warm_speedup: 0.0,
                     phase_self_ms: "sim.event.stat_emission:120.00;sim.resource_walk:80.00;\
                                     sim.telemetry_batch:40.00"
                         .into(),
@@ -389,6 +422,8 @@ mod tests {
                     max_gap_pct: 0.0,
                     speedup_vs_exact: 0.0,
                     min_exact_speedup: 0.0,
+                    warm_speedup_vs_cold: 0.0,
+                    min_warm_speedup: 0.0,
                     phase_self_ms: "proto.manager_tick:12.00;cost.price_rows:5.00".into(),
                 },
                 ScenarioPerf {
@@ -405,6 +440,8 @@ mod tests {
                     max_gap_pct: 5.0,
                     speedup_vs_exact: 4.5,
                     min_exact_speedup: 3.0,
+                    warm_speedup_vs_cold: 4.0,
+                    min_warm_speedup: 3.0,
                     phase_self_ms: "lp.partition.solve:300.00;lp.partition.deal:40.00".into(),
                 },
             ],
@@ -560,6 +597,63 @@ mod tests {
         let mut c = sample();
         c.scenarios[0].objective_gap_pct = 40.0;
         assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn version_3_documents_still_parse_with_warm_gates_off() {
+        let mut v3 = sample();
+        v3.version = 3;
+        for s in &mut v3.scenarios {
+            s.warm_speedup_vs_cold = 0.0;
+            s.min_warm_speedup = 0.0;
+        }
+        // drop the warm lines entirely, as a real v3 file has
+        let json: String = v3
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("warm_speedup_vs_cold") && !l.contains("min_warm_speedup"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = BenchBaseline::parse(&json).unwrap();
+        assert_eq!(parsed.version, 3);
+        assert!(parsed.scenarios.iter().all(|s| s.min_warm_speedup == 0.0));
+    }
+
+    #[test]
+    fn warm_speedup_floor_is_enforced() {
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[2].warm_speedup_vs_cold = 1.4;
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("warm-start speedup over the cold solve"), "{f:?}");
+        // scenarios without a committed floor may drift freely
+        let mut c = sample();
+        c.scenarios[0].warm_speedup_vs_cold = 0.1;
+        assert!(b.compare(&c, 0.2).is_empty());
+    }
+
+    #[test]
+    fn gate_failures_carry_phase_attribution() {
+        // the attribution suffix is not just for throughput failures:
+        // gap, exact-speedup, and warm-speedup gate failures name the
+        // phases that grew too
+        let b = sample();
+        let mut c = sample();
+        c.scenarios[2].warm_speedup_vs_cold = 1.0;
+        c.scenarios[2].phase_self_ms = "lp.partition.solve:900.00;lp.partition.deal:40.00".into();
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("warm-start speedup"), "{f:?}");
+        assert!(f[0].contains("slowest-growing phases:"), "{f:?}");
+        assert!(f[0].contains("lp.partition.solve (+600.00 ms self"), "{f:?}");
+        let mut c = sample();
+        c.scenarios[2].objective_gap_pct = 9.0;
+        c.scenarios[2].phase_self_ms = "lp.partition.solve:310.00;lp.partition.deal:40.00".into();
+        let f = b.compare(&c, 0.2);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].contains("objective gap exceeds"), "{f:?}");
+        assert!(f[0].contains("slowest-growing phases:"), "{f:?}");
     }
 
     #[test]

@@ -831,6 +831,14 @@ pub struct PlaceOptions {
     /// Write the solver-side wall-clock profile (simplex, partition
     /// deal/solve/repair, cost-matrix pricing) to this path.
     pub profile: Option<String>,
+    /// Steady-state mode: freeze the node states at round 0, drift link
+    /// utilizations between rounds, and warm-start each solve from the
+    /// previous round's simplex bases (transportation backend only).
+    pub warm: bool,
+    /// With `warm`: hold the previous placement — skipping the solve
+    /// entirely — when no assignment's re-priced `T_rmin` degraded by
+    /// more than this fraction.
+    pub delta_threshold: Option<f64>,
 }
 
 impl Default for PlaceOptions {
@@ -843,19 +851,51 @@ impl Default for PlaceOptions {
             seed: 0,
             gap: false,
             profile: None,
+            warm: false,
+            delta_threshold: None,
         }
+    }
+}
+
+/// Seeded link drift for `--warm` steady-state rounds: retune an eighth
+/// of the links' utilizations, leaving node states (and so the
+/// busy/candidate sets) fixed so the previous round's bases stay
+/// offerable. Mutating through `link_mut` journals the touched links,
+/// which lets the shared cost engine re-price only the crossing rows.
+fn drift_links(g: &mut Graph, seed: u64, round: u64) {
+    use dust::topology::EdgeId;
+    let mut rng = SplitMix64::new(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let edges = g.edge_count() as u64;
+    for _ in 0..(edges / 8 + 1) {
+        let e = EdgeId(rng.below(edges) as u32);
+        g.link_mut(e).utilization = rng.range_f64(0.05, 0.95);
     }
 }
 
 /// `dustctl place`: run placement rounds — from a file or a generated
 /// fat-tree — through the exact or partitioned solve path, reporting
 /// solve throughput (rounds/sec) and, with `--gap`, the objective gap
-/// versus the exact solution.
+/// versus the exact solution. With `--warm` the batch becomes one
+/// steady-state instance whose links drift between rounds: node states
+/// freeze at round 0 (keeping the busy/candidate sets fixed), a shared
+/// cost engine re-prices only rows crossing drifted links, and each
+/// solve warm-starts from the previous round's bases.
 pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String, String> {
     use std::num::NonZeroUsize;
     let cfg = opts.base.config()?;
     if opts.batch == 0 {
         return Err("--batch must be at least 1".into());
+    }
+    if opts.warm && opts.base.simplex {
+        return Err("--warm needs the transportation backend (drop --simplex)".into());
+    }
+    if let Some(t) = opts.delta_threshold {
+        if !opts.warm {
+            return Err("--delta-threshold requires --warm".into());
+        }
+        if !t.is_finite() || t < 0.0 {
+            return Err("--delta-threshold must be finite and non-negative".into());
+        }
     }
     let parts = opts.partitions.unwrap_or(1);
     let parts_nz = NonZeroUsize::new(parts).ok_or("--partitions must be at least 1")?;
@@ -866,22 +906,16 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
         (Some(_), None) => None,
     };
 
-    let obs = match &opts.profile {
-        Some(_) => {
-            let o = ObsHandle::recording(opts.seed);
+    // --warm reads the lp.* warm counters back, so it records even
+    // without --profile (profiling itself stays opt-in).
+    let obs = if opts.profile.is_some() || opts.warm {
+        let o = ObsHandle::recording(opts.seed);
+        if opts.profile.is_some() {
             o.enable_profiling();
-            o
         }
-        None => ObsHandle::disabled(),
-    };
-    let solve_round = |nmdb: &Nmdb, round: u64| -> Result<Placement, String> {
-        opts.base
-            .request(nmdb, &cfg)
-            .partitions(if parts > 1 { Some(parts_nz) } else { None })
-            .partition_seed(opts.seed ^ round)
-            .obs(obs.clone())
-            .run_lp()
-            .map_err(|e| e.to_string())
+        o
+    } else {
+        ObsHandle::disabled()
     };
     let exact_round = |nmdb: &Nmdb| -> Result<Placement, String> {
         opts.base.request(nmdb, &cfg).obs(obs.clone()).run_lp().map_err(|e| e.to_string())
@@ -894,11 +928,25 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
             .map(|g| random_nmdb(g, &cfg, &params, opts.seed.wrapping_add(round)))
     };
 
+    // The steady-state instance `--warm` drifts in place; rounds without
+    // `--warm` re-generate states per round instead.
+    let mut steady: Option<Nmdb> = if opts.warm {
+        Some(match file_nmdb {
+            Some(db) => db.clone(),
+            None => make_nmdb(0).expect("generated path has a graph"),
+        })
+    } else {
+        None
+    };
+    let engine = CostEngine::with_threads(opts.base.threads).with_obs(obs.clone());
+
     let mut out = String::new();
     let mut optimal = 0usize;
     let mut no_busy = 0usize;
     let mut infeasible = 0usize;
     let mut fallbacks = 0usize;
+    let mut warm_rounds = 0usize;
+    let mut held_rounds = 0usize;
     let mut beta_sum = 0.0f64;
     let mut gap_sum = 0.0f64;
     let mut gap_max = 0.0f64;
@@ -908,14 +956,56 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
     let mut last: Option<Placement> = None;
     for round in 0..opts.batch as u64 {
         let storage;
-        let nmdb = match file_nmdb {
-            Some(db) => db,
-            None => {
+        let nmdb: &Nmdb = match (&mut steady, file_nmdb) {
+            (Some(db), _) => {
+                if round > 0 {
+                    drift_links(&mut db.graph, opts.seed, round);
+                    engine.refresh(&mut db.graph, 0.25);
+                }
+                db
+            }
+            (None, Some(db)) => db,
+            (None, None) => {
                 storage = make_nmdb(round).expect("generated path has a graph");
                 &storage
             }
         };
-        let p = solve_round(nmdb, round)?;
+        // delta hold: when every assignment's re-priced T_rmin is still
+        // within the threshold of what the last solve paid, the previous
+        // placement stands and the round costs only the row reads
+        if let (Some(t), Some(prev)) = (opts.delta_threshold, &last) {
+            let intact = prev.status == PlacementStatus::Optimal
+                && !prev.assignments.is_empty()
+                && prev.assignments.iter().all(|a| {
+                    let row = engine.row(&nmdb.graph, a.from, cfg.max_hop, cfg.path_engine);
+                    let fresh = row[a.to.index()];
+                    fresh.is_finite() && fresh <= a.t_rmin * (1.0 + t)
+                });
+            if intact {
+                held_rounds += 1;
+                continue;
+            }
+        }
+        let p = {
+            let mut req = opts
+                .base
+                .request(nmdb, &cfg)
+                .partitions(if parts > 1 { Some(parts_nz) } else { None })
+                .partition_seed(if opts.warm { opts.seed } else { opts.seed ^ round })
+                .obs(obs.clone());
+            if opts.warm {
+                req = req.engine(&engine);
+            }
+            if let Some(w) =
+                last.as_ref().filter(|_| opts.warm).map(|pl| &pl.warm).filter(|w| !w.is_empty())
+            {
+                req = req.warm_start(w);
+            }
+            req.run_lp().map_err(|e| e.to_string())?
+        };
+        if p.warm_used {
+            warm_rounds += 1;
+        }
         match p.status {
             PlacementStatus::Optimal => {
                 optimal += 1;
@@ -977,6 +1067,33 @@ pub fn cmd_place(file_nmdb: Option<&Nmdb>, opts: &PlaceOptions) -> Result<String
         opts.batch as f64 / elapsed,
         elapsed,
     ));
+    if opts.warm {
+        out.push_str(&format!(
+            "warm starts: {} of {} solved round(s) reused bases; pivots warm = {}, \
+             cold = {}, saved = {}\n",
+            warm_rounds,
+            opts.batch - held_rounds,
+            obs.counter("lp.warm_pivots"),
+            obs.counter("lp.cold_pivots"),
+            obs.counter("lp.pivots_saved"),
+        ));
+        out.push_str(&format!(
+            "cost refresh: {} incremental, {} full invalidation(s), rows migrated = {}, \
+             invalidated = {}\n",
+            obs.counter("cost.refreshes").saturating_sub(obs.counter("cost.full_invalidations")),
+            obs.counter("cost.full_invalidations"),
+            obs.counter("cost.rows_migrated"),
+            obs.counter("cost.rows_invalidated"),
+        ));
+    }
+    if let Some(t) = opts.delta_threshold {
+        out.push_str(&format!(
+            "delta hold (threshold {:.2}): held = {} round(s), solved = {}\n",
+            t,
+            held_rounds,
+            opts.batch - held_rounds,
+        ));
+    }
     if opts.gap {
         if gap_rounds > 0 {
             out.push_str(&format!(
@@ -1136,6 +1253,45 @@ mod tests {
         assert!(cmd_place(None, &PlaceOptions::default()).is_err());
         let opts = PlaceOptions { fat_tree: Some(4), batch: 0, ..Default::default() };
         assert!(cmd_place(None, &opts).is_err());
+    }
+
+    #[test]
+    fn place_warm_steady_state_reuses_bases() {
+        let opts =
+            PlaceOptions { fat_tree: Some(8), batch: 6, seed: 3, warm: true, ..Default::default() };
+        let out = cmd_place(None, &opts).unwrap();
+        assert!(out.contains("warm starts:"), "{out}");
+        // node states freeze at round 0, so every later round's bases match
+        assert!(out.contains("warm starts: 5 of 6"), "{out}");
+        assert!(out.contains("cost refresh:"), "{out}");
+    }
+
+    #[test]
+    fn place_delta_threshold_holds_undegraded_rounds() {
+        // a huge threshold means no drift ever degrades an assignment
+        // past it: round 0 solves, every later round is held
+        let db = fig4();
+        let opts =
+            PlaceOptions { batch: 4, warm: true, delta_threshold: Some(1e6), ..Default::default() };
+        let out = cmd_place(Some(&db), &opts).unwrap();
+        assert!(out.contains("held = 3 round(s), solved = 1"), "{out}");
+    }
+
+    #[test]
+    fn place_warm_rejects_bad_flag_combinations() {
+        let base = Options { simplex: true, ..Options::default() };
+        let opts = PlaceOptions { fat_tree: Some(4), warm: true, base, ..Default::default() };
+        assert!(cmd_place(None, &opts).is_err());
+        let opts =
+            PlaceOptions { fat_tree: Some(4), delta_threshold: Some(0.1), ..Default::default() };
+        assert!(cmd_place(None, &opts).is_err(), "--delta-threshold needs --warm");
+        let opts = PlaceOptions {
+            fat_tree: Some(4),
+            warm: true,
+            delta_threshold: Some(-0.5),
+            ..Default::default()
+        };
+        assert!(cmd_place(None, &opts).is_err(), "negative threshold rejected");
     }
 
     #[test]

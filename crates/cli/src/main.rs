@@ -59,6 +59,14 @@ place options (plus the file options above):
                 (generated states re-seed per round with seed+i)
   --seed N      base seed for generated states and the partition shuffle
   --gap         also solve each round exactly; report the objective gap
+  --warm        steady-state mode: node states freeze at round 0, links
+                drift per round, each solve warm-starts from the previous
+                round's bases and re-prices only rows crossing drifted
+                links (reports pivots saved and refresh behavior)
+  --delta-threshold T
+                with --warm, hold the previous placement — skipping the
+                solve — when no assignment's re-priced T_rmin degraded by
+                more than fraction T
   --profile PATH
                 write the solver-side wall-clock profile (simplex, partition
                 deal/solve/repair, cost-matrix pricing) to PATH
@@ -66,7 +74,7 @@ place options (plus the file options above):
 sim options:
   --scenario NAME
                 run a named registry scenario (testbed, chaos, int_burst,
-                diurnal, flash_crowd, zone_storm) with its own topology,
+                diurnal, flash_crowd, zone_storm, churn) with its own topology,
                 traffic/fault model, duration, and attached SLO spec —
                 evaluated by default; --scenario help lists the registry.
                 Excludes the fault flags, --sweep, and --inject-breach
@@ -224,6 +232,10 @@ fn main() {
                 "--batch" => popts.batch = numeric(&mut it, "--batch") as usize,
                 "--seed" => popts.seed = numeric(&mut it, "--seed") as u64,
                 "--gap" => popts.gap = true,
+                "--warm" => popts.warm = true,
+                "--delta-threshold" => {
+                    popts.delta_threshold = Some(numeric(&mut it, "--delta-threshold"))
+                }
                 "--profile" => {
                     popts.profile =
                         Some(it.next().unwrap_or_else(|| fail("--profile needs a value")).clone())

@@ -67,8 +67,8 @@ pub use integral::{
     optimize_integral, optimize_integral_with, IntegralPlacement, UnitAssignment, WorkUnit,
 };
 pub use optimizer::{
-    optimize, optimize_with, optimize_with_path, Assignment, Placement, PlacementStatus, SolvePath,
-    SolverBackend,
+    optimize, optimize_with, optimize_with_path, optimize_with_path_warm, Assignment, Placement,
+    PlacementStatus, SolvePath, SolverBackend, WarmState,
 };
 pub use request::{PlacementReport, PlacementRequest, ReportOutcome};
 pub use scenario::{random_nmdb, scenario_stream, ScenarioParams};

@@ -15,7 +15,9 @@
 use crate::config::DustConfig;
 use crate::error::DustError;
 use crate::state::Nmdb;
-use dust_lp::{Cmp, Problem, Status, TransportProblem, TransportStatus};
+use dust_lp::{
+    Cmp, PartitionWarm, Problem, SolveOptions, Status, TransportProblem, TransportStatus,
+};
 use dust_topology::{
     min_inv_lu_dp_path, min_inv_lu_enumerated, CostEngine, NodeId, Path, PathEngine,
 };
@@ -52,6 +54,40 @@ pub enum SolvePath {
         /// Seed for the random row split.
         seed: u64,
     },
+}
+
+/// Spanning-tree bases carried from one placement round to the next so a
+/// drifting instance re-solves warm instead of cold.
+///
+/// The bases are only offered back to the solver when the busy/candidate
+/// sets match the round they were exported from — a changed set reshapes
+/// the LP's rows/columns, and although a mismatched basis would be
+/// rejected (or re-optimized) safely by MODI anyway, the guard keeps
+/// `lp.pivots_saved` honest. Feed the previous round's
+/// [`Placement::warm`] into [`optimize_with_path_warm`] (or
+/// `PlacementRequest::warm_start`).
+#[derive(Debug, Clone, Default)]
+pub struct WarmState {
+    /// Per-group bases (a single slot when the exact path ran).
+    pub bases: PartitionWarm,
+    /// Busy set the bases were exported under, in row order.
+    pub busy: Vec<NodeId>,
+    /// Candidate set the bases were exported under, in column order.
+    pub candidates: Vec<NodeId>,
+}
+
+impl WarmState {
+    /// True when no basis is carried (cold round, infeasible round, or
+    /// simplex backend).
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Whether these bases may be offered for a round over the given
+    /// busy/candidate sets.
+    fn matches(&self, busy: &[NodeId], candidates: &[NodeId]) -> bool {
+        !self.is_empty() && self.busy == busy && self.candidates == candidates
+    }
 }
 
 /// One accepted offload decision.
@@ -111,6 +147,12 @@ pub struct Placement {
     /// True when a partitioned solve hit an infeasible subproblem and
     /// re-ran the exact whole-problem solve instead.
     pub partition_fallback: bool,
+    /// Bases for warm-starting the next round over the same busy/candidate
+    /// sets (empty unless the transportation backend reached optimality).
+    pub warm: WarmState,
+    /// True when this round's solve actually started from an accepted
+    /// warm basis (at least one subproblem, for the partitioned path).
+    pub warm_used: bool,
 }
 
 impl Placement {
@@ -165,6 +207,8 @@ pub fn optimize(nmdb: &Nmdb, cfg: &DustConfig, backend: SolverBackend) -> Placem
             shadow_prices: Vec::new(),
             partitions: 1,
             partition_fallback: false,
+            warm: WarmState::default(),
+            warm_used: false,
         },
     }
 }
@@ -197,6 +241,23 @@ pub fn optimize_with_path(
     engine: &CostEngine,
     path: SolvePath,
 ) -> Result<Placement, DustError> {
+    optimize_with_path_warm(nmdb, cfg, backend, engine, path, None)
+}
+
+/// [`optimize_with_path`], plus warm-start bases from a previous round
+/// ([`Placement::warm`]). Warm and cold solves reach the same objective —
+/// the bases only skip the initial-assignment phase and most pivots when
+/// the instance drifted little. Ignored (solved cold) when the
+/// busy/candidate sets no longer match, when the bases are empty, or for
+/// the simplex backend.
+pub fn optimize_with_path_warm(
+    nmdb: &Nmdb,
+    cfg: &DustConfig,
+    backend: SolverBackend,
+    engine: &CostEngine,
+    path: SolvePath,
+    warm: Option<&WarmState>,
+) -> Result<Placement, DustError> {
     cfg.validate().map_err(DustError::BadConfig)?;
     if let SolvePath::Partitioned { .. } = path {
         if backend == SolverBackend::Simplex {
@@ -225,6 +286,8 @@ pub fn optimize_with_path(
             shadow_prices: Vec::new(),
             partitions: 1,
             partition_fallback: false,
+            warm: WarmState::default(),
+            warm_used: false,
         });
     }
 
@@ -243,27 +306,56 @@ pub fn optimize_with_path(
     let mut shadow_prices: Vec<(NodeId, f64)> = Vec::new();
     let mut partitions = 1usize;
     let mut partition_fallback = false;
+    let mut warm_next = WarmState::default();
+    let mut warm_used = false;
     let flows: Option<(Vec<f64>, f64)> = match backend {
         SolverBackend::Transportation => {
             let tp = TransportProblem::new(supply.clone(), capacity.clone(), costs.t_rmin.clone());
-            let sol = match path {
-                SolvePath::Exact => tp.solve_with(obs),
+            let offered = warm.filter(|w| w.matches(&busy, &candidates));
+            let (sol, bases) = match path {
+                SolvePath::Exact => {
+                    let warm_start = offered.and_then(|w| {
+                        if w.bases.bases.len() == 1 {
+                            w.bases.bases[0].clone()
+                        } else {
+                            None
+                        }
+                    });
+                    let s = tp.solve_with_options(obs, &SolveOptions { warm_start });
+                    let bases = PartitionWarm { bases: vec![s.basis.clone()] };
+                    (s, bases)
+                }
                 SolvePath::Partitioned { parts, seed } => {
                     // Subproblems run with detached observability so the
                     // recorded trace stays identical for every thread
                     // count; the partition counters land on `obs` inside
-                    // solve_partitioned_via.
-                    let out = dust_lp::solve_partitioned_via(&tp, parts, seed, obs, |subs| {
-                        engine.run_parallel(subs.len(), |i| subs[i].problem.solve())
-                    });
+                    // solve_partitioned_via_warm.
+                    let out = dust_lp::solve_partitioned_via_warm(
+                        &tp,
+                        parts,
+                        seed,
+                        obs,
+                        offered.map(|w| &w.bases),
+                        |subs| {
+                            engine.run_parallel(subs.len(), |i| {
+                                let sub = &subs[i];
+                                sub.problem.solve_with_options(
+                                    &dust_obs::ObsHandle::disabled(),
+                                    &SolveOptions { warm_start: sub.warm.clone() },
+                                )
+                            })
+                        },
+                    );
                     partitions = out.parts;
                     partition_fallback = out.fell_back;
-                    out.solution
+                    (out.solution, out.warm)
                 }
             };
+            warm_used = sol.warm_used;
             if sol.status == TransportStatus::Optimal {
                 shadow_prices =
                     candidates.iter().copied().zip(sol.col_potentials.iter().copied()).collect();
+                warm_next = WarmState { bases, busy: busy.clone(), candidates: candidates.clone() };
             }
             (sol.status == TransportStatus::Optimal).then_some((sol.flow, sol.objective))
         }
@@ -319,6 +411,8 @@ pub fn optimize_with_path(
             shadow_prices: Vec::new(),
             partitions,
             partition_fallback,
+            warm: WarmState::default(),
+            warm_used,
         });
     };
 
@@ -360,6 +454,8 @@ pub fn optimize_with_path(
         shadow_prices,
         partitions,
         partition_fallback,
+        warm: warm_next,
+        warm_used,
     })
 }
 
@@ -660,5 +756,192 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DustError::BadConfig(_)));
+    }
+
+    // ---- warm-start rounds ------------------------------------------------
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Retune a seeded sample of link utilizations: `T_rmin` drifts but the
+    /// node states — and therefore the busy/candidate sets a warm basis is
+    /// keyed on — survive untouched.
+    fn drifted(db: &Nmdb, seed: u64) -> Nmdb {
+        let mut g = db.graph.clone();
+        let mut s = seed;
+        let edges = g.edge_count() as u64;
+        for _ in 0..(edges / 4 + 1) {
+            let e = dust_topology::EdgeId((splitmix(&mut s) % edges) as u32);
+            let u = 0.05 + 0.9 * (splitmix(&mut s) as f64 / u64::MAX as f64);
+            g.link_mut(e).utilization = u;
+        }
+        let states = g.nodes().map(|n| *db.state(n)).collect();
+        Nmdb::new(g, states)
+    }
+
+    #[test]
+    fn warm_vs_cold_objective_equality_sweep() {
+        // 12 seeds × {testbed, 16-k fat-tree} × k∈{1,4}: after seeded link
+        // drift, a solve warm-started from the previous round's bases must
+        // land on the same objective a cold solve reaches. Warm starts trade
+        // pivots, never optimality.
+        let testbed = topologies::example7(Link::default());
+        let params = crate::ScenarioParams::default();
+        for seed in 0..12u64 {
+            for topo in 0..2usize {
+                let base = if topo == 0 {
+                    crate::scenario::random_nmdb(&testbed, &fat_cfg(), &params, seed)
+                } else {
+                    fat_tree_nmdb(16, seed)
+                };
+                let engine = CostEngine::new();
+                for k in [1usize, 4] {
+                    let path = SolvePath::Partitioned { parts: nz(k), seed: 9 };
+                    let first = optimize_with_path(
+                        &base,
+                        &fat_cfg(),
+                        SolverBackend::Transportation,
+                        &engine,
+                        path,
+                    )
+                    .unwrap();
+                    if first.status != PlacementStatus::Optimal {
+                        continue;
+                    }
+                    let next = drifted(&base, seed.wrapping_mul(2654435761).wrapping_add(k as u64));
+                    let cold = optimize_with_path(
+                        &next,
+                        &fat_cfg(),
+                        SolverBackend::Transportation,
+                        &engine,
+                        path,
+                    )
+                    .unwrap();
+                    let warm = optimize_with_path_warm(
+                        &next,
+                        &fat_cfg(),
+                        SolverBackend::Transportation,
+                        &engine,
+                        path,
+                        Some(&first.warm),
+                    )
+                    .unwrap();
+                    assert_eq!(cold.status, warm.status, "topo={topo} seed={seed} k={k}");
+                    if cold.status == PlacementStatus::Optimal {
+                        assert!(
+                            (warm.beta - cold.beta).abs() <= 1e-7 * (1.0 + cold.beta.abs()),
+                            "topo={topo} seed={seed} k={k}: warm {} vs cold {}",
+                            warm.beta,
+                            cold.beta
+                        );
+                        assert!(
+                            (warm.total_offloaded() - cold.total_offloaded()).abs() < 1e-6,
+                            "topo={topo} seed={seed} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_round_over_unchanged_instance_pivots_zero_times() {
+        let db = fat_tree_nmdb(8, 42);
+        let obs = dust_obs::ObsHandle::recording(0);
+        let engine = CostEngine::new().with_obs(obs.clone());
+        let first = optimize_with(&db, &fat_cfg(), SolverBackend::Transportation, &engine).unwrap();
+        assert_eq!(first.status, PlacementStatus::Optimal);
+        assert!(!first.warm.is_empty(), "optimal transportation rounds must export bases");
+        let warm = optimize_with_path_warm(
+            &db,
+            &fat_cfg(),
+            SolverBackend::Transportation,
+            &engine,
+            SolvePath::Exact,
+            Some(&first.warm),
+        )
+        .unwrap();
+        assert!(warm.warm_used);
+        // flows are re-derived from the basis by leaf-peeling, so the sum
+        // may round differently — equality is mathematical, not bitwise
+        assert!((warm.beta - first.beta).abs() <= 1e-9 * (1.0 + first.beta.abs()));
+        assert_eq!(obs.counter("lp.warm_solves"), 1);
+        assert_eq!(obs.counter("lp.warm_pivots"), 0, "an already-optimal basis needs no pivots");
+        assert!(obs.counter("lp.pivots_saved") > 0);
+        assert_eq!(obs.counter("lp.warm_rejects"), 0);
+    }
+
+    #[test]
+    fn partitioned_warm_round_saves_pivots_and_matches_cold() {
+        let db = fat_tree_nmdb(8, 21);
+        let obs = dust_obs::ObsHandle::recording(0);
+        let engine = CostEngine::new().with_obs(obs.clone());
+        let path = SolvePath::Partitioned { parts: nz(4), seed: 3 };
+        let first =
+            optimize_with_path(&db, &fat_cfg(), SolverBackend::Transportation, &engine, path)
+                .unwrap();
+        assert_eq!(first.status, PlacementStatus::Optimal);
+        let next = drifted(&db, 5);
+        let saved_before = obs.counter("lp.pivots_saved");
+        let warm = optimize_with_path_warm(
+            &next,
+            &fat_cfg(),
+            SolverBackend::Transportation,
+            &engine,
+            path,
+            Some(&first.warm),
+        )
+        .unwrap();
+        let cold =
+            optimize_with_path(&next, &fat_cfg(), SolverBackend::Transportation, &engine, path)
+                .unwrap();
+        if !first.partition_fallback && !warm.partition_fallback {
+            assert!(warm.warm_used, "matching per-partition bases must be accepted");
+            assert!(obs.counter("lp.pivots_saved") > saved_before);
+        }
+        assert!(
+            (warm.beta - cold.beta).abs() <= 1e-7 * (1.0 + cold.beta.abs()),
+            "warm {} vs cold {}",
+            warm.beta,
+            cold.beta
+        );
+    }
+
+    #[test]
+    fn warm_bases_are_ignored_when_the_busy_set_changes() {
+        let db = fat_tree_nmdb(8, 7);
+        let engine = CostEngine::new();
+        let first = optimize_with(&db, &fat_cfg(), SolverBackend::Transportation, &engine).unwrap();
+        assert_eq!(first.status, PlacementStatus::Optimal);
+        // flip one candidate to busy: the LP's rows/columns reshape, so the
+        // stale bases must be ignored, not trusted
+        let mut db2 = db.clone();
+        let flipped = first.candidates[0];
+        db2.state_mut(flipped).utilization = 99.0;
+        let warm = optimize_with_path_warm(
+            &db2,
+            &fat_cfg(),
+            SolverBackend::Transportation,
+            &engine,
+            SolvePath::Exact,
+            Some(&first.warm),
+        )
+        .unwrap();
+        assert!(!warm.warm_used);
+    }
+
+    #[test]
+    fn simplex_backend_carries_no_warm_state() {
+        let db = simple_nmdb();
+        let engine = CostEngine::new();
+        let p = optimize_with(&db, &cfg(), SolverBackend::Simplex, &engine).unwrap();
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        assert!(p.warm.is_empty());
+        assert!(!p.warm_used);
     }
 }

@@ -36,7 +36,8 @@ use crate::error::DustError;
 use crate::heuristic::{heuristic_with, HeuristicOutcome};
 use crate::integral::{optimize_integral_with, IntegralPlacement, WorkUnit};
 use crate::optimizer::{
-    optimize_with_path, Assignment, Placement, PlacementStatus, SolvePath, SolverBackend,
+    optimize_with_path_warm, Assignment, Placement, PlacementStatus, SolvePath, SolverBackend,
+    WarmState,
 };
 use crate::state::Nmdb;
 use crate::zoning::{optimize_zoned_with, ZonedPlacement, Zoning};
@@ -87,6 +88,7 @@ pub struct PlacementRequest<'a> {
     obs: ObsHandle,
     partitions: Option<NonZeroUsize>,
     partition_seed: u64,
+    warm: Option<&'a WarmState>,
 }
 
 impl<'a> PlacementRequest<'a> {
@@ -103,6 +105,7 @@ impl<'a> PlacementRequest<'a> {
             obs: ObsHandle::disabled(),
             partitions: None,
             partition_seed: 0,
+            warm: None,
         }
     }
 
@@ -174,6 +177,16 @@ impl<'a> PlacementRequest<'a> {
     /// (default 0). Ignored without [`partitions`](Self::partitions).
     pub fn partition_seed(mut self, seed: u64) -> Self {
         self.partition_seed = seed;
+        self
+    }
+
+    /// Warm-start this solve from a previous round's bases
+    /// ([`Placement::warm`]). Warm and cold solves reach the same
+    /// objective; stale or mismatched bases are rejected cold by the
+    /// solver. Applies to the LP strategy with the transportation
+    /// backend only.
+    pub fn warm_start(mut self, warm: &'a WarmState) -> Self {
+        self.warm = Some(warm);
         self
     }
 
@@ -250,7 +263,14 @@ impl<'a> PlacementRequest<'a> {
     /// Run the exact LP regardless of the configured strategy, returning
     /// the full [`Placement`] (including the legacy status enum).
     pub fn run_lp(&self) -> Result<Placement, DustError> {
-        optimize_with_path(self.nmdb, &self.cfg, self.backend, self.engine.get(), self.solve_path())
+        optimize_with_path_warm(
+            self.nmdb,
+            &self.cfg,
+            self.backend,
+            self.engine.get(),
+            self.solve_path(),
+            self.warm,
+        )
     }
 
     /// Run the heuristic regardless of the configured strategy (reach

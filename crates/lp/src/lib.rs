@@ -40,8 +40,11 @@ pub mod transportation;
 pub use branch_bound::{solve_mip, solve_mip_with, MipOptions, MipSolution};
 pub use export::to_lp_format;
 pub use partition::{
-    solve_partitioned_via, solve_partitioned_with, PartitionOutcome, PartitionPlan, SubProblem,
+    solve_partitioned_via, solve_partitioned_via_warm, solve_partitioned_with,
+    solve_subs_sequential, PartitionOutcome, PartitionPlan, PartitionWarm, SubProblem,
 };
 pub use problem::{Cmp, Constraint, Problem, Sense, Var, VarDef};
 pub use simplex::{solve, solve_with, Options, Solution, Status};
-pub use transportation::{TransportProblem, TransportSolution, TransportStatus};
+pub use transportation::{
+    Basis, SolveOptions, TransportProblem, TransportSolution, TransportStatus,
+};

@@ -41,7 +41,9 @@
 //! subproblems can run on an existing thread pool (dust-core drives it from
 //! the `CostEngine` scoped-thread pool).
 
-use crate::transportation::{TransportProblem, TransportSolution, TransportStatus};
+use crate::transportation::{
+    Basis, SolveOptions, TransportProblem, TransportSolution, TransportStatus,
+};
 use dust_obs::ObsHandle;
 use std::num::NonZeroUsize;
 
@@ -142,7 +144,13 @@ impl PartitionPlan {
                 cost.push(p.cost[i * n + j]);
             }
         }
-        SubProblem { problem: TransportProblem { supply, capacity, cost }, rows, cols, share }
+        SubProblem {
+            problem: TransportProblem { supply, capacity, cost },
+            rows,
+            cols,
+            share,
+            warm: None,
+        }
     }
 
     /// All subproblems of `p`, in group order.
@@ -218,6 +226,35 @@ pub struct SubProblem {
     /// This group's share of total supply (its capacity scaling factor,
     /// before slack).
     pub share: f64,
+    /// Warm-start basis for this subproblem, carried over from the same
+    /// group's previous-round solve (see [`PartitionWarm`]). Batch solvers
+    /// should pass it through [`SolveOptions::warm_start`]; a basis that no
+    /// longer fits the (re-pruned) subproblem is rejected cold by the
+    /// solver itself.
+    pub warm: Option<Basis>,
+}
+
+/// Per-group warm-start bases carried between successive partitioned
+/// solves of drifting instances.
+///
+/// The deal is a pure function of `(rows, parts, seed)`, so as long as the
+/// instance keeps its row count and the caller keeps the seed, group `g`
+/// sees the same supply rows every round and its previous basis usually
+/// still spans the new subproblem. Column pruning is cost-dependent, so a
+/// group whose kept-column set shifted simply rejects its stale basis and
+/// solves cold — correctness never depends on acceptance.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionWarm {
+    /// One basis slot per subproblem, in group order (a single slot when
+    /// the whole-problem path ran). `None` slots solve cold.
+    pub bases: Vec<Option<Basis>>,
+}
+
+impl PartitionWarm {
+    /// True when no basis is carried at all.
+    pub fn is_empty(&self) -> bool {
+        self.bases.iter().all(Option::is_none)
+    }
 }
 
 /// Result of a partitioned solve.
@@ -235,6 +272,9 @@ pub struct PartitionOutcome {
     /// fallback (with supply-proportional capacity shares this only
     /// happens when the joint problem is itself infeasible).
     pub fell_back: bool,
+    /// Per-group bases from this round, ready to feed the next round's
+    /// [`solve_partitioned_via_warm`] call as its `warm` argument.
+    pub warm: PartitionWarm,
 }
 
 /// Partitioned solve with a caller-supplied batch solver: `solve_batch`
@@ -256,16 +296,59 @@ pub fn solve_partitioned_via<F>(
 where
     F: FnOnce(&[SubProblem]) -> Vec<TransportSolution>,
 {
+    solve_partitioned_via_warm(p, parts, seed, obs, None, solve_batch)
+}
+
+/// [`solve_partitioned_via`] with per-group warm-start bases from a
+/// previous round. Each subproblem's slot from `warm` (matched by group
+/// order; ignored wholesale if the group count changed) is attached as
+/// [`SubProblem::warm`] for the batch solver to feed through
+/// [`SolveOptions::warm_start`]. The returned [`PartitionOutcome::warm`]
+/// carries this round's bases for the next call.
+///
+/// Subproblem solves run under the batch solver's (typically disabled)
+/// obs handle, so the warm/cold pivot split (`lp.warm_solves`,
+/// `lp.warm_pivots`, `lp.warm_rejects`, `lp.cold_pivots`,
+/// `lp.pivots_saved`) is aggregated here from the returned solutions.
+pub fn solve_partitioned_via_warm<F>(
+    p: &TransportProblem,
+    parts: NonZeroUsize,
+    seed: u64,
+    obs: &ObsHandle,
+    warm: Option<&PartitionWarm>,
+    solve_batch: F,
+) -> PartitionOutcome
+where
+    F: FnOnce(&[SubProblem]) -> Vec<TransportSolution>,
+{
     let m = p.supply.len();
     let n = p.capacity.len();
     let plan = PartitionPlan::new(m, parts, seed);
     if plan.parts() <= 1 {
-        return PartitionOutcome { solution: p.solve_with(obs), parts: 1, fell_back: false };
+        // whole-problem path: one basis slot, recorded directly against
+        // the caller's obs by the solver itself
+        let warm_start =
+            warm.and_then(|w| if w.bases.len() == 1 { w.bases[0].clone() } else { None });
+        let solution = p.solve_with_options(obs, &SolveOptions { warm_start });
+        let bases = vec![solution.basis.clone()];
+        return PartitionOutcome {
+            solution,
+            parts: 1,
+            fell_back: false,
+            warm: PartitionWarm { bases },
+        };
     }
-    let subs = {
+    let mut subs = {
         let _prof = obs.prof_scope("lp.partition.deal");
         plan.subproblems(p)
     };
+    if let Some(w) = warm {
+        if w.bases.len() == subs.len() {
+            for (sub, b) in subs.iter_mut().zip(&w.bases) {
+                sub.warm = b.clone();
+            }
+        }
+    }
     let solutions = {
         let _prof = obs.prof_scope("lp.partition.solve");
         solve_batch(&subs)
@@ -275,11 +358,24 @@ where
     if obs.is_enabled() {
         obs.counter_inc("lp.partition.solves");
         obs.counter_add("lp.partition.subproblems", subs.len() as u64);
+        for (sub, sol) in subs.iter().zip(&solutions) {
+            if sol.warm_used {
+                obs.counter_inc("lp.warm_solves");
+                obs.counter_add("lp.warm_pivots", sol.iterations as u64);
+                let skipped = sol.basis.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+                obs.counter_add("lp.pivots_saved", skipped);
+            } else {
+                if sub.warm.is_some() {
+                    obs.counter_inc("lp.warm_rejects");
+                }
+                obs.counter_add("lp.cold_pivots", sol.iterations as u64);
+            }
+        }
     }
-    let fallback = |fell_back: bool| PartitionOutcome {
-        solution: p.solve_with(obs),
-        parts: plan.parts(),
-        fell_back,
+    let fallback = |fell_back: bool| {
+        let solution = p.solve_with(obs);
+        let bases = vec![solution.basis.clone()];
+        PartitionOutcome { solution, parts: plan.parts(), fell_back, warm: PartitionWarm { bases } }
     };
     if solutions.iter().any(|s| s.status == TransportStatus::Infeasible) {
         // Groups keep at least their fair share of capacity, so reaching
@@ -402,23 +498,35 @@ where
             iterations,
             row_potentials,
             col_potentials,
+            basis: None,
+            warm_used: solutions.iter().any(|s| s.warm_used),
         },
         parts: plan.parts(),
         fell_back: false,
+        warm: PartitionWarm { bases: solutions.iter().map(|s| s.basis.clone()).collect() },
     }
 }
 
 /// Sequential partitioned solve: subproblems run one after another on the
-/// calling thread. See [`solve_partitioned_via`] for the parallel hook.
+/// calling thread. See [`solve_partitioned_via`] for the parallel hook and
+/// [`solve_partitioned_via_warm`] for basis reuse across rounds.
 pub fn solve_partitioned_with(
     p: &TransportProblem,
     parts: NonZeroUsize,
     seed: u64,
     obs: &ObsHandle,
 ) -> PartitionOutcome {
-    solve_partitioned_via(p, parts, seed, obs, |subs| {
-        subs.iter().map(|s| s.problem.solve()).collect()
-    })
+    solve_partitioned_via(p, parts, seed, obs, solve_subs_sequential)
+}
+
+/// The default batch solver: solve each subproblem on the calling thread,
+/// honoring any attached warm basis. Exposed so warm-aware callers (and
+/// tests) can reuse it with [`solve_partitioned_via_warm`].
+pub fn solve_subs_sequential(subs: &[SubProblem]) -> Vec<TransportSolution> {
+    let obs = ObsHandle::disabled();
+    subs.iter()
+        .map(|s| s.problem.solve_with_options(&obs, &SolveOptions { warm_start: s.warm.clone() }))
+        .collect()
 }
 
 #[cfg(test)]
@@ -633,5 +741,87 @@ mod tests {
         });
         assert_eq!(seen, 5);
         assert_eq!(out.parts, 5);
+    }
+
+    #[test]
+    fn warm_round_trip_matches_cold_and_saves_pivots() {
+        let p = granular(40, 24);
+        let first = solve_partitioned_with(&p, nz(4), 7, &ObsHandle::disabled());
+        assert_eq!(first.warm.bases.len(), 4, "one basis slot per group");
+        assert!(!first.warm.is_empty());
+
+        // drift the instance a little, then solve warm and cold
+        let mut q = p.clone();
+        for (i, s) in q.supply.iter_mut().enumerate() {
+            *s += (i % 3) as f64 * 0.01;
+        }
+        let obs = ObsHandle::recording(0);
+        let warm = solve_partitioned_via_warm(
+            &q,
+            nz(4),
+            7,
+            &obs,
+            Some(&first.warm),
+            solve_subs_sequential,
+        );
+        let cold = solve_partitioned_with(&q, nz(4), 7, &ObsHandle::disabled());
+        assert_eq!(warm.solution.status, TransportStatus::Optimal);
+        // same seed → same deal → same subproblems: warm and cold land on
+        // the same optimum of every subproblem, so the recombined
+        // objectives agree exactly up to float summation order
+        assert!(
+            (warm.solution.objective - cold.solution.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.solution.objective,
+            cold.solution.objective
+        );
+        assert!(obs.counter("lp.warm_solves") > 0, "at least one group accepted its basis");
+        assert!(obs.counter("lp.pivots_saved") > 0);
+    }
+
+    #[test]
+    fn warm_with_wrong_group_count_is_ignored() {
+        let p = granular(30, 16);
+        let first = solve_partitioned_with(&p, nz(4), 5, &ObsHandle::disabled());
+        let obs = ObsHandle::recording(0);
+        // re-solve with k=2: the 4-slot warm set cannot line up and must
+        // be dropped wholesale, not half-applied
+        let out = solve_partitioned_via_warm(
+            &p,
+            nz(2),
+            5,
+            &obs,
+            Some(&first.warm),
+            solve_subs_sequential,
+        );
+        assert_eq!(out.parts, 2);
+        assert_eq!(out.solution.status, TransportStatus::Optimal);
+        assert_eq!(obs.counter("lp.warm_solves"), 0);
+        assert_eq!(obs.counter("lp.warm_rejects"), 0, "never offered, so never rejected");
+        let cold = solve_partitioned_with(&p, nz(2), 5, &ObsHandle::disabled());
+        assert_eq!(out.solution.flow, cold.solution.flow);
+    }
+
+    #[test]
+    fn k1_warm_path_delegates_to_whole_problem_solver() {
+        let p = granular(12, 8);
+        let first = solve_partitioned_with(&p, nz(1), 9, &ObsHandle::disabled());
+        assert_eq!(first.warm.bases.len(), 1);
+        assert!(first.warm.bases[0].is_some());
+        let obs = ObsHandle::recording(0);
+        let again = solve_partitioned_via_warm(
+            &p,
+            nz(1),
+            9,
+            &obs,
+            Some(&first.warm),
+            solve_subs_sequential,
+        );
+        assert!(again.solution.warm_used);
+        assert_eq!(again.solution.iterations, 0, "optimal basis re-solves pivot-free");
+        assert_eq!(again.solution.objective.to_bits(), first.solution.objective.to_bits());
+        // counters recorded once by the whole-problem solver, not doubled
+        // by the partition layer
+        assert_eq!(obs.counter("lp.warm_solves"), 1);
     }
 }

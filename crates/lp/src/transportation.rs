@@ -54,6 +54,74 @@ pub struct TransportSolution {
     /// of one more unit of capacity at sink `j` — which Offload-candidate
     /// is worth upgrading.
     pub col_potentials: Vec<f64>,
+    /// The optimal spanning-tree basis, reusable as
+    /// [`SolveOptions::warm_start`] for the next solve of a similar
+    /// instance (`None` on infeasible or trivial solves, and on
+    /// recombined partitioned solutions).
+    pub basis: Option<Basis>,
+    /// True when this solve started from an accepted warm-start basis
+    /// instead of the Vogel initial-assignment phase.
+    pub warm_used: bool,
+}
+
+/// A spanning-tree basis exported from an optimal transportation solve.
+///
+/// The cells live on the *balanced* instance (real supply rows plus the
+/// dummy slack source the solver appends), so a basis round-trips between
+/// solves without the caller ever seeing the balancing. Feeding a stale
+/// basis back in via [`SolveOptions::warm_start`] can never change the
+/// answer: MODI converges to the optimum from *any* basic feasible
+/// solution, and a basis that no longer fits (changed dimensions, not
+/// spanning, or infeasible for the new supplies/capacities) is silently
+/// rejected in favor of the cold Vogel start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Balanced-instance rows (real supply rows + 1 dummy).
+    rows: usize,
+    /// Sink columns.
+    cols: usize,
+    /// Basic cells `(row, col)` of the balanced instance, row-major order.
+    cells: Vec<(u32, u32)>,
+}
+
+impl Basis {
+    /// Balanced-instance dimensions `(rows, cols)`; `rows` counts the
+    /// dummy slack source the solver appends.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of basic cells — `rows + cols - 1` for a spanning tree.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the basis holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Knobs for one transportation solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Reuse this spanning-tree basis from a previous round instead of
+    /// running the Vogel initial-assignment phase. A basis that does not
+    /// fit the current instance falls back to the cold start (counted as
+    /// `lp.warm_rejects`); an accepted one pins `lp.pivots_saved` by the
+    /// `rows + cols - 1` initial assignments it skipped.
+    pub warm_start: Option<Basis>,
+}
+
+/// How a solve used (or didn't use) its warm-start basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarmUse {
+    /// No warm basis was offered.
+    Cold,
+    /// A warm basis was offered but did not fit the instance.
+    Rejected,
+    /// The warm basis seeded the solve.
+    Accepted,
 }
 
 impl TransportProblem {
@@ -81,12 +149,40 @@ impl TransportProblem {
     /// `TransportSolve` trace event. A disabled handle skips all
     /// recording, preserving the untraced path exactly.
     pub fn solve_with(&self, obs: &dust_obs::ObsHandle) -> TransportSolution {
+        self.solve_with_options(obs, &SolveOptions::default())
+    }
+
+    /// Solve with explicit [`SolveOptions`] (warm-start basis reuse).
+    /// Warm and cold solves reach the same objective; the split between
+    /// `lp.warm_pivots` and `lp.cold_pivots` records where the pivots
+    /// went, and `lp.pivots_saved` the initial assignments a warm start
+    /// skipped.
+    pub fn solve_with_options(
+        &self,
+        obs: &dust_obs::ObsHandle,
+        opts: &SolveOptions,
+    ) -> TransportSolution {
         let _prof = obs.prof_scope("lp.transport.solve");
-        let s = self.solve_inner();
+        let (s, warm) = self.solve_inner(opts.warm_start.as_ref());
         if obs.is_enabled() {
             obs.counter_inc("lp.transport.solves");
             obs.counter_add("lp.transport.pivots", s.iterations as u64);
             obs.observe("lp.transport.pivots", s.iterations as f64);
+            match warm {
+                WarmUse::Accepted => {
+                    obs.counter_inc("lp.warm_solves");
+                    obs.counter_add("lp.warm_pivots", s.iterations as u64);
+                    let skipped = s.basis.as_ref().map(|b| b.len()).unwrap_or(0);
+                    obs.counter_add("lp.pivots_saved", skipped as u64);
+                }
+                WarmUse::Rejected => {
+                    obs.counter_inc("lp.warm_rejects");
+                    obs.counter_add("lp.cold_pivots", s.iterations as u64);
+                }
+                WarmUse::Cold => {
+                    obs.counter_add("lp.cold_pivots", s.iterations as u64);
+                }
+            }
             obs.trace(dust_obs::TraceEvent::TransportSolve { pivots: s.iterations as u64 });
         }
         s
@@ -97,7 +193,7 @@ impl TransportProblem {
         self.solve_with(&dust_obs::ObsHandle::disabled())
     }
 
-    fn solve_inner(&self) -> TransportSolution {
+    fn solve_inner(&self, warm: Option<&Basis>) -> (TransportSolution, WarmUse) {
         const TOL: f64 = 1e-9;
         let m0 = self.supply.len();
         let n = self.capacity.len();
@@ -105,24 +201,34 @@ impl TransportProblem {
         let total_cap: f64 = self.capacity.iter().sum();
         if m0 == 0 || total_supply <= TOL {
             // nothing to ship
-            return TransportSolution {
-                status: TransportStatus::Optimal,
-                flow: vec![0.0; m0 * n],
-                objective: 0.0,
-                iterations: 0,
-                row_potentials: vec![0.0; m0],
-                col_potentials: vec![0.0; n],
-            };
+            return (
+                TransportSolution {
+                    status: TransportStatus::Optimal,
+                    flow: vec![0.0; m0 * n],
+                    objective: 0.0,
+                    iterations: 0,
+                    row_potentials: vec![0.0; m0],
+                    col_potentials: vec![0.0; n],
+                    basis: None,
+                    warm_used: false,
+                },
+                WarmUse::Cold,
+            );
         }
         if n == 0 || total_supply > total_cap + TOL {
-            return TransportSolution {
-                status: TransportStatus::Infeasible,
-                flow: Vec::new(),
-                objective: f64::NAN,
-                iterations: 0,
-                row_potentials: Vec::new(),
-                col_potentials: Vec::new(),
-            };
+            return (
+                TransportSolution {
+                    status: TransportStatus::Infeasible,
+                    flow: Vec::new(),
+                    objective: f64::NAN,
+                    iterations: 0,
+                    row_potentials: Vec::new(),
+                    col_potentials: Vec::new(),
+                    basis: None,
+                    warm_used: false,
+                },
+                WarmUse::Cold,
+            );
         }
 
         // Big-M for forbidden routes: dominates any mix of real costs.
@@ -144,8 +250,15 @@ impl TransportProblem {
         supply.push(total_cap - total_supply);
         let demand: Vec<f64> = self.capacity.clone();
 
-        let mut state = State::vogel_initial(m, n, &supply, &demand, &c);
-        state.complete_basis(m, n);
+        let (mut state, warm_use) =
+            match warm.and_then(|b| State::from_basis(m, n, &supply, &demand, b)) {
+                Some(s) => (s, WarmUse::Accepted),
+                None => {
+                    let mut st = State::vogel_initial(m, n, &supply, &demand, &c);
+                    st.complete_basis(m, n);
+                    (st, if warm.is_some() { WarmUse::Rejected } else { WarmUse::Cold })
+                }
+            };
         let (iterations, u_bal, v_bal) = state.modi_optimize(m, n, &c);
 
         // Forbidden flow check (only real rows matter).
@@ -155,14 +268,19 @@ impl TransportProblem {
             for j in 0..n {
                 let f = state.flow[i * n + j];
                 if f > TOL && !self.cost[i * n + j].is_finite() {
-                    return TransportSolution {
-                        status: TransportStatus::Infeasible,
-                        flow: Vec::new(),
-                        objective: f64::NAN,
-                        iterations,
-                        row_potentials: Vec::new(),
-                        col_potentials: Vec::new(),
-                    };
+                    return (
+                        TransportSolution {
+                            status: TransportStatus::Infeasible,
+                            flow: Vec::new(),
+                            objective: f64::NAN,
+                            iterations,
+                            row_potentials: Vec::new(),
+                            col_potentials: Vec::new(),
+                            basis: None,
+                            warm_used: warm_use == WarmUse::Accepted,
+                        },
+                        warm_use,
+                    );
                 }
                 flow[i * n + j] = f;
                 objective += f * self.cost[i * n + j].min(big_m);
@@ -175,14 +293,20 @@ impl TransportProblem {
         let shift = u_bal[m0];
         let row_potentials: Vec<f64> = u_bal[..m0].iter().map(|u| u - shift).collect();
         let col_potentials: Vec<f64> = v_bal.iter().map(|v| v + shift).collect();
-        TransportSolution {
-            status: TransportStatus::Optimal,
-            flow,
-            objective,
-            iterations,
-            row_potentials,
-            col_potentials,
-        }
+        let basis = Some(state.export_basis(m, n));
+        (
+            TransportSolution {
+                status: TransportStatus::Optimal,
+                flow,
+                objective,
+                iterations,
+                row_potentials,
+                col_potentials,
+                basis,
+                warm_used: warm_use == WarmUse::Accepted,
+            },
+            warm_use,
+        )
     }
 }
 
@@ -195,6 +319,84 @@ struct State {
 }
 
 impl State {
+    /// Collect the current basis as an exportable cell set.
+    fn export_basis(&self, m: usize, n: usize) -> Basis {
+        let mut cells = Vec::with_capacity(m + n - 1);
+        for i in 0..m {
+            for j in 0..n {
+                if self.basic[i * n + j] {
+                    cells.push((i as u32, j as u32));
+                }
+            }
+        }
+        Basis { rows: m, cols: n, cells }
+    }
+
+    /// Rebuild solver state from a previous round's basis: mark the cells
+    /// basic and recompute the unique tree flows by leaf-peeling the
+    /// spanning tree against the *current* supplies and demands. Returns
+    /// `None` — caller falls back to the cold Vogel start — when the basis
+    /// does not fit: wrong dimensions or cell count, duplicate or
+    /// out-of-range cells, a cell set that is not a spanning tree (the
+    /// peel stalls), or tree flows forced negative by the new balances.
+    fn from_basis(
+        m: usize,
+        n: usize,
+        supply: &[f64],
+        demand: &[f64],
+        basis: &Basis,
+    ) -> Option<State> {
+        const FEAS_TOL: f64 = 1e-9;
+        if basis.rows != m || basis.cols != n || basis.cells.len() != m + n - 1 {
+            return None;
+        }
+        let mut basic = vec![false; m * n];
+        // incident basic-cell indices per vertex (rows 0..m, cols m..m+n)
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m + n];
+        for (k, &(bi, bj)) in basis.cells.iter().enumerate() {
+            let (i, j) = (bi as usize, bj as usize);
+            if i >= m || j >= n || basic[i * n + j] {
+                return None;
+            }
+            basic[i * n + j] = true;
+            adj[i].push(k);
+            adj[m + j].push(k);
+        }
+        let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+        if degree.contains(&0) {
+            return None; // an isolated vertex can never be spanned
+        }
+        // Each leaf's single remaining cell must carry the leaf's entire
+        // residual balance; peeling a tree consumes every cell exactly once.
+        let mut resid: Vec<f64> = supply.iter().chain(demand.iter()).copied().collect();
+        let mut used = vec![false; basis.cells.len()];
+        let mut flow = vec![0.0; m * n];
+        let mut leaves: Vec<usize> = (0..m + n).filter(|&v| degree[v] == 1).collect();
+        let mut assigned = 0usize;
+        while let Some(v) = leaves.pop() {
+            let Some(&k) = adj[v].iter().find(|&&k| !used[k]) else { continue };
+            let (i, j) = (basis.cells[k].0 as usize, basis.cells[k].1 as usize);
+            let f = resid[v];
+            if f < -FEAS_TOL {
+                return None; // old basis is infeasible for the new balances
+            }
+            flow[i * n + j] = f.max(0.0);
+            used[k] = true;
+            assigned += 1;
+            let other = if v < m { m + j } else { i };
+            resid[other] -= f;
+            degree[v] -= 1;
+            degree[other] -= 1;
+            if degree[other] == 1 {
+                leaves.push(other);
+            }
+        }
+        if assigned != basis.cells.len() {
+            return None; // the cell set was not a spanning tree
+        }
+        Some(State { flow, basic })
+    }
+
     /// Vogel's approximation method initial basic feasible solution.
     fn vogel_initial(m: usize, n: usize, supply: &[f64], demand: &[f64], c: &[f64]) -> State {
         const TOL: f64 = 1e-12;
@@ -693,5 +895,137 @@ mod duality_tests {
             "strong duality: dual {dual_obj} vs primal {}",
             s.objective
         );
+    }
+}
+
+#[cfg(test)]
+mod warm_tests {
+    use super::*;
+    use dust_obs::ObsHandle;
+
+    fn instance() -> TransportProblem {
+        TransportProblem::new(
+            vec![20.0, 30.0, 25.0],
+            vec![40.0, 28.0, 37.0],
+            vec![4.0, 3.0, 2.0, 1.0, 5.0, 0.0, 3.0, 8.0, 6.0],
+        )
+    }
+
+    #[test]
+    fn optimal_solves_export_a_spanning_basis() {
+        let p = instance();
+        let s = p.solve();
+        let b = s.basis.expect("optimal solves export a basis");
+        // balanced dims: 3 real rows + 1 dummy, 3 cols
+        assert_eq!(b.dims(), (4, 3));
+        assert_eq!(b.len(), 4 + 3 - 1);
+        assert!(!s.warm_used);
+    }
+
+    #[test]
+    fn warm_start_from_own_basis_needs_zero_pivots() {
+        let p = instance();
+        let cold = p.solve();
+        let obs = ObsHandle::recording(0);
+        let opts = SolveOptions { warm_start: cold.basis.clone() };
+        let warm = p.solve_with_options(&obs, &opts);
+        assert_eq!(warm.status, TransportStatus::Optimal);
+        assert!(warm.warm_used, "own basis must be accepted");
+        assert_eq!(warm.iterations, 0, "an optimal basis needs no pivots");
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.flow, cold.flow, "same basis, same basic solution");
+        assert_eq!(obs.counter("lp.warm_solves"), 1);
+        assert_eq!(obs.counter("lp.warm_pivots"), 0);
+        assert_eq!(obs.counter("lp.pivots_saved"), 6, "rows+cols-1 assignments skipped");
+        assert_eq!(obs.counter("lp.cold_pivots"), 0);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_cold_objective_after_perturbation() {
+        let p = instance();
+        let basis = p.solve().basis.unwrap();
+        // drift the balances (keeping the instance feasible) and re-solve
+        // both ways: objectives must be equal, pivot order need not be
+        let mut q = p.clone();
+        q.supply[0] = 24.0;
+        q.supply[2] = 21.5;
+        q.capacity[1] = 31.0;
+        let cold = q.solve();
+        let warm =
+            q.solve_with_options(&ObsHandle::disabled(), &SolveOptions { warm_start: Some(basis) });
+        assert_eq!(cold.status, TransportStatus::Optimal);
+        assert_eq!(warm.status, TransportStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn mismatched_dimensions_fall_back_cold() {
+        let p = instance();
+        let basis = p.solve().basis.unwrap();
+        // a 2-sink instance cannot absorb a 3-sink basis
+        let q = TransportProblem::new(vec![5.0, 5.0], vec![10.0, 10.0], vec![1.0, 2.0, 2.0, 1.0]);
+        let obs = ObsHandle::recording(0);
+        let s = q.solve_with_options(&obs, &SolveOptions { warm_start: Some(basis) });
+        assert_eq!(s.status, TransportStatus::Optimal);
+        assert!(!s.warm_used);
+        assert_eq!(obs.counter("lp.warm_rejects"), 1);
+        assert_eq!(obs.counter("lp.warm_solves"), 0);
+        assert_eq!(obs.counter("lp.pivots_saved"), 0);
+    }
+
+    #[test]
+    fn corrupt_basis_is_rejected_not_trusted() {
+        let p = instance();
+        let good = p.solve().basis.unwrap();
+        // right dims and count, but a cycle instead of a spanning tree:
+        // cells (0,0),(0,1),(1,0),(1,1) form a 4-cycle
+        let cyclic = Basis {
+            rows: good.rows,
+            cols: good.cols,
+            cells: vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 2)],
+        };
+        let obs = ObsHandle::recording(0);
+        let s = p.solve_with_options(&obs, &SolveOptions { warm_start: Some(cyclic) });
+        assert_eq!(s.status, TransportStatus::Optimal, "fallback still solves");
+        assert!(!s.warm_used);
+        assert_eq!(obs.counter("lp.warm_rejects"), 1);
+        // and the fallback answer matches the plain cold solve exactly
+        assert_eq!(s.objective.to_bits(), p.solve().objective.to_bits());
+    }
+
+    #[test]
+    fn infeasible_and_trivial_instances_tolerate_warm_options() {
+        let basis = instance().solve().basis.unwrap();
+        let infeasible = TransportProblem::new(vec![50.0], vec![10.0], vec![1.0]);
+        let s = infeasible.solve_with_options(
+            &ObsHandle::disabled(),
+            &SolveOptions { warm_start: Some(basis.clone()) },
+        );
+        assert_eq!(s.status, TransportStatus::Infeasible);
+        assert!(s.basis.is_none());
+        let trivial = TransportProblem::new(vec![0.0], vec![10.0], vec![1.0]);
+        let s = trivial
+            .solve_with_options(&ObsHandle::disabled(), &SolveOptions { warm_start: Some(basis) });
+        assert_eq!(s.status, TransportStatus::Optimal);
+        assert!(s.basis.is_none(), "trivial solves have no basis to export");
+    }
+
+    #[test]
+    fn warm_start_respects_forbidden_routes() {
+        // basis exported before a route became forbidden must not smuggle
+        // flow onto it: the re-solve still detours (or reports infeasible)
+        let p = TransportProblem::new(vec![10.0], vec![100.0, 100.0], vec![2.0, 7.0]);
+        let basis = p.solve().basis.unwrap();
+        let q = TransportProblem::new(vec![10.0], vec![100.0, 100.0], vec![f64::INFINITY, 7.0]);
+        let s =
+            q.solve_with_options(&ObsHandle::disabled(), &SolveOptions { warm_start: Some(basis) });
+        assert_eq!(s.status, TransportStatus::Optimal);
+        assert!((s.objective - 70.0).abs() < 1e-6);
+        assert!(s.flow[0].abs() < 1e-9, "no flow on the forbidden route");
     }
 }

@@ -102,6 +102,17 @@ pub enum TraceEvent {
     /// (`cpu_m`, milli-percent) crossed the storm's cascade threshold
     /// under load.
     StormCascade { node: u32, cpu_m: u64 },
+    /// Manager ran a delta round: of `checked` confirmed hostings,
+    /// `degraded` drifted past the re-home threshold and only those were
+    /// re-solved — the full placement engine stayed cold.
+    DeltaRound { round: u64, checked: u32, degraded: u32 },
+    /// A delta round re-homed one degraded hosted flow: the hosting under
+    /// `old` (destination `old_to`) was released and re-offered as
+    /// `request` toward `new_to`.
+    Rehome { request: u64, old: u64, from: u32, old_to: u32, new_to: u32 },
+    /// Seeded churn drift retuned `links` link utilizations and scaled
+    /// `agents` agent data rates.
+    DriftApplied { links: u32, agents: u32 },
 }
 
 /// Sentinel `node` value on [`TraceEvent::SloBreach`] for rules that
@@ -169,6 +180,9 @@ impl TraceEvent {
             PlacementRound { .. } => "PlacementRound",
             SloBreach { .. } => "SloBreach",
             StormCascade { .. } => "StormCascade",
+            DeltaRound { .. } => "DeltaRound",
+            Rehome { .. } => "Rehome",
+            DriftApplied { .. } => "DriftApplied",
         }
     }
 
@@ -190,7 +204,8 @@ impl TraceEvent {
             | TransferApplied { request, .. }
             | ReplicaApplied { request, .. }
             | ReleaseApplied { request, .. }
-            | TransferSuperseded { request } => Some(request),
+            | TransferSuperseded { request }
+            | Rehome { request, .. } => Some(request),
             _ => None,
         }
     }
@@ -210,7 +225,9 @@ impl TraceEvent {
             | Keepalive { node }
             | ClientRegister { node }
             | ClientRegistered { node } => Some(FlowId::Registration(node)),
-            PlacementRound { round, .. } => Some(FlowId::Placement(round)),
+            PlacementRound { round, .. } | DeltaRound { round, .. } => {
+                Some(FlowId::Placement(round))
+            }
             _ => None,
         }
     }
@@ -279,6 +296,18 @@ impl fmt::Display for TraceEvent {
             }
             StormCascade { node, cpu_m } => {
                 write!(f, "StormCascade node={node} cpu_m={cpu_m}")
+            }
+            DeltaRound { round, checked, degraded } => {
+                write!(f, "DeltaRound round={round} checked={checked} degraded={degraded}")
+            }
+            Rehome { request, old, from, old_to, new_to } => {
+                write!(
+                    f,
+                    "Rehome req={request} old={old} from={from} old_to={old_to} new_to={new_to}"
+                )
+            }
+            DriftApplied { links, agents } => {
+                write!(f, "DriftApplied links={links} agents={agents}")
             }
         }
     }

@@ -19,14 +19,17 @@
 
 use crate::messages::{ClientMsg, Envelope, ManagerMsg, RequestId};
 use dust_core::{
-    optimize_with, DustConfig, DustError, Nmdb, NodeState, Placement, PlacementStatus,
-    SolverBackend,
+    optimize_with_path_warm, Assignment, DustConfig, DustError, Nmdb, NodeState, Placement,
+    PlacementStatus, SolvePath, SolverBackend, WarmState,
 };
+use dust_lp::{SolveOptions, TransportProblem, TransportStatus};
 use dust_obs::{ObsHandle, TraceEvent};
-use dust_topology::{min_inv_lu_dp_path, CostEngine, Graph, NodeId, Path};
+use dust_topology::{
+    min_inv_lu_dp_path, min_inv_lu_enumerated, CostEngine, Graph, NodeId, Path, PathEngine,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What the Manager knows about one registered client.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +61,10 @@ pub struct Hosting {
     pub offered_ms: u64,
     /// Offer transmissions so far (1 = the original).
     pub attempts: u32,
+    /// `T_rmin` of the (from, to) pair when this hosting was offered —
+    /// the baseline a delta round's degradation check compares against.
+    /// `INFINITY` when the route was unpriceable at offer time.
+    pub t_rmin: f64,
     /// `Some(failed)` when this hosting was created by a `REP` replica
     /// substitution away from `failed` — retries must resend a `REP`.
     pub rep_failed: Option<NodeId>,
@@ -81,6 +88,17 @@ const MAX_OFFER_ATTEMPTS: u32 = 5;
 /// `Release` transmissions before the Manager stops retrying (the message
 /// has no acknowledgment, so delivery is at-least-attempted, not exact).
 const MAX_RELEASE_ATTEMPTS: u32 = 5;
+
+/// Default full-solve cadence when delta placement is on: one full
+/// (warm-started) round in every this-many keeps the delta path honest
+/// against slow aggregate drift no single flow's threshold catches.
+const DEFAULT_DELTA_FULL_EVERY: u64 = 8;
+
+/// Dirty-link fraction above which the cost engine gives up on
+/// incremental row migration and re-prices everything (matches the
+/// break-even observed on fat-trees: past roughly a quarter of links
+/// dirty, the BFS reachability pass saves fewer rows than it costs).
+const MAX_DIRTY_FRACTION: f64 = 0.25;
 
 /// Exponential backoff: `base`, `2·base`, `4·base`, then `8·base` capped.
 fn backoff(base_ms: u64, attempts: u32) -> u64 {
@@ -110,6 +128,23 @@ pub struct Manager {
     offers_abandoned: u64,
     /// Placement rounds run so far (each traced as a `PlacementRound`).
     placement_rounds: u64,
+    /// Delta rounds run (placement rounds that skipped the full solve).
+    delta_rounds: u64,
+    /// Hosted flows re-homed by delta rounds.
+    flows_rehomed: u64,
+    /// Reuse the previous optimal round's spanning-tree bases to
+    /// warm-start the next full solve.
+    warm_enabled: bool,
+    /// Bases exported by the last optimal full round (empty when cold).
+    warm: WarmState,
+    /// `Some(r)`: delta placement is on — a round where every confirmed
+    /// hosting's fresh `T_rmin` stayed within `(1 + r)×` its offer-time
+    /// baseline re-homes only the degraded flows instead of re-solving
+    /// the whole fleet.
+    delta_threshold: Option<f64>,
+    /// Full-solve cadence under delta placement: every `n`-th round runs
+    /// the full (warm-started) engine even when nothing degraded.
+    delta_full_every: u64,
     next_request: u64,
     /// Observability sink for protocol transitions (no-op by default).
     obs: ObsHandle,
@@ -157,6 +192,12 @@ impl Manager {
             offer_retries: 0,
             offers_abandoned: 0,
             placement_rounds: 0,
+            delta_rounds: 0,
+            flows_rehomed: 0,
+            warm_enabled: false,
+            warm: WarmState::default(),
+            delta_threshold: None,
+            delta_full_every: DEFAULT_DELTA_FULL_EVERY,
             next_request: 0,
             obs: ObsHandle::disabled(),
             engine: Arc::new(CostEngine::new()),
@@ -190,6 +231,67 @@ impl Manager {
     /// Base timeout before an unconfirmed offer retransmits, ms.
     pub fn offer_timeout_ms(&self) -> u64 {
         self.offer_timeout_ms
+    }
+
+    /// Reuse the previous optimal round's spanning-tree bases to
+    /// warm-start subsequent full solves. Warm and cold rounds reach the
+    /// same objective — the bases only skip the initial-assignment phase
+    /// and most MODI pivots when the instance drifted little.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_enabled = on;
+        if !on {
+            self.warm = WarmState::default();
+        }
+        self
+    }
+
+    /// Turn on the delta-placement path: a round where every confirmed
+    /// hosting's fresh `T_rmin` stayed within `(1 + threshold)×` its
+    /// offer-time baseline re-homes only the degraded flows via a
+    /// residual subproblem; every `full_every`-th round still runs the
+    /// full engine. `threshold` must be finite and non-negative,
+    /// `full_every` positive.
+    pub fn with_delta_placement(
+        mut self,
+        threshold: f64,
+        full_every: u64,
+    ) -> Result<Self, DustError> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(DustError::BadConfig(
+                "delta threshold must be finite and non-negative".to_string(),
+            ));
+        }
+        if full_every == 0 {
+            return Err(DustError::BadConfig(
+                "delta full-solve cadence must be positive".to_string(),
+            ));
+        }
+        self.delta_threshold = Some(threshold);
+        self.delta_full_every = full_every;
+        Ok(self)
+    }
+
+    /// Whether full solves warm-start from the previous round's bases.
+    pub fn warm_enabled(&self) -> bool {
+        self.warm_enabled
+    }
+
+    /// Delta rounds run so far (rounds that skipped the full solve).
+    pub fn delta_rounds(&self) -> u64 {
+        self.delta_rounds
+    }
+
+    /// Hosted flows re-homed by delta rounds so far.
+    pub fn flows_rehomed(&self) -> u64 {
+        self.flows_rehomed
+    }
+
+    /// Mutable access to the Manager's view of the fabric, for applying
+    /// link drift. Mutations made through [`Graph::link_mut`] are
+    /// journaled, so the next placement round re-prices only the cost
+    /// rows whose paths can cross a retuned link.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
     }
 
     /// Registered clients and their records.
@@ -387,27 +489,66 @@ impl Manager {
     /// duplicate a still-unconfirmed offer (same busy node and destination)
     /// are skipped — the expiry/retry machinery owns those.
     ///
+    /// Before anything solves, the shared cost engine migrates its cached
+    /// `T_rmin` rows across whatever link drift accumulated since the last
+    /// round (incremental when few links moved, a full re-price past
+    /// [`MAX_DIRTY_FRACTION`]). With [`Manager::with_delta_placement`] on,
+    /// a round where the hosted flows all priced within their degradation
+    /// threshold re-homes only the offenders; otherwise — and on every
+    /// periodic cadence round — the full engine runs, warm-started from
+    /// the previous round's bases when [`Manager::with_warm_start`] is on.
+    ///
     /// Returns the placement (for inspection) and the outgoing messages.
     pub fn run_placement(&mut self, now_ms: u64) -> (Placement, Vec<Envelope<ManagerMsg>>) {
         let _prof = self.obs.prof_scope("proto.placement_round");
+        self.engine.refresh(&mut self.graph, MAX_DIRTY_FRACTION);
         let nmdb = self.snapshot();
+        let (placement, out) = match self.try_delta_round(now_ms, &nmdb) {
+            Some(delta) => delta,
+            None => self.full_round(now_ms, &nmdb),
+        };
+        let round = self.placement_rounds;
+        self.placement_rounds += 1;
+        self.obs.counter_inc("proto.placement_rounds");
+        let offers = out
+            .iter()
+            .filter(|e| matches!(e.msg, ManagerMsg::OffloadRequest { .. } | ManagerMsg::Rep { .. }))
+            .count() as u32;
+        self.obs.trace_at(now_ms, TraceEvent::PlacementRound { round, offers });
+        (placement, out)
+    }
+
+    /// The whole-fleet solve (warm-started when enabled) plus offer
+    /// fan-out — the classic placement round.
+    fn full_round(&mut self, now_ms: u64, nmdb: &Nmdb) -> (Placement, Vec<Envelope<ManagerMsg>>) {
+        let warm = if self.warm_enabled && !self.warm.is_empty() { Some(&self.warm) } else { None };
         // Unbounded cannot occur for well-formed placement instances;
         // fold it into the infeasible outcome like `dust_core::optimize`.
-        let placement =
-            optimize_with(&nmdb, &self.cfg, self.backend, &self.engine).unwrap_or_else(|_| {
-                Placement {
-                    status: PlacementStatus::Infeasible,
-                    assignments: Vec::new(),
-                    beta: f64::NAN,
-                    busy: nmdb.busy_nodes(&self.cfg),
-                    candidates: nmdb.candidate_nodes(&self.cfg),
-                    cost_time: Duration::ZERO,
-                    solve_time: Duration::ZERO,
-                    shadow_prices: Vec::new(),
-                    partitions: 1,
-                    partition_fallback: false,
-                }
-            });
+        let placement = optimize_with_path_warm(
+            nmdb,
+            &self.cfg,
+            self.backend,
+            &self.engine,
+            SolvePath::Exact,
+            warm,
+        )
+        .unwrap_or_else(|_| Placement {
+            status: PlacementStatus::Infeasible,
+            assignments: Vec::new(),
+            beta: f64::NAN,
+            busy: nmdb.busy_nodes(&self.cfg),
+            candidates: nmdb.candidate_nodes(&self.cfg),
+            cost_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            shadow_prices: Vec::new(),
+            partitions: 1,
+            partition_fallback: false,
+            warm: WarmState::default(),
+            warm_used: false,
+        });
+        if self.warm_enabled && placement.status == PlacementStatus::Optimal {
+            self.warm = placement.warm.clone();
+        }
         let mut out = Vec::new();
         if placement.status == PlacementStatus::Optimal {
             let in_flight: BTreeSet<(NodeId, NodeId)> =
@@ -429,6 +570,7 @@ impl Manager {
                         route: a.route.clone(),
                         offered_ms: now_ms,
                         attempts: 1,
+                        t_rmin: a.t_rmin,
                         rep_failed: None,
                         orig_request: None,
                     },
@@ -450,11 +592,243 @@ impl Manager {
                 });
             }
         }
-        let round = self.placement_rounds;
-        self.placement_rounds += 1;
-        self.obs.counter_inc("proto.placement_rounds");
-        self.obs.trace_at(now_ms, TraceEvent::PlacementRound { round, offers: out.len() as u32 });
         (placement, out)
+    }
+
+    /// The delta path: when every current Busy node already appears in
+    /// the hosting ledger — as a flow's source, or as a destination whose
+    /// flows the delta round can carry away — price just the hosted
+    /// (from → candidate) rows, find the hostings whose fresh `T_rmin`
+    /// degraded past the threshold, and re-home only those through a
+    /// residual transportation subproblem. A busy *destination* needs no
+    /// special case: it has left the candidate set, so every flow hosted
+    /// on it prices to `INFINITY` and is re-homed. Returns `None` when
+    /// the full engine must run instead: delta placement off, a periodic
+    /// cadence round, no confirmed hostings, a Busy node the ledger has
+    /// never seen (new excess), no candidates, or a residual solve that
+    /// did not reach optimality.
+    fn try_delta_round(
+        &mut self,
+        now_ms: u64,
+        nmdb: &Nmdb,
+    ) -> Option<(Placement, Vec<Envelope<ManagerMsg>>)> {
+        let threshold = self.delta_threshold?;
+        if self.placement_rounds.is_multiple_of(self.delta_full_every) {
+            return None;
+        }
+        let confirmed: Vec<RequestId> =
+            self.hostings.iter().filter(|(_, h)| h.confirmed).map(|(r, _)| *r).collect();
+        if confirmed.is_empty() {
+            return None;
+        }
+        let busy = nmdb.busy_nodes(&self.cfg);
+        let candidates = nmdb.candidate_nodes(&self.cfg);
+        if candidates.is_empty() {
+            return None;
+        }
+        let hosted_from: BTreeSet<NodeId> =
+            confirmed.iter().map(|r| self.hostings[r].from).collect();
+        let hosted_to: BTreeSet<NodeId> = confirmed.iter().map(|r| self.hostings[r].to).collect();
+        // a Busy node absent from the ledger has excess only the full
+        // engine can place; a busy source or host is delta material
+        if busy.iter().any(|b| !hosted_from.contains(b) && !hosted_to.contains(b)) {
+            return None;
+        }
+
+        // ---- fresh T_rmin over the hosted rows only -----------------------
+        let t0 = Instant::now();
+        let froms: Vec<NodeId> = hosted_from.into_iter().collect();
+        let data: Vec<f64> = froms.iter().map(|&f| nmdb.state(f).data_mb).collect();
+        let costs = self.engine.build_matrix(
+            &nmdb.graph,
+            &froms,
+            &candidates,
+            &data,
+            self.cfg.max_hop,
+            self.cfg.path_engine,
+        );
+        let cost_time = t0.elapsed();
+        let row_of: BTreeMap<NodeId, usize> =
+            froms.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let col_of: BTreeMap<NodeId, usize> =
+            candidates.iter().enumerate().map(|(j, &n)| (n, j)).collect();
+
+        let mut degraded: Vec<RequestId> = Vec::new();
+        for &req in &confirmed {
+            let h = &self.hostings[&req];
+            let fresh = match col_of.get(&h.to) {
+                // destination left the candidate set (overloaded or
+                // reclassified): always worth re-homing
+                None => f64::INFINITY,
+                Some(&c) => costs.at(row_of[&h.from], c),
+            };
+            // NaN-aware: anything not provably within the tolerance
+            // (including an incomparable NaN price) counts as degraded
+            let within = matches!(
+                fresh.partial_cmp(&(h.t_rmin * (1.0 + threshold))),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            if !within {
+                degraded.push(req);
+            }
+        }
+
+        let t1 = Instant::now();
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut beta = 0.0;
+        let mut rehomes: Vec<(RequestId, Assignment)> = Vec::new();
+        let mut keep_fresh: Vec<(RequestId, f64)> = Vec::new();
+        if !degraded.is_empty() {
+            // ---- residual subproblem over the degraded flows only ---------
+            let supply: Vec<f64> = degraded.iter().map(|r| self.hostings[r].amount).collect();
+            let capacity: Vec<f64> = candidates.iter().map(|&c| nmdb.cd(c, &self.cfg)).collect();
+            let cost_rows: Vec<f64> = degraded
+                .iter()
+                .flat_map(|r| {
+                    let row = row_of[&self.hostings[r].from];
+                    (0..candidates.len()).map(move |c| (row, c))
+                })
+                .map(|(row, c)| costs.at(row, c))
+                .collect();
+            let tp = TransportProblem::new(supply, capacity, cost_rows);
+            let sol = tp.solve_with_options(self.engine.obs(), &SolveOptions::default());
+            if sol.status != TransportStatus::Optimal {
+                // residual infeasible (e.g. candidates too full): let the
+                // full engine reconcile the whole fleet this round
+                return None;
+            }
+            const FLOW_TOL: f64 = 1e-7;
+            for (i, &req) in degraded.iter().enumerate() {
+                let h = &self.hostings[&req];
+                let pieces: Vec<(usize, f64)> = (0..candidates.len())
+                    .filter_map(|c| {
+                        let x = sol.flow[i * candidates.len() + c];
+                        (x > FLOW_TOL).then_some((c, x))
+                    })
+                    .collect();
+                // the residual may re-pick the current destination — keep
+                // the hosting and just rebaseline so the same drift does
+                // not re-trigger every round
+                if let [(c, x)] = pieces[..] {
+                    if candidates[c] == h.to && (x - h.amount).abs() <= FLOW_TOL {
+                        keep_fresh.push((req, costs.at(row_of[&h.from], c)));
+                        continue;
+                    }
+                }
+                for (c, x) in pieces {
+                    let to = candidates[c];
+                    let t_rmin = costs.at(row_of[&h.from], c);
+                    let route = match self.cfg.path_engine {
+                        PathEngine::Enumerate => {
+                            min_inv_lu_enumerated(&nmdb.graph, h.from, to, self.cfg.max_hop)
+                                .map(|(_, p)| p)
+                        }
+                        PathEngine::HopBoundedDp => {
+                            min_inv_lu_dp_path(&nmdb.graph, h.from, to, self.cfg.max_hop)
+                                .map(|(_, p)| p)
+                        }
+                    };
+                    beta += x * t_rmin;
+                    rehomes.push((req, Assignment { from: h.from, to, amount: x, t_rmin, route }));
+                }
+            }
+        }
+        let solve_time = t1.elapsed();
+
+        // ---- commit: this round is a delta round --------------------------
+        self.delta_rounds += 1;
+        self.obs.counter_inc("proto.delta_rounds");
+        self.obs.trace_at(
+            now_ms,
+            TraceEvent::DeltaRound {
+                round: self.placement_rounds,
+                checked: confirmed.len() as u32,
+                degraded: degraded.len() as u32,
+            },
+        );
+        for (req, fresh) in keep_fresh {
+            if let Some(h) = self.hostings.get_mut(&req) {
+                h.t_rmin = fresh;
+            }
+        }
+        let mut out = Vec::new();
+        let mut released: BTreeMap<RequestId, NodeId> = BTreeMap::new();
+        let in_flight: BTreeSet<(NodeId, NodeId)> =
+            self.hostings.values().filter(|h| !h.confirmed).map(|h| (h.from, h.to)).collect();
+        for (old_req, a) in rehomes {
+            if let std::collections::btree_map::Entry::Vacant(slot) = released.entry(old_req) {
+                if let Some(old) = self.hostings.remove(&old_req) {
+                    slot.insert(old.to);
+                    out.push(self.send_release(now_ms, old.to, old_req));
+                }
+            }
+            let old_to = released.get(&old_req).copied().unwrap_or(NodeId(u32::MAX));
+            if in_flight.contains(&(a.from, a.to)) {
+                continue;
+            }
+            let request = self.fresh_request();
+            let data_mb = nmdb.state(a.from).data_mb;
+            self.hostings.insert(
+                request,
+                Hosting {
+                    from: a.from,
+                    to: a.to,
+                    amount: a.amount,
+                    confirmed: false,
+                    data_mb,
+                    route: a.route.clone(),
+                    offered_ms: now_ms,
+                    attempts: 1,
+                    t_rmin: a.t_rmin,
+                    rep_failed: None,
+                    orig_request: None,
+                },
+            );
+            self.flows_rehomed += 1;
+            self.obs.counter_inc("proto.flows_rehomed");
+            self.obs.counter_inc("proto.offers_sent");
+            self.obs.trace_at(
+                now_ms,
+                TraceEvent::Rehome {
+                    request: request.0,
+                    old: old_req.0,
+                    from: a.from.0,
+                    old_to: old_to.0,
+                    new_to: a.to.0,
+                },
+            );
+            self.obs.trace_at(
+                now_ms,
+                TraceEvent::Offer { request: request.0, from: a.from.0, to: a.to.0 },
+            );
+            out.push(Envelope {
+                to: a.to,
+                msg: ManagerMsg::OffloadRequest {
+                    request,
+                    from: a.from,
+                    amount: a.amount,
+                    data_mb,
+                    route: a.route.clone(),
+                },
+            });
+            assignments.push(a);
+        }
+
+        let placement = Placement {
+            status: PlacementStatus::Optimal,
+            assignments,
+            beta,
+            busy,
+            candidates,
+            cost_time,
+            solve_time,
+            shadow_prices: Vec::new(),
+            partitions: 1,
+            partition_fallback: false,
+            warm: WarmState::default(),
+            warm_used: false,
+        };
+        Some((placement, out))
     }
 
     /// Periodic maintenance: offer expiry/retransmit for unconfirmed
@@ -553,13 +927,16 @@ impl Manager {
                         let new_req = self.fresh_request();
                         // a fresh controllable route — the old one ran to
                         // the failed destination and is useless now
-                        let route = min_inv_lu_dp_path(
+                        let priced = min_inv_lu_dp_path(
                             &self.graph,
                             hosting.from,
                             replacement,
                             self.cfg.max_hop,
-                        )
-                        .map(|(_, p)| p);
+                        );
+                        let t_rmin = priced
+                            .as_ref()
+                            .map_or(f64::INFINITY, |(inv_lu, _)| hosting.data_mb * inv_lu);
+                        let route = priced.map(|(_, p)| p);
                         self.hostings.insert(
                             new_req,
                             Hosting {
@@ -571,6 +948,7 @@ impl Manager {
                                 route: route.clone(),
                                 offered_ms: now_ms,
                                 attempts: 1,
+                                t_rmin,
                                 rep_failed: Some(failed),
                                 orig_request: Some(req),
                             },
@@ -1030,5 +1408,140 @@ mod tests {
         let (placement, msgs) = m.run_placement(10);
         assert_eq!(placement.status, PlacementStatus::Infeasible, "no willing destination");
         assert!(msgs.is_empty());
+    }
+
+    // ---- warm-started and delta rounds -----------------------------------
+
+    /// Busy hub 0 with two leaf candidates: 0—1 over a hot (cheap) link,
+    /// 0—2 over a cold (expensive) one. Returns the manager plus both
+    /// edge ids so tests can drift the links.
+    fn churn_manager() -> (Manager, dust_topology::EdgeId, dust_topology::EdgeId) {
+        let mut g = Graph::with_nodes(3);
+        let e1 = g.add_edge(NodeId(0), NodeId(1), Link::new(10_000.0, 0.9));
+        let e2 = g.add_edge(NodeId(0), NodeId(2), Link::new(10_000.0, 0.05));
+        let m = Manager::new(
+            g,
+            DustConfig::paper_defaults(),
+            SolverBackend::Transportation,
+            1000,
+            3000,
+        )
+        .unwrap();
+        (m, e1, e2)
+    }
+
+    #[test]
+    fn warm_start_reuses_bases_across_rounds() {
+        let (m, _, _) = churn_manager();
+        let mut m = m.with_warm_start(true);
+        let obs = ObsHandle::recording(0);
+        m.set_obs(obs.clone());
+        register_and_stat(&mut m, NodeId(0), 92.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        register_and_stat(&mut m, NodeId(2), 20.0);
+        let (p1, _) = m.run_placement(0);
+        assert_eq!(p1.status, PlacementStatus::Optimal);
+        assert!(!p1.warm_used, "nothing to reuse on the first round");
+        let (p2, _) = m.run_placement(1000);
+        assert!(p2.warm_used, "second round over an unchanged fleet must go warm");
+        assert!((p2.beta - p1.beta).abs() <= 1e-9 * (1.0 + p1.beta.abs()));
+        assert_eq!(obs.counter("lp.warm_solves"), 1);
+        assert!(obs.counter("lp.pivots_saved") > 0);
+    }
+
+    #[test]
+    fn delta_round_skips_the_full_solve_when_nothing_degraded() {
+        let (m, _, _) = churn_manager();
+        let mut m = m.with_delta_placement(0.25, 100).unwrap();
+        let obs = ObsHandle::recording(0);
+        m.set_obs(obs.clone());
+        register_and_stat(&mut m, NodeId(0), 92.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        register_and_stat(&mut m, NodeId(2), 20.0);
+        let (_, msgs) = m.run_placement(0); // round 0: full by cadence
+        let req = first_request(&msgs);
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        let placements_before = obs.counter("core.placements");
+        let (p, out) = m.run_placement(1000);
+        assert_eq!(m.delta_rounds(), 1);
+        assert_eq!(obs.counter("proto.delta_rounds"), 1);
+        assert_eq!(p.status, PlacementStatus::Optimal);
+        assert!(p.assignments.is_empty(), "healthy flows must not be re-homed");
+        assert!(out.is_empty());
+        assert_eq!(
+            obs.counter("core.placements"),
+            placements_before,
+            "the full placement engine must stay cold on a healthy delta round"
+        );
+    }
+
+    #[test]
+    fn delta_round_rehomes_a_degraded_flow() {
+        let (m, e1, e2) = churn_manager();
+        let mut m = m.with_delta_placement(0.25, 100).unwrap();
+        let obs = ObsHandle::recording(0);
+        m.set_obs(obs.clone());
+        register_and_stat(&mut m, NodeId(0), 92.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        register_and_stat(&mut m, NodeId(2), 20.0);
+        let (p0, msgs) = m.run_placement(0);
+        assert_eq!(p0.status, PlacementStatus::Optimal);
+        assert_eq!(p0.assignments[0].to, NodeId(1), "hot link must win the full round");
+        let req = first_request(&msgs);
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        // drift: the 0—1 link empties out (Lu collapses → cost explodes)
+        // while 0—2 heats up and becomes the cheap route
+        m.graph_mut().link_mut(e1).utilization = 0.001;
+        m.graph_mut().link_mut(e2).utilization = 0.9;
+        let (p, out) = m.run_placement(1000);
+        assert_eq!(m.delta_rounds(), 1);
+        assert_eq!(m.flows_rehomed(), 1);
+        assert_eq!(obs.counter("proto.flows_rehomed"), 1);
+        assert_eq!(p.assignments.len(), 1);
+        assert_eq!(p.assignments[0].to, NodeId(2), "the flow must re-home to the hot link");
+        assert!(
+            out.iter().any(|e| matches!(e.msg, ManagerMsg::Release { request } if request == req)),
+            "the degraded hosting must be released: {out:?}"
+        );
+        assert!(out
+            .iter()
+            .any(|e| e.to == NodeId(2) && matches!(e.msg, ManagerMsg::OffloadRequest { .. })));
+        let trace = obs.trace_snapshot().unwrap();
+        assert!(trace
+            .entries()
+            .iter()
+            .any(|t| matches!(t.event, TraceEvent::Rehome { old_to: 1, new_to: 2, .. })));
+        assert!(trace
+            .entries()
+            .iter()
+            .any(|t| matches!(t.event, TraceEvent::DeltaRound { checked: 1, degraded: 1, .. })));
+    }
+
+    #[test]
+    fn delta_cadence_forces_periodic_full_rounds() {
+        let (m, _, _) = churn_manager();
+        let mut m = m.with_delta_placement(0.25, 2).unwrap().with_warm_start(true);
+        let obs = ObsHandle::recording(0);
+        m.set_obs(obs.clone());
+        register_and_stat(&mut m, NodeId(0), 92.0);
+        register_and_stat(&mut m, NodeId(1), 20.0);
+        register_and_stat(&mut m, NodeId(2), 20.0);
+        let (_, msgs) = m.run_placement(0); // round 0: full
+        let req = first_request(&msgs);
+        m.handle(10, &ClientMsg::OffloadAck { node: NodeId(1), request: req, accept: true });
+        m.run_placement(1000); // round 1: delta (1 % 2 != 0)
+        m.run_placement(2000); // round 2: full by cadence, warm-started
+        assert_eq!(m.placement_rounds(), 3);
+        assert_eq!(m.delta_rounds(), 1);
+        assert!(obs.counter("core.placements") >= 2, "cadence round must run the engine");
+        assert_eq!(obs.counter("lp.warm_solves"), 1, "cadence full round reuses round 0's basis");
+    }
+
+    #[test]
+    fn delta_knobs_reject_bad_configs() {
+        let (m, _, _) = churn_manager();
+        assert!(m.clone().with_delta_placement(-0.1, 4).is_err());
+        assert!(m.clone().with_delta_placement(f64::NAN, 4).is_err());
+        assert!(m.with_delta_placement(0.2, 0).is_err());
     }
 }

@@ -31,7 +31,7 @@
 
 use crate::engine::EngineKind;
 use crate::node::SimNode;
-use crate::runner::{SimConfig, Simulation, StormConfig};
+use crate::runner::{DriftConfig, SimConfig, Simulation, StormConfig};
 use crate::traffic::TrafficModel;
 use crate::transport::FaultConfig;
 use dust_core::{DustConfig, DustError, SolverBackend};
@@ -185,6 +185,29 @@ impl SimBuilder {
         self
     }
 
+    /// Attach continuous link/agent churn: seeded capacity and
+    /// sampling-rate drift at a fixed cadence.
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.cfg.drift = Some(drift);
+        self
+    }
+
+    /// Warm-start the Manager's solver from the previous round's basis
+    /// (identical objectives, fewer pivots).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.cfg.warm_start = on;
+        self
+    }
+
+    /// Enable the Manager's delta-placement path: between full solves
+    /// every `full_every` rounds, only flows whose `T_rmin` degraded
+    /// past `threshold` (relative) are re-homed.
+    pub fn delta_placement(mut self, threshold: f64, full_every: u64) -> Self {
+        self.cfg.delta_threshold = Some(threshold);
+        self.cfg.delta_full_every = full_every;
+        self
+    }
+
     /// Crash `node` at `at_ms`.
     pub fn kill_at(mut self, at_ms: u64, node: NodeId) -> Self {
         self.kills.push((at_ms, node));
@@ -288,6 +311,37 @@ impl SimBuilder {
             if storm.max_cascades == 0 {
                 return bad("a storm with max_cascades = 0 can never fire: drop the \
                      storm or give it a kill budget"
+                    .into());
+            }
+        }
+        if let Some(d) = &cfg.drift {
+            if d.period_ms == 0 {
+                return bad("drift period_ms must be positive".into());
+            }
+            if !d.capacity_swing.is_finite() || !(0.0..1.0).contains(&d.capacity_swing) {
+                return bad(format!(
+                    "drift capacity_swing must lie in [0, 1), got {}",
+                    d.capacity_swing
+                ));
+            }
+            if !(d.rate_floor.is_finite() && 0.0 < d.rate_floor && d.rate_floor <= 1.0) {
+                return bad(format!("drift rate_floor must lie in (0, 1], got {}", d.rate_floor));
+            }
+            if d.links_per_tick == 0 && d.nodes_per_tick == 0 {
+                return bad("drift with links_per_tick = 0 and nodes_per_tick = 0 never \
+                     changes anything: drop the drift or give it work"
+                    .into());
+            }
+        }
+        if let Some(t) = cfg.delta_threshold {
+            if !t.is_finite() || t < 0.0 {
+                return bad(format!(
+                    "delta_placement threshold must be finite and non-negative, got {t}"
+                ));
+            }
+            if cfg.delta_full_every == 0 {
+                return bad("delta_placement full_every must be at least 1: a cadence of 0 \
+                     would never run a full solve"
                     .into());
             }
         }

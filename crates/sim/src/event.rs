@@ -215,6 +215,9 @@ pub(crate) fn run_event(sim: &mut Simulation) -> SimReport {
             SimEvent::SloEvaluation => {
                 sim.handle_slo_evaluation(now);
             }
+            SimEvent::DriftTick => {
+                sim.handle_drift(now, &mut q);
+            }
             SimEvent::NodeKill(n) => {
                 sim.handle_kill(now, n);
                 hot.alive[n.index()] = false;

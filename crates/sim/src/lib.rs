@@ -59,7 +59,7 @@ pub use node::{NodeSpec, SimNode};
 pub use registry::{
     chaos_ladder, chaos_run, fig1_curve, fig6_contrast, Scenario, ScenarioKnobs, ScenarioRun,
 };
-pub use runner::{SimConfig, SimReport, Simulation, StormConfig};
+pub use runner::{DriftConfig, SimConfig, SimReport, Simulation, StormConfig};
 pub use scenarios::{
     chaos_with_faults, chaos_with_faults_observed, chaos_with_faults_observed_on, chaos_with_slo,
     chaos_with_slo_on, congestion, fleet, scale_fleet, scale_fleet_sim, scale_fleet_sim_on,

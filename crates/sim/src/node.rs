@@ -7,6 +7,8 @@
 //! between [`SimNode`]s, so the Fig. 6 deltas fall out of the model rather
 //! than being scripted.
 
+use std::sync::Arc;
+
 use dust_telemetry::MonitorAgent;
 use dust_topology::NodeId;
 
@@ -67,6 +69,41 @@ const BURST_PERIOD_MS: u64 = 30_000;
 const BURST_LEN_MS: u64 = 2_000;
 const BURST_FACTOR: f64 = 6.0;
 
+/// Storage for a node's local agent deployment. Large fleets of
+/// identical nodes share one immutable deployment record
+/// (`Shared`) instead of carrying hundreds of owned copies of the same
+/// agent structs per node; the first mutation detaches the node onto its
+/// own copy (copy-on-write), so per-node divergence — drift retuning,
+/// budgeted offload, reclaim — still works exactly as before.
+#[derive(Debug, Clone)]
+enum AgentStore {
+    /// One deployment record interned across every node of a class.
+    Shared(Arc<Vec<MonitorAgent>>),
+    /// This node's private, divergent agent list.
+    Owned(Vec<MonitorAgent>),
+}
+
+impl AgentStore {
+    fn as_slice(&self) -> &[MonitorAgent] {
+        match self {
+            AgentStore::Shared(a) => a,
+            AgentStore::Owned(v) => v,
+        }
+    }
+
+    /// Copy-on-write access: a shared record is first detached into an
+    /// owned copy so the mutation never bleeds into sibling nodes.
+    fn to_mut(&mut self) -> &mut Vec<MonitorAgent> {
+        if let AgentStore::Shared(a) = self {
+            *self = AgentStore::Owned(a.as_ref().clone());
+        }
+        match self {
+            AgentStore::Owned(v) => v,
+            AgentStore::Shared(_) => unreachable!("detached above"),
+        }
+    }
+}
+
 /// A simulated device.
 #[derive(Debug, Clone)]
 pub struct SimNode {
@@ -75,7 +112,9 @@ pub struct SimNode {
     /// Hardware profile.
     pub spec: NodeSpec,
     /// Agents monitoring *this* node, running locally (not yet offloaded).
-    pub local_agents: Vec<MonitorAgent>,
+    /// Read via [`SimNode::local_agents`]; mutate via
+    /// [`SimNode::local_agents_mut`] (copy-on-write when interned).
+    local_agents: AgentStore,
     /// Agents monitoring this node but running remotely: `(host, agent)`.
     pub offloaded_agents: Vec<(NodeId, MonitorAgent)>,
     /// Agents this node hosts on behalf of others: `(owner, agent)`.
@@ -93,7 +132,23 @@ impl SimNode {
         SimNode {
             id,
             spec,
-            local_agents: MonitorAgent::standard_deployment(),
+            local_agents: AgentStore::Owned(MonitorAgent::standard_deployment()),
+            offloaded_agents: Vec::new(),
+            hosted_agents: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// A node sharing an interned deployment record with its siblings —
+    /// fleet construction hands every node of a class the *same*
+    /// `Arc<Vec<MonitorAgent>>` instead of materialising hundreds of
+    /// identical agent structs per node. The node detaches onto its own
+    /// copy the moment anything mutates its local agent list.
+    pub fn with_shared_agents(id: NodeId, spec: NodeSpec, agents: Arc<Vec<MonitorAgent>>) -> Self {
+        SimNode {
+            id,
+            spec,
+            local_agents: AgentStore::Shared(agents),
             offloaded_agents: Vec::new(),
             hosted_agents: Vec::new(),
             epoch: 0,
@@ -105,11 +160,30 @@ impl SimNode {
         SimNode {
             id,
             spec,
-            local_agents: Vec::new(),
+            local_agents: AgentStore::Owned(Vec::new()),
             offloaded_agents: Vec::new(),
             hosted_agents: Vec::new(),
             epoch: 0,
         }
+    }
+
+    /// The agents monitoring this node that run locally.
+    pub fn local_agents(&self) -> &[MonitorAgent] {
+        self.local_agents.as_slice()
+    }
+
+    /// Mutable access to the local agent list. If the deployment record
+    /// is interned ([`SimNode::with_shared_agents`]) this detaches the
+    /// node onto a private copy first. Callers that mutate through this
+    /// must still call [`SimNode::note_agents_changed`].
+    pub fn local_agents_mut(&mut self) -> &mut Vec<MonitorAgent> {
+        self.local_agents.to_mut()
+    }
+
+    /// Whether this node still shares an interned deployment record
+    /// (i.e. nothing has mutated its local agent list yet).
+    pub fn agents_interned(&self) -> bool {
+        matches!(self.local_agents, AgentStore::Shared(_))
     }
 
     /// Current agent-list epoch: changes whenever a cached derivation of
@@ -130,6 +204,7 @@ impl SimNode {
     /// [`SimNode::agents_epoch`].
     pub fn raw_agent_cpu(&self, traffic_fraction: f64) -> f64 {
         self.local_agents
+            .as_slice()
             .iter()
             .chain(self.hosted_agents.iter().map(|(_, a)| a))
             .map(|a| a.cpu_percent(traffic_fraction))
@@ -179,6 +254,7 @@ impl SimNode {
     pub fn device_mem_percent(&self) -> f64 {
         let agents_gib: f64 = self
             .local_agents
+            .as_slice()
             .iter()
             .chain(self.hosted_agents.iter().map(|(_, a)| a))
             .map(|a| a.kind.mem_mib() / 1024.0)
@@ -191,7 +267,7 @@ impl SimNode {
     /// Telemetry data volume this node must ship per interval if its local
     /// agents were monitored remotely (`D_i`, Mb).
     pub fn data_mb(&self, traffic_fraction: f64) -> f64 {
-        self.local_agents.iter().map(|a| a.data_mb_per_interval(traffic_fraction)).sum()
+        self.local_agents.as_slice().iter().map(|a| a.data_mb_per_interval(traffic_fraction)).sum()
     }
 
     /// Move up to `cpu_budget_percent` (device-level percent) of local
@@ -210,16 +286,17 @@ impl SimNode {
         let device_cost =
             |a: &MonitorAgent| a.cpu_percent(traffic_fraction) * ENGINE_OVERHEAD / cores;
         // largest first so few agents cover the budget
-        self.local_agents.sort_by(|a, b| {
+        let locals = self.local_agents.to_mut();
+        locals.sort_by(|a, b| {
             device_cost(b).partial_cmp(&device_cost(a)).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut moved = Vec::new();
         let mut budget = cpu_budget_percent;
         let mut i = 0;
-        while i < self.local_agents.len() {
-            let c = device_cost(&self.local_agents[i]);
+        while i < locals.len() {
+            let c = device_cost(&locals[i]);
             if c <= budget + 1e-9 {
-                let agent = self.local_agents.remove(i);
+                let agent = locals.remove(i);
                 budget -= c;
                 self.offloaded_agents.push((host, agent));
                 moved.push(agent);
@@ -234,7 +311,11 @@ impl SimNode {
     /// experiment, where the whole monitoring deployment moves.
     pub fn offload_all_to(&mut self, host: NodeId) -> Vec<MonitorAgent> {
         self.note_agents_changed();
-        let moved: Vec<MonitorAgent> = self.local_agents.drain(..).collect();
+        let moved: Vec<MonitorAgent> =
+            match std::mem::replace(&mut self.local_agents, AgentStore::Owned(Vec::new())) {
+                AgentStore::Shared(a) => a.as_ref().clone(),
+                AgentStore::Owned(v) => v,
+            };
         for a in &moved {
             self.offloaded_agents.push((host, *a));
         }
@@ -257,7 +338,7 @@ impl SimNode {
         let mut kept = Vec::with_capacity(before);
         for (h, a) in self.offloaded_agents.drain(..) {
             if h == host {
-                self.local_agents.push(a);
+                self.local_agents.to_mut().push(a);
             } else {
                 kept.push((h, a));
             }
@@ -380,7 +461,7 @@ mod tests {
         let costs: Vec<f64> = moved.iter().map(|a| a.kind.cpu_percent(traffic)).collect();
         assert!(costs.windows(2).all(|w| w[0] >= w[1]));
         // remaining + moved = 10
-        assert_eq!(n.local_agents.len() + moved.len(), 10);
+        assert_eq!(n.local_agents().len() + moved.len(), 10);
         assert_eq!(n.offloaded_agents.len(), moved.len());
     }
 
@@ -390,12 +471,12 @@ mod tests {
         let mut host = SimNode::bare(NodeId(2), NodeSpec::server());
         let moved = dut.offload_all_to(NodeId(2));
         host.host_agents(NodeId(0), &moved);
-        assert_eq!(dut.local_agents.len(), 0);
+        assert_eq!(dut.local_agents().len(), 0);
         assert_eq!(host.hosted_agents.len(), 10);
 
         assert_eq!(dut.reclaim_from(NodeId(2)), 10);
         assert_eq!(host.drop_hosted_for(NodeId(0)), 10);
-        assert_eq!(dut.local_agents.len(), 10);
+        assert_eq!(dut.local_agents().len(), 10);
         assert!(host.hosted_agents.is_empty());
         // back to the calm (burst-free) local reading: 14 + 100/8 = 26.5
         let cpu = dut.device_cpu_percent(10_000, 0.2);
@@ -454,6 +535,29 @@ mod tests {
                 n.monitoring_cpu_core_percent(t, 0.2)
             );
         }
+    }
+
+    #[test]
+    fn shared_deployment_detaches_on_first_mutation() {
+        let record = Arc::new(MonitorAgent::standard_deployment());
+        let mut a =
+            SimNode::with_shared_agents(NodeId(0), NodeSpec::aruba_8325(), Arc::clone(&record));
+        let b = SimNode::with_shared_agents(NodeId(1), NodeSpec::aruba_8325(), Arc::clone(&record));
+        // reads never detach, and shared nodes price identically to owned
+        let owned = SimNode::with_standard_agents(NodeId(2), NodeSpec::aruba_8325());
+        assert_eq!(a.raw_agent_cpu(0.2), owned.raw_agent_cpu(0.2));
+        assert_eq!(a.device_mem_percent(), owned.device_mem_percent());
+        assert_eq!(a.data_mb(0.2), owned.data_mb(0.2));
+        assert!(a.agents_interned() && b.agents_interned());
+        // the first mutation peels `a` off onto its own copy; `b` and the
+        // interned record itself are untouched
+        let moved = a.offload_agents_to(NodeId(3), 10.0, 0.2);
+        assert!(!moved.is_empty());
+        assert!(!a.agents_interned());
+        assert!(b.agents_interned());
+        assert_eq!(record.len(), 10);
+        assert_eq!(b.local_agents().len(), 10);
+        assert_eq!(a.local_agents().len() + moved.len(), 10);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | `diurnal`     | testbed under a sinusoidal day curve plus noise       |
 //! | `flash_crowd` | testbed under a ramp/hold/decay crowd spike           |
 //! | `zone_storm`  | 4-k fat-tree: CPU-cascade storm + a pod-wide outage   |
+//! | `churn`       | testbed under seeded link/agent drift, warm + delta   |
 //!
 //! The experiment helpers that used to live in [`crate::scenarios`]
 //! ([`fig1_curve`], [`fig6_contrast`], [`chaos_run`], [`chaos_ladder`])
@@ -28,7 +29,7 @@
 
 use crate::engine::EngineKind;
 use crate::node::{NodeSpec, SimNode};
-use crate::runner::{SimReport, Simulation, StormConfig};
+use crate::runner::{DriftConfig, SimReport, Simulation, StormConfig};
 use crate::scenarios::{
     chaos_with_faults, testbed_dust_config, testbed_nodes, testbed_topology, ChaosResult, Fig1Row,
     Fig6Result,
@@ -165,7 +166,7 @@ pub fn find(name: &str) -> Option<&'static Scenario> {
     REGISTRY.iter().find(|s| s.name == name)
 }
 
-static REGISTRY: [Scenario; 6] = [
+static REGISTRY: [Scenario; 7] = [
     Scenario {
         name: "testbed",
         summary: "Fig. 5 testbed, full DUST offload, perfect wire",
@@ -214,6 +215,14 @@ static REGISTRY: [Scenario; 6] = [
         overload_cpu: 20.0,
         make: make_zone_storm,
     },
+    Scenario {
+        name: "churn",
+        summary: "testbed under seeded link/agent drift, warm-started delta re-placement",
+        slo_spec: "convergence<=20000,abandons<=5",
+        default_duration_ms: 120_000,
+        overload_cpu: 20.0,
+        make: make_churn,
+    },
 ];
 
 fn testbed_builder(knobs: &ScenarioKnobs, duration: u64) -> crate::builder::SimBuilder {
@@ -252,8 +261,8 @@ fn make_int_burst(knobs: &ScenarioKnobs, duration: u64) -> Result<Simulation, Du
     // their per-packet decision sequences differ (see
     // `crates/sim/tests/int_sampling.rs`).
     let d = &mut nodes[dut.index()];
-    d.local_agents.push(MonitorAgent::int(IntSampling::Deterministic { n: 4 }));
-    d.local_agents.push(MonitorAgent::int(IntSampling::Probabilistic { p: 0.25 }));
+    d.local_agents_mut().push(MonitorAgent::int(IntSampling::Deterministic { n: 4 }));
+    d.local_agents_mut().push(MonitorAgent::int(IntSampling::Probabilistic { p: 0.25 }));
     d.note_agents_changed();
     Simulation::builder()
         .graph(graph)
@@ -333,6 +342,23 @@ fn make_zone_storm(knobs: &ScenarioKnobs, duration: u64) -> Result<Simulation, D
         b = b.revive_at(duration * 2 / 3, n);
     }
     b.build()
+}
+
+fn make_churn(knobs: &ScenarioKnobs, duration: u64) -> Result<Simulation, DustError> {
+    // High-churn continuous operation: every 4 s a seeded drift step
+    // retunes one link capacity (±30 %) and one node's agent sampling
+    // rate, so the optimum keeps moving. The Manager re-optimizes
+    // incrementally — warm-started bases, dirty-row re-pricing (one
+    // drifted link per round keeps the dirty fraction under the
+    // full-invalidation threshold on the small testbed fabric), and the
+    // delta path re-homing only flows whose T_rmin degraded > 10 %
+    // between full solves every 8th round.
+    testbed_builder(knobs, duration)
+        .traffic(TrafficModel::testbed())
+        .drift(DriftConfig { links_per_tick: 1, ..DriftConfig::default() })
+        .warm_start(true)
+        .delta_placement(0.10, 8)
+        .build()
 }
 
 // ---------------------------------------------------------------------
@@ -440,7 +466,7 @@ mod tests {
             assert!(s.default_duration_ms > 0, "{}", s.name);
             assert!(!s.summary.is_empty(), "{}", s.name);
         }
-        assert!(seen.len() >= 6);
+        assert!(seen.len() >= 7);
     }
 
     #[test]
@@ -544,6 +570,65 @@ mod tests {
         let crowd = report.max(dut, "device-cpu", d / 3, 2 * d / 3).unwrap();
         assert!(crowd > quiet, "crowd must load the DUT: quiet {quiet:.1} peak {crowd:.1}");
     }
+
+    #[test]
+    fn churn_drifts_rehomes_and_saves_pivots() {
+        let sc = find("churn").unwrap();
+        let knobs = ScenarioKnobs { obs: ObsHandle::recording(0), ..ScenarioKnobs::seeded(0) };
+        let run = sc.run(&knobs).unwrap();
+        assert!(run.report.transfers_applied > 0, "churn must offload");
+        assert!(knobs.obs.counter("sim.drift_ticks") > 0, "drift must tick");
+        let delta = knobs.obs.counter("proto.delta_rounds");
+        let full = knobs.obs.counter("proto.placement_rounds") - delta;
+        assert!(delta > 0, "delta rounds must fire");
+        assert!(full > 0, "the periodic full-solve cadence must hold");
+        assert!(delta > full, "under churn most rounds must take the delta path");
+        assert!(knobs.obs.counter("proto.flows_rehomed") > 0, "drift must force re-homes");
+        // dirty-link journaling from drift must keep most refreshes
+        // incremental (full invalidation stays available as the
+        // fallback) and actually drop the rows crossing drifted links
+        let refreshes = knobs.obs.counter("cost.refreshes");
+        let full_inval = knobs.obs.counter("cost.full_invalidations");
+        assert!(refreshes > 2 * full_inval, "refreshes {refreshes} full {full_inval}");
+        assert!(knobs.obs.counter("cost.rows_invalidated") > 0, "dirty rows must be dropped");
+        let trace = knobs.obs.trace_snapshot().unwrap();
+        let drifts =
+            trace.entries().iter().filter(|e| e.event.kind() == "DriftApplied").count() as u64;
+        assert_eq!(drifts, knobs.obs.counter("sim.drift_ticks"), "every drift step is traced");
+        let rehomes = trace.entries().iter().filter(|e| e.event.kind() == "Rehome").count() as u64;
+        assert_eq!(rehomes, knobs.obs.counter("proto.flows_rehomed"), "every re-home is traced");
+    }
+
+    #[test]
+    fn churn_is_identical_across_cores_and_pinned_at_seed_42() {
+        let sc = find("churn").unwrap();
+        let run_on = |engine: EngineKind| {
+            let knobs = ScenarioKnobs {
+                obs: ObsHandle::recording(42),
+                engine,
+                duration_ms: Some(60_000),
+                ..ScenarioKnobs::seeded(42)
+            };
+            sc.run(&knobs).unwrap();
+            (knobs.obs.digest().unwrap(), knobs.obs.metrics().unwrap().to_json())
+        };
+        let (tick_digest, tick_metrics) = run_on(EngineKind::Tick);
+        let (event_digest, event_metrics) = run_on(EngineKind::Event);
+        assert_eq!(tick_digest, event_digest, "churn must be core-agnostic");
+        assert_eq!(tick_metrics, event_metrics, "churn metrics must be core-agnostic");
+        // Golden digest: any change to the churn event stream (drift
+        // draws, delta-round decisions, re-home ordering) must be a
+        // conscious one — regenerate with
+        //   dustctl sim --scenario churn --seed 42 --duration-ms 60000 --trace-digest
+        assert_eq!(
+            format!("{tick_digest:016x}"),
+            CHURN_GOLDEN_DIGEST_SEED42,
+            "churn@42 golden digest moved"
+        );
+    }
+
+    /// Pinned by `churn_is_identical_across_cores_and_pinned_at_seed_42`.
+    const CHURN_GOLDEN_DIGEST_SEED42: &str = "c9f9ba6ee7db0c4a";
 
     #[test]
     fn slo_override_replaces_the_attached_spec() {

@@ -36,8 +36,8 @@ use crate::transport::{Direction, FaultConfig, Transport};
 use dust_core::{DustConfig, SolverBackend};
 use dust_obs::{ObsHandle, SloBreach, SloEngine, TraceEvent};
 use dust_proto::{Client, ClientMsg, Envelope, Manager, ManagerMsg, RequestId};
-use dust_telemetry::Federation;
-use dust_topology::{Graph, NodeId, Path};
+use dust_telemetry::{Federation, IntSampling};
+use dust_topology::{EdgeId, Graph, NodeId, Path, SplitMix64};
 use std::collections::{BTreeMap, HashSet};
 
 /// Correlated failure-storm parameters: overload-induced cascades on top
@@ -59,6 +59,48 @@ pub struct StormConfig {
     pub cascade_delay_ms: u64,
     /// Total cascade-kill budget for the run.
     pub max_cascades: usize,
+}
+
+/// Continuous-churn parameters: seeded link-capacity and agent-rate
+/// drift applied at a fixed cadence, so placement never reaches a
+/// steady state and the Manager's incremental re-optimization path
+/// (warm-started bases, dirty-row re-pricing, delta rounds) has real
+/// work every round.
+///
+/// Link drift retunes `capacity_mbps` — not utilization, which the
+/// traffic model owns and overwrites every STAT interval — on *both*
+/// the physical graph and the Manager's pricing view, so telemetry
+/// flows and `T_rmin` costs move together. Agent drift retunes the
+/// per-packet sampling fraction of one seeded node's local agents,
+/// shifting the data volume (`D_i`) its STATs report. Every draw comes
+/// from a SplitMix64 keyed on `(seed, now)`, so a run is bit-identical
+/// across cores and across repeats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Drift cadence, ms.
+    pub period_ms: u64,
+    /// Links whose capacity is retuned per tick.
+    pub links_per_tick: usize,
+    /// Maximum relative capacity change per retuned link (`0.3` means a
+    /// multiplicative factor drawn from `[0.7, 1.3]`). Must lie in
+    /// `[0, 1)` so capacity can never hit zero in one step.
+    pub capacity_swing: f64,
+    /// Nodes whose local agents' sampling fraction is retuned per tick.
+    pub nodes_per_tick: usize,
+    /// Retuned sampling fractions are drawn from `[rate_floor, 1.0]`.
+    pub rate_floor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            period_ms: 4_000,
+            links_per_tick: 2,
+            capacity_swing: 0.3,
+            nodes_per_tick: 1,
+            rate_floor: 0.4,
+        }
+    }
 }
 
 /// Simulation parameters.
@@ -97,6 +139,17 @@ pub struct SimConfig {
     pub faults: FaultConfig,
     /// Correlated failure storm (cascading overload kills), if any.
     pub storm: Option<StormConfig>,
+    /// Continuous link/agent churn, if any.
+    pub drift: Option<DriftConfig>,
+    /// Hand the Manager's solver the previous round's optimal basis as a
+    /// starting point (identical objectives, fewer pivots).
+    pub warm_start: bool,
+    /// When set, the Manager runs the delta-placement path: between
+    /// periodic full solves, only flows whose `T_rmin` degraded past
+    /// this relative threshold are re-homed.
+    pub delta_threshold: Option<f64>,
+    /// Full-solve cadence for the delta path (every Nth round).
+    pub delta_full_every: u64,
     /// Master seed.
     pub seed: u64,
     /// Which simulation core runs this configuration.
@@ -118,6 +171,10 @@ impl Default for SimConfig {
             full_monitoring_offload: false,
             faults: FaultConfig::ideal(),
             storm: None,
+            drift: None,
+            warm_start: false,
+            delta_threshold: None,
+            delta_full_every: 8,
             seed: 0,
             engine: EngineKind::default(),
         }
@@ -142,6 +199,9 @@ pub(crate) enum SimEvent {
     /// Online SLO evaluation over the sample just recorded (scheduled
     /// only when an engine is attached).
     SloEvaluation,
+    /// Apply one seeded churn step ([`SimConfig::drift`]): retune link
+    /// capacities and agent sampling rates.
+    DriftTick,
     /// Stop a node (crash): it stops sending anything.
     NodeKill(NodeId),
     /// Restart a dead node.
@@ -165,6 +225,7 @@ impl SimEvent {
             SimEvent::PlacementRound => "sim.event.placement_round",
             SimEvent::TelemetrySample => "sim.event.telemetry_sample",
             SimEvent::SloEvaluation => "sim.event.slo_evaluation",
+            SimEvent::DriftTick => "sim.event.drift_tick",
             SimEvent::NodeKill(_) => "sim.event.node_kill",
             SimEvent::NodeRevive(_) => "sim.event.node_revive",
             SimEvent::DeliverClient(_) => "sim.event.deliver_client",
@@ -285,14 +346,20 @@ impl Simulation {
         cfg: SimConfig,
     ) -> Self {
         assert_eq!(nodes.len(), graph.node_count(), "one SimNode per vertex");
-        let manager = Manager::new(
+        let mut manager = Manager::new(
             graph.clone(),
             cfg.dust,
             cfg.backend,
             cfg.update_interval_ms,
             cfg.keepalive_timeout_ms,
         )
-        .expect("builder pre-validated the SimConfig");
+        .expect("builder pre-validated the SimConfig")
+        .with_warm_start(cfg.warm_start);
+        if let Some(threshold) = cfg.delta_threshold {
+            manager = manager
+                .with_delta_placement(threshold, cfg.delta_full_every)
+                .expect("builder pre-validated the delta knobs");
+        }
         let clients =
             nodes.iter().map(|n| Client::new(n.id, true, cfg.dust.co_max + 10.0)).collect();
         let transport = Transport::new(cfg.seed, cfg.faults);
@@ -644,6 +711,9 @@ impl Simulation {
             q.schedule(self.cfg.placement_period_ms, SimEvent::PlacementRound);
         }
         q.schedule(0, SimEvent::TelemetrySample);
+        if let Some(d) = &self.cfg.drift {
+            q.schedule(d.period_ms, SimEvent::DriftTick);
+        }
         for &(t, n) in &self.kills {
             q.schedule(t, SimEvent::NodeKill(n));
         }
@@ -740,6 +810,51 @@ impl Simulation {
                 q.schedule(now + storm.cascade_delay_ms, SimEvent::NodeKill(id));
             }
         }
+    }
+
+    /// One churn step ([`SimConfig::drift`]). Shared by both cores: the
+    /// RNG is keyed on `(seed, now)` alone, so the draw sequence is a
+    /// pure function of the event time, never of core-local state.
+    ///
+    /// Link-capacity drift is written to *both* graph copies. The
+    /// simulation's copy feeds telemetry-flow evaluation (utilization is
+    /// untouched — the traffic model owns it, and re-applies it lazily in
+    /// the event core). The Manager's copy feeds `T_rmin` pricing through
+    /// [`dust_topology::Graph::link_mut`], whose dirty journal lets
+    /// [`dust_topology::CostEngine::refresh`] re-price only the crossing
+    /// rows at the next placement round.
+    pub(crate) fn handle_drift(&mut self, now: u64, q: &mut EventQueue<SimEvent>) {
+        let Some(drift) = self.cfg.drift else { return };
+        let mut rng = SplitMix64::new(self.cfg.seed ^ now.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut links = 0u32;
+        let edge_count = self.graph.edge_count();
+        for _ in 0..drift.links_per_tick.min(edge_count) {
+            let e = EdgeId(rng.below(edge_count as u64) as u32);
+            let factor = rng.range_f64(1.0 - drift.capacity_swing, 1.0 + drift.capacity_swing);
+            // random walk with absolute guard rails so a long run can
+            // neither collapse a link to zero nor grow it without bound
+            let cap = (self.graph.edge(e).link.capacity_mbps * factor).clamp(100.0, 1.0e6);
+            self.graph.link_mut(e).capacity_mbps = cap;
+            self.manager.graph_mut().link_mut(e).capacity_mbps = cap;
+            links += 1;
+        }
+        let mut agents = 0u32;
+        for _ in 0..drift.nodes_per_tick.min(self.nodes.len()) {
+            let i = rng.below(self.nodes.len() as u64) as usize;
+            let p = rng.range_f64(drift.rate_floor, 1.0);
+            let node = &mut self.nodes[i];
+            if node.local_agents().is_empty() {
+                continue;
+            }
+            for a in node.local_agents_mut() {
+                a.sampling = Some(IntSampling::Probabilistic { p });
+            }
+            node.note_agents_changed();
+            agents += node.local_agents().len() as u32;
+        }
+        self.obs.counter_inc("sim.drift_ticks");
+        self.obs.trace_at(now, TraceEvent::DriftApplied { links, agents });
+        q.schedule_in(drift.period_ms, SimEvent::DriftTick);
     }
 
     /// Crash `node`. Shared by both cores.
@@ -894,6 +1009,9 @@ impl Simulation {
                 SimEvent::SloEvaluation => {
                     self.handle_slo_evaluation(now);
                 }
+                SimEvent::DriftTick => {
+                    self.handle_drift(now, &mut q);
+                }
                 SimEvent::NodeKill(n) => {
                     self.handle_kill(now, n);
                 }
@@ -940,7 +1058,7 @@ impl Simulation {
     /// count plus copies hosted for it anywhere in the fleet. Conservation
     /// means this never changes, whatever the control plane loses.
     pub fn agent_census(&self, owner: NodeId) -> usize {
-        self.nodes[owner.index()].local_agents.len()
+        self.nodes[owner.index()].local_agents().len()
             + self
                 .nodes
                 .iter()
@@ -987,7 +1105,7 @@ mod tests {
         let mut sim = two_node_sim(false);
         let report = sim.run();
         assert_eq!(report.transfers_applied, 0);
-        assert_eq!(sim.nodes()[0].local_agents.len(), 10);
+        assert_eq!(sim.nodes()[0].local_agents().len(), 10);
     }
 
     #[test]

@@ -455,11 +455,26 @@ pub fn scale_fleet(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) ->
 }
 
 /// The assembled-but-not-run [`scale_fleet`] simulation, so benchmarks
-/// can time [`Simulation::run`] in isolation — fleet construction
-/// (a million agent structs) is identical for both cores and would only
-/// dilute the measured core speedup.
+/// can time [`Simulation::run`] in isolation — fleet construction is
+/// identical for both cores and would only dilute the measured core
+/// speedup.
 pub fn scale_fleet_sim(k: usize, duration_ms: u64, seed: u64, engine: EngineKind) -> Simulation {
     scale_fleet_sim_on(k, duration_ms, seed, ObsHandle::disabled(), engine)
+}
+
+/// The interned deployment record every [`scale_fleet`] switch shares:
+/// [`SCALE_FLEET_AGENT_COPIES`] copies of the standard ten-agent
+/// deployment, built **once** per fleet. Before interning, construction
+/// materialised this 400-struct vector separately for each of the
+/// 10 125 nodes at `k = 90` (4 M owned agent structs); now every node
+/// holds an `Arc` to this one record and only detaches onto a private
+/// copy if something actually mutates its agent list (which the quiet
+/// scale_fleet control plane never does).
+pub fn scale_fleet_deployment() -> std::sync::Arc<Vec<dust_telemetry::MonitorAgent>> {
+    use dust_telemetry::MonitorAgent;
+    std::sync::Arc::new(
+        (0..SCALE_FLEET_AGENT_COPIES).flat_map(|_| MonitorAgent::standard_deployment()).collect(),
+    )
 }
 
 /// [`scale_fleet_sim`] recording into `obs` — `dustctl profile
@@ -473,22 +488,15 @@ pub fn scale_fleet_sim_on(
     obs: ObsHandle,
     engine: EngineKind,
 ) -> Simulation {
-    use dust_telemetry::MonitorAgent;
     use dust_topology::FatTree;
     let ft = FatTree::new(k, Link::new(25_000.0, 0.2));
     let appliance =
         NodeSpec { cpu_cores: 4096.0, mem_gib: 4096.0, base_cpu_percent: 14.0, base_mem_gib: 9.6 };
+    let deployment = scale_fleet_deployment();
     let nodes: Vec<SimNode> = ft
         .graph
         .nodes()
-        .map(|n| {
-            let mut node = SimNode::with_standard_agents(n, appliance);
-            for _ in 1..SCALE_FLEET_AGENT_COPIES {
-                node.local_agents.extend(MonitorAgent::standard_deployment());
-            }
-            node.note_agents_changed();
-            node
-        })
+        .map(|n| SimNode::with_shared_agents(n, appliance, std::sync::Arc::clone(&deployment)))
         .collect();
     // paper-default thresholds (so nobody classifies Busy), but the path
     // engine must be pinned: the builder rejects unbounded enumeration on
@@ -595,5 +603,86 @@ mod tests {
         assert_eq!(ev.events_processed, tk.events_processed);
         assert_eq!(ev.peak_queue_len, tk.peak_queue_len);
         assert_eq!(ev.end_ms, tk.end_ms);
+    }
+
+    #[test]
+    fn scale_fleet_shares_one_deployment_record() {
+        let sim = scale_fleet_sim(8, 1_000, 1, EngineKind::Event);
+        // the quiet control plane never mutates an agent list, so every
+        // node must still point at the single interned record
+        assert!(sim.nodes().iter().all(|n| n.agents_interned()));
+        assert!(sim
+            .nodes()
+            .iter()
+            .all(|n| n.local_agents().len() == 10 * SCALE_FLEET_AGENT_COPIES));
+    }
+
+    #[test]
+    fn interned_fleet_construction_beats_owned_copies() {
+        use dust_telemetry::MonitorAgent;
+        use std::time::{Duration, Instant};
+        // the pre-interning construction path: 400 owned agent structs
+        // materialised per node, exactly what scale_fleet_sim_on used to do
+        let appliance = NodeSpec {
+            cpu_cores: 4096.0,
+            mem_gib: 4096.0,
+            base_cpu_percent: 14.0,
+            base_mem_gib: 9.6,
+        };
+        let n_nodes = 2_000usize;
+        let owned_build = || -> Vec<SimNode> {
+            (0..n_nodes)
+                .map(|i| {
+                    let mut node = SimNode::with_standard_agents(NodeId(i as u32), appliance);
+                    for _ in 1..SCALE_FLEET_AGENT_COPIES {
+                        node.local_agents_mut().extend(MonitorAgent::standard_deployment());
+                    }
+                    node.note_agents_changed();
+                    node
+                })
+                .collect()
+        };
+        let interned_build = || -> Vec<SimNode> {
+            let record = scale_fleet_deployment();
+            (0..n_nodes)
+                .map(|i| {
+                    SimNode::with_shared_agents(
+                        NodeId(i as u32),
+                        appliance,
+                        std::sync::Arc::clone(&record),
+                    )
+                })
+                .collect()
+        };
+        let best_of = |build: &dyn Fn() -> Vec<SimNode>| -> Duration {
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let nodes = build();
+                    let dt = t0.elapsed();
+                    assert_eq!(nodes.len(), n_nodes);
+                    dt
+                })
+                .min()
+                .unwrap()
+        };
+        let owned = best_of(&owned_build);
+        let interned = best_of(&interned_build);
+        eprintln!(
+            "fleet build, {n_nodes} nodes x {} agents: owned {owned:?}, interned {interned:?}",
+            10 * SCALE_FLEET_AGENT_COPIES
+        );
+        // one Arc bump per node vs 400 struct copies per node: the interned
+        // path wins by orders of magnitude, so a plain < is noise-proof
+        assert!(
+            interned < owned,
+            "interned construction ({interned:?}) must beat per-node copies ({owned:?})"
+        );
+        // and the two fleets price identically
+        let a = owned_build();
+        let b = interned_build();
+        assert_eq!(a[0].raw_agent_cpu(0.2), b[0].raw_agent_cpu(0.2));
+        assert_eq!(a[0].device_mem_percent(), b[0].device_mem_percent());
+        assert_eq!(a[0].data_mb(0.2), b[0].data_mb(0.2));
     }
 }

@@ -6,11 +6,11 @@
 //! (see [`crate::paths`]), parameterized per source by the monitoring data
 //! volume `D_i` in megabits.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{EdgeId, Graph, NodeId};
 use crate::paths::{min_inv_lu_dp_from, min_inv_lu_enumerated_from};
 use dust_obs::{ObsHandle, TraceEvent};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Which routing engine computes `T_rmin` (ablation 1 in DESIGN.md).
@@ -97,6 +97,35 @@ fn hop_key(max_hop: Option<usize>) -> u64 {
     max_hop.map_or(u64::MAX, |h| h as u64)
 }
 
+/// Hop distance from every node to the nearest endpoint of any dirty
+/// link (multi-source BFS); `usize::MAX` where no dirty link is
+/// reachable. Utilization-only mutations never change adjacency, so
+/// running this on the post-mutation graph answers for the pre-mutation
+/// one too.
+fn dirty_distances(g: &Graph, dirty: &[EdgeId]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for &e in dirty {
+        let edge = g.edge(e);
+        for v in [edge.a, edge.b] {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = 0;
+                queue.push_back(v);
+            }
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &(w, _) in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
 /// Parallel, memoized `T_rmin` row provider — the single cost authority
 /// behind every placement entry point.
 ///
@@ -120,6 +149,26 @@ pub struct CostEngine {
     threads: usize,
     cache: RwLock<HashMap<RowKey, Arc<Vec<f64>>>>,
     obs: ObsHandle,
+    /// Epoch of the last [`CostEngine::refresh`] snapshot: rows keyed here
+    /// predate everything in the graph's dirty journal, so they are the
+    /// ones eligible for migration at the next refresh. `0` = never
+    /// refreshed (no epoch is ever handed out as 0).
+    coherent_epoch: AtomicU64,
+}
+
+/// What one [`CostEngine::refresh`] did to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Rows carried over to the new epoch without re-pricing (no path
+    /// within their hop bound can traverse a dirty link).
+    pub migrated: usize,
+    /// Rows dropped because a dirty link sits inside their hop cone (or
+    /// because they were keyed at an unmigratable intermediate epoch).
+    pub invalidated: usize,
+    /// True when the refresh gave up on per-link precision and fell back
+    /// to full invalidation (structural change, journal overflow, or
+    /// dirty fraction above the caller's threshold).
+    pub full: bool,
 }
 
 impl CostEngine {
@@ -131,7 +180,12 @@ impl CostEngine {
     /// An engine with an explicit worker count; `0` means "use available
     /// parallelism". `1` is the sequential reference implementation.
     pub fn with_threads(threads: usize) -> Self {
-        CostEngine { threads, cache: RwLock::new(HashMap::new()), obs: ObsHandle::disabled() }
+        CostEngine {
+            threads,
+            cache: RwLock::new(HashMap::new()),
+            obs: ObsHandle::disabled(),
+            coherent_epoch: AtomicU64::new(0),
+        }
     }
 
     /// Attach an observability handle (builder form). Cache hit/miss
@@ -184,6 +238,96 @@ impl CostEngine {
     pub fn retain_epoch(&self, g: &Graph) {
         let epoch = g.epoch();
         self.cache.write().expect("cost cache poisoned").retain(|k, _| k.0 == epoch);
+    }
+
+    /// Incrementally re-validate the row cache against the mutations `g`
+    /// accumulated since the previous refresh, instead of letting the
+    /// epoch bump evict everything.
+    ///
+    /// Drains `g`'s dirty-link journal ([`Graph::take_dirty`]) and, for
+    /// every row priced at the previous refresh's epoch, decides whether
+    /// any path inside the row's hop bound could traverse a touched link:
+    /// one multi-source BFS from the dirty links' endpoints gives each
+    /// node its distance to the nearest dirty link, and a row from `src`
+    /// under bound `h` is provably unaffected when
+    /// `dist(src, dirty) + 1 > h` — those rows are re-keyed to the
+    /// current epoch (same `Arc`, no re-pricing) and every later lookup
+    /// hits the cache bit-identically to a from-scratch re-price
+    /// (utilization-only mutations never change hop distances, and
+    /// structural mutations journal as all-dirty). Rows a dirty link
+    /// *might* reach are dropped and re-priced on demand.
+    ///
+    /// Precision degrades safely: an all-dirty journal, an empty cache
+    /// epoch, or a dirty fraction above `max_dirty_fraction` (of the edge
+    /// count) falls back to full invalidation, i.e. exactly
+    /// [`CostEngine::retain_epoch`]. Records `cost.rows_migrated`,
+    /// `cost.rows_invalidated`, `cost.refreshes`, and
+    /// `cost.full_invalidations` counters; no trace events, so golden
+    /// digests never depend on refresh cadence.
+    pub fn refresh(&self, g: &mut Graph, max_dirty_fraction: f64) -> RefreshStats {
+        let _prof = self.obs.prof_scope("cost.refresh");
+        let cur = g.epoch();
+        let prev = self.coherent_epoch.swap(cur, Ordering::Relaxed);
+        let dirty = g.take_dirty();
+        if self.obs.is_enabled() {
+            self.obs.counter_inc("cost.refreshes");
+        }
+        if prev == cur {
+            // nothing mutated since the last refresh: every cached row at
+            // `cur` is already coherent
+            return RefreshStats::default();
+        }
+        let full = match &dirty {
+            None => true,
+            Some(d) => {
+                prev == 0
+                    || g.edge_count() == 0
+                    || (d.len() as f64) > max_dirty_fraction * g.edge_count() as f64
+            }
+        };
+        let mut cache = self.cache.write().expect("cost cache poisoned");
+        let mut stats = RefreshStats { full, ..RefreshStats::default() };
+        if full {
+            let before = cache.len();
+            cache.retain(|k, _| k.0 == cur);
+            stats.invalidated = before - cache.len();
+            if self.obs.is_enabled() {
+                self.obs.counter_inc("cost.full_invalidations");
+            }
+        } else {
+            let d = dirty.as_deref().unwrap_or(&[]);
+            let ddist = (!d.is_empty()).then(|| dirty_distances(g, d));
+            let keys: Vec<RowKey> = cache.keys().filter(|k| k.0 == prev).copied().collect();
+            for key in keys {
+                let (_, src, hopk, engine) = key;
+                let affected = match &ddist {
+                    None => false,
+                    Some(dist) => match dist.get(src.index()) {
+                        // a dirty link is inside the hop cone when its
+                        // nearest endpoint is reachable within bound - 1
+                        Some(&dd) => dd != usize::MAX && (hopk == u64::MAX || (dd as u64) < hopk),
+                        None => true,
+                    },
+                };
+                let row = cache.remove(&key).expect("row key vanished under write lock");
+                if affected {
+                    stats.invalidated += 1;
+                } else {
+                    cache.insert((cur, src, hopk, engine), row);
+                    stats.migrated += 1;
+                }
+            }
+            // rows priced at intermediate epochs (between refreshes) saw
+            // an unknown subset of the dirt: not migratable, just stale
+            let before = cache.len();
+            cache.retain(|k, _| k.0 == cur);
+            stats.invalidated += before - cache.len();
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter_add("cost.rows_migrated", stats.migrated as u64);
+            self.obs.counter_add("cost.rows_invalidated", stats.invalidated as u64);
+        }
+        stats
     }
 
     /// The cached `Σ 1/Lu_e` row from `src` to every node of `g`, priced
@@ -705,6 +849,156 @@ mod engine_tests {
         // more workers than jobs, and zero jobs, are both fine
         assert_eq!(CostEngine::with_threads(8).run_parallel(2, |i| i), vec![0, 1]);
         assert!(CostEngine::new().run_parallel(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn refresh_migrates_far_rows_and_reprices_crossing_ones() {
+        use crate::topologies::line;
+        // line 0-1-2-...-7: mutate the 0-1 link; a 2-hop row from node 7
+        // cannot see it, a 2-hop row from node 0 must re-price
+        let mut g = line(8, Link::default());
+        let obs = ObsHandle::recording(0);
+        let eng = CostEngine::sequential().with_obs(obs.clone());
+        eng.refresh(&mut g, 0.5); // first refresh: establishes coherence (full)
+        let src = [NodeId(0), NodeId(7)];
+        let dst: Vec<NodeId> = (1..7).map(NodeId).collect();
+        let data = [10.0, 10.0];
+        eng.build_matrix(&g, &src, &dst, &data, Some(2), PathEngine::HopBoundedDp);
+        assert_eq!(eng.cached_rows(), 2);
+
+        g.link_mut(EdgeId(0)).utilization = 0.95;
+        let stats = eng.refresh(&mut g, 0.5);
+        assert!(!stats.full);
+        assert_eq!(stats.migrated, 1, "node 7's bounded row is provably clean");
+        assert_eq!(stats.invalidated, 1, "node 0's row crosses the dirty link");
+        assert_eq!(obs.counter("cost.rows_migrated"), 1);
+        assert_eq!(obs.counter("cost.rows_invalidated"), 1);
+        assert_eq!(obs.counter("cost.full_invalidations"), 1, "only the bootstrap refresh");
+
+        // the incremental cache must answer bit-identically to a cold engine
+        let inc = eng.build_matrix(&g, &src, &dst, &data, Some(2), PathEngine::HopBoundedDp);
+        let cold = CostEngine::sequential().build_matrix(
+            &g,
+            &src,
+            &dst,
+            &data,
+            Some(2),
+            PathEngine::HopBoundedDp,
+        );
+        let a: Vec<u64> = inc.t_rmin.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = cold.t_rmin.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "migrated rows must be indistinguishable from re-priced ones");
+        // and only the crossing row was re-priced
+        assert_eq!(obs.counter("cost.cache_hits"), 1, "migrated row served from cache");
+    }
+
+    #[test]
+    fn refresh_reprices_unbounded_rows_whenever_dirt_is_reachable() {
+        use crate::topologies::line;
+        let mut g = line(6, Link::default());
+        let eng = CostEngine::sequential();
+        eng.refresh(&mut g, 1.0);
+        let src = [NodeId(5)];
+        let dst = [NodeId(0)];
+        eng.build_matrix(&g, &src, &dst, &[10.0], None, PathEngine::HopBoundedDp);
+        let before = eng.build_matrix(&g, &src, &dst, &[10.0], None, PathEngine::HopBoundedDp);
+        g.link_mut(EdgeId(0)).utilization = 0.01;
+        let stats = eng.refresh(&mut g, 1.0);
+        assert_eq!(stats.migrated, 0, "an unbounded row sees every link");
+        assert_eq!(stats.invalidated, 1);
+        let after = eng.build_matrix(&g, &src, &dst, &[10.0], None, PathEngine::HopBoundedDp);
+        // Lu = capacity × utilization, Tr = D/Lu: a nearly idle link is a
+        // nearly useless link in this model, so the cost must rise
+        assert!(after.at(0, 0) > before.at(0, 0), "the mutation must actually show through");
+    }
+
+    #[test]
+    fn refresh_falls_back_full_above_dirty_fraction() {
+        use crate::topologies::line;
+        let mut g = line(10, Link::default());
+        let obs = ObsHandle::recording(0);
+        let eng = CostEngine::sequential().with_obs(obs.clone());
+        eng.refresh(&mut g, 0.25);
+        let src: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let dst = [NodeId(9)];
+        eng.build_matrix(&g, &src, &dst, &[1.0; 4], Some(3), PathEngine::HopBoundedDp);
+        // touch 4 of 9 links: 44% dirty > 25% threshold
+        for e in 0..4 {
+            g.link_mut(EdgeId(e)).utilization = 0.9;
+        }
+        let stats = eng.refresh(&mut g, 0.25);
+        assert!(stats.full);
+        assert_eq!(stats.migrated, 0);
+        assert_eq!(stats.invalidated, 4);
+        assert_eq!(eng.cached_rows(), 0);
+        assert_eq!(obs.counter("cost.full_invalidations"), 2);
+    }
+
+    #[test]
+    fn refresh_handles_structural_mutations_as_all_dirty() {
+        use crate::topologies::line;
+        let mut g = line(5, Link::default());
+        let eng = CostEngine::sequential();
+        eng.refresh(&mut g, 1.0);
+        let src = [NodeId(4)];
+        eng.build_matrix(&g, &src, &[NodeId(0)], &[1.0], Some(2), PathEngine::HopBoundedDp);
+        // a new edge changes reachability: the bounded row from node 4
+        // would be wrong to keep even though no *link state* was touched
+        let n = g.add_node();
+        g.add_edge(NodeId(0), n, Link::default());
+        let stats = eng.refresh(&mut g, 1.0);
+        assert!(stats.full);
+        assert_eq!(eng.cached_rows(), 0);
+    }
+
+    #[test]
+    fn refresh_with_no_mutations_keeps_everything() {
+        use crate::topologies::line;
+        let mut g = line(4, Link::default());
+        let eng = CostEngine::sequential();
+        eng.refresh(&mut g, 0.5);
+        eng.build_matrix(&g, &[NodeId(0)], &[NodeId(3)], &[1.0], None, PathEngine::HopBoundedDp);
+        let stats = eng.refresh(&mut g, 0.5);
+        assert_eq!(stats, RefreshStats::default());
+        assert_eq!(eng.cached_rows(), 1);
+    }
+
+    #[test]
+    fn refresh_incremental_matches_full_invalidation_bit_for_bit() {
+        // seeded drift sweep: after every targeted mutation, an engine
+        // using incremental refresh and an always-cold engine must price
+        // identical matrices
+        let (mut g, src, dst, data) = fat_tree_instance();
+        let inc = CostEngine::sequential();
+        inc.refresh(&mut g, 0.5);
+        let mut state = 0x5EEDu64;
+        let mut split = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..6 {
+            for _ in 0..3 {
+                let e = EdgeId((split() % g.edge_count() as u64) as u32);
+                let u = 0.05 + 0.9 * (split() % 1000) as f64 / 1000.0;
+                g.link_mut(e).utilization = u;
+            }
+            inc.refresh(&mut g, 0.5);
+            let a = inc.build_matrix(&g, &src, &dst, &data, Some(6), PathEngine::HopBoundedDp);
+            let cold = CostEngine::sequential().build_matrix(
+                &g,
+                &src,
+                &dst,
+                &data,
+                Some(6),
+                PathEngine::HopBoundedDp,
+            );
+            let x: Vec<u64> = a.t_rmin.iter().map(|v| v.to_bits()).collect();
+            let y: Vec<u64> = cold.t_rmin.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(x, y, "round {round}");
+        }
     }
 
     #[test]

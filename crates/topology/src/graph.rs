@@ -136,6 +136,14 @@ pub struct Graph {
     adj: Vec<Vec<(NodeId, EdgeId)>>,
     /// Globally-unique state stamp; see [`Graph::epoch`].
     epoch: u64,
+    /// True when the dirty journal lost precision (structural mutation,
+    /// bulk retarget, or journal overflow): everything must be treated as
+    /// touched.
+    dirty_all: bool,
+    /// Links touched via [`Graph::link_mut`] since the last
+    /// [`Graph::take_dirty`] (unsorted, may hold duplicates; meaningless
+    /// while `dirty_all` is set).
+    dirty: Vec<EdgeId>,
 }
 
 /// Process-global source of graph state stamps. Every stamp is handed out
@@ -157,12 +165,24 @@ impl Default for Graph {
 impl Graph {
     /// An empty graph.
     pub fn new() -> Self {
-        Graph { edges: Vec::new(), adj: Vec::new(), epoch: next_epoch() }
+        Graph {
+            edges: Vec::new(),
+            adj: Vec::new(),
+            epoch: next_epoch(),
+            dirty_all: true,
+            dirty: Vec::new(),
+        }
     }
 
     /// An empty graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Graph { edges: Vec::new(), adj: vec![Vec::new(); n], epoch: next_epoch() }
+        Graph {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            epoch: next_epoch(),
+            dirty_all: true,
+            dirty: Vec::new(),
+        }
     }
 
     /// The link-state epoch: a process-globally-unique stamp reassigned on
@@ -181,6 +201,7 @@ impl Graph {
         let id = NodeId(u32::try_from(self.adj.len()).expect("more than u32::MAX nodes"));
         self.adj.push(Vec::new());
         self.epoch = next_epoch();
+        self.mark_all_dirty();
         id
     }
 
@@ -202,6 +223,7 @@ impl Graph {
         self.adj[a.index()].push((b, id));
         self.adj[b.index()].push((a, id));
         self.epoch = next_epoch();
+        self.mark_all_dirty();
         id
     }
 
@@ -252,9 +274,19 @@ impl Graph {
     }
 
     /// Mutable access to the link state of an edge (dynamic utilization
-    /// updates during simulation).
+    /// updates during simulation). The touched edge is journaled for
+    /// [`Graph::take_dirty`], so targeted drift keeps incremental row
+    /// re-pricing possible.
     pub fn link_mut(&mut self, e: EdgeId) -> &mut Link {
         self.epoch = next_epoch();
+        if !self.dirty_all {
+            self.dirty.push(e);
+            // a journal bigger than the edge set carries no information
+            // beyond "everything" — collapse it instead of growing forever
+            if self.dirty.len() > self.edges.len() {
+                self.mark_all_dirty();
+            }
+        }
         &mut self.edges[e.index()].link
     }
 
@@ -266,6 +298,31 @@ impl Graph {
             self.edges[i].link.utilization = u;
         }
         self.epoch = next_epoch();
+        self.mark_all_dirty();
+    }
+
+    /// Forget the journal's precision: everything counts as touched.
+    fn mark_all_dirty(&mut self) {
+        self.dirty_all = true;
+        self.dirty.clear();
+    }
+
+    /// Drain the dirty-link journal accumulated since the last call (or
+    /// since construction): `None` means *everything* is dirty (structural
+    /// mutation, bulk retarget, journal overflow, or first call), `Some`
+    /// lists the touched links, sorted and deduplicated — possibly empty
+    /// when nothing changed. Clones carry their own copy of the journal,
+    /// so draining one graph never blinds another.
+    pub fn take_dirty(&mut self) -> Option<Vec<EdgeId>> {
+        if self.dirty_all {
+            self.dirty_all = false;
+            self.dirty.clear();
+            return None;
+        }
+        let mut taken = std::mem::take(&mut self.dirty);
+        taken.sort_unstable();
+        taken.dedup();
+        Some(taken)
     }
 
     /// Hop distances from `src` to every node (BFS). Unreachable nodes get
@@ -410,5 +467,55 @@ mod tests {
     #[test]
     fn empty_graph_is_connected() {
         assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    fn dirty_journal_tracks_link_mut_precisely() {
+        let mut g = triangle();
+        assert_eq!(g.take_dirty(), None, "a fresh graph is all-dirty");
+        assert_eq!(g.take_dirty(), Some(vec![]), "nothing touched since the drain");
+        g.link_mut(EdgeId(2)).utilization = 0.7;
+        g.link_mut(EdgeId(0)).utilization = 0.6;
+        g.link_mut(EdgeId(2)).utilization = 0.8;
+        assert_eq!(
+            g.take_dirty(),
+            Some(vec![EdgeId(0), EdgeId(2)]),
+            "sorted, deduplicated, exactly the touched links"
+        );
+    }
+
+    #[test]
+    fn structural_mutations_and_retarget_go_all_dirty() {
+        let mut g = triangle();
+        g.take_dirty();
+        g.add_node();
+        assert_eq!(g.take_dirty(), None);
+        g.retarget_utilization(|_, _| 0.4);
+        assert_eq!(g.take_dirty(), None);
+        let n = g.add_node();
+        g.take_dirty();
+        g.add_edge(NodeId(0), n, Link::default());
+        assert_eq!(g.take_dirty(), None);
+    }
+
+    #[test]
+    fn journal_overflow_collapses_to_all_dirty() {
+        let mut g = triangle();
+        g.take_dirty();
+        for _ in 0..4 {
+            // 4 touches > 3 edges: precision is gone
+            g.link_mut(EdgeId(1)).utilization = 0.3;
+        }
+        assert_eq!(g.take_dirty(), None);
+    }
+
+    #[test]
+    fn clones_keep_independent_journals() {
+        let mut g = triangle();
+        g.take_dirty();
+        g.link_mut(EdgeId(1)).utilization = 0.9;
+        let mut h = g.clone();
+        assert_eq!(g.take_dirty(), Some(vec![EdgeId(1)]));
+        assert_eq!(h.take_dirty(), Some(vec![EdgeId(1)]), "the clone still sees its copy");
     }
 }

@@ -36,7 +36,7 @@ pub mod paths;
 pub mod rng;
 pub mod topologies;
 
-pub use cost::{CostEngine, CostMatrix, PathEngine};
+pub use cost::{CostEngine, CostMatrix, PathEngine, RefreshStats};
 pub use dot::{placement_to_dot, to_dot, NodeStyle};
 pub use fattree::{paper_sizes, FatTree, Tier};
 pub use graph::{Edge, EdgeId, Graph, Link, NodeId};

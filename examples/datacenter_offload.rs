@@ -73,7 +73,7 @@ fn main() {
     let dut_node = &sim.nodes()[dut.index()];
     println!(
         "  DUT keeps {} local agents, {} offloaded",
-        dut_node.local_agents.len(),
+        dut_node.local_agents().len(),
         dut_node.offloaded_agents.len()
     );
 }

@@ -57,7 +57,7 @@ fn destination_failure_is_survived() {
     // agents are conserved: 10 total, somewhere
     let hosted_elsewhere: usize =
         sim.nodes().iter().map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count()).sum();
-    let local = sim.nodes()[dut.index()].local_agents.len();
+    let local = sim.nodes()[dut.index()].local_agents().len();
     assert_eq!(local + hosted_elsewhere, 10, "agents lost or duplicated");
     // if the failed node was the host, a replica substitution happened
     if report.replicas_applied > 0 {
@@ -79,7 +79,7 @@ fn baseline_run_keeps_everything_local() {
         .expect("testbed knobs are consistent");
     let report = sim.run();
     assert_eq!(report.transfers_applied, 0);
-    assert_eq!(sim.nodes()[dut.index()].local_agents.len(), 10);
+    assert_eq!(sim.nodes()[dut.index()].local_agents().len(), 10);
     // metric series were still recorded
     assert!(report.mean(dut, "device-cpu", 0, 60_000).is_some());
 }
@@ -134,7 +134,7 @@ fn diurnal_traffic_drives_offload_and_reclaim() {
     // conservation again
     let hosted: usize =
         sim.nodes().iter().map(|n| n.hosted_agents.iter().filter(|(o, _)| *o == dut).count()).sum();
-    assert_eq!(sim.nodes()[dut.index()].local_agents.len() + hosted, 10);
+    assert_eq!(sim.nodes()[dut.index()].local_agents().len() + hosted, 10);
 }
 
 #[test]
